@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the cache substrate's hot paths: LRU access/insert,
+//! shadow-queue probes and slab-cache GET/SET.
+
+use cache_core::lru::InsertPosition;
+use cache_core::{Key, LruList, ShadowQueue, SlabCache, SlabCacheConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_lru(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lru_list");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("access_hit", |b| {
+        let mut list = LruList::with_tail_region(128);
+        for i in 0..10_000u64 {
+            list.insert(Key::new(i), 100, InsertPosition::Top);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            black_box(list.access(Key::new(i)))
+        });
+    });
+
+    group.bench_function("insert_evict", |b| {
+        let mut list = LruList::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            list.insert(Key::new(i), 100, InsertPosition::Top);
+            if list.len() > 10_000 {
+                black_box(list.pop_lru());
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_shadow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow_queue");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("insert", |b| {
+        let mut shadow = ShadowQueue::new(16_384);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(shadow.insert(Key::new(i)))
+        });
+    });
+
+    group.bench_function("probe_miss", |b| {
+        let mut shadow = ShadowQueue::new(16_384);
+        for i in 0..16_384u64 {
+            shadow.insert(Key::new(i));
+        }
+        let mut i = 1_000_000u64;
+        b.iter(|| {
+            i += 1;
+            black_box(shadow.probe(Key::new(i)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_slab_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slab_cache");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("get_hit", |b| {
+        let mut cache: SlabCache<()> = SlabCache::new(SlabCacheConfig {
+            total_bytes: 64 << 20,
+            ..SlabCacheConfig::default()
+        });
+        for i in 0..50_000u64 {
+            cache.set(Key::new(i), 100, ());
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 50_000;
+            black_box(cache.get(Key::new(i), 100))
+        });
+    });
+
+    group.bench_function("set_with_eviction", |b| {
+        let mut cache: SlabCache<()> = SlabCache::new(SlabCacheConfig {
+            total_bytes: 4 << 20,
+            ..SlabCacheConfig::default()
+        });
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.set(Key::new(i), 100, ()))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lru, bench_shadow, bench_slab_cache);
+criterion_main!(benches);

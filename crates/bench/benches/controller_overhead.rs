@@ -1,0 +1,94 @@
+//! Per-request overhead of the Cliffhanger controller compared to the
+//! unmanaged slab cache — the in-process counterpart of Tables 6 and 7.
+
+use cache_core::{Key, SlabCache, SlabCacheConfig};
+use cliffhanger::{Cliffhanger, CliffhangerConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_get_miss_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worst_case_all_miss");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("stock_get_then_fill", |b| {
+        let mut cache: SlabCache<()> = SlabCache::new(SlabCacheConfig {
+            total_bytes: 8 << 20,
+            ..SlabCacheConfig::default()
+        });
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = Key::new(i);
+            if !cache.get(key, 200).map(|r| r.result.hit).unwrap_or(false) {
+                cache.set(key, 200, ());
+            }
+            black_box(&cache);
+        });
+    });
+
+    group.bench_function("cliffhanger_get_then_fill", |b| {
+        let mut cache: Cliffhanger<()> =
+            Cliffhanger::new(CliffhangerConfig::with_total_bytes(8 << 20));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = Key::new(i);
+            if !cache.get(key, 200).map(|(_, e)| e.hit).unwrap_or(false) {
+                cache.set(key, 200, ());
+            }
+            black_box(&cache);
+        });
+    });
+
+    group.bench_function("hill_climbing_only_get_then_fill", |b| {
+        let mut cache: Cliffhanger<()> = Cliffhanger::new(
+            CliffhangerConfig::with_total_bytes(8 << 20).hill_climbing_only(),
+        );
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = Key::new(i);
+            if !cache.get(key, 200).map(|(_, e)| e.hit).unwrap_or(false) {
+                cache.set(key, 200, ());
+            }
+            black_box(&cache);
+        });
+    });
+    group.finish();
+}
+
+fn bench_get_hit_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("get_hit");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("stock", |b| {
+        let mut cache: SlabCache<()> = SlabCache::new(SlabCacheConfig {
+            total_bytes: 32 << 20,
+            ..SlabCacheConfig::default()
+        });
+        for i in 0..20_000u64 {
+            cache.set(Key::new(i), 200, ());
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 20_000;
+            black_box(cache.get(Key::new(i), 200))
+        });
+    });
+
+    group.bench_function("cliffhanger", |b| {
+        let mut cache: Cliffhanger<()> =
+            Cliffhanger::new(CliffhangerConfig::with_total_bytes(32 << 20));
+        for i in 0..20_000u64 {
+            cache.set(Key::new(i), 200, ());
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 20_000;
+            black_box(cache.get(Key::new(i), 200))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_get_miss_paths, bench_get_hit_paths);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! End-to-end experiment benchmarks: how long a full trace replay takes
+//! under each cache system (this is the cost of regenerating the paper's
+//! figures, not a result in the paper itself).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use simulator::engine::{replay_app, CacheSystem, ReplayOptions};
+use workloads::{AppProfile, Phase, SizeDistribution, Trace};
+
+fn replay_trace() -> (Trace, ReplayOptions) {
+    let profile = AppProfile::simple(
+        1,
+        "bench-app",
+        1.0,
+        4 << 20,
+        Phase::zipf(30_000, 0.9, SizeDistribution::facebook_etc()).with_scan(0.2, 12_000),
+    );
+    let trace = Trace::from_requests(profile.generate(150_000, 3_600, 11));
+    (trace, ReplayOptions::new(4 << 20))
+}
+
+fn bench_replays(c: &mut Criterion) {
+    let (trace, options) = replay_trace();
+    let mut group = c.benchmark_group("trace_replay_150k");
+    group.sample_size(10);
+    for (name, system) in [
+        ("default", CacheSystem::default_lru()),
+        ("global_lru", CacheSystem::GlobalLru),
+        ("cliffhanger", CacheSystem::cliffhanger()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &system, |b, system| {
+            b.iter(|| black_box(replay_app(&trace, system, &options)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replays);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Cost of the profiling machinery the curve-based baselines rely on —
+//! the complexity Cliffhanger avoids (exact stack distances vs the Mimir
+//! buckets vs a plain shadow-queue probe).
+
+use cache_core::Key;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use profiler::{DynacacheSolver, MimirEstimator, QueueProfile, StackDistanceTracker};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_stack_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stack_distance");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("exact_record", |b| {
+        let mut tracker = StackDistanceTracker::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50_000 {
+            tracker.record(Key::new(rng.gen_range(0..100_000)));
+        }
+        b.iter(|| {
+            let key = Key::new(rng.gen_range(0..100_000));
+            black_box(tracker.record(key))
+        });
+    });
+
+    group.bench_function("mimir_record", |b| {
+        let mut estimator = MimirEstimator::new(100, 1_000_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50_000 {
+            estimator.record(Key::new(rng.gen_range(0..100_000)));
+        }
+        b.iter(|| {
+            let key = Key::new(rng.gen_range(0..100_000));
+            black_box(estimator.record(key))
+        });
+    });
+    group.finish();
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynacache_solver");
+    // Build 15 synthetic concave curves, one per slab class.
+    let profiles: Vec<QueueProfile> = (0..15)
+        .map(|i| {
+            let knee = 2_000.0 + 500.0 * i as f64;
+            let points = (1..=200u64)
+                .map(|j| {
+                    let x = j * 200;
+                    (x, 0.9 * x as f64 / (x as f64 + knee))
+                })
+                .collect();
+            QueueProfile::new(
+                profiler::HitRateCurve::from_points(points),
+                1.0 / 15.0,
+                64 << i.min(10),
+            )
+        })
+        .collect();
+
+    group.bench_function("allocate_64mb", |b| {
+        let solver = DynacacheSolver::new(1 << 20);
+        b.iter(|| black_box(solver.allocate(&profiles, 64 << 20)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stack_distance, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Wire-protocol costs: parsing and encoding the Memcached ASCII protocol.
+
+use bytes::BytesMut;
+use cache_server::protocol::{encode_response, parse_command, Response, Value};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_parse");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("get", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::from(&b"get user:12345:profile\r\n"[..]);
+            black_box(parse_command(&mut buf))
+        });
+    });
+
+    group.bench_function("set_1kb", |b| {
+        let mut template = Vec::new();
+        template.extend_from_slice(b"set user:12345:profile 0 0 1024\r\n");
+        template.extend_from_slice(&vec![0x61u8; 1024]);
+        template.extend_from_slice(b"\r\n");
+        b.iter(|| {
+            let mut buf = BytesMut::from(&template[..]);
+            black_box(parse_command(&mut buf))
+        });
+    });
+    group.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_encode");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("value_1kb", |b| {
+        let response = Response::Values(vec![Value {
+            key: bytes::Bytes::from_static(b"user:12345:profile"),
+            flags: 0,
+            data: bytes::Bytes::from(vec![0x61u8; 1024]),
+        }]);
+        let mut out = Vec::with_capacity(2048);
+        b.iter(|| {
+            out.clear();
+            encode_response(&response, &mut out);
+            black_box(out.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_encode);
+criterion_main!(benches);

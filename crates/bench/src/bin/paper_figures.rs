@@ -1,0 +1,116 @@
+//! Regenerates every *figure* of the paper's evaluation as CSV series.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin paper_figures -- [--quick] [--figure N]... [--sweep-iters K]
+//! ```
+//!
+//! Figures: 1 (hit-rate curve of application 3), 2 (default vs Dynacache),
+//! 3 (cliff curve of application 11), 4 (concave hull + Talus partition of
+//! application 19), 6 (default vs Dynacache vs Cliffhanger), 7 (miss
+//! reduction and memory savings), 8 (memory over time for application 5),
+//! 9 (hit-rate convergence of application 19). Figure 5 is a structural
+//! diagram in the paper and has no data series; see
+//! `cliffhanger::partitioned_queue` for the corresponding structure.
+
+use simulator::experiments::comparison::{
+    compare_apps, figure2_dynacache, figure6_hit_rates, figure7_savings,
+};
+use simulator::experiments::curves::{hit_rate_curve_figure, talus_partition_figure};
+use simulator::experiments::dynamics::{figure8_memory_over_time, figure9_convergence};
+use simulator::experiments::ExperimentContext;
+
+struct Args {
+    quick: bool,
+    figures: Vec<u32>,
+    sweep_iters: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        figures: Vec::new(),
+        sweep_iters: 3,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--figure" => {
+                if let Some(n) = iter.next().and_then(|v| v.parse().ok()) {
+                    args.figures.push(n);
+                }
+            }
+            "--sweep-iters" => {
+                if let Some(n) = iter.next().and_then(|v| v.parse().ok()) {
+                    args.sweep_iters = n;
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: paper_figures [--quick] [--figure N]... [--sweep-iters K]\n\
+                     figures: 1 2 3 4 6 7 8 9; no --figure prints everything"
+                );
+                std::process::exit(0);
+            }
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let all = args.figures.is_empty();
+    let wants = |n: u32| all || args.figures.contains(&n);
+
+    eprintln!(
+        "generating the {} Memcachier-like trace...",
+        if args.quick { "quick" } else { "standard" }
+    );
+    let ctx = if args.quick {
+        ExperimentContext::quick()
+    } else {
+        ExperimentContext::standard()
+    };
+
+    if wants(1) {
+        println!(
+            "{}\n",
+            hit_rate_curve_figure(&ctx, 3, None, "Figure 1: application 3, dominant slab class")
+        );
+    }
+    if wants(3) {
+        println!(
+            "{}\n",
+            hit_rate_curve_figure(&ctx, 11, None, "Figure 3: application 11, dominant slab class")
+        );
+    }
+    if wants(4) {
+        let (figure, table) = talus_partition_figure(&ctx, 19);
+        println!("{figure}\n");
+        println!("{table}\n");
+    }
+    if wants(2) || wants(6) || wants(7) {
+        eprintln!("running the 20-application comparison (default / Dynacache / Cliffhanger)...");
+        let rows = compare_apps(&ctx);
+        if wants(2) {
+            println!("{}\n", figure2_dynacache(&rows));
+        }
+        if wants(6) {
+            println!("{}\n", figure6_hit_rates(&rows));
+        }
+        if wants(7) {
+            eprintln!("running the per-application memory sweep...");
+            let (figure, _) = figure7_savings(&ctx, &rows, args.sweep_iters);
+            println!("{figure}\n");
+        }
+    }
+    if wants(8) {
+        println!("{}\n", figure8_memory_over_time(&ctx, 50));
+    }
+    if wants(9) {
+        println!("{}\n", figure9_convergence(&ctx, 50));
+    }
+}

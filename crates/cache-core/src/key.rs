@@ -1,0 +1,156 @@
+//! Compact cache keys and identifiers.
+//!
+//! Traces and the simulation path address items by a 64-bit [`Key`]; the TCP
+//! server interns byte-string keys into [`Key`]s with [`hash_bytes`] plus an
+//! exact-match side table (see the `cache-server` crate).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A cache key: an opaque 64-bit identifier.
+///
+/// Keys are cheap to copy and hash; equality is exact (the substrate never
+/// conflates two distinct `Key` values).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct Key(pub u64);
+
+impl Key {
+    /// Creates a key from a raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        Key(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Key {
+    fn from(raw: u64) -> Self {
+        Key(raw)
+    }
+}
+
+/// Identifier of an application (tenant) sharing a cache server.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize, Default,
+)]
+pub struct AppId(pub u32);
+
+impl AppId {
+    /// Creates an application id.
+    pub const fn new(raw: u32) -> Self {
+        AppId(raw)
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+/// Identifier of a slab class within an application's cache.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize, Default,
+)]
+pub struct ClassId(pub u32);
+
+impl ClassId {
+    /// Creates a slab-class id.
+    pub const fn new(raw: u32) -> Self {
+        ClassId(raw)
+    }
+
+    /// Returns the class index as a usize (for indexing per-class vectors).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slab{}", self.0)
+    }
+}
+
+/// Hashes an arbitrary byte string to a 64-bit key value using the FNV-1a
+/// function.
+///
+/// This is used by the TCP server to map textual Memcached keys onto the
+/// compact [`Key`] space. FNV-1a is not collision-free; callers that need
+/// exact semantics (the server does) must keep the original byte key and
+/// verify it on lookup.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Mixes a 64-bit value (SplitMix64 finalizer); used to derive well-spread
+/// key ids from sequential counters in workload generators.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn key_roundtrip() {
+        let k = Key::new(42);
+        assert_eq!(k.raw(), 42);
+        assert_eq!(Key::from(42u64), k);
+        assert_eq!(format!("{k}"), "0x2a");
+    }
+
+    #[test]
+    fn hash_bytes_is_deterministic() {
+        assert_eq!(hash_bytes(b"hello"), hash_bytes(b"hello"));
+        assert_ne!(hash_bytes(b"hello"), hash_bytes(b"world"));
+    }
+
+    #[test]
+    fn hash_bytes_empty_is_offset_basis() {
+        assert_eq!(hash_bytes(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn mix64_spreads_sequential_inputs() {
+        let mut seen = HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(mix64(i));
+        }
+        assert_eq!(seen.len(), 10_000, "mix64 collided on sequential inputs");
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(AppId::new(3).to_string(), "app3");
+        assert_eq!(ClassId::new(9).to_string(), "slab9");
+        assert_eq!(ClassId::new(9).index(), 9);
+    }
+}

@@ -1,0 +1,66 @@
+//! # cache-core
+//!
+//! The cache substrate used by the Cliffhanger reproduction: a Memcached-like,
+//! slab-structured, multi-tenant in-memory key-value cache with pluggable
+//! eviction policies and key-only *shadow queues*.
+//!
+//! The crate is deliberately independent of the allocation algorithms in the
+//! [`cliffhanger`](../cliffhanger/index.html) crate: it exposes the queue
+//! primitives (physical eviction queues with byte budgets, shadow queues with
+//! half-classification, slab-class sizing, per-queue statistics) and two cache
+//! organisations (slab-class caches and a global-LRU / log-structured cache),
+//! while *who gets how much memory* is decided by an external allocator.
+//!
+//! ## Layout
+//!
+//! * [`key`] — compact 64-bit cache keys and byte-string hashing.
+//! * [`list`] — an index-based intrusive doubly-linked list arena, the backing
+//!   store for every recency-ordered queue in the crate.
+//! * [`lru`] — an LRU list with O(1) access/insert/evict, byte weights and an
+//!   exactly-maintained *tail region* (the "last k items" the cliff-scaling
+//!   algorithm needs to observe).
+//! * [`shadow`] — key-only shadow queues with half-classification (older/newer
+//!   half), the paper's central measurement device.
+//! * [`slab`] — Memcached-style slab-class geometry.
+//! * [`policy`] — eviction policies: LRU, LFU, ARC, the Facebook mid-queue
+//!   insertion scheme, LRU-K and 2Q, all behind [`policy::EvictionPolicy`].
+//! * [`queue`] — a physical cache queue: a policy plus values, a byte budget
+//!   and an attached shadow queue.
+//! * [`store`] — a slab-class cache for a single application (first-come-
+//!   first-serve by default, externally resizable per class).
+//! * [`global_lru`] — the log-structured-memory model: one global LRU.
+//! * [`tenant`] — a multi-tenant cache server: per-application reservations or
+//!   a shared memory pool.
+//! * [`stats`] — hit/miss/eviction accounting shared by all of the above.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod global_lru;
+pub mod key;
+pub mod list;
+pub mod lru;
+pub mod policy;
+pub mod queue;
+pub mod shadow;
+pub mod slab;
+pub mod stats;
+pub mod store;
+pub mod tenant;
+
+pub use global_lru::GlobalLruCache;
+pub use key::{hash_bytes, AppId, ClassId, Key};
+pub use lru::{HitLocation, LruList};
+pub use policy::{EvictionPolicy, PolicyKind};
+pub use queue::{CacheQueue, GetResult, QueueConfig, SetResult};
+pub use shadow::{ShadowHalf, ShadowHit, ShadowQueue};
+pub use slab::SlabConfig;
+pub use stats::{CacheStats, HitRatio};
+pub use store::{SlabCache, SlabCacheConfig};
+pub use tenant::{MultiTenantCache, TenantConfig};
+
+/// Fixed per-item metadata overhead charged against the memory budget, in
+/// bytes. Memcached charges roughly 48–56 bytes of header per item; we use a
+/// single constant so byte budgets are comparable across experiments.
+pub const ITEM_OVERHEAD: u64 = 48;

@@ -1,0 +1,426 @@
+//! An index-based intrusive doubly-linked list arena.
+//!
+//! Every recency-ordered queue in this crate (LRU lists, shadow queues, the
+//! segmented queues used by ARC and 2Q) is built on [`LinkedArena`]: a `Vec`
+//! of nodes linked by indices, with a free list for recycling slots. Compared
+//! to `std::collections::LinkedList` this gives O(1) removal of arbitrary
+//! elements by handle without unsafe code or per-node allocations.
+
+/// Handle to a node inside a [`LinkedArena`].
+///
+/// Handles are only meaningful for the arena that issued them and become
+/// invalid after the node is removed (slots are recycled; a stale handle may
+/// alias a newer node, so callers must drop handles on removal — the queue
+/// types in this crate do so via their key maps).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeHandle(u32);
+
+impl NodeHandle {
+    const NONE: u32 = u32::MAX;
+
+    fn some(idx: usize) -> Self {
+        debug_assert!(idx < u32::MAX as usize);
+        NodeHandle(idx as u32)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug)]
+struct Node<T> {
+    value: Option<T>,
+    prev: u32,
+    next: u32,
+}
+
+/// A doubly-linked list stored in a growable arena.
+///
+/// The list maintains front ("most recent") and back ("least recent") ends.
+/// All operations are O(1) except iteration.
+#[derive(Debug)]
+pub struct LinkedArena<T> {
+    nodes: Vec<Node<T>>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl<T> Default for LinkedArena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> LinkedArena<T> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        LinkedArena {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NodeHandle::NONE,
+            tail: NodeHandle::NONE,
+            len: 0,
+        }
+    }
+
+    /// Creates an empty list with room for `capacity` nodes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        LinkedArena {
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NodeHandle::NONE,
+            tail: NodeHandle::NONE,
+            len: 0,
+        }
+    }
+
+    /// Number of elements in the list.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn alloc(&mut self, value: T) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            let node = &mut self.nodes[idx as usize];
+            node.value = Some(value);
+            node.prev = NodeHandle::NONE;
+            node.next = NodeHandle::NONE;
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                value: Some(value),
+                prev: NodeHandle::NONE,
+                next: NodeHandle::NONE,
+            });
+            idx
+        }
+    }
+
+    /// Pushes a value at the front (most-recent end) and returns its handle.
+    pub fn push_front(&mut self, value: T) -> NodeHandle {
+        let idx = self.alloc(value);
+        self.nodes[idx as usize].next = self.head;
+        self.nodes[idx as usize].prev = NodeHandle::NONE;
+        if self.head != NodeHandle::NONE {
+            self.nodes[self.head as usize].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+        self.len += 1;
+        NodeHandle::some(idx as usize)
+    }
+
+    /// Pushes a value at the back (least-recent end) and returns its handle.
+    pub fn push_back(&mut self, value: T) -> NodeHandle {
+        let idx = self.alloc(value);
+        self.nodes[idx as usize].prev = self.tail;
+        self.nodes[idx as usize].next = NodeHandle::NONE;
+        if self.tail != NodeHandle::NONE {
+            self.nodes[self.tail as usize].next = idx;
+        } else {
+            self.head = idx;
+        }
+        self.tail = idx;
+        self.len += 1;
+        NodeHandle::some(idx as usize)
+    }
+
+    /// Inserts a value immediately before the node identified by `before`.
+    pub fn insert_before(&mut self, before: NodeHandle, value: T) -> NodeHandle {
+        let b = before.index() as u32;
+        let prev = self.nodes[b as usize].prev;
+        if prev == NodeHandle::NONE {
+            return self.push_front(value);
+        }
+        let idx = self.alloc(value);
+        self.nodes[idx as usize].prev = prev;
+        self.nodes[idx as usize].next = b;
+        self.nodes[prev as usize].next = idx;
+        self.nodes[b as usize].prev = idx;
+        self.len += 1;
+        NodeHandle::some(idx as usize)
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let node = &self.nodes[idx as usize];
+            (node.prev, node.next)
+        };
+        if prev != NodeHandle::NONE {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NodeHandle::NONE {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Removes the node identified by `handle`, returning its value.
+    ///
+    /// # Panics
+    /// Panics if the handle does not refer to a live node.
+    pub fn remove(&mut self, handle: NodeHandle) -> T {
+        let idx = handle.index() as u32;
+        self.unlink(idx);
+        let value = self.nodes[idx as usize]
+            .value
+            .take()
+            .expect("LinkedArena::remove called with a stale handle");
+        self.free.push(idx);
+        self.len -= 1;
+        value
+    }
+
+    /// Removes the value at the back (least-recent end), if any.
+    pub fn pop_back(&mut self) -> Option<T> {
+        if self.tail == NodeHandle::NONE {
+            return None;
+        }
+        let handle = NodeHandle::some(self.tail as usize);
+        Some(self.remove(handle))
+    }
+
+    /// Removes the value at the front (most-recent end), if any.
+    pub fn pop_front(&mut self) -> Option<T> {
+        if self.head == NodeHandle::NONE {
+            return None;
+        }
+        let handle = NodeHandle::some(self.head as usize);
+        Some(self.remove(handle))
+    }
+
+    /// Moves an existing node to the front (most-recent end).
+    pub fn move_to_front(&mut self, handle: NodeHandle) {
+        let idx = handle.index() as u32;
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.nodes[idx as usize].next = self.head;
+        self.nodes[idx as usize].prev = NodeHandle::NONE;
+        if self.head != NodeHandle::NONE {
+            self.nodes[self.head as usize].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+    }
+
+    /// Moves an existing node to the back (least-recent end).
+    pub fn move_to_back(&mut self, handle: NodeHandle) {
+        let idx = handle.index() as u32;
+        if self.tail == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.nodes[idx as usize].prev = self.tail;
+        self.nodes[idx as usize].next = NodeHandle::NONE;
+        if self.tail != NodeHandle::NONE {
+            self.nodes[self.tail as usize].next = idx;
+        } else {
+            self.head = idx;
+        }
+        self.tail = idx;
+    }
+
+    /// Returns a reference to the value stored at `handle`.
+    pub fn get(&self, handle: NodeHandle) -> Option<&T> {
+        self.nodes.get(handle.index()).and_then(|n| n.value.as_ref())
+    }
+
+    /// Returns a mutable reference to the value stored at `handle`.
+    pub fn get_mut(&mut self, handle: NodeHandle) -> Option<&mut T> {
+        self.nodes
+            .get_mut(handle.index())
+            .and_then(|n| n.value.as_mut())
+    }
+
+    /// Handle of the front (most-recent) node.
+    pub fn front(&self) -> Option<NodeHandle> {
+        (self.head != NodeHandle::NONE).then(|| NodeHandle::some(self.head as usize))
+    }
+
+    /// Handle of the back (least-recent) node.
+    pub fn back(&self) -> Option<NodeHandle> {
+        (self.tail != NodeHandle::NONE).then(|| NodeHandle::some(self.tail as usize))
+    }
+
+    /// Handle of the node preceding `handle` (towards the front).
+    pub fn prev(&self, handle: NodeHandle) -> Option<NodeHandle> {
+        let prev = self.nodes[handle.index()].prev;
+        (prev != NodeHandle::NONE).then(|| NodeHandle::some(prev as usize))
+    }
+
+    /// Handle of the node following `handle` (towards the back).
+    pub fn next(&self, handle: NodeHandle) -> Option<NodeHandle> {
+        let next = self.nodes[handle.index()].next;
+        (next != NodeHandle::NONE).then(|| NodeHandle::some(next as usize))
+    }
+
+    /// Iterates over values from front (most recent) to back (least recent).
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            arena: self,
+            cursor: self.head,
+        }
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NodeHandle::NONE;
+        self.tail = NodeHandle::NONE;
+        self.len = 0;
+    }
+}
+
+/// Iterator over a [`LinkedArena`] from front to back.
+pub struct Iter<'a, T> {
+    arena: &'a LinkedArena<T>,
+    cursor: u32,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor == NodeHandle::NONE {
+            return None;
+        }
+        let node = &self.arena.nodes[self.cursor as usize];
+        self.cursor = node.next;
+        node.value.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(arena: &LinkedArena<u32>) -> Vec<u32> {
+        arena.iter().copied().collect()
+    }
+
+    #[test]
+    fn push_front_orders_most_recent_first() {
+        let mut a = LinkedArena::new();
+        a.push_front(1);
+        a.push_front(2);
+        a.push_front(3);
+        assert_eq!(collect(&a), vec![3, 2, 1]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn push_back_appends() {
+        let mut a = LinkedArena::new();
+        a.push_back(1);
+        a.push_back(2);
+        a.push_front(0);
+        assert_eq!(collect(&a), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pop_back_returns_least_recent() {
+        let mut a = LinkedArena::new();
+        a.push_front(1);
+        a.push_front(2);
+        assert_eq!(a.pop_back(), Some(1));
+        assert_eq!(a.pop_back(), Some(2));
+        assert_eq!(a.pop_back(), None);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn remove_middle_relinks() {
+        let mut a = LinkedArena::new();
+        let _h1 = a.push_front(1);
+        let h2 = a.push_front(2);
+        let _h3 = a.push_front(3);
+        assert_eq!(a.remove(h2), 2);
+        assert_eq!(collect(&a), vec![3, 1]);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn move_to_front_promotes() {
+        let mut a = LinkedArena::new();
+        let h1 = a.push_front(1);
+        a.push_front(2);
+        a.push_front(3);
+        a.move_to_front(h1);
+        assert_eq!(collect(&a), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn move_to_back_demotes() {
+        let mut a = LinkedArena::new();
+        a.push_front(1);
+        a.push_front(2);
+        let h3 = a.push_front(3);
+        a.move_to_back(h3);
+        assert_eq!(collect(&a), vec![2, 1, 3]);
+        assert_eq!(a.pop_back(), Some(3));
+    }
+
+    #[test]
+    fn insert_before_keeps_order() {
+        let mut a = LinkedArena::new();
+        let h1 = a.push_front(1);
+        a.push_front(3);
+        a.insert_before(h1, 2);
+        assert_eq!(collect(&a), vec![3, 2, 1]);
+        // Inserting before the head is equivalent to push_front.
+        let head = a.front().unwrap();
+        a.insert_before(head, 4);
+        assert_eq!(collect(&a), vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut a = LinkedArena::new();
+        let h = a.push_front(1);
+        a.remove(h);
+        a.push_front(2);
+        // The underlying vector should not have grown past one slot.
+        assert_eq!(a.nodes.len(), 1);
+        assert_eq!(collect(&a), vec![2]);
+    }
+
+    #[test]
+    fn prev_next_navigation() {
+        let mut a = LinkedArena::new();
+        let h1 = a.push_front(1);
+        let h2 = a.push_front(2);
+        assert_eq!(a.prev(h1), Some(h2));
+        assert_eq!(a.next(h2), Some(h1));
+        assert_eq!(a.prev(h2), None);
+        assert_eq!(a.next(h1), None);
+        assert_eq!(a.front(), Some(h2));
+        assert_eq!(a.back(), Some(h1));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut a = LinkedArena::new();
+        a.push_front(1);
+        a.push_front(2);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.pop_back(), None);
+    }
+}

@@ -1,0 +1,175 @@
+//! Least-frequently-used eviction with LRU tie-breaking.
+
+use crate::key::Key;
+use crate::lru::HitLocation;
+use crate::policy::{EvictionPolicy, PolicyKind};
+use std::collections::{BTreeSet, HashMap};
+
+#[derive(Debug, Clone, Copy)]
+struct Meta {
+    freq: u64,
+    seq: u64,
+    weight: u64,
+}
+
+/// LFU eviction: the victim is the resident key with the lowest access
+/// frequency; ties are broken towards the least recently touched key.
+///
+/// Frequency counts are per-residency (they reset when a key is evicted and
+/// later re-inserted), matching the in-queue frequency the ARC/LFU discussion
+/// in the paper refers to.
+#[derive(Debug, Default)]
+pub struct LfuPolicy {
+    meta: HashMap<Key, Meta>,
+    // Ordered by (frequency, sequence of last touch, key): the first element
+    // is always the eviction victim.
+    order: BTreeSet<(u64, u64, Key)>,
+    clock: u64,
+    total_weight: u64,
+}
+
+impl LfuPolicy {
+    /// Creates an empty LFU policy.
+    pub fn new() -> Self {
+        LfuPolicy::default()
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn retouch(&mut self, key: Key, bump: bool) -> bool {
+        let Some(meta) = self.meta.get(&key).copied() else {
+            return false;
+        };
+        self.order.remove(&(meta.freq, meta.seq, key));
+        let seq = self.tick();
+        let freq = if bump { meta.freq + 1 } else { meta.freq };
+        let updated = Meta { freq, seq, ..meta };
+        self.meta.insert(key, updated);
+        self.order.insert((freq, seq, key));
+        true
+    }
+
+    /// Frequency count of a resident key (for tests and diagnostics).
+    pub fn frequency(&self, key: Key) -> Option<u64> {
+        self.meta.get(&key).map(|m| m.freq)
+    }
+}
+
+impl EvictionPolicy for LfuPolicy {
+    fn access(&mut self, key: Key) -> Option<HitLocation> {
+        if self.retouch(key, true) {
+            Some(HitLocation::Main)
+        } else {
+            None
+        }
+    }
+
+    fn insert(&mut self, key: Key, weight: u64) {
+        if let Some(old) = self.meta.remove(&key) {
+            self.order.remove(&(old.freq, old.seq, key));
+            self.total_weight -= old.weight;
+        }
+        let seq = self.tick();
+        let meta = Meta {
+            freq: 1,
+            seq,
+            weight,
+        };
+        self.meta.insert(key, meta);
+        self.order.insert((1, seq, key));
+        self.total_weight += weight;
+    }
+
+    fn evict(&mut self) -> Option<(Key, u64)> {
+        let &(freq, seq, key) = self.order.iter().next()?;
+        self.order.remove(&(freq, seq, key));
+        let meta = self.meta.remove(&key).expect("order and meta in sync");
+        self.total_weight -= meta.weight;
+        Some((key, meta.weight))
+    }
+
+    fn remove(&mut self, key: Key) -> Option<u64> {
+        let meta = self.meta.remove(&key)?;
+        self.order.remove(&(meta.freq, meta.seq, key));
+        self.total_weight -= meta.weight;
+        Some(meta.weight)
+    }
+
+    fn contains(&self, key: Key) -> bool {
+        self.meta.contains_key(&key)
+    }
+
+    fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+
+    fn set_tail_region(&mut self, _items: usize) {}
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Lfu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::conformance::{basic_contract, key, no_duplicate_evictions};
+
+    #[test]
+    fn conforms_to_policy_contract() {
+        basic_contract(Box::new(LfuPolicy::new()));
+        no_duplicate_evictions(Box::new(LfuPolicy::new()));
+    }
+
+    #[test]
+    fn evicts_lowest_frequency_first() {
+        let mut p = LfuPolicy::new();
+        for i in 0..3 {
+            p.insert(key(i), 1);
+        }
+        p.access(key(0));
+        p.access(key(0));
+        p.access(key(1));
+        // Frequencies: 0 -> 3, 1 -> 2, 2 -> 1.
+        assert_eq!(p.evict().unwrap().0, key(2));
+        assert_eq!(p.evict().unwrap().0, key(1));
+        assert_eq!(p.evict().unwrap().0, key(0));
+    }
+
+    #[test]
+    fn ties_broken_by_recency() {
+        let mut p = LfuPolicy::new();
+        p.insert(key(1), 1);
+        p.insert(key(2), 1);
+        // Both have frequency 1; key 1 was touched less recently.
+        assert_eq!(p.evict().unwrap().0, key(1));
+    }
+
+    #[test]
+    fn frequency_resets_on_reinsert_after_eviction() {
+        let mut p = LfuPolicy::new();
+        p.insert(key(1), 1);
+        p.access(key(1));
+        p.access(key(1));
+        assert_eq!(p.frequency(key(1)), Some(3));
+        p.evict();
+        p.insert(key(1), 1);
+        assert_eq!(p.frequency(key(1)), Some(1));
+    }
+
+    #[test]
+    fn does_not_support_tail_region() {
+        let mut p = LfuPolicy::new();
+        assert!(!p.supports_tail_region());
+        p.set_tail_region(128); // must be a harmless no-op
+        p.insert(key(1), 1);
+        assert_eq!(p.access(key(1)), Some(HitLocation::Main));
+    }
+}

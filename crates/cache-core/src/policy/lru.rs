@@ -1,0 +1,118 @@
+//! Plain LRU eviction (Memcached's default policy).
+
+use crate::key::Key;
+use crate::lru::{HitLocation, InsertPosition, LruList};
+use crate::policy::{EvictionPolicy, PolicyKind};
+
+/// Least-recently-used eviction over a [`LruList`].
+#[derive(Debug, Default)]
+pub struct LruPolicy {
+    list: LruList,
+}
+
+impl LruPolicy {
+    /// Creates an empty LRU policy.
+    pub fn new() -> Self {
+        LruPolicy {
+            list: LruList::new(),
+        }
+    }
+
+    /// Creates an LRU policy whose last `tail_items` items report
+    /// [`HitLocation::TailRegion`].
+    pub fn with_tail_region(tail_items: usize) -> Self {
+        LruPolicy {
+            list: LruList::with_tail_region(tail_items),
+        }
+    }
+
+    /// Iterates over resident keys from most- to least-recently used.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, u64)> + '_ {
+        self.list.iter()
+    }
+}
+
+impl EvictionPolicy for LruPolicy {
+    fn access(&mut self, key: Key) -> Option<HitLocation> {
+        self.list.access(key)
+    }
+
+    fn insert(&mut self, key: Key, weight: u64) {
+        self.list.insert(key, weight, InsertPosition::Top);
+    }
+
+    fn evict(&mut self) -> Option<(Key, u64)> {
+        self.list.pop_lru()
+    }
+
+    fn remove(&mut self, key: Key) -> Option<u64> {
+        self.list.remove(key)
+    }
+
+    fn contains(&self, key: Key) -> bool {
+        self.list.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.list.total_weight()
+    }
+
+    fn set_tail_region(&mut self, items: usize) {
+        self.list.set_tail_region(items);
+    }
+
+    fn supports_tail_region(&self) -> bool {
+        true
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Lru
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::conformance::{basic_contract, key, no_duplicate_evictions};
+
+    #[test]
+    fn conforms_to_policy_contract() {
+        basic_contract(Box::new(LruPolicy::new()));
+        no_duplicate_evictions(Box::new(LruPolicy::new()));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut p = LruPolicy::new();
+        for i in 0..4 {
+            p.insert(key(i), 1);
+        }
+        p.access(key(0));
+        p.access(key(1));
+        assert_eq!(p.evict().unwrap().0, key(2));
+        assert_eq!(p.evict().unwrap().0, key(3));
+        assert_eq!(p.evict().unwrap().0, key(0));
+        assert_eq!(p.evict().unwrap().0, key(1));
+    }
+
+    #[test]
+    fn tail_region_is_supported() {
+        let mut p = LruPolicy::with_tail_region(2);
+        assert!(p.supports_tail_region());
+        for i in 0..5 {
+            p.insert(key(i), 1);
+        }
+        assert_eq!(p.access(key(0)), Some(HitLocation::TailRegion));
+        assert_eq!(p.access(key(4)), Some(HitLocation::Main));
+    }
+
+    #[test]
+    fn kind_tag() {
+        assert_eq!(LruPolicy::new().kind(), PolicyKind::Lru);
+        assert!(PolicyKind::Lru.supports_tail_region());
+    }
+}

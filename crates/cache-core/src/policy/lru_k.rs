@@ -1,0 +1,192 @@
+//! LRU-K eviction (O'Neil, O'Neil & Weikum, SIGMOD 1993).
+//!
+//! LRU-K evicts the resident key whose K-th most recent reference lies
+//! furthest in the past ("maximum backward K-distance"). Keys with fewer than
+//! K references have infinite backward K-distance and are evicted first,
+//! ordered among themselves by their most recent reference (the classic
+//! tie-break). K = 1 degenerates to plain LRU.
+
+use crate::key::Key;
+use crate::lru::HitLocation;
+use crate::policy::{EvictionPolicy, PolicyKind};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+#[derive(Debug)]
+struct Meta {
+    weight: u64,
+    /// Most recent K reference times, newest last.
+    history: VecDeque<u64>,
+}
+
+/// LRU-K policy; see the module documentation.
+#[derive(Debug)]
+pub struct LruKPolicy {
+    k: u32,
+    meta: HashMap<Key, Meta>,
+    /// Eviction order: (kth-most-recent reference time or 0, most recent
+    /// reference time, key). The smallest element is the victim.
+    order: BTreeSet<(u64, u64, Key)>,
+    clock: u64,
+    total_weight: u64,
+}
+
+impl LruKPolicy {
+    /// Creates an LRU-K policy with the given K (must be at least 1).
+    pub fn new(k: u32) -> Self {
+        assert!(k >= 1, "K must be at least 1");
+        LruKPolicy {
+            k,
+            meta: HashMap::new(),
+            order: BTreeSet::new(),
+            clock: 0,
+            total_weight: 0,
+        }
+    }
+
+    /// The configured K.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn order_key(k: u32, meta: &Meta, key: Key) -> (u64, u64, Key) {
+        let kth = if meta.history.len() >= k as usize {
+            *meta.history.front().expect("history non-empty")
+        } else {
+            0
+        };
+        let last = *meta.history.back().expect("history non-empty");
+        (kth, last, key)
+    }
+
+    fn touch(&mut self, key: Key) -> bool {
+        let now = self.tick();
+        let Some(meta) = self.meta.get_mut(&key) else {
+            return false;
+        };
+        let old = Self::order_key(self.k, meta, key);
+        self.order.remove(&old);
+        meta.history.push_back(now);
+        while meta.history.len() > self.k as usize {
+            meta.history.pop_front();
+        }
+        let new = Self::order_key(self.k, meta, key);
+        self.order.insert(new);
+        true
+    }
+}
+
+impl EvictionPolicy for LruKPolicy {
+    fn access(&mut self, key: Key) -> Option<HitLocation> {
+        self.touch(key).then_some(HitLocation::Main)
+    }
+
+    fn insert(&mut self, key: Key, weight: u64) {
+        if let Some(old) = self.meta.remove(&key) {
+            self.order.remove(&Self::order_key(self.k, &old, key));
+            self.total_weight -= old.weight;
+        }
+        let now = self.tick();
+        let mut history = VecDeque::with_capacity(self.k as usize);
+        history.push_back(now);
+        let meta = Meta { weight, history };
+        self.order.insert(Self::order_key(self.k, &meta, key));
+        self.meta.insert(key, meta);
+        self.total_weight += weight;
+    }
+
+    fn evict(&mut self) -> Option<(Key, u64)> {
+        let &(kth, last, key) = self.order.iter().next()?;
+        self.order.remove(&(kth, last, key));
+        let meta = self.meta.remove(&key).expect("order and meta in sync");
+        self.total_weight -= meta.weight;
+        Some((key, meta.weight))
+    }
+
+    fn remove(&mut self, key: Key) -> Option<u64> {
+        let meta = self.meta.remove(&key)?;
+        self.order.remove(&Self::order_key(self.k, &meta, key));
+        self.total_weight -= meta.weight;
+        Some(meta.weight)
+    }
+
+    fn contains(&self, key: Key) -> bool {
+        self.meta.contains_key(&key)
+    }
+
+    fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+
+    fn set_tail_region(&mut self, _items: usize) {}
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::LruK(self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::conformance::{basic_contract, key, no_duplicate_evictions};
+
+    #[test]
+    fn conforms_to_policy_contract() {
+        basic_contract(Box::new(LruKPolicy::new(2)));
+        no_duplicate_evictions(Box::new(LruKPolicy::new(2)));
+        basic_contract(Box::new(LruKPolicy::new(1)));
+    }
+
+    #[test]
+    fn items_with_fewer_than_k_references_are_evicted_first() {
+        let mut p = LruKPolicy::new(2);
+        p.insert(key(1), 1);
+        p.access(key(1)); // two references: protected
+        p.insert(key(2), 1); // single reference
+        p.insert(key(3), 1); // single reference
+        assert_eq!(p.evict().unwrap().0, key(2));
+        assert_eq!(p.evict().unwrap().0, key(3));
+        assert_eq!(p.evict().unwrap().0, key(1));
+    }
+
+    #[test]
+    fn k1_degenerates_to_lru() {
+        let mut p = LruKPolicy::new(1);
+        for i in 0..4 {
+            p.insert(key(i), 1);
+        }
+        p.access(key(0));
+        assert_eq!(p.evict().unwrap().0, key(1));
+        assert_eq!(p.evict().unwrap().0, key(2));
+        assert_eq!(p.evict().unwrap().0, key(3));
+        assert_eq!(p.evict().unwrap().0, key(0));
+    }
+
+    #[test]
+    fn victim_has_oldest_kth_reference() {
+        let mut p = LruKPolicy::new(2);
+        p.insert(key(1), 1);
+        p.access(key(1)); // 1's 2nd reference at t=2
+        p.insert(key(2), 1);
+        p.access(key(2)); // 2's 2nd reference at t=4
+        p.access(key(1)); // 1's 2nd-most-recent is now t=2 -> kth = 2
+                          // 2's kth = 3 (insert time).
+        // Backward 2-distance: key 1's 2nd most recent ref is t=2, key 2's is
+        // t=3, so key 1 is the victim.
+        assert_eq!(p.evict().unwrap().0, key(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "K must be at least 1")]
+    fn zero_k_rejected() {
+        let _ = LruKPolicy::new(0);
+    }
+}

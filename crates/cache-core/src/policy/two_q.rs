@@ -1,0 +1,213 @@
+//! Simplified 2Q eviction (Johnson & Shasha, VLDB 1994).
+//!
+//! 2Q admits new keys into a small FIFO (`A1in`). Keys evicted from `A1in`
+//! leave a ghost entry in `A1out`; if a ghosted key is requested again it is
+//! admitted directly into the main LRU (`Am`). This filters one-hit wonders
+//! out of the main queue with a single extra ghost lookup per miss.
+//!
+//! As with [ARC](super::arc), the capacity `c` (in items) is estimated as the
+//! largest resident population observed, because byte budgets and eviction
+//! are enforced by the owning queue, not by the policy.
+
+use crate::key::Key;
+use crate::lru::{HitLocation, InsertPosition, LruList};
+use crate::policy::{EvictionPolicy, PolicyKind};
+use crate::shadow::ShadowQueue;
+use std::collections::HashSet;
+
+/// Fraction of the capacity reserved for the `A1in` FIFO.
+const KIN_FRACTION: f64 = 0.25;
+/// Fraction of the capacity used for the `A1out` ghost list.
+const KOUT_FRACTION: f64 = 0.5;
+
+/// Simplified 2Q policy; see the module documentation.
+#[derive(Debug)]
+pub struct TwoQPolicy {
+    a1in: LruList,
+    am: LruList,
+    a1out: ShadowQueue,
+    /// Keys whose next insertion goes straight to `Am` (ghost hits).
+    pending_main: HashSet<Key>,
+    /// Estimated capacity in items.
+    c: usize,
+}
+
+impl Default for TwoQPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TwoQPolicy {
+    /// Creates an empty 2Q policy.
+    pub fn new() -> Self {
+        TwoQPolicy {
+            a1in: LruList::new(),
+            am: LruList::new(),
+            a1out: ShadowQueue::new(0),
+            pending_main: HashSet::new(),
+            c: 0,
+        }
+    }
+
+    fn kin(&self) -> usize {
+        ((self.c as f64 * KIN_FRACTION).ceil() as usize).max(1)
+    }
+
+    fn update_capacity_estimate(&mut self) {
+        let resident = self.a1in.len() + self.am.len();
+        if resident > self.c {
+            self.c = resident;
+            let kout = ((self.c as f64 * KOUT_FRACTION).ceil() as usize).max(1);
+            self.a1out.set_capacity(kout);
+        }
+    }
+
+    /// Sizes of (A1in, Am, A1out) — diagnostics and tests.
+    pub fn list_sizes(&self) -> (usize, usize, usize) {
+        (self.a1in.len(), self.am.len(), self.a1out.len())
+    }
+}
+
+impl EvictionPolicy for TwoQPolicy {
+    fn access(&mut self, key: Key) -> Option<HitLocation> {
+        if self.am.access(key).is_some() {
+            Some(HitLocation::Main)
+        } else if self.a1in.contains(key) {
+            // 2Q leaves A1in entries where they are on a hit; promotion only
+            // happens via the A1out ghost path.
+            Some(HitLocation::Main)
+        } else {
+            None
+        }
+    }
+
+    fn on_miss(&mut self, key: Key) {
+        if self.a1out.remove(key) {
+            self.pending_main.insert(key);
+        }
+    }
+
+    fn insert(&mut self, key: Key, weight: u64) {
+        self.a1in.remove(key);
+        self.am.remove(key);
+        if self.pending_main.remove(&key) {
+            self.am.insert(key, weight, InsertPosition::Top);
+        } else {
+            self.a1in.insert(key, weight, InsertPosition::Top);
+        }
+        self.update_capacity_estimate();
+    }
+
+    fn evict(&mut self) -> Option<(Key, u64)> {
+        if self.a1in.len() > self.kin() || self.am.is_empty() {
+            if let Some((key, weight)) = self.a1in.pop_lru() {
+                self.a1out.insert(key);
+                return Some((key, weight));
+            }
+        }
+        self.am.pop_lru().or_else(|| {
+            let (key, weight) = self.a1in.pop_lru()?;
+            self.a1out.insert(key);
+            Some((key, weight))
+        })
+    }
+
+    fn remove(&mut self, key: Key) -> Option<u64> {
+        self.pending_main.remove(&key);
+        self.a1in.remove(key).or_else(|| self.am.remove(key))
+    }
+
+    fn contains(&self, key: Key) -> bool {
+        self.a1in.contains(key) || self.am.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.a1in.len() + self.am.len()
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.a1in.total_weight() + self.am.total_weight()
+    }
+
+    fn set_tail_region(&mut self, _items: usize) {}
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::TwoQ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::conformance::{basic_contract, key, no_duplicate_evictions};
+
+    #[test]
+    fn conforms_to_policy_contract() {
+        basic_contract(Box::new(TwoQPolicy::new()));
+        no_duplicate_evictions(Box::new(TwoQPolicy::new()));
+    }
+
+    #[test]
+    fn new_keys_enter_a1in() {
+        let mut p = TwoQPolicy::new();
+        p.insert(key(1), 1);
+        p.insert(key(2), 1);
+        let (a1in, am, _) = p.list_sizes();
+        assert_eq!(a1in, 2);
+        assert_eq!(am, 0);
+    }
+
+    #[test]
+    fn ghosted_keys_are_promoted_to_main_on_return() {
+        let mut p = TwoQPolicy::new();
+        for i in 0..8 {
+            p.insert(key(i), 1);
+        }
+        // Evict a key out of A1in; it leaves a ghost.
+        let (victim, _) = p.evict().unwrap();
+        assert!(!p.contains(victim));
+        p.on_miss(victim);
+        p.insert(victim, 1);
+        let (_, am, _) = p.list_sizes();
+        assert_eq!(am, 1, "ghost-hit key must be admitted to Am");
+    }
+
+    #[test]
+    fn scan_resistance() {
+        let mut p = TwoQPolicy::new();
+        // Working set promoted to Am via the ghost path.
+        for i in 0..16 {
+            p.insert(key(i), 1);
+        }
+        let mut ghosts = Vec::new();
+        while let Some((k, _)) = p.evict() {
+            ghosts.push(k);
+        }
+        for &k in &ghosts {
+            p.on_miss(k);
+            p.insert(k, 1);
+        }
+        let (_, am_before, _) = p.list_sizes();
+        assert!(am_before >= 8, "working set should be in Am");
+        // Scan one-time keys through the cache at a fixed capacity.
+        for i in 0..5_000u64 {
+            let k = key(10_000 + i);
+            p.on_miss(k);
+            p.insert(k, 1);
+            while p.len() > 32 {
+                p.evict();
+            }
+        }
+        let survivors = (0..16).filter(|&i| p.contains(key(i))).count();
+        assert!(
+            survivors >= 8,
+            "2Q should protect the Am working set from scans, {survivors}/16 survived"
+        );
+    }
+
+    #[test]
+    fn does_not_support_tail_region() {
+        assert!(!TwoQPolicy::new().supports_tail_region());
+    }
+}

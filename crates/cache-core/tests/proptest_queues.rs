@@ -1,0 +1,179 @@
+//! Property-based tests of the queue substrate: the LRU list is checked
+//! against a naive reference model, and the shadow queue / slab cache
+//! invariants are checked under arbitrary operation sequences.
+
+use cache_core::lru::InsertPosition;
+use cache_core::store::AllocationMode;
+use cache_core::{
+    CacheQueue, Key, LruList, PolicyKind, QueueConfig, ShadowQueue, SlabCache, SlabCacheConfig,
+    SlabConfig, ITEM_OVERHEAD,
+};
+use proptest::prelude::*;
+
+/// The operations the LRU model exercise can perform.
+#[derive(Clone, Debug)]
+enum LruOp {
+    Insert(u8, u8),
+    Access(u8),
+    Remove(u8),
+    PopLru,
+}
+
+fn lru_op() -> impl Strategy<Value = LruOp> {
+    prop_oneof![
+        (any::<u8>(), 1..=64u8).prop_map(|(k, w)| LruOp::Insert(k, w)),
+        any::<u8>().prop_map(LruOp::Access),
+        any::<u8>().prop_map(LruOp::Remove),
+        Just(LruOp::PopLru),
+    ]
+}
+
+/// A naive reference LRU: a vector ordered from most- to least-recently used.
+#[derive(Default)]
+struct ModelLru {
+    entries: Vec<(u8, u64)>,
+}
+
+impl ModelLru {
+    fn insert(&mut self, key: u8, weight: u64) {
+        self.entries.retain(|&(k, _)| k != key);
+        self.entries.insert(0, (key, weight));
+    }
+    fn access(&mut self, key: u8) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&(k, _)| k == key) {
+            let entry = self.entries.remove(pos);
+            self.entries.insert(0, entry);
+            true
+        } else {
+            false
+        }
+    }
+    fn remove(&mut self, key: u8) -> Option<u64> {
+        let pos = self.entries.iter().position(|&(k, _)| k == key)?;
+        Some(self.entries.remove(pos).1)
+    }
+    fn pop_lru(&mut self) -> Option<(u8, u64)> {
+        self.entries.pop()
+    }
+    fn total_weight(&self) -> u64 {
+        self.entries.iter().map(|&(_, w)| w).sum()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The LRU list (with its segmented tail-region implementation) must be
+    /// indistinguishable from the naive model for any operation sequence.
+    #[test]
+    fn lru_list_matches_reference_model(
+        ops in prop::collection::vec(lru_op(), 1..300),
+        tail_region in 0usize..16,
+    ) {
+        let mut real = LruList::with_tail_region(tail_region);
+        let mut model = ModelLru::default();
+        for op in ops {
+            match op {
+                LruOp::Insert(k, w) => {
+                    real.insert(Key::new(k as u64), w as u64, InsertPosition::Top);
+                    model.insert(k, w as u64);
+                }
+                LruOp::Access(k) => {
+                    let real_hit = real.access(Key::new(k as u64)).is_some();
+                    let model_hit = model.access(k);
+                    prop_assert_eq!(real_hit, model_hit);
+                }
+                LruOp::Remove(k) => {
+                    let real_removed = real.remove(Key::new(k as u64));
+                    let model_removed = model.remove(k);
+                    prop_assert_eq!(real_removed, model_removed);
+                }
+                LruOp::PopLru => {
+                    let real_popped = real.pop_lru();
+                    let model_popped = model.pop_lru();
+                    prop_assert_eq!(
+                        real_popped.map(|(k, w)| (k.raw() as u8, w)),
+                        model_popped
+                    );
+                }
+            }
+            prop_assert_eq!(real.len(), model.entries.len());
+            prop_assert_eq!(real.total_weight(), model.total_weight());
+        }
+    }
+
+    /// A shadow queue never exceeds its capacity, never reports keys it does
+    /// not hold, and always reports keys it just admitted (while within
+    /// capacity).
+    #[test]
+    fn shadow_queue_capacity_and_membership(
+        capacity in 1usize..64,
+        keys in prop::collection::vec(any::<u8>(), 1..200),
+    ) {
+        let mut shadow = ShadowQueue::new(capacity);
+        let mut recent: Vec<u8> = Vec::new();
+        for k in keys {
+            shadow.insert(Key::new(k as u64));
+            recent.retain(|&r| r != k);
+            recent.push(k);
+            if recent.len() > capacity {
+                recent.remove(0);
+            }
+            prop_assert!(shadow.len() <= capacity);
+            // Every key in the recent window must be present.
+            for &r in &recent {
+                prop_assert!(shadow.contains(Key::new(r as u64)));
+            }
+            prop_assert_eq!(shadow.len(), recent.len());
+        }
+    }
+
+    /// A cache queue never uses more bytes than its target, no matter what
+    /// sizes are inserted, and probing evicted keys hits the shadow queue.
+    #[test]
+    fn cache_queue_respects_byte_budget(
+        target_kb in 1u64..64,
+        sizes in prop::collection::vec(1u64..4096, 1..200),
+    ) {
+        let target = target_kb * 1024;
+        let mut queue: CacheQueue<()> = CacheQueue::new(QueueConfig {
+            policy: PolicyKind::Lru,
+            target_bytes: target,
+            tail_region_items: 4,
+            shadow_capacity: 32,
+        });
+        for (i, &size) in sizes.iter().enumerate() {
+            queue.set(Key::new(i as u64), size, ());
+            prop_assert!(queue.used_bytes() <= target);
+            // Every resident item's charge is accounted.
+            prop_assert_eq!(queue.contains(Key::new(i as u64)),
+                size + ITEM_OVERHEAD <= target);
+        }
+    }
+
+    /// The slab cache under first-come-first-serve never exceeds the
+    /// application's reservation, for arbitrary size mixes.
+    #[test]
+    fn slab_cache_respects_reservation(
+        reservation_kb in 8u64..128,
+        requests in prop::collection::vec((any::<u16>(), 1u64..16_384), 1..300),
+    ) {
+        let total = reservation_kb * 1024;
+        let mut cache: SlabCache<()> = SlabCache::new(SlabCacheConfig {
+            slab: SlabConfig::default(),
+            total_bytes: total,
+            policy: PolicyKind::Lru,
+            mode: AllocationMode::FirstComeFirstServe { page_size: 4 << 10 },
+            shadow_bytes: 0,
+            tail_region_items: 0,
+        });
+        for (key, size) in requests {
+            let key = Key::new(key as u64);
+            if cache.get(key, size).map(|r| !r.result.hit).unwrap_or(false) {
+                cache.set(key, size, ());
+            }
+            prop_assert!(cache.used_bytes() <= total,
+                "used {} > reservation {}", cache.used_bytes(), total);
+        }
+    }
+}

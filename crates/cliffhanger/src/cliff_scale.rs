@@ -1,0 +1,312 @@
+//! Algorithms 2 and 3: incremental cliff scaling.
+//!
+//! Each managed queue is split into a *left* and a *right* physical
+//! sub-queue. Two pointers — `left_pointer` and `right_pointer`, both
+//! initialised to the queue's size — search for the item counts where the
+//! convex region (the cliff) begins and ends. The search signal is where
+//! hits land relative to each sub-queue:
+//!
+//! * a hit in the 128-item shadow queue appended to a sub-queue ("right
+//!   half" in the paper's terms) means there is hit mass just beyond it;
+//! * a hit in the last 128 items of the sub-queue's physical queue ("left
+//!   half") means the hit mass is just inside it.
+//!
+//! In a convex region the rate of hits to the right of a pointer exceeds the
+//! rate to its left, so the right pointer walks up the cliff and the left
+//! pointer walks down to its foot; on a concave curve both stay put and the
+//! queue behaves exactly like an even 50/50 split — i.e. like the original,
+//! unpartitioned queue (paper §4.2).
+//!
+//! Once the pointers bracket the cliff, Algorithm 3 computes the request
+//! ratio and the physical sizes exactly as Talus does: with queue size `N`
+//! and pointers `L ≤ N ≤ R`, a fraction `ratio = (R − N)/(R − L)` of requests
+//! goes to the left sub-queue of `L · ratio` items and the rest to the right
+//! sub-queue of `R · (1 − ratio)` items; the two physical sizes always sum to
+//! `N`.
+
+use serde::{Deserialize, Serialize};
+
+/// A cliff-scaling event observed by the managed queue, expressed from the
+/// point of view of Algorithm 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PointerEvent {
+    /// Hit in the appended shadow queue of the **right** sub-queue
+    /// (`rightShadowQueue.rightHalf`): move the right pointer right.
+    RightQueueShadowHit,
+    /// Hit in the tail region of the **right** sub-queue's physical queue
+    /// (`rightShadowQueue.leftHalf`): move the right pointer left, but never
+    /// below the queue size.
+    RightQueueTailHit,
+    /// Hit in the appended shadow queue of the **left** sub-queue
+    /// (`leftShadowQueue.rightHalf`): move the left pointer left.
+    LeftQueueShadowHit,
+    /// Hit in the tail region of the **left** sub-queue's physical queue
+    /// (`leftShadowQueue.leftHalf`): move the left pointer right, but never
+    /// above the queue size.
+    LeftQueueTailHit,
+}
+
+/// The state of Algorithms 2 and 3 for one managed queue, in items.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CliffScaler {
+    /// The queue's current operating point (total items across both
+    /// sub-queues).
+    queue_size: f64,
+    /// Pointer searching for the top of the cliff (≥ `queue_size`).
+    right_pointer: f64,
+    /// Pointer searching for the foot of the cliff (≤ `queue_size`).
+    left_pointer: f64,
+    /// Items moved per event.
+    credit_items: f64,
+    /// Smallest value the left pointer may take (keeps the left sub-queue
+    /// functional).
+    min_left_pointer: f64,
+    /// Fraction of requests routed to the left sub-queue.
+    ratio: f64,
+    /// Number of pointer updates applied (diagnostics).
+    updates: u64,
+}
+
+impl CliffScaler {
+    /// Creates a scaler for a queue currently sized at `queue_size_items`,
+    /// moving pointers by `credit_items` per event.
+    pub fn new(queue_size_items: u64, credit_items: u64) -> Self {
+        let size = queue_size_items as f64;
+        CliffScaler {
+            queue_size: size,
+            right_pointer: size,
+            left_pointer: size,
+            credit_items: (credit_items.max(1)) as f64,
+            min_left_pointer: (credit_items.max(1)) as f64,
+            ratio: 0.5,
+            updates: 0,
+        }
+    }
+
+    /// The current request ratio for the left sub-queue.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// The current pointers `(left, right)` in items.
+    pub fn pointers(&self) -> (u64, u64) {
+        (
+            self.left_pointer.round() as u64,
+            self.right_pointer.round() as u64,
+        )
+    }
+
+    /// The queue size the scaler believes it is operating at, in items.
+    pub fn queue_size(&self) -> u64 {
+        self.queue_size.round() as u64
+    }
+
+    /// Physical sizes `(left_items, right_items)` from Algorithm 3; they sum
+    /// to the queue size (up to rounding).
+    pub fn physical_sizes(&self) -> (u64, u64) {
+        // right = right_pointer * (1 - ratio); with ratio = (R - N)/(R - L)
+        // the two sizes always sum to N, so the right size is derived as the
+        // remainder to keep the sum exact under rounding.
+        let left = self.left_pointer * self.ratio;
+        let left = left.round().max(0.0) as u64;
+        let total = self.queue_size.round() as u64;
+        let left = left.min(total);
+        (left, total - left)
+    }
+
+    /// Number of pointer updates applied so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Whether the pointers have detected (and are straddling) a cliff.
+    pub fn is_scaling_a_cliff(&self) -> bool {
+        self.right_pointer - self.queue_size >= self.credit_items
+            && self.queue_size - self.left_pointer >= self.credit_items
+    }
+
+    /// Informs the scaler that the hill-climbing layer changed the queue's
+    /// total size. Pointers are clamped so the invariants
+    /// `left ≤ size ≤ right` continue to hold.
+    pub fn set_queue_size(&mut self, items: u64) {
+        self.queue_size = items as f64;
+        if self.right_pointer < self.queue_size {
+            self.right_pointer = self.queue_size;
+        }
+        if self.left_pointer > self.queue_size {
+            self.left_pointer = self.queue_size;
+        }
+        self.recompute_ratio();
+    }
+
+    /// Applies one event (Algorithm 2) and recomputes the ratio
+    /// (Algorithm 3).
+    pub fn on_event(&mut self, event: PointerEvent) {
+        match event {
+            PointerEvent::RightQueueShadowHit => {
+                self.right_pointer += self.credit_items;
+            }
+            PointerEvent::RightQueueTailHit => {
+                if self.right_pointer - self.credit_items >= self.queue_size {
+                    self.right_pointer -= self.credit_items;
+                }
+            }
+            PointerEvent::LeftQueueShadowHit => {
+                // The floor keeps the left sub-queue functional, but must
+                // never push the pointer above the (possibly very small)
+                // queue size.
+                let floor = self.min_left_pointer.min(self.queue_size);
+                self.left_pointer = (self.left_pointer - self.credit_items).max(floor);
+            }
+            PointerEvent::LeftQueueTailHit => {
+                if self.left_pointer + self.credit_items <= self.queue_size {
+                    self.left_pointer += self.credit_items;
+                }
+            }
+        }
+        self.updates += 1;
+        self.recompute_ratio();
+    }
+
+    /// Algorithm 3: `ratio = distanceRight / (distanceRight + distanceLeft)`,
+    /// falling back to an even split when either distance is zero.
+    fn recompute_ratio(&mut self) {
+        let distance_right = self.right_pointer - self.queue_size;
+        let distance_left = self.queue_size - self.left_pointer;
+        self.ratio = if distance_right > 0.0 && distance_left > 0.0 {
+            distance_right / (distance_right + distance_left)
+        } else {
+            0.5
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_as_an_even_split() {
+        let s = CliffScaler::new(8_000, 16);
+        assert_eq!(s.ratio(), 0.5);
+        assert_eq!(s.pointers(), (8_000, 8_000));
+        let (l, r) = s.physical_sizes();
+        assert_eq!(l + r, 8_000);
+        assert_eq!(l, 4_000);
+        assert!(!s.is_scaling_a_cliff());
+    }
+
+    #[test]
+    fn reproduces_the_papers_partition_when_pointers_reach_the_anchors() {
+        // Drive the pointers to the paper's Figure 4 anchors (2000 and
+        // 13500) and check the resulting split: 48%/52% of requests,
+        // 957 / 7043 items.
+        let mut s = CliffScaler::new(8_000, 50);
+        while s.pointers().1 < 13_500 {
+            s.on_event(PointerEvent::RightQueueShadowHit);
+        }
+        while s.pointers().0 > 2_000 {
+            s.on_event(PointerEvent::LeftQueueShadowHit);
+        }
+        assert!(s.is_scaling_a_cliff());
+        assert!((s.ratio() - 0.478).abs() < 0.01, "ratio = {}", s.ratio());
+        let (left, right) = s.physical_sizes();
+        assert!((left as i64 - 957).abs() <= 30, "left = {left}");
+        assert!((right as i64 - 7_043).abs() <= 30, "right = {right}");
+        assert_eq!(left + right, 8_000);
+    }
+
+    #[test]
+    fn concave_signals_keep_the_even_split() {
+        // On a concave curve hits land in the physical tails more often than
+        // in the appended shadows; tail hits alone must never move the
+        // pointers away from the operating point.
+        let mut s = CliffScaler::new(5_000, 10);
+        for _ in 0..1_000 {
+            s.on_event(PointerEvent::RightQueueTailHit);
+            s.on_event(PointerEvent::LeftQueueTailHit);
+        }
+        assert_eq!(s.pointers(), (5_000, 5_000));
+        assert_eq!(s.ratio(), 0.5);
+        let (l, r) = s.physical_sizes();
+        assert_eq!((l, r), (2_500, 2_500));
+    }
+
+    #[test]
+    fn pointer_guards_hold() {
+        let mut s = CliffScaler::new(1_000, 100);
+        // The right pointer can move right and back, but never below the
+        // queue size.
+        s.on_event(PointerEvent::RightQueueShadowHit);
+        s.on_event(PointerEvent::RightQueueTailHit);
+        s.on_event(PointerEvent::RightQueueTailHit);
+        assert_eq!(s.pointers().1, 1_000);
+        // The left pointer can move left and back, but never above the queue
+        // size and never below its floor.
+        s.on_event(PointerEvent::LeftQueueShadowHit);
+        s.on_event(PointerEvent::LeftQueueTailHit);
+        s.on_event(PointerEvent::LeftQueueTailHit);
+        assert_eq!(s.pointers().0, 1_000);
+        for _ in 0..100 {
+            s.on_event(PointerEvent::LeftQueueShadowHit);
+        }
+        assert!(s.pointers().0 >= 100, "left pointer floor violated");
+    }
+
+    #[test]
+    fn physical_sizes_always_sum_to_queue_size() {
+        let mut s = CliffScaler::new(10_000, 37);
+        let events = [
+            PointerEvent::RightQueueShadowHit,
+            PointerEvent::LeftQueueShadowHit,
+            PointerEvent::RightQueueTailHit,
+            PointerEvent::LeftQueueTailHit,
+        ];
+        for i in 0..10_000 {
+            s.on_event(events[i % events.len()]);
+            let (l, r) = s.physical_sizes();
+            assert_eq!(l + r, 10_000, "at update {i}");
+        }
+        assert_eq!(s.updates(), 10_000);
+    }
+
+    #[test]
+    fn resizing_the_queue_clamps_pointers() {
+        let mut s = CliffScaler::new(8_000, 100);
+        for _ in 0..30 {
+            s.on_event(PointerEvent::RightQueueShadowHit);
+            s.on_event(PointerEvent::LeftQueueShadowHit);
+        }
+        let (l0, r0) = s.pointers();
+        assert!(l0 < 8_000 && r0 > 8_000);
+        // Shrink the queue below the left pointer: it must be clamped.
+        s.set_queue_size(4_000);
+        let (l1, r1) = s.pointers();
+        assert!(l1 <= 4_000);
+        assert!(r1 >= 4_000);
+        let (pl, pr) = s.physical_sizes();
+        assert_eq!(pl + pr, 4_000);
+        // Grow it past the right pointer: also clamped.
+        s.set_queue_size(20_000);
+        let (_, r2) = s.pointers();
+        assert!(r2 >= 20_000);
+    }
+
+    #[test]
+    fn ratio_moves_towards_the_nearer_anchor() {
+        // With the right pointer much farther away than the left pointer,
+        // most requests go to the left queue (ratio > 0.5), matching
+        // Algorithm 3's inverse-distance weighting.
+        let mut s = CliffScaler::new(1_000, 100);
+        for _ in 0..50 {
+            s.on_event(PointerEvent::RightQueueShadowHit); // right -> 6000
+        }
+        for _ in 0..2 {
+            s.on_event(PointerEvent::LeftQueueShadowHit); // left -> 800
+        }
+        assert!(s.ratio() > 0.9, "ratio = {}", s.ratio());
+        let (l, r) = s.physical_sizes();
+        assert!(l < 1_000 && r > 0);
+        assert_eq!(l + r, 1_000);
+    }
+}

@@ -1,0 +1,198 @@
+//! Cliffhanger configuration.
+//!
+//! Defaults follow the paper's §5.1 and §5.3: 1 MB hill-climbing shadow
+//! queues, 128-item cliff-scaling shadow queues, 1–4 KB credits, and cliff
+//! scaling only on queues larger than 1000 items.
+
+use cache_core::{PolicyKind, SlabConfig};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`crate::Cliffhanger`] cache.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CliffhangerConfig {
+    /// Slab-class geometry shared with the rest of the system.
+    pub slab: SlabConfig,
+    /// Total memory available to the application on this server, in bytes.
+    pub total_bytes: u64,
+    /// Eviction policy of the physical queues (LRU by default; the Facebook
+    /// scheme and others compose with Cliffhanger, §5.5).
+    pub policy: PolicyKind,
+    /// Credit granted/removed per shadow-queue hit, in bytes (1–4 KB, §5.3).
+    pub credit_bytes: u64,
+    /// Size of the hill-climbing shadow queue per class, expressed in bytes
+    /// of simulated requests (1 MB, §5.3); entry counts are derived from the
+    /// class chunk size.
+    pub hill_shadow_bytes: u64,
+    /// Size of each cliff-scaling shadow queue / physical tail region, in
+    /// items (128, §5.1).
+    pub cliff_shadow_items: usize,
+    /// Cliff scaling only runs on queues with at least this many items
+    /// (1000, §5.1).
+    pub cliff_min_items: u64,
+    /// Whether Algorithm 1 (hill climbing across queues) runs.
+    pub enable_hill_climbing: bool,
+    /// Whether Algorithms 2–3 (cliff scaling within a queue) run.
+    pub enable_cliff_scaling: bool,
+    /// Floor below which hill climbing will not shrink a class, in bytes.
+    pub min_class_bytes: u64,
+    /// Seed for the random "loser" selection in Algorithm 1 (deterministic
+    /// runs for experiments).
+    pub seed: u64,
+}
+
+impl Default for CliffhangerConfig {
+    fn default() -> Self {
+        CliffhangerConfig {
+            slab: SlabConfig::default(),
+            total_bytes: 64 << 20,
+            policy: PolicyKind::Lru,
+            credit_bytes: 4 << 10,
+            hill_shadow_bytes: 1 << 20,
+            cliff_shadow_items: 128,
+            cliff_min_items: 1_000,
+            enable_hill_climbing: true,
+            enable_cliff_scaling: true,
+            min_class_bytes: 64 << 10,
+            seed: 0xC11F_F00D,
+        }
+    }
+}
+
+impl CliffhangerConfig {
+    /// A configuration with the given memory budget and defaults elsewhere.
+    pub fn with_total_bytes(total_bytes: u64) -> Self {
+        CliffhangerConfig {
+            total_bytes,
+            ..CliffhangerConfig::default()
+        }
+    }
+
+    /// A configuration whose shadow-queue and credit sizes are scaled to the
+    /// memory budget, preserving the paper's *ratios* (1 MB shadow queues
+    /// and 1–4 KB credits against 50 MB-plus applications) when the budget
+    /// is much smaller than a production reservation. Simulation at reduced
+    /// scale uses this constructor; at 50 MB and above it coincides with the
+    /// paper's constants.
+    pub fn scaled_for(total_bytes: u64) -> Self {
+        let defaults = CliffhangerConfig::default();
+        // 1 MB per 50 MB of reservation, never below 16 KB or above 1 MB.
+        let hill_shadow_bytes = (total_bytes / 50).clamp(16 << 10, 1 << 20);
+        // 4 KB per 50 MB of reservation, never below 256 B or above 4 KB.
+        let credit_bytes = (total_bytes / 12_800).clamp(256, 4 << 10);
+        // Keep the floor proportional too so small reservations stay mobile.
+        let min_class_bytes = (total_bytes / 1_024).clamp(1 << 10, 64 << 10);
+        CliffhangerConfig {
+            total_bytes,
+            hill_shadow_bytes,
+            credit_bytes,
+            min_class_bytes,
+            ..defaults
+        }
+    }
+
+    /// Disables cliff scaling (the hill-climbing-only ablation of Table 4).
+    pub fn hill_climbing_only(mut self) -> Self {
+        self.enable_cliff_scaling = false;
+        self.enable_hill_climbing = true;
+        self
+    }
+
+    /// Disables hill climbing (the cliff-scaling-only ablation of Table 4).
+    pub fn cliff_scaling_only(mut self) -> Self {
+        self.enable_cliff_scaling = true;
+        self.enable_hill_climbing = false;
+        self
+    }
+
+    /// Disables both algorithms (useful as a managed-cache baseline).
+    pub fn disabled(mut self) -> Self {
+        self.enable_cliff_scaling = false;
+        self.enable_hill_climbing = false;
+        self
+    }
+
+    /// Charge per item in a class: chunk size plus fixed item overhead.
+    pub fn charge_per_item(&self, class: cache_core::ClassId) -> u64 {
+        self.slab.chunk_size(class) + cache_core::ITEM_OVERHEAD
+    }
+
+    /// Hill-climbing shadow-queue capacity, in entries, for a class.
+    pub fn hill_shadow_entries(&self, class: cache_core::ClassId) -> usize {
+        if self.hill_shadow_bytes == 0 {
+            return 0;
+        }
+        (self.hill_shadow_bytes / self.slab.chunk_size(class)).max(1) as usize
+    }
+
+    /// Credit size in items for a class (at least one item).
+    pub fn credit_items(&self, class: cache_core::ClassId) -> u64 {
+        (self.credit_bytes / self.charge_per_item(class)).max(1)
+    }
+
+    /// Validates the configuration, panicking on nonsensical values.
+    pub fn validate(&self) {
+        assert!(self.total_bytes > 0, "total_bytes must be positive");
+        assert!(self.credit_bytes > 0, "credit_bytes must be positive");
+        assert!(
+            self.cliff_shadow_items > 0,
+            "cliff_shadow_items must be positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_core::ClassId;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = CliffhangerConfig::default();
+        assert_eq!(c.credit_bytes, 4 << 10);
+        assert_eq!(c.hill_shadow_bytes, 1 << 20);
+        assert_eq!(c.cliff_shadow_items, 128);
+        assert_eq!(c.cliff_min_items, 1_000);
+        assert!(c.enable_hill_climbing && c.enable_cliff_scaling);
+        c.validate();
+    }
+
+    #[test]
+    fn shadow_entries_follow_the_papers_example() {
+        // §5.7: with a 64-byte slab class the 1 MB shadow queue stores 16384
+        // keys; with a 1 KB class it stores 1024.
+        let c = CliffhangerConfig::default();
+        let class64 = c.slab.class_for_size(64).unwrap();
+        assert_eq!(c.hill_shadow_entries(class64), 16_384);
+        let class1k = c.slab.class_for_size(1_024).unwrap();
+        assert_eq!(c.hill_shadow_entries(class1k), 1_024);
+    }
+
+    #[test]
+    fn credit_items_at_least_one() {
+        let c = CliffhangerConfig::default();
+        // 4 KB credits on a 1 MB chunk class still move at least one item.
+        let big = ClassId::new((c.slab.num_classes() - 1) as u32);
+        assert_eq!(c.credit_items(big), 1);
+        // On a 64-byte class a 4 KB credit is dozens of items.
+        let small = c.slab.class_for_size(64).unwrap();
+        assert!(c.credit_items(small) > 30);
+    }
+
+    #[test]
+    fn ablation_helpers_toggle_flags() {
+        let hc = CliffhangerConfig::default().hill_climbing_only();
+        assert!(hc.enable_hill_climbing && !hc.enable_cliff_scaling);
+        let cs = CliffhangerConfig::default().cliff_scaling_only();
+        assert!(!cs.enable_hill_climbing && cs.enable_cliff_scaling);
+        let off = CliffhangerConfig::default().disabled();
+        assert!(!off.enable_hill_climbing && !off.enable_cliff_scaling);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit_bytes")]
+    fn zero_credit_rejected() {
+        let mut c = CliffhangerConfig::default();
+        c.credit_bytes = 0;
+        c.validate();
+    }
+}

@@ -1,0 +1,577 @@
+//! The combined Cliffhanger controller for one application (§4.3).
+//!
+//! [`Cliffhanger`] is a drop-in, slab-structured cache like
+//! [`cache_core::SlabCache`], except that memory is *managed*: every slab
+//! class is a [`PartitionedQueue`] (cliff scaling within the class) and a
+//! [`HillClimber`] moves credits between classes whenever a request hits a
+//! class's long shadow queue (hill climbing across classes). Both algorithms
+//! run purely on local signals, per request, with no profiling phase.
+
+use crate::cliff_scale::CliffScaler;
+use crate::config::CliffhangerConfig;
+use crate::hill_climb::HillClimber;
+use crate::partitioned_queue::{PartitionedQueue, PartitionedQueueConfig, QueueEvent};
+use cache_core::{CacheStats, ClassId, Key};
+use serde::{Deserialize, Serialize};
+
+/// A point-in-time view of one managed slab class (used by experiments that
+/// plot allocations over time, e.g. Figure 8).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClassSnapshot {
+    /// The slab class.
+    pub class: u32,
+    /// Chunk size of the class in bytes.
+    pub chunk_size: u64,
+    /// Byte budget currently assigned by hill climbing.
+    pub target_bytes: u64,
+    /// Bytes in use.
+    pub used_bytes: u64,
+    /// Resident items.
+    pub items: usize,
+    /// The Talus request ratio of the class's partitioned queue.
+    pub ratio: f64,
+    /// The cliff-scaling pointers (left, right) in items.
+    pub pointers: (u64, u64),
+    /// Whether the class is currently scaling a detected cliff.
+    pub scaling_cliff: bool,
+    /// Per-class statistics.
+    pub stats: CacheStats,
+}
+
+/// The Cliffhanger-managed cache for a single application.
+#[derive(Debug)]
+pub struct Cliffhanger<V> {
+    config: CliffhangerConfig,
+    queues: Vec<PartitionedQueue<V>>,
+    climber: HillClimber,
+    /// Memory not yet granted to any class (drained first-come-first-serve
+    /// while the cache warms up, exactly like Memcached's free pages).
+    free_bytes: u64,
+    /// Slab class of every resident key — the equivalent of Memcached's
+    /// global hash table, so lookups without a size hint stay O(1).
+    resident: std::collections::HashMap<Key, ClassId>,
+    stats: CacheStats,
+}
+
+impl<V> Cliffhanger<V> {
+    /// Creates a managed cache from its configuration.
+    ///
+    /// Initialisation mirrors the paper's prototype, which runs on top of
+    /// Memcached's own slab allocation: every class starts with a small
+    /// floor and the rest of the reservation sits in a free pool that is
+    /// granted first-come-first-serve as classes need room (exactly what
+    /// stock Memcached does while it still has free pages). Once the pool is
+    /// exhausted, the only way a class grows is by hill-climbing credits
+    /// taken from another class.
+    pub fn new(config: CliffhangerConfig) -> Self {
+        config.validate();
+        let num_classes = config.slab.num_classes();
+        // The per-class floor must stay below the even-split share, otherwise
+        // no queue could ever afford to give up a credit and hill climbing
+        // would be frozen on small reservations.
+        let even_share = config.total_bytes / num_classes.max(1) as u64;
+        let floor = config.min_class_bytes.min(even_share / 2).max(1);
+        let initial_targets = vec![floor; num_classes];
+        let free_bytes = config
+            .total_bytes
+            .saturating_sub(floor * num_classes as u64);
+        let climber = HillClimber::new(initial_targets, config.credit_bytes, floor, config.seed);
+        let queues = (0..num_classes as u32)
+            .map(|c| {
+                let class = ClassId::new(c);
+                PartitionedQueue::new(PartitionedQueueConfig {
+                    policy: config.policy,
+                    target_bytes: climber.target(c as usize),
+                    charge_per_item: config.charge_per_item(class),
+                    cliff_shadow_items: config.cliff_shadow_items,
+                    hill_shadow_entries: config.hill_shadow_entries(class),
+                    credit_items: config.credit_items(class),
+                    cliff_min_items: config.cliff_min_items,
+                    enable_cliff_scaling: config.enable_cliff_scaling,
+                })
+            })
+            .collect();
+        Cliffhanger {
+            config,
+            queues,
+            climber,
+            free_bytes,
+            resident: std::collections::HashMap::new(),
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CliffhangerConfig {
+        &self.config
+    }
+
+    /// The slab class an item of `size` bytes maps to.
+    pub fn class_for_size(&self, size: u64) -> Option<ClassId> {
+        self.config.slab.class_for_size(size)
+    }
+
+    /// Number of slab classes.
+    pub fn num_classes(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Looks up `key`; `size` routes the request to its slab class.
+    pub fn get(&mut self, key: Key, size: u64) -> Option<(ClassId, QueueEvent)> {
+        let class = self.class_for_size(size)?;
+        Some((class, self.get_in_class(key, class)))
+    }
+
+    /// Looks up `key` without a size hint, as the wire-protocol GET path
+    /// must (the item size is unknown until a value is found). Resident keys
+    /// are routed by the global key index in O(1); misses are recorded but
+    /// their shadow classification is deferred to the demand-fill SET, which
+    /// knows the size (see [`PartitionedQueue::set`]).
+    pub fn get_untyped(&mut self, key: Key) -> (ClassId, QueueEvent) {
+        match self.resident.get(&key).copied() {
+            Some(class) => (class, self.get_in_class(key, class)),
+            None => {
+                self.stats.record_get(false);
+                let class = ClassId::new(0);
+                (
+                    class,
+                    QueueEvent {
+                        hit: false,
+                        partition: crate::partitioned_queue::Partition::Left,
+                        tail_hit: false,
+                        cliff_shadow_hit: false,
+                        hill_shadow_hit: false,
+                    },
+                )
+            }
+        }
+    }
+
+    fn get_in_class(&mut self, key: Key, class: ClassId) -> QueueEvent {
+        let idx = class.index();
+        let event = self.queues[idx].get(key);
+        self.stats.record_get(event.hit);
+        if !event.hit && self.resident.get(&key) == Some(&class) {
+            // The index said resident but the queue no longer holds it (it
+            // was evicted through a path we could not observe); heal the
+            // index so it cannot grow stale entries.
+            self.resident.remove(&key);
+        }
+        if event.hill_shadow_hit {
+            self.stats.shadow_hits += 1;
+            self.hill_climb(idx);
+        }
+        if event.cliff_shadow_hit {
+            self.stats.cliff_shadow_hits += 1;
+        }
+        event
+    }
+
+    /// While the free pool is non-empty, classes grow into it on demand
+    /// (Memcached's first-come-first-serve page grants); afterwards memory
+    /// only moves through hill climbing.
+    fn grant_from_free_pool(&mut self, class: ClassId, size: u64) {
+        if self.free_bytes == 0 {
+            return;
+        }
+        let idx = class.index();
+        let charge = self.config.charge_per_item(class).max(size);
+        let needed = self.queues[idx].used_bytes() + charge + cache_core::ITEM_OVERHEAD;
+        let target = self.climber.target(idx);
+        if needed <= target {
+            return;
+        }
+        let grant = (needed - target)
+            .max(self.config.credit_bytes)
+            .min(self.free_bytes);
+        let new_target = target + grant;
+        self.climber.set_target(idx, new_target);
+        self.queues[idx].set_target_bytes(new_target);
+        self.free_bytes -= grant;
+    }
+
+    fn hill_climb(&mut self, winner: usize) {
+        if !self.config.enable_hill_climbing {
+            return;
+        }
+        if let Some(transfer) = self.climber.on_shadow_hit(winner) {
+            let winner_target = self.climber.target(transfer.winner);
+            let loser_target = self.climber.target(transfer.loser);
+            self.queues[transfer.winner].set_target_bytes(winner_target);
+            self.queues[transfer.loser].set_target_bytes(loser_target);
+            // The donated memory is reclaimed immediately (reassigning a slab
+            // page evicts its items), so the sum of resident bytes can never
+            // exceed the reservation just because the loser happens to be
+            // idle.
+            for evicted in self.queues[transfer.loser].enforce_target() {
+                self.resident.remove(&evicted);
+            }
+        }
+    }
+
+    /// Stores `key` with a payload of `size` bytes. Returns the class and
+    /// whether the item was admitted, or `None` if the item is too large for
+    /// any slab class.
+    pub fn set(&mut self, key: Key, size: u64, value: V) -> Option<(ClassId, bool)> {
+        let class = self.class_for_size(size)?;
+        self.stats.record_set();
+        // If the item changed size class, drop the stale copy.
+        if let Some(&old_class) = self.resident.get(&key) {
+            if old_class != class {
+                self.queues[old_class.index()].delete(key);
+                self.resident.remove(&key);
+            }
+        }
+        self.grant_from_free_pool(class, size);
+        let outcome = self.queues[class.index()].set(key, size, value);
+        if outcome.hill_shadow_hit {
+            self.stats.shadow_hits += 1;
+            self.hill_climb(class.index());
+        }
+        if outcome.cliff_shadow_hit {
+            self.stats.cliff_shadow_hits += 1;
+        }
+        for evicted in &outcome.evicted {
+            self.resident.remove(evicted);
+        }
+        if outcome.admitted {
+            self.resident.insert(key, class);
+        } else {
+            self.resident.remove(&key);
+        }
+        Some((class, outcome.admitted))
+    }
+
+    /// Deletes `key` from whichever class holds it.
+    pub fn delete(&mut self, key: Key) -> bool {
+        match self.resident.remove(&key) {
+            Some(class) => self.queues[class.index()].delete(key),
+            None => false,
+        }
+    }
+
+    /// The stored value for `key`, if resident.
+    pub fn value(&self, key: Key) -> Option<&V> {
+        let class = self.resident.get(&key)?;
+        self.queues[class.index()].value(key)
+    }
+
+    /// Whether `key` is resident in any class.
+    pub fn contains(&self, key: Key) -> bool {
+        self.resident.contains_key(&key)
+    }
+
+    /// Aggregate statistics (evictions are accounted inside the per-class
+    /// queues and folded in here).
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = self.stats;
+        stats.evictions = self.queues.iter().map(|q| q.stats().evictions).sum();
+        stats
+    }
+
+    /// Per-class statistics, indexed by class.
+    pub fn class_stats(&self) -> Vec<CacheStats> {
+        self.queues.iter().map(|q| q.stats()).collect()
+    }
+
+    /// Resets aggregate and per-class statistics (memory allocations are left
+    /// untouched, so a warmed-up cache can be measured cleanly).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::new();
+        for q in &mut self.queues {
+            q.reset_stats();
+        }
+    }
+
+    /// Total bytes in use.
+    pub fn used_bytes(&self) -> u64 {
+        self.queues.iter().map(|q| q.used_bytes()).sum()
+    }
+
+    /// Total resident items.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The total memory budget: the sum of class targets plus whatever is
+    /// still in the free pool. Conserved by hill climbing and by free-pool
+    /// grants alike.
+    pub fn total_bytes(&self) -> u64 {
+        self.climber.total() + self.free_bytes
+    }
+
+    /// Memory not yet granted to any slab class.
+    pub fn free_bytes(&self) -> u64 {
+        self.free_bytes
+    }
+
+    /// Current byte target of one class.
+    pub fn class_target(&self, class: ClassId) -> u64 {
+        self.climber.target(class.index())
+    }
+
+    /// Snapshots of every class (allocation, pointers, ratios, stats).
+    pub fn class_snapshots(&self) -> Vec<ClassSnapshot> {
+        self.queues
+            .iter()
+            .enumerate()
+            .map(|(idx, q)| ClassSnapshot {
+                class: idx as u32,
+                chunk_size: self.config.slab.chunk_size(ClassId::new(idx as u32)),
+                target_bytes: q.target_bytes(),
+                used_bytes: q.used_bytes(),
+                items: q.len(),
+                ratio: q.ratio(),
+                pointers: q.pointers(),
+                scaling_cliff: q.is_scaling_a_cliff(),
+                stats: q.stats(),
+            })
+            .collect()
+    }
+
+    /// Number of hill-climbing credit transfers performed so far.
+    pub fn transfers(&self) -> u64 {
+        self.climber.transfers()
+    }
+
+    /// Direct access to one class's partitioned queue (diagnostics, tests).
+    pub fn queue(&self, class: ClassId) -> &PartitionedQueue<V> {
+        &self.queues[class.index()]
+    }
+
+    /// The cliff scaler of one class (diagnostics, tests).
+    pub fn scaler(&self, class: ClassId) -> &CliffScaler {
+        self.queues[class.index()].scaler()
+    }
+
+    /// Grows one class's budget by `bytes` from outside (used by the
+    /// cross-application layer). The extra memory is real: the cache's total
+    /// grows.
+    pub fn grow_class(&mut self, class: ClassId, bytes: u64) {
+        let idx = class.index();
+        let new_target = self.climber.target(idx) + bytes;
+        self.climber.set_target(idx, new_target);
+        self.queues[idx].set_target_bytes(new_target);
+    }
+
+    /// Shrinks the cache by `bytes`, returning `true` if the memory could be
+    /// released. Ungranted free-pool memory is released first; otherwise the
+    /// class with the most memory above the floor gives it up.
+    pub fn shrink_some_class(&mut self, bytes: u64) -> bool {
+        if self.free_bytes >= bytes {
+            self.free_bytes -= bytes;
+            return true;
+        }
+        let floor = self.config.min_class_bytes;
+        let candidate = (0..self.queues.len())
+            .filter(|&i| self.climber.target(i) >= bytes && self.climber.target(i) - bytes >= floor)
+            .max_by_key(|&i| self.climber.target(i));
+        match candidate {
+            Some(idx) => {
+                let new_target = self.climber.target(idx) - bytes;
+                self.climber.set_target(idx, new_target);
+                self.queues[idx].set_target_bytes(new_target);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_core::SlabConfig;
+
+    fn key(i: u64) -> Key {
+        Key::new(i)
+    }
+
+    fn config(total: u64) -> CliffhangerConfig {
+        CliffhangerConfig {
+            slab: SlabConfig::new(64, 2.0, 8192),
+            total_bytes: total,
+            credit_bytes: 1 << 10,
+            hill_shadow_bytes: 64 << 10,
+            cliff_shadow_items: 16,
+            cliff_min_items: 1_000,
+            min_class_bytes: 4 << 10,
+            seed: 7,
+            ..CliffhangerConfig::default()
+        }
+    }
+
+    #[test]
+    fn basic_get_set_roundtrip() {
+        let mut c: Cliffhanger<()> = Cliffhanger::new(config(1 << 20));
+        assert!(c.get(key(1), 100).unwrap().1.hit == false);
+        let (class, admitted) = c.set(key(1), 100, ()).unwrap();
+        assert!(admitted);
+        let (class2, event) = c.get(key(1), 100).unwrap();
+        assert_eq!(class, class2);
+        assert!(event.hit);
+        assert_eq!(c.stats().gets, 2);
+        assert_eq!(c.stats().hits, 1);
+        assert!(c.contains(key(1)));
+    }
+
+    #[test]
+    fn oversized_items_are_rejected() {
+        let mut c: Cliffhanger<()> = Cliffhanger::new(config(1 << 20));
+        assert!(c.set(key(1), 1 << 20, ()).is_none());
+        assert!(c.get(key(1), 1 << 20).is_none());
+    }
+
+    #[test]
+    fn total_memory_is_conserved_under_hill_climbing() {
+        let mut c: Cliffhanger<()> = Cliffhanger::new(config(2 << 20));
+        let total = c.total_bytes();
+        // Drive a skewed workload: small items dominate.
+        for round in 0..30u64 {
+            for i in 0..3_000u64 {
+                let size = if i % 10 == 0 { 2_000 } else { 60 };
+                let k = key(i);
+                let hit = c.get(k, size).unwrap().1.hit;
+                if !hit {
+                    c.set(k, size, ());
+                }
+            }
+            let _ = round;
+        }
+        assert_eq!(c.total_bytes(), total, "hill climbing must conserve memory");
+        assert!(c.used_bytes() <= total + (64 << 10));
+    }
+
+    #[test]
+    fn memory_shifts_towards_the_busy_class() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut c: Cliffhanger<()> = Cliffhanger::new(config(2 << 20));
+        let small_class = c.class_for_size(60).unwrap();
+        let large_class = c.class_for_size(4_000).unwrap();
+        let initial_small = c.class_target(small_class);
+        // Both classes want far more memory than the 2 MB reservation, but
+        // the small class receives ten times the requests: hill climbing
+        // should give it the larger share.
+        let mut rng = StdRng::seed_from_u64(17);
+        for round in 0..30 {
+            for _ in 0..5_000u64 {
+                let k = key(rng.gen_range(0..30_000));
+                if !c.get(k, 60).unwrap().1.hit {
+                    c.set(k, 60, ());
+                }
+            }
+            for _ in 0..500u64 {
+                let k = key(1_000_000 + rng.gen_range(0..2_000));
+                if !c.get(k, 4_000).unwrap().1.hit {
+                    c.set(k, 4_000, ());
+                }
+            }
+            let _ = round;
+        }
+        assert!(
+            c.class_target(small_class) > initial_small,
+            "the busy small class should have gained memory: {} -> {}",
+            initial_small,
+            c.class_target(small_class)
+        );
+        assert!(
+            c.class_target(small_class) > c.class_target(large_class),
+            "small {} vs large {}",
+            c.class_target(small_class),
+            c.class_target(large_class)
+        );
+        assert!(c.transfers() > 0);
+        assert_eq!(c.free_bytes(), 0, "the free pool should be exhausted");
+    }
+
+    #[test]
+    fn hill_climbing_disabled_moves_no_credits() {
+        let mut c: Cliffhanger<()> = Cliffhanger::new(config(1 << 20).cliff_scaling_only());
+        let total = c.total_bytes();
+        for i in 0..20_000u64 {
+            let k = key(i % 15_000);
+            if !c.get(k, 60).unwrap().1.hit {
+                c.set(k, 60, ());
+            }
+        }
+        // Classes may still grow into the free pool (stock Memcached
+        // behaviour), but no hill-climbing credit is ever transferred.
+        assert_eq!(c.transfers(), 0);
+        assert_eq!(c.total_bytes(), total);
+    }
+
+    #[test]
+    fn untyped_get_finds_resident_items() {
+        let mut c: Cliffhanger<()> = Cliffhanger::new(config(1 << 20));
+        c.set(key(5), 3_000, ());
+        let (class, event) = c.get_untyped(key(5));
+        assert!(event.hit);
+        assert_eq!(class, c.class_for_size(3_000).unwrap());
+        let (_, miss) = c.get_untyped(key(99));
+        assert!(!miss.hit);
+    }
+
+    #[test]
+    fn item_changing_class_does_not_duplicate() {
+        let mut c: Cliffhanger<()> = Cliffhanger::new(config(1 << 20));
+        c.set(key(1), 60, ());
+        c.set(key(1), 4_000, ());
+        let copies = (0..c.num_classes())
+            .filter(|&i| c.queue(ClassId::new(i as u32)).contains(key(1)))
+            .count();
+        assert_eq!(copies, 1);
+        assert!(c.delete(key(1)));
+        assert!(!c.contains(key(1)));
+    }
+
+    #[test]
+    fn class_snapshots_report_allocation_state() {
+        let mut c: Cliffhanger<()> = Cliffhanger::new(config(1 << 20));
+        for i in 0..200 {
+            c.set(key(i), 60, ());
+        }
+        let snaps = c.class_snapshots();
+        assert_eq!(snaps.len(), c.num_classes());
+        let total_target: u64 = snaps.iter().map(|s| s.target_bytes).sum();
+        assert_eq!(total_target + c.free_bytes(), c.total_bytes());
+        let small = &snaps[c.class_for_size(60).unwrap().index()];
+        assert!(small.items > 0);
+        assert!(small.used_bytes > 0);
+        assert_eq!(small.chunk_size, 64);
+    }
+
+    #[test]
+    fn grow_and_shrink_interact_with_external_allocators() {
+        let mut c: Cliffhanger<()> = Cliffhanger::new(config(1 << 20));
+        let class = c.class_for_size(60).unwrap();
+        let before_total = c.total_bytes();
+        c.grow_class(class, 64 << 10);
+        assert_eq!(c.total_bytes(), before_total + (64 << 10));
+        assert!(c.shrink_some_class(64 << 10));
+        assert_eq!(c.total_bytes(), before_total);
+        // Shrinking more than any class can afford fails gracefully.
+        assert!(!c.shrink_some_class(10 << 20));
+    }
+
+    #[test]
+    fn reset_stats_preserves_allocation() {
+        let mut c: Cliffhanger<()> = Cliffhanger::new(config(1 << 20));
+        for i in 0..500 {
+            let k = key(i);
+            if !c.get(k, 60).unwrap().1.hit {
+                c.set(k, 60, ());
+            }
+        }
+        let used = c.used_bytes();
+        c.reset_stats();
+        assert_eq!(c.stats().gets, 0);
+        assert_eq!(c.used_bytes(), used);
+        assert!(c.class_stats().iter().all(|s| s.gets == 0));
+    }
+}

@@ -1,0 +1,325 @@
+//! Cross-application Cliffhanger (extension).
+//!
+//! §4.1 notes that the queues Cliffhanger optimises can be "the queue of a
+//! slab or a queue of an entire application". [`CliffhangerServer`] applies
+//! that idea to a whole Memcachier-style server: every application keeps its
+//! own [`Cliffhanger`] cache (hill climbing and cliff scaling across its slab
+//! classes), and an *outer* hill climber moves memory between applications
+//! whenever one application's long shadow queues signal unmet demand. The
+//! within-application climber then redistributes the gained or lost memory
+//! among its classes, so the whole hierarchy stays incremental and local.
+//!
+//! This goes beyond the paper's evaluation (which optimises within an
+//! application) and is marked as an extension in DESIGN.md.
+
+use crate::config::CliffhangerConfig;
+use crate::controller::Cliffhanger;
+use crate::hill_climb::HillClimber;
+use cache_core::{AppId, CacheStats, ClassId, Key};
+use std::collections::BTreeMap;
+
+/// Per-application configuration for the multi-application server.
+#[derive(Clone, Debug)]
+pub struct AppConfig {
+    /// The application's identifier.
+    pub app: AppId,
+    /// Its initial memory reservation in bytes.
+    pub reserved_bytes: u64,
+    /// The Cliffhanger configuration template (its `total_bytes` is replaced
+    /// by `reserved_bytes`).
+    pub cache: CliffhangerConfig,
+}
+
+impl AppConfig {
+    /// An application with the default Cliffhanger configuration.
+    pub fn new(app: AppId, reserved_bytes: u64) -> Self {
+        AppConfig {
+            app,
+            reserved_bytes,
+            cache: CliffhangerConfig::default(),
+        }
+    }
+}
+
+/// A multi-application cache server with hierarchical hill climbing.
+#[derive(Debug)]
+pub struct CliffhangerServer<V> {
+    apps: Vec<AppId>,
+    caches: BTreeMap<AppId, Cliffhanger<V>>,
+    /// Outer climber over application budgets (same credit mechanics as
+    /// Algorithm 1, with applications as the queues).
+    app_climber: HillClimber,
+    /// Whether cross-application transfers are enabled (if not, each
+    /// application keeps its static reservation, as in stock Memcachier).
+    cross_app_enabled: bool,
+}
+
+impl<V> CliffhangerServer<V> {
+    /// Creates a server hosting the given applications. `credit_bytes` and
+    /// `min_app_bytes` control the outer (cross-application) climber;
+    /// `cross_app_enabled = false` reproduces static reservations.
+    pub fn new(
+        app_configs: Vec<AppConfig>,
+        credit_bytes: u64,
+        min_app_bytes: u64,
+        cross_app_enabled: bool,
+        seed: u64,
+    ) -> Self {
+        assert!(!app_configs.is_empty(), "at least one application required");
+        let apps: Vec<AppId> = app_configs.iter().map(|c| c.app).collect();
+        let targets: Vec<u64> = app_configs.iter().map(|c| c.reserved_bytes).collect();
+        let mut caches = BTreeMap::new();
+        for cfg in app_configs {
+            let mut cache_cfg = cfg.cache;
+            cache_cfg.total_bytes = cfg.reserved_bytes;
+            caches.insert(cfg.app, Cliffhanger::new(cache_cfg));
+        }
+        CliffhangerServer {
+            apps,
+            caches,
+            app_climber: HillClimber::new(targets, credit_bytes, min_app_bytes, seed),
+            cross_app_enabled,
+        }
+    }
+
+    /// The hosted applications, in construction order.
+    pub fn apps(&self) -> &[AppId] {
+        &self.apps
+    }
+
+    /// Looks up `key` for `app`; `size` routes the request to a slab class.
+    pub fn get(&mut self, app: AppId, key: Key, size: u64) -> Option<bool> {
+        let app_idx = self.apps.iter().position(|&a| a == app)?;
+        let event = {
+            let cache = self.caches.get_mut(&app)?;
+            cache.get(key, size)?.1
+        };
+        if self.cross_app_enabled && event.hill_shadow_hit {
+            self.transfer_towards(app_idx, key, size);
+        }
+        Some(event.hit)
+    }
+
+    /// Stores `key` for `app`.
+    pub fn set(&mut self, app: AppId, key: Key, size: u64, value: V) -> Option<bool> {
+        self.caches
+            .get_mut(&app)?
+            .set(key, size, value)
+            .map(|(_, admitted)| admitted)
+    }
+
+    /// Deletes `key` for `app`.
+    pub fn delete(&mut self, app: AppId, key: Key) -> bool {
+        self.caches
+            .get_mut(&app)
+            .map(|c| c.delete(key))
+            .unwrap_or(false)
+    }
+
+    /// Moves one credit of memory from a random other application to `app`
+    /// and pushes the change down into both applications' class allocations.
+    fn transfer_towards(&mut self, app_idx: usize, key: Key, size: u64) {
+        let Some(transfer) = self.app_climber.on_shadow_hit(app_idx) else {
+            return;
+        };
+        let loser_app = self.apps[transfer.loser];
+        let winner_app = self.apps[transfer.winner];
+        // The loser gives up memory from whichever of its classes can afford
+        // it; only then does the winner grow (memory must not be created).
+        let shrunk = self
+            .caches
+            .get_mut(&loser_app)
+            .map(|c| c.shrink_some_class(transfer.bytes))
+            .unwrap_or(false);
+        if !shrunk {
+            // Undo the outer transfer: the loser could not afford it.
+            self.app_climber.set_target(
+                transfer.winner,
+                self.app_climber.target(transfer.winner) - transfer.bytes,
+            );
+            self.app_climber.set_target(
+                transfer.loser,
+                self.app_climber.target(transfer.loser) + transfer.bytes,
+            );
+            return;
+        }
+        if let Some(winner) = self.caches.get_mut(&winner_app) {
+            let class = winner
+                .class_for_size(size)
+                .unwrap_or(ClassId::new(0));
+            winner.grow_class(class, transfer.bytes);
+        }
+        let _ = key;
+    }
+
+    /// Current memory budget of an application.
+    pub fn reservation(&self, app: AppId) -> Option<u64> {
+        self.caches.get(&app).map(|c| c.total_bytes())
+    }
+
+    /// Sum of all application budgets (conserved by cross-app climbing).
+    pub fn total_reserved(&self) -> u64 {
+        self.caches.values().map(|c| c.total_bytes()).sum()
+    }
+
+    /// Per-application statistics.
+    pub fn per_app_stats(&self) -> BTreeMap<AppId, CacheStats> {
+        self.caches
+            .iter()
+            .map(|(&app, c)| (app, c.stats()))
+            .collect()
+    }
+
+    /// Aggregate statistics across applications.
+    pub fn stats(&self) -> CacheStats {
+        self.caches
+            .values()
+            .fold(CacheStats::new(), |acc, c| acc + c.stats())
+    }
+
+    /// The managed cache of one application.
+    pub fn cache(&self, app: AppId) -> Option<&Cliffhanger<V>> {
+        self.caches.get(&app)
+    }
+
+    /// Mutable access to one application's managed cache.
+    pub fn cache_mut(&mut self, app: AppId) -> Option<&mut Cliffhanger<V>> {
+        self.caches.get_mut(&app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_core::SlabConfig;
+
+    fn key(i: u64) -> Key {
+        Key::new(i)
+    }
+
+    fn app_config(app: u32, bytes: u64) -> AppConfig {
+        AppConfig {
+            app: AppId::new(app),
+            reserved_bytes: bytes,
+            cache: CliffhangerConfig {
+                slab: SlabConfig::new(64, 2.0, 8192),
+                credit_bytes: 1 << 10,
+                hill_shadow_bytes: 64 << 10,
+                cliff_shadow_items: 16,
+                min_class_bytes: 4 << 10,
+                seed: 3,
+                ..CliffhangerConfig::default()
+            },
+        }
+    }
+
+    /// Drives `requests` uniformly random GET-then-fill requests over a
+    /// working set of `keys` keys (random access produces the spread of
+    /// reuse distances the shadow queues need to observe demand).
+    fn drive<VF: Fn(u64) -> u64>(
+        server: &mut CliffhangerServer<()>,
+        app: AppId,
+        keys: u64,
+        requests: u64,
+        size_of: VF,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(app.0 as u64 + 1);
+        for _ in 0..requests {
+            let i = rng.gen_range(0..keys);
+            let k = key(i);
+            let size = size_of(i);
+            if server.get(app, k, size) != Some(true) {
+                server.set(app, k, size, ());
+            }
+        }
+    }
+
+    #[test]
+    fn apps_are_isolated_key_spaces() {
+        let mut s: CliffhangerServer<()> = CliffhangerServer::new(
+            vec![app_config(0, 1 << 20), app_config(1, 1 << 20)],
+            4 << 10,
+            128 << 10,
+            true,
+            1,
+        );
+        s.set(AppId::new(0), key(1), 100, ());
+        assert_eq!(s.get(AppId::new(0), key(1), 100), Some(true));
+        assert_eq!(s.get(AppId::new(1), key(1), 100), Some(false));
+        assert_eq!(s.get(AppId::new(9), key(1), 100), None);
+    }
+
+    #[test]
+    fn total_memory_is_conserved_across_apps() {
+        let mut s: CliffhangerServer<()> = CliffhangerServer::new(
+            vec![
+                app_config(0, 2 << 20),
+                app_config(1, 2 << 20),
+                app_config(2, 2 << 20),
+            ],
+            4 << 10,
+            256 << 10,
+            true,
+            2,
+        );
+        let total = s.total_reserved();
+        // App 0 is starved (works a set far larger than its share); the
+        // others are idle.
+        drive(&mut s, AppId::new(0), 40_000, 60_000, |_| 60);
+        drive(&mut s, AppId::new(1), 50, 500, |_| 60);
+        assert_eq!(s.total_reserved(), total);
+    }
+
+    #[test]
+    fn starved_app_gains_memory_from_idle_apps() {
+        let mut s: CliffhangerServer<()> = CliffhangerServer::new(
+            vec![app_config(0, 1 << 20), app_config(1, 4 << 20)],
+            16 << 10,
+            256 << 10,
+            true,
+            5,
+        );
+        let before = s.reservation(AppId::new(0)).unwrap();
+        // App 0 needs far more than 1 MB; app 1 touches a few keys only.
+        drive(&mut s, AppId::new(0), 30_000, 90_000, |_| 60);
+        drive(&mut s, AppId::new(1), 100, 200, |_| 60);
+        let after = s.reservation(AppId::new(0)).unwrap();
+        assert!(
+            after > before,
+            "the starved application should gain memory ({before} -> {after})"
+        );
+        assert!(s.reservation(AppId::new(1)).unwrap() < 4 << 20);
+    }
+
+    #[test]
+    fn static_reservations_when_cross_app_disabled() {
+        let mut s: CliffhangerServer<()> = CliffhangerServer::new(
+            vec![app_config(0, 1 << 20), app_config(1, 2 << 20)],
+            16 << 10,
+            256 << 10,
+            false,
+            5,
+        );
+        drive(&mut s, AppId::new(0), 30_000, 30_000, |_| 60);
+        assert_eq!(s.reservation(AppId::new(0)), Some(1 << 20));
+        assert_eq!(s.reservation(AppId::new(1)), Some(2 << 20));
+    }
+
+    #[test]
+    fn per_app_stats_accumulate() {
+        let mut s: CliffhangerServer<()> = CliffhangerServer::new(
+            vec![app_config(0, 1 << 20), app_config(1, 1 << 20)],
+            4 << 10,
+            128 << 10,
+            true,
+            1,
+        );
+        drive(&mut s, AppId::new(0), 100, 200, |_| 60);
+        let stats = s.per_app_stats();
+        assert!(stats[&AppId::new(0)].gets >= 200);
+        assert_eq!(stats[&AppId::new(1)].gets, 0);
+        assert_eq!(s.stats().gets, stats[&AppId::new(0)].gets);
+    }
+}

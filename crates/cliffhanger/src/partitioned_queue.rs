@@ -1,0 +1,755 @@
+//! The per-queue structure of Figure 5.
+//!
+//! Every queue Cliffhanger manages (one per slab class, or one per
+//! application) is physically split into a **left** and a **right**
+//! sub-queue. Each sub-queue is followed by a 128-item cliff-scaling shadow
+//! queue, and each also treats the last 128 items of its physical queue as
+//! the "left half" of that shadow structure (no extra memory needed, §5.1).
+//! A longer, hill-climbing shadow queue (1 MB of simulated requests) is
+//! appended after the cliff shadow queues and split across the two
+//! partitions in proportion to their sizes.
+//!
+//! Requests are routed between the two partitions by key hash with the
+//! Talus ratio from [`CliffScaler`]; evictions cascade physical queue →
+//! cliff shadow → hill shadow, so a miss can be classified as "just beyond
+//! the physical queue" (a cliff signal) or "would have hit with one shadow
+//! queue's worth of extra memory" (a hill-climbing signal). Physical resizes
+//! are applied only on the insertion that follows a miss, which is the
+//! paper's anti-thrashing rule (§5.1).
+
+use crate::cliff_scale::{CliffScaler, PointerEvent};
+use cache_core::key::mix64;
+use cache_core::lru::HitLocation;
+use cache_core::{CacheQueue, CacheStats, Key, PolicyKind, QueueConfig, ShadowQueue};
+
+/// Which physical sub-queue a request was routed to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Partition {
+    /// The left sub-queue (simulates the smaller Talus anchor).
+    Left,
+    /// The right sub-queue (simulates the larger Talus anchor).
+    Right,
+}
+
+/// What happened to one request inside a [`PartitionedQueue`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueEvent {
+    /// Whether the request hit a physical sub-queue.
+    pub hit: bool,
+    /// The partition the request was routed to.
+    pub partition: Partition,
+    /// The hit landed in the last `cliff_shadow_items` items of the physical
+    /// queue (the "left of the pointer" signal).
+    pub tail_hit: bool,
+    /// The miss hit the 128-item cliff shadow queue (the "right of the
+    /// pointer" signal).
+    pub cliff_shadow_hit: bool,
+    /// The miss hit the long hill-climbing shadow queue (the gradient
+    /// signal of Algorithm 1).
+    pub hill_shadow_hit: bool,
+}
+
+/// Outcome of a SET against a [`PartitionedQueue`].
+#[derive(Clone, Debug, Default)]
+pub struct SetOutcome {
+    /// Whether the item was admitted.
+    pub admitted: bool,
+    /// Keys evicted from the physical queues to make room (they moved into
+    /// the shadow structure).
+    pub evicted: Vec<Key>,
+    /// The stored key was found in a cliff shadow queue before insertion —
+    /// the deferred "right of the pointer" signal for callers that could not
+    /// classify the preceding GET (e.g. the wire-protocol path, where the
+    /// item size is only known at SET time).
+    pub cliff_shadow_hit: bool,
+    /// The stored key was found in the hill-climbing shadow queue before
+    /// insertion (the deferred Algorithm 1 signal).
+    pub hill_shadow_hit: bool,
+}
+
+/// Static parameters of a partitioned queue (derived per slab class by the
+/// controller from [`crate::CliffhangerConfig`]).
+#[derive(Clone, Debug)]
+pub struct PartitionedQueueConfig {
+    /// Eviction policy of both physical sub-queues.
+    pub policy: PolicyKind,
+    /// Initial byte budget of the whole queue.
+    pub target_bytes: u64,
+    /// Bytes charged per item (slab chunk size + item overhead); converts
+    /// the byte budget into the item counts Algorithms 2–3 reason about.
+    pub charge_per_item: u64,
+    /// Cliff shadow queue size and physical tail region, in items (128).
+    pub cliff_shadow_items: usize,
+    /// Hill-climbing shadow capacity, in entries, across both partitions.
+    pub hill_shadow_entries: usize,
+    /// Pointer movement per cliff event, in items.
+    pub credit_items: u64,
+    /// Cliff scaling only runs when the queue holds at least this many items.
+    pub cliff_min_items: u64,
+    /// Whether cliff scaling (pointer updates + uneven splits) is enabled.
+    pub enable_cliff_scaling: bool,
+}
+
+impl Default for PartitionedQueueConfig {
+    fn default() -> Self {
+        PartitionedQueueConfig {
+            policy: PolicyKind::Lru,
+            target_bytes: 1 << 20,
+            charge_per_item: 112,
+            cliff_shadow_items: 128,
+            hill_shadow_entries: 1 << 14,
+            credit_items: 32,
+            cliff_min_items: 1_000,
+            enable_cliff_scaling: true,
+        }
+    }
+}
+
+/// One Cliffhanger-managed queue: two physical sub-queues plus their shadow
+/// structure (Figure 5).
+#[derive(Debug)]
+pub struct PartitionedQueue<V> {
+    config: PartitionedQueueConfig,
+    left: CacheQueue<V>,
+    right: CacheQueue<V>,
+    left_cliff: ShadowQueue,
+    right_cliff: ShadowQueue,
+    left_hill: ShadowQueue,
+    right_hill: ShadowQueue,
+    scaler: CliffScaler,
+    target_bytes: u64,
+    resize_pending: bool,
+    stats: CacheStats,
+}
+
+impl<V> PartitionedQueue<V> {
+    /// Creates a partitioned queue from its configuration.
+    pub fn new(config: PartitionedQueueConfig) -> Self {
+        let charge = config.charge_per_item.max(1);
+        let total_items = config.target_bytes / charge;
+        let make_queue = |bytes: u64| {
+            CacheQueue::new(QueueConfig {
+                policy: config.policy,
+                target_bytes: bytes,
+                tail_region_items: config.cliff_shadow_items,
+                shadow_capacity: 0,
+            })
+        };
+        let half = config.target_bytes / 2;
+        let mut queue = PartitionedQueue {
+            left: make_queue(half),
+            right: make_queue(config.target_bytes - half),
+            left_cliff: ShadowQueue::new(config.cliff_shadow_items),
+            right_cliff: ShadowQueue::new(config.cliff_shadow_items),
+            left_hill: ShadowQueue::new(config.hill_shadow_entries / 2),
+            right_hill: ShadowQueue::new(config.hill_shadow_entries - config.hill_shadow_entries / 2),
+            scaler: CliffScaler::new(total_items, config.credit_items),
+            target_bytes: config.target_bytes,
+            resize_pending: false,
+            stats: CacheStats::new(),
+            config: PartitionedQueueConfig {
+                charge_per_item: charge,
+                ..config
+            },
+        };
+        queue.apply_sizes();
+        queue
+    }
+
+    /// Whether cliff scaling is currently active (enabled and the queue is
+    /// large enough, §5.1).
+    pub fn cliff_scaling_active(&self) -> bool {
+        self.config.enable_cliff_scaling && self.target_items() >= self.config.cliff_min_items
+    }
+
+    /// The queue's byte budget.
+    pub fn target_bytes(&self) -> u64 {
+        self.target_bytes
+    }
+
+    /// The byte budget converted to items.
+    pub fn target_items(&self) -> u64 {
+        self.target_bytes / self.config.charge_per_item
+    }
+
+    /// Bytes currently in use across both partitions.
+    pub fn used_bytes(&self) -> u64 {
+        self.left.used_bytes() + self.right.used_bytes()
+    }
+
+    /// Resident items across both partitions.
+    pub fn len(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// Whether no items are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `key` is resident in either partition.
+    pub fn contains(&self, key: Key) -> bool {
+        self.left.contains(key) || self.right.contains(key)
+    }
+
+    /// The stored value for `key`, if resident in either partition.
+    pub fn value(&self, key: Key) -> Option<&V> {
+        self.left.value(key).or_else(|| self.right.value(key))
+    }
+
+    /// Cumulative statistics for this queue.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::new();
+        self.left.reset_stats();
+        self.right.reset_stats();
+    }
+
+    /// The current Talus request ratio (fraction of requests routed left).
+    pub fn ratio(&self) -> f64 {
+        if self.cliff_scaling_active() {
+            self.scaler.ratio()
+        } else {
+            0.5
+        }
+    }
+
+    /// The cliff-scaling pointers `(left, right)` in items.
+    pub fn pointers(&self) -> (u64, u64) {
+        self.scaler.pointers()
+    }
+
+    /// Whether the pointers currently straddle a detected cliff.
+    pub fn is_scaling_a_cliff(&self) -> bool {
+        self.cliff_scaling_active() && self.scaler.is_scaling_a_cliff()
+    }
+
+    /// Sizes `(left_bytes, right_bytes)` the two partitions are currently
+    /// targeting.
+    pub fn partition_targets(&self) -> (u64, u64) {
+        (self.left.target_bytes(), self.right.target_bytes())
+    }
+
+    /// Changes the queue's byte budget (called by the hill-climbing layer).
+    /// The resize is applied on the next insertion, per the paper's
+    /// resize-on-miss rule.
+    pub fn set_target_bytes(&mut self, bytes: u64) {
+        self.target_bytes = bytes;
+        self.scaler
+            .set_queue_size(bytes / self.config.charge_per_item);
+        self.resize_pending = true;
+    }
+
+    /// Routes a key to a partition using the current ratio. The mapping is
+    /// deterministic per key for a fixed ratio, so resident keys keep
+    /// hitting the partition that stores them.
+    ///
+    /// While cliff scaling is inactive (disabled, or the queue is below the
+    /// 1000-item threshold of §5.1) the queue is not meaningfully
+    /// partitioned: everything is routed to the right sub-queue, which then
+    /// behaves exactly like a single queue with the full budget.
+    fn route(&self, key: Key) -> Partition {
+        if !self.cliff_scaling_active() {
+            return Partition::Right;
+        }
+        let ratio = self.ratio();
+        // Map the key to a uniform fraction in [0, 1).
+        let fraction = (mix64(key.raw()) >> 11) as f64 / (1u64 << 53) as f64;
+        if fraction < ratio {
+            Partition::Left
+        } else {
+            Partition::Right
+        }
+    }
+
+    /// Looks up `key`, classifying the outcome for both algorithms.
+    ///
+    /// Lookups behave like Memcached's hash table: a resident item is found
+    /// no matter which partition stores it (the partitioning only steers
+    /// insertions and evictions). The partition reported in the event is the
+    /// one that produced the signal — the partition holding the item on a
+    /// hit, or the partition whose shadow queue remembered the key on a
+    /// miss — falling back to the hash-routed partition for cold misses.
+    pub fn get(&mut self, key: Key) -> QueueEvent {
+        let routed = self.route(key);
+        // Try the routed partition first, then the other one.
+        let order = match routed {
+            Partition::Left => [Partition::Left, Partition::Right],
+            Partition::Right => [Partition::Right, Partition::Left],
+        };
+        let mut event = QueueEvent {
+            hit: false,
+            partition: routed,
+            tail_hit: false,
+            cliff_shadow_hit: false,
+            hill_shadow_hit: false,
+        };
+        for &p in &order {
+            let queue = match p {
+                Partition::Left => &mut self.left,
+                Partition::Right => &mut self.right,
+            };
+            if queue.contains(key) {
+                let result = queue.get(key);
+                event.hit = true;
+                event.partition = p;
+                event.tail_hit = result.location == Some(HitLocation::TailRegion);
+                break;
+            }
+        }
+        if !event.hit {
+            // Record the miss against the routed partition's physical queue
+            // (for per-queue statistics and policies with ghost lists).
+            match routed {
+                Partition::Left => {
+                    let _ = self.left.get(key);
+                }
+                Partition::Right => {
+                    let _ = self.right.get(key);
+                }
+            }
+            // The key lives in at most one shadow structure; search both
+            // partitions' cliff shadows first, then the hill shadows.
+            for &p in &order {
+                let (cliff, hill) = match p {
+                    Partition::Left => (&mut self.left_cliff, &mut self.left_hill),
+                    Partition::Right => (&mut self.right_cliff, &mut self.right_hill),
+                };
+                if cliff.probe(key).is_some() {
+                    event.cliff_shadow_hit = true;
+                    event.partition = p;
+                    break;
+                }
+                if hill.probe(key).is_some() {
+                    event.hill_shadow_hit = true;
+                    event.partition = p;
+                    break;
+                }
+            }
+        }
+        let partition = event.partition;
+        self.stats.record_get(event.hit);
+        if event.hill_shadow_hit {
+            self.stats.shadow_hits += 1;
+        }
+        if event.cliff_shadow_hit {
+            self.stats.cliff_shadow_hits += 1;
+        }
+        if self.cliff_scaling_active() {
+            let pointer_event = match (partition, event.tail_hit, event.cliff_shadow_hit) {
+                (Partition::Right, true, _) => Some(PointerEvent::RightQueueTailHit),
+                (Partition::Right, _, true) => Some(PointerEvent::RightQueueShadowHit),
+                (Partition::Left, true, _) => Some(PointerEvent::LeftQueueTailHit),
+                (Partition::Left, _, true) => Some(PointerEvent::LeftQueueShadowHit),
+                _ => None,
+            };
+            if let Some(pe) = pointer_event {
+                self.scaler.on_event(pe);
+                self.resize_pending = true;
+            }
+        }
+        event
+    }
+
+    /// Stores `key` with a payload of `size` bytes. Pending resizes are
+    /// applied first (this is the insertion that follows a miss), then the
+    /// item is admitted to its routed partition; evicted keys cascade into
+    /// the shadow queues.
+    ///
+    /// If the key is still sitting in one of the shadow structures (because
+    /// the preceding GET could not be classified — the wire-protocol path
+    /// does not know the item size until the SET arrives), the insertion
+    /// classifies it now: the cliff scaler is updated and the outcome
+    /// reports the hill-climbing signal. A GET that already probed the
+    /// shadow queues removed the key, so the signal is never counted twice.
+    pub fn set(&mut self, key: Key, size: u64, value: V) -> SetOutcome {
+        self.stats.record_set();
+        // Deferred shadow classification (at most one structure holds the key).
+        let mut outcome = SetOutcome::default();
+        let mut cliff_partition = None;
+        for &p in &[Partition::Left, Partition::Right] {
+            let (cliff, hill) = match p {
+                Partition::Left => (&mut self.left_cliff, &mut self.left_hill),
+                Partition::Right => (&mut self.right_cliff, &mut self.right_hill),
+            };
+            if cliff.probe(key).is_some() {
+                outcome.cliff_shadow_hit = true;
+                cliff_partition = Some(p);
+                break;
+            }
+            if hill.probe(key).is_some() {
+                outcome.hill_shadow_hit = true;
+                break;
+            }
+        }
+        if outcome.cliff_shadow_hit {
+            self.stats.cliff_shadow_hits += 1;
+        }
+        if outcome.hill_shadow_hit {
+            self.stats.shadow_hits += 1;
+        }
+        if self.cliff_scaling_active() {
+            if let Some(p) = cliff_partition {
+                let event = match p {
+                    Partition::Right => PointerEvent::RightQueueShadowHit,
+                    Partition::Left => PointerEvent::LeftQueueShadowHit,
+                };
+                self.scaler.on_event(event);
+                self.resize_pending = true;
+            }
+        }
+
+        if self.resize_pending {
+            let resize_evictions = self.apply_sizes();
+            outcome.evicted.extend(resize_evictions);
+            self.resize_pending = false;
+        }
+        let partition = self.route(key);
+        // Make sure the other partition does not keep a stale copy.
+        match partition {
+            Partition::Left => {
+                self.right.delete(key);
+            }
+            Partition::Right => {
+                self.left.delete(key);
+            }
+        }
+        let (queue, cliff, hill) = match partition {
+            Partition::Left => (&mut self.left, &mut self.left_cliff, &mut self.left_hill),
+            Partition::Right => (&mut self.right, &mut self.right_cliff, &mut self.right_hill),
+        };
+        let result = queue.set(key, size, value);
+        for evicted in &result.evicted {
+            if let Some(overflow) = cliff.insert(*evicted) {
+                hill.insert(overflow);
+            }
+        }
+        self.stats.record_evictions(result.evicted.len() as u64);
+        outcome.admitted = result.admitted;
+        outcome.evicted.extend(result.evicted);
+        outcome
+    }
+
+    /// Deletes `key` from both partitions.
+    pub fn delete(&mut self, key: Key) -> bool {
+        let left = self.left.delete(key);
+        let right = self.right.delete(key);
+        left || right
+    }
+
+    /// Applies the current pointer-derived sizes to the two partitions and
+    /// their shadow queues, evicting eagerly so the split takes effect.
+    /// Returns the keys evicted by the resize so callers can keep any
+    /// external residency index in sync.
+    fn apply_sizes(&mut self) -> Vec<Key> {
+        let charge = self.config.charge_per_item;
+        let total_items = self.target_items();
+        let left_items = if self.cliff_scaling_active() {
+            self.scaler.physical_sizes().0
+        } else {
+            // Unpartitioned operation: the right sub-queue is the queue.
+            0
+        };
+        self.left.set_target_bytes(left_items * charge);
+        // Hand the byte remainder (sub-item rounding) to the right queue so
+        // the full budget stays usable.
+        self.right
+            .set_target_bytes(self.target_bytes - left_items * charge);
+        let mut all_evicted = Vec::new();
+        for evicted in self.left.evict_to_target() {
+            if let Some(overflow) = self.left_cliff.insert(evicted) {
+                self.left_hill.insert(overflow);
+            }
+            all_evicted.push(evicted);
+        }
+        for evicted in self.right.evict_to_target() {
+            if let Some(overflow) = self.right_cliff.insert(evicted) {
+                self.right_hill.insert(overflow);
+            }
+            all_evicted.push(evicted);
+        }
+        self.stats.record_evictions(all_evicted.len() as u64);
+        // Split the hill-climbing shadow entries in proportion to the
+        // partition sizes (§5.1).
+        let entries = self.config.hill_shadow_entries;
+        let left_entries = if total_items == 0 {
+            entries / 2
+        } else {
+            ((entries as u64 * left_items) / total_items.max(1)) as usize
+        };
+        self.left_hill.set_capacity(left_entries.min(entries));
+        self.right_hill.set_capacity(entries - left_entries.min(entries));
+        all_evicted
+    }
+
+    /// Applies the current byte budget immediately, evicting as needed, and
+    /// returns the evicted keys. Used when memory is taken away from this
+    /// queue by the hill-climbing layer: reassigning a slab page in
+    /// Memcached evicts that page's items right away, so the donated memory
+    /// becomes available to the winner without over-committing the total.
+    pub fn enforce_target(&mut self) -> Vec<Key> {
+        let evicted = self.apply_sizes();
+        self.resize_pending = false;
+        evicted
+    }
+
+    /// The scaler driving this queue (read-only; for diagnostics and tests).
+    pub fn scaler(&self) -> &CliffScaler {
+        &self.scaler
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> Key {
+        Key::new(i)
+    }
+
+    fn small_queue(target_bytes: u64) -> PartitionedQueue<()> {
+        PartitionedQueue::new(PartitionedQueueConfig {
+            target_bytes,
+            charge_per_item: 100,
+            cliff_shadow_items: 8,
+            hill_shadow_entries: 64,
+            credit_items: 4,
+            cliff_min_items: 10_000_000, // effectively disabled
+            enable_cliff_scaling: true,
+            ..PartitionedQueueConfig::default()
+        })
+    }
+
+    #[test]
+    fn behaves_like_a_cache_when_split_evenly() {
+        let mut q = small_queue(100 * 100); // 100 items
+        for i in 0..50 {
+            q.set(key(i), 52, ()); // charge 100
+        }
+        let mut hits = 0;
+        for i in 0..50 {
+            if q.get(key(i)).hit {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, 50, "everything fits, everything hits");
+        assert!(q.used_bytes() <= 100 * 100);
+        assert_eq!(q.stats().gets, 50);
+        assert_eq!(q.stats().hits, 50);
+    }
+
+    #[test]
+    fn evictions_cascade_into_shadow_queues() {
+        let mut q = small_queue(20 * 100); // ~20 items
+        for i in 0..200 {
+            q.set(key(i), 52, ());
+        }
+        assert!(q.len() <= 20);
+        // Recently evicted keys are in the cliff shadows; older ones in the
+        // hill shadows; both classify the miss.
+        let mut cliff_hits = 0;
+        let mut hill_hits = 0;
+        for i in 0..200 {
+            let e = q.get(key(i));
+            if e.cliff_shadow_hit {
+                cliff_hits += 1;
+            }
+            if e.hill_shadow_hit {
+                hill_hits += 1;
+            }
+        }
+        assert!(cliff_hits > 0, "some misses must land in the cliff shadows");
+        assert!(hill_hits > 0, "older misses must land in the hill shadows");
+        assert_eq!(q.stats().cliff_shadow_hits, cliff_hits);
+        assert_eq!(q.stats().shadow_hits, hill_hits);
+    }
+
+    #[test]
+    fn tail_hits_are_reported() {
+        let mut q = PartitionedQueue::<()>::new(PartitionedQueueConfig {
+            target_bytes: 40 * 100,
+            charge_per_item: 100,
+            cliff_shadow_items: 4,
+            hill_shadow_entries: 16,
+            credit_items: 1,
+            cliff_min_items: 10_000_000,
+            enable_cliff_scaling: true,
+            ..PartitionedQueueConfig::default()
+        });
+        for i in 0..40 {
+            q.set(key(i), 52, ());
+        }
+        // The coldest resident keys sit in the tail regions of their
+        // partitions; at least one probe of an early key must be a tail hit.
+        let mut tail_hits = 0;
+        for i in 0..8 {
+            let e = q.get(key(i));
+            if e.hit && e.tail_hit {
+                tail_hits += 1;
+            }
+        }
+        assert!(tail_hits > 0, "cold resident keys should produce tail hits");
+    }
+
+    #[test]
+    fn resize_is_applied_on_the_next_insertion() {
+        let mut q = small_queue(100 * 100);
+        for i in 0..100 {
+            q.set(key(i), 52, ());
+        }
+        let before = q.len();
+        q.set_target_bytes(20 * 100);
+        assert_eq!(q.len(), before, "shrink must wait for the next insertion");
+        q.set(key(1_000), 52, ());
+        assert!(
+            q.used_bytes() <= 20 * 100,
+            "the insertion after the resize must enforce the new budget"
+        );
+    }
+
+    #[test]
+    fn growing_budget_admits_more_items() {
+        let mut q = small_queue(10 * 100);
+        for i in 0..50 {
+            q.set(key(i), 52, ());
+        }
+        assert!(q.len() <= 10);
+        q.set_target_bytes(200 * 100);
+        for i in 100..250 {
+            q.set(key(i), 52, ());
+        }
+        assert!(q.len() > 100, "queue should grow into the new budget");
+        assert!(q.used_bytes() <= 200 * 100);
+    }
+
+    #[test]
+    fn cliff_scaling_lifts_a_cyclic_scan_off_the_cliff_floor() {
+        // A cyclic scan 10% larger than the queue is the canonical
+        // performance cliff: a plain LRU queue of the same size hits (almost)
+        // nothing, because every item is evicted just before its reuse.
+        // Cliff scaling splits the queue unevenly so that one partition fits
+        // its share of the scan, recovering a large fraction of the hits.
+        let universe = 2_200u64;
+        let rounds = 12;
+        let make = |enable_cliff_scaling: bool| {
+            PartitionedQueue::<()>::new(PartitionedQueueConfig {
+                target_bytes: 2_000 * 100,
+                charge_per_item: 100,
+                cliff_shadow_items: 128,
+                hill_shadow_entries: 4_096,
+                credit_items: 16,
+                cliff_min_items: 1_000,
+                enable_cliff_scaling,
+                ..PartitionedQueueConfig::default()
+            })
+        };
+        let run = |q: &mut PartitionedQueue<()>| {
+            for _ in 0..rounds {
+                for i in 0..universe {
+                    let e = q.get(key(i));
+                    if !e.hit {
+                        q.set(key(i), 52, ());
+                    }
+                }
+            }
+            q.stats()
+        };
+        let mut managed = make(true);
+        assert!(managed.cliff_scaling_active());
+        let managed_stats = run(&mut managed);
+
+        let mut baseline = make(false);
+        assert!(!baseline.cliff_scaling_active());
+        let baseline_stats = run(&mut baseline);
+
+        // The scan produced cliff-shadow signals and an uneven split.
+        assert!(managed_stats.cliff_shadow_hits > 0);
+        let (lt, rt) = managed.partition_targets();
+        assert_ne!(lt, rt, "cliff scaling should produce an uneven split");
+        // The baseline even split behaves like plain LRU on a too-large scan:
+        // almost no hits. Cliff scaling must recover a substantial fraction.
+        assert!(
+            baseline_stats.hit_ratio().value() < 0.05,
+            "baseline should sit at the cliff floor, got {:.3}",
+            baseline_stats.hit_ratio().value()
+        );
+        assert!(
+            managed_stats.hit_ratio().value() > 0.25,
+            "cliff scaling should lift the hit rate well off the floor, got {:.3}",
+            managed_stats.hit_ratio().value()
+        );
+    }
+
+    #[test]
+    fn disabled_cliff_scaling_behaves_as_a_single_queue() {
+        let mut q = PartitionedQueue::<()>::new(PartitionedQueueConfig {
+            target_bytes: 2_000 * 100,
+            charge_per_item: 100,
+            enable_cliff_scaling: false,
+            ..PartitionedQueueConfig::default()
+        });
+        assert!(!q.cliff_scaling_active());
+        for i in 0..5_000u64 {
+            let e = q.get(key(i % 2_600));
+            if !e.hit {
+                q.set(key(i % 2_600), 52, ());
+            }
+        }
+        assert!((q.ratio() - 0.5).abs() < f64::EPSILON);
+        // Without cliff scaling the whole budget backs one (the right)
+        // sub-queue, i.e. the structure degenerates to a single LRU queue.
+        let (lt, rt) = q.partition_targets();
+        assert_eq!(lt, 0, "left partition unused when cliff scaling is off");
+        assert_eq!(rt, 2_000 * 100);
+        assert!(q.used_bytes() <= 2_000 * 100);
+    }
+
+    #[test]
+    fn delete_and_value_check_both_partitions() {
+        let mut q: PartitionedQueue<String> = PartitionedQueue::new(PartitionedQueueConfig {
+            target_bytes: 50 * 100,
+            charge_per_item: 100,
+            ..PartitionedQueueConfig::default()
+        });
+        for i in 0..20 {
+            q.set(key(i), 10, format!("v{i}"));
+        }
+        assert_eq!(q.value(key(3)).map(String::as_str), Some("v3"));
+        assert!(q.contains(key(3)));
+        assert!(q.delete(key(3)));
+        assert!(!q.delete(key(3)));
+        assert!(q.value(key(3)).is_none());
+    }
+
+    #[test]
+    fn routing_is_deterministic_for_a_fixed_ratio() {
+        // A queue large enough for cliff scaling to be active, so requests
+        // are hash-partitioned by the Talus ratio.
+        let q = PartitionedQueue::<()>::new(PartitionedQueueConfig {
+            target_bytes: 5_000 * 100,
+            charge_per_item: 100,
+            cliff_shadow_items: 128,
+            hill_shadow_entries: 1_024,
+            credit_items: 16,
+            cliff_min_items: 1_000,
+            enable_cliff_scaling: true,
+            ..PartitionedQueueConfig::default()
+        });
+        assert!(q.cliff_scaling_active());
+        for i in 0..100 {
+            assert_eq!(q.route(key(i)), q.route(key(i)));
+        }
+        // Roughly half the keys go to each side under an even ratio.
+        let left = (0..1_000).filter(|&i| q.route(key(i)) == Partition::Left).count();
+        assert!((350..=650).contains(&left), "left share = {left}");
+
+        // Below the threshold everything is routed to the right sub-queue.
+        let small = small_queue(100 * 100);
+        assert!(!small.cliff_scaling_active());
+        assert!((0..100).all(|i| small.route(key(i)) == Partition::Right));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the Cliffhanger algorithms' core invariants:
+//! memory conservation under hill climbing, pointer bounds and size
+//! conservation under cliff scaling, and byte budgets under arbitrary
+//! request streams.
+
+use cliffhanger::cliff_scale::{CliffScaler, PointerEvent};
+use cliffhanger::partitioned_queue::{PartitionedQueue, PartitionedQueueConfig};
+use cliffhanger::{Cliffhanger, CliffhangerConfig, HillClimber};
+use cache_core::{Key, SlabConfig};
+use proptest::prelude::*;
+
+fn pointer_event() -> impl Strategy<Value = PointerEvent> {
+    prop_oneof![
+        Just(PointerEvent::RightQueueShadowHit),
+        Just(PointerEvent::RightQueueTailHit),
+        Just(PointerEvent::LeftQueueShadowHit),
+        Just(PointerEvent::LeftQueueTailHit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Algorithm 1 moves credits around but never creates or destroys
+    /// memory, and never drives a queue below the configured floor.
+    #[test]
+    fn hill_climbing_conserves_memory_and_respects_floor(
+        queues in 2usize..12,
+        credit_kb in 1u64..16,
+        floor_kb in 0u64..64,
+        hits in prop::collection::vec(any::<u8>(), 1..500),
+    ) {
+        let total = 4u64 << 20;
+        let credit = credit_kb * 1024;
+        let floor = floor_kb * 1024;
+        let mut climber = HillClimber::even_split(queues, total, credit, floor, 42);
+        let initial_total = climber.total();
+        for hit in hits {
+            climber.on_shadow_hit(hit as usize % queues);
+            prop_assert_eq!(climber.total(), initial_total);
+            for &target in climber.targets() {
+                prop_assert!(target >= floor.min(initial_total / queues as u64),
+                    "target {} below floor {}", target, floor);
+            }
+        }
+    }
+
+    /// Algorithms 2–3 keep the two physical sizes summing to the queue size
+    /// and keep the pointers bracketing the operating point, for any event
+    /// sequence and any interleaved queue resizes.
+    #[test]
+    fn cliff_scaler_invariants(
+        queue_items in 100u64..20_000,
+        credit in 1u64..256,
+        events in prop::collection::vec(pointer_event(), 1..400),
+        resize_to in prop::option::of(50u64..30_000),
+    ) {
+        let mut scaler = CliffScaler::new(queue_items, credit);
+        for (i, event) in events.iter().enumerate() {
+            scaler.on_event(*event);
+            if i == events.len() / 2 {
+                if let Some(new_size) = resize_to {
+                    scaler.set_queue_size(new_size);
+                }
+            }
+            let size = scaler.queue_size();
+            let (left_ptr, right_ptr) = scaler.pointers();
+            prop_assert!(right_ptr >= size, "right pointer {} below size {}", right_ptr, size);
+            prop_assert!(left_ptr <= size, "left pointer {} above size {}", left_ptr, size);
+            let (left, right) = scaler.physical_sizes();
+            prop_assert_eq!(left + right, size);
+            let ratio = scaler.ratio();
+            prop_assert!((0.0..=1.0).contains(&ratio));
+        }
+    }
+
+    /// A partitioned queue with a fixed budget never exceeds it, no matter
+    /// how requests arrive, and a full Cliffhanger cache never exceeds its
+    /// total reservation by more than one in-flight item.
+    #[test]
+    fn partitioned_queue_respects_budget(
+        budget_items in 16u64..256,
+        keys in prop::collection::vec(any::<u16>(), 1..400),
+    ) {
+        let charge = 100u64;
+        let mut queue: PartitionedQueue<()> = PartitionedQueue::new(PartitionedQueueConfig {
+            target_bytes: budget_items * charge,
+            charge_per_item: charge,
+            cliff_shadow_items: 8,
+            hill_shadow_entries: 64,
+            credit_items: 4,
+            cliff_min_items: 64,
+            enable_cliff_scaling: true,
+            ..PartitionedQueueConfig::default()
+        });
+        for k in keys {
+            let key = Key::new(k as u64);
+            if !queue.get(key).hit {
+                queue.set(key, 52, ());
+            }
+            prop_assert!(queue.used_bytes() <= budget_items * charge);
+            prop_assert!(queue.ratio() >= 0.0 && queue.ratio() <= 1.0);
+        }
+    }
+
+    /// The managed cache conserves its total byte budget across arbitrary
+    /// workloads (hill climbing only ever moves memory between classes).
+    #[test]
+    fn cliffhanger_cache_conserves_total_budget(
+        requests in prop::collection::vec((any::<u16>(), 1u64..8_000), 1..300),
+    ) {
+        let config = CliffhangerConfig {
+            slab: SlabConfig::new(64, 2.0, 8_192),
+            total_bytes: 1 << 20,
+            credit_bytes: 1 << 10,
+            hill_shadow_bytes: 32 << 10,
+            cliff_shadow_items: 8,
+            min_class_bytes: 8 << 10,
+            ..CliffhangerConfig::default()
+        };
+        let mut cache: Cliffhanger<()> = Cliffhanger::new(config);
+        let total = cache.total_bytes();
+        for (key, size) in requests {
+            let key = Key::new(key as u64);
+            let hit = cache.get(key, size).map(|(_, e)| e.hit).unwrap_or(false);
+            if !hit {
+                cache.set(key, size, ());
+            }
+            prop_assert_eq!(cache.total_bytes(), total);
+            // Resizes are applied lazily (on the next insertion into the
+            // shrunk class), so transient overshoot is bounded by the credits
+            // moved so far — never unbounded.
+            let slack = cache.config().credit_bytes * (cache.transfers() + 1);
+            prop_assert!(cache.used_bytes() <= total + slack,
+                "used {} exceeds reservation {} plus slack {}",
+                cache.used_bytes(), total, slack);
+        }
+    }
+}

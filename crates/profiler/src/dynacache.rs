@@ -1,0 +1,291 @@
+//! The Dynacache solver (paper Equation 1).
+//!
+//! Dynacache maximises `Σ_i w_i · f_i · h_i(m_i)` subject to `Σ_i m_i ≤ M`,
+//! where `f_i` is the GET frequency of queue `i` and `h_i` its hit-rate
+//! curve. On concave curves the optimum is reached by water-filling: keep
+//! giving the next memory increment to the queue with the highest marginal
+//! utility (`f_i · h_i'`), which is exactly what this module implements.
+//!
+//! Two variants are provided:
+//!
+//! * [`DynacacheSolver::allocate`] evaluates marginal gains on the *raw*
+//!   measured curves with a fixed step. On concave curves this converges to
+//!   the optimum; on curves with performance cliffs it underestimates the
+//!   gain just before a cliff (it only looks one step ahead) and can get
+//!   stuck — the failure mode the paper reports for application 19 (§3.5).
+//! * [`DynacacheSolver::allocate_on_hull`] evaluates gains on the concave
+//!   hulls, modelling a solver with perfect knowledge of cliff structure
+//!   (the upper bound Talus-style partitioning can realise).
+
+use crate::curve::HitRateCurve;
+use crate::hull::ConcaveHull;
+use serde::{Deserialize, Serialize};
+
+/// Everything the solver needs to know about one queue.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QueueProfile {
+    /// Hit-rate curve over queue sizes in items.
+    pub curve: HitRateCurve,
+    /// Fraction of the application's GETs that go to this queue (`f_i`).
+    pub frequency: f64,
+    /// Bytes charged per item in this queue (the slab chunk size plus
+    /// per-item overhead) — converts byte budgets to item counts.
+    pub bytes_per_item: u64,
+    /// Optional priority weight (`w_i`); the paper uses 1 everywhere.
+    pub weight: f64,
+}
+
+impl QueueProfile {
+    /// A profile with unit weight.
+    pub fn new(curve: HitRateCurve, frequency: f64, bytes_per_item: u64) -> Self {
+        QueueProfile {
+            curve,
+            frequency,
+            bytes_per_item: bytes_per_item.max(1),
+            weight: 1.0,
+        }
+    }
+}
+
+/// The result of a solver run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Bytes assigned to each queue, in input order.
+    pub bytes: Vec<u64>,
+    /// The solver's prediction of the overall hit rate under this
+    /// allocation, `Σ f_i · h_i(m_i) / Σ f_i`.
+    pub predicted_hit_rate: f64,
+}
+
+impl Allocation {
+    /// Bytes assigned to queue `i`.
+    pub fn bytes_for(&self, i: usize) -> u64 {
+        self.bytes[i]
+    }
+
+    /// Total bytes assigned.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+}
+
+/// Marginal-utility water-filling solver.
+#[derive(Clone, Debug)]
+pub struct DynacacheSolver {
+    /// Allocation granularity in bytes.
+    pub step_bytes: u64,
+}
+
+impl Default for DynacacheSolver {
+    fn default() -> Self {
+        // 1 MB steps: the page granularity Memcached reassigns between slab
+        // classes.
+        DynacacheSolver { step_bytes: 1 << 20 }
+    }
+}
+
+impl DynacacheSolver {
+    /// Creates a solver with the given step granularity.
+    pub fn new(step_bytes: u64) -> Self {
+        assert!(step_bytes > 0, "step must be positive");
+        DynacacheSolver { step_bytes }
+    }
+
+    /// Allocates `total_bytes` across the queues using their raw curves.
+    pub fn allocate(&self, profiles: &[QueueProfile], total_bytes: u64) -> Allocation {
+        self.run(profiles, total_bytes, false)
+    }
+
+    /// Allocates `total_bytes` across the queues using concave hulls.
+    pub fn allocate_on_hull(&self, profiles: &[QueueProfile], total_bytes: u64) -> Allocation {
+        self.run(profiles, total_bytes, true)
+    }
+
+    fn run(&self, profiles: &[QueueProfile], total_bytes: u64, on_hull: bool) -> Allocation {
+        let n = profiles.len();
+        if n == 0 {
+            return Allocation {
+                bytes: Vec::new(),
+                predicted_hit_rate: 0.0,
+            };
+        }
+        let hulls: Vec<Option<ConcaveHull>> = if on_hull {
+            profiles.iter().map(|p| Some(p.curve.concave_hull())).collect()
+        } else {
+            vec![None; n]
+        };
+        let value = |i: usize, bytes: u64| -> f64 {
+            let items = bytes / profiles[i].bytes_per_item;
+            match &hulls[i] {
+                Some(h) => h.value_at(items),
+                None => profiles[i].curve.hit_rate_at(items),
+            }
+        };
+
+        let mut bytes = vec![0u64; n];
+        let mut remaining = total_bytes;
+        while remaining > 0 {
+            let step = self.step_bytes.min(remaining);
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..n {
+                let gain = profiles[i].weight
+                    * profiles[i].frequency
+                    * (value(i, bytes[i] + step) - value(i, bytes[i]));
+                match best {
+                    Some((_, g)) if g >= gain => {}
+                    _ => best = Some((i, gain)),
+                }
+            }
+            let (winner, gain) = best.expect("n > 0");
+            if gain <= 0.0 {
+                // No queue benefits from more memory: spread the remainder
+                // evenly so the full reservation stays assigned.
+                let share = remaining / n as u64;
+                if share == 0 {
+                    bytes[0] += remaining;
+                    remaining = 0;
+                } else {
+                    for b in bytes.iter_mut() {
+                        *b += share;
+                        remaining -= share;
+                    }
+                }
+                continue;
+            }
+            bytes[winner] += step;
+            remaining -= step;
+        }
+
+        let total_freq: f64 = profiles.iter().map(|p| p.frequency).sum();
+        let predicted = if total_freq > 0.0 {
+            profiles
+                .iter()
+                .enumerate()
+                .map(|(i, p)| p.frequency * value(i, bytes[i]))
+                .sum::<f64>()
+                / total_freq
+        } else {
+            0.0
+        };
+        Allocation {
+            bytes,
+            predicted_hit_rate: predicted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::cliff_curve;
+
+    fn concave(scale: f64, knee: f64) -> HitRateCurve {
+        // h(x) = scale * x / (x + knee): concave, saturating at `scale`.
+        let points = (1..=200u64)
+            .map(|i| {
+                let x = i * 100;
+                (x, scale * x as f64 / (x as f64 + knee))
+            })
+            .collect();
+        HitRateCurve::from_points(points)
+    }
+
+    #[test]
+    fn single_queue_gets_everything_useful() {
+        let solver = DynacacheSolver::new(1 << 10);
+        let profiles = vec![QueueProfile::new(concave(0.9, 2_000.0), 1.0, 100)];
+        let alloc = solver.allocate(&profiles, 1 << 20);
+        assert_eq!(alloc.total_bytes(), 1 << 20);
+        assert!(alloc.predicted_hit_rate > 0.7);
+    }
+
+    #[test]
+    fn memory_flows_to_the_hotter_queue() {
+        let solver = DynacacheSolver::new(4 << 10);
+        // Queue 0 receives 90% of the GETs, queue 1 only 10%; identical curves.
+        let profiles = vec![
+            QueueProfile::new(concave(0.9, 5_000.0), 0.9, 100),
+            QueueProfile::new(concave(0.9, 5_000.0), 0.1, 100),
+        ];
+        let alloc = solver.allocate(&profiles, 2 << 20);
+        assert!(
+            alloc.bytes_for(0) > alloc.bytes_for(1),
+            "the high-frequency queue must receive more memory: {:?}",
+            alloc.bytes
+        );
+        assert_eq!(alloc.total_bytes(), 2 << 20);
+    }
+
+    #[test]
+    fn equal_queues_get_roughly_equal_memory() {
+        let solver = DynacacheSolver::new(1 << 10);
+        let profiles = vec![
+            QueueProfile::new(concave(0.8, 3_000.0), 0.5, 100),
+            QueueProfile::new(concave(0.8, 3_000.0), 0.5, 100),
+        ];
+        let alloc = solver.allocate(&profiles, 2 << 20);
+        let a = alloc.bytes_for(0) as f64;
+        let b = alloc.bytes_for(1) as f64;
+        assert!((a - b).abs() / (a + b) < 0.05, "{:?}", alloc.bytes);
+    }
+
+    #[test]
+    fn solver_gets_stuck_before_a_cliff_but_hull_does_not() {
+        let solver = DynacacheSolver::new(16 << 10); // 16 KB steps = 160 items
+        // Queue 0: modest concave curve. Queue 1: all-or-nothing cliff at
+        // 10_000 items with a much higher plateau.
+        let profiles = vec![
+            QueueProfile::new(concave(0.5, 1_000.0), 0.5, 100),
+            QueueProfile::new(cliff_curve(10_000, 0.9), 0.5, 100),
+        ];
+        // Enough memory to either feed queue 0 far into diminishing returns
+        // or push queue 1 over its cliff (10_000 items = ~1 MB), but not both
+        // generously.
+        let total = 1_400_000u64;
+        let raw = solver.allocate(&profiles, total);
+        let hull = solver.allocate_on_hull(&profiles, total);
+        let cliff_bytes_needed = 10_000 * 100;
+        assert!(
+            raw.bytes_for(1) < cliff_bytes_needed / 2,
+            "raw solver should under-allocate the cliff queue (got {} bytes)",
+            raw.bytes_for(1)
+        );
+        assert!(
+            hull.bytes_for(1) >= cliff_bytes_needed * 95 / 100,
+            "hull-aware solver should allocate the cliff queue (almost) up to \
+             its cliff (got {} bytes)",
+            hull.bytes_for(1)
+        );
+        assert!(hull.bytes_for(1) > 3 * raw.bytes_for(1));
+        assert!(hull.predicted_hit_rate > raw.predicted_hit_rate);
+    }
+
+    #[test]
+    fn zero_queues_and_zero_memory() {
+        let solver = DynacacheSolver::default();
+        let empty = solver.allocate(&[], 1 << 20);
+        assert!(empty.bytes.is_empty());
+        let profiles = vec![QueueProfile::new(concave(0.9, 100.0), 1.0, 64)];
+        let none = solver.allocate(&profiles, 0);
+        assert_eq!(none.bytes_for(0), 0);
+        assert_eq!(none.predicted_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn flat_curves_still_distribute_all_memory() {
+        let solver = DynacacheSolver::new(1 << 10);
+        let flat = HitRateCurve::from_points(vec![(1, 0.5), (1_000, 0.5)]);
+        let profiles = vec![
+            QueueProfile::new(flat.clone(), 0.5, 100),
+            QueueProfile::new(flat, 0.5, 100),
+        ];
+        let alloc = solver.allocate(&profiles, 1 << 20);
+        assert_eq!(alloc.total_bytes(), 1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_rejected() {
+        let _ = DynacacheSolver::new(0);
+    }
+}

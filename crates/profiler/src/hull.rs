@@ -1,0 +1,182 @@
+//! Concave (upper) hulls of hit-rate curves.
+//!
+//! Talus achieves, for any queue size, the hit rate of the *concave hull* of
+//! the queue's hit-rate curve by splitting the queue in two and interpolating
+//! between two well-chosen points (paper §4.2, Figure 4). This module
+//! computes that hull and exposes the anchor points Talus needs.
+
+use crate::curve::HitRateCurve;
+use serde::{Deserialize, Serialize};
+
+/// The concave hull of a hit-rate curve: the smallest concave function that
+/// dominates the curve on `[0, max_items]`, anchored at `(0, 0)`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConcaveHull {
+    /// Hull vertices, strictly increasing in items, starting at `(0, 0)`.
+    vertices: Vec<(u64, f64)>,
+}
+
+impl ConcaveHull {
+    /// Computes the concave hull of a curve.
+    pub fn of_curve(curve: &HitRateCurve) -> Self {
+        let mut points: Vec<(u64, f64)> = Vec::with_capacity(curve.points().len() + 1);
+        points.push((0, 0.0));
+        points.extend_from_slice(curve.points());
+        Self::of_points(points)
+    }
+
+    /// Computes the concave hull of arbitrary `(items, rate)` points
+    /// (assumed sorted by items, deduplicated).
+    pub fn of_points(points: Vec<(u64, f64)>) -> Self {
+        // Andrew's monotone chain, upper hull only: keep turning clockwise.
+        let mut hull: Vec<(u64, f64)> = Vec::with_capacity(points.len());
+        for p in points {
+            while hull.len() >= 2 {
+                let a = hull[hull.len() - 2];
+                let b = hull[hull.len() - 1];
+                if cross(a, b, p) >= 0.0 {
+                    // b is below or on the segment a->p: not a hull vertex.
+                    hull.pop();
+                } else {
+                    break;
+                }
+            }
+            hull.push(p);
+        }
+        if hull.is_empty() {
+            hull.push((0, 0.0));
+        }
+        ConcaveHull { vertices: hull }
+    }
+
+    /// The hull vertices.
+    pub fn vertices(&self) -> &[(u64, f64)] {
+        &self.vertices
+    }
+
+    /// Evaluates the hull at `items` (linear interpolation between vertices,
+    /// flat beyond the last vertex).
+    pub fn value_at(&self, items: u64) -> f64 {
+        if self.vertices.is_empty() {
+            return 0.0;
+        }
+        if items <= self.vertices[0].0 {
+            return if self.vertices[0].0 == 0 {
+                self.vertices[0].1
+            } else {
+                self.vertices[0].1 * items as f64 / self.vertices[0].0 as f64
+            };
+        }
+        for w in self.vertices.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if items <= x1 {
+                let t = (items - x0) as f64 / (x1 - x0) as f64;
+                return y0 + t * (y1 - y0);
+            }
+        }
+        self.vertices.last().unwrap().1
+    }
+
+    /// The hull segment that spans `items`: the two vertices `(a, b)` such
+    /// that `a.0 <= items <= b.0`, or `None` if `items` lies beyond the hull.
+    ///
+    /// These are exactly the Talus anchor points: when the underlying curve
+    /// is below the hull at `items`, operating two sub-queues that simulate
+    /// sizes `a.0` and `b.0` achieves the hull's (higher) hit rate.
+    pub fn bracketing_segment(&self, items: u64) -> Option<((u64, f64), (u64, f64))> {
+        for w in self.vertices.windows(2) {
+            if w[0].0 <= items && items <= w[1].0 {
+                return Some((w[0], w[1]));
+            }
+        }
+        None
+    }
+
+    /// Whether `items` falls strictly inside a hull segment whose interior
+    /// lies above the curve by more than `tolerance` — i.e. inside a
+    /// performance cliff that Talus-style partitioning can flatten.
+    pub fn in_cliff_region(&self, curve: &HitRateCurve, items: u64, tolerance: f64) -> bool {
+        self.value_at(items) - curve.hit_rate_at(items) > tolerance
+    }
+}
+
+/// Cross product of (b - a) x (p - a) in the (items, rate) plane, with items
+/// cast to f64. Positive when the three points turn counter-clockwise.
+fn cross(a: (u64, f64), b: (u64, f64), p: (u64, f64)) -> f64 {
+    let (ax, ay) = (a.0 as f64, a.1);
+    let (bx, by) = (b.0 as f64, b.1);
+    let (px, py) = (p.0 as f64, p.1);
+    (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::cliff_curve;
+
+    #[test]
+    fn hull_of_concave_curve_is_the_curve() {
+        let curve = HitRateCurve::from_points(vec![
+            (100, 0.4),
+            (200, 0.6),
+            (400, 0.75),
+            (800, 0.8),
+        ]);
+        let hull = curve.concave_hull();
+        for probe in [50u64, 100, 150, 300, 600, 800] {
+            assert!(
+                (hull.value_at(probe) - curve.hit_rate_at(probe)).abs() < 1e-9,
+                "hull must coincide with a concave curve at {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn hull_dominates_cliff_curve() {
+        let curve = cliff_curve(10_000, 0.8);
+        let hull = curve.concave_hull();
+        for probe in (500..20_000).step_by(500) {
+            assert!(
+                hull.value_at(probe) + 1e-9 >= curve.hit_rate_at(probe),
+                "hull below curve at {probe}"
+            );
+        }
+        // In the middle of the cliff the hull is far above the curve.
+        assert!(hull.value_at(8_000) - curve.hit_rate_at(8_000) > 0.3);
+        assert!(hull.in_cliff_region(&curve, 8_000, 0.05));
+        assert!(!hull.in_cliff_region(&curve, 19_000, 0.05));
+    }
+
+    #[test]
+    fn hull_is_concave() {
+        let curve = cliff_curve(5_000, 0.9);
+        let hull = curve.concave_hull();
+        let v = hull.vertices();
+        for w in v.windows(3) {
+            let s1 = (w[1].1 - w[0].1) / (w[1].0 - w[0].0) as f64;
+            let s2 = (w[2].1 - w[1].1) / (w[2].0 - w[1].0) as f64;
+            assert!(s1 >= s2 - 1e-12, "hull slopes must be non-increasing");
+        }
+        assert_eq!(v[0], (0, 0.0));
+    }
+
+    #[test]
+    fn bracketing_segment_spans_the_cliff() {
+        let curve = cliff_curve(10_000, 0.8);
+        let hull = curve.concave_hull();
+        let (a, b) = hull.bracketing_segment(8_000).expect("inside hull range");
+        assert!(a.0 < 8_000 && 8_000 < b.0);
+        // The right anchor should be at or beyond the top of the cliff.
+        assert!(b.0 >= 10_000);
+        assert!(hull.bracketing_segment(10_000_000).is_none());
+    }
+
+    #[test]
+    fn value_beyond_last_vertex_is_flat() {
+        let curve = HitRateCurve::from_points(vec![(10, 0.5)]);
+        let hull = curve.concave_hull();
+        assert!((hull.value_at(10_000) - 0.5).abs() < 1e-12);
+        assert!((hull.value_at(5) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,192 @@
+//! The LookAhead allocator (Qureshi & Patt, MICRO 2006).
+//!
+//! Utility-based cache partitioning's LookAhead algorithm handles non-convex
+//! utility curves by considering, for every queue, the *best average* marginal
+//! utility over all possible look-ahead amounts — so a queue whose benefit
+//! only materialises after a large allocation (a cliff) still competes
+//! fairly. The paper cites it as the other curve-based way (besides Talus) of
+//! coping with performance cliffs (§6.2).
+
+use crate::dynacache::{Allocation, QueueProfile};
+
+/// Block-granular LookAhead allocation over measured hit-rate curves.
+#[derive(Clone, Debug)]
+pub struct LookAheadAllocator {
+    /// Allocation block size in bytes.
+    pub block_bytes: u64,
+}
+
+impl Default for LookAheadAllocator {
+    fn default() -> Self {
+        LookAheadAllocator { block_bytes: 1 << 20 }
+    }
+}
+
+impl LookAheadAllocator {
+    /// Creates an allocator with the given block size.
+    pub fn new(block_bytes: u64) -> Self {
+        assert!(block_bytes > 0, "block size must be positive");
+        LookAheadAllocator { block_bytes }
+    }
+
+    /// Allocates `total_bytes` across the queues.
+    pub fn allocate(&self, profiles: &[QueueProfile], total_bytes: u64) -> Allocation {
+        let n = profiles.len();
+        if n == 0 {
+            return Allocation {
+                bytes: Vec::new(),
+                predicted_hit_rate: 0.0,
+            };
+        }
+        let total_blocks = (total_bytes / self.block_bytes) as usize;
+        let mut blocks = vec![0usize; n];
+        let mut remaining = total_blocks;
+
+        let value = |i: usize, blk: usize| -> f64 {
+            let items = blk as u64 * self.block_bytes / profiles[i].bytes_per_item;
+            profiles[i].weight * profiles[i].frequency * profiles[i].curve.hit_rate_at(items)
+        };
+
+        while remaining > 0 {
+            // For each queue find the look-ahead k that maximises the average
+            // marginal utility per block.
+            let mut best: Option<(usize, usize, f64)> = None; // (queue, k, avg gain)
+            for i in 0..n {
+                let here = value(i, blocks[i]);
+                let mut best_k = 0usize;
+                let mut best_avg = 0.0f64;
+                for k in 1..=remaining {
+                    let gain = value(i, blocks[i] + k) - here;
+                    let avg = gain / k as f64;
+                    if avg > best_avg {
+                        best_avg = avg;
+                        best_k = k;
+                    }
+                }
+                if best_k > 0 {
+                    match best {
+                        Some((_, _, g)) if g >= best_avg => {}
+                        _ => best = Some((i, best_k, best_avg)),
+                    }
+                }
+            }
+            match best {
+                Some((i, k, _)) => {
+                    blocks[i] += k;
+                    remaining -= k;
+                }
+                None => {
+                    // No queue benefits: spread the rest round-robin.
+                    let mut i = 0;
+                    while remaining > 0 {
+                        blocks[i % n] += 1;
+                        remaining -= 1;
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        let bytes: Vec<u64> = {
+            let mut b: Vec<u64> = blocks
+                .iter()
+                .map(|&blk| blk as u64 * self.block_bytes)
+                .collect();
+            // Hand any sub-block remainder to the first queue so the full
+            // budget is accounted for.
+            let assigned: u64 = b.iter().sum();
+            if let Some(first) = b.first_mut() {
+                *first += total_bytes - assigned;
+            }
+            b
+        };
+        let total_freq: f64 = profiles.iter().map(|p| p.frequency).sum();
+        let predicted = if total_freq > 0.0 {
+            profiles
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let items = bytes[i] / p.bytes_per_item;
+                    p.frequency * p.curve.hit_rate_at(items)
+                })
+                .sum::<f64>()
+                / total_freq
+        } else {
+            0.0
+        };
+        Allocation {
+            bytes,
+            predicted_hit_rate: predicted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::{cliff_curve, HitRateCurve};
+
+    fn concave(scale: f64, knee: f64) -> HitRateCurve {
+        let points = (1..=200u64)
+            .map(|i| {
+                let x = i * 100;
+                (x, scale * x as f64 / (x as f64 + knee))
+            })
+            .collect();
+        HitRateCurve::from_points(points)
+    }
+
+    #[test]
+    fn lookahead_crosses_cliffs_that_greedy_misses() {
+        // Same scenario as the Dynacache solver test: LookAhead must push the
+        // cliff queue over its cliff because it evaluates the whole jump.
+        let profiles = vec![
+            QueueProfile::new(concave(0.5, 1_000.0), 0.5, 100),
+            QueueProfile::new(cliff_curve(10_000, 0.9), 0.5, 100),
+        ];
+        let alloc = LookAheadAllocator::new(16 << 10).allocate(&profiles, 1_400_000);
+        assert!(
+            alloc.bytes_for(1) >= 10_000 * 100,
+            "LookAhead should allocate past the cliff, got {} bytes",
+            alloc.bytes_for(1)
+        );
+        assert_eq!(alloc.total_bytes(), 1_400_000);
+    }
+
+    #[test]
+    fn concave_inputs_behave_like_water_filling() {
+        let profiles = vec![
+            QueueProfile::new(concave(0.9, 5_000.0), 0.9, 100),
+            QueueProfile::new(concave(0.9, 5_000.0), 0.1, 100),
+        ];
+        let alloc = LookAheadAllocator::new(64 << 10).allocate(&profiles, 2 << 20);
+        assert!(alloc.bytes_for(0) > alloc.bytes_for(1));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let alloc = LookAheadAllocator::default().allocate(&[], 1 << 20);
+        assert!(alloc.bytes.is_empty());
+        let profiles = vec![QueueProfile::new(concave(0.5, 100.0), 1.0, 64)];
+        let alloc = LookAheadAllocator::new(1 << 10).allocate(&profiles, 0);
+        assert_eq!(alloc.total_bytes(), 0);
+    }
+
+    #[test]
+    fn flat_curves_spread_budget() {
+        let flat = HitRateCurve::from_points(vec![(1, 0.4), (10, 0.4)]);
+        let profiles = vec![
+            QueueProfile::new(flat.clone(), 0.5, 100),
+            QueueProfile::new(flat, 0.5, 100),
+        ];
+        let alloc = LookAheadAllocator::new(1 << 10).allocate(&profiles, 64 << 10);
+        assert_eq!(alloc.total_bytes(), 64 << 10);
+        assert!(alloc.bytes_for(0) > 0 && alloc.bytes_for(1) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_rejected() {
+        let _ = LookAheadAllocator::new(0);
+    }
+}

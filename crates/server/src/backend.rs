@@ -1,0 +1,345 @@
+//! The shared cache behind the TCP connections.
+//!
+//! The wire protocol uses arbitrary byte-string keys while the cache core
+//! uses compact 64-bit keys, so the backend hashes the byte key (FNV-1a) and
+//! stores the full key alongside the value to verify exact matches on
+//! lookup — a hash collision is simply treated as a miss for the colliding
+//! key, never as a wrong value.
+
+use bytes::Bytes;
+use cache_core::store::AllocationMode;
+use cache_core::{hash_bytes, Key, PolicyKind, SlabCache, SlabCacheConfig, SlabConfig};
+use cliffhanger::{Cliffhanger, CliffhangerConfig};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which allocation scheme the server runs (Tables 6–7 compare these).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendMode {
+    /// Stock Memcached behaviour: first-come-first-serve slab allocation.
+    Default,
+    /// Hill climbing only (Algorithm 1).
+    HillClimbing,
+    /// The full Cliffhanger system (both algorithms).
+    Cliffhanger,
+}
+
+/// Backend configuration.
+#[derive(Clone, Debug)]
+pub struct BackendConfig {
+    /// Total cache memory in bytes.
+    pub total_bytes: u64,
+    /// Which allocation scheme to run.
+    pub mode: BackendMode,
+    /// Slab-class geometry.
+    pub slab: SlabConfig,
+}
+
+impl Default for BackendConfig {
+    fn default() -> Self {
+        BackendConfig {
+            total_bytes: 64 << 20,
+            mode: BackendMode::Cliffhanger,
+            slab: SlabConfig::default(),
+        }
+    }
+}
+
+/// A value as stored by the server.
+#[derive(Clone, Debug)]
+struct StoredValue {
+    /// The full byte-string key (for exact-match verification).
+    key: Bytes,
+    /// Client flags.
+    flags: u32,
+    /// The payload.
+    data: Bytes,
+}
+
+enum Inner {
+    Plain(SlabCache<StoredValue>),
+    Managed(Box<Cliffhanger<StoredValue>>),
+}
+
+impl Inner {
+    fn build(config: &BackendConfig) -> Inner {
+        match config.mode {
+            BackendMode::Default => Inner::Plain(SlabCache::new(SlabCacheConfig {
+                slab: config.slab.clone(),
+                total_bytes: config.total_bytes,
+                policy: PolicyKind::Lru,
+                mode: AllocationMode::FirstComeFirstServe { page_size: 1 << 20 },
+                shadow_bytes: 0,
+                tail_region_items: 0,
+            })),
+            BackendMode::HillClimbing | BackendMode::Cliffhanger => {
+                let mut cfg = CliffhangerConfig::default();
+                cfg.slab = config.slab.clone();
+                cfg.total_bytes = config.total_bytes;
+                cfg.enable_hill_climbing = true;
+                cfg.enable_cliff_scaling = config.mode == BackendMode::Cliffhanger;
+                Inner::Managed(Box::new(Cliffhanger::new(cfg)))
+            }
+        }
+    }
+}
+
+/// A thread-safe cache shared by every connection.
+pub struct SharedCache {
+    config: BackendConfig,
+    inner: Mutex<Inner>,
+    /// Wire-level counters (independent of the cache-core statistics).
+    gets: AtomicU64,
+    hits: AtomicU64,
+    sets: AtomicU64,
+    deletes: AtomicU64,
+}
+
+impl SharedCache {
+    /// Creates a shared cache.
+    pub fn new(config: BackendConfig) -> Self {
+        SharedCache {
+            inner: Mutex::new(Inner::build(&config)),
+            config,
+            gets: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            sets: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+        }
+    }
+
+    fn charge_size(key: &[u8], data: &[u8]) -> u64 {
+        (key.len() + data.len()) as u64
+    }
+
+    /// Looks up a key, returning its flags and value on an exact match.
+    pub fn get(&self, key: &[u8]) -> Option<(u32, Bytes)> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        let id = Key::new(hash_bytes(key));
+        let mut inner = self.inner.lock();
+        let found = match &mut *inner {
+            Inner::Plain(cache) => {
+                let hit = cache.get_untyped(id).result.hit;
+                if hit {
+                    cache.value(id).cloned()
+                } else {
+                    None
+                }
+            }
+            Inner::Managed(cache) => {
+                let (_, event) = cache.get_untyped(id);
+                if event.hit {
+                    cache.value(id).cloned()
+                } else {
+                    None
+                }
+            }
+        };
+        match found {
+            Some(stored) if stored.key == key => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((stored.flags, stored.data))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether a key is resident (exact match), without recording a GET.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let id = Key::new(hash_bytes(key));
+        let inner = self.inner.lock();
+        let stored = match &*inner {
+            Inner::Plain(cache) => cache.value(id),
+            Inner::Managed(cache) => cache.value(id),
+        };
+        stored.map(|s| s.key == key).unwrap_or(false)
+    }
+
+    /// Stores a key unconditionally. Returns `false` only if the item could
+    /// not be admitted (e.g. larger than the largest slab class).
+    pub fn set(&self, key: &[u8], flags: u32, data: Bytes) -> bool {
+        self.sets.fetch_add(1, Ordering::Relaxed);
+        let id = Key::new(hash_bytes(key));
+        let size = Self::charge_size(key, &data);
+        let stored = StoredValue {
+            key: Bytes::copy_from_slice(key),
+            flags,
+            data,
+        };
+        let mut inner = self.inner.lock();
+        match &mut *inner {
+            Inner::Plain(cache) => cache
+                .set(id, size, stored)
+                .map(|(_, r)| r.admitted)
+                .unwrap_or(false),
+            Inner::Managed(cache) => cache
+                .set(id, size, stored)
+                .map(|(_, admitted)| admitted)
+                .unwrap_or(false),
+        }
+    }
+
+    /// Stores a key only if it is absent (`add`).
+    pub fn add(&self, key: &[u8], flags: u32, data: Bytes) -> bool {
+        if self.contains(key) {
+            return false;
+        }
+        self.set(key, flags, data)
+    }
+
+    /// Stores a key only if it is present (`replace`).
+    pub fn replace(&self, key: &[u8], flags: u32, data: Bytes) -> bool {
+        if !self.contains(key) {
+            return false;
+        }
+        self.set(key, flags, data)
+    }
+
+    /// Deletes a key; returns whether it was present.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+        if !self.contains(key) {
+            return false;
+        }
+        let id = Key::new(hash_bytes(key));
+        let mut inner = self.inner.lock();
+        match &mut *inner {
+            Inner::Plain(cache) => cache.delete(id),
+            Inner::Managed(cache) => cache.delete(id),
+        }
+    }
+
+    /// Drops every item (`flush_all`).
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock();
+        *inner = Inner::build(&self.config);
+    }
+
+    /// Wire-level and cache-level statistics as `STAT` pairs.
+    pub fn stats(&self) -> Vec<(String, String)> {
+        let inner = self.inner.lock();
+        let core = match &*inner {
+            Inner::Plain(cache) => cache.stats(),
+            Inner::Managed(cache) => cache.stats(),
+        };
+        let used = match &*inner {
+            Inner::Plain(cache) => cache.used_bytes(),
+            Inner::Managed(cache) => cache.used_bytes(),
+        };
+        let items = match &*inner {
+            Inner::Plain(cache) => cache.len(),
+            Inner::Managed(cache) => cache.len(),
+        };
+        vec![
+            ("cmd_get".into(), self.gets.load(Ordering::Relaxed).to_string()),
+            ("cmd_set".into(), self.sets.load(Ordering::Relaxed).to_string()),
+            ("get_hits".into(), self.hits.load(Ordering::Relaxed).to_string()),
+            (
+                "get_misses".into(),
+                (self.gets.load(Ordering::Relaxed) - self.hits.load(Ordering::Relaxed)).to_string(),
+            ),
+            ("cmd_delete".into(), self.deletes.load(Ordering::Relaxed).to_string()),
+            ("bytes".into(), used.to_string()),
+            ("curr_items".into(), items.to_string()),
+            ("evictions".into(), core.evictions.to_string()),
+            ("limit_maxbytes".into(), self.config.total_bytes.to_string()),
+            (
+                "allocator".into(),
+                format!("{:?}", self.config.mode).to_lowercase(),
+            ),
+        ]
+    }
+
+    /// The backend mode this cache runs.
+    pub fn mode(&self) -> BackendMode {
+        self.config.mode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(mode: BackendMode) -> SharedCache {
+        SharedCache::new(BackendConfig {
+            total_bytes: 4 << 20,
+            mode,
+            slab: SlabConfig::default(),
+        })
+    }
+
+    #[test]
+    fn set_get_delete_roundtrip_all_modes() {
+        for mode in [
+            BackendMode::Default,
+            BackendMode::HillClimbing,
+            BackendMode::Cliffhanger,
+        ] {
+            let c = cache(mode);
+            assert!(c.get(b"missing").is_none());
+            assert!(c.set(b"hello", 7, Bytes::from("world")));
+            let (flags, value) = c.get(b"hello").expect("must hit");
+            assert_eq!(flags, 7);
+            assert_eq!(value, Bytes::from("world"));
+            assert!(c.delete(b"hello"));
+            assert!(!c.delete(b"hello"));
+            assert!(c.get(b"hello").is_none());
+        }
+    }
+
+    #[test]
+    fn add_and_replace_semantics() {
+        let c = cache(BackendMode::Cliffhanger);
+        assert!(c.add(b"k", 0, Bytes::from("1")));
+        assert!(!c.add(b"k", 0, Bytes::from("2")), "add must not overwrite");
+        assert_eq!(c.get(b"k").unwrap().1, Bytes::from("1"));
+        assert!(c.replace(b"k", 0, Bytes::from("3")));
+        assert_eq!(c.get(b"k").unwrap().1, Bytes::from("3"));
+        assert!(!c.replace(b"absent", 0, Bytes::from("x")));
+    }
+
+    #[test]
+    fn eviction_under_pressure_keeps_running() {
+        let c = SharedCache::new(BackendConfig {
+            total_bytes: 256 << 10,
+            mode: BackendMode::Cliffhanger,
+            slab: SlabConfig::default(),
+        });
+        let payload = Bytes::from(vec![0u8; 1_000]);
+        for i in 0..2_000u32 {
+            assert!(c.set(format!("key{i}").as_bytes(), 0, payload.clone()));
+        }
+        // Recent keys should be resident; the cache stays within budget.
+        let stats: std::collections::HashMap<String, String> = c.stats().into_iter().collect();
+        let bytes: u64 = stats["bytes"].parse().unwrap();
+        assert!(bytes <= 256 << 10);
+        let hits_recent = (1_990..2_000)
+            .filter(|i| c.get(format!("key{i}").as_bytes()).is_some())
+            .count();
+        assert!(hits_recent >= 5, "recent keys mostly resident, got {hits_recent}");
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let c = cache(BackendMode::Default);
+        c.set(b"a", 0, Bytes::from("1"));
+        c.flush();
+        assert!(c.get(b"a").is_none());
+        let stats: std::collections::HashMap<String, String> = c.stats().into_iter().collect();
+        assert_eq!(stats["curr_items"], "0");
+    }
+
+    #[test]
+    fn stats_report_wire_counters() {
+        let c = cache(BackendMode::HillClimbing);
+        c.set(b"a", 0, Bytes::from("1"));
+        c.get(b"a");
+        c.get(b"b");
+        let stats: std::collections::HashMap<String, String> = c.stats().into_iter().collect();
+        assert_eq!(stats["cmd_get"], "2");
+        assert_eq!(stats["get_hits"], "1");
+        assert_eq!(stats["get_misses"], "1");
+        assert_eq!(stats["cmd_set"], "1");
+        assert_eq!(stats["allocator"], "hillclimbing");
+    }
+}

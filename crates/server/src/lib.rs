@@ -1,0 +1,35 @@
+//! # cache-server
+//!
+//! A Memcached-text-protocol TCP server backed by the Cliffhanger-managed
+//! cache, plus a blocking client. This is the piece the paper's
+//! micro-benchmarks exercise (Tables 6 and 7): the protocol and connection
+//! handling are the fixed cost, and the question is how much latency and
+//! throughput overhead the shadow queues and the two algorithms add on top.
+//!
+//! The server uses blocking I/O and a small thread pool rather than an async
+//! runtime: the workload is memory-bound (the paper makes the same point
+//! about Memcachier and Facebook in §5.6), and the provided networking
+//! guides recommend plain threads for CPU/memory-bound services.
+//!
+//! * [`protocol`] — parsing and serialising the Memcached ASCII protocol.
+//! * [`backend`] — the shared, lock-protected cache behind the connections
+//!   (exact byte-string keys on top of the 64-bit key space).
+//! * [`threadpool`] — a fixed-size worker pool over crossbeam channels.
+//! * [`server`] — the TCP listener / connection loop.
+//! * [`client`] — a blocking client for tests, benches and examples.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod backend;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod threadpool;
+
+pub use backend::{BackendConfig, BackendMode, SharedCache};
+pub use client::CacheClient;
+pub use protocol::{Command, Response};
+pub use server::{CacheServer, ServerConfig};
+pub use threadpool::ThreadPool;

@@ -1,0 +1,399 @@
+//! The Memcached ASCII protocol (the subset the paper's benchmarks use).
+//!
+//! Supported commands: `get` / `gets` (multi-key), `set`, `add`, `replace`,
+//! `delete`, `stats`, `version`, `flush_all` and `quit`. Parsing is
+//! incremental over a byte buffer so a connection handler can feed it
+//! whatever the socket delivers.
+
+use bytes::{Bytes, BytesMut};
+
+/// A parsed client command.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// `get <key>+` — fetch one or more keys.
+    Get {
+        /// Requested keys.
+        keys: Vec<Bytes>,
+    },
+    /// `set` / `add` / `replace` — store a value.
+    Store {
+        /// Which store verb was used.
+        verb: StoreVerb,
+        /// The key being stored.
+        key: Bytes,
+        /// Opaque client flags echoed back on GET.
+        flags: u32,
+        /// Expiration time in seconds (0 = never); stored but not enforced.
+        exptime: u32,
+        /// The value payload.
+        data: Bytes,
+        /// Whether the client asked to suppress the reply.
+        noreply: bool,
+    },
+    /// `delete <key>`.
+    Delete {
+        /// The key to remove.
+        key: Bytes,
+        /// Whether the client asked to suppress the reply.
+        noreply: bool,
+    },
+    /// `stats`.
+    Stats,
+    /// `version`.
+    Version,
+    /// `flush_all` — drop every item.
+    FlushAll,
+    /// `quit` — close the connection.
+    Quit,
+}
+
+/// The store verbs of the protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreVerb {
+    /// Store unconditionally.
+    Set,
+    /// Store only if the key is absent.
+    Add,
+    /// Store only if the key is present.
+    Replace,
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Values followed by `END` (the reply to `get`).
+    Values(Vec<Value>),
+    /// `STORED`.
+    Stored,
+    /// `NOT_STORED`.
+    NotStored,
+    /// `DELETED`.
+    Deleted,
+    /// `NOT_FOUND`.
+    NotFound,
+    /// `OK`.
+    Ok,
+    /// `VERSION <text>`.
+    Version(String),
+    /// `STAT <name> <value>` lines followed by `END`.
+    Stats(Vec<(String, String)>),
+    /// `CLIENT_ERROR <message>`.
+    ClientError(String),
+    /// `ERROR`.
+    Error,
+}
+
+/// One value in a GET response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Value {
+    /// The key.
+    pub key: Bytes,
+    /// Client flags stored with the item.
+    pub flags: u32,
+    /// The payload.
+    pub data: Bytes,
+}
+
+/// The outcome of trying to parse one command from a buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// A complete command was parsed and consumed from the buffer.
+    Complete(Command),
+    /// More bytes are needed.
+    Incomplete,
+    /// The buffer starts with something that is not a valid command; the
+    /// offending line has been consumed.
+    Invalid(String),
+}
+
+/// Attempts to parse one command from the front of `buffer`, consuming the
+/// bytes it used.
+pub fn parse_command(buffer: &mut BytesMut) -> ParseOutcome {
+    let Some(line_end) = find_crlf(buffer, 0) else {
+        return ParseOutcome::Incomplete;
+    };
+    let line = buffer[..line_end].to_vec();
+    let line_str = String::from_utf8_lossy(&line).to_string();
+    let mut parts = line_str.split_ascii_whitespace();
+    let Some(verb) = parts.next() else {
+        buffer.advance_checked(line_end + 2);
+        return ParseOutcome::Invalid("empty command".to_string());
+    };
+    match verb {
+        "get" | "gets" => {
+            let keys: Vec<Bytes> = parts.map(|k| Bytes::copy_from_slice(k.as_bytes())).collect();
+            buffer.advance_checked(line_end + 2);
+            if keys.is_empty() {
+                ParseOutcome::Invalid("get requires at least one key".to_string())
+            } else {
+                ParseOutcome::Complete(Command::Get { keys })
+            }
+        }
+        "set" | "add" | "replace" => {
+            let verb = match verb {
+                "set" => StoreVerb::Set,
+                "add" => StoreVerb::Add,
+                _ => StoreVerb::Replace,
+            };
+            let key = parts.next().map(str::to_string);
+            let flags = parts.next().and_then(|s| s.parse::<u32>().ok());
+            let exptime = parts.next().and_then(|s| s.parse::<u32>().ok());
+            let bytes = parts.next().and_then(|s| s.parse::<usize>().ok());
+            let noreply = parts.next() == Some("noreply");
+            let (Some(key), Some(flags), Some(exptime), Some(bytes)) = (key, flags, exptime, bytes)
+            else {
+                buffer.advance_checked(line_end + 2);
+                return ParseOutcome::Invalid("bad store command".to_string());
+            };
+            // The data block is <bytes> bytes followed by CRLF.
+            let needed = line_end + 2 + bytes + 2;
+            if buffer.len() < needed {
+                return ParseOutcome::Incomplete;
+            }
+            let data = Bytes::copy_from_slice(&buffer[line_end + 2..line_end + 2 + bytes]);
+            let terminator = &buffer[line_end + 2 + bytes..needed];
+            let ok = terminator == b"\r\n";
+            buffer.advance_checked(needed);
+            if !ok {
+                return ParseOutcome::Invalid("bad data chunk terminator".to_string());
+            }
+            ParseOutcome::Complete(Command::Store {
+                verb,
+                key: Bytes::copy_from_slice(key.as_bytes()),
+                flags,
+                exptime,
+                data,
+                noreply,
+            })
+        }
+        "delete" => {
+            let key = parts.next().map(str::to_string);
+            let noreply = parts.next() == Some("noreply");
+            buffer.advance_checked(line_end + 2);
+            match key {
+                Some(key) => ParseOutcome::Complete(Command::Delete {
+                    key: Bytes::copy_from_slice(key.as_bytes()),
+                    noreply,
+                }),
+                None => ParseOutcome::Invalid("delete requires a key".to_string()),
+            }
+        }
+        "stats" => {
+            buffer.advance_checked(line_end + 2);
+            ParseOutcome::Complete(Command::Stats)
+        }
+        "version" => {
+            buffer.advance_checked(line_end + 2);
+            ParseOutcome::Complete(Command::Version)
+        }
+        "flush_all" => {
+            buffer.advance_checked(line_end + 2);
+            ParseOutcome::Complete(Command::FlushAll)
+        }
+        "quit" => {
+            buffer.advance_checked(line_end + 2);
+            ParseOutcome::Complete(Command::Quit)
+        }
+        other => {
+            buffer.advance_checked(line_end + 2);
+            ParseOutcome::Invalid(format!("unknown command {other}"))
+        }
+    }
+}
+
+/// Serialises a response into the wire format.
+pub fn encode_response(response: &Response, out: &mut Vec<u8>) {
+    match response {
+        Response::Values(values) => {
+            for v in values {
+                out.extend_from_slice(b"VALUE ");
+                out.extend_from_slice(&v.key);
+                out.extend_from_slice(format!(" {} {}\r\n", v.flags, v.data.len()).as_bytes());
+                out.extend_from_slice(&v.data);
+                out.extend_from_slice(b"\r\n");
+            }
+            out.extend_from_slice(b"END\r\n");
+        }
+        Response::Stored => out.extend_from_slice(b"STORED\r\n"),
+        Response::NotStored => out.extend_from_slice(b"NOT_STORED\r\n"),
+        Response::Deleted => out.extend_from_slice(b"DELETED\r\n"),
+        Response::NotFound => out.extend_from_slice(b"NOT_FOUND\r\n"),
+        Response::Ok => out.extend_from_slice(b"OK\r\n"),
+        Response::Version(v) => out.extend_from_slice(format!("VERSION {v}\r\n").as_bytes()),
+        Response::Stats(stats) => {
+            for (name, value) in stats {
+                out.extend_from_slice(format!("STAT {name} {value}\r\n").as_bytes());
+            }
+            out.extend_from_slice(b"END\r\n");
+        }
+        Response::ClientError(msg) => {
+            out.extend_from_slice(format!("CLIENT_ERROR {msg}\r\n").as_bytes())
+        }
+        Response::Error => out.extend_from_slice(b"ERROR\r\n"),
+    }
+}
+
+fn find_crlf(buffer: &[u8], from: usize) -> Option<usize> {
+    buffer[from..]
+        .windows(2)
+        .position(|w| w == b"\r\n")
+        .map(|p| p + from)
+}
+
+trait AdvanceChecked {
+    fn advance_checked(&mut self, n: usize);
+}
+
+impl AdvanceChecked for BytesMut {
+    fn advance_checked(&mut self, n: usize) {
+        let n = n.min(self.len());
+        let _ = self.split_to(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(data: &[u8]) -> BytesMut {
+        BytesMut::from(data)
+    }
+
+    #[test]
+    fn parses_get_with_multiple_keys() {
+        let mut b = buf(b"get foo bar\r\n");
+        match parse_command(&mut b) {
+            ParseOutcome::Complete(Command::Get { keys }) => {
+                assert_eq!(keys, vec![Bytes::from("foo"), Bytes::from("bar")]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn parses_set_with_data_block() {
+        let mut b = buf(b"set foo 7 0 5\r\nhello\r\nget foo\r\n");
+        match parse_command(&mut b) {
+            ParseOutcome::Complete(Command::Store {
+                verb,
+                key,
+                flags,
+                data,
+                noreply,
+                ..
+            }) => {
+                assert_eq!(verb, StoreVerb::Set);
+                assert_eq!(key, Bytes::from("foo"));
+                assert_eq!(flags, 7);
+                assert_eq!(data, Bytes::from("hello"));
+                assert!(!noreply);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The following command is still in the buffer.
+        assert!(matches!(
+            parse_command(&mut b),
+            ParseOutcome::Complete(Command::Get { .. })
+        ));
+    }
+
+    #[test]
+    fn incomplete_input_waits_for_more() {
+        let mut b = buf(b"set foo 0 0 10\r\nhel");
+        assert_eq!(parse_command(&mut b), ParseOutcome::Incomplete);
+        // Nothing consumed.
+        assert_eq!(&b[..3], b"set");
+        let mut partial_line = buf(b"get fo");
+        assert_eq!(parse_command(&mut partial_line), ParseOutcome::Incomplete);
+    }
+
+    #[test]
+    fn binary_safe_values() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"set bin 0 0 4\r\n");
+        b.extend_from_slice(&[0, 255, 13, 10]);
+        b.extend_from_slice(b"\r\n");
+        match parse_command(&mut b) {
+            ParseOutcome::Complete(Command::Store { data, .. }) => {
+                assert_eq!(&data[..], &[0, 255, 13, 10]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_commands_are_consumed_and_reported() {
+        let mut b = buf(b"bogus thing\r\nversion\r\n");
+        assert!(matches!(parse_command(&mut b), ParseOutcome::Invalid(_)));
+        assert!(matches!(
+            parse_command(&mut b),
+            ParseOutcome::Complete(Command::Version)
+        ));
+        let mut b = buf(b"set missingargs\r\n");
+        assert!(matches!(parse_command(&mut b), ParseOutcome::Invalid(_)));
+        let mut b = buf(b"get\r\n");
+        assert!(matches!(parse_command(&mut b), ParseOutcome::Invalid(_)));
+    }
+
+    #[test]
+    fn parses_delete_add_replace_and_admin() {
+        let mut b = buf(b"delete foo noreply\r\nadd k 0 0 1\r\nx\r\nreplace k 0 0 1\r\ny\r\nstats\r\nflush_all\r\nquit\r\n");
+        assert!(matches!(
+            parse_command(&mut b),
+            ParseOutcome::Complete(Command::Delete { noreply: true, .. })
+        ));
+        assert!(matches!(
+            parse_command(&mut b),
+            ParseOutcome::Complete(Command::Store {
+                verb: StoreVerb::Add,
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse_command(&mut b),
+            ParseOutcome::Complete(Command::Store {
+                verb: StoreVerb::Replace,
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse_command(&mut b),
+            ParseOutcome::Complete(Command::Stats)
+        ));
+        assert!(matches!(
+            parse_command(&mut b),
+            ParseOutcome::Complete(Command::FlushAll)
+        ));
+        assert!(matches!(
+            parse_command(&mut b),
+            ParseOutcome::Complete(Command::Quit)
+        ));
+    }
+
+    #[test]
+    fn encodes_responses() {
+        let mut out = Vec::new();
+        encode_response(
+            &Response::Values(vec![Value {
+                key: Bytes::from("foo"),
+                flags: 3,
+                data: Bytes::from("hello"),
+            }]),
+            &mut out,
+        );
+        assert_eq!(out, b"VALUE foo 3 5\r\nhello\r\nEND\r\n");
+        let mut out = Vec::new();
+        encode_response(&Response::Stored, &mut out);
+        assert_eq!(out, b"STORED\r\n");
+        let mut out = Vec::new();
+        encode_response(
+            &Response::Stats(vec![("gets".into(), "10".into())]),
+            &mut out,
+        );
+        assert_eq!(out, b"STAT gets 10\r\nEND\r\n");
+        let mut out = Vec::new();
+        encode_response(&Response::ClientError("nope".into()), &mut out);
+        assert!(out.starts_with(b"CLIENT_ERROR"));
+    }
+}

@@ -1,0 +1,311 @@
+//! The TCP listener and per-connection protocol loop.
+
+use crate::backend::{BackendConfig, SharedCache};
+use crate::protocol::{encode_response, parse_command, Command, ParseOutcome, Response, StoreVerb, Value};
+use crate::threadpool::ThreadPool;
+use bytes::BytesMut;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Number of connection-handling worker threads.
+    pub workers: usize,
+    /// Backend (cache) configuration.
+    pub backend: BackendConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            backend: BackendConfig::default(),
+        }
+    }
+}
+
+/// A running cache server.
+pub struct CacheServer {
+    local_addr: SocketAddr,
+    cache: Arc<SharedCache>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl CacheServer {
+    /// Binds and starts serving in background threads.
+    pub fn start(config: ServerConfig) -> std::io::Result<CacheServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let cache = Arc::new(SharedCache::new(config.backend.clone()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let pool = ThreadPool::new(config.workers);
+
+        let accept_cache = Arc::clone(&cache);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("cache-acceptor".to_string())
+            .spawn(move || {
+                // The pool lives on this thread; dropping it on exit joins the
+                // connection handlers.
+                let pool = pool;
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            let cache = Arc::clone(&accept_cache);
+                            pool.execute(move || handle_connection(stream, cache));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+
+        Ok(CacheServer {
+            local_addr,
+            cache,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared cache (e.g. for out-of-band statistics in benchmarks).
+    pub fn cache(&self) -> &Arc<SharedCache> {
+        &self.cache
+    }
+
+    /// Stops accepting connections and joins the acceptor thread. Existing
+    /// connections finish their in-flight commands.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor with a dummy connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CacheServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves one connection until EOF, an I/O error or `quit`.
+fn handle_connection(mut stream: TcpStream, cache: Arc<SharedCache>) {
+    let _ = stream.set_nodelay(true);
+    let mut buffer = BytesMut::with_capacity(16 * 1024);
+    let mut chunk = [0u8; 16 * 1024];
+    let mut out = Vec::with_capacity(16 * 1024);
+    loop {
+        // Drain every complete command currently buffered.
+        loop {
+            match parse_command(&mut buffer) {
+                ParseOutcome::Complete(Command::Quit) => {
+                    return;
+                }
+                ParseOutcome::Complete(command) => {
+                    let (response, suppress) = execute(&command, &cache);
+                    if !suppress {
+                        out.clear();
+                        encode_response(&response, &mut out);
+                        if stream.write_all(&out).is_err() {
+                            return;
+                        }
+                    }
+                }
+                ParseOutcome::Invalid(message) => {
+                    out.clear();
+                    encode_response(&Response::ClientError(message), &mut out);
+                    if stream.write_all(&out).is_err() {
+                        return;
+                    }
+                }
+                ParseOutcome::Incomplete => break,
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buffer.extend_from_slice(&chunk[..n]),
+            Err(_) => return,
+        }
+    }
+}
+
+/// Executes a command against the cache; returns the response and whether
+/// the reply should be suppressed (`noreply`).
+fn execute(command: &Command, cache: &SharedCache) -> (Response, bool) {
+    match command {
+        Command::Get { keys } => {
+            let values = keys
+                .iter()
+                .filter_map(|key| {
+                    cache.get(key).map(|(flags, data)| Value {
+                        key: key.clone(),
+                        flags,
+                        data,
+                    })
+                })
+                .collect();
+            (Response::Values(values), false)
+        }
+        Command::Store {
+            verb,
+            key,
+            flags,
+            data,
+            noreply,
+            ..
+        } => {
+            let stored = match verb {
+                StoreVerb::Set => cache.set(key, *flags, data.clone()),
+                StoreVerb::Add => cache.add(key, *flags, data.clone()),
+                StoreVerb::Replace => cache.replace(key, *flags, data.clone()),
+            };
+            let response = if stored {
+                Response::Stored
+            } else {
+                Response::NotStored
+            };
+            (response, *noreply)
+        }
+        Command::Delete { key, noreply } => {
+            let response = if cache.delete(key) {
+                Response::Deleted
+            } else {
+                Response::NotFound
+            };
+            (response, *noreply)
+        }
+        Command::Stats => (Response::Stats(cache.stats()), false),
+        Command::Version => (
+            Response::Version("cliffhanger-cache 0.1.0".to_string()),
+            false,
+        ),
+        Command::FlushAll => {
+            cache.flush();
+            (Response::Ok, false)
+        }
+        Command::Quit => (Response::Ok, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendMode;
+    use crate::client::CacheClient;
+
+    fn start_test_server(mode: BackendMode) -> CacheServer {
+        CacheServer::start(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            backend: BackendConfig {
+                total_bytes: 8 << 20,
+                mode,
+                ..BackendConfig::default()
+            },
+        })
+        .expect("server must start")
+    }
+
+    #[test]
+    fn end_to_end_set_get_delete() {
+        let server = start_test_server(BackendMode::Cliffhanger);
+        let mut client = CacheClient::connect(server.local_addr()).unwrap();
+        assert!(client.set(b"greeting", 5, b"hello world").unwrap());
+        let got = client.get(b"greeting").unwrap().expect("hit");
+        assert_eq!(got.0, 5);
+        assert_eq!(got.1, b"hello world");
+        assert!(client.delete(b"greeting").unwrap());
+        assert!(client.get(b"greeting").unwrap().is_none());
+        assert!(!client.delete(b"greeting").unwrap());
+    }
+
+    #[test]
+    fn stats_and_version_and_flush() {
+        let server = start_test_server(BackendMode::Default);
+        let mut client = CacheClient::connect(server.local_addr()).unwrap();
+        client.set(b"a", 0, b"1").unwrap();
+        client.get(b"a").unwrap();
+        let version = client.version().unwrap();
+        assert!(version.contains("cliffhanger"));
+        let stats = client.stats().unwrap();
+        let map: std::collections::HashMap<_, _> = stats.into_iter().collect();
+        assert_eq!(map["cmd_set"], "1");
+        assert_eq!(map["get_hits"], "1");
+        client.flush_all().unwrap();
+        assert!(client.get(b"a").unwrap().is_none());
+    }
+
+    #[test]
+    fn multiple_clients_share_the_cache() {
+        let server = start_test_server(BackendMode::HillClimbing);
+        let mut writer = CacheClient::connect(server.local_addr()).unwrap();
+        let mut reader = CacheClient::connect(server.local_addr()).unwrap();
+        writer.set(b"shared", 1, b"data").unwrap();
+        let got = reader.get(b"shared").unwrap().expect("visible across connections");
+        assert_eq!(got.1, b"data");
+    }
+
+    #[test]
+    fn concurrent_load_is_consistent() {
+        let server = start_test_server(BackendMode::Cliffhanger);
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut client = CacheClient::connect(addr).unwrap();
+                    for i in 0..200 {
+                        let key = format!("t{t}-k{i}");
+                        let value = format!("value-{t}-{i}");
+                        assert!(client.set(key.as_bytes(), 0, value.as_bytes()).unwrap());
+                        let got = client.get(key.as_bytes()).unwrap().expect("own write visible");
+                        assert_eq!(got.1, value.as_bytes());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats: std::collections::HashMap<_, _> =
+            server.cache().stats().into_iter().collect();
+        let sets: u64 = stats["cmd_set"].parse().unwrap();
+        assert_eq!(sets, 800);
+    }
+
+    #[test]
+    fn binary_values_survive_the_wire() {
+        let server = start_test_server(BackendMode::Cliffhanger);
+        let mut client = CacheClient::connect(server.local_addr()).unwrap();
+        let payload: Vec<u8> = (0..=255u8).cycle().take(4_096).collect();
+        assert!(client.set(b"binary", 0, &payload).unwrap());
+        let got = client.get(b"binary").unwrap().expect("hit");
+        assert_eq!(got.1, payload);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let mut server = start_test_server(BackendMode::Default);
+        server.shutdown();
+        server.shutdown();
+    }
+}

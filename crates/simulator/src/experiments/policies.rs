@@ -1,0 +1,77 @@
+//! Table 5: eviction-scheme comparison (paper §5.5).
+//!
+//! The paper compares LRU against Facebook's mid-queue insertion scheme and
+//! against ARC, with and without Cliffhanger on top, on applications 3–5.
+
+use crate::engine::{replay_app, CacheSystem, CliffhangerMode};
+use crate::experiments::ExperimentContext;
+use crate::report::Table;
+use cache_core::PolicyKind;
+
+/// Table 5: hit rates of applications 3–5 under the default allocation with
+/// LRU, the Facebook scheme and ARC, and under Cliffhanger with LRU and with
+/// the Facebook scheme.
+pub fn table5_eviction_schemes(ctx: &ExperimentContext) -> Table {
+    table5_for_apps(ctx, &[3, 4, 5])
+}
+
+/// The same comparison for an arbitrary set of applications.
+pub fn table5_for_apps(ctx: &ExperimentContext, apps: &[u32]) -> Table {
+    let systems = [
+        ("default LRU", CacheSystem::Default(PolicyKind::Lru)),
+        ("Facebook scheme", CacheSystem::Default(PolicyKind::Facebook)),
+        ("ARC", CacheSystem::Default(PolicyKind::Arc)),
+        (
+            "Cliffhanger + LRU",
+            CacheSystem::Cliffhanger {
+                mode: CliffhangerMode::Full,
+                policy: PolicyKind::Lru,
+            },
+        ),
+        (
+            "Cliffhanger + Facebook",
+            CacheSystem::Cliffhanger {
+                mode: CliffhangerMode::Full,
+                policy: PolicyKind::Facebook,
+            },
+        ),
+    ];
+    let mut headers = vec!["app".to_string()];
+    headers.extend(systems.iter().map(|(name, _)| format!("{name} hit rate")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Table 5: eviction schemes with and without Cliffhanger",
+        &header_refs,
+    );
+    for &app_number in apps {
+        let trace = ctx.trace(app_number);
+        let options = ctx.options(app_number);
+        let mut row = vec![app_number.to_string()];
+        for (_, system) in &systems {
+            let result = replay_app(trace, system, &options);
+            row.push(Table::pct(result.hit_rate()));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_support::shared_quick_context;
+
+    #[test]
+    fn table5_compares_five_schemes_on_three_apps() {
+        let ctx = shared_quick_context();
+        let table = table5_eviction_schemes(ctx);
+        assert_eq!(table.rows.len(), 3);
+        assert_eq!(table.headers.len(), 6);
+        for row in &table.rows {
+            for cell in &row[1..] {
+                let value: f64 = cell.trim_end_matches('%').parse().unwrap();
+                assert!((0.0..=100.0).contains(&value), "bad cell {cell}");
+            }
+        }
+    }
+}

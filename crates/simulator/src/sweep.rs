@@ -1,0 +1,146 @@
+//! Memory sweeps.
+//!
+//! Figure 7 reports how much memory Cliffhanger needs to match the *default*
+//! scheme's hit rate — on average 55% (equivalently, 45% savings). This
+//! module finds that quantity by bisection over the memory reservation.
+
+use crate::engine::{replay_app, CacheSystem, ReplayOptions};
+use workloads::Trace;
+
+/// The outcome of a memory-matching sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemoryMatch {
+    /// The hit rate the candidate system had to match.
+    pub target_hit_rate: f64,
+    /// Fraction of the original reservation the candidate needed (1.0 means
+    /// no savings; values above 1.0 mean the candidate could not match the
+    /// target even with the full reservation).
+    pub fraction_needed: f64,
+    /// The hit rate the candidate achieved at that fraction.
+    pub achieved_hit_rate: f64,
+}
+
+impl MemoryMatch {
+    /// Memory savings relative to the original reservation (the paper's
+    /// "memory saved"); clamped at 0 when no savings exist.
+    pub fn savings(&self) -> f64 {
+        (1.0 - self.fraction_needed).max(0.0)
+    }
+}
+
+/// Replays `candidate` at decreasing memory fractions (by bisection) until
+/// the smallest fraction that still matches `target_hit_rate` (within
+/// `tolerance`) is found.
+///
+/// `iterations` bounds the bisection depth (each iteration replays the whole
+/// trace once). The returned fraction is conservative: it is the smallest
+/// *tested* fraction whose hit rate was at least `target_hit_rate - tolerance`.
+pub fn memory_to_match(
+    trace: &Trace,
+    candidate: &CacheSystem,
+    options: &ReplayOptions,
+    target_hit_rate: f64,
+    iterations: usize,
+    tolerance: f64,
+) -> MemoryMatch {
+    let full = options.reserved_bytes;
+    let run_at = |fraction: f64| -> f64 {
+        let mut opts = options.clone();
+        opts.reserved_bytes = ((full as f64 * fraction).round() as u64).max(1);
+        replay_app(trace, candidate, &opts).hit_rate()
+    };
+
+    // If the candidate cannot match the target even with full memory, report
+    // fraction 1.0 with what it achieved (negative savings are clamped).
+    let full_rate = run_at(1.0);
+    if full_rate + tolerance < target_hit_rate {
+        return MemoryMatch {
+            target_hit_rate,
+            fraction_needed: 1.0,
+            achieved_hit_rate: full_rate,
+        };
+    }
+
+    let mut lo = 0.05f64; // never go below 5% of the reservation
+    let mut hi = 1.0f64;
+    let mut best_fraction = 1.0;
+    let mut best_rate = full_rate;
+    for _ in 0..iterations.max(1) {
+        let mid = (lo + hi) / 2.0;
+        let rate = run_at(mid);
+        if rate + tolerance >= target_hit_rate {
+            best_fraction = mid;
+            best_rate = rate;
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    MemoryMatch {
+        target_hit_rate,
+        fraction_needed: best_fraction,
+        achieved_hit_rate: best_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CacheSystem;
+    use workloads::{AppProfile, Phase, SizeDistribution};
+
+    fn zipf_trace() -> Trace {
+        let profile = AppProfile::simple(
+            1,
+            "sweep-test",
+            1.0,
+            4 << 20,
+            Phase::zipf(5_000, 1.1, SizeDistribution::Fixed(100)),
+        )
+        .with_get_fraction(1.0);
+        Trace::from_requests(profile.generate(40_000, 3_600, 5))
+    }
+
+    #[test]
+    fn skewed_workloads_need_less_memory_than_reserved() {
+        let trace = zipf_trace();
+        let options = ReplayOptions::new(4 << 20);
+        // Target: the default system's own hit rate at a *quarter* of the
+        // reservation; the full reservation should match it with plenty of
+        // room, i.e. need well under 100%.
+        let quarter = replay_app(
+            &trace,
+            &CacheSystem::default_lru(),
+            &ReplayOptions::new(1 << 20),
+        )
+        .hit_rate();
+        let result = memory_to_match(
+            &trace,
+            &CacheSystem::default_lru(),
+            &options,
+            quarter,
+            5,
+            0.002,
+        );
+        assert!(result.fraction_needed < 0.6, "fraction = {}", result.fraction_needed);
+        assert!(result.achieved_hit_rate + 0.002 >= quarter);
+        assert!(result.savings() > 0.4);
+    }
+
+    #[test]
+    fn impossible_targets_report_no_savings() {
+        let trace = zipf_trace();
+        let options = ReplayOptions::new(64 << 10);
+        let result = memory_to_match(
+            &trace,
+            &CacheSystem::default_lru(),
+            &options,
+            0.999,
+            4,
+            0.001,
+        );
+        assert_eq!(result.fraction_needed, 1.0);
+        assert_eq!(result.savings(), 0.0);
+        assert!(result.achieved_hit_rate < 0.999);
+    }
+}

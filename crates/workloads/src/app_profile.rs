@@ -1,0 +1,370 @@
+//! Per-application workload profiles.
+//!
+//! An [`AppProfile`] describes how one application behaves: how many keys it
+//! touches, how skewed its popularity is, how large its items are, how much
+//! of its traffic is sequential scanning (the cliff-producing pattern), how
+//! much of it writes, and how the behaviour changes over the trace
+//! ([`Phase`]s). Profiles generate deterministic request streams given a
+//! seed, which the Memcachier-like trace builder interleaves across
+//! applications.
+
+use crate::scan::ScanGenerator;
+use crate::sizes::SizeDistribution;
+use crate::trace::{Op, Request};
+use crate::zipf::{KeyPopularity, PopularitySampler};
+use cache_core::{AppId, Key};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One phase of an application's behaviour.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Fraction of the application's requests that fall in this phase
+    /// (normalised across phases).
+    pub fraction: f64,
+    /// Key popularity within the phase.
+    pub popularity: KeyPopularity,
+    /// Item sizes within the phase.
+    pub sizes: SizeDistribution,
+    /// Fraction of the phase's requests produced by a cyclic scan.
+    pub scan_fraction: f64,
+    /// Number of distinct keys the scan covers (ignored when
+    /// `scan_fraction == 0`).
+    pub scan_length: u64,
+    /// Offset added to every popularity-drawn key id, so phases can shift
+    /// the working set.
+    pub key_offset: u64,
+}
+
+impl Phase {
+    /// A single-phase helper: Zipf popularity, no scan.
+    pub fn zipf(num_keys: u64, exponent: f64, sizes: SizeDistribution) -> Self {
+        Phase {
+            fraction: 1.0,
+            popularity: KeyPopularity::Zipf { num_keys, exponent },
+            sizes,
+            scan_fraction: 0.0,
+            scan_length: 0,
+            key_offset: 0,
+        }
+    }
+
+    /// Adds a scan component to the phase.
+    pub fn with_scan(mut self, scan_fraction: f64, scan_length: u64) -> Self {
+        self.scan_fraction = scan_fraction.clamp(0.0, 1.0);
+        self.scan_length = scan_length.max(1);
+        self
+    }
+
+    /// Shifts the phase's working set by `offset` keys.
+    pub fn with_key_offset(mut self, offset: u64) -> Self {
+        self.key_offset = offset;
+        self
+    }
+
+    /// Sets the phase's share of the application's requests.
+    pub fn with_fraction(mut self, fraction: f64) -> Self {
+        self.fraction = fraction.max(0.0);
+        self
+    }
+}
+
+/// A complete per-application workload description.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// The application's identifier.
+    pub app: AppId,
+    /// Human-readable name used in reports.
+    pub name: String,
+    /// Relative share of the server's requests (normalised across apps).
+    pub request_share: f64,
+    /// Fraction of requests that are GETs; the remainder are application
+    /// SET/update requests. (Demand fills after GET misses are issued by the
+    /// cache simulator, not the trace.)
+    pub get_fraction: f64,
+    /// The application's static memory reservation on the server, in bytes
+    /// (Memcachier's model, paper §3).
+    pub reserved_bytes: u64,
+    /// Whether the paper marks this application as having performance cliffs
+    /// (the asterisks in Figure 2).
+    pub has_cliff: bool,
+    /// Behaviour phases, in order.
+    pub phases: Vec<Phase>,
+}
+
+impl AppProfile {
+    /// A single-phase application.
+    pub fn simple(
+        app: u32,
+        name: &str,
+        request_share: f64,
+        reserved_bytes: u64,
+        phase: Phase,
+    ) -> Self {
+        AppProfile {
+            app: AppId::new(app),
+            name: name.to_string(),
+            request_share,
+            get_fraction: 0.97,
+            reserved_bytes,
+            has_cliff: false,
+            phases: vec![phase],
+        }
+    }
+
+    /// Marks the application as cliff-prone (for reporting).
+    pub fn with_cliff(mut self) -> Self {
+        self.has_cliff = true;
+        self
+    }
+
+    /// Overrides the GET fraction.
+    pub fn with_get_fraction(mut self, get_fraction: f64) -> Self {
+        self.get_fraction = get_fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Generates `requests` requests for this application, with timestamps
+    /// spread evenly over `duration_secs`, deterministically from `seed`.
+    pub fn generate(&self, requests: u64, duration_secs: u64, seed: u64) -> Vec<Request> {
+        let mut out = Vec::with_capacity(requests as usize);
+        let mut generator = AppRequestGenerator::new(self, seed);
+        for i in 0..requests {
+            let time = if requests <= 1 {
+                0
+            } else {
+                i * duration_secs / (requests - 1)
+            };
+            out.push(generator.next_request(time));
+        }
+        out
+    }
+
+    /// Creates a streaming generator (used by the multi-application trace
+    /// builder so applications can be interleaved without materialising each
+    /// one separately).
+    pub fn generator(&self, seed: u64) -> AppRequestGenerator {
+        AppRequestGenerator::new(self, seed)
+    }
+
+    /// The key-id namespace base for this application (keys of different
+    /// applications never collide).
+    fn key_base(&self) -> u64 {
+        (self.app.0 as u64) << 40
+    }
+}
+
+/// Streaming request generator for one application.
+#[derive(Debug)]
+pub struct AppRequestGenerator {
+    app: AppId,
+    key_base: u64,
+    get_fraction: f64,
+    /// Per-phase state: (cumulative fraction, sampler, sizes, scan, offset).
+    phases: Vec<PhaseState>,
+    rng: StdRng,
+    size_salt: u64,
+    /// Requests generated so far (used to progress through phases).
+    issued: u64,
+    /// Total requests expected (phase boundaries are proportional to this;
+    /// if unknown, phases are cycled by weight instead).
+    expected_total: Option<u64>,
+}
+
+#[derive(Debug)]
+struct PhaseState {
+    cumulative_fraction: f64,
+    sampler: PopularitySampler,
+    sizes: SizeDistribution,
+    scan_fraction: f64,
+    scan: Option<ScanGenerator>,
+    key_offset: u64,
+}
+
+impl AppRequestGenerator {
+    fn new(profile: &AppProfile, seed: u64) -> Self {
+        assert!(!profile.phases.is_empty(), "a profile needs at least one phase");
+        let total_fraction: f64 = profile.phases.iter().map(|p| p.fraction.max(0.0)).sum();
+        let total_fraction = if total_fraction <= 0.0 { 1.0 } else { total_fraction };
+        let mut cumulative = 0.0;
+        let phases = profile
+            .phases
+            .iter()
+            .map(|p| {
+                cumulative += p.fraction.max(0.0) / total_fraction;
+                PhaseState {
+                    cumulative_fraction: cumulative,
+                    sampler: p.popularity.sampler(),
+                    sizes: p.sizes.clone(),
+                    scan_fraction: p.scan_fraction,
+                    scan: (p.scan_fraction > 0.0)
+                        .then(|| ScanGenerator::new(1 << 32, p.scan_length.max(1))),
+                    key_offset: p.key_offset,
+                }
+            })
+            .collect();
+        AppRequestGenerator {
+            app: profile.app,
+            key_base: profile.key_base(),
+            get_fraction: profile.get_fraction,
+            phases,
+            rng: StdRng::seed_from_u64(seed ^ ((profile.app.0 as u64) << 17)),
+            size_salt: 0x517e ^ (profile.app.0 as u64),
+            issued: 0,
+            expected_total: None,
+        }
+    }
+
+    /// Declares how many requests this generator is expected to produce in
+    /// total, which makes phases progress with trace position rather than
+    /// randomly.
+    pub fn with_expected_total(mut self, total: u64) -> Self {
+        self.expected_total = Some(total.max(1));
+        self
+    }
+
+    /// Generates the next request with the given timestamp.
+    pub fn next_request(&mut self, time: u64) -> Request {
+        let progress = match self.expected_total {
+            Some(total) => (self.issued as f64 / total as f64).min(1.0),
+            None => self.rng.gen::<f64>(),
+        };
+        self.issued += 1;
+        let phase_idx = self
+            .phases
+            .iter()
+            .position(|p| progress <= p.cumulative_fraction + 1e-12)
+            .unwrap_or(self.phases.len() - 1);
+        let is_get = self.rng.gen_bool(self.get_fraction.clamp(0.0, 1.0));
+        let phase = &mut self.phases[phase_idx];
+        let use_scan = phase.scan.is_some() && self.rng.gen_bool(phase.scan_fraction);
+        let key_id = if use_scan {
+            let scan = phase.scan.as_mut().expect("checked above");
+            self.key_base + scan.next_key()
+        } else {
+            self.key_base + phase.key_offset + phase.sampler.sample(&mut self.rng)
+        };
+        let size = phase.sizes.size_for_key(key_id, self.size_salt).min(u32::MAX as u64) as u32;
+        Request {
+            app: self.app,
+            key: Key::new(key_id),
+            size,
+            op: if is_get { Op::Get } else { Op::Set },
+            time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> AppProfile {
+        AppProfile::simple(
+            3,
+            "test-app",
+            0.1,
+            4 << 20,
+            Phase::zipf(10_000, 1.0, SizeDistribution::Fixed(100)),
+        )
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = profile();
+        let a = p.generate(1_000, 3_600, 42);
+        let b = p.generate(1_000, 3_600, 42);
+        assert_eq!(a, b);
+        let c = p.generate(1_000, 3_600, 43);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn timestamps_span_the_duration() {
+        let p = profile();
+        let requests = p.generate(101, 1_000, 1);
+        assert_eq!(requests.first().unwrap().time, 0);
+        assert_eq!(requests.last().unwrap().time, 1_000);
+        assert!(requests.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn get_fraction_is_respected() {
+        let p = profile().with_get_fraction(0.8);
+        let requests = p.generate(20_000, 100, 9);
+        let gets = requests.iter().filter(|r| r.op == Op::Get).count();
+        let fraction = gets as f64 / requests.len() as f64;
+        assert!((fraction - 0.8).abs() < 0.02, "GET fraction = {fraction}");
+    }
+
+    #[test]
+    fn sizes_are_stable_per_key() {
+        let p = AppProfile::simple(
+            1,
+            "sized",
+            0.1,
+            1 << 20,
+            Phase::zipf(500, 0.9, SizeDistribution::facebook_etc()),
+        );
+        let requests = p.generate(20_000, 100, 5);
+        let mut seen: std::collections::HashMap<Key, u32> = std::collections::HashMap::new();
+        for r in &requests {
+            let entry = seen.entry(r.key).or_insert(r.size);
+            assert_eq!(*entry, r.size, "key {:?} changed size", r.key);
+        }
+    }
+
+    #[test]
+    fn keys_are_namespaced_per_app() {
+        let a = AppProfile::simple(1, "a", 0.5, 1 << 20, Phase::zipf(100, 1.0, SizeDistribution::Fixed(10)));
+        let b = AppProfile::simple(2, "b", 0.5, 1 << 20, Phase::zipf(100, 1.0, SizeDistribution::Fixed(10)));
+        let ka: std::collections::HashSet<Key> =
+            a.generate(1_000, 10, 1).iter().map(|r| r.key).collect();
+        let kb: std::collections::HashSet<Key> =
+            b.generate(1_000, 10, 1).iter().map(|r| r.key).collect();
+        assert!(ka.is_disjoint(&kb));
+    }
+
+    #[test]
+    fn scan_component_produces_cyclic_keys() {
+        let p = AppProfile::simple(
+            7,
+            "scanner",
+            0.1,
+            1 << 20,
+            Phase::zipf(1_000, 1.0, SizeDistribution::Fixed(100)).with_scan(1.0, 50),
+        )
+        .with_cliff()
+        .with_get_fraction(1.0);
+        assert!(p.has_cliff);
+        let requests = p.generate(200, 10, 3);
+        // All keys come from the 50-key scan range and repeat cyclically.
+        let distinct: std::collections::HashSet<Key> = requests.iter().map(|r| r.key).collect();
+        assert_eq!(distinct.len(), 50);
+    }
+
+    #[test]
+    fn phases_shift_the_working_set_over_the_trace() {
+        let p = AppProfile {
+            app: AppId::new(5),
+            name: "phased".into(),
+            request_share: 0.1,
+            get_fraction: 1.0,
+            reserved_bytes: 1 << 20,
+            has_cliff: false,
+            phases: vec![
+                Phase::zipf(1_000, 1.0, SizeDistribution::Fixed(64)).with_fraction(0.5),
+                Phase::zipf(1_000, 1.0, SizeDistribution::Fixed(4_096))
+                    .with_fraction(0.5)
+                    .with_key_offset(1_000_000),
+            ],
+        };
+        let mut generator = p.generator(11).with_expected_total(10_000);
+        let requests: Vec<Request> = (0..10_000).map(|i| generator.next_request(i)).collect();
+        let first_half_small = requests[..5_000].iter().filter(|r| r.size == 64).count();
+        let second_half_large = requests[5_000..].iter().filter(|r| r.size == 4_096).count();
+        assert!(first_half_small > 4_900);
+        assert!(second_half_large > 4_900);
+    }
+}

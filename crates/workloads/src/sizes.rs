@@ -1,0 +1,274 @@
+//! Item-size distributions.
+//!
+//! The paper's Table 1 shows that applications mix item sizes across several
+//! slab classes and that the mix — not just the popularity — drives the
+//! allocation problem. Sizes here are **deterministic per key**: the same key
+//! always has the same size (as in a real application, where a key maps to a
+//! particular object), derived by hashing the key id into the distribution's
+//! quantile function.
+
+use cache_core::key::mix64;
+use serde::{Deserialize, Serialize};
+
+/// A distribution of item (value) sizes in bytes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SizeDistribution {
+    /// Every item has the same size.
+    Fixed(u64),
+    /// Uniform between `min` and `max` (inclusive).
+    Uniform {
+        /// Smallest size.
+        min: u64,
+        /// Largest size.
+        max: u64,
+    },
+    /// Log-normal with the given parameters of the underlying normal
+    /// distribution (sizes are clamped to `[1, cap]`).
+    LogNormal {
+        /// Mean of `ln(size)`.
+        mu: f64,
+        /// Standard deviation of `ln(size)`.
+        sigma: f64,
+        /// Upper clamp in bytes.
+        cap: u64,
+    },
+    /// Generalized Pareto — the fit the Facebook ETC study reports for value
+    /// sizes (Atikoglu et al., SIGMETRICS 2012).
+    GeneralizedPareto {
+        /// Location parameter (bytes).
+        location: f64,
+        /// Scale parameter.
+        scale: f64,
+        /// Shape parameter.
+        shape: f64,
+        /// Upper clamp in bytes.
+        cap: u64,
+    },
+    /// A weighted mixture of other distributions; the component is also
+    /// chosen deterministically per key.
+    Mixture(Vec<(f64, SizeDistribution)>),
+}
+
+impl SizeDistribution {
+    /// The Facebook ETC value-size fit (location 0, scale 214.476, shape
+    /// 0.348468), capped at 1 MB.
+    pub fn facebook_etc() -> Self {
+        SizeDistribution::GeneralizedPareto {
+            location: 0.0,
+            scale: 214.476,
+            shape: 0.348_468,
+            cap: 1 << 20,
+        }
+    }
+
+    /// The size of the item identified by `key_id`, deterministic per key.
+    ///
+    /// `salt` decorrelates the size assignment from other per-key decisions
+    /// (e.g. partition routing) that also hash the key id.
+    pub fn size_for_key(&self, key_id: u64, salt: u64) -> u64 {
+        let u = uniform01(key_id, salt);
+        self.quantile(u, key_id, salt)
+    }
+
+    fn quantile(&self, u: f64, key_id: u64, salt: u64) -> u64 {
+        match self {
+            SizeDistribution::Fixed(size) => (*size).max(1),
+            SizeDistribution::Uniform { min, max } => {
+                let lo = (*min).min(*max).max(1);
+                let hi = (*max).max(lo);
+                lo + ((hi - lo + 1) as f64 * u) as u64
+            }
+            SizeDistribution::LogNormal { mu, sigma, cap } => {
+                let z = normal_quantile(u);
+                let size = (mu + sigma * z).exp();
+                (size.round() as u64).clamp(1, (*cap).max(1))
+            }
+            SizeDistribution::GeneralizedPareto {
+                location,
+                scale,
+                shape,
+                cap,
+            } => {
+                // Inverse CDF of the generalized Pareto distribution.
+                let u = u.clamp(1e-12, 1.0 - 1e-12);
+                let size = if shape.abs() < 1e-9 {
+                    location - scale * (1.0 - u).ln()
+                } else {
+                    location + scale * ((1.0 - u).powf(-shape) - 1.0) / shape
+                };
+                (size.round().max(1.0) as u64).clamp(1, (*cap).max(1))
+            }
+            SizeDistribution::Mixture(components) => {
+                let total: f64 = components.iter().map(|(w, _)| w.max(0.0)).sum();
+                if total <= 0.0 || components.is_empty() {
+                    return 1;
+                }
+                // Choose the component with an independent per-key draw, then
+                // sample the component with the original quantile.
+                let pick = uniform01(key_id, salt ^ 0x5eed_c0ff_ee00_0001);
+                let mut acc = 0.0;
+                for (w, dist) in components {
+                    acc += w.max(0.0) / total;
+                    if pick <= acc {
+                        return dist.quantile(u, key_id, salt ^ 0x0bad_cafe);
+                    }
+                }
+                components
+                    .last()
+                    .map(|(_, d)| d.quantile(u, key_id, salt ^ 0x0bad_cafe))
+                    .unwrap_or(1)
+            }
+        }
+    }
+
+    /// The mean size, estimated over a deterministic sample of keys.
+    pub fn approximate_mean(&self, samples: u64) -> f64 {
+        let samples = samples.max(1);
+        let total: u128 = (0..samples)
+            .map(|k| self.size_for_key(k, 0x00de_fa17) as u128)
+            .sum();
+        total as f64 / samples as f64
+    }
+}
+
+/// Deterministic uniform draw in (0, 1) from a key id and salt.
+fn uniform01(key_id: u64, salt: u64) -> f64 {
+    let h = mix64(key_id ^ mix64(salt));
+    ((h >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+}
+
+/// Acklam's approximation of the standard normal quantile function.
+fn normal_quantile(p: f64) -> f64 {
+    let p = p.clamp(1e-12, 1.0 - 1e-12);
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_deterministic_per_key() {
+        let dist = SizeDistribution::facebook_etc();
+        for key in 0..100u64 {
+            assert_eq!(dist.size_for_key(key, 7), dist.size_for_key(key, 7));
+        }
+        // Different salt gives a different (but still deterministic) mapping.
+        let differs = (0..100u64).any(|k| dist.size_for_key(k, 7) != dist.size_for_key(k, 8));
+        assert!(differs);
+    }
+
+    #[test]
+    fn fixed_and_uniform_bounds() {
+        assert_eq!(SizeDistribution::Fixed(512).size_for_key(1, 0), 512);
+        let dist = SizeDistribution::Uniform { min: 100, max: 200 };
+        for k in 0..1_000 {
+            let s = dist.size_for_key(k, 1);
+            assert!((100..=200).contains(&s), "size {s} out of bounds");
+        }
+    }
+
+    #[test]
+    fn lognormal_is_clamped_and_spread() {
+        let dist = SizeDistribution::LogNormal {
+            mu: 6.0,
+            sigma: 1.0,
+            cap: 10_000,
+        };
+        let sizes: Vec<u64> = (0..5_000).map(|k| dist.size_for_key(k, 2)).collect();
+        assert!(sizes.iter().all(|&s| (1..=10_000).contains(&s)));
+        let small = sizes.iter().filter(|&&s| s < 400).count();
+        let large = sizes.iter().filter(|&&s| s > 1_000).count();
+        assert!(small > 100 && large > 100, "distribution should spread");
+    }
+
+    #[test]
+    fn generalized_pareto_matches_etc_scale() {
+        let dist = SizeDistribution::facebook_etc();
+        let mean = dist.approximate_mean(50_000);
+        // The ETC fit has a mean around 330 bytes; allow a generous band.
+        assert!(
+            (150.0..700.0).contains(&mean),
+            "ETC mean size = {mean:.1} bytes"
+        );
+        // Most values are small, but a heavy tail exists.
+        let big = (0..50_000u64)
+            .filter(|&k| dist.size_for_key(k, 3) > 5_000)
+            .count();
+        assert!(big > 10, "the ETC tail should produce some large values");
+    }
+
+    #[test]
+    fn mixture_uses_both_components() {
+        let dist = SizeDistribution::Mixture(vec![
+            (0.7, SizeDistribution::Fixed(64)),
+            (0.3, SizeDistribution::Fixed(4_096)),
+        ]);
+        let small = (0..10_000u64)
+            .filter(|&k| dist.size_for_key(k, 5) == 64)
+            .count();
+        let large = (0..10_000u64)
+            .filter(|&k| dist.size_for_key(k, 5) == 4_096)
+            .count();
+        assert_eq!(small + large, 10_000);
+        let frac = small as f64 / 10_000.0;
+        assert!((frac - 0.7).abs() < 0.05, "small fraction = {frac}");
+    }
+
+    #[test]
+    fn normal_quantile_is_sane() {
+        assert!(normal_quantile(0.5).abs() < 1e-6);
+        assert!((normal_quantile(0.975) - 1.96).abs() < 0.01);
+        assert!((normal_quantile(0.025) + 1.96).abs() < 0.01);
+        assert!(normal_quantile(1e-9) < -5.0);
+    }
+
+    #[test]
+    fn empty_mixture_defaults_to_one_byte() {
+        let dist = SizeDistribution::Mixture(vec![]);
+        assert_eq!(dist.size_for_key(3, 0), 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Multi-tenant replay: generate a small Memcachier-like 20-application
+//! trace and compare Memcached's default first-come-first-serve allocation
+//! against the Dynacache solver and Cliffhanger for every application — a
+//! miniature version of the paper's Figure 6.
+//!
+//! Run with: `cargo run --release --example multi_tenant`
+
+use cliffhanger_repro::simulator::experiments::comparison::{compare_apps, figure6_hit_rates};
+use cliffhanger_repro::simulator::experiments::ExperimentContext;
+use cliffhanger_repro::workloads::MemcachierConfig;
+
+fn main() {
+    println!("generating a scaled-down Memcachier-like trace (20 applications)...");
+    let ctx = ExperimentContext::new(MemcachierConfig {
+        total_requests: 400_000,
+        scale: 0.15,
+        ..MemcachierConfig::default()
+    });
+
+    println!("replaying every application under default / Dynacache / Cliffhanger...\n");
+    let rows = compare_apps(&ctx);
+
+    println!(
+        "{:>4}  {:>6}  {:>10}  {:>10}  {:>12}  {:>8}",
+        "app", "cliff?", "default", "Dynacache", "Cliffhanger", "Δ misses"
+    );
+    for row in &rows {
+        println!(
+            "{:>4}  {:>6}  {:>9.1}%  {:>9.1}%  {:>11.1}%  {:>7.1}%",
+            row.app,
+            if row.has_cliff { "*" } else { "" },
+            row.default_rate * 100.0,
+            row.dynacache_rate * 100.0,
+            row.cliffhanger_rate * 100.0,
+            row.cliffhanger_miss_reduction() * 100.0,
+        );
+    }
+
+    let avg_default: f64 = rows.iter().map(|r| r.default_rate).sum::<f64>() / rows.len() as f64;
+    let avg_cliff: f64 = rows.iter().map(|r| r.cliffhanger_rate).sum::<f64>() / rows.len() as f64;
+    println!(
+        "\naverage hit rate: default {:.1}% -> Cliffhanger {:.1}% ({:+.1} points)",
+        avg_default * 100.0,
+        avg_cliff * 100.0,
+        (avg_cliff - avg_default) * 100.0
+    );
+
+    // The same data as a CSV figure, like the paper's Figure 6.
+    let figure = figure6_hit_rates(&rows);
+    println!("\n{figure}");
+}

@@ -1,0 +1,62 @@
+//! Quickstart: build a Cliffhanger-managed cache, feed it a skewed workload
+//! whose working set does not fit, and watch hill climbing move memory to
+//! the slab classes that need it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cliffhanger_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // An 8 MB cache managed by Cliffhanger (hill climbing + cliff scaling).
+    let config = CliffhangerConfig::with_total_bytes(8 << 20);
+    let mut cache: Cliffhanger<()> = Cliffhanger::new(config);
+
+    // Two item populations: a large universe of small items (needs memory)
+    // and a small universe of large items (does not).
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut gets = 0u64;
+    let mut hits = 0u64;
+    println!("replaying 600k requests against an 8 MB Cliffhanger cache...");
+    for i in 0..600_000u64 {
+        let (key, size) = if rng.gen_bool(0.85) {
+            (Key::new(rng.gen_range(0..60_000)), 120u64)
+        } else {
+            (Key::new(1_000_000 + rng.gen_range(0..300)), 6_000u64)
+        };
+        gets += 1;
+        let hit = cache.get(key, size).map(|(_, e)| e.hit).unwrap_or(false);
+        if hit {
+            hits += 1;
+        } else {
+            cache.set(key, size, ());
+        }
+        if i % 100_000 == 0 && i > 0 {
+            println!(
+                "  after {:>7} requests: hit rate {:.1}%, {} credit transfers",
+                i,
+                100.0 * hits as f64 / gets as f64,
+                cache.transfers()
+            );
+        }
+    }
+
+    println!("\nfinal hit rate: {:.1}%", 100.0 * hits as f64 / gets as f64);
+    println!("per-class allocation after hill climbing:");
+    for snapshot in cache.class_snapshots() {
+        if snapshot.used_bytes == 0 && snapshot.stats.gets == 0 {
+            continue;
+        }
+        println!(
+            "  slab {:>2} (chunk {:>7} B): target {:>8.2} MB, used {:>8.2} MB, \
+             hit rate {:>5.1}%, ratio {:.2}",
+            snapshot.class,
+            snapshot.chunk_size,
+            snapshot.target_bytes as f64 / (1 << 20) as f64,
+            snapshot.used_bytes as f64 / (1 << 20) as f64,
+            snapshot.stats.hit_ratio().percent(),
+            snapshot.ratio,
+        );
+    }
+}

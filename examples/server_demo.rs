@@ -1,0 +1,57 @@
+//! Server demo: start the Memcached-protocol TCP server backed by the
+//! Cliffhanger-managed cache, drive it with the bundled client, and print
+//! the server-side statistics.
+//!
+//! Run with: `cargo run --release --example server_demo`
+
+use cliffhanger_repro::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    let mut server = CacheServer::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        backend: BackendConfig {
+            total_bytes: 32 << 20,
+            mode: BackendMode::Cliffhanger,
+            ..BackendConfig::default()
+        },
+    })?;
+    println!("cache server listening on {}", server.local_addr());
+
+    let mut client = CacheClient::connect(server.local_addr())?;
+    println!("server version: {}", client.version()?);
+
+    // Store and read back a few values.
+    client.set(b"user:1:name", 0, b"Ada Lovelace")?;
+    client.set(b"user:2:name", 0, b"Alan Turing")?;
+    client.set(b"page:/home", 1, b"<html>cached page</html>")?;
+
+    for key in [b"user:1:name".as_ref(), b"user:2:name", b"page:/home", b"missing"] {
+        match client.get(key)? {
+            Some((flags, value)) => println!(
+                "GET {:<14} -> HIT  (flags {flags}, {} bytes): {}",
+                String::from_utf8_lossy(key),
+                value.len(),
+                String::from_utf8_lossy(&value)
+            ),
+            None => println!("GET {:<14} -> MISS", String::from_utf8_lossy(key)),
+        }
+    }
+
+    // Push a burst of traffic through so the statistics are interesting.
+    for i in 0..5_000u32 {
+        let key = format!("burst:{}", i % 1_500);
+        if client.get(key.as_bytes())?.is_none() {
+            client.set(key.as_bytes(), 0, format!("payload-{i}").as_bytes())?;
+        }
+    }
+
+    println!("\nserver statistics:");
+    for (name, value) in client.stats()? {
+        println!("  {name:<16} {value}");
+    }
+
+    client.quit()?;
+    server.shutdown();
+    Ok(())
+}
