@@ -40,9 +40,8 @@ fn bench_get_miss_paths(c: &mut Criterion) {
     });
 
     group.bench_function("hill_climbing_only_get_then_fill", |b| {
-        let mut cache: Cliffhanger<()> = Cliffhanger::new(
-            CliffhangerConfig::with_total_bytes(8 << 20).hill_climbing_only(),
-        );
+        let mut cache: Cliffhanger<()> =
+            Cliffhanger::new(CliffhangerConfig::with_total_bytes(8 << 20).hill_climbing_only());
         let mut i = 0u64;
         b.iter(|| {
             i += 1;

@@ -78,13 +78,23 @@ fn main() {
     if wants(1) {
         println!(
             "{}\n",
-            hit_rate_curve_figure(&ctx, 3, None, "Figure 1: application 3, dominant slab class")
+            hit_rate_curve_figure(
+                &ctx,
+                3,
+                None,
+                "Figure 1: application 3, dominant slab class"
+            )
         );
     }
     if wants(3) {
         println!(
             "{}\n",
-            hit_rate_curve_figure(&ctx, 11, None, "Figure 3: application 11, dominant slab class")
+            hit_rate_curve_figure(
+                &ctx,
+                11,
+                None,
+                "Figure 3: application 11, dominant slab class"
+            )
         );
     }
     if wants(4) {

@@ -7,8 +7,8 @@
 //! fragmentation — and so do we.
 
 use crate::key::Key;
-use crate::queue::{CacheQueue, GetResult, QueueConfig, SetResult};
 use crate::policy::PolicyKind;
+use crate::queue::{CacheQueue, GetResult, QueueConfig, SetResult};
 use crate::stats::CacheStats;
 
 /// A cache with a single global eviction queue over bytes.
@@ -144,7 +144,7 @@ mod tests {
             c.set(key(i), 52, ());
         }
         assert!(c.used_bytes() <= 5_000);
-        assert!(c.len() > 0);
+        assert!(!c.is_empty());
     }
 
     #[test]

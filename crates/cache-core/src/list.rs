@@ -238,7 +238,9 @@ impl<T> LinkedArena<T> {
 
     /// Returns a reference to the value stored at `handle`.
     pub fn get(&self, handle: NodeHandle) -> Option<&T> {
-        self.nodes.get(handle.index()).and_then(|n| n.value.as_ref())
+        self.nodes
+            .get(handle.index())
+            .and_then(|n| n.value.as_ref())
     }
 
     /// Returns a mutable reference to the value stored at `handle`.

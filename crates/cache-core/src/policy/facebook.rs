@@ -136,7 +136,11 @@ mod tests {
         while let Some((k, _)) = p.evict() {
             order.push(k.raw());
         }
-        assert_eq!(*order.last().unwrap(), 1, "promoted key must be evicted last");
+        assert_eq!(
+            *order.last().unwrap(),
+            1,
+            "promoted key must be evicted last"
+        );
     }
 
     #[test]

@@ -179,8 +179,8 @@ mod tests {
         p.access(key(2)); // 2's 2nd reference at t=4
         p.access(key(1)); // 1's 2nd-most-recent is now t=2 -> kth = 2
                           // 2's kth = 3 (insert time).
-        // Backward 2-distance: key 1's 2nd most recent ref is t=2, key 2's is
-        // t=3, so key 1 is the victim.
+                          // Backward 2-distance: key 1's 2nd most recent ref is t=2, key 2's is
+                          // t=3, so key 1 is the victim.
         assert_eq!(p.evict().unwrap().0, key(1));
     }
 

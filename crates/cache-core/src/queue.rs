@@ -431,7 +431,7 @@ mod tests {
                 q.set(key(i % 20), 64, ());
             }
             assert!(q.used_bytes() <= 2_000, "budget violated for {kind:?}");
-            assert!(q.len() > 0);
+            assert!(!q.is_empty());
             assert_eq!(q.policy_kind(), kind);
         }
     }

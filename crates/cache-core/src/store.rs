@@ -13,10 +13,10 @@
 //!   plan); the cache only enforces them.
 
 use crate::key::{ClassId, Key};
+use crate::policy::PolicyKind;
 use crate::queue::{CacheQueue, GetResult, QueueConfig, SetResult};
 use crate::slab::SlabConfig;
 use crate::stats::CacheStats;
-use crate::policy::PolicyKind;
 use std::collections::HashMap;
 
 /// How the application's memory is divided among its slab classes.
@@ -36,9 +36,7 @@ pub enum AllocationMode {
 
 impl Default for AllocationMode {
     fn default() -> Self {
-        AllocationMode::FirstComeFirstServe {
-            page_size: 1 << 20,
-        }
+        AllocationMode::FirstComeFirstServe { page_size: 1 << 20 }
     }
 }
 

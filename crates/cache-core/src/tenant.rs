@@ -7,11 +7,11 @@
 //! cross-application optimisation (Table 3) and the Cliffhanger controller
 //! reassign memory between applications.
 
+use crate::key::ClassId;
 use crate::key::{AppId, Key};
+use crate::queue::SetResult;
 use crate::stats::CacheStats;
 use crate::store::{SlabCache, SlabCacheConfig, SlabGetResult};
-use crate::queue::SetResult;
-use crate::key::ClassId;
 use std::collections::BTreeMap;
 
 /// Per-application configuration.
@@ -91,7 +91,13 @@ impl<V> MultiTenantCache<V> {
     }
 
     /// Stores `key` for application `app`.
-    pub fn set(&mut self, app: AppId, key: Key, size: u64, value: V) -> Option<(ClassId, SetResult)> {
+    pub fn set(
+        &mut self,
+        app: AppId,
+        key: Key,
+        size: u64,
+        value: V,
+    ) -> Option<(ClassId, SetResult)> {
         self.tenants.get_mut(&app)?.set(key, size, value)
     }
 

@@ -191,8 +191,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "credit_bytes")]
     fn zero_credit_rejected() {
-        let mut c = CliffhangerConfig::default();
-        c.credit_bytes = 0;
+        let c = CliffhangerConfig {
+            credit_bytes: 0,
+            ..CliffhangerConfig::default()
+        };
         c.validate();
     }
 }

@@ -409,7 +409,7 @@ mod tests {
     #[test]
     fn basic_get_set_roundtrip() {
         let mut c: Cliffhanger<()> = Cliffhanger::new(config(1 << 20));
-        assert!(c.get(key(1), 100).unwrap().1.hit == false);
+        assert!(!c.get(key(1), 100).unwrap().1.hit);
         let (class, admitted) = c.set(key(1), 100, ()).unwrap();
         assert!(admitted);
         let (class2, event) = c.get(key(1), 100).unwrap();
@@ -467,7 +467,7 @@ mod tests {
                 }
             }
             for _ in 0..500u64 {
-                let k = key(1_000_000 + rng.gen_range(0..2_000));
+                let k = key(1_000_000 + rng.gen_range(0..2_000u64));
                 if !c.get(k, 4_000).unwrap().1.hit {
                     c.set(k, 4_000, ());
                 }

@@ -60,7 +60,13 @@ impl HillClimber {
 
     /// Splits `total_bytes` evenly across `queues` queues and builds a
     /// climber over that initial allocation.
-    pub fn even_split(queues: usize, total_bytes: u64, credit_bytes: u64, min_bytes: u64, seed: u64) -> Self {
+    pub fn even_split(
+        queues: usize,
+        total_bytes: u64,
+        credit_bytes: u64,
+        min_bytes: u64,
+        seed: u64,
+    ) -> Self {
         assert!(queues > 0, "at least one queue is required");
         let share = total_bytes / queues as u64;
         let mut targets = vec![share; queues];
@@ -181,7 +187,10 @@ mod tests {
         // Queue 1 can only give up one credit before hitting the floor.
         assert!(hc.on_shadow_hit(0).is_some());
         assert_eq!(hc.target(1), 400);
-        assert!(hc.on_shadow_hit(0).is_none(), "no queue can afford a credit");
+        assert!(
+            hc.on_shadow_hit(0).is_none(),
+            "no queue can afford a credit"
+        );
         assert_eq!(hc.target(0), 600);
         assert_eq!(hc.total(), 1_000);
     }

@@ -38,7 +38,7 @@ pub mod partitioned_queue;
 
 pub use cliff_scale::{CliffScaler, PointerEvent};
 pub use config::CliffhangerConfig;
-pub use controller::{Cliffhanger, ClassSnapshot};
+pub use controller::{ClassSnapshot, Cliffhanger};
 pub use hill_climb::HillClimber;
 pub use multi_app::CliffhangerServer;
 pub use partitioned_queue::{Partition, PartitionedQueue, QueueEvent, SetOutcome};

@@ -144,9 +144,7 @@ impl<V> CliffhangerServer<V> {
             return;
         }
         if let Some(winner) = self.caches.get_mut(&winner_app) {
-            let class = winner
-                .class_for_size(size)
-                .unwrap_or(ClassId::new(0));
+            let class = winner.class_for_size(size).unwrap_or(ClassId::new(0));
             winner.grow_class(class, transfer.bytes);
         }
         let _ = key;

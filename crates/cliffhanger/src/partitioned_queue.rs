@@ -142,7 +142,9 @@ impl<V> PartitionedQueue<V> {
             left_cliff: ShadowQueue::new(config.cliff_shadow_items),
             right_cliff: ShadowQueue::new(config.cliff_shadow_items),
             left_hill: ShadowQueue::new(config.hill_shadow_entries / 2),
-            right_hill: ShadowQueue::new(config.hill_shadow_entries - config.hill_shadow_entries / 2),
+            right_hill: ShadowQueue::new(
+                config.hill_shadow_entries - config.hill_shadow_entries / 2,
+            ),
             scaler: CliffScaler::new(total_items, config.credit_items),
             target_bytes: config.target_bytes,
             resize_pending: false,
@@ -482,7 +484,8 @@ impl<V> PartitionedQueue<V> {
             ((entries as u64 * left_items) / total_items.max(1)) as usize
         };
         self.left_hill.set_capacity(left_entries.min(entries));
-        self.right_hill.set_capacity(entries - left_entries.min(entries));
+        self.right_hill
+            .set_capacity(entries - left_entries.min(entries));
         all_evicted
     }
 
@@ -744,7 +747,9 @@ mod tests {
             assert_eq!(q.route(key(i)), q.route(key(i)));
         }
         // Roughly half the keys go to each side under an even ratio.
-        let left = (0..1_000).filter(|&i| q.route(key(i)) == Partition::Left).count();
+        let left = (0..1_000)
+            .filter(|&i| q.route(key(i)) == Partition::Left)
+            .count();
         assert!((350..=650).contains(&left), "left share = {left}");
 
         // Below the threshold everything is routed to the right sub-queue.

@@ -3,10 +3,10 @@
 //! conservation under cliff scaling, and byte budgets under arbitrary
 //! request streams.
 
+use cache_core::{Key, SlabConfig};
 use cliffhanger::cliff_scale::{CliffScaler, PointerEvent};
 use cliffhanger::partitioned_queue::{PartitionedQueue, PartitionedQueueConfig};
 use cliffhanger::{Cliffhanger, CliffhangerConfig, HillClimber};
-use cache_core::{Key, SlabConfig};
 use proptest::prelude::*;
 
 fn pointer_event() -> impl Strategy<Value = PointerEvent> {

@@ -15,16 +15,10 @@ use serde::{Deserialize, Serialize};
 /// Internally the curve is a set of sample points `(items, hit_rate)` with
 /// linear interpolation between them, `h(0) = 0`, and a flat extrapolation
 /// beyond the last point.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize, Default)]
 pub struct HitRateCurve {
     /// Sample points, strictly increasing in items.
     points: Vec<(u64, f64)>,
-}
-
-impl Default for HitRateCurve {
-    fn default() -> Self {
-        HitRateCurve { points: Vec::new() }
-    }
 }
 
 impl HitRateCurve {
@@ -188,7 +182,13 @@ mod tests {
     use super::*;
 
     fn concave_points() -> Vec<(u64, f64)> {
-        vec![(100, 0.4), (200, 0.6), (400, 0.75), (800, 0.8), (1600, 0.82)]
+        vec![
+            (100, 0.4),
+            (200, 0.6),
+            (400, 0.75),
+            (800, 0.8),
+            (1600, 0.82),
+        ]
     }
 
     #[test]
@@ -267,7 +267,9 @@ mod tests {
 
     #[test]
     fn downsample_keeps_endpoints_and_shape() {
-        let points: Vec<(u64, f64)> = (1..=1000).map(|i| (i, (i as f64 / 1000.0).sqrt())).collect();
+        let points: Vec<(u64, f64)> = (1..=1000)
+            .map(|i| (i, (i as f64 / 1000.0).sqrt()))
+            .collect();
         let c = HitRateCurve::from_points(points);
         let d = c.downsample(50);
         assert!(d.points().len() <= 50);

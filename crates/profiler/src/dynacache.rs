@@ -80,7 +80,9 @@ impl Default for DynacacheSolver {
     fn default() -> Self {
         // 1 MB steps: the page granularity Memcached reassigns between slab
         // classes.
-        DynacacheSolver { step_bytes: 1 << 20 }
+        DynacacheSolver {
+            step_bytes: 1 << 20,
+        }
     }
 }
 
@@ -110,7 +112,10 @@ impl DynacacheSolver {
             };
         }
         let hulls: Vec<Option<ConcaveHull>> = if on_hull {
-            profiles.iter().map(|p| Some(p.curve.concave_hull())).collect()
+            profiles
+                .iter()
+                .map(|p| Some(p.curve.concave_hull()))
+                .collect()
         } else {
             vec![None; n]
         };
@@ -232,8 +237,8 @@ mod tests {
     #[test]
     fn solver_gets_stuck_before_a_cliff_but_hull_does_not() {
         let solver = DynacacheSolver::new(16 << 10); // 16 KB steps = 160 items
-        // Queue 0: modest concave curve. Queue 1: all-or-nothing cliff at
-        // 10_000 items with a much higher plateau.
+                                                     // Queue 0: modest concave curve. Queue 1: all-or-nothing cliff at
+                                                     // 10_000 items with a much higher plateau.
         let profiles = vec![
             QueueProfile::new(concave(0.5, 1_000.0), 0.5, 100),
             QueueProfile::new(cliff_curve(10_000, 0.9), 0.5, 100),

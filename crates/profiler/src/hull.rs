@@ -117,12 +117,8 @@ mod tests {
 
     #[test]
     fn hull_of_concave_curve_is_the_curve() {
-        let curve = HitRateCurve::from_points(vec![
-            (100, 0.4),
-            (200, 0.6),
-            (400, 0.75),
-            (800, 0.8),
-        ]);
+        let curve =
+            HitRateCurve::from_points(vec![(100, 0.4), (200, 0.6), (400, 0.75), (800, 0.8)]);
         let hull = curve.concave_hull();
         for probe in [50u64, 100, 150, 300, 600, 800] {
             assert!(

@@ -18,7 +18,9 @@ pub struct LookAheadAllocator {
 
 impl Default for LookAheadAllocator {
     fn default() -> Self {
-        LookAheadAllocator { block_bytes: 1 << 20 }
+        LookAheadAllocator {
+            block_bytes: 1 << 20,
+        }
     }
 }
 

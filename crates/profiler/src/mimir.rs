@@ -167,7 +167,10 @@ mod tests {
         let mut m = MimirEstimator::new(10, 10_000);
         m.record(key(1));
         let d = m.record(key(1)).unwrap();
-        assert!(d <= 2, "immediate reuse must estimate a tiny distance, got {d}");
+        assert!(
+            d <= 2,
+            "immediate reuse must estimate a tiny distance, got {d}"
+        );
     }
 
     #[test]
@@ -197,7 +200,10 @@ mod tests {
             "reuse across 2000 keys ({far}) must estimate far larger than \
              immediate reuse ({near})"
         );
-        assert!(far >= 1_000, "estimate should be in the right ballpark, got {far}");
+        assert!(
+            far >= 1_000,
+            "estimate should be in the right ballpark, got {far}"
+        );
     }
 
     #[test]
@@ -243,7 +249,11 @@ mod tests {
         for i in 0..50_000u64 {
             m.record(key(i));
         }
-        assert!(m.tracked_keys() <= 1_100, "tracked {} keys", m.tracked_keys());
+        assert!(
+            m.tracked_keys() <= 1_100,
+            "tracked {} keys",
+            m.tracked_keys()
+        );
     }
 
     #[test]

@@ -230,11 +230,8 @@ impl StackDistanceTracker {
         let live = self.last_access.len();
         if self.clock > 4 * live.max(1024) {
             // Compact: renumber live keys by their access order.
-            let mut by_time: Vec<(usize, Key)> = self
-                .last_access
-                .iter()
-                .map(|(&k, &t)| (t, k))
-                .collect();
+            let mut by_time: Vec<(usize, Key)> =
+                self.last_access.iter().map(|(&k, &t)| (t, k)).collect();
             by_time.sort_unstable();
             let new_len = (live * 2).max(1024);
             let mut fenwick = Fenwick::with_len(new_len);
@@ -378,8 +375,16 @@ mod tests {
             }
         }
         let h = t.histogram();
-        assert_eq!(h.hits_at(2), 0, "a 2-item LRU cache never hits a 3-item cycle");
-        assert_eq!(h.hits_at(3), 27, "a 3-item cache hits everything after warm-up");
+        assert_eq!(
+            h.hits_at(2),
+            0,
+            "a 2-item LRU cache never hits a 3-item cycle"
+        );
+        assert_eq!(
+            h.hits_at(3),
+            27,
+            "a 3-item cache hits everything after warm-up"
+        );
         assert_eq!(h.total(), 30);
         assert_eq!(h.cold(), 3);
     }

@@ -174,12 +174,8 @@ mod tests {
 
     #[test]
     fn concave_operating_point_splits_evenly() {
-        let curve = HitRateCurve::from_points(vec![
-            (100, 0.3),
-            (200, 0.5),
-            (400, 0.65),
-            (800, 0.72),
-        ]);
+        let curve =
+            HitRateCurve::from_points(vec![(100, 0.3), (200, 0.5), (400, 0.65), (800, 0.72)]);
         let p = TalusPartition::compute(&curve, 400, 0.01);
         assert!(!p.is_cliff_partition());
         assert_eq!(p.left_request_ratio, 0.5);

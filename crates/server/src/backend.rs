@@ -57,27 +57,29 @@ struct StoredValue {
 }
 
 enum Inner {
-    Plain(SlabCache<StoredValue>),
+    Plain(Box<SlabCache<StoredValue>>),
     Managed(Box<Cliffhanger<StoredValue>>),
 }
 
 impl Inner {
     fn build(config: &BackendConfig) -> Inner {
         match config.mode {
-            BackendMode::Default => Inner::Plain(SlabCache::new(SlabCacheConfig {
+            BackendMode::Default => Inner::Plain(Box::new(SlabCache::new(SlabCacheConfig {
                 slab: config.slab.clone(),
                 total_bytes: config.total_bytes,
                 policy: PolicyKind::Lru,
                 mode: AllocationMode::FirstComeFirstServe { page_size: 1 << 20 },
                 shadow_bytes: 0,
                 tail_region_items: 0,
-            })),
+            }))),
             BackendMode::HillClimbing | BackendMode::Cliffhanger => {
-                let mut cfg = CliffhangerConfig::default();
-                cfg.slab = config.slab.clone();
-                cfg.total_bytes = config.total_bytes;
-                cfg.enable_hill_climbing = true;
-                cfg.enable_cliff_scaling = config.mode == BackendMode::Cliffhanger;
+                let cfg = CliffhangerConfig {
+                    slab: config.slab.clone(),
+                    total_bytes: config.total_bytes,
+                    enable_hill_climbing: true,
+                    enable_cliff_scaling: config.mode == BackendMode::Cliffhanger,
+                    ..CliffhangerConfig::default()
+                };
                 Inner::Managed(Box::new(Cliffhanger::new(cfg)))
             }
         }
@@ -231,14 +233,26 @@ impl SharedCache {
             Inner::Managed(cache) => cache.len(),
         };
         vec![
-            ("cmd_get".into(), self.gets.load(Ordering::Relaxed).to_string()),
-            ("cmd_set".into(), self.sets.load(Ordering::Relaxed).to_string()),
-            ("get_hits".into(), self.hits.load(Ordering::Relaxed).to_string()),
+            (
+                "cmd_get".into(),
+                self.gets.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "cmd_set".into(),
+                self.sets.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "get_hits".into(),
+                self.hits.load(Ordering::Relaxed).to_string(),
+            ),
             (
                 "get_misses".into(),
                 (self.gets.load(Ordering::Relaxed) - self.hits.load(Ordering::Relaxed)).to_string(),
             ),
-            ("cmd_delete".into(), self.deletes.load(Ordering::Relaxed).to_string()),
+            (
+                "cmd_delete".into(),
+                self.deletes.load(Ordering::Relaxed).to_string(),
+            ),
             ("bytes".into(), used.to_string()),
             ("curr_items".into(), items.to_string()),
             ("evictions".into(), core.evictions.to_string()),
@@ -316,7 +330,10 @@ mod tests {
         let hits_recent = (1_990..2_000)
             .filter(|i| c.get(format!("key{i}").as_bytes()).is_some())
             .count();
-        assert!(hits_recent >= 5, "recent keys mostly resident, got {hits_recent}");
+        assert!(
+            hits_recent >= 5,
+            "recent keys mostly resident, got {hits_recent}"
+        );
     }
 
     #[test]

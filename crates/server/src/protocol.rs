@@ -121,7 +121,9 @@ pub fn parse_command(buffer: &mut BytesMut) -> ParseOutcome {
     };
     match verb {
         "get" | "gets" => {
-            let keys: Vec<Bytes> = parts.map(|k| Bytes::copy_from_slice(k.as_bytes())).collect();
+            let keys: Vec<Bytes> = parts
+                .map(|k| Bytes::copy_from_slice(k.as_bytes()))
+                .collect();
             buffer.advance_checked(line_end + 2);
             if keys.is_empty() {
                 ParseOutcome::Invalid("get requires at least one key".to_string())

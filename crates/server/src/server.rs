@@ -1,7 +1,9 @@
 //! The TCP listener and per-connection protocol loop.
 
 use crate::backend::{BackendConfig, SharedCache};
-use crate::protocol::{encode_response, parse_command, Command, ParseOutcome, Response, StoreVerb, Value};
+use crate::protocol::{
+    encode_response, parse_command, Command, ParseOutcome, Response, StoreVerb, Value,
+};
 use crate::threadpool::ThreadPool;
 use bytes::BytesMut;
 use std::io::{Read, Write};
@@ -261,7 +263,10 @@ mod tests {
         let mut writer = CacheClient::connect(server.local_addr()).unwrap();
         let mut reader = CacheClient::connect(server.local_addr()).unwrap();
         writer.set(b"shared", 1, b"data").unwrap();
-        let got = reader.get(b"shared").unwrap().expect("visible across connections");
+        let got = reader
+            .get(b"shared")
+            .unwrap()
+            .expect("visible across connections");
         assert_eq!(got.1, b"data");
     }
 
@@ -277,7 +282,10 @@ mod tests {
                         let key = format!("t{t}-k{i}");
                         let value = format!("value-{t}-{i}");
                         assert!(client.set(key.as_bytes(), 0, value.as_bytes()).unwrap());
-                        let got = client.get(key.as_bytes()).unwrap().expect("own write visible");
+                        let got = client
+                            .get(key.as_bytes())
+                            .unwrap()
+                            .expect("own write visible");
                         assert_eq!(got.1, value.as_bytes());
                     }
                 })
@@ -286,8 +294,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let stats: std::collections::HashMap<_, _> =
-            server.cache().stats().into_iter().collect();
+        let stats: std::collections::HashMap<_, _> = server.cache().stats().into_iter().collect();
         let sets: u64 = stats["cmd_set"].parse().unwrap();
         assert_eq!(sets, 800);
     }

@@ -308,11 +308,9 @@ impl SystemInstance {
                 .map(|i| c.class_used(ClassId::new(i as u32)))
                 .collect(),
             SystemInstance::Global(c) => vec![c.used_bytes()],
-            SystemInstance::Managed(c) => c
-                .class_snapshots()
-                .iter()
-                .map(|s| s.used_bytes)
-                .collect(),
+            SystemInstance::Managed(c) => {
+                c.class_snapshots().iter().map(|s| s.used_bytes).collect()
+            }
         }
     }
 
@@ -334,11 +332,9 @@ pub fn replay_app(trace: &Trace, system: &CacheSystem, options: &ReplayOptions) 
     let mut instance = SystemInstance::build(system, options);
     let total = trace.len();
     let warmup_until = ((total as f64) * options.warmup_fraction) as usize;
-    let sample_every = if options.timeline_samples == 0 {
-        usize::MAX
-    } else {
-        (total / options.timeline_samples).max(1)
-    };
+    let sample_every = total
+        .checked_div(options.timeline_samples)
+        .map_or(usize::MAX, |every| every.max(1));
     let mut timeline = Vec::new();
     let mut last_stats = CacheStats::new();
 
@@ -470,10 +466,7 @@ mod tests {
         let results = replay_many(&trace, &systems, &options);
         assert_eq!(results.len(), systems.len());
         for (system, result) in systems.iter().zip(&results) {
-            assert!(
-                result.stats.gets > 0,
-                "no GETs recorded for {system:?}"
-            );
+            assert!(result.stats.gets > 0, "no GETs recorded for {system:?}");
             assert!(result.hit_rate() > 0.0, "no hits at all for {system:?}");
         }
     }
@@ -499,7 +492,11 @@ mod tests {
         let trace = zipf_trace(5_000, 20_000);
         let options = ReplayOptions::new(1 << 20).with_timeline(20);
         let result = replay_app(&trace, &CacheSystem::cliffhanger(), &options);
-        assert!(result.timeline.len() >= 18, "got {} samples", result.timeline.len());
+        assert!(
+            result.timeline.len() >= 18,
+            "got {} samples",
+            result.timeline.len()
+        );
         let first = result.timeline.first().unwrap();
         let last = result.timeline.last().unwrap();
         assert!(last.time >= first.time);

@@ -25,7 +25,12 @@ pub fn default_vs_dynacache(
     let trace = ctx.trace(app_number);
     let options = ctx.options(app_number);
     let default = replay_app(trace, &CacheSystem::default_lru(), &options);
-    let plan = dynacache_plan(trace, &options.slab, options.reserved_bytes, solver_step(&options));
+    let plan = dynacache_plan(
+        trace,
+        &options.slab,
+        options.reserved_bytes,
+        solver_step(&options),
+    );
     let solved = replay_app(
         trace,
         &CacheSystem::StaticPlan {
@@ -150,11 +155,7 @@ pub fn table3_cross_app(ctx: &ExperimentContext) -> Table {
         let trace = ctx.trace(app_number);
         let original_bytes = ctx.app(app_number).reserved_bytes;
         let solver_bytes = allocation.bytes_for(i).max(1);
-        let original = replay_app(
-            trace,
-            &CacheSystem::default_lru(),
-            &ctx.options(app_number),
-        );
+        let original = replay_app(trace, &CacheSystem::default_lru(), &ctx.options(app_number));
         let mut new_options = ctx.options(app_number);
         new_options.reserved_bytes = solver_bytes;
         let optimised = replay_app(trace, &CacheSystem::default_lru(), &new_options);
@@ -210,7 +211,10 @@ mod tests {
         let parse = |s: &str| s.trim_end_matches('%').parse::<f64>().unwrap();
         let original: f64 = table.rows.iter().map(|r| parse(&r[1])).sum();
         let solved: f64 = table.rows.iter().map(|r| parse(&r[2])).sum();
-        assert!((original - 100.0).abs() < 1.0, "original sums to {original}");
+        assert!(
+            (original - 100.0).abs() < 1.0,
+            "original sums to {original}"
+        );
         assert!((solved - 100.0).abs() < 2.0, "solved sums to {solved}");
     }
 }

@@ -233,7 +233,11 @@ pub fn arc_comparison(ctx: &ExperimentContext, apps: &[u32]) -> Table {
 /// Convenience wrapper used by the harness: the hill-climbing-only variant
 /// across all applications (useful when reporting how much of the gain comes
 /// from each algorithm in aggregate).
-pub fn cliffhanger_variant_rate(ctx: &ExperimentContext, app_number: u32, mode: CliffhangerMode) -> f64 {
+pub fn cliffhanger_variant_rate(
+    ctx: &ExperimentContext,
+    app_number: u32,
+    mode: CliffhangerMode,
+) -> f64 {
     let trace = ctx.trace(app_number);
     let options = ctx.options(app_number);
     replay_app(

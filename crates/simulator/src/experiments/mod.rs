@@ -59,10 +59,7 @@ impl ExperimentContext {
             traces.insert(app.app, Trace::new());
         }
         for request in combined.iter() {
-            traces
-                .entry(request.app)
-                .or_insert_with(Trace::new)
-                .push(*request);
+            traces.entry(request.app).or_default().push(*request);
         }
         ExperimentContext {
             config,

@@ -19,7 +19,10 @@ pub fn table5_eviction_schemes(ctx: &ExperimentContext) -> Table {
 pub fn table5_for_apps(ctx: &ExperimentContext, apps: &[u32]) -> Table {
     let systems = [
         ("default LRU", CacheSystem::Default(PolicyKind::Lru)),
-        ("Facebook scheme", CacheSystem::Default(PolicyKind::Facebook)),
+        (
+            "Facebook scheme",
+            CacheSystem::Default(PolicyKind::Facebook),
+        ),
         ("ARC", CacheSystem::Default(PolicyKind::Arc)),
         (
             "Cliffhanger + LRU",

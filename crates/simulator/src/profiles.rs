@@ -43,8 +43,9 @@ pub fn profile_app_classes(
     max_curve_points: usize,
 ) -> ClassProfiles {
     let num_classes = slab.num_classes();
-    let mut trackers: Vec<StackDistanceTracker> =
-        (0..num_classes).map(|_| StackDistanceTracker::new()).collect();
+    let mut trackers: Vec<StackDistanceTracker> = (0..num_classes)
+        .map(|_| StackDistanceTracker::new())
+        .collect();
     let mut gets = vec![0u64; num_classes];
     for request in trace.iter() {
         if request.op != Op::Get {
@@ -187,10 +188,7 @@ mod tests {
         let small_class = slab.class_for_size(100).unwrap().index();
         let large_class = slab.class_for_size(4_000).unwrap().index();
         assert_eq!(plan.iter().sum::<u64>(), 2 << 20);
-        assert!(
-            plan[small_class] > plan[large_class],
-            "plan = {plan:?}"
-        );
+        assert!(plan[small_class] > plan[large_class], "plan = {plan:?}");
     }
 
     #[test]

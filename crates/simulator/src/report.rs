@@ -77,7 +77,11 @@ impl fmt::Display for Table {
                 .join("  ")
         };
         writeln!(f, "{}", render_row(&self.headers, &widths))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", render_row(row, &widths))?;
         }

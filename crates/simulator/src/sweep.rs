@@ -122,7 +122,11 @@ mod tests {
             5,
             0.002,
         );
-        assert!(result.fraction_needed < 0.6, "fraction = {}", result.fraction_needed);
+        assert!(
+            result.fraction_needed < 0.6,
+            "fraction = {}",
+            result.fraction_needed
+        );
         assert!(result.achieved_hit_rate + 0.002 >= quarter);
         assert!(result.savings() > 0.4);
     }

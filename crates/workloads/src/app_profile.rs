@@ -184,9 +184,16 @@ struct PhaseState {
 
 impl AppRequestGenerator {
     fn new(profile: &AppProfile, seed: u64) -> Self {
-        assert!(!profile.phases.is_empty(), "a profile needs at least one phase");
+        assert!(
+            !profile.phases.is_empty(),
+            "a profile needs at least one phase"
+        );
         let total_fraction: f64 = profile.phases.iter().map(|p| p.fraction.max(0.0)).sum();
-        let total_fraction = if total_fraction <= 0.0 { 1.0 } else { total_fraction };
+        let total_fraction = if total_fraction <= 0.0 {
+            1.0
+        } else {
+            total_fraction
+        };
         let mut cumulative = 0.0;
         let phases = profile
             .phases
@@ -245,7 +252,10 @@ impl AppRequestGenerator {
         } else {
             self.key_base + phase.key_offset + phase.sampler.sample(&mut self.rng)
         };
-        let size = phase.sizes.size_for_key(key_id, self.size_salt).min(u32::MAX as u64) as u32;
+        let size = phase
+            .sizes
+            .size_for_key(key_id, self.size_salt)
+            .min(u32::MAX as u64) as u32;
         Request {
             app: self.app,
             key: Key::new(key_id),
@@ -317,8 +327,20 @@ mod tests {
 
     #[test]
     fn keys_are_namespaced_per_app() {
-        let a = AppProfile::simple(1, "a", 0.5, 1 << 20, Phase::zipf(100, 1.0, SizeDistribution::Fixed(10)));
-        let b = AppProfile::simple(2, "b", 0.5, 1 << 20, Phase::zipf(100, 1.0, SizeDistribution::Fixed(10)));
+        let a = AppProfile::simple(
+            1,
+            "a",
+            0.5,
+            1 << 20,
+            Phase::zipf(100, 1.0, SizeDistribution::Fixed(10)),
+        );
+        let b = AppProfile::simple(
+            2,
+            "b",
+            0.5,
+            1 << 20,
+            Phase::zipf(100, 1.0, SizeDistribution::Fixed(10)),
+        );
         let ka: std::collections::HashSet<Key> =
             a.generate(1_000, 10, 1).iter().map(|r| r.key).collect();
         let kb: std::collections::HashSet<Key> =

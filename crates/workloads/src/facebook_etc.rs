@@ -67,7 +67,10 @@ pub fn etc_workload(config: &EtcConfig, requests: u64) -> Trace {
     for i in 0..requests {
         let rank = zipf.sample(&mut rng);
         let key = Key::new(rank);
-        let size = config.sizes.size_for_key(rank, config.seed).min(u32::MAX as u64) as u32;
+        let size = config
+            .sizes
+            .size_for_key(rank, config.seed)
+            .min(u32::MAX as u64) as u32;
         let op = if rng.gen_bool(config.get_fraction) {
             Op::Get
         } else {
@@ -89,12 +92,7 @@ pub fn etc_workload(config: &EtcConfig, requests: u64) -> Trace {
 /// evictions once the cache is full. `get_fraction` controls the GET/SET mix
 /// (Table 7 varies it; Table 6 uses GET-then-fill pairs produced by the
 /// simulator).
-pub fn all_miss_workload(
-    app: AppId,
-    requests: u64,
-    get_fraction: f64,
-    seed: u64,
-) -> Trace {
+pub fn all_miss_workload(app: AppId, requests: u64, get_fraction: f64, seed: u64) -> Trace {
     let sizes = SizeDistribution::facebook_etc();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut trace = Trace::new();

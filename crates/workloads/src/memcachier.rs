@@ -74,6 +74,9 @@ fn scaled(value: u64, scale: f64) -> u64 {
 }
 
 /// The twenty application profiles, in paper order (application ids 1–20).
+// One `push` per application keeps each profile next to the prose
+// describing it; a single `vec![...]` literal would lose that structure.
+#[allow(clippy::vec_init_then_push)]
 pub fn memcachier_apps(scale: f64) -> Vec<AppProfile> {
     let s = scale;
     // Size mixes reused by several applications.
@@ -84,8 +87,20 @@ pub fn memcachier_apps(scale: f64) -> Vec<AppProfile> {
     };
     let mixed_values = SizeDistribution::Mixture(vec![
         (0.6, SizeDistribution::Uniform { min: 48, max: 300 }),
-        (0.3, SizeDistribution::Uniform { min: 301, max: 2_048 }),
-        (0.1, SizeDistribution::Uniform { min: 2_049, max: 16_384 }),
+        (
+            0.3,
+            SizeDistribution::Uniform {
+                min: 301,
+                max: 2_048,
+            },
+        ),
+        (
+            0.1,
+            SizeDistribution::Uniform {
+                min: 2_049,
+                max: 16_384,
+            },
+        ),
     ]);
 
     let mut apps = Vec::new();
@@ -98,7 +113,8 @@ pub fn memcachier_apps(scale: f64) -> Vec<AppProfile> {
             "app01-giant",
             0.30,
             scaled(8 << 20, s),
-            Phase::zipf(scaled(150_000, s), 0.70, mixed_values.clone()).with_scan(0.15, scaled(40_000, s)),
+            Phase::zipf(scaled(150_000, s), 0.70, mixed_values.clone())
+                .with_scan(0.15, scaled(40_000, s)),
         )
         .with_cliff(),
     );
@@ -134,7 +150,13 @@ pub fn memcachier_apps(scale: f64) -> Vec<AppProfile> {
             },
             sizes: SizeDistribution::Mixture(vec![
                 (0.20, SizeDistribution::Fixed(96)),
-                (0.80, SizeDistribution::Uniform { min: 2_048, max: 8_192 }),
+                (
+                    0.80,
+                    SizeDistribution::Uniform {
+                        min: 2_048,
+                        max: 8_192,
+                    },
+                ),
             ]),
             scan_fraction: 0.0,
             scan_length: 0,
@@ -151,14 +173,32 @@ pub fn memcachier_apps(scale: f64) -> Vec<AppProfile> {
         reserved_bytes: scaled(4 << 20, s),
         has_cliff: false,
         phases: vec![
-            Phase::zipf(scaled(12_000, s), 1.0, SizeDistribution::Uniform { min: 64, max: 512 })
-                .with_fraction(0.45),
-            Phase::zipf(scaled(9_000, s), 1.0, SizeDistribution::Uniform { min: 1_024, max: 4_096 })
-                .with_fraction(0.35)
-                .with_key_offset(1 << 24),
-            Phase::zipf(scaled(6_000, s), 1.0, SizeDistribution::Uniform { min: 4_096, max: 16_384 })
-                .with_fraction(0.20)
-                .with_key_offset(1 << 25),
+            Phase::zipf(
+                scaled(12_000, s),
+                1.0,
+                SizeDistribution::Uniform { min: 64, max: 512 },
+            )
+            .with_fraction(0.45),
+            Phase::zipf(
+                scaled(9_000, s),
+                1.0,
+                SizeDistribution::Uniform {
+                    min: 1_024,
+                    max: 4_096,
+                },
+            )
+            .with_fraction(0.35)
+            .with_key_offset(1 << 24),
+            Phase::zipf(
+                scaled(6_000, s),
+                1.0,
+                SizeDistribution::Uniform {
+                    min: 4_096,
+                    max: 16_384,
+                },
+            )
+            .with_fraction(0.20)
+            .with_key_offset(1 << 25),
         ],
     });
     // Application 6: the slab-misallocation case of Table 1 — the dominant
@@ -178,7 +218,13 @@ pub fn memcachier_apps(scale: f64) -> Vec<AppProfile> {
             sizes: SizeDistribution::Mixture(vec![
                 (0.01, SizeDistribution::Fixed(80)),
                 (0.70, SizeDistribution::Fixed(400)),
-                (0.29, SizeDistribution::Uniform { min: 8_192, max: 32_768 }),
+                (
+                    0.29,
+                    SizeDistribution::Uniform {
+                        min: 8_192,
+                        max: 32_768,
+                    },
+                ),
             ]),
             scan_fraction: 0.0,
             scan_length: 0,
@@ -267,7 +313,13 @@ pub fn memcachier_apps(scale: f64) -> Vec<AppProfile> {
             },
             sizes: SizeDistribution::Mixture(vec![
                 (0.75, SizeDistribution::Fixed(128)),
-                (0.25, SizeDistribution::Uniform { min: 4_096, max: 16_384 }),
+                (
+                    0.25,
+                    SizeDistribution::Uniform {
+                        min: 4_096,
+                        max: 16_384,
+                    },
+                ),
             ]),
             scan_fraction: 0.0,
             scan_length: 0,
@@ -296,7 +348,13 @@ pub fn memcachier_apps(scale: f64) -> Vec<AppProfile> {
             },
             sizes: SizeDistribution::Mixture(vec![
                 (0.65, SizeDistribution::Fixed(192)),
-                (0.35, SizeDistribution::Uniform { min: 2_048, max: 12_288 }),
+                (
+                    0.35,
+                    SizeDistribution::Uniform {
+                        min: 2_048,
+                        max: 12_288,
+                    },
+                ),
             ]),
             scan_fraction: 0.0,
             scan_length: 0,
@@ -316,7 +374,13 @@ pub fn memcachier_apps(scale: f64) -> Vec<AppProfile> {
             },
             sizes: SizeDistribution::Mixture(vec![
                 (0.55, SizeDistribution::Fixed(256)),
-                (0.45, SizeDistribution::Uniform { min: 1_024, max: 8_192 }),
+                (
+                    0.45,
+                    SizeDistribution::Uniform {
+                        min: 1_024,
+                        max: 8_192,
+                    },
+                ),
             ]),
             scan_fraction: 0.0,
             scan_length: 0,
@@ -338,27 +402,25 @@ pub fn memcachier_apps(scale: f64) -> Vec<AppProfile> {
     );
     // Application 19*: steep cliffs in both of its slab classes (Table 4,
     // Figures 4 and 9): two scanned databases of different item sizes.
-    apps.push(
-        AppProfile {
-            app: cache_core::AppId::new(19),
-            name: "app19-double-cliff".into(),
-            request_share: 0.02,
-            get_fraction: 0.98,
-            reserved_bytes: scaled(1_500 << 10, s),
-            has_cliff: true,
-            phases: vec![
-                // Slab class 0: small items, scanned.
-                Phase::zipf(scaled(2_000, s), 0.8, SizeDistribution::Fixed(80))
-                    .with_fraction(0.6)
-                    .with_scan(0.85, scaled(11_000, s)),
-                // Slab class 1: larger items, also scanned.
-                Phase::zipf(scaled(1_500, s), 0.8, SizeDistribution::Fixed(700))
-                    .with_fraction(0.4)
-                    .with_key_offset(1 << 26)
-                    .with_scan(0.80, scaled(2_500, s)),
-            ],
-        },
-    );
+    apps.push(AppProfile {
+        app: cache_core::AppId::new(19),
+        name: "app19-double-cliff".into(),
+        request_share: 0.02,
+        get_fraction: 0.98,
+        reserved_bytes: scaled(1_500 << 10, s),
+        has_cliff: true,
+        phases: vec![
+            // Slab class 0: small items, scanned.
+            Phase::zipf(scaled(2_000, s), 0.8, SizeDistribution::Fixed(80))
+                .with_fraction(0.6)
+                .with_scan(0.85, scaled(11_000, s)),
+            // Slab class 1: larger items, also scanned.
+            Phase::zipf(scaled(1_500, s), 0.8, SizeDistribution::Fixed(700))
+                .with_fraction(0.4)
+                .with_key_offset(1 << 26)
+                .with_scan(0.80, scaled(2_500, s)),
+        ],
+    });
     // Application 20: small, comfortable tenant.
     apps.push(AppProfile::simple(
         20,
@@ -432,7 +494,11 @@ mod tests {
         let apps = memcachier_apps(1.0);
         assert_eq!(apps.len(), 20);
         // Six asterisked applications.
-        let cliffy: Vec<u32> = apps.iter().filter(|a| a.has_cliff).map(|a| a.app.0).collect();
+        let cliffy: Vec<u32> = apps
+            .iter()
+            .filter(|a| a.has_cliff)
+            .map(|a| a.app.0)
+            .collect();
         assert_eq!(cliffy, vec![1, 7, 10, 11, 18, 19]);
         // Application ids are 1..=20 in order.
         let ids: Vec<u32> = apps.iter().map(|a| a.app.0).collect();
@@ -484,10 +550,7 @@ mod tests {
         let a = memcachier_trace(&config);
         let b = memcachier_trace(&config);
         assert_eq!(a, b);
-        assert!(a
-            .requests
-            .windows(2)
-            .all(|w| w[0].time <= w[1].time));
+        assert!(a.requests.windows(2).all(|w| w[0].time <= w[1].time));
     }
 
     #[test]

@@ -268,7 +268,9 @@ mod tests {
     #[test]
     fn jsonl_skips_blank_lines_and_rejects_garbage() {
         let input = b"\n\n".to_vec();
-        assert!(Trace::read_jsonl(std::io::Cursor::new(input)).unwrap().is_empty());
+        assert!(Trace::read_jsonl(std::io::Cursor::new(input))
+            .unwrap()
+            .is_empty());
         let garbage = b"not json\n".to_vec();
         assert!(Trace::read_jsonl(std::io::Cursor::new(garbage)).is_err());
     }

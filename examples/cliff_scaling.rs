@@ -35,7 +35,12 @@ fn main() {
         "scan of ~26k items x ~400 B against a 10 MB cache (the working set \
          just misses fitting)\n"
     );
-    run("default (FCFS + LRU)", &CacheSystem::default_lru(), &trace, &options);
+    run(
+        "default (FCFS + LRU)",
+        &CacheSystem::default_lru(),
+        &trace,
+        &options,
+    );
     run(
         "hill climbing only",
         &CacheSystem::Cliffhanger {
@@ -54,7 +59,12 @@ fn main() {
         &trace,
         &options,
     );
-    run("Cliffhanger (combined)", &CacheSystem::cliffhanger(), &trace, &options);
+    run(
+        "Cliffhanger (combined)",
+        &CacheSystem::cliffhanger(),
+        &trace,
+        &options,
+    );
 
     // Show the split the cliff-scaling algorithm converged to.
     let result = replay_app(
@@ -63,6 +73,9 @@ fn main() {
         &options.clone().with_timeline(10),
     );
     if let Some(last) = result.timeline.last() {
-        println!("\nfinal per-class targets (bytes): {:?}", last.class_targets);
+        println!(
+            "\nfinal per-class targets (bytes): {:?}",
+            last.class_targets
+        );
     }
 }

@@ -23,7 +23,7 @@ fn main() {
         let (key, size) = if rng.gen_bool(0.85) {
             (Key::new(rng.gen_range(0..60_000)), 120u64)
         } else {
-            (Key::new(1_000_000 + rng.gen_range(0..300)), 6_000u64)
+            (Key::new(1_000_000 + rng.gen_range(0..300u64)), 6_000u64)
         };
         gets += 1;
         let hit = cache.get(key, size).map(|(_, e)| e.hit).unwrap_or(false);
@@ -42,7 +42,10 @@ fn main() {
         }
     }
 
-    println!("\nfinal hit rate: {:.1}%", 100.0 * hits as f64 / gets as f64);
+    println!(
+        "\nfinal hit rate: {:.1}%",
+        100.0 * hits as f64 / gets as f64
+    );
     println!("per-class allocation after hill climbing:");
     for snapshot in cache.class_snapshots() {
         if snapshot.used_bytes == 0 && snapshot.stats.gets == 0 {

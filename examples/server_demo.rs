@@ -26,7 +26,12 @@ fn main() -> std::io::Result<()> {
     client.set(b"user:2:name", 0, b"Alan Turing")?;
     client.set(b"page:/home", 1, b"<html>cached page</html>")?;
 
-    for key in [b"user:1:name".as_ref(), b"user:2:name", b"page:/home", b"missing"] {
+    for key in [
+        b"user:1:name".as_ref(),
+        b"user:2:name",
+        b"page:/home",
+        b"missing",
+    ] {
         match client.get(key)? {
             Some((flags, value)) => println!(
                 "GET {:<14} -> HIT  (flags {flags}, {} bytes): {}",

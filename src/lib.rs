@@ -46,8 +46,7 @@ pub mod prelude {
         experiments::ExperimentContext,
     };
     pub use workloads::{
-        memcachier_trace, AppProfile, MemcachierConfig, Op, Phase, Request, SizeDistribution,
-        Trace,
+        memcachier_trace, AppProfile, MemcachierConfig, Op, Phase, Request, SizeDistribution, Trace,
     };
 }
 
@@ -57,7 +56,8 @@ mod tests {
 
     #[test]
     fn facade_exposes_a_working_cache() {
-        let mut cache: Cliffhanger<()> = Cliffhanger::new(CliffhangerConfig::with_total_bytes(1 << 20));
+        let mut cache: Cliffhanger<()> =
+            Cliffhanger::new(CliffhangerConfig::with_total_bytes(1 << 20));
         cache.set(Key::new(1), 128, ());
         assert!(cache.get(Key::new(1), 128).unwrap().1.hit);
     }

@@ -9,6 +9,35 @@ use cliffhanger_repro::simulator::experiments::ExperimentContext;
 use cliffhanger_repro::simulator::profiles::dynacache_plan;
 use cliffhanger_repro::workloads::MemcachierConfig;
 
+/// The workspace-wiring smoke test: a basic GET/SET round-trip through the
+/// facade crate's re-exports alone. If the workspace manifests, the facade
+/// prelude, or any inter-crate dependency edge breaks, this fails before
+/// the heavier paper-level tests below even start.
+#[test]
+fn facade_get_set_round_trip() {
+    let mut cache: Cliffhanger<&'static str> =
+        Cliffhanger::new(CliffhangerConfig::with_total_bytes(1 << 20));
+    let key = Key::new(42);
+    let size = 256;
+
+    // Cold: a GET misses.
+    let (_, miss) = cache.get(key, size).expect("size maps to a slab class");
+    assert!(!miss.hit, "fresh cache must miss");
+
+    // SET then GET: a hit that returns the stored value.
+    cache.set(key, size, "hello-cliffhanger");
+    let (_, hit) = cache.get(key, size).expect("size maps to a slab class");
+    assert!(hit.hit, "value stored via the facade must be readable");
+    assert_eq!(cache.value(key), Some(&"hello-cliffhanger"));
+
+    // And the same through the wire-protocol backend re-exports.
+    let shared = cache_server::SharedCache::new(BackendConfig::default());
+    assert!(shared.set(b"greeting", 7, bytes::Bytes::from_static(b"hi")));
+    let (flags, data) = shared.get(b"greeting").expect("stored key must hit");
+    assert_eq!(flags, 7);
+    assert_eq!(&data[..], b"hi");
+}
+
 /// A scan-dominated application whose working set slightly exceeds its
 /// reservation: the canonical performance cliff.
 fn cliff_trace(requests: u64) -> (Trace, ReplayOptions) {
@@ -58,10 +87,13 @@ fn dynacache_plan_matches_or_beats_default_on_size_imbalanced_app() {
             },
             sizes: SizeDistribution::Mixture(vec![
                 (0.8, SizeDistribution::Fixed(120)),
-                (0.2, SizeDistribution::Uniform {
-                    min: 8_192,
-                    max: 32_768,
-                }),
+                (
+                    0.2,
+                    SizeDistribution::Uniform {
+                        min: 8_192,
+                        max: 32_768,
+                    },
+                ),
             ]),
             scan_fraction: 0.0,
             scan_length: 0,

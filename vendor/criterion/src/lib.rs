@@ -1,0 +1,233 @@
+//! Minimal offline stand-in for [`criterion`](https://docs.rs/criterion).
+//!
+//! Provides the `criterion_group!` / `criterion_main!` entry points,
+//! `Criterion`, benchmark groups, `Bencher::iter`, `black_box`,
+//! `BenchmarkId`, and `Throughput`. Timing is a simple
+//! warmup-then-measure loop over `std::time::Instant` — no statistics,
+//! outlier analysis, or HTML reports — printing one `name ... mean ns/iter`
+//! line per benchmark. Enough to run the paper's micro-benchmarks and keep
+//! their code compiling under `--all-targets`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Units-of-work declaration used to report per-element throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times to smooth noise.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and calibration: run until ~5ms have elapsed to pick an
+        // iteration count, then measure one batch of that size.
+        let calibration_start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while calibration_start.elapsed() < Duration::from_millis(5) && calibration_iters < 10_000 {
+            black_box(routine());
+            calibration_iters += 1;
+        }
+        let per_iter = calibration_start.elapsed().as_nanos() as f64 / calibration_iters as f64;
+        // Target ~20ms of measurement, capped to keep CI cheap.
+        let measure_iters = ((20_000_000.0 / per_iter.max(1.0)) as u64).clamp(1, 100_000);
+        let start = Instant::now();
+        for _ in 0..measure_iters {
+            black_box(routine());
+        }
+        self.iters = measure_iters;
+        self.mean_ns = start.elapsed().as_nanos() as f64 / measure_iters as f64;
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark function.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by wall clock.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores measurement time.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.throughput,
+            |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher {
+        iters: 0,
+        mean_ns: 0.0,
+    };
+    f(&mut bencher);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if bencher.mean_ns > 0.0 => {
+            format!(" ({:.1} Melem/s)", n as f64 * 1_000.0 / bencher.mean_ns)
+        }
+        Some(Throughput::Bytes(n)) if bencher.mean_ns > 0.0 => {
+            format!(" ({:.1} MB/s)", n as f64 * 953.7 / bencher.mean_ns)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {name:<50} {:>12.1} ns/iter ({} iters){rate}",
+        bencher.mean_ns, bencher.iters
+    );
+}
+
+/// Collects benchmark functions into a single callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_a_cheap_routine() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(10).throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::from_parameter(42), |b| {
+            b.iter(|| black_box(42u64).wrapping_mul(7))
+        });
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

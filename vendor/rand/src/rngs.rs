@@ -1,0 +1,29 @@
+//! Deterministic generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The shim's standard generator: SplitMix64.
+///
+/// SplitMix64 passes BigCrush for the statistical quality the workloads
+/// need (uniformity, independence across small moduli) and is trivially
+/// seedable, which is what the deterministic traces rely on.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
