@@ -1,0 +1,55 @@
+//! Shard-sweep entry point: throughput of the sharded server at 1/2/4/8
+//! shards under the closed-loop Zipf workload (the scaling experiment the
+//! loadgen subsystem exists to demonstrate).
+//!
+//! Run with: `cargo run --release -p bench --bin shard_sweep [requests]`
+//!
+//! Prints the sweep JSON (`cliffhanger-loadgen-sweep/v1`) on stdout and a
+//! human-readable table on stderr. `cargo run --release -p loadgen --
+//! --sweep 1,2,4,8` is the configurable superset of this binary.
+
+use loadgen::{run_shard_sweep, LoadgenConfig, SelfHostConfig, WorkloadSpec};
+use workloads::{KeyPopularity, SizeDistribution};
+
+fn main() -> std::process::ExitCode {
+    let requests: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+
+    let load = LoadgenConfig {
+        connections: 8,
+        requests,
+        warmup_keys: 20_000,
+        pipeline: 32,
+        workload: WorkloadSpec {
+            keys: KeyPopularity::Zipf {
+                num_keys: 50_000,
+                exponent: 0.99,
+            },
+            sizes: SizeDistribution::Fixed(256),
+            get_fraction: 0.9,
+            ..WorkloadSpec::default()
+        },
+        ..LoadgenConfig::default()
+    };
+    let host = SelfHostConfig::default();
+
+    match run_shard_sweep(&load, &host, &[1, 2, 4, 8]) {
+        Ok(sweep) => {
+            eprintln!("shards  throughput(req/s)  speedup  p99(us)");
+            for p in &sweep.points {
+                eprintln!(
+                    "{:>6}  {:>17.0}  {:>7.2}  {:>7.0}",
+                    p.shards, p.throughput_rps, p.speedup_vs_baseline, p.p99_us
+                );
+            }
+            println!("{}", sweep.to_json());
+            std::process::ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("shard_sweep: {err}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}

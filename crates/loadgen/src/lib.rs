@@ -1,0 +1,35 @@
+//! # loadgen
+//!
+//! A memtier/mutilate-style load generator and telemetry harness for the
+//! cache server — the measurement side of the paper's evaluation (Figures
+//! 10–12 and Tables 6–7 are all throughput / latency / hit rate under real
+//! traffic, which requires putting load on a real socket).
+//!
+//! * [`telemetry`] — HDR-style log-linear latency histograms; lock-free
+//!   per-worker recording, merged on report.
+//! * [`workload`] — adapts the `workloads` crate's key-popularity and
+//!   item-size distributions into a wire-level request stream.
+//! * [`runner`] — the multi-threaded closed-loop (fixed concurrency,
+//!   pipelined) and open-loop (fixed arrival rate, coordinated-omission
+//!   corrected) drivers.
+//! * [`report`] — machine-readable JSON reports (`cliffhanger-loadgen/v1`).
+//! * [`sweep`] — self-hosted runs and the 1/2/4/8 shard sweep that
+//!   demonstrates the sharded backend's throughput scaling.
+//!
+//! Run it: `cargo run --release -p loadgen -- --help`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod report;
+pub mod runner;
+pub mod sweep;
+pub mod telemetry;
+pub mod workload;
+
+pub use report::{LoadReport, ServerEcho, SweepPoint, SweepReport, LOAD_SCHEMA, SWEEP_SCHEMA};
+pub use runner::{run_load, LoadMode, LoadgenConfig};
+pub use sweep::{run_self_hosted, run_shard_sweep, SelfHostConfig};
+pub use telemetry::{Histogram, LatencySummary};
+pub use workload::{GenOp, RequestGen, WorkloadSpec};

@@ -1,0 +1,356 @@
+//! The `loadgen` command-line tool.
+//!
+//! With `--addr` it drives an external server; without it, it self-hosts an
+//! in-process [`cache_server::CacheServer`] (handy for CI smoke runs and
+//! the shard sweep). `--sweep` runs the same workload against a series of
+//! shard counts and reports the throughput curve.
+//!
+//! The JSON report goes to stdout (or `--json <path>`); the human-readable
+//! summary goes to stderr, so `loadgen … | jq .` just works.
+
+use cache_server::BackendMode;
+use loadgen::{
+    run_load, run_self_hosted, run_shard_sweep, LoadMode, LoadReport, LoadgenConfig,
+    SelfHostConfig, SweepReport,
+};
+use std::io::Write;
+use std::process::ExitCode;
+use workloads::{KeyPopularity, SizeDistribution};
+
+const USAGE: &str = "\
+loadgen — memtier-style load generator for the cliffhanger cache server
+
+USAGE:
+    cargo run --release -p loadgen -- [OPTIONS]
+
+TARGET (default: self-host an in-process server):
+    --addr <host:port>      drive an external server instead of self-hosting
+    --shards <n>            shard count for the self-hosted server (0 = auto)
+    --mb <n>                self-hosted cache size in MB            [64]
+    --allocator <name>      default | hillclimbing | cliffhanger    [cliffhanger]
+    --server-workers <n>    server threads (0 = one per connection) [0]
+
+LOAD:
+    --requests <n>          measured requests                       [100000]
+    --connections <n>       worker threads / TCP connections        [4]
+    --pipeline <n>          requests per pipelined batch            [16]
+    --mode <closed|open>    driving mode                            [closed]
+    --rate <rps>            open-loop total arrival rate            [20000]
+    --warmup <n>            hottest keys preloaded untimed          [10000]
+
+WORKLOAD:
+    --keys <n>              key-universe size                       [50000]
+    --zipf <exponent>       Zipf exponent (0 = uniform)             [0.99]
+    --get-fraction <f>      fraction of GETs                        [0.9]
+    --value-size <spec>     fixed:<bytes> | etc | etc:<cap-bytes>   [etc:16384]
+    --seed <n>              base RNG seed
+
+OUTPUT:
+    --sweep <a,b,c>         shard sweep over these counts (self-host only)
+    --json <path>           write the JSON report to a file instead of stdout
+    -h, --help              this text
+";
+
+struct Args {
+    addr: Option<String>,
+    shards: usize,
+    mb: u64,
+    allocator: BackendMode,
+    server_workers: usize,
+    sweep: Option<Vec<usize>>,
+    json_path: Option<String>,
+    load: LoadgenConfig,
+}
+
+fn parse_value_size(spec: &str) -> Result<SizeDistribution, String> {
+    if let Some(bytes) = spec.strip_prefix("fixed:") {
+        let bytes: u64 = bytes
+            .parse()
+            .map_err(|_| format!("bad --value-size: {spec}"))?;
+        return Ok(SizeDistribution::Fixed(bytes.max(1)));
+    }
+    if spec == "etc" {
+        return Ok(SizeDistribution::facebook_etc());
+    }
+    if let Some(cap) = spec.strip_prefix("etc:") {
+        let cap: u64 = cap
+            .parse()
+            .map_err(|_| format!("bad --value-size: {spec}"))?;
+        return Ok(SizeDistribution::GeneralizedPareto {
+            location: 0.0,
+            scale: 214.476,
+            shape: 0.348_468,
+            cap: cap.max(1),
+        });
+    }
+    Err(format!(
+        "bad --value-size {spec:?}: expected fixed:<bytes>, etc, or etc:<cap>"
+    ))
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        shards: 0,
+        mb: 64,
+        allocator: BackendMode::Cliffhanger,
+        server_workers: 0,
+        sweep: None,
+        json_path: None,
+        load: LoadgenConfig::default(),
+    };
+    let mut num_keys: u64 = 50_000;
+    let mut zipf: f64 = 0.99;
+    let mut open_rate: f64 = 20_000.0;
+    let mut open_mode = false;
+    // First self-host-only flag seen, to reject silent no-ops with --addr.
+    let mut self_host_flag: Option<&'static str> = None;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        for known in ["--shards", "--mb", "--allocator", "--server-workers"] {
+            if flag == known {
+                self_host_flag.get_or_insert(known);
+            }
+        }
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            argv.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "-h" | "--help" => return Err(String::new()),
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| "bad --shards".to_string())?
+            }
+            "--mb" => args.mb = value("--mb")?.parse().map_err(|_| "bad --mb".to_string())?,
+            "--allocator" => {
+                args.allocator = match value("--allocator")?.as_str() {
+                    "default" => BackendMode::Default,
+                    "hillclimbing" => BackendMode::HillClimbing,
+                    "cliffhanger" => BackendMode::Cliffhanger,
+                    other => return Err(format!("bad --allocator {other:?}")),
+                }
+            }
+            "--server-workers" => {
+                args.server_workers = value("--server-workers")?
+                    .parse()
+                    .map_err(|_| "bad --server-workers".to_string())?
+            }
+            "--requests" => {
+                args.load.requests = value("--requests")?
+                    .parse()
+                    .map_err(|_| "bad --requests".to_string())?
+            }
+            "--connections" => {
+                args.load.connections = value("--connections")?
+                    .parse()
+                    .map_err(|_| "bad --connections".to_string())?
+            }
+            "--pipeline" => {
+                args.load.pipeline = value("--pipeline")?
+                    .parse()
+                    .map_err(|_| "bad --pipeline".to_string())?
+            }
+            "--mode" => match value("--mode")?.as_str() {
+                "closed" => open_mode = false,
+                "open" => open_mode = true,
+                other => return Err(format!("bad --mode {other:?}")),
+            },
+            "--rate" => {
+                open_rate = value("--rate")?
+                    .parse()
+                    .map_err(|_| "bad --rate".to_string())?
+            }
+            "--warmup" => {
+                args.load.warmup_keys = value("--warmup")?
+                    .parse()
+                    .map_err(|_| "bad --warmup".to_string())?
+            }
+            "--keys" => {
+                num_keys = value("--keys")?
+                    .parse()
+                    .map_err(|_| "bad --keys".to_string())?
+            }
+            "--zipf" => {
+                zipf = value("--zipf")?
+                    .parse()
+                    .map_err(|_| "bad --zipf".to_string())?
+            }
+            "--get-fraction" => {
+                args.load.workload.get_fraction = value("--get-fraction")?
+                    .parse()
+                    .map_err(|_| "bad --get-fraction".to_string())?
+            }
+            "--value-size" => args.load.workload.sizes = parse_value_size(&value("--value-size")?)?,
+            "--seed" => {
+                args.load.workload.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_string())?
+            }
+            "--sweep" => {
+                let list = value("--sweep")?;
+                let counts: Result<Vec<usize>, _> =
+                    list.split(',').map(|s| s.trim().parse()).collect();
+                let counts = counts.map_err(|_| format!("bad --sweep {list:?}"))?;
+                if counts.is_empty() {
+                    return Err("--sweep needs at least one shard count".to_string());
+                }
+                args.sweep = Some(counts);
+            }
+            "--json" => args.json_path = Some(value("--json")?),
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+        i += 1;
+    }
+
+    args.load.workload.keys = if zipf <= 0.0 {
+        KeyPopularity::Uniform {
+            num_keys: num_keys.max(1),
+        }
+    } else {
+        KeyPopularity::Zipf {
+            num_keys: num_keys.max(1),
+            exponent: zipf,
+        }
+    };
+    args.load.mode = if open_mode {
+        LoadMode::Open {
+            target_rps: open_rate,
+        }
+    } else {
+        LoadMode::Closed
+    };
+    if args.sweep.is_some() && args.addr.is_some() {
+        return Err("--sweep self-hosts the server; it cannot be combined with --addr".to_string());
+    }
+    if let (Some(_), Some(flag)) = (&args.addr, self_host_flag) {
+        return Err(format!(
+            "{flag} configures the self-hosted server and has no effect on an \
+             external one; drop it or drop --addr"
+        ));
+    }
+    Ok(args)
+}
+
+fn summarize(report: &LoadReport) {
+    eprintln!(
+        "{} mode, {} conns x pipeline {}: {} requests in {:.3} s = {:.0} req/s",
+        report.mode,
+        report.connections,
+        report.pipeline,
+        report.requests,
+        report.elapsed_secs,
+        report.throughput_rps
+    );
+    eprintln!(
+        "  hit rate {:.1}% ({} hits / {} gets), {} sets, {} errors",
+        report.hit_rate * 100.0,
+        report.get_hits,
+        report.gets,
+        report.sets,
+        report.errors
+    );
+    eprintln!(
+        "  latency us: p50 {:.0}  p90 {:.0}  p99 {:.0}  p99.9 {:.0}  max {:.0}",
+        report.latency.p50_us,
+        report.latency.p90_us,
+        report.latency.p99_us,
+        report.latency.p999_us,
+        report.latency.max_us
+    );
+    if let Some(server) = &report.server {
+        eprintln!(
+            "  server: {} shards, {} workers, {} MB, {} allocator, {} evictions",
+            server.shards,
+            server.workers,
+            server.total_bytes >> 20,
+            server.allocator,
+            server.evictions
+        );
+    }
+}
+
+fn summarize_sweep(sweep: &SweepReport) {
+    eprintln!("shard sweep:");
+    for point in &sweep.points {
+        eprintln!(
+            "  {:>2} shards: {:>9.0} req/s  ({:.2}x vs baseline)  p99 {:.0} us  hit {:.1}%",
+            point.shards,
+            point.throughput_rps,
+            point.speedup_vs_baseline,
+            point.p99_us,
+            point.hit_rate * 100.0
+        );
+    }
+}
+
+fn emit(json: &str, path: &Option<String>) -> std::io::Result<()> {
+    match path {
+        Some(path) => {
+            std::fs::write(path, format!("{json}\n"))?;
+            eprintln!("report written to {path}");
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            stdout.write_all(json.as_bytes())?;
+            stdout.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) if message.is_empty() => {
+            eprint!("{USAGE}");
+            return Ok(());
+        }
+        Err(message) => return Err(message),
+    };
+
+    let host = SelfHostConfig {
+        total_bytes: args.mb << 20,
+        mode: args.allocator,
+        workers: args.server_workers,
+    };
+
+    if let Some(shard_counts) = &args.sweep {
+        let sweep = run_shard_sweep(&args.load, &host, shard_counts).map_err(|e| e.to_string())?;
+        summarize_sweep(&sweep);
+        emit(&sweep.to_json(), &args.json_path).map_err(|e| e.to_string())?;
+        return Ok(());
+    }
+
+    let report = match &args.addr {
+        Some(addr) => {
+            let mut config = args.load.clone();
+            config.addr = addr.clone();
+            run_load(&config).map_err(|e| e.to_string())?
+        }
+        None => run_self_hosted(&args.load, &host, args.shards).map_err(|e| e.to_string())?,
+    };
+    summarize(&report);
+    emit(&report.to_json(), &args.json_path).map_err(|e| e.to_string())?;
+    if report.errors > 0 {
+        eprintln!("warning: {} request-level errors", report.errors);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

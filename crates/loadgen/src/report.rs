@@ -1,0 +1,192 @@
+//! Machine-readable run reports.
+//!
+//! Every loadgen run emits one JSON document (schema
+//! `cliffhanger-loadgen/v1`) so results can be diffed across PRs — the same
+//! trajectory the repo's `BENCH_*.json` files follow. A shard sweep emits a
+//! `cliffhanger-loadgen-sweep/v1` document embedding one run report per
+//! shard count.
+
+use crate::telemetry::LatencySummary;
+use serde::{Deserialize, Serialize};
+
+/// Report of a single load-generation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Schema tag: `cliffhanger-loadgen/v1`.
+    pub schema: String,
+    /// `closed` or `open`.
+    pub mode: String,
+    /// Target server address.
+    pub addr: String,
+    /// Worker threads / TCP connections.
+    pub connections: u64,
+    /// Requests per pipelined batch (1 = strict request/response).
+    pub pipeline: u64,
+    /// Open-loop target rate in requests/sec (0 for closed-loop).
+    pub target_rps: f64,
+    /// Requests completed in the measured window.
+    pub requests: u64,
+    /// Untimed warm-up requests issued before the window.
+    pub warmup_requests: u64,
+    /// Wall-clock seconds of the measured window.
+    pub elapsed_secs: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// GET requests completed.
+    pub gets: u64,
+    /// GETs answered with a value.
+    pub get_hits: u64,
+    /// GET hit rate (0 when no GETs were issued).
+    pub hit_rate: f64,
+    /// SET requests completed.
+    pub sets: u64,
+    /// SETs the server did not store, plus protocol-level surprises.
+    pub errors: u64,
+    /// Latency over every request.
+    pub latency: LatencySummary,
+    /// Latency of GETs alone.
+    pub get_latency: LatencySummary,
+    /// Latency of SETs alone.
+    pub set_latency: LatencySummary,
+    /// Workload knobs, echoed for reproducibility.
+    pub workload: WorkloadEcho,
+    /// Server-side counters (present when the run self-hosted the server).
+    pub server: Option<ServerEcho>,
+}
+
+/// The workload parameters a report was generated with.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct WorkloadEcho {
+    /// Popularity model (`zipf:<exponent>`, `uniform`, `hotset`).
+    pub keys: String,
+    /// Key-universe size.
+    pub num_keys: u64,
+    /// Fraction of GETs.
+    pub get_fraction: f64,
+    /// Size model description.
+    pub sizes: String,
+    /// Base seed.
+    pub seed: u64,
+}
+
+/// Server-side facts for self-hosted runs.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ServerEcho {
+    /// Number of backend shards.
+    pub shards: u64,
+    /// Cache budget in bytes.
+    pub total_bytes: u64,
+    /// Allocator mode (`default`, `hillclimbing`, `cliffhanger`).
+    pub allocator: String,
+    /// Server worker threads.
+    pub workers: u64,
+    /// Evictions observed during the run.
+    pub evictions: u64,
+}
+
+/// One point of a shard sweep.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Shard count of this point.
+    pub shards: u64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Throughput relative to the first (baseline) point.
+    pub speedup_vs_baseline: f64,
+    /// GET hit rate.
+    pub hit_rate: f64,
+    /// p99 latency in microseconds.
+    pub p99_us: f64,
+    /// Full report for the point.
+    pub report: LoadReport,
+}
+
+/// Report of a shard sweep (schema `cliffhanger-loadgen-sweep/v1`).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Schema tag: `cliffhanger-loadgen-sweep/v1`.
+    pub schema: String,
+    /// One point per shard count, in sweep order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Schema tag for single-run reports.
+pub const LOAD_SCHEMA: &str = "cliffhanger-loadgen/v1";
+/// Schema tag for sweep reports.
+pub const SWEEP_SCHEMA: &str = "cliffhanger-loadgen-sweep/v1";
+
+impl LoadReport {
+    /// Serialises to compact JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serialisation cannot fail")
+    }
+}
+
+impl SweepReport {
+    /// Serialises to compact JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serialisation cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = LoadReport {
+            schema: LOAD_SCHEMA.to_string(),
+            mode: "closed".to_string(),
+            addr: "127.0.0.1:11211".to_string(),
+            connections: 4,
+            pipeline: 16,
+            requests: 30_000,
+            elapsed_secs: 1.5,
+            throughput_rps: 20_000.0,
+            gets: 27_000,
+            get_hits: 20_000,
+            hit_rate: 20_000.0 / 27_000.0,
+            sets: 3_000,
+            latency: LatencySummary {
+                count: 30_000,
+                p50_us: 100.0,
+                p99_us: 900.0,
+                p999_us: 2_000.0,
+                ..LatencySummary::default()
+            },
+            ..LoadReport::default()
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\":\"cliffhanger-loadgen/v1\""));
+        let back: LoadReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.requests, 30_000);
+        assert_eq!(back.latency.p99_us, 900.0);
+        assert!(back.server.is_none());
+    }
+
+    #[test]
+    fn sweep_report_round_trips() {
+        let sweep = SweepReport {
+            schema: SWEEP_SCHEMA.to_string(),
+            points: vec![
+                SweepPoint {
+                    shards: 1,
+                    throughput_rps: 10_000.0,
+                    speedup_vs_baseline: 1.0,
+                    ..SweepPoint::default()
+                },
+                SweepPoint {
+                    shards: 4,
+                    throughput_rps: 25_000.0,
+                    speedup_vs_baseline: 2.5,
+                    ..SweepPoint::default()
+                },
+            ],
+        };
+        let back: SweepReport = serde_json::from_str(&sweep.to_json()).unwrap();
+        assert_eq!(back.points.len(), 2);
+        assert_eq!(back.points[1].shards, 4);
+        assert_eq!(back.points[1].speedup_vs_baseline, 2.5);
+    }
+}

@@ -1,0 +1,592 @@
+//! The load-generation engine: N worker threads, one TCP connection each,
+//! driving the server in closed-loop (memtier/mutilate style: a fixed
+//! concurrency, each connection keeps `pipeline` requests in flight) or
+//! open-loop mode (a target arrival rate with latencies measured from the
+//! *scheduled* send time, so queueing delay is charged to the server — the
+//! coordinated-omission correction wrk2 popularised).
+//!
+//! Workers share only two pieces of state: an atomic request budget they
+//! claim batches from, and a start barrier. All telemetry is recorded into
+//! per-worker histograms and merged after the workers join.
+
+use crate::report::{LoadReport, WorkloadEcho, LOAD_SCHEMA};
+use crate::telemetry::Histogram;
+use crate::workload::{GenOp, RequestGen, WorkloadSpec};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+use workloads::{KeyPopularity, SizeDistribution};
+
+/// Closed- vs open-loop driving.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LoadMode {
+    /// Fixed concurrency: every connection keeps `pipeline` requests in
+    /// flight and sends the next batch as soon as the previous one is
+    /// answered. Measures capacity.
+    Closed,
+    /// Fixed arrival rate (requests/sec across all connections), one
+    /// request outstanding per connection. Measures latency at a load
+    /// point; latencies include any backlog the server builds up.
+    Open {
+        /// Total target arrival rate across every connection.
+        target_rps: f64,
+    },
+}
+
+/// Everything a run needs.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Worker threads, one TCP connection each.
+    pub connections: usize,
+    /// Requests in the measured window (split across workers on demand).
+    pub requests: u64,
+    /// Untimed SETs of the hottest keys issued before the window, so GETs
+    /// in the window see a populated cache.
+    pub warmup_keys: u64,
+    /// Requests per pipelined batch in closed-loop mode.
+    pub pipeline: usize,
+    /// Closed- or open-loop.
+    pub mode: LoadMode,
+    /// Traffic shape.
+    pub workload: WorkloadSpec,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:11211".to_string(),
+            connections: 4,
+            requests: 100_000,
+            warmup_keys: 10_000,
+            pipeline: 16,
+            mode: LoadMode::Closed,
+            workload: WorkloadSpec::default(),
+        }
+    }
+}
+
+/// Payloads are slices of one shared pattern buffer; sizes beyond it clamp.
+const PAYLOAD_POOL_BYTES: usize = 1 << 20;
+
+/// Per-worker telemetry, merged after the run.
+#[derive(Default)]
+struct WorkerStats {
+    all: Histogram,
+    get: Histogram,
+    set: Histogram,
+    gets: u64,
+    hits: u64,
+    sets: u64,
+    errors: u64,
+}
+
+impl WorkerStats {
+    fn merge(&mut self, other: &WorkerStats) {
+        self.all.merge(&other.all);
+        self.get.merge(&other.get);
+        self.set.merge(&other.set);
+        self.gets += other.gets;
+        self.hits += other.hits;
+        self.sets += other.sets;
+        self.errors += other.errors;
+    }
+}
+
+/// One pipelined connection: buffered reads, raw writes.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    line: String,
+}
+
+impl Conn {
+    fn connect(addr: &str) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            reader: BufReader::with_capacity(64 * 1024, stream.try_clone()?),
+            writer: stream,
+            line: String::new(),
+        })
+    }
+
+    fn read_line(&mut self) -> std::io::Result<&str> {
+        self.line.clear();
+        if self.reader.read_line(&mut self.line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-run",
+            ));
+        }
+        Ok(self.line.trim_end_matches(['\r', '\n']))
+    }
+
+    /// Reads one GET response (`VALUE …\r\n<data>\r\nEND\r\n` or `END\r\n`).
+    /// Returns whether it was a hit.
+    fn read_get_response(&mut self) -> std::io::Result<Option<bool>> {
+        let line = self.read_line()?;
+        if line == "END" {
+            return Ok(Some(false));
+        }
+        let Some(rest) = line.strip_prefix("VALUE ") else {
+            return Ok(None); // protocol surprise; caller counts an error
+        };
+        // Strict `<key> <flags> <bytes>` header: guessing at the payload
+        // length would desynchronize every later response in the pipeline,
+        // so an unparseable header is a framing error, not a miscount.
+        let len: usize = match rest.split_ascii_whitespace().nth(2).map(str::parse) {
+            Some(Ok(len)) => len,
+            _ => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unparseable VALUE header: VALUE {rest}"),
+                ));
+            }
+        };
+        // Payload + CRLF, then the END line.
+        let mut sink = vec![0u8; len + 2];
+        self.reader.read_exact(&mut sink)?;
+        let end = self.read_line()?;
+        Ok(if end == "END" { Some(true) } else { None })
+    }
+
+    /// Reads one SET response. Returns whether the server stored it.
+    fn read_set_response(&mut self) -> std::io::Result<Option<bool>> {
+        match self.read_line()? {
+            "STORED" => Ok(Some(true)),
+            "NOT_STORED" => Ok(Some(false)),
+            _ => Ok(None),
+        }
+    }
+}
+
+/// Appends the wire encoding of `op` to `buf`.
+fn encode_op(op: &GenOp, buf: &mut Vec<u8>, payload_pool: &[u8]) {
+    match op {
+        GenOp::Get { key } => {
+            buf.extend_from_slice(b"get ");
+            buf.extend_from_slice(key.as_bytes());
+            buf.extend_from_slice(b"\r\n");
+        }
+        GenOp::Set { key, size } => {
+            let size = (*size).min(payload_pool.len());
+            // write! straight into the batch buffer — no temporary String
+            // per request in the measurement hot path.
+            let _ = write!(buf, "set {key} 0 0 {size}\r\n");
+            buf.extend_from_slice(&payload_pool[..size]);
+            buf.extend_from_slice(b"\r\n");
+        }
+    }
+}
+
+/// Claims up to `want` requests from the shared budget; 0 means done.
+fn claim(budget: &AtomicU64, want: u64) -> u64 {
+    let mut current = budget.load(Ordering::Relaxed);
+    loop {
+        if current == 0 {
+            return 0;
+        }
+        let take = want.min(current);
+        match budget.compare_exchange_weak(
+            current,
+            current - take,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return take,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// Records one completed request into the worker's histograms.
+fn record(stats: &mut WorkerStats, is_get: bool, latency_ns: u64, outcome: Option<bool>) {
+    stats.all.record(latency_ns);
+    if is_get {
+        stats.get.record(latency_ns);
+        stats.gets += 1;
+        match outcome {
+            Some(true) => stats.hits += 1,
+            Some(false) => {}
+            None => stats.errors += 1,
+        }
+    } else {
+        stats.set.record(latency_ns);
+        stats.sets += 1;
+        if outcome != Some(true) {
+            stats.errors += 1;
+        }
+    }
+}
+
+/// Untimed warm-up: worker `w` SETs ranks `w, w+W, w+2W, …` below
+/// `warmup_keys`, so the hottest portion of the universe is resident before
+/// the measured window opens.
+fn warmup(
+    conn: &mut Conn,
+    gen: &RequestGen,
+    worker: usize,
+    workers: usize,
+    warmup_keys: u64,
+    payload_pool: &[u8],
+) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(64 * 1024);
+    let mut pending = 0usize;
+    let mut rank = worker as u64;
+    while rank < warmup_keys {
+        encode_op(&gen.set_for_rank(rank), &mut buf, payload_pool);
+        pending += 1;
+        if pending == 64 {
+            conn.writer.write_all(&buf)?;
+            buf.clear();
+            for _ in 0..pending {
+                conn.read_set_response()?;
+            }
+            pending = 0;
+        }
+        rank += workers as u64;
+    }
+    if pending > 0 {
+        conn.writer.write_all(&buf)?;
+        for _ in 0..pending {
+            conn.read_set_response()?;
+        }
+    }
+    Ok(())
+}
+
+fn run_closed_worker(
+    conn: &mut Conn,
+    gen: &mut RequestGen,
+    budget: &AtomicU64,
+    pipeline: u64,
+    payload_pool: &[u8],
+) -> std::io::Result<WorkerStats> {
+    let mut stats = WorkerStats::default();
+    let mut buf = Vec::with_capacity(64 * 1024);
+    let mut ops: Vec<GenOp> = Vec::with_capacity(pipeline as usize);
+    loop {
+        let batch = claim(budget, pipeline);
+        if batch == 0 {
+            return Ok(stats);
+        }
+        buf.clear();
+        ops.clear();
+        for _ in 0..batch {
+            let op = gen.next_op();
+            encode_op(&op, &mut buf, payload_pool);
+            ops.push(op);
+        }
+        let sent = Instant::now();
+        conn.writer.write_all(&buf)?;
+        for op in &ops {
+            let (is_get, outcome) = match op {
+                GenOp::Get { .. } => (true, conn.read_get_response()?),
+                GenOp::Set { .. } => (false, conn.read_set_response()?),
+            };
+            // Pipelined latency: from batch send to this response parsed,
+            // i.e. queueing behind earlier responses in the batch counts.
+            record(
+                &mut stats,
+                is_get,
+                sent.elapsed().as_nanos() as u64,
+                outcome,
+            );
+        }
+    }
+}
+
+fn run_open_worker(
+    conn: &mut Conn,
+    gen: &mut RequestGen,
+    budget: &AtomicU64,
+    interval: Duration,
+    payload_pool: &[u8],
+) -> std::io::Result<WorkerStats> {
+    let mut stats = WorkerStats::default();
+    let mut buf = Vec::with_capacity(16 * 1024);
+    let mut deadline = Instant::now();
+    loop {
+        if claim(budget, 1) == 0 {
+            return Ok(stats);
+        }
+        deadline += interval;
+        let now = Instant::now();
+        if deadline > now {
+            std::thread::sleep(deadline - now);
+        }
+        let op = gen.next_op();
+        buf.clear();
+        encode_op(&op, &mut buf, payload_pool);
+        conn.writer.write_all(&buf)?;
+        let (is_get, outcome) = match &op {
+            GenOp::Get { .. } => (true, conn.read_get_response()?),
+            GenOp::Set { .. } => (false, conn.read_set_response()?),
+        };
+        // Latency from the *scheduled* start: if the server falls behind
+        // the arrival rate, the backlog shows up in the tail (no
+        // coordinated omission).
+        record(
+            &mut stats,
+            is_get,
+            deadline.elapsed().as_nanos() as u64,
+            outcome,
+        );
+    }
+}
+
+fn describe_keys(keys: &KeyPopularity) -> (String, u64) {
+    match keys {
+        KeyPopularity::Uniform { num_keys } => ("uniform".to_string(), *num_keys),
+        KeyPopularity::Zipf { num_keys, exponent } => (format!("zipf:{exponent}"), *num_keys),
+        KeyPopularity::HotSet {
+            num_keys,
+            hot_keys,
+            hot_fraction,
+        } => (format!("hotset:{hot_keys}:{hot_fraction}"), *num_keys),
+    }
+}
+
+fn describe_sizes(sizes: &SizeDistribution) -> String {
+    match sizes {
+        SizeDistribution::Fixed(n) => format!("fixed:{n}"),
+        SizeDistribution::Uniform { min, max } => format!("uniform:{min}-{max}"),
+        SizeDistribution::LogNormal { mu, sigma, cap } => {
+            format!("lognormal:mu={mu},sigma={sigma},cap={cap}")
+        }
+        SizeDistribution::GeneralizedPareto {
+            scale, shape, cap, ..
+        } => {
+            format!("pareto:scale={scale},shape={shape},cap={cap}")
+        }
+        SizeDistribution::Mixture(parts) => format!("mixture:{}", parts.len()),
+    }
+}
+
+/// Runs one load-generation pass and returns its report.
+///
+/// Fails fast on connection or protocol-framing errors; per-request
+/// rejections (`NOT_STORED`, unexpected status lines) are counted in
+/// `errors` instead.
+pub fn run_load(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
+    if config.connections == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "loadgen needs at least one connection",
+        ));
+    }
+    if config.pipeline == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "pipeline depth must be at least 1",
+        ));
+    }
+    let payload_pool: Arc<Vec<u8>> = Arc::new(
+        (0..PAYLOAD_POOL_BYTES)
+            .map(|i| b'a' + (i % 26) as u8)
+            .collect(),
+    );
+    let budget = Arc::new(AtomicU64::new(config.requests));
+    // connections workers + the coordinating thread.
+    let start_gate = Arc::new(Barrier::new(config.connections + 1));
+    let workers = config.connections;
+
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let config = config.clone();
+            let budget = Arc::clone(&budget);
+            let start_gate = Arc::clone(&start_gate);
+            let payload_pool = Arc::clone(&payload_pool);
+            std::thread::Builder::new()
+                .name(format!("loadgen-{w}"))
+                .spawn(move || -> std::io::Result<WorkerStats> {
+                    // Connect + warm up, but *always* reach the barrier —
+                    // an early return here would strand the coordinator.
+                    let setup = (|| -> std::io::Result<(Conn, RequestGen)> {
+                        let mut conn = Conn::connect(&config.addr)?;
+                        let gen = RequestGen::new(&config.workload, w as u64);
+                        let capped_warmup = config.warmup_keys.min(config.workload.keys.num_keys());
+                        warmup(&mut conn, &gen, w, workers, capped_warmup, &payload_pool)?;
+                        Ok((conn, gen))
+                    })();
+                    start_gate.wait();
+                    let (mut conn, mut gen) = setup?;
+                    match config.mode {
+                        LoadMode::Closed => run_closed_worker(
+                            &mut conn,
+                            &mut gen,
+                            &budget,
+                            config.pipeline as u64,
+                            &payload_pool,
+                        ),
+                        LoadMode::Open { target_rps } => {
+                            let per_conn = (target_rps / workers as f64).max(1.0);
+                            let interval = Duration::from_secs_f64(1.0 / per_conn);
+                            run_open_worker(&mut conn, &mut gen, &budget, interval, &payload_pool)
+                        }
+                    }
+                })
+                .expect("failed to spawn loadgen worker")
+        })
+        .collect();
+
+    // Every worker has finished warming up once the barrier releases; the
+    // measured window is from here to the last join.
+    start_gate.wait();
+    let window_start = Instant::now();
+    let mut total = WorkerStats::default();
+    let mut first_error: Option<std::io::Error> = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(stats)) => total.merge(&stats),
+            Ok(Err(err)) => first_error = first_error.or(Some(err)),
+            Err(_) => {
+                first_error =
+                    first_error.or_else(|| Some(std::io::Error::other("a loadgen worker panicked")))
+            }
+        }
+    }
+    let elapsed = window_start.elapsed().as_secs_f64().max(f64::EPSILON);
+    if let Some(err) = first_error {
+        return Err(err);
+    }
+
+    let completed = total.gets + total.sets;
+    let (keys_desc, num_keys) = describe_keys(&config.workload.keys);
+    Ok(LoadReport {
+        schema: LOAD_SCHEMA.to_string(),
+        mode: match config.mode {
+            LoadMode::Closed => "closed".to_string(),
+            LoadMode::Open { .. } => "open".to_string(),
+        },
+        addr: config.addr.clone(),
+        connections: config.connections as u64,
+        pipeline: match config.mode {
+            LoadMode::Closed => config.pipeline as u64,
+            LoadMode::Open { .. } => 1,
+        },
+        target_rps: match config.mode {
+            LoadMode::Closed => 0.0,
+            LoadMode::Open { target_rps } => target_rps,
+        },
+        requests: completed,
+        warmup_requests: config.warmup_keys.min(config.workload.keys.num_keys()),
+        elapsed_secs: elapsed,
+        throughput_rps: completed as f64 / elapsed,
+        gets: total.gets,
+        get_hits: total.hits,
+        hit_rate: if total.gets > 0 {
+            total.hits as f64 / total.gets as f64
+        } else {
+            0.0
+        },
+        sets: total.sets,
+        errors: total.errors,
+        latency: total.all.summarize_us(),
+        get_latency: total.get.summarize_us(),
+        set_latency: total.set.summarize_us(),
+        workload: WorkloadEcho {
+            keys: keys_desc,
+            num_keys,
+            get_fraction: config.workload.get_fraction,
+            sizes: describe_sizes(&config.workload.sizes),
+            seed: config.workload.seed,
+        },
+        server: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_server::{BackendConfig, CacheServer, ServerConfig};
+
+    fn test_server(shards: usize) -> CacheServer {
+        CacheServer::start(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            backend: BackendConfig {
+                total_bytes: 32 << 20,
+                shards,
+                ..BackendConfig::default()
+            },
+        })
+        .expect("server must start")
+    }
+
+    fn small_config(addr: String) -> LoadgenConfig {
+        LoadgenConfig {
+            addr,
+            connections: 2,
+            requests: 2_000,
+            warmup_keys: 500,
+            pipeline: 8,
+            workload: WorkloadSpec {
+                keys: KeyPopularity::Zipf {
+                    num_keys: 1_000,
+                    exponent: 0.99,
+                },
+                sizes: SizeDistribution::Fixed(128),
+                ..WorkloadSpec::default()
+            },
+            ..LoadgenConfig::default()
+        }
+    }
+
+    #[test]
+    fn closed_loop_completes_the_budget_and_reports() {
+        let server = test_server(2);
+        let report = run_load(&small_config(server.local_addr().to_string())).unwrap();
+        assert_eq!(report.requests, 2_000);
+        assert_eq!(report.gets + report.sets, 2_000);
+        assert!(report.throughput_rps > 0.0);
+        assert!(
+            report.hit_rate > 0.5,
+            "warmed Zipf run: {}",
+            report.hit_rate
+        );
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.latency.count, 2_000);
+        assert!(report.latency.p50_us > 0.0);
+        assert!(report.latency.p999_us >= report.latency.p99_us);
+        assert_eq!(report.schema, LOAD_SCHEMA);
+    }
+
+    #[test]
+    fn open_loop_respects_the_budget_and_measures_from_schedule() {
+        let server = test_server(1);
+        let mut config = small_config(server.local_addr().to_string());
+        config.requests = 400;
+        config.mode = LoadMode::Open {
+            target_rps: 4_000.0,
+        };
+        let report = run_load(&config).unwrap();
+        assert_eq!(report.requests, 400);
+        assert_eq!(report.mode, "open");
+        assert_eq!(report.pipeline, 1);
+        // 400 requests at 4k rps should take roughly 0.1 s of schedule.
+        assert!(report.elapsed_secs < 5.0);
+    }
+
+    #[test]
+    fn unreachable_server_is_an_error() {
+        let config = LoadgenConfig {
+            addr: "127.0.0.1:1".to_string(),
+            ..LoadgenConfig::default()
+        };
+        assert!(run_load(&config).is_err());
+    }
+
+    #[test]
+    fn zero_connections_rejected() {
+        let config = LoadgenConfig {
+            connections: 0,
+            ..LoadgenConfig::default()
+        };
+        assert!(run_load(&config).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Self-hosted runs and the shard sweep.
+//!
+//! The sweep is the headline experiment of this subsystem: start the cache
+//! server with 1, 2, 4, 8 … shards, drive the identical closed-loop Zipf
+//! workload against each, and report throughput per shard count. On a
+//! multi-core host the single-shard point is serialized behind one mutex
+//! while the sharded points spread the same traffic over independent locks,
+//! so throughput should grow until the host runs out of cores (or the
+//! workload stops being lock-bound). The JSON report records the speedup of
+//! every point against the first so regressions are one `jq` away.
+
+use crate::report::{ServerEcho, SweepPoint, SweepReport, SWEEP_SCHEMA};
+use crate::runner::{run_load, LoadgenConfig};
+use crate::LoadReport;
+use cache_server::{BackendConfig, BackendMode, CacheServer, ServerConfig};
+
+/// Configuration for self-hosted runs (the server the loadgen spawns).
+#[derive(Clone, Debug)]
+pub struct SelfHostConfig {
+    /// Cache budget in bytes.
+    pub total_bytes: u64,
+    /// Allocator mode.
+    pub mode: BackendMode,
+    /// Server worker threads; 0 sizes the pool to the connection count.
+    pub workers: usize,
+}
+
+impl Default for SelfHostConfig {
+    fn default() -> Self {
+        SelfHostConfig {
+            total_bytes: 64 << 20,
+            mode: BackendMode::Cliffhanger,
+            workers: 0,
+        }
+    }
+}
+
+fn stat_u64(stats: &[(String, String)], name: &str) -> u64 {
+    stats
+        .iter()
+        .find(|(k, _)| k == name)
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Starts an in-process server with `shards` shards, runs the configured
+/// load against it, and returns the report with server-side facts attached.
+pub fn run_self_hosted(
+    load: &LoadgenConfig,
+    host: &SelfHostConfig,
+    shards: usize,
+) -> std::io::Result<LoadReport> {
+    let workers = if host.workers > 0 {
+        host.workers
+    } else {
+        load.connections.max(1)
+    };
+    let mut server = CacheServer::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        backend: BackendConfig {
+            total_bytes: host.total_bytes,
+            mode: host.mode,
+            shards,
+            ..BackendConfig::default()
+        },
+    })?;
+    let mut config = load.clone();
+    config.addr = server.local_addr().to_string();
+    let result = run_load(&config);
+    let stats = server.cache().stats();
+    server.shutdown();
+    let mut report = result?;
+    report.server = Some(ServerEcho {
+        shards: server.cache().shard_count() as u64,
+        total_bytes: host.total_bytes,
+        allocator: format!("{:?}", host.mode).to_lowercase(),
+        workers: workers as u64,
+        evictions: stat_u64(&stats, "evictions"),
+    });
+    Ok(report)
+}
+
+/// Runs the same workload against servers with each of `shard_counts`
+/// shards and collects the throughput curve.
+pub fn run_shard_sweep(
+    load: &LoadgenConfig,
+    host: &SelfHostConfig,
+    shard_counts: &[usize],
+) -> std::io::Result<SweepReport> {
+    let mut points = Vec::with_capacity(shard_counts.len());
+    let mut baseline_rps = 0.0f64;
+    for &shards in shard_counts {
+        let report = run_self_hosted(load, host, shards)?;
+        if baseline_rps == 0.0 {
+            baseline_rps = report.throughput_rps;
+        }
+        // Label the point with the shard count that actually ran — the
+        // backend budget-caps the requested count (min 1 MB per shard), and
+        // attributing a number to a config that never ran would corrupt the
+        // scaling curve.
+        let resolved = report
+            .server
+            .as_ref()
+            .map(|s| s.shards)
+            .unwrap_or(shards as u64);
+        points.push(SweepPoint {
+            shards: resolved,
+            throughput_rps: report.throughput_rps,
+            speedup_vs_baseline: if baseline_rps > 0.0 {
+                report.throughput_rps / baseline_rps
+            } else {
+                0.0
+            },
+            hit_rate: report.hit_rate,
+            p99_us: report.latency.p99_us,
+            report,
+        });
+    }
+    Ok(SweepReport {
+        schema: SWEEP_SCHEMA.to_string(),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSpec;
+    use workloads::{KeyPopularity, SizeDistribution};
+
+    fn tiny_load() -> LoadgenConfig {
+        LoadgenConfig {
+            connections: 2,
+            requests: 1_500,
+            warmup_keys: 300,
+            pipeline: 8,
+            workload: WorkloadSpec {
+                keys: KeyPopularity::Zipf {
+                    num_keys: 800,
+                    exponent: 0.99,
+                },
+                sizes: SizeDistribution::Fixed(100),
+                ..WorkloadSpec::default()
+            },
+            ..LoadgenConfig::default()
+        }
+    }
+
+    #[test]
+    fn self_hosted_run_attaches_server_facts() {
+        let report = run_self_hosted(&tiny_load(), &SelfHostConfig::default(), 2).unwrap();
+        let server = report.server.expect("self-hosted run must echo server");
+        assert_eq!(server.shards, 2);
+        assert_eq!(server.workers, 2);
+        assert_eq!(report.requests, 1_500);
+        assert!(report.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn sweep_labels_points_with_the_resolved_shard_count() {
+        // 2 MB of cache budget caps the backend at 2 shards (1 MB each), so
+        // a requested 8-shard point must be labeled with what actually ran.
+        let host = SelfHostConfig {
+            total_bytes: 2 << 20,
+            ..SelfHostConfig::default()
+        };
+        let sweep = run_shard_sweep(&tiny_load(), &host, &[8]).unwrap();
+        assert_eq!(sweep.points[0].shards, 2);
+        assert_eq!(sweep.points[0].report.server.as_ref().unwrap().shards, 2);
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_shard_count() {
+        let sweep = run_shard_sweep(&tiny_load(), &SelfHostConfig::default(), &[1, 2]).unwrap();
+        assert_eq!(sweep.schema, SWEEP_SCHEMA);
+        assert_eq!(sweep.points.len(), 2);
+        assert_eq!(sweep.points[0].shards, 1);
+        assert_eq!(sweep.points[1].shards, 2);
+        assert!((sweep.points[0].speedup_vs_baseline - 1.0).abs() < 1e-9);
+        assert!(sweep.points[1].throughput_rps > 0.0);
+        for point in &sweep.points {
+            assert_eq!(point.report.requests, 1_500);
+        }
+    }
+}

@@ -5,10 +5,23 @@
 //! stores the full key alongside the value to verify exact matches on
 //! lookup — a hash collision is simply treated as a miss for the colliding
 //! key, never as a wrong value.
+//!
+//! # Sharding
+//!
+//! The engine is partitioned into N independent shards, each owning a slice
+//! of the key space (selected by a second hash of the key, decorrelated from
+//! the 64-bit cache key), its own `SlabCache`/`Cliffhanger` instance with an
+//! equal share of the memory budget, its own mutex and its own wire-level
+//! counters. Requests for different shards never contend; `flush_all` and
+//! `stats` fan out across every shard. This is the same shape as
+//! Memcached's `-t`-threaded hash table + per-partition slab engines (and
+//! pelikan's per-worker storage): the global-mutex design it replaces
+//! serialized every request in the workspace's earlier revisions.
 
 use bytes::Bytes;
+use cache_core::key::mix64;
 use cache_core::store::AllocationMode;
-use cache_core::{hash_bytes, Key, PolicyKind, SlabCache, SlabCacheConfig, SlabConfig};
+use cache_core::{hash_bytes, CacheStats, Key, PolicyKind, SlabCache, SlabCacheConfig, SlabConfig};
 use cliffhanger::{Cliffhanger, CliffhangerConfig};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -24,15 +37,38 @@ pub enum BackendMode {
     Cliffhanger,
 }
 
+/// Sharding below this per-shard budget hurts more than it helps (the slab
+/// classes no longer fit), so auto-detection caps the shard count to keep
+/// every shard at least this large.
+const MIN_SHARD_BYTES: u64 = 1 << 20;
+
+/// Upper bound on auto-detected shards; explicit configuration may exceed it.
+const MAX_AUTO_SHARDS: usize = 64;
+
+/// Returns the number of shards auto-detection would pick for this host:
+/// one per available CPU (`num_cpus`-style), capped at [`MAX_AUTO_SHARDS`].
+pub fn detect_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_AUTO_SHARDS)
+}
+
 /// Backend configuration.
 #[derive(Clone, Debug)]
 pub struct BackendConfig {
-    /// Total cache memory in bytes.
+    /// Total cache memory in bytes, split evenly across the shards.
     pub total_bytes: u64,
     /// Which allocation scheme to run.
     pub mode: BackendMode,
     /// Slab-class geometry.
     pub slab: SlabConfig,
+    /// Number of independent shards; `0` auto-detects from the host's
+    /// available parallelism. Both explicit and detected counts are capped
+    /// so every shard keeps at least 1 MB of budget — check
+    /// [`SharedCache::shard_count`] (or `resolved_shards`) for the count
+    /// actually running.
+    pub shards: usize,
 }
 
 impl Default for BackendConfig {
@@ -41,7 +77,23 @@ impl Default for BackendConfig {
             total_bytes: 64 << 20,
             mode: BackendMode::Cliffhanger,
             slab: SlabConfig::default(),
+            shards: 0,
         }
+    }
+}
+
+impl BackendConfig {
+    /// The shard count this configuration resolves to: the explicit value,
+    /// or CPU-count detection when `shards == 0`, in both cases capped so no
+    /// shard drops below [`MIN_SHARD_BYTES`].
+    pub fn resolved_shards(&self) -> usize {
+        let requested = if self.shards > 0 {
+            self.shards
+        } else {
+            detect_shards()
+        };
+        let budget_cap = (self.total_bytes / MIN_SHARD_BYTES).max(1) as usize;
+        requested.clamp(1, budget_cap.max(1))
     }
 }
 
@@ -56,17 +108,27 @@ struct StoredValue {
     data: Bytes,
 }
 
+impl StoredValue {
+    fn new(key: &[u8], flags: u32, data: Bytes) -> StoredValue {
+        StoredValue {
+            key: Bytes::copy_from_slice(key),
+            flags,
+            data,
+        }
+    }
+}
+
 enum Inner {
     Plain(Box<SlabCache<StoredValue>>),
     Managed(Box<Cliffhanger<StoredValue>>),
 }
 
 impl Inner {
-    fn build(config: &BackendConfig) -> Inner {
+    fn build(config: &BackendConfig, shard_bytes: u64) -> Inner {
         match config.mode {
             BackendMode::Default => Inner::Plain(Box::new(SlabCache::new(SlabCacheConfig {
                 slab: config.slab.clone(),
-                total_bytes: config.total_bytes,
+                total_bytes: shard_bytes,
                 policy: PolicyKind::Lru,
                 mode: AllocationMode::FirstComeFirstServe { page_size: 1 << 20 },
                 shadow_bytes: 0,
@@ -75,7 +137,7 @@ impl Inner {
             BackendMode::HillClimbing | BackendMode::Cliffhanger => {
                 let cfg = CliffhangerConfig {
                     slab: config.slab.clone(),
-                    total_bytes: config.total_bytes,
+                    total_bytes: shard_bytes,
                     enable_hill_climbing: true,
                     enable_cliff_scaling: config.mode == BackendMode::Cliffhanger,
                     ..CliffhangerConfig::default()
@@ -84,25 +146,70 @@ impl Inner {
             }
         }
     }
+
+    fn value(&self, id: Key) -> Option<&StoredValue> {
+        match self {
+            Inner::Plain(cache) => cache.value(id),
+            Inner::Managed(cache) => cache.value(id),
+        }
+    }
+
+    /// Whether `key` is resident with an exact byte-string match.
+    fn contains_exact(&self, id: Key, key: &[u8]) -> bool {
+        self.value(id).map(|s| s.key == key).unwrap_or(false)
+    }
+
+    fn set(&mut self, id: Key, size: u64, stored: StoredValue) -> bool {
+        match self {
+            Inner::Plain(cache) => cache
+                .set(id, size, stored)
+                .map(|(_, r)| r.admitted)
+                .unwrap_or(false),
+            Inner::Managed(cache) => cache
+                .set(id, size, stored)
+                .map(|(_, admitted)| admitted)
+                .unwrap_or(false),
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        match self {
+            Inner::Plain(cache) => cache.stats(),
+            Inner::Managed(cache) => cache.stats(),
+        }
+    }
+
+    fn used_bytes(&self) -> u64 {
+        match self {
+            Inner::Plain(cache) => cache.used_bytes(),
+            Inner::Managed(cache) => cache.used_bytes(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Inner::Plain(cache) => cache.len(),
+            Inner::Managed(cache) => cache.len(),
+        }
+    }
 }
 
-/// A thread-safe cache shared by every connection.
-pub struct SharedCache {
-    config: BackendConfig,
+/// One partition of the cache: an independent engine plus its counters.
+///
+/// The wire-level counters live outside the mutex and are updated with
+/// relaxed atomics — `stats` never takes a shard lock just to read them.
+struct Shard {
     inner: Mutex<Inner>,
-    /// Wire-level counters (independent of the cache-core statistics).
     gets: AtomicU64,
     hits: AtomicU64,
     sets: AtomicU64,
     deletes: AtomicU64,
 }
 
-impl SharedCache {
-    /// Creates a shared cache.
-    pub fn new(config: BackendConfig) -> Self {
-        SharedCache {
-            inner: Mutex::new(Inner::build(&config)),
-            config,
+impl Shard {
+    fn new(config: &BackendConfig, shard_bytes: u64) -> Shard {
+        Shard {
+            inner: Mutex::new(Inner::build(config, shard_bytes)),
             gets: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             sets: AtomicU64::new(0),
@@ -110,15 +217,86 @@ impl SharedCache {
         }
     }
 
+    /// Wire counters as a [`CacheStats`]-shaped snapshot (relaxed reads).
+    fn wire_counts(&self) -> WireCounts {
+        let gets = self.gets.load(Ordering::Relaxed);
+        let hits = self.hits.load(Ordering::Relaxed);
+        WireCounts {
+            gets,
+            hits,
+            // Relaxed counters can be momentarily skewed between the two
+            // loads under concurrent traffic; never underflow.
+            misses: gets.saturating_sub(hits),
+            sets: self.sets.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of one shard's wire-level counters.
+#[derive(Clone, Copy, Debug, Default)]
+struct WireCounts {
+    gets: u64,
+    hits: u64,
+    misses: u64,
+    sets: u64,
+    deletes: u64,
+}
+
+impl WireCounts {
+    fn accumulate(&mut self, other: WireCounts) {
+        self.gets += other.gets;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.sets += other.sets;
+        self.deletes += other.deletes;
+    }
+}
+
+/// A thread-safe, sharded cache shared by every connection.
+pub struct SharedCache {
+    config: BackendConfig,
+    shards: Vec<Shard>,
+    shard_bytes: u64,
+}
+
+impl SharedCache {
+    /// Creates a shared cache with the configured (or detected) shard count.
+    pub fn new(config: BackendConfig) -> Self {
+        let n = config.resolved_shards();
+        let shard_bytes = (config.total_bytes / n as u64).max(1);
+        let shards = (0..n).map(|_| Shard::new(&config, shard_bytes)).collect();
+        SharedCache {
+            config,
+            shards,
+            shard_bytes,
+        }
+    }
+
     fn charge_size(key: &[u8], data: &[u8]) -> u64 {
         (key.len() + data.len()) as u64
     }
 
+    /// Routes a byte-string key to its shard and 64-bit cache key.
+    ///
+    /// The shard selector re-mixes the FNV hash so that shard membership is
+    /// decorrelated from the bits the per-shard engines use.
+    fn route(&self, key: &[u8]) -> (&Shard, Key) {
+        let hash = hash_bytes(key);
+        let index = (mix64(hash) % self.shards.len() as u64) as usize;
+        (&self.shards[index], Key::new(hash))
+    }
+
+    /// Number of shards the cache is running.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Looks up a key, returning its flags and value on an exact match.
     pub fn get(&self, key: &[u8]) -> Option<(u32, Bytes)> {
-        self.gets.fetch_add(1, Ordering::Relaxed);
-        let id = Key::new(hash_bytes(key));
-        let mut inner = self.inner.lock();
+        let (shard, id) = self.route(key);
+        shard.gets.fetch_add(1, Ordering::Relaxed);
+        let mut inner = shard.inner.lock();
         let found = match &mut *inner {
             Inner::Plain(cache) => {
                 let hit = cache.get_untyped(id).result.hit;
@@ -137,9 +315,10 @@ impl SharedCache {
                 }
             }
         };
+        drop(inner);
         match found {
             Some(stored) if stored.key == key => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 Some((stored.flags, stored.data))
             }
             _ => None,
@@ -148,120 +327,123 @@ impl SharedCache {
 
     /// Whether a key is resident (exact match), without recording a GET.
     pub fn contains(&self, key: &[u8]) -> bool {
-        let id = Key::new(hash_bytes(key));
-        let inner = self.inner.lock();
-        let stored = match &*inner {
-            Inner::Plain(cache) => cache.value(id),
-            Inner::Managed(cache) => cache.value(id),
-        };
-        stored.map(|s| s.key == key).unwrap_or(false)
+        let (shard, id) = self.route(key);
+        shard.inner.lock().contains_exact(id, key)
     }
 
     /// Stores a key unconditionally. Returns `false` only if the item could
     /// not be admitted (e.g. larger than the largest slab class).
     pub fn set(&self, key: &[u8], flags: u32, data: Bytes) -> bool {
-        self.sets.fetch_add(1, Ordering::Relaxed);
-        let id = Key::new(hash_bytes(key));
+        let (shard, id) = self.route(key);
+        shard.sets.fetch_add(1, Ordering::Relaxed);
         let size = Self::charge_size(key, &data);
-        let stored = StoredValue {
-            key: Bytes::copy_from_slice(key),
-            flags,
-            data,
-        };
-        let mut inner = self.inner.lock();
-        match &mut *inner {
-            Inner::Plain(cache) => cache
-                .set(id, size, stored)
-                .map(|(_, r)| r.admitted)
-                .unwrap_or(false),
-            Inner::Managed(cache) => cache
-                .set(id, size, stored)
-                .map(|(_, admitted)| admitted)
-                .unwrap_or(false),
-        }
+        let stored = StoredValue::new(key, flags, data);
+        shard.inner.lock().set(id, size, stored)
     }
 
-    /// Stores a key only if it is absent (`add`).
+    /// Stores a key only if it is absent (`add`). Atomic with respect to
+    /// concurrent writers on the same shard.
     pub fn add(&self, key: &[u8], flags: u32, data: Bytes) -> bool {
-        if self.contains(key) {
+        let (shard, id) = self.route(key);
+        let size = Self::charge_size(key, &data);
+        let stored = StoredValue::new(key, flags, data);
+        let mut inner = shard.inner.lock();
+        if inner.contains_exact(id, key) {
             return false;
         }
-        self.set(key, flags, data)
+        shard.sets.fetch_add(1, Ordering::Relaxed);
+        inner.set(id, size, stored)
     }
 
-    /// Stores a key only if it is present (`replace`).
+    /// Stores a key only if it is present (`replace`). Atomic with respect
+    /// to concurrent writers on the same shard.
     pub fn replace(&self, key: &[u8], flags: u32, data: Bytes) -> bool {
-        if !self.contains(key) {
+        let (shard, id) = self.route(key);
+        let size = Self::charge_size(key, &data);
+        let stored = StoredValue::new(key, flags, data);
+        let mut inner = shard.inner.lock();
+        if !inner.contains_exact(id, key) {
             return false;
         }
-        self.set(key, flags, data)
+        shard.sets.fetch_add(1, Ordering::Relaxed);
+        inner.set(id, size, stored)
     }
 
     /// Deletes a key; returns whether it was present.
     pub fn delete(&self, key: &[u8]) -> bool {
-        self.deletes.fetch_add(1, Ordering::Relaxed);
-        if !self.contains(key) {
+        let (shard, id) = self.route(key);
+        shard.deletes.fetch_add(1, Ordering::Relaxed);
+        let mut inner = shard.inner.lock();
+        if !inner.contains_exact(id, key) {
             return false;
         }
-        let id = Key::new(hash_bytes(key));
-        let mut inner = self.inner.lock();
         match &mut *inner {
             Inner::Plain(cache) => cache.delete(id),
             Inner::Managed(cache) => cache.delete(id),
         }
     }
 
-    /// Drops every item (`flush_all`).
+    /// Drops every item (`flush_all`), fanning out across the shards.
     pub fn flush(&self) {
-        let mut inner = self.inner.lock();
-        *inner = Inner::build(&self.config);
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            *inner = Inner::build(&self.config, self.shard_bytes);
+        }
     }
 
     /// Wire-level and cache-level statistics as `STAT` pairs.
+    ///
+    /// Aggregated counters come first (summed over every shard), followed by
+    /// per-shard breakdowns as `shard:<i>:<name>` lines. Wire counters are
+    /// read with relaxed atomics; only the cache-core statistics (bytes,
+    /// items, evictions) briefly take each shard's lock in turn.
     pub fn stats(&self) -> Vec<(String, String)> {
-        let inner = self.inner.lock();
-        let core = match &*inner {
-            Inner::Plain(cache) => cache.stats(),
-            Inner::Managed(cache) => cache.stats(),
-        };
-        let used = match &*inner {
-            Inner::Plain(cache) => cache.used_bytes(),
-            Inner::Managed(cache) => cache.used_bytes(),
-        };
-        let items = match &*inner {
-            Inner::Plain(cache) => cache.len(),
-            Inner::Managed(cache) => cache.len(),
-        };
-        vec![
-            (
-                "cmd_get".into(),
-                self.gets.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "cmd_set".into(),
-                self.sets.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "get_hits".into(),
-                self.hits.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "get_misses".into(),
-                (self.gets.load(Ordering::Relaxed) - self.hits.load(Ordering::Relaxed)).to_string(),
-            ),
-            (
-                "cmd_delete".into(),
-                self.deletes.load(Ordering::Relaxed).to_string(),
-            ),
+        let mut totals = WireCounts::default();
+        let mut used = 0u64;
+        let mut items = 0usize;
+        let mut core_total = CacheStats::default();
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let wire = shard.wire_counts();
+            totals.accumulate(wire);
+            let (core, shard_used, shard_items) = {
+                let inner = shard.inner.lock();
+                (inner.stats(), inner.used_bytes(), inner.len())
+            };
+            used += shard_used;
+            items += shard_items;
+            core_total += core;
+            per_shard.push((wire, core, shard_used, shard_items));
+        }
+
+        let mut out = vec![
+            ("cmd_get".into(), totals.gets.to_string()),
+            ("cmd_set".into(), totals.sets.to_string()),
+            ("get_hits".into(), totals.hits.to_string()),
+            ("get_misses".into(), totals.misses.to_string()),
+            ("cmd_delete".into(), totals.deletes.to_string()),
             ("bytes".into(), used.to_string()),
             ("curr_items".into(), items.to_string()),
-            ("evictions".into(), core.evictions.to_string()),
+            ("evictions".into(), core_total.evictions.to_string()),
             ("limit_maxbytes".into(), self.config.total_bytes.to_string()),
             (
                 "allocator".into(),
                 format!("{:?}", self.config.mode).to_lowercase(),
             ),
-        ]
+            ("shard_count".into(), self.shards.len().to_string()),
+            ("shard_bytes".into(), self.shard_bytes.to_string()),
+        ];
+        for (i, (wire, core, shard_used, shard_items)) in per_shard.into_iter().enumerate() {
+            out.push((format!("shard:{i}:cmd_get"), wire.gets.to_string()));
+            out.push((format!("shard:{i}:cmd_set"), wire.sets.to_string()));
+            out.push((format!("shard:{i}:get_hits"), wire.hits.to_string()));
+            out.push((format!("shard:{i}:get_misses"), wire.misses.to_string()));
+            out.push((format!("shard:{i}:cmd_delete"), wire.deletes.to_string()));
+            out.push((format!("shard:{i}:bytes"), shard_used.to_string()));
+            out.push((format!("shard:{i}:curr_items"), shard_items.to_string()));
+            out.push((format!("shard:{i}:evictions"), core.evictions.to_string()));
+        }
+        out
     }
 
     /// The backend mode this cache runs.
@@ -279,6 +461,7 @@ mod tests {
             total_bytes: 4 << 20,
             mode,
             slab: SlabConfig::default(),
+            shards: 2,
         })
     }
 
@@ -318,6 +501,7 @@ mod tests {
             total_bytes: 256 << 10,
             mode: BackendMode::Cliffhanger,
             slab: SlabConfig::default(),
+            shards: 1,
         });
         let payload = Bytes::from(vec![0u8; 1_000]);
         for i in 0..2_000u32 {
@@ -358,5 +542,86 @@ mod tests {
         assert_eq!(stats["get_misses"], "1");
         assert_eq!(stats["cmd_set"], "1");
         assert_eq!(stats["allocator"], "hillclimbing");
+        assert_eq!(stats["shard_count"], "2");
+    }
+
+    #[test]
+    fn per_shard_stats_sum_to_aggregates() {
+        let c = SharedCache::new(BackendConfig {
+            total_bytes: 16 << 20,
+            mode: BackendMode::Cliffhanger,
+            slab: SlabConfig::default(),
+            shards: 4,
+        });
+        assert_eq!(c.shard_count(), 4);
+        for i in 0..500u32 {
+            assert!(c.set(format!("key-{i}").as_bytes(), 0, Bytes::from("v")));
+        }
+        for i in 0..250u32 {
+            c.get(format!("key-{i}").as_bytes());
+            c.get(format!("absent-{i}").as_bytes());
+        }
+        let stats: std::collections::HashMap<String, String> = c.stats().into_iter().collect();
+        for counter in ["cmd_get", "cmd_set", "get_hits", "curr_items", "bytes"] {
+            let total: u64 = stats[counter].parse().unwrap();
+            let summed: u64 = (0..4)
+                .map(|i| {
+                    stats[&format!("shard:{i}:{counter}")]
+                        .parse::<u64>()
+                        .unwrap()
+                })
+                .sum();
+            assert_eq!(total, summed, "{counter} must equal the per-shard sum");
+        }
+        // The router must actually spread keys: no shard holds everything.
+        let max_shard_items: u64 = (0..4)
+            .map(|i| stats[&format!("shard:{i}:curr_items")].parse().unwrap())
+            .max()
+            .unwrap();
+        let total_items: u64 = stats["curr_items"].parse().unwrap();
+        assert_eq!(total_items, 500);
+        assert!(
+            max_shard_items < total_items,
+            "keys must be spread across shards (max shard has {max_shard_items})"
+        );
+    }
+
+    #[test]
+    fn shard_auto_detection_is_budget_capped() {
+        let tiny = BackendConfig {
+            total_bytes: 2 << 20,
+            shards: 0,
+            ..BackendConfig::default()
+        };
+        assert!(tiny.resolved_shards() <= 2, "2 MB cannot exceed 2 shards");
+        let explicit = BackendConfig {
+            total_bytes: 64 << 20,
+            shards: 8,
+            ..BackendConfig::default()
+        };
+        assert_eq!(explicit.resolved_shards(), 8);
+        let zero = BackendConfig {
+            total_bytes: 64 << 20,
+            shards: 0,
+            ..BackendConfig::default()
+        };
+        assert!(zero.resolved_shards() >= 1);
+    }
+
+    #[test]
+    fn shards_are_independent_for_flush_scoped_load() {
+        let c = SharedCache::new(BackendConfig {
+            total_bytes: 8 << 20,
+            mode: BackendMode::Default,
+            slab: SlabConfig::default(),
+            shards: 8,
+        });
+        for i in 0..1_000u32 {
+            assert!(c.set(format!("ind-{i}").as_bytes(), 0, Bytes::from("x")));
+        }
+        c.flush();
+        for i in 0..1_000u32 {
+            assert!(c.get(format!("ind-{i}").as_bytes()).is_none());
+        }
     }
 }

@@ -32,7 +32,12 @@ impl CacheClient {
 
     fn read_line(&mut self) -> std::io::Result<String> {
         let mut line = String::new();
-        self.reader.read_line(&mut line)?;
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
         Ok(line.trim_end_matches(['\r', '\n']).to_string())
     }
 

@@ -12,8 +12,10 @@
 //! guides recommend plain threads for CPU/memory-bound services.
 //!
 //! * [`protocol`] — parsing and serialising the Memcached ASCII protocol.
-//! * [`backend`] — the shared, lock-protected cache behind the connections
-//!   (exact byte-string keys on top of the 64-bit key space).
+//! * [`backend`] — the shared, N-way sharded cache behind the connections
+//!   (exact byte-string keys on top of the 64-bit key space; each shard has
+//!   its own engine, lock and counters, so requests for different shards
+//!   never contend).
 //! * [`threadpool`] — a fixed-size worker pool over crossbeam channels.
 //! * [`server`] — the TCP listener / connection loop.
 //! * [`client`] — a blocking client for tests, benches and examples.
@@ -28,7 +30,7 @@ pub mod protocol;
 pub mod server;
 pub mod threadpool;
 
-pub use backend::{BackendConfig, BackendMode, SharedCache};
+pub use backend::{detect_shards, BackendConfig, BackendMode, SharedCache};
 pub use client::CacheClient;
 pub use protocol::{Command, Response};
 pub use server::{CacheServer, ServerConfig};

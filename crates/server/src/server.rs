@@ -6,9 +6,11 @@ use crate::protocol::{
 };
 use crate::threadpool::ThreadPool;
 use bytes::BytesMut;
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -17,7 +19,8 @@ use std::thread::JoinHandle;
 pub struct ServerConfig {
     /// Address to bind; use port 0 for an ephemeral port.
     pub addr: String,
-    /// Number of connection-handling worker threads.
+    /// Number of connection-handling worker threads. Must be at least 1;
+    /// [`CacheServer::start`] rejects 0 with [`std::io::ErrorKind::InvalidInput`].
     pub workers: usize,
     /// Backend (cache) configuration.
     pub backend: BackendConfig,
@@ -33,31 +36,74 @@ impl Default for ServerConfig {
     }
 }
 
+/// Live-connection registry: socket handles for every in-flight connection,
+/// so `shutdown` can unblock handlers parked in `read`.
+#[derive(Default)]
+struct ConnectionRegistry {
+    next_id: AtomicU64,
+    streams: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ConnectionRegistry {
+    /// Registers a connection; returns the token to deregister it with.
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.streams.lock().insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.streams.lock().remove(&id);
+    }
+
+    /// Shuts down every registered socket, unblocking its handler.
+    fn shutdown_all(&self) {
+        for stream in self.streams.lock().values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
 /// A running cache server.
 pub struct CacheServer {
     local_addr: SocketAddr,
     cache: Arc<SharedCache>,
     shutdown: Arc<AtomicBool>,
+    connections: Arc<ConnectionRegistry>,
     accept_thread: Option<JoinHandle<()>>,
+    /// Held here (not on the acceptor thread) so `shutdown` can close live
+    /// sockets *before* waiting for the handlers to drain.
+    pool: Option<Arc<ThreadPool>>,
 }
 
 impl CacheServer {
     /// Binds and starts serving in background threads.
+    ///
+    /// Returns `InvalidInput` if `config.workers == 0` — a silent clamp
+    /// would hide a misconfigured deployment behind a one-thread server.
     pub fn start(config: ServerConfig) -> std::io::Result<CacheServer> {
+        if config.workers == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "ServerConfig::workers must be at least 1 (got 0); \
+                 size it to the expected number of concurrent connections",
+            ));
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let cache = Arc::new(SharedCache::new(config.backend.clone()));
         let shutdown = Arc::new(AtomicBool::new(false));
-        let pool = ThreadPool::new(config.workers);
+        let connections = Arc::new(ConnectionRegistry::default());
+        let pool = Arc::new(ThreadPool::new(config.workers));
 
         let accept_cache = Arc::clone(&cache);
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_connections = Arc::clone(&connections);
+        let accept_pool = Arc::clone(&pool);
         let accept_thread = std::thread::Builder::new()
             .name("cache-acceptor".to_string())
             .spawn(move || {
-                // The pool lives on this thread; dropping it on exit joins the
-                // connection handlers.
-                let pool = pool;
                 for stream in listener.incoming() {
                     if accept_shutdown.load(Ordering::SeqCst) {
                         break;
@@ -65,7 +111,20 @@ impl CacheServer {
                     match stream {
                         Ok(stream) => {
                             let cache = Arc::clone(&accept_cache);
-                            pool.execute(move || handle_connection(stream, cache));
+                            let registry = Arc::clone(&accept_connections);
+                            // An unregistered connection could never be
+                            // unblocked by shutdown, so refuse it rather
+                            // than risk a handler that outlives the server
+                            // (register only fails under fd exhaustion,
+                            // where shedding load is the right call anyway).
+                            let Some(id) = registry.register(&stream) else {
+                                drop(stream);
+                                continue;
+                            };
+                            accept_pool.execute(move || {
+                                handle_connection(stream, cache);
+                                registry.deregister(id);
+                            });
                         }
                         Err(_) => break,
                     }
@@ -76,7 +135,9 @@ impl CacheServer {
             local_addr,
             cache,
             shutdown,
+            connections,
             accept_thread: Some(accept_thread),
+            pool: Some(pool),
         })
     }
 
@@ -90,8 +151,8 @@ impl CacheServer {
         &self.cache
     }
 
-    /// Stops accepting connections and joins the acceptor thread. Existing
-    /// connections finish their in-flight commands.
+    /// Stops accepting connections, closes live connections after their
+    /// in-flight command, and joins every server thread. Idempotent.
     pub fn shutdown(&mut self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
@@ -101,6 +162,13 @@ impl CacheServer {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
+        // The acceptor is gone, so no new registrations can race with the
+        // sweep: every live handler's socket gets shut down, which makes its
+        // blocking read return and the handler exit after the command it is
+        // currently executing.
+        self.connections.shutdown_all();
+        // Dropping the last pool handle joins the worker threads.
+        self.pool.take();
     }
 }
 
@@ -110,38 +178,47 @@ impl Drop for CacheServer {
     }
 }
 
-/// Serves one connection until EOF, an I/O error or `quit`.
+/// Flush the accumulated response bytes above this size even mid-batch, so
+/// a deeply pipelined connection cannot balloon the reply buffer.
+const OUT_FLUSH_BYTES: usize = 256 * 1024;
+
+/// Serves one connection until EOF, an I/O error, socket shutdown or `quit`.
 fn handle_connection(mut stream: TcpStream, cache: Arc<SharedCache>) {
     let _ = stream.set_nodelay(true);
     let mut buffer = BytesMut::with_capacity(16 * 1024);
     let mut chunk = [0u8; 16 * 1024];
     let mut out = Vec::with_capacity(16 * 1024);
     loop {
-        // Drain every complete command currently buffered.
+        // Drain every complete command currently buffered, accumulating the
+        // responses so a pipelined batch goes out in few writes.
+        out.clear();
+        out.shrink_to(OUT_FLUSH_BYTES);
         loop {
             match parse_command(&mut buffer) {
                 ParseOutcome::Complete(Command::Quit) => {
+                    let _ = stream.write_all(&out);
                     return;
                 }
                 ParseOutcome::Complete(command) => {
                     let (response, suppress) = execute(&command, &cache);
                     if !suppress {
-                        out.clear();
                         encode_response(&response, &mut out);
-                        if stream.write_all(&out).is_err() {
-                            return;
-                        }
                     }
                 }
                 ParseOutcome::Invalid(message) => {
-                    out.clear();
                     encode_response(&Response::ClientError(message), &mut out);
-                    if stream.write_all(&out).is_err() {
-                        return;
-                    }
                 }
                 ParseOutcome::Incomplete => break,
             }
+            if out.len() >= OUT_FLUSH_BYTES {
+                if stream.write_all(&out).is_err() {
+                    return;
+                }
+                out.clear();
+            }
+        }
+        if !out.is_empty() && stream.write_all(&out).is_err() {
+            return;
         }
         match stream.read(&mut chunk) {
             Ok(0) => return,
@@ -253,6 +330,7 @@ mod tests {
         let map: std::collections::HashMap<_, _> = stats.into_iter().collect();
         assert_eq!(map["cmd_set"], "1");
         assert_eq!(map["get_hits"], "1");
+        assert!(map.contains_key("shard_count"));
         client.flush_all().unwrap();
         assert!(client.get(b"a").unwrap().is_none());
     }
@@ -314,5 +392,30 @@ mod tests {
         let mut server = start_test_server(BackendMode::Default);
         server.shutdown();
         server.shutdown();
+    }
+
+    #[test]
+    fn zero_workers_is_rejected_with_a_clear_error() {
+        let err = match CacheServer::start(ServerConfig {
+            workers: 0,
+            ..ServerConfig::default()
+        }) {
+            Ok(_) => panic!("workers = 0 must be rejected"),
+            Err(err) => err,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("workers"));
+    }
+
+    #[test]
+    fn shutdown_unblocks_idle_connections() {
+        let mut server = start_test_server(BackendMode::Default);
+        let mut client = CacheClient::connect(server.local_addr()).unwrap();
+        assert!(client.set(b"live", 0, b"1").unwrap());
+        // The client is idle (server blocked in read); shutdown must not
+        // hang waiting for it to disconnect.
+        server.shutdown();
+        // The connection is now closed from the server side.
+        assert!(client.get(b"live").is_err());
     }
 }

@@ -18,7 +18,9 @@
 //! * [`simulator`] — the trace-driven engine and the per-table / per-figure
 //!   experiments.
 //! * [`cache_server`] — a Memcached-text-protocol TCP server and client
-//!   backed by the Cliffhanger-managed cache.
+//!   backed by the Cliffhanger-managed cache, N-way sharded.
+//! * [`loadgen`] — a memtier-style load generator with HDR-style latency
+//!   telemetry and a shard-sweep mode (see README "Benchmarking").
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md /
 //! EXPERIMENTS.md for the reproduction methodology and results.
@@ -28,6 +30,7 @@
 pub use cache_core;
 pub use cache_server;
 pub use cliffhanger;
+pub use loadgen;
 pub use profiler;
 pub use simulator;
 pub use workloads;

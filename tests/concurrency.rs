@@ -1,0 +1,230 @@
+//! End-to-end concurrency: eight client threads hammer a running
+//! `CacheServer` with mixed GET/SET/DELETE traffic and the test asserts
+//! (1) no lost updates — every thread's final write is the value the server
+//! returns, and the wire counters account for every operation exactly;
+//! (2) correct `END` framing under pipelined multi-key GETs; and
+//! (3) clean shutdown with connections mid-flight — `shutdown()` returns,
+//! the workers observe disconnection as I/O errors (never panics or hangs).
+
+use cliffhanger_repro::prelude::*;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn start_server(workers: usize) -> CacheServer {
+    CacheServer::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        backend: BackendConfig {
+            total_bytes: 32 << 20,
+            mode: BackendMode::Cliffhanger,
+            ..BackendConfig::default()
+        },
+    })
+    .expect("server must start")
+}
+
+const THREADS: usize = 8;
+const ITERS: usize = 200;
+const OWN_KEYS: usize = 8;
+
+#[test]
+fn eight_threads_mixed_ops_no_lost_updates() {
+    let server = start_server(THREADS);
+    let addr = server.local_addr();
+    let total_sets = Arc::new(AtomicU64::new(0));
+    let total_deletes = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let total_sets = Arc::clone(&total_sets);
+            let total_deletes = Arc::clone(&total_deletes);
+            std::thread::spawn(move || -> Vec<(String, String)> {
+                let mut client = CacheClient::connect(addr).expect("connect");
+                let mut last: Vec<Option<String>> = vec![None; OWN_KEYS];
+                let mut sets = 0u64;
+                let mut deletes = 0u64;
+                for i in 0..ITERS {
+                    let slot = i % OWN_KEYS;
+                    let key = format!("own-{t}-{slot}");
+                    match i % 5 {
+                        // Mostly writes with a version stamp…
+                        0..=2 => {
+                            let value = format!("v-{t}-{slot}-{i}-{}", "x".repeat(i % 40));
+                            assert!(client.set(key.as_bytes(), 0, value.as_bytes()).unwrap());
+                            sets += 1;
+                            last[slot] = Some(value);
+                        }
+                        // …a read that must observe this thread's last write
+                        // (nobody else writes own-{t}-* keys)…
+                        3 => {
+                            let got = client.get(key.as_bytes()).unwrap();
+                            match &last[slot] {
+                                Some(expected) => {
+                                    let (_, data) = got.expect("own write visible");
+                                    assert_eq!(data, expected.as_bytes(), "lost update on {key}");
+                                }
+                                None => assert!(got.is_none(), "phantom value on {key}"),
+                            }
+                        }
+                        // …and a delete, which must report reality.
+                        _ => {
+                            let existed = client.delete(key.as_bytes()).unwrap();
+                            assert_eq!(existed, last[slot].is_some(), "delete lied on {key}");
+                            deletes += 1;
+                            last[slot] = None;
+                        }
+                    }
+                    // Contended traffic on shared keys: any returned value
+                    // must be a complete, well-formed write from some thread.
+                    let shared = format!("shared-{}", i % 4);
+                    if i % 3 == 0 {
+                        let value = format!("s-{t}-{i}-{}", "y".repeat(t * 7 % 23));
+                        assert!(client.set(shared.as_bytes(), 0, value.as_bytes()).unwrap());
+                        sets += 1;
+                    } else if let Some((_, data)) = client.get(shared.as_bytes()).unwrap() {
+                        let text = String::from_utf8(data).expect("shared value is utf8");
+                        assert!(
+                            text.starts_with("s-") && text.split('-').count() >= 3,
+                            "interleaved/corrupt shared value: {text:?}"
+                        );
+                    }
+                }
+                total_sets.fetch_add(sets, Ordering::Relaxed);
+                total_deletes.fetch_add(deletes, Ordering::Relaxed);
+                // Report this thread's surviving keys for the final audit.
+                (0..OWN_KEYS)
+                    .filter_map(|slot| last[slot].clone().map(|v| (format!("own-{t}-{slot}"), v)))
+                    .collect()
+            })
+        })
+        .collect();
+
+    let mut survivors = Vec::new();
+    for handle in handles {
+        survivors.extend(handle.join().expect("worker must not panic"));
+    }
+
+    // Final audit from a fresh connection: every surviving write is intact.
+    let mut auditor = CacheClient::connect(addr).unwrap();
+    for (key, expected) in &survivors {
+        let (_, data) = auditor
+            .get(key.as_bytes())
+            .unwrap()
+            .unwrap_or_else(|| panic!("surviving key {key} lost"));
+        assert_eq!(&data, expected.as_bytes(), "lost update on {key}");
+    }
+
+    // The wire counters must account for every operation exactly.
+    let stats: std::collections::HashMap<_, _> = server.cache().stats().into_iter().collect();
+    let cmd_set: u64 = stats["cmd_set"].parse().unwrap();
+    let cmd_delete: u64 = stats["cmd_delete"].parse().unwrap();
+    assert_eq!(cmd_set, total_sets.load(Ordering::Relaxed));
+    assert_eq!(cmd_delete, total_deletes.load(Ordering::Relaxed));
+}
+
+/// Multi-key GETs under concurrent writers: every response frame must be a
+/// well-formed `VALUE…`* `END` block whose payload lengths are exact.
+#[test]
+fn multiget_end_framing_under_concurrent_writes() {
+    let server = start_server(4);
+    let addr = server.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer_stop = Arc::clone(&stop);
+    let writer = std::thread::spawn(move || {
+        let mut client = CacheClient::connect(addr).unwrap();
+        let mut i = 0u64;
+        while !writer_stop.load(Ordering::Relaxed) {
+            let key = format!("mg-{}", i % 16);
+            let value = format!("w-{i}-{}", "z".repeat((i % 97) as usize));
+            client.set(key.as_bytes(), 0, value.as_bytes()).unwrap();
+            i += 1;
+        }
+    });
+
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer_half = stream;
+    for round in 0..100 {
+        let keys: Vec<String> = (0..8).map(|k| format!("mg-{}", (round + k) % 16)).collect();
+        let request = format!("get {}\r\n", keys.join(" "));
+        writer_half.write_all(request.as_bytes()).unwrap();
+        // Parse the full response frame strictly.
+        loop {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "early EOF");
+            let line = line.trim_end_matches(['\r', '\n']).to_string();
+            if line == "END" {
+                break;
+            }
+            let rest = line.strip_prefix("VALUE ").expect("VALUE or END only");
+            let mut parts = rest.split_ascii_whitespace();
+            let key = parts.next().expect("key present");
+            assert!(keys.iter().any(|k| k == key), "unrequested key {key}");
+            let _flags: u32 = parts.next().unwrap().parse().unwrap();
+            let len: usize = parts.next().unwrap().parse().unwrap();
+            let mut payload = vec![0u8; len + 2];
+            reader.read_exact(&mut payload).unwrap();
+            assert_eq!(&payload[len..], b"\r\n", "payload length must be exact");
+            let text = String::from_utf8(payload[..len].to_vec()).unwrap();
+            assert!(text.starts_with("w-"), "corrupt payload {text:?}");
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+}
+
+#[test]
+fn clean_shutdown_with_connections_mid_flight() {
+    let mut server = start_server(4);
+    let addr = server.local_addr();
+    let disconnected = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let disconnected = Arc::clone(&disconnected);
+            std::thread::spawn(move || {
+                let mut client = match CacheClient::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        disconnected.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                for i in 0u64.. {
+                    let key = format!("flight-{t}-{}", i % 32);
+                    let result = client
+                        .set(key.as_bytes(), 0, b"payload")
+                        .and_then(|_| client.get(key.as_bytes()).map(|_| ()));
+                    if result.is_err() {
+                        // Disconnection must surface as an I/O error, which
+                        // is the clean outcome — never a panic or a hang.
+                        disconnected.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Let the workers get properly mid-flight, then pull the plug.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    server.shutdown();
+
+    for handle in handles {
+        handle.join().expect("mid-flight worker must not panic");
+    }
+    assert_eq!(
+        disconnected.load(Ordering::Relaxed),
+        4,
+        "every worker must observe the shutdown as a disconnect"
+    );
+
+    // The listener is really gone: no new connections are accepted and the
+    // second shutdown is a no-op.
+    server.shutdown();
+}
