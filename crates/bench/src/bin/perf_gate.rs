@@ -1,0 +1,69 @@
+//! CI performance gate over shard-sweep reports.
+//!
+//! Run with:
+//! `cargo run --release -p bench --bin perf_gate -- <baseline.json> <current.json> [--threshold 0.20]`
+//!
+//! Both inputs may be raw `cliffhanger-loadgen-sweep/v1` documents or
+//! committed `BENCH_PR<N>.json` wrappers holding one under `"shard_sweep"`.
+//! Exits non-zero when throughput drops, or p99 latency rises, by more than
+//! the threshold at any shard count present in both reports.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 0.20f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                threshold = match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(t) => t,
+                    None => {
+                        eprintln!("--threshold needs a fraction (e.g. 0.20)");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                i += 1;
+            }
+            other => paths.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: perf_gate <baseline.json> <current.json> [--threshold 0.20]");
+        return ExitCode::FAILURE;
+    }
+
+    let read = |path: &str| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    let result = read(&paths[0])
+        .and_then(|base| Ok((base, read(&paths[1])?)))
+        .and_then(|(base, cur)| bench::compare_sweeps(&base, &cur, threshold));
+    match result {
+        Ok(report) => {
+            eprintln!(
+                "perf gate: {} vs {} (threshold {:.0}%)",
+                paths[0],
+                paths[1],
+                threshold * 100.0
+            );
+            for line in report.lines() {
+                eprintln!("  {line}");
+            }
+            if report.passed() {
+                eprintln!("perf gate: ok");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("perf gate: REGRESSION");
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("perf_gate: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

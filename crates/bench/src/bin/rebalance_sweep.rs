@@ -1,0 +1,98 @@
+//! Shard sweep with the cross-shard rebalancer on vs off, under live TCP
+//! load (the loadgen-level counterpart of the simulator's
+//! `shard_experiment`).
+//!
+//! Run with:
+//! `cargo run --release -p bench --bin rebalance_sweep [requests]`
+//!
+//! Each shard count is driven twice with the identical closed-loop Zipf
+//! workload against a self-hosted server — once with static per-shard
+//! budgets and once with the rebalancer — so the report shows what the
+//! rebalancer costs (throughput) and buys (hit rate) end to end, wire
+//! protocol and locks included. Prints a combined JSON document
+//! (`cliffhanger-rebalance-sweep/v1` embedding two loadgen sweeps) on
+//! stdout and a table on stderr.
+
+use loadgen::{run_shard_sweep, LoadgenConfig, SelfHostConfig, SweepReport, WorkloadSpec};
+use workloads::{KeyPopularity, SizeDistribution};
+
+/// Schema tag of the combined report.
+const REBALANCE_SWEEP_SCHEMA: &str = "cliffhanger-rebalance-sweep/v1";
+
+fn main() -> std::process::ExitCode {
+    let requests: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+
+    // Keys outnumber what the 32 MB budget can hold, so per-shard budgets
+    // matter and rebalancing has something to move; the ETC-like sizes give
+    // the shards unequal byte demand.
+    let load = LoadgenConfig {
+        connections: 8,
+        requests,
+        warmup_keys: 20_000,
+        pipeline: 32,
+        workload: WorkloadSpec {
+            keys: KeyPopularity::Zipf {
+                num_keys: 120_000,
+                exponent: 0.99,
+            },
+            sizes: SizeDistribution::GeneralizedPareto {
+                location: 0.0,
+                scale: 214.476,
+                shape: 0.348_468,
+                cap: 16 << 10,
+            },
+            get_fraction: 0.9,
+            ..WorkloadSpec::default()
+        },
+        ..LoadgenConfig::default()
+    };
+    let shard_counts = [1usize, 2, 4, 8];
+
+    let mut sweeps: Vec<(bool, SweepReport)> = Vec::new();
+    for rebalance in [false, true] {
+        let host = SelfHostConfig {
+            total_bytes: 32 << 20,
+            rebalance,
+            ..SelfHostConfig::default()
+        };
+        match run_shard_sweep(&load, &host, &shard_counts) {
+            Ok(sweep) => sweeps.push((rebalance, sweep)),
+            Err(err) => {
+                eprintln!("rebalance_sweep: {err}");
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!("shards  rebalance  throughput(req/s)  p99(us)  hit_rate  transfers");
+    for (rebalance, sweep) in &sweeps {
+        for p in &sweep.points {
+            let transfers = p
+                .report
+                .server
+                .as_ref()
+                .map(|s| s.rebalance_transfers)
+                .unwrap_or(0);
+            eprintln!(
+                "{:>6}  {:>9}  {:>17.0}  {:>7.0}  {:>8.4}  {:>9}",
+                p.shards,
+                if *rebalance { "on" } else { "off" },
+                p.throughput_rps,
+                p.p99_us,
+                p.hit_rate,
+                transfers
+            );
+        }
+    }
+
+    let (off, on) = (&sweeps[0].1, &sweeps[1].1);
+    println!(
+        "{{\"schema\":\"{REBALANCE_SWEEP_SCHEMA}\",\"off\":{},\"on\":{}}}",
+        off.to_json(),
+        on.to_json()
+    );
+    std::process::ExitCode::SUCCESS
+}

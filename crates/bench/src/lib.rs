@@ -14,5 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod overhead;
+pub mod perf_gate;
 
 pub use overhead::{table6_latency_overhead, table7_throughput_overhead, OverheadOptions};
+pub use perf_gate::{compare_sweeps, GateCheck, GateReport};

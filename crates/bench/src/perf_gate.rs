@@ -1,0 +1,261 @@
+//! The CI performance gate: compares a fresh shard-sweep report against the
+//! committed `BENCH_*` baseline and fails on regressions.
+//!
+//! The repo's benchmark trajectory lives in `BENCH_PR<N>.json` files. Each
+//! contains (possibly nested under a `"shard_sweep"` key) a
+//! `cliffhanger-loadgen-sweep/v1` document with one point per shard count.
+//! The gate matches points by *resolved* shard count and flags a point when
+//! its throughput drops, or its p99 latency rises, by more than the allowed
+//! fraction. Only regressions fail: faster hardware sails through, and a
+//! shard count present in just one of the two reports is reported as
+//! skipped rather than guessed at.
+
+use loadgen::SWEEP_SCHEMA;
+use serde_json::Value;
+
+/// One metric comparison at one shard count.
+#[derive(Clone, Debug)]
+pub struct GateCheck {
+    /// Shard count the points were matched on.
+    pub shards: u64,
+    /// `"throughput"` or `"p99"`.
+    pub metric: &'static str,
+    /// Baseline value (req/s or µs).
+    pub baseline: f64,
+    /// Current value (req/s or µs).
+    pub current: f64,
+    /// Relative change, positive = worse (throughput loss / latency gain).
+    pub regression: f64,
+    /// Whether the check stayed within the threshold.
+    pub pass: bool,
+}
+
+/// The verdict over every matched shard count.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// All individual comparisons, in sweep order.
+    pub checks: Vec<GateCheck>,
+    /// Shard counts present in only one report (not gated).
+    pub unmatched: Vec<u64>,
+}
+
+impl GateReport {
+    /// Whether every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// Human-readable summary lines.
+    pub fn lines(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .checks
+            .iter()
+            .map(|c| {
+                format!(
+                    "{} {:>10}@{:<2} baseline {:>12.0}  current {:>12.0}  (regression {:+.1}%)",
+                    if c.pass { "ok  " } else { "FAIL" },
+                    c.metric,
+                    c.shards,
+                    c.baseline,
+                    c.current,
+                    c.regression * 100.0,
+                )
+            })
+            .collect();
+        for shards in &self.unmatched {
+            out.push(format!("skip {shards} shards: present in only one report"));
+        }
+        out
+    }
+}
+
+/// A sweep point reduced to what the gate compares.
+#[derive(Clone, Copy, Debug)]
+struct GatePoint {
+    shards: u64,
+    throughput_rps: f64,
+    p99_us: f64,
+}
+
+/// Extracts the sweep points from a JSON document: either a raw
+/// `cliffhanger-loadgen-sweep/v1` report or a `BENCH_PR<N>.json` wrapper
+/// holding one under `"shard_sweep"`.
+fn sweep_points(json: &str) -> Result<Vec<GatePoint>, String> {
+    let value: Value = serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    let sweep = if value.get("schema").and_then(Value::as_str) == Some(SWEEP_SCHEMA) {
+        &value
+    } else if let Some(nested) = value.get("shard_sweep") {
+        if nested.get("schema").and_then(Value::as_str) != Some(SWEEP_SCHEMA) {
+            return Err(format!("shard_sweep is not a {SWEEP_SCHEMA} document"));
+        }
+        nested
+    } else {
+        return Err(format!(
+            "no {SWEEP_SCHEMA} document found (neither at the top level nor under \"shard_sweep\")"
+        ));
+    };
+    let points = sweep
+        .get("points")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "sweep has no points array".to_string())?;
+    points
+        .iter()
+        .map(|p| {
+            Ok(GatePoint {
+                shards: p
+                    .get("shards")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| "point without shards".to_string())?,
+                throughput_rps: p
+                    .get("throughput_rps")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| "point without throughput_rps".to_string())?,
+                p99_us: p
+                    .get("p99_us")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| "point without p99_us".to_string())?,
+            })
+        })
+        .collect()
+}
+
+/// Compares `current` against `baseline`, allowing `threshold` relative
+/// regression (0.20 = 20%) on throughput (lower is worse) and p99 latency
+/// (higher is worse) at every shard count present in both reports.
+pub fn compare_sweeps(baseline: &str, current: &str, threshold: f64) -> Result<GateReport, String> {
+    let base = sweep_points(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur = sweep_points(current).map_err(|e| format!("current: {e}"))?;
+    let mut report = GateReport::default();
+    for b in &base {
+        let Some(c) = cur.iter().find(|c| c.shards == b.shards) else {
+            report.unmatched.push(b.shards);
+            continue;
+        };
+        let throughput_regression = if b.throughput_rps > 0.0 {
+            (b.throughput_rps - c.throughput_rps) / b.throughput_rps
+        } else {
+            0.0
+        };
+        report.checks.push(GateCheck {
+            shards: b.shards,
+            metric: "throughput",
+            baseline: b.throughput_rps,
+            current: c.throughput_rps,
+            regression: throughput_regression,
+            pass: throughput_regression <= threshold,
+        });
+        let p99_regression = if b.p99_us > 0.0 {
+            (c.p99_us - b.p99_us) / b.p99_us
+        } else {
+            0.0
+        };
+        report.checks.push(GateCheck {
+            shards: b.shards,
+            metric: "p99",
+            baseline: b.p99_us,
+            current: c.p99_us,
+            regression: p99_regression,
+            pass: p99_regression <= threshold,
+        });
+    }
+    for c in &cur {
+        if !base.iter().any(|b| b.shards == c.shards) {
+            report.unmatched.push(c.shards);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep_json(points: &[(u64, f64, f64)]) -> String {
+        let points: Vec<String> = points
+            .iter()
+            .map(|(shards, rps, p99)| {
+                format!(
+                    "{{\"shards\":{shards},\"throughput_rps\":{rps},\"p99_us\":{p99},\
+                     \"speedup_vs_baseline\":1.0,\"hit_rate\":0.9,\"report\":{{}}}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"{SWEEP_SCHEMA}\",\"points\":[{}]}}",
+            points.join(",")
+        )
+    }
+
+    #[test]
+    fn identical_sweeps_pass() {
+        let json = sweep_json(&[(1, 100_000.0, 900.0), (4, 250_000.0, 700.0)]);
+        let report = compare_sweeps(&json, &json, 0.2).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 4);
+        assert!(report.unmatched.is_empty());
+    }
+
+    #[test]
+    fn faster_hardware_passes_one_sided() {
+        let base = sweep_json(&[(2, 100_000.0, 900.0)]);
+        let cur = sweep_json(&[(2, 400_000.0, 200.0)]);
+        let report = compare_sweeps(&base, &cur, 0.2).unwrap();
+        assert!(report.passed(), "improvements are never regressions");
+    }
+
+    #[test]
+    fn throughput_regression_fails() {
+        let base = sweep_json(&[(4, 100_000.0, 900.0)]);
+        let cur = sweep_json(&[(4, 70_000.0, 900.0)]);
+        let report = compare_sweeps(&base, &cur, 0.2).unwrap();
+        assert!(!report.passed());
+        let fail = report.checks.iter().find(|c| !c.pass).unwrap();
+        assert_eq!(fail.metric, "throughput");
+        assert!((fail.regression - 0.3).abs() < 1e-9);
+        assert!(report.lines().iter().any(|l| l.starts_with("FAIL")));
+    }
+
+    #[test]
+    fn p99_regression_fails() {
+        let base = sweep_json(&[(8, 100_000.0, 500.0)]);
+        let cur = sweep_json(&[(8, 100_000.0, 800.0)]);
+        let report = compare_sweeps(&base, &cur, 0.2).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.checks.iter().filter(|c| !c.pass).count(), 1);
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let base = sweep_json(&[(1, 100_000.0, 500.0)]);
+        let cur = sweep_json(&[(1, 85_000.0, 590.0)]);
+        let report = compare_sweeps(&base, &cur, 0.2).unwrap();
+        assert!(report.passed(), "15% and 18% are inside the 20% budget");
+    }
+
+    #[test]
+    fn bench_wrapper_is_accepted() {
+        let sweep = sweep_json(&[(1, 100_000.0, 500.0)]);
+        let wrapper = format!("{{\"pr\": 2, \"shard_sweep\": {sweep}}}");
+        let report = compare_sweeps(&wrapper, &sweep, 0.2).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 2);
+    }
+
+    #[test]
+    fn unmatched_shard_counts_are_skipped_not_guessed() {
+        let base = sweep_json(&[(1, 100_000.0, 500.0), (8, 300_000.0, 400.0)]);
+        let cur = sweep_json(&[(1, 100_000.0, 500.0), (2, 150_000.0, 450.0)]);
+        let report = compare_sweeps(&base, &cur, 0.2).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 2, "only the 1-shard point is gated");
+        assert_eq!(report.unmatched, vec![8, 2]);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(compare_sweeps("not json", "{}", 0.2).is_err());
+        let ok = sweep_json(&[(1, 1.0, 1.0)]);
+        assert!(compare_sweeps("{\"pr\": 3}", &ok, 0.2).is_err());
+        assert!(compare_sweeps(&ok, "{\"schema\": \"something-else\"}", 0.2).is_err());
+    }
+}

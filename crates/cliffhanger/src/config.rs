@@ -140,6 +140,103 @@ impl CliffhangerConfig {
     }
 }
 
+/// Configuration of the cross-shard rebalancer
+/// ([`crate::shard_balance::ShardRebalancer`]).
+///
+/// The defaults follow the same shape as Algorithm 1's knobs, one level up:
+/// a small fixed credit moved per decision, a floor that keeps every shard's
+/// shadow queues alive, and an observation interval long enough for the
+/// shadow-hit deltas to dominate sampling noise.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShardBalanceConfig {
+    /// Whether cross-shard rebalancing runs at all.
+    pub enabled: bool,
+    /// How many wire requests between rebalancing rounds (the host counts).
+    pub interval_requests: u64,
+    /// Budget moved per transfer, in bytes. Like the per-class credit, small
+    /// relative to a shard's budget so the walk stays incremental.
+    pub credit_bytes: u64,
+    /// Floor below which no shard's budget is shrunk. A shard at the floor
+    /// can still climb back: its shadow queues keep observing demand.
+    pub min_shard_bytes: u64,
+    /// Minimum absolute shadow-hit-delta gap between a winner and a donor
+    /// before a transfer happens (absorbs counting noise near uniformity).
+    pub min_gradient_gap: u64,
+    /// Exponential smoothing factor applied to the per-interval shadow-hit
+    /// deltas (1.0 = use the raw delta of the last interval only). One
+    /// interval's delta is a noisy gradient estimate; transfers that chase
+    /// it evict real items on the donor, so the rebalancer follows the
+    /// smoothed demand instead.
+    pub smoothing: f64,
+    /// Relative band on top of `min_gradient_gap`: the winner's delta must
+    /// exceed the donor's by this fraction (0.2 = 20%) before budget moves.
+    pub hysteresis: f64,
+    /// At most this many winner/donor pairs transfer per round.
+    pub max_transfers_per_round: usize,
+}
+
+impl Default for ShardBalanceConfig {
+    fn default() -> Self {
+        ShardBalanceConfig {
+            enabled: true,
+            interval_requests: 4_096,
+            credit_bytes: 256 << 10,
+            min_shard_bytes: 1 << 20,
+            min_gradient_gap: 4,
+            smoothing: 0.25,
+            hysteresis: 0.05,
+            max_transfers_per_round: 4,
+        }
+    }
+}
+
+impl ShardBalanceConfig {
+    /// A disabled configuration (static per-shard budgets, the PR 2
+    /// behaviour).
+    pub fn disabled() -> Self {
+        ShardBalanceConfig {
+            enabled: false,
+            ..ShardBalanceConfig::default()
+        }
+    }
+
+    /// A configuration whose credit and floor are scaled to the per-shard
+    /// budget, mirroring [`CliffhangerConfig::scaled_for`]: experiments at
+    /// reduced scale keep the paper's *ratios* instead of its absolute
+    /// constants.
+    pub fn scaled_for(total_bytes: u64, shards: usize) -> Self {
+        let shard_bytes = total_bytes / shards.max(1) as u64;
+        // Move ~1/64 of a shard's budget per decision, never below 16 KB or
+        // above the 256 KB default.
+        let credit_bytes = (shard_bytes / 64).clamp(16 << 10, 256 << 10);
+        // Keep every shard at least an eighth of its even share.
+        let min_shard_bytes = (shard_bytes / 8).max(64 << 10);
+        ShardBalanceConfig {
+            credit_bytes,
+            min_shard_bytes,
+            ..ShardBalanceConfig::default()
+        }
+    }
+
+    /// Validates the configuration, panicking on nonsensical values.
+    pub fn validate(&self) {
+        assert!(self.credit_bytes > 0, "credit_bytes must be positive");
+        assert!(
+            self.interval_requests > 0,
+            "interval_requests must be positive"
+        );
+        assert!(self.hysteresis >= 0.0, "hysteresis must be non-negative");
+        assert!(
+            self.smoothing > 0.0 && self.smoothing <= 1.0,
+            "smoothing must be in (0, 1]"
+        );
+        assert!(
+            self.max_transfers_per_round > 0,
+            "max_transfers_per_round must be positive"
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +291,33 @@ mod tests {
         let c = CliffhangerConfig {
             credit_bytes: 0,
             ..CliffhangerConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn shard_balance_defaults_and_scaling() {
+        let c = ShardBalanceConfig::default();
+        assert!(c.enabled);
+        c.validate();
+        assert!(!ShardBalanceConfig::disabled().enabled);
+        // 64 MB over 8 shards: 8 MB/shard => 128 KB credits, 1 MB floor.
+        let scaled = ShardBalanceConfig::scaled_for(64 << 20, 8);
+        assert_eq!(scaled.credit_bytes, 128 << 10);
+        assert_eq!(scaled.min_shard_bytes, 1 << 20);
+        scaled.validate();
+        // Tiny budgets stay above the clamps and below the shard share.
+        let tiny = ShardBalanceConfig::scaled_for(4 << 20, 16);
+        assert_eq!(tiny.credit_bytes, 16 << 10);
+        assert!(tiny.min_shard_bytes <= (4 << 20) / 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval_requests")]
+    fn zero_interval_rejected() {
+        let c = ShardBalanceConfig {
+            interval_requests: 0,
+            ..ShardBalanceConfig::default()
         };
         c.validate();
     }

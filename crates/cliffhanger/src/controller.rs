@@ -359,6 +359,49 @@ impl<V> Cliffhanger<V> {
         self.queues[idx].set_target_bytes(new_target);
     }
 
+    /// Grows the cache's total budget by `bytes` from outside (the
+    /// cross-shard rebalancer). The new memory lands in the free pool, where
+    /// classes grow into it on demand exactly like Memcached's free pages —
+    /// and from there the within-cache hill climber takes over, so an outer
+    /// transfer needs no opinion about *which* class deserves the memory.
+    pub fn grow_total(&mut self, bytes: u64) {
+        self.free_bytes += bytes;
+    }
+
+    /// Shrinks the cache's total budget by `bytes`, returning `true` if the
+    /// memory could be released. The free pool is drained first; the rest is
+    /// taken from the largest classes (largest first), never below the
+    /// per-class floor, with the displaced items evicted immediately so the
+    /// released bytes are real. Returns `false` — and changes nothing — when
+    /// the floors make the release impossible.
+    pub fn shrink_total(&mut self, bytes: u64) -> bool {
+        let floor = self.config.min_class_bytes;
+        let from_free = self.free_bytes.min(bytes);
+        let mut needed = bytes - from_free;
+        let spare: u64 = (0..self.queues.len())
+            .map(|i| self.climber.target(i).saturating_sub(floor))
+            .sum();
+        if needed > spare {
+            return false;
+        }
+        self.free_bytes -= from_free;
+        while needed > 0 {
+            let idx = (0..self.queues.len())
+                .max_by_key(|&i| self.climber.target(i))
+                .expect("needed > 0 implies at least one class");
+            let take = self.climber.target(idx).saturating_sub(floor).min(needed);
+            debug_assert!(take > 0, "spare check guarantees progress");
+            let new_target = self.climber.target(idx) - take;
+            self.climber.set_target(idx, new_target);
+            self.queues[idx].set_target_bytes(new_target);
+            for evicted in self.queues[idx].enforce_target() {
+                self.resident.remove(&evicted);
+            }
+            needed -= take;
+        }
+        true
+    }
+
     /// Shrinks the cache by `bytes`, returning `true` if the memory could be
     /// released. Ungranted free-pool memory is released first; otherwise the
     /// class with the most memory above the floor gives it up.
@@ -557,6 +600,60 @@ mod tests {
         assert_eq!(c.total_bytes(), before_total);
         // Shrinking more than any class can afford fails gracefully.
         assert!(!c.shrink_some_class(10 << 20));
+    }
+
+    #[test]
+    fn grow_total_lands_in_the_free_pool_and_is_grantable() {
+        let mut c: Cliffhanger<()> = Cliffhanger::new(config(1 << 20));
+        let before_total = c.total_bytes();
+        let before_free = c.free_bytes();
+        c.grow_total(512 << 10);
+        assert_eq!(c.total_bytes(), before_total + (512 << 10));
+        assert_eq!(c.free_bytes(), before_free + (512 << 10));
+        // The grown memory is demand-grantable: fills can use it.
+        for i in 0..2_000 {
+            c.set(key(i), 60, ());
+        }
+        assert!(c.free_bytes() < before_free + (512 << 10));
+        assert_eq!(c.total_bytes(), before_total + (512 << 10));
+    }
+
+    #[test]
+    fn shrink_total_releases_real_memory_and_respects_floors() {
+        let mut c: Cliffhanger<()> = Cliffhanger::new(config(2 << 20));
+        // Fill well past the shrink amount so eviction must do real work.
+        for i in 0..20_000u64 {
+            let k = key(i);
+            if !c.get(k, 60).unwrap().1.hit {
+                c.set(k, 60, ());
+            }
+        }
+        let total = c.total_bytes();
+        assert!(c.shrink_total(1 << 20));
+        assert_eq!(c.total_bytes(), total - (1 << 20));
+        assert!(
+            c.used_bytes() <= c.total_bytes(),
+            "shrink must evict down to the new budget: used {} vs total {}",
+            c.used_bytes(),
+            c.total_bytes()
+        );
+        // Evicted keys are healed out of the resident index.
+        let resident_everywhere = (0..20_000u64).filter(|&i| c.contains(key(i))).count();
+        assert_eq!(resident_everywhere, c.len());
+        // Shrinking below the per-class floors fails atomically.
+        let before = c.total_bytes();
+        assert!(!c.shrink_total(1 << 30));
+        assert_eq!(c.total_bytes(), before);
+    }
+
+    #[test]
+    fn shrink_total_prefers_the_free_pool() {
+        let mut c: Cliffhanger<()> = Cliffhanger::new(config(2 << 20));
+        let free = c.free_bytes();
+        assert!(free > 256 << 10, "fresh cache starts with a free pool");
+        assert!(c.shrink_total(256 << 10));
+        assert_eq!(c.free_bytes(), free - (256 << 10));
+        assert_eq!(c.stats().evictions, 0, "free-pool release evicts nothing");
     }
 
     #[test]

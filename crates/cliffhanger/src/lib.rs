@@ -24,6 +24,11 @@
 //! * [`multi_app`] — an extension that runs one hill-climbing pool across
 //!   every queue of every application on a server (the "queue of an entire
 //!   application" case mentioned in §4.1).
+//! * [`shard_balance`] — an extension that treats the *shards* of a
+//!   key-partitioned server as the queues: per-shard shadow-hit deltas are
+//!   the gradients, and a periodic hill-climbing round moves budget between
+//!   shards so a sharded deployment converges toward the unsharded
+//!   controller's hit rate instead of re-creating static partitions.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,10 +40,12 @@ pub mod controller;
 pub mod hill_climb;
 pub mod multi_app;
 pub mod partitioned_queue;
+pub mod shard_balance;
 
 pub use cliff_scale::{CliffScaler, PointerEvent};
-pub use config::CliffhangerConfig;
+pub use config::{CliffhangerConfig, ShardBalanceConfig};
 pub use controller::{ClassSnapshot, Cliffhanger};
 pub use hill_climb::HillClimber;
 pub use multi_app::CliffhangerServer;
 pub use partitioned_queue::{Partition, PartitionedQueue, QueueEvent, SetOutcome};
+pub use shard_balance::{ShardRebalancer, ShardSample, ShardTransfer};

@@ -29,6 +29,7 @@ TARGET (default: self-host an in-process server):
     --mb <n>                self-hosted cache size in MB            [64]
     --allocator <name>      default | hillclimbing | cliffhanger    [cliffhanger]
     --server-workers <n>    server threads (0 = one per connection) [0]
+    --rebalance <on|off>    cross-shard budget rebalancing          [on]
 
 LOAD:
     --requests <n>          measured requests                       [100000]
@@ -57,6 +58,7 @@ struct Args {
     mb: u64,
     allocator: BackendMode,
     server_workers: usize,
+    rebalance: bool,
     sweep: Option<Vec<usize>>,
     json_path: Option<String>,
     load: LoadgenConfig,
@@ -95,6 +97,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         mb: 64,
         allocator: BackendMode::Cliffhanger,
         server_workers: 0,
+        rebalance: true,
         sweep: None,
         json_path: None,
         load: LoadgenConfig::default(),
@@ -109,7 +112,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut i = 0;
     while i < argv.len() {
         let flag = argv[i].as_str();
-        for known in ["--shards", "--mb", "--allocator", "--server-workers"] {
+        for known in [
+            "--shards",
+            "--mb",
+            "--allocator",
+            "--server-workers",
+            "--rebalance",
+        ] {
             if flag == known {
                 self_host_flag.get_or_insert(known);
             }
@@ -141,6 +150,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.server_workers = value("--server-workers")?
                     .parse()
                     .map_err(|_| "bad --server-workers".to_string())?
+            }
+            "--rebalance" => {
+                args.rebalance = match value("--rebalance")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("bad --rebalance {other:?} (want on|off)")),
+                }
             }
             "--requests" => {
                 args.load.requests = value("--requests")?
@@ -273,6 +289,14 @@ fn summarize(report: &LoadReport) {
             server.allocator,
             server.evictions
         );
+        if server.rebalance_enabled {
+            eprintln!(
+                "  rebalance: {} runs, {} transfers, {:.1} MB moved",
+                server.rebalance_runs,
+                server.rebalance_transfers,
+                server.rebalance_bytes_moved as f64 / (1 << 20) as f64
+            );
+        }
     }
 }
 
@@ -320,6 +344,7 @@ fn run() -> Result<(), String> {
         total_bytes: args.mb << 20,
         mode: args.allocator,
         workers: args.server_workers,
+        rebalance: args.rebalance,
     };
 
     if let Some(shard_counts) = &args.sweep {

@@ -82,6 +82,16 @@ pub struct ServerEcho {
     pub workers: u64,
     /// Evictions observed during the run.
     pub evictions: u64,
+    /// Whether cross-shard rebalancing was active. (Pre-PR3 reports lack
+    /// the `rebalance_*` fields; the perf gate reads reports untyped, so
+    /// the committed baselines stay readable.)
+    pub rebalance_enabled: bool,
+    /// Rebalancing rounds the server ran during the load.
+    pub rebalance_runs: u64,
+    /// Budget transfers applied between shards.
+    pub rebalance_transfers: u64,
+    /// Bytes of budget moved between shards.
+    pub rebalance_bytes_moved: u64,
 }
 
 /// One point of a shard sweep.

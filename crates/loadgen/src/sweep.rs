@@ -13,6 +13,7 @@ use crate::report::{ServerEcho, SweepPoint, SweepReport, SWEEP_SCHEMA};
 use crate::runner::{run_load, LoadgenConfig};
 use crate::LoadReport;
 use cache_server::{BackendConfig, BackendMode, CacheServer, ServerConfig};
+use cliffhanger::ShardBalanceConfig;
 
 /// Configuration for self-hosted runs (the server the loadgen spawns).
 #[derive(Clone, Debug)]
@@ -23,6 +24,9 @@ pub struct SelfHostConfig {
     pub mode: BackendMode,
     /// Server worker threads; 0 sizes the pool to the connection count.
     pub workers: usize,
+    /// Whether the backend's cross-shard rebalancer runs (the backend
+    /// default; turn off to measure static per-shard splits).
+    pub rebalance: bool,
 }
 
 impl Default for SelfHostConfig {
@@ -31,6 +35,7 @@ impl Default for SelfHostConfig {
             total_bytes: 64 << 20,
             mode: BackendMode::Cliffhanger,
             workers: 0,
+            rebalance: true,
         }
     }
 }
@@ -62,6 +67,11 @@ pub fn run_self_hosted(
             total_bytes: host.total_bytes,
             mode: host.mode,
             shards,
+            rebalance: if host.rebalance {
+                ShardBalanceConfig::default()
+            } else {
+                ShardBalanceConfig::disabled()
+            },
             ..BackendConfig::default()
         },
     })?;
@@ -77,6 +87,10 @@ pub fn run_self_hosted(
         allocator: format!("{:?}", host.mode).to_lowercase(),
         workers: workers as u64,
         evictions: stat_u64(&stats, "evictions"),
+        rebalance_enabled: stat_u64(&stats, "rebalance:enabled") == 1,
+        rebalance_runs: stat_u64(&stats, "rebalance:runs"),
+        rebalance_transfers: stat_u64(&stats, "rebalance:transfers"),
+        rebalance_bytes_moved: stat_u64(&stats, "rebalance:bytes_moved"),
     });
     Ok(report)
 }

@@ -17,12 +17,30 @@
 //! Memcached's `-t`-threaded hash table + per-partition slab engines (and
 //! pelikan's per-worker storage): the global-mutex design it replaces
 //! serialized every request in the workspace's earlier revisions.
+//!
+//! # Cross-shard rebalancing
+//!
+//! Per-shard budgets start as an even split but are *dynamic*: every
+//! [`ShardBalanceConfig::interval_requests`] wire requests, the thread that
+//! crosses the interval runs one [`ShardRebalancer`] round — it samples each
+//! shard's cumulative shadow-queue hits (the frequency-weighted hit-rate
+//! gradient of paper §4.1), and moves a credit of budget from the shard with
+//! the flattest gradient to the one with the steepest, via
+//! [`Cliffhanger::shrink_total`] (which evicts immediately, so released
+//! bytes are real) and [`Cliffhanger::grow_total`]. Shard locks are taken
+//! one at a time, never nested, so the round cannot deadlock with request
+//! traffic. Static even splits re-create exactly the rigid-partition
+//! problem Cliffhanger exists to fix; the rebalancer closes that gap (see
+//! `cliffhanger::shard_balance`). `stats` exposes the live budgets as
+//! `shard:<i>:budget` and the round counters as `rebalance:*` lines.
 
 use bytes::Bytes;
 use cache_core::key::mix64;
 use cache_core::store::AllocationMode;
 use cache_core::{hash_bytes, CacheStats, Key, PolicyKind, SlabCache, SlabCacheConfig, SlabConfig};
-use cliffhanger::{Cliffhanger, CliffhangerConfig};
+use cliffhanger::{
+    Cliffhanger, CliffhangerConfig, ShardBalanceConfig, ShardRebalancer, ShardSample,
+};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -65,10 +83,15 @@ pub struct BackendConfig {
     pub slab: SlabConfig,
     /// Number of independent shards; `0` auto-detects from the host's
     /// available parallelism. Both explicit and detected counts are capped
-    /// so every shard keeps at least 1 MB of budget — check
+    /// so every shard keeps at least 1 MB of budget — the clamp is logged at
+    /// construction and exposed as the `shards_requested` stats line; check
     /// [`SharedCache::shard_count`] (or `resolved_shards`) for the count
     /// actually running.
     pub shards: usize,
+    /// Cross-shard budget rebalancing. Enabled by default; only effective
+    /// with more than one shard and a managed (non-`Default`) allocator,
+    /// since the gradient signal comes from the Cliffhanger shadow queues.
+    pub rebalance: ShardBalanceConfig,
 }
 
 impl Default for BackendConfig {
@@ -78,22 +101,28 @@ impl Default for BackendConfig {
             mode: BackendMode::Cliffhanger,
             slab: SlabConfig::default(),
             shards: 0,
+            rebalance: ShardBalanceConfig::default(),
         }
     }
 }
 
 impl BackendConfig {
+    /// The shard count this configuration asks for, before the budget cap:
+    /// the explicit value, or CPU-count detection when `shards == 0`.
+    pub fn requested_shards(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            detect_shards()
+        }
+    }
+
     /// The shard count this configuration resolves to: the explicit value,
     /// or CPU-count detection when `shards == 0`, in both cases capped so no
     /// shard drops below [`MIN_SHARD_BYTES`].
     pub fn resolved_shards(&self) -> usize {
-        let requested = if self.shards > 0 {
-            self.shards
-        } else {
-            detect_shards()
-        };
         let budget_cap = (self.total_bytes / MIN_SHARD_BYTES).max(1) as usize;
-        requested.clamp(1, budget_cap.max(1))
+        self.requested_shards().clamp(1, budget_cap.max(1))
     }
 }
 
@@ -179,6 +208,23 @@ impl Inner {
         }
     }
 
+    /// Grows the engine's total budget (managed engines only; a plain slab
+    /// cache has no dynamic-budget path and is never rebalanced).
+    fn grow_total(&mut self, bytes: u64) {
+        if let Inner::Managed(cache) = self {
+            cache.grow_total(bytes);
+        }
+    }
+
+    /// Releases `bytes` of the engine's budget, evicting as needed. Returns
+    /// whether the release happened.
+    fn shrink_total(&mut self, bytes: u64) -> bool {
+        match self {
+            Inner::Plain(_) => false,
+            Inner::Managed(cache) => cache.shrink_total(bytes),
+        }
+    }
+
     fn used_bytes(&self) -> u64 {
         match self {
             Inner::Plain(cache) => cache.used_bytes(),
@@ -204,6 +250,10 @@ struct Shard {
     hits: AtomicU64,
     sets: AtomicU64,
     deletes: AtomicU64,
+    /// Wire requests routed to this shard; drives the rebalancing interval
+    /// without a globally shared counter (a single hot cache line would
+    /// reintroduce exactly the cross-core contention sharding removed).
+    ops: AtomicU64,
 }
 
 impl Shard {
@@ -214,6 +264,7 @@ impl Shard {
             hits: AtomicU64::new(0),
             sets: AtomicU64::new(0),
             deletes: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
         }
     }
 
@@ -258,19 +309,120 @@ pub struct SharedCache {
     config: BackendConfig,
     shards: Vec<Shard>,
     shard_bytes: u64,
+    /// Live per-shard byte budgets (even split at start, then moved by the
+    /// rebalancer). Relaxed atomics so `stats` reads them lock-free.
+    budgets: Vec<AtomicU64>,
+    /// Cross-shard rebalancer state; `try_lock`ed so at most one thread runs
+    /// a round while the rest keep serving. `flush` takes this lock (not
+    /// `try_lock`) before rebuilding the engines, so a mid-round flush
+    /// cannot interleave with a transfer and leak budget.
+    balancer: Mutex<ShardRebalancer>,
+    /// Per-shard request count that triggers a rebalancing round
+    /// (`interval_requests / shard_count`, at least 1).
+    tick_interval: u64,
+    rebalance_runs: AtomicU64,
+    rebalance_transfers: AtomicU64,
+    rebalance_bytes: AtomicU64,
 }
 
 impl SharedCache {
     /// Creates a shared cache with the configured (or detected) shard count.
     pub fn new(config: BackendConfig) -> Self {
+        let requested = config.requested_shards();
         let n = config.resolved_shards();
+        if n < requested {
+            // The budget cap is a silent hit-rate/scaling hazard otherwise:
+            // a sweep that asked for 8 shards may be measuring 2.
+            eprintln!(
+                "backend: shard count clamped from {requested} to {n} \
+                 ({} MB total keeps every shard >= {} MB); \
+                 stats reports shards_requested/shard_count",
+                config.total_bytes >> 20,
+                MIN_SHARD_BYTES >> 20,
+            );
+        }
         let shard_bytes = (config.total_bytes / n as u64).max(1);
-        let shards = (0..n).map(|_| Shard::new(&config, shard_bytes)).collect();
+        let shards: Vec<Shard> = (0..n).map(|_| Shard::new(&config, shard_bytes)).collect();
+        let budgets = (0..n).map(|_| AtomicU64::new(shard_bytes)).collect();
+        let balancer = Mutex::new(ShardRebalancer::new(n, config.rebalance.clone()));
+        let tick_interval = (config.rebalance.interval_requests / n as u64).max(1);
         SharedCache {
             config,
             shards,
             shard_bytes,
+            budgets,
+            balancer,
+            tick_interval,
+            rebalance_runs: AtomicU64::new(0),
+            rebalance_transfers: AtomicU64::new(0),
+            rebalance_bytes: AtomicU64::new(0),
         }
+    }
+
+    /// Whether rebalancing rounds can do anything on this cache.
+    fn rebalance_active(&self) -> bool {
+        self.config.rebalance.enabled
+            && self.shards.len() > 1
+            && self.config.mode != BackendMode::Default
+    }
+
+    /// Counts one wire request on its shard and runs a rebalancing round
+    /// every `interval_requests / shard_count` of them — per-shard counters
+    /// keep the hot path free of shared-line contention while the aggregate
+    /// round cadence stays at roughly one per `interval_requests` under
+    /// uniform routing. Must be called while holding no shard lock.
+    fn tick(&self, shard: &Shard) {
+        if !self.rebalance_active() {
+            return;
+        }
+        let n = shard.ops.fetch_add(1, Ordering::Relaxed) + 1;
+        if n % self.tick_interval == 0 {
+            self.rebalance_now();
+        }
+    }
+
+    /// Runs one rebalancing round immediately (also exposed for tests and
+    /// experiment drivers). A no-op when rebalancing is inactive or another
+    /// thread is mid-round.
+    pub fn rebalance_now(&self) {
+        if !self.rebalance_active() {
+            return;
+        }
+        let Some(mut balancer) = self.balancer.try_lock() else {
+            return;
+        };
+        let samples: Vec<ShardSample> = self
+            .shards
+            .iter()
+            .zip(&self.budgets)
+            .map(|(shard, budget)| ShardSample {
+                shadow_hits: shard.inner.lock().stats().shadow_hits,
+                budget_bytes: budget.load(Ordering::Relaxed),
+            })
+            .collect();
+        for t in balancer.rebalance(&samples) {
+            // Shrink first and only then grow — one shard lock at a time,
+            // and the total can momentarily dip but never exceed the budget.
+            let released = self.shards[t.from].inner.lock().shrink_total(t.bytes);
+            if !released {
+                continue;
+            }
+            self.budgets[t.from].fetch_sub(t.bytes, Ordering::Relaxed);
+            self.shards[t.to].inner.lock().grow_total(t.bytes);
+            self.budgets[t.to].fetch_add(t.bytes, Ordering::Relaxed);
+            self.rebalance_transfers.fetch_add(1, Ordering::Relaxed);
+            self.rebalance_bytes.fetch_add(t.bytes, Ordering::Relaxed);
+        }
+        self.rebalance_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The live per-shard byte budgets (even split at start; the rebalancer
+    /// moves them).
+    pub fn shard_budgets(&self) -> Vec<u64> {
+        self.budgets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
     }
 
     fn charge_size(key: &[u8], data: &[u8]) -> u64 {
@@ -295,6 +447,7 @@ impl SharedCache {
     /// Looks up a key, returning its flags and value on an exact match.
     pub fn get(&self, key: &[u8]) -> Option<(u32, Bytes)> {
         let (shard, id) = self.route(key);
+        self.tick(shard);
         shard.gets.fetch_add(1, Ordering::Relaxed);
         let mut inner = shard.inner.lock();
         let found = match &mut *inner {
@@ -335,6 +488,7 @@ impl SharedCache {
     /// not be admitted (e.g. larger than the largest slab class).
     pub fn set(&self, key: &[u8], flags: u32, data: Bytes) -> bool {
         let (shard, id) = self.route(key);
+        self.tick(shard);
         shard.sets.fetch_add(1, Ordering::Relaxed);
         let size = Self::charge_size(key, &data);
         let stored = StoredValue::new(key, flags, data);
@@ -345,6 +499,7 @@ impl SharedCache {
     /// concurrent writers on the same shard.
     pub fn add(&self, key: &[u8], flags: u32, data: Bytes) -> bool {
         let (shard, id) = self.route(key);
+        self.tick(shard);
         let size = Self::charge_size(key, &data);
         let stored = StoredValue::new(key, flags, data);
         let mut inner = shard.inner.lock();
@@ -359,6 +514,7 @@ impl SharedCache {
     /// to concurrent writers on the same shard.
     pub fn replace(&self, key: &[u8], flags: u32, data: Bytes) -> bool {
         let (shard, id) = self.route(key);
+        self.tick(shard);
         let size = Self::charge_size(key, &data);
         let stored = StoredValue::new(key, flags, data);
         let mut inner = shard.inner.lock();
@@ -372,6 +528,7 @@ impl SharedCache {
     /// Deletes a key; returns whether it was present.
     pub fn delete(&self, key: &[u8]) -> bool {
         let (shard, id) = self.route(key);
+        self.tick(shard);
         shard.deletes.fetch_add(1, Ordering::Relaxed);
         let mut inner = shard.inner.lock();
         if !inner.contains_exact(id, key) {
@@ -383,12 +540,23 @@ impl SharedCache {
         }
     }
 
-    /// Drops every item (`flush_all`), fanning out across the shards.
+    /// Drops every item (`flush_all`), fanning out across the shards. The
+    /// per-shard budgets return to the even split and the rebalancer's
+    /// counter baseline is forgotten (the rebuilt engines restart their
+    /// cumulative counters from zero).
     pub fn flush(&self) {
-        for shard in &self.shards {
+        // Hold the balancer lock across the rebuild: an in-flight
+        // rebalancing round holds it for its whole shrink/grow loop, so a
+        // flush can never interleave with a half-applied transfer (which
+        // would overwrite the donor's debit and then credit the winner —
+        // leaking budget above the configured total).
+        let mut balancer = self.balancer.lock();
+        for (shard, budget) in self.shards.iter().zip(&self.budgets) {
             let mut inner = shard.inner.lock();
             *inner = Inner::build(&self.config, self.shard_bytes);
+            budget.store(self.shard_bytes, Ordering::Relaxed);
         }
+        balancer.reset();
     }
 
     /// Wire-level and cache-level statistics as `STAT` pairs.
@@ -431,7 +599,27 @@ impl SharedCache {
                 format!("{:?}", self.config.mode).to_lowercase(),
             ),
             ("shard_count".into(), self.shards.len().to_string()),
+            (
+                "shards_requested".into(),
+                self.config.requested_shards().to_string(),
+            ),
             ("shard_bytes".into(), self.shard_bytes.to_string()),
+            (
+                "rebalance:enabled".into(),
+                (self.rebalance_active() as u8).to_string(),
+            ),
+            (
+                "rebalance:runs".into(),
+                self.rebalance_runs.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "rebalance:transfers".into(),
+                self.rebalance_transfers.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "rebalance:bytes_moved".into(),
+                self.rebalance_bytes.load(Ordering::Relaxed).to_string(),
+            ),
         ];
         for (i, (wire, core, shard_used, shard_items)) in per_shard.into_iter().enumerate() {
             out.push((format!("shard:{i}:cmd_get"), wire.gets.to_string()));
@@ -442,6 +630,14 @@ impl SharedCache {
             out.push((format!("shard:{i}:bytes"), shard_used.to_string()));
             out.push((format!("shard:{i}:curr_items"), shard_items.to_string()));
             out.push((format!("shard:{i}:evictions"), core.evictions.to_string()));
+            out.push((
+                format!("shard:{i}:budget"),
+                self.budgets[i].load(Ordering::Relaxed).to_string(),
+            ));
+            out.push((
+                format!("shard:{i}:shadow_hits"),
+                core.shadow_hits.to_string(),
+            ));
         }
         out
     }
@@ -460,9 +656,139 @@ mod tests {
         SharedCache::new(BackendConfig {
             total_bytes: 4 << 20,
             mode,
-            slab: SlabConfig::default(),
             shards: 2,
+            ..BackendConfig::default()
         })
+    }
+
+    /// The shard a byte-string key routes to, replicated from
+    /// [`SharedCache::route`] so tests can build per-shard workloads.
+    fn shard_of(key: &[u8], shards: usize) -> usize {
+        (mix64(hash_bytes(key)) % shards as u64) as usize
+    }
+
+    #[test]
+    fn rebalancer_moves_budget_toward_the_starved_shard() {
+        let total = 8u64 << 20;
+        let c = SharedCache::new(BackendConfig {
+            total_bytes: total,
+            mode: BackendMode::Cliffhanger,
+            shards: 2,
+            rebalance: ShardBalanceConfig {
+                credit_bytes: 128 << 10,
+                min_shard_bytes: 1 << 20,
+                min_gradient_gap: 4,
+                ..ShardBalanceConfig::default()
+            },
+            ..BackendConfig::default()
+        });
+        // Shard 0 cycles a working set just past its 4 MB slice — roughly
+        // 11k items fit, so a 13k-key cycle makes every re-request miss the
+        // physical queue and land in the ~4k-entry shadow queue (a pure
+        // gradient signal); shard 1 idles on a handful of keys.
+        let shard0_keys: Vec<String> = (0..)
+            .map(|i: u64| format!("hot-{i}"))
+            .filter(|k| shard_of(k.as_bytes(), 2) == 0)
+            .take(13_000)
+            .collect();
+        let shard1_keys: Vec<String> = (0..)
+            .map(|i: u64| format!("cold-{i}"))
+            .filter(|k| shard_of(k.as_bytes(), 2) == 1)
+            .take(50)
+            .collect();
+        let payload = Bytes::from(vec![0u8; 200]);
+        for round in 0..12 {
+            for key in &shard0_keys {
+                if c.get(key.as_bytes()).is_none() {
+                    c.set(key.as_bytes(), 0, payload.clone());
+                }
+            }
+            for key in &shard1_keys {
+                if c.get(key.as_bytes()).is_none() {
+                    c.set(key.as_bytes(), 0, payload.clone());
+                }
+            }
+            c.rebalance_now();
+            let _ = round;
+        }
+        let budgets = c.shard_budgets();
+        assert_eq!(
+            budgets.iter().sum::<u64>(),
+            total,
+            "rebalancing must conserve the total budget: {budgets:?}"
+        );
+        assert!(
+            budgets[0] > budgets[1],
+            "the starved shard should have gained budget: {budgets:?}"
+        );
+        let stats: std::collections::HashMap<String, String> = c.stats().into_iter().collect();
+        assert_eq!(stats["rebalance:enabled"], "1");
+        assert!(stats["rebalance:transfers"].parse::<u64>().unwrap() > 0);
+        assert!(stats["rebalance:bytes_moved"].parse::<u64>().unwrap() > 0);
+        assert_eq!(stats["shard:0:budget"], budgets[0].to_string());
+    }
+
+    #[test]
+    fn rebalance_disabled_keeps_static_budgets() {
+        let c = SharedCache::new(BackendConfig {
+            total_bytes: 8 << 20,
+            mode: BackendMode::Cliffhanger,
+            shards: 2,
+            rebalance: ShardBalanceConfig::disabled(),
+            ..BackendConfig::default()
+        });
+        for i in 0..30_000u32 {
+            let key = format!("k{i}");
+            if c.get(key.as_bytes()).is_none() {
+                c.set(key.as_bytes(), 0, Bytes::from("v"));
+            }
+            if i % 1_000 == 0 {
+                c.rebalance_now();
+            }
+        }
+        assert_eq!(c.shard_budgets(), vec![4 << 20, 4 << 20]);
+        let stats: std::collections::HashMap<String, String> = c.stats().into_iter().collect();
+        assert_eq!(stats["rebalance:enabled"], "0");
+        assert_eq!(stats["rebalance:runs"], "0");
+    }
+
+    #[test]
+    fn default_mode_never_rebalances() {
+        let c = cache(BackendMode::Default);
+        c.set(b"a", 0, Bytes::from("1"));
+        c.rebalance_now();
+        let stats: std::collections::HashMap<String, String> = c.stats().into_iter().collect();
+        assert_eq!(stats["rebalance:enabled"], "0");
+        assert_eq!(stats["rebalance:runs"], "0");
+    }
+
+    #[test]
+    fn flush_resets_budgets_and_baseline() {
+        let c = cache(BackendMode::Cliffhanger);
+        for i in 0..5_000u32 {
+            c.set(format!("k{i}").as_bytes(), 0, Bytes::from("v"));
+        }
+        c.rebalance_now();
+        c.flush();
+        assert_eq!(c.shard_budgets(), vec![2 << 20, 2 << 20]);
+        let stats: std::collections::HashMap<String, String> = c.stats().into_iter().collect();
+        assert_eq!(stats["curr_items"], "0");
+        assert_eq!(stats["shard:0:budget"], (2u64 << 20).to_string());
+    }
+
+    #[test]
+    fn stats_expose_requested_and_effective_shards() {
+        // 2 MB of budget clamps a requested 8 shards to 2 (1 MB floor).
+        let c = SharedCache::new(BackendConfig {
+            total_bytes: 2 << 20,
+            mode: BackendMode::Cliffhanger,
+            shards: 8,
+            ..BackendConfig::default()
+        });
+        assert_eq!(c.shard_count(), 2);
+        let stats: std::collections::HashMap<String, String> = c.stats().into_iter().collect();
+        assert_eq!(stats["shard_count"], "2");
+        assert_eq!(stats["shards_requested"], "8");
     }
 
     #[test]
@@ -500,8 +826,8 @@ mod tests {
         let c = SharedCache::new(BackendConfig {
             total_bytes: 256 << 10,
             mode: BackendMode::Cliffhanger,
-            slab: SlabConfig::default(),
             shards: 1,
+            ..BackendConfig::default()
         });
         let payload = Bytes::from(vec![0u8; 1_000]);
         for i in 0..2_000u32 {
@@ -550,8 +876,8 @@ mod tests {
         let c = SharedCache::new(BackendConfig {
             total_bytes: 16 << 20,
             mode: BackendMode::Cliffhanger,
-            slab: SlabConfig::default(),
             shards: 4,
+            ..BackendConfig::default()
         });
         assert_eq!(c.shard_count(), 4);
         for i in 0..500u32 {
@@ -613,8 +939,8 @@ mod tests {
         let c = SharedCache::new(BackendConfig {
             total_bytes: 8 << 20,
             mode: BackendMode::Default,
-            slab: SlabConfig::default(),
             shards: 8,
+            ..BackendConfig::default()
         });
         for i in 0..1_000u32 {
             assert!(c.set(format!("ind-{i}").as_bytes(), 0, Bytes::from("x")));

@@ -1,0 +1,81 @@
+//! Hit rate vs shard count at fixed total memory, rebalancer off and on.
+//!
+//! Run with: `cargo run --release -p simulator --bin shard_experiment`
+//!
+//! Prints the experiment JSON (`cliffhanger-shard-experiment/v1`) on stdout
+//! and the human-readable table on stderr.
+//!
+//! `--smoke` runs the down-scaled CI variant and *asserts* the experiment's
+//! promises — the rebalancer never loses to the static split, and at 8
+//! shards it lands within one point of the unsharded controller — exiting
+//! non-zero on violation (the `hit-rate-smoke` CI job gates on this).
+
+use simulator::experiments::sharding::{shard_count_experiment, ShardingOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut requests: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--requests" => {
+                requests = args.get(i + 1).and_then(|s| s.parse().ok());
+                if requests.is_none() {
+                    eprintln!("--requests needs a number");
+                    return ExitCode::FAILURE;
+                }
+                i += 1;
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other:?}\n\
+                     usage: shard_experiment [--smoke] [--requests <n>]\n\
+                     table on stderr, cliffhanger-shard-experiment/v1 JSON on stdout"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let mut opts = if smoke {
+        ShardingOptions::smoke()
+    } else {
+        ShardingOptions::standard()
+    };
+    if let Some(requests) = requests {
+        opts.requests = requests;
+    }
+
+    let result = shard_count_experiment(&opts);
+    eprint!("{}", result.table());
+    println!("{}", result.to_json());
+
+    if smoke {
+        let baseline = result
+            .unsharded_hit_rate()
+            .expect("smoke options include the 1-shard point");
+        for p in result.points.iter().filter(|p| p.shards > 1) {
+            if p.rebalanced_hit_rate + 1e-9 < p.static_hit_rate {
+                eprintln!(
+                    "FAIL: rebalancer-on hit rate {:.4} below rebalancer-off {:.4} at {} shards",
+                    p.rebalanced_hit_rate, p.static_hit_rate, p.shards
+                );
+                return ExitCode::FAILURE;
+            }
+            if p.shards == 8 && p.rebalanced_hit_rate < baseline - 0.01 {
+                eprintln!(
+                    "FAIL: 8-shard rebalanced hit rate {:.4} more than 1 point below the \
+                     unsharded controller's {:.4}",
+                    p.rebalanced_hit_rate, baseline
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("hit-rate smoke: ok");
+    }
+    ExitCode::SUCCESS
+}

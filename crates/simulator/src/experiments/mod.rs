@@ -22,12 +22,18 @@
 //! | Table 4 | [`dynamics`] | [`dynamics::table4_ablation`] |
 //! | Table 5 | [`policies`] | [`policies::table5_eviction_schemes`] |
 //! | Tables 6–7 | `bench` crate | `paper_tables --table 6|7` (wall-clock) |
+//!
+//! [`sharding`] goes beyond the paper: hit rate vs shard count at fixed
+//! total memory, with and without the cross-shard rebalancer (the
+//! `shard_experiment` binary prints it; CI's `hit-rate-smoke` job gates on
+//! it).
 
 pub mod allocation;
 pub mod comparison;
 pub mod curves;
 pub mod dynamics;
 pub mod policies;
+pub mod sharding;
 
 use crate::engine::ReplayOptions;
 use cache_core::AppId;

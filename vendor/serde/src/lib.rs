@@ -46,6 +46,41 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The string slice, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) => u64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            Value::F64(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a [`Value::Seq`].
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
 }
 
 /// Deserialization error: a human-readable message describing the mismatch.
@@ -87,6 +122,21 @@ pub trait Serialize {
 pub trait Deserialize: Sized {
     /// Deserializes an instance from the shim data model.
     fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+// Identity round-trips, so documents of unknown shape can be read as a
+// [`Value`] tree and inspected structurally (what the real `serde_json`
+// calls `serde_json::Value`).
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
 }
 
 macro_rules! impl_unsigned {

@@ -3,8 +3,12 @@
 //! (escaped strings, round-trippable `{:?}` float formatting), so trace
 //! files written through this shim are interchangeable with real tooling.
 
-use serde::{Deserialize, Serialize, Value};
+use serde::{Deserialize, Serialize};
 use std::fmt;
+
+// The shim's data model doubles as the dynamic document type, mirroring the
+// real crate's `serde_json::Value` (including `get`/`as_*` accessors).
+pub use serde::Value;
 
 /// JSON serialization / deserialization error.
 #[derive(Clone, Debug, PartialEq)]
