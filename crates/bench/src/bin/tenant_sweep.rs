@@ -1,0 +1,202 @@
+//! Multi-tenant skew sweep with the cross-tenant arbiter on vs off, under
+//! live TCP load (the loadgen-level counterpart of the simulator's
+//! `tenant_experiment`).
+//!
+//! Run with:
+//! `cargo run --release -p bench --bin tenant_sweep [requests]`
+//!
+//! Two applications share a self-hosted server behind the `app <name>`
+//! protocol extension, with *equal* reservations (plus a small slice for
+//! the always-present `default` tenant). The sweep walks the demand skew
+//! between them — a `hot` tenant whose Zipf working set outgrows its
+//! reservation against a `cold` tenant that needs almost nothing — and
+//! drives every point twice with the identical workload: once with static
+//! reservations (arbiter off, Memcachier's model) and once with live
+//! cross-tenant arbitration. The report shows what arbitration costs
+//! (throughput) and buys (hit rate) end to end, wire protocol, locks and
+//! per-tenant engines included. Prints a combined JSON document
+//! (`cliffhanger-tenant-sweep/v1` embedding two loadgen reports per skew
+//! point) on stdout and a table on stderr.
+
+use cache_server::TenantSpec;
+use loadgen::{
+    run_self_hosted, LoadReport, LoadgenConfig, SelfHostConfig, TenantLoad, WorkloadSpec,
+};
+use workloads::{KeyPopularity, SizeDistribution};
+
+/// Schema tag of the combined report.
+const TENANT_SWEEP_SCHEMA: &str = "cliffhanger-tenant-sweep/v1";
+
+/// One demand-skew point: the hot tenant's share of the traffic and the
+/// sizes of the two key universes.
+struct SkewPoint {
+    name: &'static str,
+    hot_weight: u64,
+    cold_weight: u64,
+    hot_keys: u64,
+    cold_keys: u64,
+}
+
+fn load_for(point: &SkewPoint, requests: u64) -> LoadgenConfig {
+    let sizes = SizeDistribution::GeneralizedPareto {
+        location: 0.0,
+        scale: 214.476,
+        shape: 0.348_468,
+        cap: 2 << 10,
+    };
+    LoadgenConfig {
+        connections: 8,
+        requests,
+        warmup_keys: 15_000,
+        pipeline: 32,
+        // Cache-aside: misses repopulate, the way the server would actually
+        // be used — and the repopulation SETs carry the shadow-queue signal
+        // the arbiter's gradient needs on the wire path.
+        fill_on_miss: true,
+        tenants: vec![
+            TenantLoad::new(
+                "hot",
+                point.hot_weight,
+                WorkloadSpec {
+                    keys: KeyPopularity::Zipf {
+                        num_keys: point.hot_keys,
+                        exponent: 0.9,
+                    },
+                    sizes: sizes.clone(),
+                    get_fraction: 0.9,
+                    ..WorkloadSpec::default()
+                },
+            ),
+            TenantLoad::new(
+                "cold",
+                point.cold_weight,
+                WorkloadSpec {
+                    keys: KeyPopularity::Zipf {
+                        num_keys: point.cold_keys,
+                        exponent: 0.9,
+                    },
+                    sizes,
+                    get_fraction: 0.9,
+                    ..WorkloadSpec::default()
+                },
+            ),
+        ],
+        ..LoadgenConfig::default()
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    // Default sized so the hot tenant's engines actually saturate (below
+    // ~200k the fills never build eviction pressure and there is no
+    // gradient for the arbiter to act on).
+    let requests: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400_000);
+
+    // The hot universe outgrows its reservation more at every point while
+    // the cold tenant's fits with room to spare; reservations stay fixed
+    // and equal (4/9 + 4/9 of 24 MB, with 1/9 for the default tenant), so
+    // the only thing changing is how wrong the static split is.
+    let points = [
+        SkewPoint {
+            name: "balanced",
+            hot_weight: 1,
+            cold_weight: 1,
+            hot_keys: 30_000,
+            cold_keys: 30_000,
+        },
+        SkewPoint {
+            name: "skew-3to1",
+            hot_weight: 3,
+            cold_weight: 1,
+            hot_keys: 90_000,
+            cold_keys: 3_000,
+        },
+        SkewPoint {
+            name: "skew-9to1",
+            hot_weight: 9,
+            cold_weight: 1,
+            hot_keys: 120_000,
+            cold_keys: 1_000,
+        },
+    ];
+
+    let mut results: Vec<(&'static str, LoadReport, LoadReport)> = Vec::new();
+    for point in &points {
+        let load = load_for(point, requests);
+        let mut pair: Vec<LoadReport> = Vec::new();
+        for tenant_balance in [false, true] {
+            let host = SelfHostConfig {
+                total_bytes: 24 << 20,
+                // Equal reservations for the two loaded apps; the implicit
+                // default tenant keeps a small slice (it serves no traffic
+                // here — budget the arbiter is free to harvest).
+                tenants: vec![
+                    TenantSpec::new("default", 1),
+                    TenantSpec::new("hot", 4),
+                    TenantSpec::new("cold", 4),
+                ],
+                tenant_balance,
+                ..SelfHostConfig::default()
+            };
+            match run_self_hosted(&load, &host, 2) {
+                Ok(report) => pair.push(report),
+                Err(err) => {
+                    eprintln!("tenant_sweep: {err}");
+                    return std::process::ExitCode::FAILURE;
+                }
+            }
+        }
+        let on = pair.pop().expect("arbiter-on report");
+        let off = pair.pop().expect("arbiter-off report");
+        results.push((point.name, off, on));
+    }
+
+    eprintln!(
+        "{:<10} {:>8} {:>12} {:>9} {:>9} {:>9} {:>10}",
+        "point", "arbiter", "req/s", "hit", "hot_hit", "cold_hit", "transfers"
+    );
+    for (name, off, on) in &results {
+        for (label, report) in [("off", off), ("on", on)] {
+            let tenant_rate = |t: &str| {
+                report
+                    .tenants
+                    .iter()
+                    .find(|s| s.tenant == t)
+                    .map(|s| s.hit_rate)
+                    .unwrap_or(0.0)
+            };
+            eprintln!(
+                "{:<10} {:>8} {:>12.0} {:>8.1}% {:>8.1}% {:>8.1}% {:>10}",
+                name,
+                label,
+                report.throughput_rps,
+                report.hit_rate * 100.0,
+                tenant_rate("hot") * 100.0,
+                tenant_rate("cold") * 100.0,
+                report
+                    .server
+                    .as_ref()
+                    .map(|s| s.arbiter_transfers)
+                    .unwrap_or(0)
+            );
+        }
+    }
+
+    let points_json: Vec<String> = results
+        .iter()
+        .map(|(name, off, on)| {
+            format!(
+                "{{\"point\":\"{name}\",\"off\":{},\"on\":{}}}",
+                off.to_json(),
+                on.to_json()
+            )
+        })
+        .collect();
+    println!(
+        "{{\"schema\":\"{TENANT_SWEEP_SCHEMA}\",\"points\":[{}]}}",
+        points_json.join(",")
+    );
+    std::process::ExitCode::SUCCESS
+}

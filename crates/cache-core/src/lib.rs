@@ -58,7 +58,7 @@ pub use shadow::{ShadowHalf, ShadowHit, ShadowQueue};
 pub use slab::SlabConfig;
 pub use stats::{CacheStats, HitRatio};
 pub use store::{SlabCache, SlabCacheConfig};
-pub use tenant::{MultiTenantCache, TenantConfig};
+pub use tenant::{MultiTenantCache, TenantConfig, TenantDirectory, DEFAULT_TENANT};
 
 /// Fixed per-item metadata overhead charged against the memory budget, in
 /// bytes. Memcached charges roughly 48–56 bytes of header per item; we use a

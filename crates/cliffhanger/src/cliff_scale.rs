@@ -169,11 +169,25 @@ impl CliffScaler {
     }
 
     /// Algorithm 3: `ratio = distanceRight / (distanceRight + distanceLeft)`,
-    /// falling back to an even split when either distance is zero.
+    /// falling back to an even split only when *both* pointers sit on the
+    /// operating point (where `left = N·0.5` under 50/50 routing is the
+    /// benign unpartitioned-by-symmetry state).
+    ///
+    /// The formula must also govern the one-sided cases: Talus's physical
+    /// sizes are `left = L·ratio`, and its invariant
+    /// `ratio·L + (1-ratio)·R = N` only holds with the true ratio. Forcing
+    /// 0.5 when just the left pointer had moved (the old fallback) routed
+    /// half the traffic into a partition holding `L/2 < N/2` items —
+    /// eviction churn then fed the left shadow queue, walked the left
+    /// pointer further down, and the spiral pinned the queue's hit rate at
+    /// a fraction of its potential no matter how much budget `grow_total`
+    /// added. With the true formula, `R == N` gives ratio 0 — an
+    /// unpartitioned queue — which is what a pointer that never found a
+    /// cliff top means.
     fn recompute_ratio(&mut self) {
         let distance_right = self.right_pointer - self.queue_size;
         let distance_left = self.queue_size - self.left_pointer;
-        self.ratio = if distance_right > 0.0 && distance_left > 0.0 {
+        self.ratio = if distance_right + distance_left > 0.0 {
             distance_right / (distance_right + distance_left)
         } else {
             0.5
@@ -290,6 +304,42 @@ mod tests {
         s.set_queue_size(20_000);
         let (_, r2) = s.pointers();
         assert!(r2 >= 20_000);
+    }
+
+    #[test]
+    fn one_sided_pointer_keeps_the_talus_invariant() {
+        // Regression: only the left pointer moves (churn without a detected
+        // cliff top). The old fallback forced ratio 0.5 while the physical
+        // left size was L/2 < N/2, violating ratio*L + (1-ratio)*R = N and
+        // routing half the traffic into a shrunken partition. The true
+        // formula gives ratio 0 — an unpartitioned queue.
+        let mut s = CliffScaler::new(8_000, 100);
+        for _ in 0..30 {
+            s.on_event(PointerEvent::LeftQueueShadowHit);
+        }
+        assert_eq!(s.ratio(), 0.0, "R == N must route everything right");
+        let (l, r) = s.physical_sizes();
+        assert_eq!(l, 0, "no items may be stranded in the unrouted partition");
+        assert_eq!(r, 8_000);
+        // The mirror image: only the right pointer moved; everything routes
+        // left, which (L == N) then holds the whole queue.
+        let mut s = CliffScaler::new(8_000, 100);
+        for _ in 0..30 {
+            s.on_event(PointerEvent::RightQueueShadowHit);
+        }
+        assert_eq!(s.ratio(), 1.0);
+        let (l, r) = s.physical_sizes();
+        assert_eq!(l, 8_000);
+        assert_eq!(r, 0);
+        // Once both pointers bracket a cliff, the interpolated split also
+        // satisfies the invariant: ratio*L + (1-ratio)*R == N.
+        s.on_event(PointerEvent::LeftQueueShadowHit);
+        let (dr, dl) = (3_000.0, 100.0);
+        assert!((s.ratio() - dr / (dr + dl)).abs() < 1e-9);
+        let (l, r) = s.physical_sizes();
+        assert_eq!(l + r, 8_000);
+        let n = s.ratio() * 7_900.0 + (1.0 - s.ratio()) * 11_000.0;
+        assert!((n - 8_000.0).abs() < 1.0, "invariant violated: {n}");
     }
 
     #[test]

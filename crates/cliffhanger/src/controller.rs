@@ -75,7 +75,21 @@ impl<V> Cliffhanger<V> {
         let free_bytes = config
             .total_bytes
             .saturating_sub(floor * num_classes as u64);
-        let climber = HillClimber::new(initial_targets, config.credit_bytes, floor, config.seed);
+        let mut climber =
+            HillClimber::new(initial_targets, config.credit_bytes, floor, config.seed);
+        // Per-class credit floor: every class wins at least one chunk's worth
+        // of bytes per shadow hit, and once grown it never donates below one
+        // resident item. With the global 1–4 KB credit a 16–64 KB class
+        // needed dozens of wins before a single item fit again, so random
+        // loser picks drained giant classes far faster than hill climbing
+        // could refill them (the slow-convergence case of the shard
+        // experiments); chunk-granular credits are the same medicine as
+        // Memcached's page-granular slab rebalancer.
+        for c in 0..num_classes {
+            let charge = config.charge_per_item(ClassId::new(c as u32));
+            climber.set_queue_credit(c, config.credit_bytes.max(charge));
+            climber.set_queue_floor(c, floor.max(charge));
+        }
         let queues = (0..num_classes as u32)
             .map(|c| {
                 let class = ClassId::new(c);
@@ -176,7 +190,15 @@ impl<V> Cliffhanger<V> {
         }
         let idx = class.index();
         let charge = self.config.charge_per_item(class).max(size);
-        let needed = self.queues[idx].used_bytes() + charge + cache_core::ITEM_OVERHEAD;
+        // Headroom covers the queue's worst-case slack when it is actually
+        // full: with cliff scaling active the queue runs two partitions,
+        // each of which can be item-full while still `item cost - 1` bytes
+        // under its own split of the target, so `target - used` can exceed
+        // one charge without a single byte being admittable (a one-charge
+        // threshold deadlocked there, stranding the free pool). Partition
+        // skew beyond that is caught by [`Cliffhanger::grant_on_eviction`].
+        let headroom = 2 * (charge + cache_core::ITEM_OVERHEAD);
+        let needed = self.queues[idx].used_bytes() + headroom;
         let target = self.climber.target(idx);
         if needed <= target {
             return;
@@ -185,6 +207,29 @@ impl<V> Cliffhanger<V> {
             .max(self.config.credit_bytes)
             .min(self.free_bytes);
         let new_target = target + grant;
+        self.climber.set_target(idx, new_target);
+        self.queues[idx].set_target_bytes(new_target);
+        self.free_bytes -= grant;
+    }
+
+    /// The demand-driven half of free-pool granting: a class that just
+    /// *evicted* while free memory exists is starved no matter what its
+    /// used-vs-target arithmetic says (the cliff scaler can pin one
+    /// partition at a size routing underfills, leaving permanent paper
+    /// slack), so the eviction itself is the fullness signal — exactly
+    /// Memcached's rule of granting a free page to whichever class evicts
+    /// while pages remain.
+    fn grant_on_eviction(&mut self, class: ClassId) {
+        if self.free_bytes == 0 {
+            return;
+        }
+        let idx = class.index();
+        let grant = self
+            .config
+            .credit_bytes
+            .max(self.config.charge_per_item(class))
+            .min(self.free_bytes);
+        let new_target = self.climber.target(idx) + grant;
         self.climber.set_target(idx, new_target);
         self.queues[idx].set_target_bytes(new_target);
         self.free_bytes -= grant;
@@ -233,6 +278,9 @@ impl<V> Cliffhanger<V> {
         }
         for evicted in &outcome.evicted {
             self.resident.remove(evicted);
+        }
+        if !outcome.evicted.is_empty() {
+            self.grant_on_eviction(class);
         }
         if outcome.admitted {
             self.resident.insert(key, class);
@@ -315,6 +363,17 @@ impl<V> Cliffhanger<V> {
         self.climber.target(class.index())
     }
 
+    /// The hill-climbing credit one class wins per shadow hit (at least one
+    /// chunk; see the per-class credit floor in [`Cliffhanger::new`]).
+    pub fn class_credit(&self, class: ClassId) -> u64 {
+        self.climber.queue_credit(class.index())
+    }
+
+    /// The floor below which hill climbing never shrinks one class.
+    pub fn class_floor(&self, class: ClassId) -> u64 {
+        self.climber.queue_floor(class.index())
+    }
+
     /// Snapshots of every class (allocation, pointers, ratios, stats).
     pub fn class_snapshots(&self) -> Vec<ClassSnapshot> {
         self.queues
@@ -370,16 +429,21 @@ impl<V> Cliffhanger<V> {
 
     /// Shrinks the cache's total budget by `bytes`, returning `true` if the
     /// memory could be released. The free pool is drained first; the rest is
-    /// taken from the largest classes (largest first), never below the
-    /// per-class floor, with the displaced items evicted immediately so the
-    /// released bytes are real. Returns `false` — and changes nothing — when
-    /// the floors make the release impossible.
+    /// taken from the largest classes (largest first), never below each
+    /// class's own floor (at least one chunk — the same floor hill climbing
+    /// honours, so an outer transfer cannot re-create the drained-giant-
+    /// class starvation the per-class floors exist to prevent), with the
+    /// displaced items evicted immediately so the released bytes are real.
+    /// Returns `false` — and changes nothing — when the floors make the
+    /// release impossible.
     pub fn shrink_total(&mut self, bytes: u64) -> bool {
-        let floor = self.config.min_class_bytes;
         let from_free = self.free_bytes.min(bytes);
         let mut needed = bytes - from_free;
+        let spare_of = |climber: &HillClimber, i: usize| {
+            climber.target(i).saturating_sub(climber.queue_floor(i))
+        };
         let spare: u64 = (0..self.queues.len())
-            .map(|i| self.climber.target(i).saturating_sub(floor))
+            .map(|i| spare_of(&self.climber, i))
             .sum();
         if needed > spare {
             return false;
@@ -387,9 +451,9 @@ impl<V> Cliffhanger<V> {
         self.free_bytes -= from_free;
         while needed > 0 {
             let idx = (0..self.queues.len())
-                .max_by_key(|&i| self.climber.target(i))
+                .max_by_key(|&i| spare_of(&self.climber, i))
                 .expect("needed > 0 implies at least one class");
-            let take = self.climber.target(idx).saturating_sub(floor).min(needed);
+            let take = spare_of(&self.climber, idx).min(needed);
             debug_assert!(take > 0, "spare check guarantees progress");
             let new_target = self.climber.target(idx) - take;
             self.climber.set_target(idx, new_target);
@@ -404,15 +468,18 @@ impl<V> Cliffhanger<V> {
 
     /// Shrinks the cache by `bytes`, returning `true` if the memory could be
     /// released. Ungranted free-pool memory is released first; otherwise the
-    /// class with the most memory above the floor gives it up.
+    /// class with the most memory above its own floor (at least one chunk,
+    /// as in [`Cliffhanger::shrink_total`]) gives it up.
     pub fn shrink_some_class(&mut self, bytes: u64) -> bool {
         if self.free_bytes >= bytes {
             self.free_bytes -= bytes;
             return true;
         }
-        let floor = self.config.min_class_bytes;
         let candidate = (0..self.queues.len())
-            .filter(|&i| self.climber.target(i) >= bytes && self.climber.target(i) - bytes >= floor)
+            .filter(|&i| {
+                let target = self.climber.target(i);
+                target >= bytes && target - bytes >= self.climber.queue_floor(i)
+            })
             .max_by_key(|&i| self.climber.target(i));
         match candidate {
             Some(idx) => {
@@ -654,6 +721,155 @@ mod tests {
         assert!(c.shrink_total(256 << 10));
         assert_eq!(c.free_bytes(), free - (256 << 10));
         assert_eq!(c.stats().evictions, 0, "free-pool release evicts nothing");
+    }
+
+    #[test]
+    fn churn_claims_the_whole_budget_and_grow_total_becomes_resident() {
+        // Regression for the stranded-free-pool spiral: a single hot class
+        // churning past its allocation must claim the entire free pool (the
+        // eviction-driven grant), and budget added later via `grow_total`
+        // must become resident items — not sit in the pool while the class
+        // evicts (the one-sided cliff-scaler ratio pinned a partition at a
+        // fraction of the budget and the old grant threshold never fired).
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut c: Cliffhanger<()> = Cliffhanger::new(config(2 << 20));
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 12_000u64;
+        let size = 330u64;
+        let drive = |c: &mut Cliffhanger<()>, requests: u64, rng: &mut StdRng| {
+            for _ in 0..requests {
+                let k = key(rng.gen_range(0..n));
+                if !c.get(k, size).unwrap().1.hit {
+                    c.set(k, size, ());
+                }
+            }
+        };
+        drive(&mut c, 300_000, &mut rng);
+        assert!(
+            c.used_bytes() > (c.total_bytes() * 9) / 10,
+            "sustained churn must claim ~the whole budget: used {} of {} ({} free)",
+            c.used_bytes(),
+            c.total_bytes(),
+            c.free_bytes()
+        );
+        let used_small = c.used_bytes();
+        c.grow_total(2 << 20);
+        drive(&mut c, 300_000, &mut rng);
+        assert!(
+            c.used_bytes() > used_small + (1 << 20),
+            "grown budget must become resident items: {} -> {}",
+            used_small,
+            c.used_bytes()
+        );
+    }
+
+    #[test]
+    fn giant_class_credit_is_floored_at_one_chunk() {
+        // Regression for the slow-convergence open item: with the global
+        // 1 KB credit, the 8 KB class would need ~8 wins per re-admitted
+        // item; the per-class credit floor makes one shadow win move one
+        // whole chunk, and the per-class floor keeps a grown class able to
+        // hold at least one item.
+        let c: Cliffhanger<()> = Cliffhanger::new(config(2 << 20));
+        let small = c.class_for_size(60).unwrap();
+        let giant = c.class_for_size(8_000).unwrap();
+        let giant_charge = c.config().charge_per_item(giant);
+        assert!(giant_charge > 8 << 10);
+        assert_eq!(c.class_credit(small), 1 << 10, "small classes keep 1 KB");
+        assert_eq!(
+            c.class_credit(giant),
+            giant_charge,
+            "giant classes win a full chunk per shadow hit"
+        );
+        assert_eq!(c.class_floor(giant), giant_charge);
+    }
+
+    #[test]
+    fn giant_class_is_not_starved_by_random_loser_picks() {
+        // Sustained demand on an 8 KB class while a small class hammers its
+        // own shadow queue: the giant class's target must converge to (and
+        // never again drop below) at least one chunk, so its items are
+        // re-admittable after every random-loser drain.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut c: Cliffhanger<()> = Cliffhanger::new(config(2 << 20));
+        let giant = c.class_for_size(8_000).unwrap();
+        let giant_charge = c.config().charge_per_item(giant);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut grown = false;
+        for _ in 0..40 {
+            // Small-item churn far beyond the budget: constant shadow wins
+            // for the small class (the starvation pressure).
+            for _ in 0..4_000u64 {
+                let k = key(rng.gen_range(0..40_000));
+                if !c.get(k, 60).unwrap().1.hit {
+                    c.set(k, 60, ());
+                }
+            }
+            // A handful of giant keys cycle through; each miss lands in the
+            // giant class's shadow queue eventually.
+            for g in 0..4u64 {
+                let k = key(2_000_000 + g);
+                if !c.get(k, 8_000).unwrap().1.hit {
+                    c.set(k, 8_000, ());
+                }
+            }
+            if c.class_target(giant) >= giant_charge {
+                grown = true;
+            }
+            if grown {
+                assert!(
+                    c.class_target(giant) >= giant_charge,
+                    "once grown to a chunk, the floor must hold: target {} < charge {}",
+                    c.class_target(giant),
+                    giant_charge
+                );
+            }
+        }
+        assert!(
+            grown,
+            "sustained demand must grow the giant class to at least one chunk \
+             (target {}, charge {giant_charge})",
+            c.class_target(giant)
+        );
+        assert_eq!(c.total_bytes(), 2 << 20, "credits always conserve memory");
+    }
+
+    #[test]
+    fn outer_shrink_respects_per_class_chunk_floors() {
+        // Regression: shrink_total (the path every cross-shard / cross-
+        // tenant transfer takes) used the global min_class_bytes floor,
+        // bypassing the per-class one-chunk floors — repeated donor-side
+        // transfers could drain a giant class below a single resident item.
+        let mut c: Cliffhanger<()> = Cliffhanger::new(config(2 << 20));
+        let giant = c.class_for_size(8_000).unwrap();
+        let charge = c.config().charge_per_item(giant);
+        // Demand-fill the giant class so it owns more than one chunk.
+        for g in 0..60u64 {
+            let k = key(g);
+            if !c.get(k, 8_000).unwrap().1.hit {
+                c.set(k, 8_000, ());
+            }
+        }
+        assert!(
+            c.class_target(giant) > charge,
+            "giant class must have grown"
+        );
+        // Drain the cache as far as the floors allow.
+        while c.shrink_total(64 << 10) {}
+        assert!(
+            c.class_target(giant) >= c.class_floor(giant),
+            "outer shrinking must never take a class below its floor: {} < {}",
+            c.class_target(giant),
+            c.class_floor(giant)
+        );
+        assert!(c.class_floor(giant) >= charge, "the floor is one chunk");
+        // shrink_some_class honours the same per-class floor.
+        let before = c.class_target(giant);
+        while c.shrink_some_class(32 << 10) {}
+        assert!(c.class_target(giant) >= c.class_floor(giant));
+        let _ = before;
     }
 
     #[test]

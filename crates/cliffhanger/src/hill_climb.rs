@@ -20,11 +20,23 @@ use rand::{Rng, SeedableRng};
 
 /// The credit-accounting half of Cliffhanger: byte targets for a fixed set
 /// of queues that always sum to the initial total.
+///
+/// Credits and floors are *per queue*: a queue whose items are giant (a
+/// 16–64 KB slab class) wins at least one chunk's worth of bytes per shadow
+/// hit — with the global 1–4 KB credit it would need dozens of wins before a
+/// single item fits again, so random-loser picks drained it far faster than
+/// hill climbing could refill it (the slow-convergence failure mode of the
+/// sharded experiments). Likewise a per-queue floor of one chunk keeps a
+/// grown class able to hold at least one resident item, the same reason
+/// Memcached's slab rebalancer moves whole pages.
 #[derive(Debug, Clone)]
 pub struct HillClimber {
     targets: Vec<u64>,
-    credit_bytes: u64,
-    min_bytes: u64,
+    /// Per-queue credit: how many bytes queue `i` wins per shadow hit (and a
+    /// donor gives up when `i` wins).
+    credits: Vec<u64>,
+    /// Per-queue floor below which queue `i` never donates.
+    floors: Vec<u64>,
     rng: StdRng,
     /// Number of credit transfers performed (diagnostics).
     transfers: u64,
@@ -49,10 +61,11 @@ impl HillClimber {
     /// that it wants memory back.
     pub fn new(initial_targets: Vec<u64>, credit_bytes: u64, min_bytes: u64, seed: u64) -> Self {
         assert!(credit_bytes > 0, "credit must be positive");
+        let n = initial_targets.len();
         HillClimber {
             targets: initial_targets,
-            credit_bytes,
-            min_bytes,
+            credits: vec![credit_bytes; n],
+            floors: vec![min_bytes; n],
             rng: StdRng::seed_from_u64(seed),
             transfers: 0,
         }
@@ -84,6 +97,9 @@ impl HillClimber {
         if n < 2 || winner >= n {
             return None;
         }
+        // The amount moved is the *winner's* credit: a queue of giant items
+        // must win at least one chunk per hit or it can never re-admit.
+        let credit = self.credits[winner];
         // Pick a uniformly random queue other than the winner, as in the
         // paper; if it cannot afford the credit, fall back to any queue that
         // can (still unbiased among affordable queues).
@@ -96,25 +112,25 @@ impl HillClimber {
             }
         };
         let affordable = |t: u64, credit: u64, min: u64| t >= credit && t - credit >= min;
-        let loser = if affordable(self.targets[candidate], self.credit_bytes, self.min_bytes) {
+        let loser = if affordable(self.targets[candidate], credit, self.floors[candidate]) {
             candidate
         } else {
             let options: Vec<usize> = (0..n)
                 .filter(|&i| i != winner)
-                .filter(|&i| affordable(self.targets[i], self.credit_bytes, self.min_bytes))
+                .filter(|&i| affordable(self.targets[i], credit, self.floors[i]))
                 .collect();
             if options.is_empty() {
                 return None;
             }
             options[self.rng.gen_range(0..options.len())]
         };
-        self.targets[winner] += self.credit_bytes;
-        self.targets[loser] -= self.credit_bytes;
+        self.targets[winner] += credit;
+        self.targets[loser] -= credit;
         self.transfers += 1;
         Some(Transfer {
             winner,
             loser,
-            bytes: self.credit_bytes,
+            bytes: credit,
         })
     }
 
@@ -152,6 +168,28 @@ impl HillClimber {
     /// allocator, e.g. cross-application reassignment).
     pub fn set_target(&mut self, idx: usize, bytes: u64) {
         self.targets[idx] = bytes;
+    }
+
+    /// The credit queue `idx` wins per shadow hit.
+    pub fn queue_credit(&self, idx: usize) -> u64 {
+        self.credits[idx]
+    }
+
+    /// Overrides one queue's per-hit credit (e.g. one chunk for giant slab
+    /// classes). Must be positive.
+    pub fn set_queue_credit(&mut self, idx: usize, bytes: u64) {
+        assert!(bytes > 0, "credit must be positive");
+        self.credits[idx] = bytes;
+    }
+
+    /// The floor below which queue `idx` never donates.
+    pub fn queue_floor(&self, idx: usize) -> u64 {
+        self.floors[idx]
+    }
+
+    /// Overrides one queue's donation floor.
+    pub fn set_queue_floor(&mut self, idx: usize, bytes: u64) {
+        self.floors[idx] = bytes;
     }
 }
 
@@ -254,5 +292,50 @@ mod tests {
     #[should_panic(expected = "credit must be positive")]
     fn zero_credit_rejected() {
         let _ = HillClimber::new(vec![100], 0, 0, 1);
+    }
+
+    #[test]
+    fn per_queue_credit_moves_a_full_chunk_per_win() {
+        // Queue 1 models a giant slab class: its credit is one 64 KB chunk
+        // while everyone else moves 1 KB at a time.
+        let mut hc = HillClimber::new(vec![512 << 10, 16 << 10, 512 << 10], 1 << 10, 0, 9);
+        hc.set_queue_credit(1, 64 << 10);
+        assert_eq!(hc.queue_credit(1), 64 << 10);
+        let t = hc.on_shadow_hit(1).expect("donors can afford a chunk");
+        assert_eq!(t.winner, 1);
+        assert_eq!(t.bytes, 64 << 10, "one win must move one full chunk");
+        assert_eq!(hc.target(1), (16 << 10) + (64 << 10));
+        assert_eq!(hc.total(), (512 << 10) + (16 << 10) + (512 << 10));
+        // Other queues still move their own (small) credit.
+        let t = hc.on_shadow_hit(0).unwrap();
+        assert_eq!(t.bytes, 1 << 10);
+    }
+
+    #[test]
+    fn per_queue_floor_pins_the_protected_queue() {
+        let mut hc = HillClimber::new(vec![100 << 10, 64 << 10], 4 << 10, 0, 3);
+        // Queue 1 holds exactly one 64 KB chunk; its floor protects it.
+        hc.set_queue_floor(1, 64 << 10);
+        assert_eq!(hc.queue_floor(1), 64 << 10);
+        for _ in 0..100 {
+            hc.on_shadow_hit(0);
+        }
+        assert_eq!(
+            hc.target(1),
+            64 << 10,
+            "the floored queue must never donate below one chunk"
+        );
+        assert_eq!(hc.total(), (100 << 10) + (64 << 10));
+    }
+
+    #[test]
+    fn no_transfer_when_no_donor_affords_the_chunk_credit() {
+        let mut hc = HillClimber::new(vec![8 << 10, 4 << 10, 8 << 10], 1 << 10, 0, 5);
+        hc.set_queue_credit(1, 64 << 10);
+        assert!(
+            hc.on_shadow_hit(1).is_none(),
+            "nobody can donate a 64 KB chunk; totals must be conserved"
+        );
+        assert_eq!(hc.total(), 20 << 10);
     }
 }

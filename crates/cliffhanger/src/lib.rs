@@ -29,6 +29,10 @@
 //!   the gradients, and a periodic hill-climbing round moves budget between
 //!   shards so a sharded deployment converges toward the unsharded
 //!   controller's hit rate instead of re-creating static partitions.
+//! * [`tenant_arbiter`] — the same machinery one level further up: whole
+//!   applications (tenants) sharing the live server are the queues, and the
+//!   arbiter moves budget between tenants globally, replacing Memcachier's
+//!   static reservations (§3) with dynamic cross-application arbitration.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -41,11 +45,13 @@ pub mod hill_climb;
 pub mod multi_app;
 pub mod partitioned_queue;
 pub mod shard_balance;
+pub mod tenant_arbiter;
 
 pub use cliff_scale::{CliffScaler, PointerEvent};
-pub use config::{CliffhangerConfig, ShardBalanceConfig};
+pub use config::{CliffhangerConfig, ShardBalanceConfig, TenantBalanceConfig};
 pub use controller::{ClassSnapshot, Cliffhanger};
 pub use hill_climb::HillClimber;
 pub use multi_app::CliffhangerServer;
 pub use partitioned_queue::{Partition, PartitionedQueue, QueueEvent, SetOutcome};
 pub use shard_balance::{ShardRebalancer, ShardSample, ShardTransfer};
+pub use tenant_arbiter::{TenantArbiter, TenantSample, TenantTransfer};

@@ -1,0 +1,209 @@
+//! Cross-tenant memory arbitration (extension).
+//!
+//! The paper's setting is a Memcachier-style server where many applications
+//! share one cache behind *static* reservations, and its §3 analysis shows
+//! those reservations leave large hit-rate gains on the table (Table 3's
+//! cross-application optimisation). §4.1 notes the queues Cliffhanger
+//! optimises can be "a queue of an entire application" — this module is that
+//! reading made operational for the live server: the per-tenant engines'
+//! long shadow queues already measure each application's marginal utility of
+//! memory, so the identical gradient machinery that rebalances *shards*
+//! ([`crate::shard_balance`]) runs one level further up and moves budget
+//! between *tenants*, globally, across every shard at once (the same
+//! direction as Memshare's dynamic cross-application arbitration).
+//!
+//! [`TenantArbiter`] is pure decision logic, exactly like
+//! [`crate::ShardRebalancer`] (which it reuses as its gradient engine —
+//! tenants are its "shards"): the host samples every tenant's cumulative
+//! shadow-queue hits and current budget, and applies the returned
+//! [`TenantTransfer`]s however its storage is organised (the server backend
+//! spreads each transfer across its shards' per-tenant engines).
+
+use crate::config::TenantBalanceConfig;
+use crate::shard_balance::{ShardRebalancer, ShardSample};
+use serde::{Deserialize, Serialize};
+
+/// One tenant's cumulative counters and current budget, as observed by the
+/// host at the start of an arbitration round.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct TenantSample {
+    /// Cumulative hill-climbing shadow-queue hits summed over every engine
+    /// (all shards) of the tenant.
+    pub shadow_hits: u64,
+    /// The tenant's current total byte budget (all shards).
+    pub budget_bytes: u64,
+}
+
+/// A proposed budget move between two tenants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantTransfer {
+    /// Tenant index giving up budget.
+    pub from: usize,
+    /// Tenant index receiving budget.
+    pub to: usize,
+    /// Bytes to move.
+    pub bytes: u64,
+}
+
+/// The cross-tenant hill climber.
+#[derive(Debug, Clone)]
+pub struct TenantArbiter {
+    config: TenantBalanceConfig,
+    /// The gradient engine: the PR 3 cross-shard rebalancer with tenants in
+    /// the shard seats. All smoothing, hysteresis, floor and counter-reset
+    /// behaviour is inherited unchanged.
+    inner: ShardRebalancer,
+}
+
+impl TenantArbiter {
+    /// Creates an arbiter for `tenants` tenants.
+    pub fn new(tenants: usize, config: TenantBalanceConfig) -> Self {
+        config.validate();
+        let inner = ShardRebalancer::new(tenants, config.as_shard_balance());
+        TenantArbiter { config, inner }
+    }
+
+    /// The configuration this arbiter runs with.
+    pub fn config(&self) -> &TenantBalanceConfig {
+        &self.config
+    }
+
+    /// Forgets the counter baseline and smoothed gradients (after a flush
+    /// the cumulative counters restart from zero).
+    pub fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    /// Number of arbitration rounds observed (including no-op rounds).
+    pub fn rounds(&self) -> u64 {
+        self.inner.rounds()
+    }
+
+    /// Number of tenant transfers proposed so far.
+    pub fn proposed_transfers(&self) -> u64 {
+        self.inner.proposed_transfers()
+    }
+
+    /// Bytes proposed for transfer so far.
+    pub fn proposed_bytes(&self) -> u64 {
+        self.inner.proposed_bytes()
+    }
+
+    /// Runs one arbitration round over the tenants' cumulative samples and
+    /// returns the proposed budget moves.
+    ///
+    /// Inherits every invariant of [`ShardRebalancer::rebalance`]: transfers
+    /// conserve the summed budget, no donor drops below
+    /// [`TenantBalanceConfig::min_tenant_bytes`], uniform gradients propose
+    /// nothing, and the first round after a cold start / reset / tenant-count
+    /// change only records the baseline.
+    pub fn arbitrate(&mut self, samples: &[TenantSample]) -> Vec<TenantTransfer> {
+        let inner_samples: Vec<ShardSample> = samples
+            .iter()
+            .map(|s| ShardSample {
+                shadow_hits: s.shadow_hits,
+                budget_bytes: s.budget_bytes,
+            })
+            .collect();
+        self.inner
+            .rebalance(&inner_samples)
+            .into_iter()
+            .map(|t| TenantTransfer {
+                from: t.from,
+                to: t.to,
+                bytes: t.bytes,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> TenantBalanceConfig {
+        TenantBalanceConfig {
+            credit_bytes: 1 << 20,
+            min_tenant_bytes: 4 << 20,
+            min_gradient_gap: 8,
+            hysteresis: 0.2,
+            max_transfers_per_round: 1,
+            ..TenantBalanceConfig::default()
+        }
+    }
+
+    fn samples(shadow: &[u64], budget: u64) -> Vec<TenantSample> {
+        shadow
+            .iter()
+            .map(|&shadow_hits| TenantSample {
+                shadow_hits,
+                budget_bytes: budget,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_round_is_baseline_then_budget_follows_demand() {
+        let mut a = TenantArbiter::new(2, config());
+        assert!(a.arbitrate(&samples(&[0, 0], 32 << 20)).is_empty());
+        let transfers = a.arbitrate(&samples(&[9_000, 10], 32 << 20));
+        assert_eq!(transfers.len(), 1);
+        assert_eq!(transfers[0].to, 0, "the starved tenant wins budget");
+        assert_eq!(transfers[0].from, 1);
+        assert_eq!(transfers[0].bytes, 1 << 20);
+        assert_eq!(a.rounds(), 2);
+        assert_eq!(a.proposed_transfers(), 1);
+        assert_eq!(a.proposed_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn transfers_conserve_the_total_budget() {
+        let mut a = TenantArbiter::new(3, config());
+        a.arbitrate(&samples(&[0, 0, 0], 16 << 20));
+        let s = samples(&[5_000, 100, 10], 16 << 20);
+        let before: u64 = s.iter().map(|x| x.budget_bytes).sum();
+        let mut budgets: Vec<u64> = s.iter().map(|x| x.budget_bytes).collect();
+        for t in a.arbitrate(&s) {
+            budgets[t.from] -= t.bytes;
+            budgets[t.to] += t.bytes;
+        }
+        assert_eq!(budgets.iter().sum::<u64>(), before);
+    }
+
+    #[test]
+    fn donors_never_drop_below_the_tenant_floor() {
+        let cfg = config();
+        let mut a = TenantArbiter::new(2, cfg.clone());
+        a.arbitrate(&samples(&[0, 0], 0));
+        let s: Vec<TenantSample> = vec![
+            TenantSample {
+                shadow_hits: 9_000,
+                budget_bytes: 32 << 20,
+            },
+            TenantSample {
+                shadow_hits: 0,
+                // Exactly at the floor: cannot afford any donation.
+                budget_bytes: cfg.min_tenant_bytes,
+            },
+        ];
+        assert!(a.arbitrate(&s).is_empty(), "floored donors are protected");
+    }
+
+    #[test]
+    fn disabled_reset_and_uniform_behave() {
+        let mut a = TenantArbiter::new(2, config());
+        a.arbitrate(&samples(&[0, 0], 32 << 20));
+        a.reset();
+        assert!(
+            a.arbitrate(&samples(&[9_000, 0], 32 << 20)).is_empty(),
+            "first round after reset only observes"
+        );
+        let t = a.arbitrate(&samples(&[18_000, 0], 32 << 20));
+        assert!(!t.is_empty());
+        // A fresh arbiter observing uniform growth proposes nothing.
+        let mut u = TenantArbiter::new(2, config());
+        u.arbitrate(&samples(&[0, 0], 32 << 20));
+        let t = u.arbitrate(&samples(&[1_000, 1_000], 32 << 20));
+        assert!(t.is_empty(), "uniform deltas must move nothing: {t:?}");
+    }
+}

@@ -28,8 +28,10 @@ pub mod sweep;
 pub mod telemetry;
 pub mod workload;
 
-pub use report::{LoadReport, ServerEcho, SweepPoint, SweepReport, LOAD_SCHEMA, SWEEP_SCHEMA};
+pub use report::{
+    LoadReport, ServerEcho, SweepPoint, SweepReport, TenantSection, LOAD_SCHEMA, SWEEP_SCHEMA,
+};
 pub use runner::{run_load, LoadMode, LoadgenConfig};
 pub use sweep::{run_self_hosted, run_shard_sweep, SelfHostConfig};
 pub use telemetry::{Histogram, LatencySummary};
-pub use workload::{GenOp, RequestGen, WorkloadSpec};
+pub use workload::{GenOp, RequestGen, TenantLoad, WorkloadSpec};

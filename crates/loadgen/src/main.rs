@@ -11,7 +11,7 @@
 use cache_server::BackendMode;
 use loadgen::{
     run_load, run_self_hosted, run_shard_sweep, LoadMode, LoadReport, LoadgenConfig,
-    SelfHostConfig, SweepReport,
+    SelfHostConfig, SweepReport, TenantLoad, WorkloadSpec,
 };
 use std::io::Write;
 use std::process::ExitCode;
@@ -38,6 +38,9 @@ LOAD:
     --mode <closed|open>    driving mode                            [closed]
     --rate <rps>            open-loop total arrival rate            [20000]
     --warmup <n>            hottest keys preloaded untimed          [10000]
+    --fill-on-miss <on|off> cache-aside demand fill: SET every
+                            missed GET key (fills ride on top of
+                            the request budget)                     [off]
 
 WORKLOAD:
     --keys <n>              key-universe size                       [50000]
@@ -45,6 +48,14 @@ WORKLOAD:
     --get-fraction <f>      fraction of GETs                        [0.9]
     --value-size <spec>     fixed:<bytes> | etc | etc:<cap-bytes>   [etc:16384]
     --seed <n>              base RNG seed
+
+MULTI-TENANT (the `app <name>` protocol extension):
+    --tenants <spec>        comma-separated name[:weight[:zipf[:keys]]]
+                            entries, e.g. hot:3:1.1:20000,cold:1:0.7
+                            (weight = connection/request share; zipf and
+                            keys default to the global flags; a self-hosted
+                            server hosts the named apps automatically)
+    --tenant-balance <on|off>  cross-tenant budget arbitration      [on]
 
 OUTPUT:
     --sweep <a,b,c>         shard sweep over these counts (self-host only)
@@ -59,9 +70,63 @@ struct Args {
     allocator: BackendMode,
     server_workers: usize,
     rebalance: bool,
+    tenant_balance: bool,
     sweep: Option<Vec<usize>>,
     json_path: Option<String>,
     load: LoadgenConfig,
+}
+
+/// Parses one `--tenants` entry: `name[:weight[:zipf[:keys]]]`. The zipf
+/// exponent and key count default to the surrounding global flags; the rest
+/// of the workload (sizes, GET fraction, seed) is always inherited.
+fn parse_tenant(
+    entry: &str,
+    base: &WorkloadSpec,
+    num_keys: u64,
+    zipf: f64,
+) -> Result<TenantLoad, String> {
+    let mut parts = entry.split(':');
+    let name = parts
+        .next()
+        .filter(|n| !n.is_empty())
+        .ok_or_else(|| format!("empty tenant name in {entry:?}"))?;
+    let weight: u64 = match parts.next() {
+        Some(w) => w
+            .parse()
+            .ok()
+            .filter(|&w| w >= 1)
+            .ok_or_else(|| format!("bad tenant weight in {entry:?} (need an integer >= 1)"))?,
+        None => 1,
+    };
+    let exponent: f64 = match parts.next() {
+        Some(z) => z
+            .parse()
+            .map_err(|_| format!("bad tenant zipf exponent in {entry:?}"))?,
+        None => zipf,
+    };
+    let keys: u64 = match parts.next() {
+        Some(k) => k
+            .parse()
+            .ok()
+            .filter(|&k| k >= 1)
+            .ok_or_else(|| format!("bad tenant key count in {entry:?}"))?,
+        None => num_keys,
+    };
+    if parts.next().is_some() {
+        return Err(format!(
+            "too many fields in tenant {entry:?} (want name[:weight[:zipf[:keys]]])"
+        ));
+    }
+    let mut spec = base.clone();
+    spec.keys = if exponent <= 0.0 {
+        KeyPopularity::Uniform { num_keys: keys }
+    } else {
+        KeyPopularity::Zipf {
+            num_keys: keys,
+            exponent,
+        }
+    };
+    Ok(TenantLoad::new(name, weight, spec))
 }
 
 fn parse_value_size(spec: &str) -> Result<SizeDistribution, String> {
@@ -98,6 +163,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         allocator: BackendMode::Cliffhanger,
         server_workers: 0,
         rebalance: true,
+        tenant_balance: true,
         sweep: None,
         json_path: None,
         load: LoadgenConfig::default(),
@@ -106,6 +172,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut zipf: f64 = 0.99;
     let mut open_rate: f64 = 20_000.0;
     let mut open_mode = false;
+    // Parsed after the loop: tenant specs default their zipf/keys to the
+    // global flags, which may appear in any order.
+    let mut tenants_spec: Option<String> = None;
     // First self-host-only flag seen, to reject silent no-ops with --addr.
     let mut self_host_flag: Option<&'static str> = None;
 
@@ -118,6 +187,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--allocator",
             "--server-workers",
             "--rebalance",
+            "--tenant-balance",
         ] {
             if flag == known {
                 self_host_flag.get_or_insert(known);
@@ -156,6 +226,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     "on" => true,
                     "off" => false,
                     other => return Err(format!("bad --rebalance {other:?} (want on|off)")),
+                }
+            }
+            "--tenant-balance" => {
+                args.tenant_balance = match value("--tenant-balance")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("bad --tenant-balance {other:?} (want on|off)")),
+                }
+            }
+            "--tenants" => tenants_spec = Some(value("--tenants")?),
+            "--fill-on-miss" => {
+                args.load.fill_on_miss = match value("--fill-on-miss")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("bad --fill-on-miss {other:?} (want on|off)")),
                 }
             }
             "--requests" => {
@@ -242,6 +327,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     } else {
         LoadMode::Closed
     };
+    if let Some(spec) = &tenants_spec {
+        let tenants: Result<Vec<TenantLoad>, String> = spec
+            .split(',')
+            .map(|entry| parse_tenant(entry.trim(), &args.load.workload, num_keys, zipf))
+            .collect();
+        let tenants = tenants?;
+        if tenants.is_empty() {
+            return Err("--tenants needs at least one entry".to_string());
+        }
+        args.load.tenants = tenants;
+    }
     if args.sweep.is_some() && args.addr.is_some() {
         return Err("--sweep self-hosts the server; it cannot be combined with --addr".to_string());
     }
@@ -297,6 +393,29 @@ fn summarize(report: &LoadReport) {
                 server.rebalance_bytes_moved as f64 / (1 << 20) as f64
             );
         }
+        if server.arbiter_enabled {
+            eprintln!(
+                "  arbiter: {} tenants, {} runs, {} transfers, {:.1} MB moved",
+                server.tenant_count,
+                server.arbiter_runs,
+                server.arbiter_transfers,
+                server.arbiter_bytes_moved as f64 / (1 << 20) as f64
+            );
+        }
+    }
+    for tenant in &report.tenants {
+        eprintln!(
+            "  tenant {}: {} conns, {} reqs, hit {:.1}%, p99 {:.0} us, budget {:.1} MB, \
+             {} shadow hits, {} evictions",
+            tenant.tenant,
+            tenant.connections,
+            tenant.requests,
+            tenant.hit_rate * 100.0,
+            tenant.latency.p99_us,
+            tenant.budget_bytes as f64 / (1 << 20) as f64,
+            tenant.shadow_hits,
+            tenant.evictions
+        );
     }
 }
 
@@ -345,6 +464,8 @@ fn run() -> Result<(), String> {
         mode: args.allocator,
         workers: args.server_workers,
         rebalance: args.rebalance,
+        tenant_balance: args.tenant_balance,
+        ..SelfHostConfig::default()
     };
 
     if let Some(shard_counts) = &args.sweep {

@@ -52,6 +52,46 @@ pub struct LoadReport {
     pub workload: WorkloadEcho,
     /// Server-side counters (present when the run self-hosted the server).
     pub server: Option<ServerEcho>,
+    /// Per-tenant breakdowns of a multi-tenant run (empty for single-tenant
+    /// runs; pre-PR4 reports lack the field, and every consumer of committed
+    /// baselines reads them untyped, so those stay readable).
+    pub tenants: Vec<TenantSection>,
+}
+
+/// One tenant's slice of a multi-tenant run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TenantSection {
+    /// The application name (`default` for the implicit tenant).
+    pub tenant: String,
+    /// Connections driving this tenant.
+    pub connections: u64,
+    /// Requests this tenant completed in the measured window.
+    pub requests: u64,
+    /// GET requests completed.
+    pub gets: u64,
+    /// GETs answered with a value.
+    pub get_hits: u64,
+    /// GET hit rate (0 when no GETs were issued).
+    pub hit_rate: f64,
+    /// SET requests completed.
+    pub sets: u64,
+    /// SETs not stored plus protocol-level surprises.
+    pub errors: u64,
+    /// Latency over every request of this tenant.
+    pub latency: LatencySummary,
+    /// Latency of this tenant's GETs alone.
+    pub get_latency: LatencySummary,
+    /// Latency of this tenant's SETs alone.
+    pub set_latency: LatencySummary,
+    /// The tenant's workload knobs, echoed for reproducibility.
+    pub workload: WorkloadEcho,
+    /// The tenant's server-side byte budget at the end of the run (0 unless
+    /// self-hosted).
+    pub budget_bytes: u64,
+    /// The tenant's cumulative shadow-queue hits (0 unless self-hosted).
+    pub shadow_hits: u64,
+    /// Evictions charged to this tenant (0 unless self-hosted).
+    pub evictions: u64,
 }
 
 /// The workload parameters a report was generated with.
@@ -92,6 +132,18 @@ pub struct ServerEcho {
     pub rebalance_transfers: u64,
     /// Bytes of budget moved between shards.
     pub rebalance_bytes_moved: u64,
+    /// Number of tenants the server hosted (1 for single-tenant).
+    pub tenant_count: u64,
+    /// Whether cross-tenant arbitration was active. (Pre-PR4 reports lack
+    /// the `tenant_*`/`arbiter_*` fields; same untyped-reader caveat as the
+    /// rebalance fields above.)
+    pub arbiter_enabled: bool,
+    /// Arbitration rounds the server ran during the load.
+    pub arbiter_runs: u64,
+    /// Budget transfers applied between tenants.
+    pub arbiter_transfers: u64,
+    /// Bytes of budget moved between tenants.
+    pub arbiter_bytes_moved: u64,
 }
 
 /// One point of a shard sweep.

@@ -9,9 +9,9 @@
 //! claim batches from, and a start barrier. All telemetry is recorded into
 //! per-worker histograms and merged after the workers join.
 
-use crate::report::{LoadReport, WorkloadEcho, LOAD_SCHEMA};
+use crate::report::{LoadReport, TenantSection, WorkloadEcho, LOAD_SCHEMA};
 use crate::telemetry::Histogram;
-use crate::workload::{GenOp, RequestGen, WorkloadSpec};
+use crate::workload::{GenOp, RequestGen, TenantLoad, WorkloadSpec};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,8 +51,22 @@ pub struct LoadgenConfig {
     pub pipeline: usize,
     /// Closed- or open-loop.
     pub mode: LoadMode,
-    /// Traffic shape.
+    /// Traffic shape (of the single tenant when `tenants` is empty).
     pub workload: WorkloadSpec,
+    /// Multi-tenant mode: drive several application namespaces at once, each
+    /// with its own workload and a connection/budget share proportional to
+    /// its weight. Empty (the default) is the single-tenant run over
+    /// `workload`; non-empty ignores `workload` and requires at least one
+    /// connection per tenant.
+    pub tenants: Vec<TenantLoad>,
+    /// Cache-aside demand fill: every GET miss is followed by a SET of the
+    /// missed key (in the next pipelined batch), the way a real application
+    /// repopulates its cache. Fill SETs ride on top of the request budget —
+    /// `requests` counts the generated stream, the report counts everything
+    /// completed — and give the server's shadow queues the repopulation
+    /// signal the gradient machinery (rebalancer/arbiter) listens for. Off
+    /// by default, preserving the pre-PR4 pure GET/SET stream.
+    pub fill_on_miss: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -65,6 +79,8 @@ impl Default for LoadgenConfig {
             pipeline: 16,
             mode: LoadMode::Closed,
             workload: WorkloadSpec::default(),
+            tenants: Vec::new(),
+            fill_on_miss: false,
         }
     }
 }
@@ -265,17 +281,24 @@ fn run_closed_worker(
     budget: &AtomicU64,
     pipeline: u64,
     payload_pool: &[u8],
+    fill_on_miss: bool,
 ) -> std::io::Result<WorkerStats> {
     let mut stats = WorkerStats::default();
     let mut buf = Vec::with_capacity(64 * 1024);
     let mut ops: Vec<GenOp> = Vec::with_capacity(pipeline as usize);
+    // Demand fills discovered in the previous batch, sent with the next.
+    let mut fills: Vec<GenOp> = Vec::new();
     loop {
         let batch = claim(budget, pipeline);
-        if batch == 0 {
+        if batch == 0 && fills.is_empty() {
             return Ok(stats);
         }
         buf.clear();
         ops.clear();
+        for op in fills.drain(..) {
+            encode_op(&op, &mut buf, payload_pool);
+            ops.push(op);
+        }
         for _ in 0..batch {
             let op = gen.next_op();
             encode_op(&op, &mut buf, payload_pool);
@@ -288,6 +311,11 @@ fn run_closed_worker(
                 GenOp::Get { .. } => (true, conn.read_get_response()?),
                 GenOp::Set { .. } => (false, conn.read_set_response()?),
             };
+            if fill_on_miss && is_get && outcome == Some(false) {
+                if let Some(rank) = RequestGen::rank_for_key(op.key()) {
+                    fills.push(gen.set_for_rank(rank));
+                }
+            }
             // Pipelined latency: from batch send to this response parsed,
             // i.e. queueing behind earlier responses in the batch counts.
             record(
@@ -306,6 +334,7 @@ fn run_open_worker(
     budget: &AtomicU64,
     interval: Duration,
     payload_pool: &[u8],
+    fill_on_miss: bool,
 ) -> std::io::Result<WorkerStats> {
     let mut stats = WorkerStats::default();
     let mut buf = Vec::with_capacity(16 * 1024);
@@ -336,7 +365,83 @@ fn run_open_worker(
             deadline.elapsed().as_nanos() as u64,
             outcome,
         );
+        if fill_on_miss && is_get && outcome == Some(false) {
+            // The demand fill rides outside the schedule (a real client's
+            // repopulation write is not an arrival either); its latency is
+            // measured from its own send.
+            if let Some(rank) = RequestGen::rank_for_key(op.key()) {
+                let fill = gen.set_for_rank(rank);
+                buf.clear();
+                encode_op(&fill, &mut buf, payload_pool);
+                let sent = Instant::now();
+                conn.writer.write_all(&buf)?;
+                let outcome = conn.read_set_response()?;
+                record(&mut stats, false, sent.elapsed().as_nanos() as u64, outcome);
+            }
+        }
     }
+}
+
+/// Selects the connection's application namespace (`app <name>`). The
+/// `default` tenant sends nothing — it exercises the exact path of a
+/// pre-extension client.
+fn select_app(conn: &mut Conn, name: &str) -> std::io::Result<()> {
+    if name == "default" {
+        return Ok(());
+    }
+    conn.writer
+        .write_all(format!("app {name}\r\n").as_bytes())?;
+    let line = conn.read_line()?;
+    if line != "OK" {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("server refused `app {name}`: {line}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Splits `connections` across the tenants proportionally to their weights,
+/// every tenant getting at least one (largest-remainder rounding).
+fn allocate_connections(connections: usize, tenants: &[TenantLoad]) -> Vec<usize> {
+    let total_weight: u64 = tenants.iter().map(|t| t.weight.max(1)).sum();
+    // Start everyone at 1 connection, distribute the rest by weight.
+    let mut counts = vec![1usize; tenants.len()];
+    let mut spare = connections - tenants.len();
+    // Fractional entitlements to the spare pool, floor first.
+    let entitlements: Vec<f64> = tenants
+        .iter()
+        .map(|t| spare as f64 * t.weight.max(1) as f64 / total_weight as f64)
+        .collect();
+    for (count, entitlement) in counts.iter_mut().zip(&entitlements) {
+        let floor = entitlement.floor() as usize;
+        *count += floor;
+        spare -= floor;
+    }
+    // Hand the remainder out by descending fractional part (ties: order).
+    let mut order: Vec<usize> = (0..tenants.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = entitlements[a].fract();
+        let fb = entitlements[b].fract();
+        fb.partial_cmp(&fa).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for &t in order.iter().take(spare) {
+        counts[t] += 1;
+    }
+    counts
+}
+
+/// Splits the request budget across tenants by weight (remainder on the
+/// first tenant), so traffic shares follow weights even in closed loop.
+fn allocate_requests(requests: u64, tenants: &[TenantLoad]) -> Vec<u64> {
+    let total_weight: u64 = tenants.iter().map(|t| t.weight.max(1)).sum();
+    let mut shares: Vec<u64> = tenants
+        .iter()
+        .map(|t| (requests as u128 * t.weight.max(1) as u128 / total_weight as u128) as u64)
+        .collect();
+    let assigned: u64 = shares.iter().sum();
+    shares[0] += requests - assigned;
+    shares
 }
 
 fn describe_keys(keys: &KeyPopularity) -> (String, u64) {
@@ -367,11 +472,25 @@ fn describe_sizes(sizes: &SizeDistribution) -> String {
     }
 }
 
+fn workload_echo(spec: &WorkloadSpec) -> WorkloadEcho {
+    let (keys_desc, num_keys) = describe_keys(&spec.keys);
+    WorkloadEcho {
+        keys: keys_desc,
+        num_keys,
+        get_fraction: spec.get_fraction,
+        sizes: describe_sizes(&spec.sizes),
+        seed: spec.seed,
+    }
+}
+
 /// Runs one load-generation pass and returns its report.
 ///
-/// Fails fast on connection or protocol-framing errors; per-request
-/// rejections (`NOT_STORED`, unexpected status lines) are counted in
-/// `errors` instead.
+/// Fails fast on connection or protocol-framing errors (including a refused
+/// `app` selector); per-request rejections (`NOT_STORED`, unexpected status
+/// lines) are counted in `errors` instead. With `config.tenants` set, each
+/// tenant gets a weight-proportional share of the connections and request
+/// budget, every connection pins itself to its tenant's namespace before
+/// warm-up, and the report carries one [`TenantSection`] per tenant.
 pub fn run_load(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
     if config.connections == 0 {
         return Err(std::io::Error::new(
@@ -385,32 +504,72 @@ pub fn run_load(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
             "pipeline depth must be at least 1",
         ));
     }
+    // A single-tenant run is a multi-tenant run with one implicit tenant —
+    // the default namespace, no `app` command, the whole budget.
+    let tenants: Vec<TenantLoad> = if config.tenants.is_empty() {
+        vec![TenantLoad::new("default", 1, config.workload.clone())]
+    } else {
+        config.tenants.clone()
+    };
+    if config.connections < tenants.len() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "{} tenants need at least {} connections (got {})",
+                tenants.len(),
+                tenants.len(),
+                config.connections
+            ),
+        ));
+    }
     let payload_pool: Arc<Vec<u8>> = Arc::new(
         (0..PAYLOAD_POOL_BYTES)
             .map(|i| b'a' + (i % 26) as u8)
             .collect(),
     );
-    let budget = Arc::new(AtomicU64::new(config.requests));
+    let tenant_connections = allocate_connections(config.connections, &tenants);
+    let tenant_requests = allocate_requests(config.requests, &tenants);
+    let budgets: Vec<Arc<AtomicU64>> = tenant_requests
+        .iter()
+        .map(|&r| Arc::new(AtomicU64::new(r)))
+        .collect();
+    // worker -> (tenant, index within the tenant's workers).
+    let assignments: Vec<(usize, usize)> = tenant_connections
+        .iter()
+        .enumerate()
+        .flat_map(|(t, &count)| (0..count).map(move |i| (t, i)))
+        .collect();
     // connections workers + the coordinating thread.
     let start_gate = Arc::new(Barrier::new(config.connections + 1));
-    let workers = config.connections;
+    let tenants = Arc::new(tenants);
+    let tenant_connections = Arc::new(tenant_connections);
 
-    let handles: Vec<_> = (0..workers)
-        .map(|w| {
+    let handles: Vec<_> = assignments
+        .iter()
+        .map(|&(tenant, tw)| {
             let config = config.clone();
-            let budget = Arc::clone(&budget);
+            let tenants = Arc::clone(&tenants);
+            let tenant_connections = Arc::clone(&tenant_connections);
+            let budget = Arc::clone(&budgets[tenant]);
             let start_gate = Arc::clone(&start_gate);
             let payload_pool = Arc::clone(&payload_pool);
             std::thread::Builder::new()
-                .name(format!("loadgen-{w}"))
+                .name(format!("loadgen-{}-{tw}", tenants[tenant].name))
                 .spawn(move || -> std::io::Result<WorkerStats> {
+                    let load = &tenants[tenant];
+                    let siblings = tenant_connections[tenant];
                     // Connect + warm up, but *always* reach the barrier —
                     // an early return here would strand the coordinator.
                     let setup = (|| -> std::io::Result<(Conn, RequestGen)> {
                         let mut conn = Conn::connect(&config.addr)?;
-                        let gen = RequestGen::new(&config.workload, w as u64);
-                        let capped_warmup = config.warmup_keys.min(config.workload.keys.num_keys());
-                        warmup(&mut conn, &gen, w, workers, capped_warmup, &payload_pool)?;
+                        select_app(&mut conn, &load.name)?;
+                        let gen = RequestGen::new(&load.spec, tw as u64);
+                        // Warm-up stripes each tenant's hottest keys across
+                        // that tenant's own workers (the namespaces are
+                        // independent, so cross-tenant striping would leave
+                        // gaps).
+                        let capped_warmup = config.warmup_keys.min(load.spec.keys.num_keys());
+                        warmup(&mut conn, &gen, tw, siblings, capped_warmup, &payload_pool)?;
                         Ok((conn, gen))
                     })();
                     start_gate.wait();
@@ -422,11 +581,19 @@ pub fn run_load(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
                             &budget,
                             config.pipeline as u64,
                             &payload_pool,
+                            config.fill_on_miss,
                         ),
                         LoadMode::Open { target_rps } => {
-                            let per_conn = (target_rps / workers as f64).max(1.0);
+                            let per_conn = (target_rps / config.connections as f64).max(1.0);
                             let interval = Duration::from_secs_f64(1.0 / per_conn);
-                            run_open_worker(&mut conn, &mut gen, &budget, interval, &payload_pool)
+                            run_open_worker(
+                                &mut conn,
+                                &mut gen,
+                                &budget,
+                                interval,
+                                &payload_pool,
+                                config.fill_on_miss,
+                            )
                         }
                     }
                 })
@@ -439,10 +606,15 @@ pub fn run_load(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
     start_gate.wait();
     let window_start = Instant::now();
     let mut total = WorkerStats::default();
+    let mut per_tenant: Vec<WorkerStats> =
+        (0..tenants.len()).map(|_| WorkerStats::default()).collect();
     let mut first_error: Option<std::io::Error> = None;
-    for handle in handles {
+    for (handle, &(tenant, _)) in handles.into_iter().zip(&assignments) {
         match handle.join() {
-            Ok(Ok(stats)) => total.merge(&stats),
+            Ok(Ok(stats)) => {
+                total.merge(&stats);
+                per_tenant[tenant].merge(&stats);
+            }
             Ok(Err(err)) => first_error = first_error.or(Some(err)),
             Err(_) => {
                 first_error =
@@ -455,8 +627,38 @@ pub fn run_load(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         return Err(err);
     }
 
+    let tenant_sections: Vec<TenantSection> = if config.tenants.is_empty() {
+        Vec::new()
+    } else {
+        tenants
+            .iter()
+            .zip(&per_tenant)
+            .zip(tenant_connections.iter())
+            .map(|((load, stats), &conns)| TenantSection {
+                tenant: load.name.clone(),
+                connections: conns as u64,
+                requests: stats.gets + stats.sets,
+                gets: stats.gets,
+                get_hits: stats.hits,
+                hit_rate: if stats.gets > 0 {
+                    stats.hits as f64 / stats.gets as f64
+                } else {
+                    0.0
+                },
+                sets: stats.sets,
+                errors: stats.errors,
+                latency: stats.all.summarize_us(),
+                get_latency: stats.get.summarize_us(),
+                set_latency: stats.set.summarize_us(),
+                workload: workload_echo(&load.spec),
+                budget_bytes: 0,
+                shadow_hits: 0,
+                evictions: 0,
+            })
+            .collect()
+    };
+
     let completed = total.gets + total.sets;
-    let (keys_desc, num_keys) = describe_keys(&config.workload.keys);
     Ok(LoadReport {
         schema: LOAD_SCHEMA.to_string(),
         mode: match config.mode {
@@ -474,7 +676,10 @@ pub fn run_load(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
             LoadMode::Open { target_rps } => target_rps,
         },
         requests: completed,
-        warmup_requests: config.warmup_keys.min(config.workload.keys.num_keys()),
+        warmup_requests: tenants
+            .iter()
+            .map(|t| config.warmup_keys.min(t.spec.keys.num_keys()))
+            .sum(),
         elapsed_secs: elapsed,
         throughput_rps: completed as f64 / elapsed,
         gets: total.gets,
@@ -489,14 +694,9 @@ pub fn run_load(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         latency: total.all.summarize_us(),
         get_latency: total.get.summarize_us(),
         set_latency: total.set.summarize_us(),
-        workload: WorkloadEcho {
-            keys: keys_desc,
-            num_keys,
-            get_fraction: config.workload.get_fraction,
-            sizes: describe_sizes(&config.workload.sizes),
-            seed: config.workload.seed,
-        },
+        workload: workload_echo(&config.workload),
         server: None,
+        tenants: tenant_sections,
     })
 }
 
@@ -570,6 +770,140 @@ mod tests {
         assert_eq!(report.pipeline, 1);
         // 400 requests at 4k rps should take roughly 0.1 s of schedule.
         assert!(report.elapsed_secs < 5.0);
+    }
+
+    #[test]
+    fn fill_on_miss_repopulates_the_cache() {
+        // A pure-GET stream over an unwarmed cache: without demand fill the
+        // hit rate is zero forever; with it, every miss SETs the key and the
+        // hot Zipf ranks become resident inside the run.
+        let server = test_server(1);
+        let mut config = small_config(server.local_addr().to_string());
+        config.requests = 6_000;
+        config.warmup_keys = 0;
+        config.fill_on_miss = true;
+        config.workload.get_fraction = 1.0;
+        let report = run_load(&config).unwrap();
+        assert_eq!(report.gets, 6_000, "the budget counts the generated GETs");
+        assert!(report.sets > 0, "misses must demand-fill");
+        assert_eq!(
+            report.requests,
+            report.gets + report.sets,
+            "fills ride on top of the budget"
+        );
+        assert!(
+            report.hit_rate > 0.3,
+            "demand fill must lift the hit rate off zero: {}",
+            report.hit_rate
+        );
+        assert_eq!(report.errors, 0);
+    }
+
+    #[test]
+    fn connection_and_request_allocation_follow_weights() {
+        let tenants = vec![
+            TenantLoad::new("a", 3, WorkloadSpec::default()),
+            TenantLoad::new("b", 1, WorkloadSpec::default()),
+        ];
+        assert_eq!(allocate_connections(8, &tenants), vec![6, 2]);
+        // Every tenant keeps at least one connection even when outweighed.
+        assert_eq!(allocate_connections(2, &tenants), vec![1, 1]);
+        let requests = allocate_requests(100_000, &tenants);
+        assert_eq!(requests, vec![75_000, 25_000]);
+        assert_eq!(requests.iter().sum::<u64>(), 100_000);
+        let lone = vec![TenantLoad::new("only", 5, WorkloadSpec::default())];
+        assert_eq!(allocate_connections(3, &lone), vec![3]);
+        assert_eq!(allocate_requests(7, &lone), vec![7]);
+    }
+
+    fn tenant_server() -> CacheServer {
+        CacheServer::start(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            backend: BackendConfig {
+                total_bytes: 32 << 20,
+                shards: 2,
+                tenants: vec![
+                    cache_server::TenantSpec::new("hot", 1),
+                    cache_server::TenantSpec::new("cold", 1),
+                ],
+                ..BackendConfig::default()
+            },
+        })
+        .expect("server must start")
+    }
+
+    #[test]
+    fn multi_tenant_run_reports_per_tenant_sections() {
+        let server = tenant_server();
+        let mut config = small_config(server.local_addr().to_string());
+        config.connections = 4;
+        config.requests = 4_000;
+        config.tenants = vec![
+            TenantLoad::new(
+                "hot",
+                3,
+                WorkloadSpec {
+                    keys: KeyPopularity::Zipf {
+                        num_keys: 500,
+                        exponent: 1.1,
+                    },
+                    sizes: SizeDistribution::Fixed(128),
+                    ..WorkloadSpec::default()
+                },
+            ),
+            TenantLoad::new(
+                "cold",
+                1,
+                WorkloadSpec {
+                    keys: KeyPopularity::Uniform { num_keys: 2_000 },
+                    sizes: SizeDistribution::Fixed(64),
+                    ..WorkloadSpec::default()
+                },
+            ),
+        ];
+        let report = run_load(&config).unwrap();
+        assert_eq!(report.requests, 4_000);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.tenants.len(), 2);
+        let hot = &report.tenants[0];
+        let cold = &report.tenants[1];
+        assert_eq!(hot.tenant, "hot");
+        assert_eq!(cold.tenant, "cold");
+        // Weighted budget split: 3:1.
+        assert_eq!(hot.requests, 3_000);
+        assert_eq!(cold.requests, 1_000);
+        assert_eq!(hot.connections, 3);
+        assert_eq!(cold.connections, 1);
+        assert_eq!(hot.requests + cold.requests, report.requests);
+        assert_eq!(hot.gets + cold.gets, report.gets);
+        assert_eq!(hot.latency.count, 3_000);
+        assert!(hot.hit_rate > 0.5, "warmed Zipf tenant: {}", hot.hit_rate);
+        assert_eq!(hot.workload.keys, "zipf:1.1");
+        assert_eq!(cold.workload.keys, "uniform");
+        // Section latencies are real measurements.
+        assert!(hot.latency.p50_us > 0.0);
+        assert!(cold.latency.p50_us > 0.0);
+    }
+
+    #[test]
+    fn unknown_tenant_fails_the_run() {
+        let server = tenant_server();
+        let mut config = small_config(server.local_addr().to_string());
+        config.tenants = vec![TenantLoad::new("nope", 1, WorkloadSpec::default())];
+        let err = run_load(&config).expect_err("unknown app must fail fast");
+        assert!(err.to_string().contains("app nope"), "{err}");
+    }
+
+    #[test]
+    fn more_tenants_than_connections_rejected() {
+        let mut config = small_config("127.0.0.1:1".to_string());
+        config.connections = 1;
+        config.tenants = vec![
+            TenantLoad::new("a", 1, WorkloadSpec::default()),
+            TenantLoad::new("b", 1, WorkloadSpec::default()),
+        ];
+        assert!(run_load(&config).is_err());
     }
 
     #[test]

@@ -12,8 +12,8 @@
 use crate::report::{ServerEcho, SweepPoint, SweepReport, SWEEP_SCHEMA};
 use crate::runner::{run_load, LoadgenConfig};
 use crate::LoadReport;
-use cache_server::{BackendConfig, BackendMode, CacheServer, ServerConfig};
-use cliffhanger::ShardBalanceConfig;
+use cache_server::{BackendConfig, BackendMode, CacheServer, ServerConfig, TenantSpec};
+use cliffhanger::{ShardBalanceConfig, TenantBalanceConfig};
 
 /// Configuration for self-hosted runs (the server the loadgen spawns).
 #[derive(Clone, Debug)]
@@ -27,6 +27,14 @@ pub struct SelfHostConfig {
     /// Whether the backend's cross-shard rebalancer runs (the backend
     /// default; turn off to measure static per-shard splits).
     pub rebalance: bool,
+    /// Tenants to host besides `default`. Empty derives them from the load
+    /// config's tenant list (reservation weight = traffic weight), so a
+    /// multi-tenant load self-hosts without repeating itself; set explicitly
+    /// to decouple reservations from traffic (the arbitration experiments).
+    pub tenants: Vec<TenantSpec>,
+    /// Whether the cross-tenant arbiter runs (off = Memcachier-style static
+    /// reservations).
+    pub tenant_balance: bool,
 }
 
 impl Default for SelfHostConfig {
@@ -36,6 +44,8 @@ impl Default for SelfHostConfig {
             mode: BackendMode::Cliffhanger,
             workers: 0,
             rebalance: true,
+            tenants: Vec::new(),
+            tenant_balance: true,
         }
     }
 }
@@ -60,6 +70,16 @@ pub fn run_self_hosted(
     } else {
         load.connections.max(1)
     };
+    // Host every tenant the load will select; explicit host tenants win.
+    let tenants: Vec<TenantSpec> = if host.tenants.is_empty() {
+        load.tenants
+            .iter()
+            .filter(|t| t.name != "default")
+            .map(|t| TenantSpec::new(t.name.clone(), t.weight.max(1)))
+            .collect()
+    } else {
+        host.tenants.clone()
+    };
     let mut server = CacheServer::start(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers,
@@ -71,6 +91,12 @@ pub fn run_self_hosted(
                 ShardBalanceConfig::default()
             } else {
                 ShardBalanceConfig::disabled()
+            },
+            tenants,
+            tenant_balance: if host.tenant_balance {
+                TenantBalanceConfig::default()
+            } else {
+                TenantBalanceConfig::disabled()
             },
             ..BackendConfig::default()
         },
@@ -91,7 +117,20 @@ pub fn run_self_hosted(
         rebalance_runs: stat_u64(&stats, "rebalance:runs"),
         rebalance_transfers: stat_u64(&stats, "rebalance:transfers"),
         rebalance_bytes_moved: stat_u64(&stats, "rebalance:bytes_moved"),
+        tenant_count: stat_u64(&stats, "tenant_count").max(1),
+        arbiter_enabled: stat_u64(&stats, "arbiter:enabled") == 1,
+        arbiter_runs: stat_u64(&stats, "arbiter:runs"),
+        arbiter_transfers: stat_u64(&stats, "arbiter:transfers"),
+        arbiter_bytes_moved: stat_u64(&stats, "arbiter:bytes_moved"),
     });
+    // Attach each tenant section's server-side facts (budget, gradient
+    // signal, evictions) from the per-tenant stats lines.
+    for section in &mut report.tenants {
+        let name = &section.tenant;
+        section.budget_bytes = stat_u64(&stats, &format!("tenant:{name}:budget"));
+        section.shadow_hits = stat_u64(&stats, &format!("tenant:{name}:shadow_hits"));
+        section.evictions = stat_u64(&stats, &format!("tenant:{name}:evictions"));
+    }
     Ok(report)
 }
 
@@ -169,6 +208,35 @@ mod tests {
         assert_eq!(server.workers, 2);
         assert_eq!(report.requests, 1_500);
         assert!(report.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn multi_tenant_self_host_registers_tenants_and_attaches_budgets() {
+        use crate::workload::TenantLoad;
+        let mut load = tiny_load();
+        load.connections = 2;
+        load.tenants = vec![
+            TenantLoad::new("alpha", 1, load.workload.clone()),
+            TenantLoad::new("beta", 1, load.workload.clone()),
+        ];
+        let host = SelfHostConfig {
+            total_bytes: 12 << 20,
+            ..SelfHostConfig::default()
+        };
+        let report = run_self_hosted(&load, &host, 2).unwrap();
+        let server = report.server.as_ref().expect("server echo");
+        assert_eq!(server.tenant_count, 3, "default + alpha + beta");
+        assert!(server.arbiter_enabled);
+        assert_eq!(report.tenants.len(), 2);
+        for section in &report.tenants {
+            assert!(
+                section.budget_bytes > 0,
+                "self-hosted sections carry live budgets: {section:?}"
+            );
+            assert_eq!(section.errors, 0);
+        }
+        let budgets: u64 = report.tenants.iter().map(|t| t.budget_bytes).sum();
+        assert!(budgets <= 12 << 20, "tenant budgets within the total");
     }
 
     #[test]

@@ -43,6 +43,38 @@ impl Default for WorkloadSpec {
     }
 }
 
+/// One application's slice of a multi-tenant run: a tenant name, a traffic
+/// weight, and that tenant's own workload shape.
+///
+/// A multi-tenant run partitions the loadgen connections across the tenants
+/// proportionally to their weights (each tenant keeps at least one
+/// connection), and every connection selects its tenant's namespace with the
+/// wire-level `app <name>` command before the measured window opens. The
+/// `default` tenant skips the `app` command entirely, exercising the
+/// backward-compatible path a pre-extension client takes.
+#[derive(Clone, Debug)]
+pub struct TenantLoad {
+    /// The application name (`app <name>` on the wire; `default` sends no
+    /// `app` command).
+    pub name: String,
+    /// Relative traffic weight: the share of connections and of the request
+    /// budget this tenant receives. Must be at least 1.
+    pub weight: u64,
+    /// The tenant's workload shape (its own key popularity, sizes, mix).
+    pub spec: WorkloadSpec,
+}
+
+impl TenantLoad {
+    /// A tenant with the given name, weight and workload.
+    pub fn new(name: impl Into<String>, weight: u64, spec: WorkloadSpec) -> TenantLoad {
+        TenantLoad {
+            name: name.into(),
+            weight: weight.max(1),
+            spec,
+        }
+    }
+}
+
 /// One generated request, before serialisation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum GenOp {
@@ -96,6 +128,12 @@ impl RequestGen {
         format!("k{rank:013x}")
     }
 
+    /// The rank a wire key encodes (inverse of
+    /// [`RequestGen::key_for_rank`]), if it is one of ours.
+    pub fn rank_for_key(key: &str) -> Option<u64> {
+        u64::from_str_radix(key.strip_prefix('k')?, 16).ok()
+    }
+
     /// The deterministic payload size for a rank.
     pub fn size_for_rank(&self, rank: u64) -> usize {
         self.sizes.size_for_key(rank, self.seed).max(1) as usize
@@ -127,6 +165,16 @@ impl RequestGen {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn keys_round_trip_through_ranks() {
+        for rank in [0u64, 1, 0xabc, u64::MAX >> 12] {
+            let key = RequestGen::key_for_rank(rank);
+            assert_eq!(RequestGen::rank_for_key(&key), Some(rank));
+        }
+        assert_eq!(RequestGen::rank_for_key("nope"), None);
+        assert_eq!(RequestGen::rank_for_key("kzzz"), None);
+    }
 
     #[test]
     fn sizes_are_deterministic_per_key() {

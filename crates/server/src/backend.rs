@@ -10,36 +10,60 @@
 //!
 //! The engine is partitioned into N independent shards, each owning a slice
 //! of the key space (selected by a second hash of the key, decorrelated from
-//! the 64-bit cache key), its own `SlabCache`/`Cliffhanger` instance with an
-//! equal share of the memory budget, its own mutex and its own wire-level
-//! counters. Requests for different shards never contend; `flush_all` and
-//! `stats` fan out across every shard. This is the same shape as
-//! Memcached's `-t`-threaded hash table + per-partition slab engines (and
-//! pelikan's per-worker storage): the global-mutex design it replaces
-//! serialized every request in the workspace's earlier revisions.
+//! the 64-bit cache key), with its own mutexes and wire-level counters.
+//! Requests for different shards never contend; `flush_all` and `stats` fan
+//! out across every shard. This is the same shape as Memcached's
+//! `-t`-threaded hash table + per-partition slab engines (and pelikan's
+//! per-worker storage).
 //!
-//! # Cross-shard rebalancing
+//! # Multi-tenancy
 //!
-//! Per-shard budgets start as an even split but are *dynamic*: every
-//! [`ShardBalanceConfig::interval_requests`] wire requests, the thread that
-//! crosses the interval runs one [`ShardRebalancer`] round — it samples each
-//! shard's cumulative shadow-queue hits (the frequency-weighted hit-rate
-//! gradient of paper §4.1), and moves a credit of budget from the shard with
-//! the flattest gradient to the one with the steepest, via
-//! [`Cliffhanger::shrink_total`] (which evicts immediately, so released
-//! bytes are real) and [`Cliffhanger::grow_total`]. Shard locks are taken
-//! one at a time, never nested, so the round cannot deadlock with request
-//! traffic. Static even splits re-create exactly the rigid-partition
-//! problem Cliffhanger exists to fix; the rebalancer closes that gap (see
-//! `cliffhanger::shard_balance`). `stats` exposes the live budgets as
-//! `shard:<i>:budget` and the round counters as `rebalance:*` lines.
+//! The paper's whole setting is a Memcachier-style server where many
+//! applications share one cache (§3): each [`TenantSpec`] names an
+//! application and its reservation weight, and every shard hosts one
+//! independent engine *per tenant* — a tenant's requests, evictions and
+//! `flush_all` can never touch another tenant's keys, exactly as if every
+//! key were transparently prefixed with `<app>:` but with hard budget
+//! isolation on top. A connection that never issues the `app` command runs
+//! in the `default` tenant (index 0) and observes the single-tenant
+//! behaviour unchanged.
+//!
+//! # The allocation hierarchy
+//!
+//! Budgets move on three levels, all driven by the same shadow-queue
+//! gradient signal (paper §4.1), innermost to outermost:
+//!
+//! 1. *Within an engine*: the Cliffhanger hill climber moves credits between
+//!    slab classes on every shadow hit.
+//! 2. *Across shards, within a tenant*: every
+//!    [`ShardBalanceConfig::interval_requests`] wire requests a
+//!    [`ShardRebalancer`] round per tenant compares the per-shard shadow-hit
+//!    deltas and moves a credit of budget from the flattest shard to the
+//!    steepest (see `cliffhanger::shard_balance`), via
+//!    [`Cliffhanger::shrink_total`] / [`Cliffhanger::grow_total`].
+//! 3. *Across tenants, globally*: every
+//!    [`TenantBalanceConfig::interval_requests`] requests the
+//!    [`TenantArbiter`] compares whole-tenant shadow-hit deltas and moves
+//!    budget between applications, spreading each transfer across the
+//!    donor's and winner's engines on every shard — Memcachier's static
+//!    reservations replaced by live arbitration.
+//!
+//! Shard locks are only ever taken one at a time, after the round's decision
+//! locks (arbiter before per-tenant balancer), so no round can deadlock with
+//! request traffic or with `flush`. `stats` exposes the live budgets as
+//! `tenant:<app>:budget` / `shard:<i>:budget` and the round counters as
+//! `rebalance:*` / `arbiter:*` lines.
 
 use bytes::Bytes;
 use cache_core::key::mix64;
 use cache_core::store::AllocationMode;
-use cache_core::{hash_bytes, CacheStats, Key, PolicyKind, SlabCache, SlabCacheConfig, SlabConfig};
+use cache_core::{
+    hash_bytes, CacheStats, Key, PolicyKind, SlabCache, SlabCacheConfig, SlabConfig,
+    TenantDirectory,
+};
 use cliffhanger::{
     Cliffhanger, CliffhangerConfig, ShardBalanceConfig, ShardRebalancer, ShardSample,
+    TenantArbiter, TenantBalanceConfig, TenantSample,
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,9 +79,34 @@ pub enum BackendMode {
     Cliffhanger,
 }
 
-/// Sharding below this per-shard budget hurts more than it helps (the slab
+/// One hosted application and its reservation weight.
+///
+/// Budgets start proportional to the weights (a weight-2 tenant reserves
+/// twice the bytes of a weight-1 tenant) and then move under arbitration
+/// unless [`TenantBalanceConfig::enabled`] is off.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// The application name clients select with `app <name>`. Must satisfy
+    /// [`TenantDirectory::valid_name`].
+    pub name: String,
+    /// Relative reservation weight; must be at least 1.
+    pub weight: u64,
+}
+
+impl TenantSpec {
+    /// A tenant with the given name and weight.
+    pub fn new(name: impl Into<String>, weight: u64) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            weight,
+        }
+    }
+}
+
+/// Sharding below this per-engine budget hurts more than it helps (the slab
 /// classes no longer fit), so auto-detection caps the shard count to keep
-/// every shard at least this large.
+/// every tenant's engine on every shard at least this large (at even
+/// weights).
 const MIN_SHARD_BYTES: u64 = 1 << 20;
 
 /// Upper bound on auto-detected shards; explicit configuration may exceed it.
@@ -75,7 +124,8 @@ pub fn detect_shards() -> usize {
 /// Backend configuration.
 #[derive(Clone, Debug)]
 pub struct BackendConfig {
-    /// Total cache memory in bytes, split evenly across the shards.
+    /// Total cache memory in bytes, split across tenants by weight and then
+    /// evenly across the shards.
     pub total_bytes: u64,
     /// Which allocation scheme to run.
     pub mode: BackendMode,
@@ -83,15 +133,23 @@ pub struct BackendConfig {
     pub slab: SlabConfig,
     /// Number of independent shards; `0` auto-detects from the host's
     /// available parallelism. Both explicit and detected counts are capped
-    /// so every shard keeps at least 1 MB of budget — the clamp is logged at
-    /// construction and exposed as the `shards_requested` stats line; check
-    /// [`SharedCache::shard_count`] (or `resolved_shards`) for the count
-    /// actually running.
+    /// so every tenant's engine keeps at least 1 MB of budget — the clamp is
+    /// logged at construction and exposed as the `shards_requested` stats
+    /// line; check [`SharedCache::shard_count`] (or `resolved_shards`) for
+    /// the count actually running.
     pub shards: usize,
-    /// Cross-shard budget rebalancing. Enabled by default; only effective
-    /// with more than one shard and a managed (non-`Default`) allocator,
-    /// since the gradient signal comes from the Cliffhanger shadow queues.
+    /// Per-tenant cross-shard budget rebalancing. Enabled by default; only
+    /// effective with more than one shard and a managed (non-`Default`)
+    /// allocator, since the gradient signal comes from the Cliffhanger
+    /// shadow queues.
     pub rebalance: ShardBalanceConfig,
+    /// Applications hosted besides the always-present `default` tenant.
+    /// Empty reproduces the single-tenant server exactly.
+    pub tenants: Vec<TenantSpec>,
+    /// Cross-tenant budget arbitration. Enabled by default; only effective
+    /// with more than one tenant and a managed allocator. Off reproduces
+    /// Memcachier's static reservations.
+    pub tenant_balance: TenantBalanceConfig,
 }
 
 impl Default for BackendConfig {
@@ -102,11 +160,40 @@ impl Default for BackendConfig {
             slab: SlabConfig::default(),
             shards: 0,
             rebalance: ShardBalanceConfig::default(),
+            tenants: Vec::new(),
+            tenant_balance: TenantBalanceConfig::default(),
         }
     }
 }
 
 impl BackendConfig {
+    /// The tenant directory this configuration resolves to: `default` at
+    /// index 0, configured tenants after it in order (duplicates collapse).
+    pub fn tenant_directory(&self) -> TenantDirectory {
+        let names: Vec<&str> = self.tenants.iter().map(|t| t.name.as_str()).collect();
+        TenantDirectory::from_names(&names)
+    }
+
+    /// Per-tenant reservation weights aligned with
+    /// [`BackendConfig::tenant_directory`] indices. The default tenant's
+    /// weight is 1 unless it is listed explicitly.
+    fn tenant_weights(&self, directory: &TenantDirectory) -> Vec<u64> {
+        directory
+            .names()
+            .iter()
+            .map(|name| {
+                let weight = self
+                    .tenants
+                    .iter()
+                    .find(|t| &t.name == name)
+                    .map(|t| t.weight)
+                    .unwrap_or(1);
+                assert!(weight >= 1, "tenant {name:?} weight must be at least 1");
+                weight
+            })
+            .collect()
+    }
+
     /// The shard count this configuration asks for, before the budget cap:
     /// the explicit value, or CPU-count detection when `shards == 0`.
     pub fn requested_shards(&self) -> usize {
@@ -119,9 +206,10 @@ impl BackendConfig {
 
     /// The shard count this configuration resolves to: the explicit value,
     /// or CPU-count detection when `shards == 0`, in both cases capped so no
-    /// shard drops below [`MIN_SHARD_BYTES`].
+    /// tenant engine drops below [`MIN_SHARD_BYTES`] at even weights.
     pub fn resolved_shards(&self) -> usize {
-        let budget_cap = (self.total_bytes / MIN_SHARD_BYTES).max(1) as usize;
+        let tenants = self.tenant_directory().len() as u64;
+        let budget_cap = (self.total_bytes / (MIN_SHARD_BYTES * tenants)).max(1) as usize;
         self.requested_shards().clamp(1, budget_cap.max(1))
     }
 }
@@ -153,11 +241,11 @@ enum Inner {
 }
 
 impl Inner {
-    fn build(config: &BackendConfig, shard_bytes: u64) -> Inner {
+    fn build(config: &BackendConfig, engine_bytes: u64) -> Inner {
         match config.mode {
             BackendMode::Default => Inner::Plain(Box::new(SlabCache::new(SlabCacheConfig {
                 slab: config.slab.clone(),
-                total_bytes: shard_bytes,
+                total_bytes: engine_bytes,
                 policy: PolicyKind::Lru,
                 mode: AllocationMode::FirstComeFirstServe { page_size: 1 << 20 },
                 shadow_bytes: 0,
@@ -166,7 +254,7 @@ impl Inner {
             BackendMode::HillClimbing | BackendMode::Cliffhanger => {
                 let cfg = CliffhangerConfig {
                     slab: config.slab.clone(),
-                    total_bytes: shard_bytes,
+                    total_bytes: engine_bytes,
                     enable_hill_climbing: true,
                     enable_cliff_scaling: config.mode == BackendMode::Cliffhanger,
                     ..CliffhangerConfig::default()
@@ -240,36 +328,20 @@ impl Inner {
     }
 }
 
-/// One partition of the cache: an independent engine plus its counters.
-///
-/// The wire-level counters live outside the mutex and are updated with
-/// relaxed atomics — `stats` never takes a shard lock just to read them.
-struct Shard {
-    inner: Mutex<Inner>,
+/// Wire-level counters for one (shard, tenant) pair. They live outside the
+/// engine mutexes and are updated with relaxed atomics — `stats` never takes
+/// an engine lock just to read them.
+#[derive(Default)]
+struct WireAtomics {
     gets: AtomicU64,
     hits: AtomicU64,
     sets: AtomicU64,
     deletes: AtomicU64,
-    /// Wire requests routed to this shard; drives the rebalancing interval
-    /// without a globally shared counter (a single hot cache line would
-    /// reintroduce exactly the cross-core contention sharding removed).
-    ops: AtomicU64,
 }
 
-impl Shard {
-    fn new(config: &BackendConfig, shard_bytes: u64) -> Shard {
-        Shard {
-            inner: Mutex::new(Inner::build(config, shard_bytes)),
-            gets: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            sets: AtomicU64::new(0),
-            deletes: AtomicU64::new(0),
-            ops: AtomicU64::new(0),
-        }
-    }
-
-    /// Wire counters as a [`CacheStats`]-shaped snapshot (relaxed reads).
-    fn wire_counts(&self) -> WireCounts {
+impl WireAtomics {
+    /// Snapshot with relaxed reads.
+    fn counts(&self) -> WireCounts {
         let gets = self.gets.load(Ordering::Relaxed);
         let hits = self.hits.load(Ordering::Relaxed);
         WireCounts {
@@ -284,7 +356,7 @@ impl Shard {
     }
 }
 
-/// A snapshot of one shard's wire-level counters.
+/// A snapshot of wire-level counters.
 #[derive(Clone, Copy, Debug, Default)]
 struct WireCounts {
     gets: u64,
@@ -304,30 +376,94 @@ impl WireCounts {
     }
 }
 
-/// A thread-safe, sharded cache shared by every connection.
+/// One partition of the cache: an independent engine per tenant plus the
+/// per-tenant counters. Engines of different tenants on the same shard have
+/// separate mutexes, so tenants do not contend even on colliding shards.
+struct Shard {
+    engines: Vec<Mutex<Inner>>,
+    wire: Vec<WireAtomics>,
+    /// Wire requests routed to this shard; drives the rebalancing and
+    /// arbitration intervals without a globally shared counter (a single hot
+    /// cache line would reintroduce exactly the cross-core contention
+    /// sharding removed).
+    ops: AtomicU64,
+}
+
+impl Shard {
+    fn new(config: &BackendConfig, engine_bytes: &[u64]) -> Shard {
+        Shard {
+            engines: engine_bytes
+                .iter()
+                .map(|&b| Mutex::new(Inner::build(config, b)))
+                .collect(),
+            wire: engine_bytes
+                .iter()
+                .map(|_| WireAtomics::default())
+                .collect(),
+            ops: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A thread-safe, sharded, multi-tenant cache shared by every connection.
 pub struct SharedCache {
     config: BackendConfig,
+    directory: TenantDirectory,
     shards: Vec<Shard>,
-    shard_bytes: u64,
-    /// Live per-shard byte budgets (even split at start, then moved by the
-    /// rebalancer). Relaxed atomics so `stats` reads them lock-free.
-    budgets: Vec<AtomicU64>,
-    /// Cross-shard rebalancer state; `try_lock`ed so at most one thread runs
-    /// a round while the rest keep serving. `flush` takes this lock (not
-    /// `try_lock`) before rebuilding the engines, so a mid-round flush
-    /// cannot interleave with a transfer and leak budget.
-    balancer: Mutex<ShardRebalancer>,
+    /// The per-(tenant, shard) budgets at construction (weight-proportional
+    /// tenant shares, split evenly across shards); restored by a full flush.
+    initial_budgets: Vec<Vec<u64>>,
+    /// Live per-(tenant, shard) byte budgets. Relaxed atomics so `stats`
+    /// reads them lock-free.
+    budgets: Vec<Vec<AtomicU64>>,
+    /// Per-tenant cross-shard rebalancer state; `try_lock`ed so at most one
+    /// thread runs a tenant's round while the rest keep serving.
+    shard_balancers: Vec<Mutex<ShardRebalancer>>,
+    /// Cross-tenant arbiter state; same `try_lock` discipline. `flush` takes
+    /// this lock (not `try_lock`) before rebuilding engines, so a mid-round
+    /// flush cannot interleave with a transfer and leak budget.
+    arbiter: Mutex<TenantArbiter>,
     /// Per-shard request count that triggers a rebalancing round
     /// (`interval_requests / shard_count`, at least 1).
     tick_interval: u64,
+    /// Per-shard request count that triggers an arbitration round.
+    arbiter_tick_interval: u64,
     rebalance_runs: AtomicU64,
     rebalance_transfers: AtomicU64,
     rebalance_bytes: AtomicU64,
+    arbiter_runs: AtomicU64,
+    arbiter_transfers: AtomicU64,
+    arbiter_bytes: AtomicU64,
+}
+
+/// Splits `total` into weight-proportional integer shares that sum exactly
+/// to `total` (the remainder lands on the first share).
+fn weighted_split(total: u64, weights: &[u64]) -> Vec<u64> {
+    let sum: u128 = weights.iter().map(|&w| w as u128).sum();
+    let mut shares: Vec<u64> = weights
+        .iter()
+        .map(|&w| ((total as u128 * w as u128) / sum.max(1)) as u64)
+        .collect();
+    let assigned: u64 = shares.iter().sum();
+    shares[0] += total - assigned;
+    shares
+}
+
+/// Splits `total` into `parts` even integer shares summing exactly to
+/// `total` (remainder on the first share).
+fn even_split(total: u64, parts: usize) -> Vec<u64> {
+    let share = total / parts as u64;
+    let mut out = vec![share; parts];
+    out[0] += total - share * parts as u64;
+    out
 }
 
 impl SharedCache {
-    /// Creates a shared cache with the configured (or detected) shard count.
+    /// Creates a shared cache with the configured tenants and (or detected)
+    /// shard count.
     pub fn new(config: BackendConfig) -> Self {
+        let directory = config.tenant_directory();
+        let weights = config.tenant_weights(&directory);
         let requested = config.requested_shards();
         let n = config.resolved_shards();
         if n < requested {
@@ -335,93 +471,232 @@ impl SharedCache {
             // a sweep that asked for 8 shards may be measuring 2.
             eprintln!(
                 "backend: shard count clamped from {requested} to {n} \
-                 ({} MB total keeps every shard >= {} MB); \
+                 ({} MB total across {} tenant(s) keeps every engine >= {} MB); \
                  stats reports shards_requested/shard_count",
                 config.total_bytes >> 20,
+                directory.len(),
                 MIN_SHARD_BYTES >> 20,
             );
         }
-        let shard_bytes = (config.total_bytes / n as u64).max(1);
-        let shards: Vec<Shard> = (0..n).map(|_| Shard::new(&config, shard_bytes)).collect();
-        let budgets = (0..n).map(|_| AtomicU64::new(shard_bytes)).collect();
-        let balancer = Mutex::new(ShardRebalancer::new(n, config.rebalance.clone()));
+        let tenant_shares = weighted_split(config.total_bytes, &weights);
+        let initial_budgets: Vec<Vec<u64>> = tenant_shares
+            .iter()
+            .map(|&share| even_split(share.max(1), n))
+            .collect();
+        let shards: Vec<Shard> = (0..n)
+            .map(|s| {
+                let engine_bytes: Vec<u64> = initial_budgets
+                    .iter()
+                    .map(|per_shard| per_shard[s])
+                    .collect();
+                Shard::new(&config, &engine_bytes)
+            })
+            .collect();
+        let budgets: Vec<Vec<AtomicU64>> = initial_budgets
+            .iter()
+            .map(|per_shard| per_shard.iter().map(|&b| AtomicU64::new(b)).collect())
+            .collect();
+        let shard_balancers = (0..directory.len())
+            .map(|_| Mutex::new(ShardRebalancer::new(n, config.rebalance.clone())))
+            .collect();
+        let arbiter = Mutex::new(TenantArbiter::new(
+            directory.len(),
+            config.tenant_balance.clone(),
+        ));
         let tick_interval = (config.rebalance.interval_requests / n as u64).max(1);
+        let arbiter_tick_interval = (config.tenant_balance.interval_requests / n as u64).max(1);
         SharedCache {
             config,
+            directory,
             shards,
-            shard_bytes,
+            initial_budgets,
             budgets,
-            balancer,
+            shard_balancers,
+            arbiter,
             tick_interval,
+            arbiter_tick_interval,
             rebalance_runs: AtomicU64::new(0),
             rebalance_transfers: AtomicU64::new(0),
             rebalance_bytes: AtomicU64::new(0),
+            arbiter_runs: AtomicU64::new(0),
+            arbiter_transfers: AtomicU64::new(0),
+            arbiter_bytes: AtomicU64::new(0),
         }
     }
 
-    /// Whether rebalancing rounds can do anything on this cache.
+    /// The tenant directory (names, default first).
+    pub fn tenants(&self) -> &TenantDirectory {
+        &self.directory
+    }
+
+    /// Number of tenants hosted (at least 1).
+    pub fn tenant_count(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// The dense index of a tenant name, if hosted (the `app` command's
+    /// lookup).
+    pub fn tenant_index(&self, name: &str) -> Option<usize> {
+        self.directory.index_of(name)
+    }
+
+    /// Whether per-tenant cross-shard rebalancing rounds can do anything.
     fn rebalance_active(&self) -> bool {
         self.config.rebalance.enabled
             && self.shards.len() > 1
             && self.config.mode != BackendMode::Default
     }
 
-    /// Counts one wire request on its shard and runs a rebalancing round
-    /// every `interval_requests / shard_count` of them — per-shard counters
-    /// keep the hot path free of shared-line contention while the aggregate
-    /// round cadence stays at roughly one per `interval_requests` under
-    /// uniform routing. Must be called while holding no shard lock.
+    /// Whether cross-tenant arbitration rounds can do anything.
+    fn arbiter_active(&self) -> bool {
+        self.config.tenant_balance.enabled
+            && self.directory.len() > 1
+            && self.config.mode != BackendMode::Default
+    }
+
+    /// Counts one wire request on its shard and runs rebalancing /
+    /// arbitration rounds on their intervals — per-shard counters keep the
+    /// hot path free of shared-line contention while the aggregate cadence
+    /// stays at roughly one round per `interval_requests` under uniform
+    /// routing. Must be called while holding no engine lock.
     fn tick(&self, shard: &Shard) {
-        if !self.rebalance_active() {
+        let rebalance = self.rebalance_active();
+        let arbitrate = self.arbiter_active();
+        if !rebalance && !arbitrate {
             return;
         }
         let n = shard.ops.fetch_add(1, Ordering::Relaxed) + 1;
-        if n % self.tick_interval == 0 {
+        if rebalance && n % self.tick_interval == 0 {
             self.rebalance_now();
+        }
+        if arbitrate && n % self.arbiter_tick_interval == 0 {
+            self.arbitrate_now();
         }
     }
 
-    /// Runs one rebalancing round immediately (also exposed for tests and
-    /// experiment drivers). A no-op when rebalancing is inactive or another
-    /// thread is mid-round.
+    /// Runs one cross-shard rebalancing round per tenant immediately (also
+    /// exposed for tests and experiment drivers). A no-op when rebalancing
+    /// is inactive; tenants whose round is already running on another thread
+    /// are skipped.
     pub fn rebalance_now(&self) {
         if !self.rebalance_active() {
             return;
         }
-        let Some(mut balancer) = self.balancer.try_lock() else {
-            return;
-        };
-        let samples: Vec<ShardSample> = self
-            .shards
-            .iter()
-            .zip(&self.budgets)
-            .map(|(shard, budget)| ShardSample {
-                shadow_hits: shard.inner.lock().stats().shadow_hits,
-                budget_bytes: budget.load(Ordering::Relaxed),
-            })
-            .collect();
-        for t in balancer.rebalance(&samples) {
-            // Shrink first and only then grow — one shard lock at a time,
-            // and the total can momentarily dip but never exceed the budget.
-            let released = self.shards[t.from].inner.lock().shrink_total(t.bytes);
-            if !released {
+        let mut ran_any = false;
+        for (t, balancer) in self.shard_balancers.iter().enumerate() {
+            let Some(mut balancer) = balancer.try_lock() else {
                 continue;
+            };
+            ran_any = true;
+            let samples: Vec<ShardSample> = self
+                .shards
+                .iter()
+                .zip(&self.budgets[t])
+                .map(|(shard, budget)| ShardSample {
+                    shadow_hits: shard.engines[t].lock().stats().shadow_hits,
+                    budget_bytes: budget.load(Ordering::Relaxed),
+                })
+                .collect();
+            for tr in balancer.rebalance(&samples) {
+                // Shrink first and only then grow — one engine lock at a
+                // time, and the total can momentarily dip but never exceed
+                // the budget.
+                let released = self.shards[tr.from].engines[t]
+                    .lock()
+                    .shrink_total(tr.bytes);
+                if !released {
+                    continue;
+                }
+                self.budgets[t][tr.from].fetch_sub(tr.bytes, Ordering::Relaxed);
+                self.shards[tr.to].engines[t].lock().grow_total(tr.bytes);
+                self.budgets[t][tr.to].fetch_add(tr.bytes, Ordering::Relaxed);
+                self.rebalance_transfers.fetch_add(1, Ordering::Relaxed);
+                self.rebalance_bytes.fetch_add(tr.bytes, Ordering::Relaxed);
             }
-            self.budgets[t.from].fetch_sub(t.bytes, Ordering::Relaxed);
-            self.shards[t.to].inner.lock().grow_total(t.bytes);
-            self.budgets[t.to].fetch_add(t.bytes, Ordering::Relaxed);
-            self.rebalance_transfers.fetch_add(1, Ordering::Relaxed);
-            self.rebalance_bytes.fetch_add(t.bytes, Ordering::Relaxed);
         }
-        self.rebalance_runs.fetch_add(1, Ordering::Relaxed);
+        // A round that found every balancer busy observed nothing; counting
+        // it would skew the runs-vs-transfers diagnostics under concurrency.
+        if ran_any {
+            self.rebalance_runs.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
-    /// The live per-shard byte budgets (even split at start; the rebalancer
-    /// moves them).
+    /// Runs one cross-tenant arbitration round immediately (also exposed for
+    /// tests and experiment drivers). A no-op when arbitration is inactive
+    /// or another thread is mid-round.
+    ///
+    /// A tenant transfer is spread across every shard: each shard's slice of
+    /// the donor engine is shrunk (evicting immediately, so the released
+    /// bytes are real) and the winner's engine on the same shard grows by
+    /// exactly the released slice — shard-local symmetry keeps the summed
+    /// budget conserved even if some slices fail on their floors.
+    pub fn arbitrate_now(&self) {
+        if !self.arbiter_active() {
+            return;
+        }
+        let Some(mut arbiter) = self.arbiter.try_lock() else {
+            return;
+        };
+        let n = self.shards.len() as u64;
+        let samples: Vec<TenantSample> = (0..self.directory.len())
+            .map(|t| TenantSample {
+                shadow_hits: self
+                    .shards
+                    .iter()
+                    .map(|shard| shard.engines[t].lock().stats().shadow_hits)
+                    .sum(),
+                budget_bytes: self.budgets[t]
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .sum(),
+            })
+            .collect();
+        for tr in arbiter.arbitrate(&samples) {
+            let mut moved = 0u64;
+            for (s, _) in self.shards.iter().enumerate() {
+                let slice = tr.bytes / n + u64::from((s as u64) < tr.bytes % n);
+                if slice == 0 {
+                    continue;
+                }
+                let released = self.shards[s].engines[tr.from].lock().shrink_total(slice);
+                if !released {
+                    // This shard's donor slice is pinned by its class
+                    // floors; skip it (the arbiter re-samples real budgets
+                    // next round, so nothing drifts).
+                    continue;
+                }
+                self.budgets[tr.from][s].fetch_sub(slice, Ordering::Relaxed);
+                self.shards[s].engines[tr.to].lock().grow_total(slice);
+                self.budgets[tr.to][s].fetch_add(slice, Ordering::Relaxed);
+                moved += slice;
+            }
+            if moved > 0 {
+                self.arbiter_transfers.fetch_add(1, Ordering::Relaxed);
+                self.arbiter_bytes.fetch_add(moved, Ordering::Relaxed);
+            }
+        }
+        self.arbiter_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The live per-shard byte budgets, summed over tenants (even split at
+    /// start; the rebalancers move them).
     pub fn shard_budgets(&self) -> Vec<u64> {
+        (0..self.shards.len())
+            .map(|s| {
+                self.budgets
+                    .iter()
+                    .map(|per_shard| per_shard[s].load(Ordering::Relaxed))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// The live per-tenant byte budgets (weight-proportional at start; the
+    /// arbiter moves them).
+    pub fn tenant_budgets(&self) -> Vec<u64> {
         self.budgets
             .iter()
-            .map(|b| b.load(Ordering::Relaxed))
+            .map(|per_shard| per_shard.iter().map(|b| b.load(Ordering::Relaxed)).sum())
             .collect()
     }
 
@@ -429,14 +704,19 @@ impl SharedCache {
         (key.len() + data.len()) as u64
     }
 
-    /// Routes a byte-string key to its shard and 64-bit cache key.
+    /// Routes a byte-string key of one tenant to its shard index and 64-bit
+    /// cache key.
     ///
     /// The shard selector re-mixes the FNV hash so that shard membership is
-    /// decorrelated from the bits the per-shard engines use.
-    fn route(&self, key: &[u8]) -> (&Shard, Key) {
+    /// decorrelated from the bits the per-shard engines use; non-default
+    /// tenants fold a per-tenant salt in (the backend-side form of key
+    /// prefixing) so their key populations spread independently, while the
+    /// default tenant routes exactly as the single-tenant server did.
+    fn route(&self, tenant: usize, key: &[u8]) -> (usize, Key) {
         let hash = hash_bytes(key);
-        let index = (mix64(hash) % self.shards.len() as u64) as usize;
-        (&self.shards[index], Key::new(hash))
+        let salt = if tenant == 0 { 0 } else { mix64(tenant as u64) };
+        let index = (mix64(hash ^ salt) % self.shards.len() as u64) as usize;
+        (index, Key::new(hash))
     }
 
     /// Number of shards the cache is running.
@@ -444,12 +724,14 @@ impl SharedCache {
         self.shards.len()
     }
 
-    /// Looks up a key, returning its flags and value on an exact match.
-    pub fn get(&self, key: &[u8]) -> Option<(u32, Bytes)> {
-        let (shard, id) = self.route(key);
+    /// Looks up a key for one tenant, returning its flags and value on an
+    /// exact match.
+    pub fn get_for(&self, tenant: usize, key: &[u8]) -> Option<(u32, Bytes)> {
+        let (si, id) = self.route(tenant, key);
+        let shard = &self.shards[si];
         self.tick(shard);
-        shard.gets.fetch_add(1, Ordering::Relaxed);
-        let mut inner = shard.inner.lock();
+        shard.wire[tenant].gets.fetch_add(1, Ordering::Relaxed);
+        let mut inner = shard.engines[tenant].lock();
         let found = match &mut *inner {
             Inner::Plain(cache) => {
                 let hit = cache.get_untyped(id).result.hit;
@@ -471,66 +753,74 @@ impl SharedCache {
         drop(inner);
         match found {
             Some(stored) if stored.key == key => {
-                shard.hits.fetch_add(1, Ordering::Relaxed);
+                shard.wire[tenant].hits.fetch_add(1, Ordering::Relaxed);
                 Some((stored.flags, stored.data))
             }
             _ => None,
         }
     }
 
-    /// Whether a key is resident (exact match), without recording a GET.
-    pub fn contains(&self, key: &[u8]) -> bool {
-        let (shard, id) = self.route(key);
-        shard.inner.lock().contains_exact(id, key)
+    /// Whether a key is resident for one tenant (exact match), without
+    /// recording a GET.
+    pub fn contains_for(&self, tenant: usize, key: &[u8]) -> bool {
+        let (si, id) = self.route(tenant, key);
+        self.shards[si].engines[tenant]
+            .lock()
+            .contains_exact(id, key)
     }
 
-    /// Stores a key unconditionally. Returns `false` only if the item could
-    /// not be admitted (e.g. larger than the largest slab class).
-    pub fn set(&self, key: &[u8], flags: u32, data: Bytes) -> bool {
-        let (shard, id) = self.route(key);
+    /// Stores a key for one tenant unconditionally. Returns `false` only if
+    /// the item could not be admitted (e.g. larger than the largest slab
+    /// class).
+    pub fn set_for(&self, tenant: usize, key: &[u8], flags: u32, data: Bytes) -> bool {
+        let (si, id) = self.route(tenant, key);
+        let shard = &self.shards[si];
         self.tick(shard);
-        shard.sets.fetch_add(1, Ordering::Relaxed);
+        shard.wire[tenant].sets.fetch_add(1, Ordering::Relaxed);
         let size = Self::charge_size(key, &data);
         let stored = StoredValue::new(key, flags, data);
-        shard.inner.lock().set(id, size, stored)
+        shard.engines[tenant].lock().set(id, size, stored)
     }
 
-    /// Stores a key only if it is absent (`add`). Atomic with respect to
-    /// concurrent writers on the same shard.
-    pub fn add(&self, key: &[u8], flags: u32, data: Bytes) -> bool {
-        let (shard, id) = self.route(key);
+    /// Stores a key for one tenant only if it is absent (`add`). Atomic with
+    /// respect to concurrent writers on the same tenant and shard.
+    pub fn add_for(&self, tenant: usize, key: &[u8], flags: u32, data: Bytes) -> bool {
+        let (si, id) = self.route(tenant, key);
+        let shard = &self.shards[si];
         self.tick(shard);
         let size = Self::charge_size(key, &data);
         let stored = StoredValue::new(key, flags, data);
-        let mut inner = shard.inner.lock();
+        let mut inner = shard.engines[tenant].lock();
         if inner.contains_exact(id, key) {
             return false;
         }
-        shard.sets.fetch_add(1, Ordering::Relaxed);
+        shard.wire[tenant].sets.fetch_add(1, Ordering::Relaxed);
         inner.set(id, size, stored)
     }
 
-    /// Stores a key only if it is present (`replace`). Atomic with respect
-    /// to concurrent writers on the same shard.
-    pub fn replace(&self, key: &[u8], flags: u32, data: Bytes) -> bool {
-        let (shard, id) = self.route(key);
+    /// Stores a key for one tenant only if it is present (`replace`). Atomic
+    /// with respect to concurrent writers on the same tenant and shard.
+    pub fn replace_for(&self, tenant: usize, key: &[u8], flags: u32, data: Bytes) -> bool {
+        let (si, id) = self.route(tenant, key);
+        let shard = &self.shards[si];
         self.tick(shard);
         let size = Self::charge_size(key, &data);
         let stored = StoredValue::new(key, flags, data);
-        let mut inner = shard.inner.lock();
+        let mut inner = shard.engines[tenant].lock();
         if !inner.contains_exact(id, key) {
             return false;
         }
-        shard.sets.fetch_add(1, Ordering::Relaxed);
+        shard.wire[tenant].sets.fetch_add(1, Ordering::Relaxed);
         inner.set(id, size, stored)
     }
 
-    /// Deletes a key; returns whether it was present.
-    pub fn delete(&self, key: &[u8]) -> bool {
-        let (shard, id) = self.route(key);
+    /// Deletes a key for one tenant; returns whether it was present.
+    pub fn delete_for(&self, tenant: usize, key: &[u8]) -> bool {
+        let (si, id) = self.route(tenant, key);
+        let shard = &self.shards[si];
         self.tick(shard);
-        shard.deletes.fetch_add(1, Ordering::Relaxed);
-        let mut inner = shard.inner.lock();
+        shard.wire[tenant].deletes.fetch_add(1, Ordering::Relaxed);
+        let mut inner = shard.engines[tenant].lock();
         if !inner.contains_exact(id, key) {
             return false;
         }
@@ -540,48 +830,144 @@ impl SharedCache {
         }
     }
 
-    /// Drops every item (`flush_all`), fanning out across the shards. The
-    /// per-shard budgets return to the even split and the rebalancer's
-    /// counter baseline is forgotten (the rebuilt engines restart their
-    /// cumulative counters from zero).
-    pub fn flush(&self) {
-        // Hold the balancer lock across the rebuild: an in-flight
-        // rebalancing round holds it for its whole shrink/grow loop, so a
-        // flush can never interleave with a half-applied transfer (which
-        // would overwrite the donor's debit and then credit the winner —
-        // leaking budget above the configured total).
-        let mut balancer = self.balancer.lock();
-        for (shard, budget) in self.shards.iter().zip(&self.budgets) {
-            let mut inner = shard.inner.lock();
-            *inner = Inner::build(&self.config, self.shard_bytes);
-            budget.store(self.shard_bytes, Ordering::Relaxed);
+    /// Looks up a key for the default tenant.
+    pub fn get(&self, key: &[u8]) -> Option<(u32, Bytes)> {
+        self.get_for(0, key)
+    }
+
+    /// Whether a key is resident for the default tenant.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.contains_for(0, key)
+    }
+
+    /// Stores a key for the default tenant.
+    pub fn set(&self, key: &[u8], flags: u32, data: Bytes) -> bool {
+        self.set_for(0, key, flags, data)
+    }
+
+    /// `add` for the default tenant.
+    pub fn add(&self, key: &[u8], flags: u32, data: Bytes) -> bool {
+        self.add_for(0, key, flags, data)
+    }
+
+    /// `replace` for the default tenant.
+    pub fn replace(&self, key: &[u8], flags: u32, data: Bytes) -> bool {
+        self.replace_for(0, key, flags, data)
+    }
+
+    /// Deletes a key for the default tenant.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        self.delete_for(0, key)
+    }
+
+    /// Drops every item of one tenant (its `flush_all`), fanning out across
+    /// the shards. The tenant's *current* (arbitrated) budget is kept but
+    /// redistributed evenly across its shard engines and its cross-shard
+    /// rebalancer forgets its baseline. Other tenants' keys, budgets and
+    /// counters are untouched — and so is the cross-tenant arbiter's state:
+    /// the rebuilt engines restart their counters from zero, which the
+    /// gradient engine detects as a backwards counter and re-baselines on
+    /// its own for exactly one round. (An explicit `arbiter.reset()` here
+    /// would let any single tenant suppress arbitration *globally* and
+    /// indefinitely by flushing more often than the arbitration interval.)
+    pub fn flush_tenant(&self, tenant: usize) {
+        // Lock order: arbiter, then the tenant's balancer, then engines —
+        // the same partial order every round uses, so an in-flight round
+        // finishes before the rebuild and no half-applied transfer can leak
+        // budget. The arbiter lock is held for serialisation only.
+        let _arbiter = self.arbiter.lock();
+        let mut balancer = self.shard_balancers[tenant].lock();
+        let total: u64 = self.budgets[tenant]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum();
+        let shares = even_split(total.max(1), self.shards.len());
+        // Rebuild donor shards (new share at or below the current budget)
+        // before grown ones: applying a grown share while another shard
+        // still holds its old, larger budget would transiently raise the
+        // tenant's summed live targets above its total, and concurrent
+        // requests could fill into that overshoot.
+        let mut order: Vec<usize> = (0..self.shards.len()).collect();
+        order.sort_by_key(|&s| {
+            std::cmp::Reverse(
+                self.budgets[tenant][s]
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(shares[s]),
+            )
+        });
+        for s in order {
+            let mut inner = self.shards[s].engines[tenant].lock();
+            *inner = Inner::build(&self.config, shares[s]);
+            self.budgets[tenant][s].store(shares[s], Ordering::Relaxed);
         }
         balancer.reset();
     }
 
+    /// Drops every item of every tenant, returning all budgets to their
+    /// initial (weight-proportional, evenly sharded) split and forgetting
+    /// every rebalancer and arbiter baseline.
+    pub fn flush(&self) {
+        // Hold every decision lock across the rebuild (arbiter first, then
+        // balancers in index order — the global lock order).
+        let mut arbiter = self.arbiter.lock();
+        let mut balancers: Vec<_> = self.shard_balancers.iter().map(|b| b.lock()).collect();
+        for (t, per_shard) in self.initial_budgets.iter().enumerate() {
+            for (s, shard) in self.shards.iter().enumerate() {
+                let mut inner = shard.engines[t].lock();
+                *inner = Inner::build(&self.config, per_shard[s]);
+                self.budgets[t][s].store(per_shard[s], Ordering::Relaxed);
+            }
+        }
+        for balancer in balancers.iter_mut() {
+            balancer.reset();
+        }
+        arbiter.reset();
+    }
+
     /// Wire-level and cache-level statistics as `STAT` pairs.
     ///
-    /// Aggregated counters come first (summed over every shard), followed by
+    /// Aggregated counters come first (summed over every tenant and shard),
+    /// then the allocation-hierarchy counters (`rebalance:*`, `arbiter:*`),
+    /// then per-tenant breakdowns as `tenant:<app>:<name>` lines and
     /// per-shard breakdowns as `shard:<i>:<name>` lines. Wire counters are
     /// read with relaxed atomics; only the cache-core statistics (bytes,
-    /// items, evictions) briefly take each shard's lock in turn.
+    /// items, evictions) briefly take each engine's lock in turn.
     pub fn stats(&self) -> Vec<(String, String)> {
+        let nt = self.directory.len();
+        let ns = self.shards.len();
         let mut totals = WireCounts::default();
+        let mut core_total = CacheStats::default();
         let mut used = 0u64;
         let mut items = 0usize;
-        let mut core_total = CacheStats::default();
-        let mut per_shard = Vec::with_capacity(self.shards.len());
-        for shard in &self.shards {
-            let wire = shard.wire_counts();
-            totals.accumulate(wire);
-            let (core, shard_used, shard_items) = {
-                let inner = shard.inner.lock();
-                (inner.stats(), inner.used_bytes(), inner.len())
-            };
-            used += shard_used;
-            items += shard_items;
-            core_total += core;
-            per_shard.push((wire, core, shard_used, shard_items));
+        // Indexed [tenant], then [shard].
+        let mut tenant_wire = vec![WireCounts::default(); nt];
+        let mut tenant_core = vec![CacheStats::default(); nt];
+        let mut tenant_used = vec![0u64; nt];
+        let mut tenant_items = vec![0usize; nt];
+        let mut shard_wire = vec![WireCounts::default(); ns];
+        let mut shard_core = vec![CacheStats::default(); ns];
+        let mut shard_used = vec![0u64; ns];
+        let mut shard_items = vec![0usize; ns];
+        for (s, shard) in self.shards.iter().enumerate() {
+            for t in 0..nt {
+                let wire = shard.wire[t].counts();
+                let (core, engine_used, engine_items) = {
+                    let inner = shard.engines[t].lock();
+                    (inner.stats(), inner.used_bytes(), inner.len())
+                };
+                totals.accumulate(wire);
+                core_total += core;
+                used += engine_used;
+                items += engine_items;
+                tenant_wire[t].accumulate(wire);
+                tenant_core[t] += core;
+                tenant_used[t] += engine_used;
+                tenant_items[t] += engine_items;
+                shard_wire[s].accumulate(wire);
+                shard_core[s] += core;
+                shard_used[s] += engine_used;
+                shard_items[s] += engine_items;
+            }
         }
 
         let mut out = vec![
@@ -598,12 +984,16 @@ impl SharedCache {
                 "allocator".into(),
                 format!("{:?}", self.config.mode).to_lowercase(),
             ),
-            ("shard_count".into(), self.shards.len().to_string()),
+            ("shard_count".into(), ns.to_string()),
             (
                 "shards_requested".into(),
                 self.config.requested_shards().to_string(),
             ),
-            ("shard_bytes".into(), self.shard_bytes.to_string()),
+            (
+                "shard_bytes".into(),
+                (self.config.total_bytes / ns as u64).to_string(),
+            ),
+            ("tenant_count".into(), nt.to_string()),
             (
                 "rebalance:enabled".into(),
                 (self.rebalance_active() as u8).to_string(),
@@ -620,23 +1010,71 @@ impl SharedCache {
                 "rebalance:bytes_moved".into(),
                 self.rebalance_bytes.load(Ordering::Relaxed).to_string(),
             ),
+            (
+                "arbiter:enabled".into(),
+                (self.arbiter_active() as u8).to_string(),
+            ),
+            (
+                "arbiter:runs".into(),
+                self.arbiter_runs.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "arbiter:transfers".into(),
+                self.arbiter_transfers.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "arbiter:bytes_moved".into(),
+                self.arbiter_bytes.load(Ordering::Relaxed).to_string(),
+            ),
         ];
-        for (i, (wire, core, shard_used, shard_items)) in per_shard.into_iter().enumerate() {
-            out.push((format!("shard:{i}:cmd_get"), wire.gets.to_string()));
-            out.push((format!("shard:{i}:cmd_set"), wire.sets.to_string()));
-            out.push((format!("shard:{i}:get_hits"), wire.hits.to_string()));
-            out.push((format!("shard:{i}:get_misses"), wire.misses.to_string()));
-            out.push((format!("shard:{i}:cmd_delete"), wire.deletes.to_string()));
-            out.push((format!("shard:{i}:bytes"), shard_used.to_string()));
-            out.push((format!("shard:{i}:curr_items"), shard_items.to_string()));
-            out.push((format!("shard:{i}:evictions"), core.evictions.to_string()));
+        let tenant_budgets = self.tenant_budgets();
+        for t in 0..nt {
+            let name = self.directory.name(t);
+            let wire = tenant_wire[t];
+            out.push((format!("tenant:{name}:cmd_get"), wire.gets.to_string()));
+            out.push((format!("tenant:{name}:cmd_set"), wire.sets.to_string()));
+            out.push((format!("tenant:{name}:get_hits"), wire.hits.to_string()));
+            out.push((format!("tenant:{name}:get_misses"), wire.misses.to_string()));
             out.push((
-                format!("shard:{i}:budget"),
-                self.budgets[i].load(Ordering::Relaxed).to_string(),
+                format!("tenant:{name}:cmd_delete"),
+                wire.deletes.to_string(),
+            ));
+            out.push((format!("tenant:{name}:bytes"), tenant_used[t].to_string()));
+            out.push((
+                format!("tenant:{name}:curr_items"),
+                tenant_items[t].to_string(),
             ));
             out.push((
-                format!("shard:{i}:shadow_hits"),
-                core.shadow_hits.to_string(),
+                format!("tenant:{name}:evictions"),
+                tenant_core[t].evictions.to_string(),
+            ));
+            out.push((
+                format!("tenant:{name}:budget"),
+                tenant_budgets[t].to_string(),
+            ));
+            out.push((
+                format!("tenant:{name}:shadow_hits"),
+                tenant_core[t].shadow_hits.to_string(),
+            ));
+        }
+        let shard_budgets = self.shard_budgets();
+        for s in 0..ns {
+            let wire = shard_wire[s];
+            out.push((format!("shard:{s}:cmd_get"), wire.gets.to_string()));
+            out.push((format!("shard:{s}:cmd_set"), wire.sets.to_string()));
+            out.push((format!("shard:{s}:get_hits"), wire.hits.to_string()));
+            out.push((format!("shard:{s}:get_misses"), wire.misses.to_string()));
+            out.push((format!("shard:{s}:cmd_delete"), wire.deletes.to_string()));
+            out.push((format!("shard:{s}:bytes"), shard_used[s].to_string()));
+            out.push((format!("shard:{s}:curr_items"), shard_items[s].to_string()));
+            out.push((
+                format!("shard:{s}:evictions"),
+                shard_core[s].evictions.to_string(),
+            ));
+            out.push((format!("shard:{s}:budget"), shard_budgets[s].to_string()));
+            out.push((
+                format!("shard:{s}:shadow_hits"),
+                shard_core[s].shadow_hits.to_string(),
             ));
         }
         out
@@ -647,6 +1085,10 @@ impl SharedCache {
         self.config.mode
     }
 }
+
+/// Re-export so backend users can name the default tenant without reaching
+/// into `cache_core`.
+pub use cache_core::tenant::DEFAULT_TENANT as DEFAULT_TENANT_NAME;
 
 #[cfg(test)]
 mod tests {
@@ -661,8 +1103,19 @@ mod tests {
         })
     }
 
-    /// The shard a byte-string key routes to, replicated from
-    /// [`SharedCache::route`] so tests can build per-shard workloads.
+    fn two_tenants(total: u64, shards: usize) -> BackendConfig {
+        BackendConfig {
+            total_bytes: total,
+            mode: BackendMode::Cliffhanger,
+            shards,
+            tenants: vec![TenantSpec::new("alpha", 1), TenantSpec::new("beta", 1)],
+            ..BackendConfig::default()
+        }
+    }
+
+    /// The shard a byte-string key routes to for the default tenant,
+    /// replicated from [`SharedCache::route`] so tests can build per-shard
+    /// workloads.
     fn shard_of(key: &[u8], shards: usize) -> usize {
         (mix64(hash_bytes(key)) % shards as u64) as usize
     }
@@ -742,9 +1195,6 @@ mod tests {
             if c.get(key.as_bytes()).is_none() {
                 c.set(key.as_bytes(), 0, Bytes::from("v"));
             }
-            if i % 1_000 == 0 {
-                c.rebalance_now();
-            }
         }
         assert_eq!(c.shard_budgets(), vec![4 << 20, 4 << 20]);
         let stats: std::collections::HashMap<String, String> = c.stats().into_iter().collect();
@@ -757,9 +1207,12 @@ mod tests {
         let c = cache(BackendMode::Default);
         c.set(b"a", 0, Bytes::from("1"));
         c.rebalance_now();
+        c.arbitrate_now();
         let stats: std::collections::HashMap<String, String> = c.stats().into_iter().collect();
         assert_eq!(stats["rebalance:enabled"], "0");
         assert_eq!(stats["rebalance:runs"], "0");
+        assert_eq!(stats["arbiter:enabled"], "0");
+        assert_eq!(stats["arbiter:runs"], "0");
     }
 
     #[test]
@@ -869,6 +1322,7 @@ mod tests {
         assert_eq!(stats["cmd_set"], "1");
         assert_eq!(stats["allocator"], "hillclimbing");
         assert_eq!(stats["shard_count"], "2");
+        assert_eq!(stats["tenant_count"], "1");
     }
 
     #[test]
@@ -932,6 +1386,18 @@ mod tests {
             ..BackendConfig::default()
         };
         assert!(zero.resolved_shards() >= 1);
+        // Tenants tighten the cap: every tenant engine needs its megabyte.
+        let tenanted = BackendConfig {
+            total_bytes: 8 << 20,
+            shards: 8,
+            tenants: vec![
+                TenantSpec::new("a", 1),
+                TenantSpec::new("b", 1),
+                TenantSpec::new("c", 1),
+            ],
+            ..BackendConfig::default()
+        };
+        assert_eq!(tenanted.resolved_shards(), 2, "8 MB / 4 tenants / 1 MB");
     }
 
     #[test]
@@ -949,5 +1415,246 @@ mod tests {
         for i in 0..1_000u32 {
             assert!(c.get(format!("ind-{i}").as_bytes()).is_none());
         }
+    }
+
+    #[test]
+    fn tenants_resolve_and_namespace_keys() {
+        let c = SharedCache::new(two_tenants(8 << 20, 2));
+        assert_eq!(c.tenant_count(), 3);
+        assert_eq!(c.tenant_index("default"), Some(0));
+        let a = c.tenant_index("alpha").unwrap();
+        let b = c.tenant_index("beta").unwrap();
+        assert_eq!(c.tenant_index("gamma"), None);
+        // The same wire key is three distinct items in three namespaces.
+        assert!(c.set(b"k", 1, Bytes::from("default-v")));
+        assert!(c.set_for(a, b"k", 2, Bytes::from("alpha-v")));
+        assert!(c.set_for(b, b"k", 3, Bytes::from("beta-v")));
+        assert_eq!(c.get(b"k").unwrap(), (1, Bytes::from("default-v")));
+        assert_eq!(c.get_for(a, b"k").unwrap(), (2, Bytes::from("alpha-v")));
+        assert_eq!(c.get_for(b, b"k").unwrap(), (3, Bytes::from("beta-v")));
+        // Deleting in one namespace leaves the others.
+        assert!(c.delete_for(a, b"k"));
+        assert!(c.get_for(a, b"k").is_none());
+        assert_eq!(c.get(b"k").unwrap().1, Bytes::from("default-v"));
+        assert_eq!(c.get_for(b, b"k").unwrap().1, Bytes::from("beta-v"));
+    }
+
+    #[test]
+    fn tenant_budgets_follow_weights() {
+        let c = SharedCache::new(BackendConfig {
+            total_bytes: 16 << 20,
+            mode: BackendMode::Cliffhanger,
+            shards: 2,
+            tenants: vec![TenantSpec::new("heavy", 2), TenantSpec::new("light", 1)],
+            ..BackendConfig::default()
+        });
+        let budgets = c.tenant_budgets();
+        assert_eq!(budgets.iter().sum::<u64>(), 16 << 20);
+        // default:1, heavy:2, light:1 over 16 MB = 4/8/4 MB.
+        assert_eq!(budgets[1], 8 << 20);
+        assert_eq!(budgets[2], 4 << 20);
+        let stats: std::collections::HashMap<String, String> = c.stats().into_iter().collect();
+        assert_eq!(stats["tenant_count"], "3");
+        assert_eq!(stats["tenant:heavy:budget"], (8u64 << 20).to_string());
+    }
+
+    #[test]
+    fn flush_tenant_clears_only_that_tenant_and_conserves_budget() {
+        let c = SharedCache::new(two_tenants(8 << 20, 2));
+        let a = c.tenant_index("alpha").unwrap();
+        let b = c.tenant_index("beta").unwrap();
+        for i in 0..500u32 {
+            assert!(c.set_for(a, format!("a{i}").as_bytes(), 0, Bytes::from("va")));
+            assert!(c.set_for(b, format!("b{i}").as_bytes(), 0, Bytes::from("vb")));
+        }
+        let total_before: u64 = c.tenant_budgets().iter().sum();
+        c.flush_tenant(a);
+        for i in 0..500u32 {
+            assert!(c.get_for(a, format!("a{i}").as_bytes()).is_none());
+            assert!(
+                c.get_for(b, format!("b{i}").as_bytes()).is_some(),
+                "beta's keys must survive alpha's flush"
+            );
+        }
+        assert_eq!(c.tenant_budgets().iter().sum::<u64>(), total_before);
+        let stats: std::collections::HashMap<String, String> = c.stats().into_iter().collect();
+        assert_eq!(stats["tenant:alpha:curr_items"], "0");
+        assert_eq!(stats["tenant:beta:curr_items"], "500");
+    }
+
+    #[test]
+    fn per_tenant_stats_sum_to_aggregates() {
+        let c = SharedCache::new(two_tenants(8 << 20, 2));
+        let a = c.tenant_index("alpha").unwrap();
+        for i in 0..100u32 {
+            assert!(c.set(format!("d{i}").as_bytes(), 0, Bytes::from("v")));
+            assert!(c.set_for(a, format!("a{i}").as_bytes(), 0, Bytes::from("v")));
+        }
+        for i in 0..50u32 {
+            c.get(format!("d{i}").as_bytes());
+            c.get_for(a, format!("missing{i}").as_bytes());
+        }
+        let stats: std::collections::HashMap<String, String> = c.stats().into_iter().collect();
+        for counter in ["cmd_get", "cmd_set", "get_hits", "curr_items", "bytes"] {
+            let total: u64 = stats[counter].parse().unwrap();
+            let summed: u64 = ["default", "alpha", "beta"]
+                .iter()
+                .map(|name| {
+                    stats[&format!("tenant:{name}:{counter}")]
+                        .parse::<u64>()
+                        .unwrap()
+                })
+                .sum();
+            assert_eq!(total, summed, "{counter} must equal the per-tenant sum");
+        }
+        assert_eq!(stats["tenant:alpha:get_misses"], "50");
+        assert_eq!(stats["tenant:default:get_hits"], "50");
+        assert_eq!(stats["tenant:beta:cmd_get"], "0");
+    }
+
+    #[test]
+    fn arbiter_moves_budget_toward_the_starved_tenant() {
+        let total = 16u64 << 20;
+        let c = SharedCache::new(BackendConfig {
+            total_bytes: total,
+            mode: BackendMode::Cliffhanger,
+            shards: 2,
+            tenants: vec![TenantSpec::new("starved", 1), TenantSpec::new("idle", 1)],
+            tenant_balance: TenantBalanceConfig {
+                credit_bytes: 256 << 10,
+                min_tenant_bytes: 1 << 20,
+                min_gradient_gap: 4,
+                ..TenantBalanceConfig::default()
+            },
+            ..BackendConfig::default()
+        });
+        let starved = c.tenant_index("starved").unwrap();
+        let idle = c.tenant_index("idle").unwrap();
+        // The starved tenant cycles a working set past its ~5.3 MB share —
+        // sized so the cycle's reuse distance lands beyond each engine's
+        // physical capacity (~9k items) but inside physical + shadow
+        // (~13k): every re-request then misses the cache and hits the
+        // shadow queue, the pure form of the gradient. The idle tenant
+        // touches a handful of keys.
+        let payload = Bytes::from(vec![0u8; 200]);
+        for round in 0..12 {
+            for i in 0..20_000u32 {
+                let key = format!("s{i}");
+                if c.get_for(starved, key.as_bytes()).is_none() {
+                    c.set_for(starved, key.as_bytes(), 0, payload.clone());
+                }
+            }
+            for i in 0..50u32 {
+                let key = format!("i{i}");
+                if c.get_for(idle, key.as_bytes()).is_none() {
+                    c.set_for(idle, key.as_bytes(), 0, payload.clone());
+                }
+            }
+            c.arbitrate_now();
+            let _ = round;
+        }
+        let budgets = c.tenant_budgets();
+        assert_eq!(
+            budgets.iter().sum::<u64>(),
+            total,
+            "arbitration must conserve the total budget: {budgets:?}"
+        );
+        assert!(
+            budgets[starved] > budgets[idle],
+            "the starved tenant should have gained budget: {budgets:?}"
+        );
+        let stats: std::collections::HashMap<String, String> = c.stats().into_iter().collect();
+        assert_eq!(stats["arbiter:enabled"], "1");
+        assert!(stats["arbiter:transfers"].parse::<u64>().unwrap() > 0);
+        assert!(stats["arbiter:bytes_moved"].parse::<u64>().unwrap() > 0);
+        assert_eq!(stats["tenant:starved:budget"], budgets[starved].to_string());
+    }
+
+    #[test]
+    fn arbitration_survives_another_tenants_flush_storm() {
+        // Regression: flush_tenant used to reset the *global* arbiter
+        // baseline, so any tenant flushing more often than the arbitration
+        // interval suppressed cross-tenant arbitration for everyone,
+        // forever. The gradient engine re-baselines on backwards counters
+        // by itself, so a flush must cost at most one observation round.
+        let total = 16u64 << 20;
+        let c = SharedCache::new(BackendConfig {
+            total_bytes: total,
+            mode: BackendMode::Cliffhanger,
+            shards: 2,
+            tenants: vec![TenantSpec::new("starved", 1), TenantSpec::new("flusher", 1)],
+            tenant_balance: TenantBalanceConfig {
+                credit_bytes: 256 << 10,
+                min_tenant_bytes: 1 << 20,
+                min_gradient_gap: 4,
+                ..TenantBalanceConfig::default()
+            },
+            ..BackendConfig::default()
+        });
+        let starved = c.tenant_index("starved").unwrap();
+        let flusher = c.tenant_index("flusher").unwrap();
+        let payload = Bytes::from(vec![0u8; 200]);
+        for round in 0..12 {
+            for i in 0..20_000u32 {
+                let key = format!("s{i}");
+                if c.get_for(starved, key.as_bytes()).is_none() {
+                    c.set_for(starved, key.as_bytes(), 0, payload.clone());
+                }
+            }
+            for i in 0..50u32 {
+                c.set_for(
+                    flusher,
+                    format!("f{round}-{i}").as_bytes(),
+                    0,
+                    payload.clone(),
+                );
+            }
+            // The storm: a flush before every arbitration round.
+            c.flush_tenant(flusher);
+            c.arbitrate_now();
+        }
+        let budgets = c.tenant_budgets();
+        assert_eq!(budgets.iter().sum::<u64>(), total);
+        assert!(
+            budgets[starved] > budgets[flusher],
+            "arbitration must keep working through the flush storm: {budgets:?}"
+        );
+        let stats: std::collections::HashMap<String, String> = c.stats().into_iter().collect();
+        assert!(stats["arbiter:transfers"].parse::<u64>().unwrap() > 0);
+    }
+
+    #[test]
+    fn arbiter_disabled_keeps_static_reservations() {
+        let c = SharedCache::new(BackendConfig {
+            total_bytes: 8 << 20,
+            mode: BackendMode::Cliffhanger,
+            shards: 2,
+            tenants: vec![TenantSpec::new("a", 1)],
+            tenant_balance: TenantBalanceConfig::disabled(),
+            ..BackendConfig::default()
+        });
+        let a = c.tenant_index("a").unwrap();
+        for i in 0..20_000u32 {
+            let key = format!("k{i}");
+            if c.get_for(a, key.as_bytes()).is_none() {
+                c.set_for(a, key.as_bytes(), 0, Bytes::from("v"));
+            }
+            if i % 1_000 == 0 {
+                c.arbitrate_now();
+            }
+        }
+        assert_eq!(c.tenant_budgets(), vec![4 << 20, 4 << 20]);
+        let stats: std::collections::HashMap<String, String> = c.stats().into_iter().collect();
+        assert_eq!(stats["arbiter:enabled"], "0");
+        assert_eq!(stats["arbiter:runs"], "0");
+    }
+
+    #[test]
+    fn single_tenant_server_reports_inactive_arbiter() {
+        let c = cache(BackendMode::Cliffhanger);
+        c.arbitrate_now();
+        let stats: std::collections::HashMap<String, String> = c.stats().into_iter().collect();
+        assert_eq!(stats["arbiter:enabled"], "0", "one tenant cannot arbitrate");
+        assert_eq!(stats["arbiter:runs"], "0");
     }
 }

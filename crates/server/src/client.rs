@@ -41,6 +41,17 @@ impl CacheClient {
         Ok(line.trim_end_matches(['\r', '\n']).to_string())
     }
 
+    /// Selects the application namespace for the rest of this session
+    /// (`app <name>`); returns whether the server accepted it. Keys, stats
+    /// and `flush_all` after a successful call are scoped to that
+    /// application; without it the session runs in the `default` namespace.
+    pub fn app(&mut self, name: &str) -> std::io::Result<bool> {
+        self.writer
+            .write_all(format!("app {name}\r\n").as_bytes())?;
+        let line = self.read_line()?;
+        Ok(line == "OK")
+    }
+
     /// Stores a value; returns whether the server acknowledged it.
     pub fn set(&mut self, key: &[u8], flags: u32, value: &[u8]) -> std::io::Result<bool> {
         self.store("set", key, flags, value)

@@ -11,11 +11,13 @@
 //! about Memcachier and Facebook in §5.6), and the provided networking
 //! guides recommend plain threads for CPU/memory-bound services.
 //!
-//! * [`protocol`] — parsing and serialising the Memcached ASCII protocol.
-//! * [`backend`] — the shared, N-way sharded cache behind the connections
-//!   (exact byte-string keys on top of the 64-bit key space; each shard has
-//!   its own engine, lock and counters, so requests for different shards
-//!   never contend).
+//! * [`protocol`] — parsing and serialising the Memcached ASCII protocol,
+//!   including the multi-tenant `app <name>` session selector.
+//! * [`backend`] — the shared, N-way sharded, multi-tenant cache behind the
+//!   connections (exact byte-string keys on top of the 64-bit key space;
+//!   every shard hosts one engine *per tenant* with its own lock and
+//!   counters, per-tenant budgets rebalance across shards, and a
+//!   cross-tenant arbiter replaces static reservations).
 //! * [`threadpool`] — a fixed-size worker pool over crossbeam channels.
 //! * [`server`] — the TCP listener / connection loop.
 //! * [`client`] — a blocking client for tests, benches and examples.
@@ -30,7 +32,7 @@ pub mod protocol;
 pub mod server;
 pub mod threadpool;
 
-pub use backend::{detect_shards, BackendConfig, BackendMode, SharedCache};
+pub use backend::{detect_shards, BackendConfig, BackendMode, SharedCache, TenantSpec};
 pub use client::CacheClient;
 pub use protocol::{Command, Response};
 pub use server::{CacheServer, ServerConfig};

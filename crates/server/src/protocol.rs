@@ -1,9 +1,21 @@
 //! The Memcached ASCII protocol (the subset the paper's benchmarks use).
 //!
 //! Supported commands: `get` / `gets` (multi-key), `set`, `add`, `replace`,
-//! `delete`, `stats`, `version`, `flush_all` and `quit`. Parsing is
-//! incremental over a byte buffer so a connection handler can feed it
-//! whatever the socket delivers.
+//! `delete`, `stats`, `version`, `flush_all`, `quit`, and the multi-tenant
+//! extension `app <name>`. Parsing is incremental over a byte buffer so a
+//! connection handler can feed it whatever the socket delivers.
+//!
+//! # The `app` extension
+//!
+//! Memcachier-style servers host many applications on one cache; the paper's
+//! §3 analysis is entirely about how their memory shares should be divided.
+//! `app <name>` selects the application *namespace* for the rest of the
+//! session — equivalent to transparently prefixing every subsequent key with
+//! `<name>:`, but enforced server-side (per-tenant engines and budgets), so
+//! one tenant can never read, overwrite or evict another tenant's keys and
+//! `flush_all` only clears the selected namespace. A connection that never
+//! sends `app` runs in the `default` namespace and observes exactly the
+//! pre-extension protocol.
 
 use bytes::{Bytes, BytesMut};
 
@@ -36,6 +48,12 @@ pub enum Command {
         key: Bytes,
         /// Whether the client asked to suppress the reply.
         noreply: bool,
+    },
+    /// `app <name>` — select the application namespace for this session.
+    App {
+        /// The application name (validated against the server's tenant
+        /// directory by the executor, not the parser).
+        id: Bytes,
     },
     /// `stats`.
     Stats,
@@ -178,6 +196,18 @@ pub fn parse_command(buffer: &mut BytesMut) -> ParseOutcome {
                     noreply,
                 }),
                 None => ParseOutcome::Invalid("delete requires a key".to_string()),
+            }
+        }
+        "app" => {
+            let id = parts.next().map(str::to_string);
+            let extra = parts.next().is_some();
+            buffer.advance_checked(line_end + 2);
+            match id {
+                Some(id) if !extra => ParseOutcome::Complete(Command::App {
+                    id: Bytes::copy_from_slice(id.as_bytes()),
+                }),
+                Some(_) => ParseOutcome::Invalid("app takes exactly one name".to_string()),
+                None => ParseOutcome::Invalid("app requires a name".to_string()),
             }
         }
         "stats" => {
@@ -371,6 +401,25 @@ mod tests {
             parse_command(&mut b),
             ParseOutcome::Complete(Command::Quit)
         ));
+    }
+
+    #[test]
+    fn parses_app_selector() {
+        let mut b = buf(b"app tenant-a\r\nget foo\r\n");
+        match parse_command(&mut b) {
+            ParseOutcome::Complete(Command::App { id }) => {
+                assert_eq!(id, Bytes::from("tenant-a"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse_command(&mut b),
+            ParseOutcome::Complete(Command::Get { .. })
+        ));
+        let mut b = buf(b"app\r\n");
+        assert!(matches!(parse_command(&mut b), ParseOutcome::Invalid(_)));
+        let mut b = buf(b"app one two\r\n");
+        assert!(matches!(parse_command(&mut b), ParseOutcome::Invalid(_)));
     }
 
     #[test]

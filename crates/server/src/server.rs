@@ -188,6 +188,10 @@ fn handle_connection(mut stream: TcpStream, cache: Arc<SharedCache>) {
     let mut buffer = BytesMut::with_capacity(16 * 1024);
     let mut chunk = [0u8; 16 * 1024];
     let mut out = Vec::with_capacity(16 * 1024);
+    // The application namespace this session runs in; `app <name>` switches
+    // it, and a connection that never sends `app` stays on the default
+    // tenant (index 0) — the exact pre-extension behaviour.
+    let mut tenant: usize = 0;
     loop {
         // Drain every complete command currently buffered, accumulating the
         // responses so a pipelined batch goes out in few writes.
@@ -200,7 +204,7 @@ fn handle_connection(mut stream: TcpStream, cache: Arc<SharedCache>) {
                     return;
                 }
                 ParseOutcome::Complete(command) => {
-                    let (response, suppress) = execute(&command, &cache);
+                    let (response, suppress) = execute(&command, &cache, &mut tenant);
                     if !suppress {
                         encode_response(&response, &mut out);
                     }
@@ -228,15 +232,16 @@ fn handle_connection(mut stream: TcpStream, cache: Arc<SharedCache>) {
     }
 }
 
-/// Executes a command against the cache; returns the response and whether
-/// the reply should be suppressed (`noreply`).
-fn execute(command: &Command, cache: &SharedCache) -> (Response, bool) {
+/// Executes a command against the cache in the session's tenant namespace;
+/// returns the response and whether the reply should be suppressed
+/// (`noreply`). `app <name>` mutates the session's tenant.
+fn execute(command: &Command, cache: &SharedCache, tenant: &mut usize) -> (Response, bool) {
     match command {
         Command::Get { keys } => {
             let values = keys
                 .iter()
                 .filter_map(|key| {
-                    cache.get(key).map(|(flags, data)| Value {
+                    cache.get_for(*tenant, key).map(|(flags, data)| Value {
                         key: key.clone(),
                         flags,
                         data,
@@ -254,9 +259,9 @@ fn execute(command: &Command, cache: &SharedCache) -> (Response, bool) {
             ..
         } => {
             let stored = match verb {
-                StoreVerb::Set => cache.set(key, *flags, data.clone()),
-                StoreVerb::Add => cache.add(key, *flags, data.clone()),
-                StoreVerb::Replace => cache.replace(key, *flags, data.clone()),
+                StoreVerb::Set => cache.set_for(*tenant, key, *flags, data.clone()),
+                StoreVerb::Add => cache.add_for(*tenant, key, *flags, data.clone()),
+                StoreVerb::Replace => cache.replace_for(*tenant, key, *flags, data.clone()),
             };
             let response = if stored {
                 Response::Stored
@@ -266,12 +271,29 @@ fn execute(command: &Command, cache: &SharedCache) -> (Response, bool) {
             (response, *noreply)
         }
         Command::Delete { key, noreply } => {
-            let response = if cache.delete(key) {
+            let response = if cache.delete_for(*tenant, key) {
                 Response::Deleted
             } else {
                 Response::NotFound
             };
             (response, *noreply)
+        }
+        Command::App { id } => {
+            let response = match std::str::from_utf8(id)
+                .ok()
+                .and_then(|name| cache.tenant_index(name))
+            {
+                Some(index) => {
+                    *tenant = index;
+                    Response::Ok
+                }
+                None => Response::ClientError(format!(
+                    "unknown app {:?} (hosted: {})",
+                    String::from_utf8_lossy(id),
+                    cache.tenants().names().join(", ")
+                )),
+            };
+            (response, false)
         }
         Command::Stats => (Response::Stats(cache.stats()), false),
         Command::Version => (
@@ -279,7 +301,10 @@ fn execute(command: &Command, cache: &SharedCache) -> (Response, bool) {
             false,
         ),
         Command::FlushAll => {
-            cache.flush();
+            // Tenant-scoped: one application flushing its namespace must
+            // never wipe another application's working set. On a
+            // single-tenant server this clears everything, as before.
+            cache.flush_tenant(*tenant);
             (Response::Ok, false)
         }
         Command::Quit => (Response::Ok, false),
@@ -385,6 +410,78 @@ mod tests {
         assert!(client.set(b"binary", 0, &payload).unwrap());
         let got = client.get(b"binary").unwrap().expect("hit");
         assert_eq!(got.1, payload);
+    }
+
+    fn start_tenant_server() -> CacheServer {
+        CacheServer::start(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            // One worker per concurrent test client: connections hold their
+            // worker for their whole lifetime, so fewer workers than clients
+            // deadlocks the test, not just slows it.
+            workers: 4,
+            backend: BackendConfig {
+                total_bytes: 12 << 20,
+                mode: BackendMode::Cliffhanger,
+                shards: 2,
+                tenants: vec![
+                    crate::backend::TenantSpec::new("alpha", 1),
+                    crate::backend::TenantSpec::new("beta", 1),
+                ],
+                ..BackendConfig::default()
+            },
+        })
+        .expect("server must start")
+    }
+
+    #[test]
+    fn app_selector_scopes_sessions_end_to_end() {
+        let server = start_tenant_server();
+        let mut alpha = CacheClient::connect(server.local_addr()).unwrap();
+        let mut beta = CacheClient::connect(server.local_addr()).unwrap();
+        let mut plain = CacheClient::connect(server.local_addr()).unwrap();
+        assert!(alpha.app("alpha").unwrap());
+        assert!(beta.app("beta").unwrap());
+        // The same wire key is independent per namespace.
+        assert!(alpha.set(b"k", 1, b"from-alpha").unwrap());
+        assert!(beta.set(b"k", 2, b"from-beta").unwrap());
+        assert!(plain.set(b"k", 3, b"from-default").unwrap());
+        assert_eq!(alpha.get(b"k").unwrap().unwrap().1, b"from-alpha");
+        assert_eq!(beta.get(b"k").unwrap().unwrap().1, b"from-beta");
+        assert_eq!(plain.get(b"k").unwrap().unwrap().1, b"from-default");
+        // Stats carry per-tenant sections.
+        let stats: std::collections::HashMap<_, _> = plain.stats().unwrap().into_iter().collect();
+        assert_eq!(stats["tenant_count"], "3");
+        assert_eq!(stats["tenant:alpha:cmd_set"], "1");
+        assert_eq!(stats["tenant:beta:cmd_set"], "1");
+        assert_eq!(stats["tenant:default:cmd_set"], "1");
+    }
+
+    #[test]
+    fn unknown_app_is_a_client_error_and_keeps_the_session_tenant() {
+        let server = start_tenant_server();
+        let mut client = CacheClient::connect(server.local_addr()).unwrap();
+        assert!(client.app("alpha").unwrap());
+        assert!(client.set(b"k", 0, b"v").unwrap());
+        assert!(!client.app("nope").unwrap(), "unknown app must be refused");
+        // Still scoped to alpha after the failed switch.
+        assert_eq!(client.get(b"k").unwrap().unwrap().1, b"v");
+    }
+
+    #[test]
+    fn flush_all_is_tenant_scoped() {
+        let server = start_tenant_server();
+        let mut alpha = CacheClient::connect(server.local_addr()).unwrap();
+        let mut plain = CacheClient::connect(server.local_addr()).unwrap();
+        assert!(alpha.app("alpha").unwrap());
+        assert!(alpha.set(b"a", 0, b"1").unwrap());
+        assert!(plain.set(b"d", 0, b"1").unwrap());
+        alpha.flush_all().unwrap();
+        assert!(alpha.get(b"a").unwrap().is_none(), "alpha flushed itself");
+        assert_eq!(
+            plain.get(b"d").unwrap().unwrap().1,
+            b"1",
+            "alpha's flush must not touch the default namespace"
+        );
     }
 
     #[test]

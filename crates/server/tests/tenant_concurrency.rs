@@ -1,0 +1,320 @@
+//! Tenant isolation under fire: one application's flushes and eviction
+//! storms must never evict, corrupt or leak another application's keys, and
+//! the per-tenant budgets must conserve the configured total while the
+//! cross-tenant arbiter moves them live.
+//!
+//! Three angles:
+//! * a flush storm — one tenant flushing its namespace in a tight loop
+//!   while it and its neighbours keep writing — after which every other
+//!   tenant still holds every one of its keys with the exact value;
+//! * an eviction storm — one tenant cycling a working set far past its
+//!   reservation (arbitration off, so its budget cannot grow) — which must
+//!   leave a small neighbour fully resident with zero evictions charged to
+//!   it, and must never surface a neighbour's value on the storming
+//!   tenant's keys;
+//! * live arbitration — skewed demand from several threads with rounds
+//!   forced concurrently — during which every sampled budget vector sums to
+//!   the configured total, reads see exact values or clean misses, and
+//!   transfers actually happen so the test means something.
+
+use bytes::Bytes;
+use cache_server::{BackendConfig, BackendMode, SharedCache, TenantSpec};
+use cliffhanger::TenantBalanceConfig;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn stats_map(cache: &SharedCache) -> HashMap<String, String> {
+    cache.stats().into_iter().collect()
+}
+
+#[test]
+fn flush_storm_never_touches_other_tenants() {
+    let cache = Arc::new(SharedCache::new(BackendConfig {
+        total_bytes: 24 << 20,
+        mode: BackendMode::Cliffhanger,
+        shards: 2,
+        tenants: vec![
+            TenantSpec::new("flusher", 1),
+            TenantSpec::new("steady-a", 1),
+            TenantSpec::new("steady-b", 1),
+        ],
+        ..BackendConfig::default()
+    }));
+    let flusher = cache.tenant_index("flusher").unwrap();
+    let steady = [
+        cache.tenant_index("steady-a").unwrap(),
+        cache.tenant_index("steady-b").unwrap(),
+    ];
+    let total_budget: u64 = cache.tenant_budgets().iter().sum();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    // The storm: write a batch into the flusher's namespace, flush it,
+    // repeat. Every flush rebuilds the tenant's engines while the steady
+    // writers are mid-request.
+    let storm = {
+        let cache = Arc::clone(&cache);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut round = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for i in 0..200u64 {
+                    cache.set_for(
+                        flusher,
+                        format!("f{}", round * 200 + i).as_bytes(),
+                        0,
+                        Bytes::from("flush-fodder"),
+                    );
+                }
+                cache.flush_tenant(flusher);
+                round += 1;
+            }
+            round
+        })
+    };
+
+    // Steady tenants write disjoint key sets (each well within its ~8 MB
+    // reservation, so none of their own writes evict) and read them back
+    // continuously, checking exact values.
+    let steady_threads: Vec<_> = steady
+        .iter()
+        .enumerate()
+        .map(|(n, &tenant)| {
+            let cache = Arc::clone(&cache);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let keys: Vec<(String, Bytes)> = (0..4_000u64)
+                    .map(|i| (format!("s{n}-{i}"), Bytes::from(format!("v{n}-{i}"))))
+                    .collect();
+                for (key, value) in &keys {
+                    assert!(cache.set_for(tenant, key.as_bytes(), 0, value.clone()));
+                }
+                while !stop.load(Ordering::Relaxed) {
+                    for (key, value) in keys.iter().step_by(37) {
+                        match cache.get_for(tenant, key.as_bytes()) {
+                            Some((_, data)) => assert_eq!(
+                                &data, value,
+                                "tenant {tenant} read a corrupted value mid-storm"
+                            ),
+                            None => panic!(
+                                "tenant {tenant} lost key {key} during another \
+                                 tenant's flush storm"
+                            ),
+                        }
+                    }
+                }
+                keys
+            })
+        })
+        .collect();
+
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    stop.store(true, Ordering::Relaxed);
+    let rounds = storm.join().expect("storm thread must not panic");
+    assert!(
+        rounds > 5,
+        "the storm must actually have flushed ({rounds})"
+    );
+    for handle in steady_threads {
+        let keys = handle.join().expect("steady thread must not panic");
+        // Final sweep after the storm has fully stopped: every key, exact.
+        for (key, value) in &keys {
+            let tenant_of_key = if key.starts_with("s0-") {
+                steady[0]
+            } else {
+                steady[1]
+            };
+            let (_, data) = cache
+                .get_for(tenant_of_key, key.as_bytes())
+                .unwrap_or_else(|| panic!("key {key} missing after the storm"));
+            assert_eq!(&data, value);
+        }
+    }
+    assert_eq!(
+        cache.tenant_budgets().iter().sum::<u64>(),
+        total_budget,
+        "flushes must conserve the total budget"
+    );
+}
+
+#[test]
+fn eviction_storm_is_isolated_behind_static_reservations() {
+    // Arbitration off: the storming tenant's budget cannot grow, so all its
+    // pressure must be absorbed by its own engines.
+    let cache = Arc::new(SharedCache::new(BackendConfig {
+        total_bytes: 12 << 20,
+        mode: BackendMode::Cliffhanger,
+        shards: 2,
+        tenants: vec![TenantSpec::new("storm", 2), TenantSpec::new("quiet", 1)],
+        tenant_balance: TenantBalanceConfig::disabled(),
+        ..BackendConfig::default()
+    }));
+    let storm = cache.tenant_index("storm").unwrap();
+    let quiet = cache.tenant_index("quiet").unwrap();
+
+    // The quiet tenant's whole working set: ~1 MB inside its 3 MB share.
+    let quiet_keys: Vec<(String, Bytes)> = (0..2_000u64)
+        .map(|i| (format!("q{i}"), Bytes::from(format!("quiet-{i}"))))
+        .collect();
+    for (key, value) in &quiet_keys {
+        assert!(cache.set_for(quiet, key.as_bytes(), 0, value.clone()));
+    }
+
+    // Storm: cycle ~24 MB of values through a 6 MB reservation, including
+    // the very same wire keys the quiet tenant uses.
+    let payload = Bytes::from(vec![b'x'; 1_000]);
+    for i in 0..24_000u64 {
+        cache.set_for(storm, format!("s{i}").as_bytes(), 0, payload.clone());
+        if i % 12 == 0 {
+            let (key, _) = &quiet_keys[(i as usize / 12) % quiet_keys.len()];
+            cache.set_for(storm, key.as_bytes(), 0, payload.clone());
+        }
+    }
+
+    let stats = stats_map(&cache);
+    assert!(
+        stats["tenant:storm:evictions"].parse::<u64>().unwrap() > 10_000,
+        "the storm must actually have thrashed: {}",
+        stats["tenant:storm:evictions"]
+    );
+    assert_eq!(
+        stats["tenant:quiet:evictions"], "0",
+        "pressure must never cross the tenant boundary"
+    );
+    for (key, value) in &quiet_keys {
+        let (_, data) = cache
+            .get_for(quiet, key.as_bytes())
+            .unwrap_or_else(|| panic!("quiet key {key} evicted by the storm"));
+        assert_eq!(&data, value, "quiet key {key} corrupted by the storm");
+    }
+    // Shared wire keys stay two distinct items: the storm's copy is its
+    // payload (or a clean miss if evicted), never the quiet tenant's value.
+    for (key, _) in quiet_keys.iter().take(50) {
+        if let Some((_, data)) = cache.get_for(storm, key.as_bytes()) {
+            assert_eq!(data, payload, "the storm must never read quiet's value");
+        }
+    }
+    assert_eq!(
+        cache.tenant_budgets(),
+        vec![3 << 20, 6 << 20, 3 << 20],
+        "static reservations must not move"
+    );
+}
+
+#[test]
+fn budgets_conserve_the_total_under_live_arbitration() {
+    let total: u64 = 16 << 20;
+    let cache = Arc::new(SharedCache::new(BackendConfig {
+        total_bytes: total,
+        mode: BackendMode::Cliffhanger,
+        shards: 2,
+        tenants: vec![TenantSpec::new("greedy", 1), TenantSpec::new("modest", 1)],
+        tenant_balance: TenantBalanceConfig {
+            interval_requests: 1_024,
+            credit_bytes: 256 << 10,
+            min_tenant_bytes: 1 << 20,
+            min_gradient_gap: 4,
+            hysteresis: 0.05,
+            ..TenantBalanceConfig::default()
+        },
+        ..BackendConfig::default()
+    }));
+    let greedy = cache.tenant_index("greedy").unwrap();
+    let modest = cache.tenant_index("modest").unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let violations = Arc::new(AtomicU64::new(0));
+    // Auditor: the budget vector must sum to the total at *every* sample,
+    // not just at the end — a transfer is shrink-then-grow, so the sum may
+    // briefly dip below during a round but must never exceed, and must
+    // return to exactly the total whenever rounds quiesce. To keep the
+    // check sharp we assert the invariant that always holds: sum <= total.
+    let auditor = {
+        let cache = Arc::clone(&cache);
+        let stop = Arc::clone(&stop);
+        let violations = Arc::clone(&violations);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let sum: u64 = cache.tenant_budgets().iter().sum();
+                if sum > total {
+                    violations.fetch_add(1, Ordering::Relaxed);
+                }
+                std::thread::yield_now();
+            }
+        })
+    };
+    let poker = {
+        let cache = Arc::clone(&cache);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                cache.arbitrate_now();
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    // Greedy cycles far past its half; modest holds a small steady set.
+    let workers: Vec<_> = (0..3u64)
+        .map(|w| {
+            let cache = Arc::clone(&cache);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let payload = Bytes::from(vec![b'g'; 400]);
+                let mut i = w * 1_000_000;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = format!("g{}", i % 40_000);
+                    if cache.get_for(greedy, key.as_bytes()).is_none() {
+                        cache.set_for(greedy, key.as_bytes(), 0, payload.clone());
+                    }
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+    let modest_worker = {
+        let cache = Arc::clone(&cache);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let keys: Vec<(String, Bytes)> = (0..500u64)
+                .map(|i| (format!("m{i}"), Bytes::from(format!("modest-{i}"))))
+                .collect();
+            while !stop.load(Ordering::Relaxed) {
+                for (key, value) in &keys {
+                    if cache.get_for(modest, key.as_bytes()).is_none() {
+                        cache.set_for(modest, key.as_bytes(), 0, value.clone());
+                    } else if let Some((_, data)) = cache.get_for(modest, key.as_bytes()) {
+                        assert_eq!(&data, value, "modest read a foreign value");
+                    }
+                }
+            }
+        })
+    };
+
+    std::thread::sleep(std::time::Duration::from_millis(800));
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().expect("greedy worker must not panic");
+    }
+    modest_worker.join().expect("modest worker must not panic");
+    poker.join().expect("poker must not panic");
+    auditor.join().expect("auditor must not panic");
+
+    assert_eq!(
+        violations.load(Ordering::Relaxed),
+        0,
+        "the summed budgets must never exceed the configured total"
+    );
+    // Quiesced: the sum must be exactly the total again.
+    assert_eq!(cache.tenant_budgets().iter().sum::<u64>(), total);
+    let stats = stats_map(&cache);
+    assert!(
+        stats["arbiter:transfers"].parse::<u64>().unwrap() > 0,
+        "skewed demand must have moved budget for this test to mean anything"
+    );
+    let budgets = cache.tenant_budgets();
+    assert!(
+        budgets[greedy] > budgets[modest],
+        "budget must follow demand: {budgets:?}"
+    );
+}

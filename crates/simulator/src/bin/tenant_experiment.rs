@@ -1,0 +1,87 @@
+//! Static per-tenant reservations vs live cross-tenant arbitration at fixed
+//! total memory.
+//!
+//! Run with: `cargo run --release -p simulator --bin tenant_experiment`
+//!
+//! Prints the experiment JSON (`cliffhanger-tenant-experiment/v1`) on stdout
+//! and the human-readable table on stderr.
+//!
+//! `--smoke` runs the down-scaled CI variant and *asserts* the experiment's
+//! promises — the arbiter never loses to static reservations on any
+//! scenario, and clearly beats them on the skewed mix — exiting non-zero on
+//! violation (the `tenant-smoke` CI job gates on this).
+
+use simulator::experiments::tenants::{tenant_experiment, TenantOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut requests: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--requests" => {
+                requests = args.get(i + 1).and_then(|s| s.parse().ok());
+                if requests.is_none() {
+                    eprintln!("--requests needs a number");
+                    return ExitCode::FAILURE;
+                }
+                i += 1;
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other:?}\n\
+                     usage: tenant_experiment [--smoke] [--requests <n>]\n\
+                     table on stderr, cliffhanger-tenant-experiment/v1 JSON on stdout"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let mut opts = if smoke {
+        TenantOptions::smoke()
+    } else {
+        TenantOptions::standard()
+    };
+    if let Some(requests) = requests {
+        opts.requests = requests;
+    }
+
+    let result = tenant_experiment(&opts);
+    eprint!("{}", result.table());
+    println!("{}", result.to_json());
+
+    if smoke {
+        for p in &result.points {
+            if p.arbitrated_hit_rate + 1e-9 < p.static_hit_rate - 0.01 {
+                eprintln!(
+                    "FAIL: arbiter-on hit rate {:.4} more than 1 point below static \
+                     reservations' {:.4} on scenario {:?}",
+                    p.arbitrated_hit_rate, p.static_hit_rate, p.scenario
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        let skewed = result
+            .point("skewed")
+            .expect("smoke options include the skewed scenario");
+        if skewed.arbitrated_hit_rate < skewed.static_hit_rate + 0.02 {
+            eprintln!(
+                "FAIL: the arbiter should clearly beat static reservations on the \
+                 skewed mix (got {:.4} vs {:.4}, want >= 2pp)",
+                skewed.arbitrated_hit_rate, skewed.static_hit_rate
+            );
+            return ExitCode::FAILURE;
+        }
+        if skewed.transfers == 0 {
+            eprintln!("FAIL: the skewed mix must trigger tenant transfers");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("tenant smoke: ok");
+    }
+    ExitCode::SUCCESS
+}

@@ -129,6 +129,9 @@ impl ReplayOptions {
         if config.min_class_bytes == defaults.min_class_bytes {
             config.min_class_bytes = scaled.min_class_bytes;
         }
+        if config.cliff_shadow_items == defaults.cliff_shadow_items {
+            config.cliff_shadow_items = scaled.cliff_shadow_items;
+        }
         match mode {
             CliffhangerMode::Full => {
                 config.enable_hill_climbing = true;

@@ -23,10 +23,11 @@
 //! | Table 5 | [`policies`] | [`policies::table5_eviction_schemes`] |
 //! | Tables 6–7 | `bench` crate | `paper_tables --table 6|7` (wall-clock) |
 //!
-//! [`sharding`] goes beyond the paper: hit rate vs shard count at fixed
-//! total memory, with and without the cross-shard rebalancer (the
-//! `shard_experiment` binary prints it; CI's `hit-rate-smoke` job gates on
-//! it).
+//! [`sharding`] and [`tenants`] go beyond the paper: hit rate vs shard
+//! count at fixed total memory, with and without the cross-shard rebalancer
+//! (the `shard_experiment` binary prints it; CI's `hit-rate-smoke` job
+//! gates on it), and static per-tenant reservations vs live cross-tenant
+//! arbitration (the `tenant_experiment` binary; CI's `tenant-smoke` job).
 
 pub mod allocation;
 pub mod comparison;
@@ -34,6 +35,7 @@ pub mod curves;
 pub mod dynamics;
 pub mod policies;
 pub mod sharding;
+pub mod tenants;
 
 use crate::engine::ReplayOptions;
 use cache_core::AppId;

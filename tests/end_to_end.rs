@@ -40,13 +40,24 @@ fn facade_get_set_round_trip() {
 
 /// A scan-dominated application whose working set slightly exceeds its
 /// reservation: the canonical performance cliff.
+///
+/// Sizing note: the 4 MB reservation holds ~8.5k items of this shape
+/// (400-byte values charge a 512-byte chunk + item overhead), so a 9k scan
+/// misses fitting by a few percent — a genuine cliff (plain LRU drops to
+/// its floor) that still sits within the cliff shadows' sensory range: a
+/// scanned key is only *observable* if it is re-referenced within
+/// `cliff_shadow_items` evictions of leaving the queue, which bounds
+/// detectable overshoot at roughly `2 × cliff_shadow_items` items (the
+/// shadows scale with the reservation since PR 4; an earlier revision used
+/// a 10.5k scan — "barely misses" only under data-byte accounting — which
+/// no honest 128-entry-era configuration could observe).
 fn cliff_trace(requests: u64) -> (Trace, ReplayOptions) {
     let profile = AppProfile::simple(
         11,
         "integration-cliff",
         1.0,
         4 << 20,
-        Phase::zipf(1_000, 0.8, SizeDistribution::Fixed(400)).with_scan(0.85, 10_500),
+        Phase::zipf(1_000, 0.8, SizeDistribution::Fixed(400)).with_scan(0.85, 9_000),
     )
     .with_get_fraction(1.0);
     let trace = Trace::from_requests(profile.generate(requests, 3_600, 123));
