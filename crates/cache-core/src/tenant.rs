@@ -78,6 +78,28 @@ impl TenantDirectory {
         TenantDirectory { names }
     }
 
+    /// Appends a tenant name, returning its dense index. Indices already
+    /// handed out are never invalidated — the directory is append-only,
+    /// which is what lets a live server onboard applications while
+    /// sessions hold tenant indices.
+    ///
+    /// # Panics
+    /// Panics if the name fails [`TenantDirectory::valid_name`] or is
+    /// already hosted; callers (the `app_create` executor) validate first
+    /// and report a `CLIENT_ERROR` instead.
+    pub fn add(&mut self, name: &str) -> usize {
+        assert!(
+            Self::valid_name(name),
+            "invalid tenant name {name:?}: need 1-64 ASCII graphic bytes, no ':'"
+        );
+        assert!(
+            self.index_of(name).is_none(),
+            "tenant {name:?} already hosted"
+        );
+        self.names.push(name.to_string());
+        self.names.len() - 1
+    }
+
     /// Number of tenants (always at least 1).
     pub fn len(&self) -> usize {
         self.names.len()

@@ -28,7 +28,8 @@ TARGET (default: self-host an in-process server):
     --shards <n>            shard count for the self-hosted server (0 = auto)
     --mb <n>                self-hosted cache size in MB            [64]
     --allocator <name>      default | hillclimbing | cliffhanger    [cliffhanger]
-    --server-workers <n>    server threads (0 = one per connection) [0]
+    --server-workers <n>    server event loops, each multiplexing
+                            many connections (0 = one per CPU)      [0]
     --rebalance <on|off>    cross-shard budget rebalancing          [on]
 
 LOAD:
@@ -40,7 +41,10 @@ LOAD:
     --warmup <n>            hottest keys preloaded untimed          [10000]
     --fill-on-miss <on|off> cache-aside demand fill: SET every
                             missed GET key (fills ride on top of
-                            the request budget)                     [off]
+                            the request budget; in open loop each
+                            fill occupies the next scheduled
+                            arrival slot, and fills get their own
+                            fill_latency report section)            [off]
 
 WORKLOAD:
     --keys <n>              key-universe size                       [50000]
@@ -376,6 +380,12 @@ fn summarize(report: &LoadReport) {
         report.latency.p999_us,
         report.latency.max_us
     );
+    if report.fills > 0 {
+        eprintln!(
+            "  fills: {} scheduled, latency us: p50 {:.0}  p99 {:.0}",
+            report.fills, report.fill_latency.p50_us, report.fill_latency.p99_us
+        );
+    }
     if let Some(server) = &report.server {
         eprintln!(
             "  server: {} shards, {} workers, {} MB, {} allocator, {} evictions",

@@ -38,16 +38,24 @@ pub struct LoadReport {
     pub get_hits: u64,
     /// GET hit rate (0 when no GETs were issued).
     pub hit_rate: f64,
-    /// SET requests completed.
+    /// SET requests completed (demand fills included).
     pub sets: u64,
+    /// Demand-fill SETs among `sets` (`--fill-on-miss`): in closed loop
+    /// they ride in the next pipelined batch; in open loop each fill
+    /// occupies the next scheduled arrival slot, so its latency is charged
+    /// against the schedule exactly like a generated request
+    /// (coordinated-omission correct).
+    pub fills: u64,
     /// SETs the server did not store, plus protocol-level surprises.
     pub errors: u64,
     /// Latency over every request.
     pub latency: LatencySummary,
     /// Latency of GETs alone.
     pub get_latency: LatencySummary,
-    /// Latency of SETs alone.
+    /// Latency of SETs alone (demand fills included).
     pub set_latency: LatencySummary,
+    /// Latency of demand fills alone (empty unless `--fill-on-miss`).
+    pub fill_latency: LatencySummary,
     /// Workload knobs, echoed for reproducibility.
     pub workload: WorkloadEcho,
     /// Server-side counters (present when the run self-hosted the server).
@@ -73,16 +81,20 @@ pub struct TenantSection {
     pub get_hits: u64,
     /// GET hit rate (0 when no GETs were issued).
     pub hit_rate: f64,
-    /// SET requests completed.
+    /// SET requests completed (demand fills included).
     pub sets: u64,
+    /// Demand-fill SETs among `sets` (see [`LoadReport::fills`]).
+    pub fills: u64,
     /// SETs not stored plus protocol-level surprises.
     pub errors: u64,
     /// Latency over every request of this tenant.
     pub latency: LatencySummary,
     /// Latency of this tenant's GETs alone.
     pub get_latency: LatencySummary,
-    /// Latency of this tenant's SETs alone.
+    /// Latency of this tenant's SETs alone (demand fills included).
     pub set_latency: LatencySummary,
+    /// Latency of this tenant's demand fills alone.
+    pub fill_latency: LatencySummary,
     /// The tenant's workload knobs, echoed for reproducibility.
     pub workload: WorkloadEcho,
     /// The tenant's server-side byte budget at the end of the run (0 unless

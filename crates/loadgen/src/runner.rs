@@ -60,12 +60,16 @@ pub struct LoadgenConfig {
     /// connection per tenant.
     pub tenants: Vec<TenantLoad>,
     /// Cache-aside demand fill: every GET miss is followed by a SET of the
-    /// missed key (in the next pipelined batch), the way a real application
-    /// repopulates its cache. Fill SETs ride on top of the request budget —
-    /// `requests` counts the generated stream, the report counts everything
-    /// completed — and give the server's shadow queues the repopulation
-    /// signal the gradient machinery (rebalancer/arbiter) listens for. Off
-    /// by default, preserving the pre-PR4 pure GET/SET stream.
+    /// missed key, the way a real application repopulates its cache. In
+    /// closed loop the fill rides in the next pipelined batch; in open loop
+    /// it occupies the *next scheduled arrival slot* and its latency is
+    /// measured from that scheduled time — a fill is part of the
+    /// application's offered load, so sending it out-of-band would hide the
+    /// queueing it causes (coordinated omission by another name). Fill SETs
+    /// ride on top of the request budget — `requests` counts the generated
+    /// stream, the report counts everything completed, and fills also get
+    /// their own `fills` / `fill_latency` report section. Off by default,
+    /// preserving the pre-PR4 pure GET/SET stream.
     pub fill_on_miss: bool,
 }
 
@@ -94,9 +98,11 @@ struct WorkerStats {
     all: Histogram,
     get: Histogram,
     set: Histogram,
+    fill: Histogram,
     gets: u64,
     hits: u64,
     sets: u64,
+    fills: u64,
     errors: u64,
 }
 
@@ -105,9 +111,11 @@ impl WorkerStats {
         self.all.merge(&other.all);
         self.get.merge(&other.get);
         self.set.merge(&other.set);
+        self.fill.merge(&other.fill);
         self.gets += other.gets;
         self.hits += other.hits;
         self.sets += other.sets;
+        self.fills += other.fills;
         self.errors += other.errors;
     }
 }
@@ -219,22 +227,39 @@ fn claim(budget: &AtomicU64, want: u64) -> u64 {
     }
 }
 
+/// What a completed request was, for telemetry purposes.
+#[derive(Clone, Copy, PartialEq)]
+enum OpKind {
+    Get,
+    Set,
+    /// A demand-fill SET: counted as a SET *and* in its own section, so
+    /// fill latencies are separable from the generated stream's.
+    Fill,
+}
+
 /// Records one completed request into the worker's histograms.
-fn record(stats: &mut WorkerStats, is_get: bool, latency_ns: u64, outcome: Option<bool>) {
+fn record(stats: &mut WorkerStats, kind: OpKind, latency_ns: u64, outcome: Option<bool>) {
     stats.all.record(latency_ns);
-    if is_get {
-        stats.get.record(latency_ns);
-        stats.gets += 1;
-        match outcome {
-            Some(true) => stats.hits += 1,
-            Some(false) => {}
-            None => stats.errors += 1,
+    match kind {
+        OpKind::Get => {
+            stats.get.record(latency_ns);
+            stats.gets += 1;
+            match outcome {
+                Some(true) => stats.hits += 1,
+                Some(false) => {}
+                None => stats.errors += 1,
+            }
         }
-    } else {
-        stats.set.record(latency_ns);
-        stats.sets += 1;
-        if outcome != Some(true) {
-            stats.errors += 1;
+        OpKind::Set | OpKind::Fill => {
+            stats.set.record(latency_ns);
+            stats.sets += 1;
+            if outcome != Some(true) {
+                stats.errors += 1;
+            }
+            if kind == OpKind::Fill {
+                stats.fill.record(latency_ns);
+                stats.fills += 1;
+            }
         }
     }
 }
@@ -295,6 +320,8 @@ fn run_closed_worker(
         }
         buf.clear();
         ops.clear();
+        // Fills go first, so the first `batch_fills` responses are theirs.
+        let batch_fills = fills.len();
         for op in fills.drain(..) {
             encode_op(&op, &mut buf, payload_pool);
             ops.push(op);
@@ -306,24 +333,20 @@ fn run_closed_worker(
         }
         let sent = Instant::now();
         conn.writer.write_all(&buf)?;
-        for op in &ops {
-            let (is_get, outcome) = match op {
-                GenOp::Get { .. } => (true, conn.read_get_response()?),
-                GenOp::Set { .. } => (false, conn.read_set_response()?),
+        for (i, op) in ops.iter().enumerate() {
+            let (kind, outcome) = match op {
+                GenOp::Get { .. } => (OpKind::Get, conn.read_get_response()?),
+                GenOp::Set { .. } if i < batch_fills => (OpKind::Fill, conn.read_set_response()?),
+                GenOp::Set { .. } => (OpKind::Set, conn.read_set_response()?),
             };
-            if fill_on_miss && is_get && outcome == Some(false) {
+            if fill_on_miss && kind == OpKind::Get && outcome == Some(false) {
                 if let Some(rank) = RequestGen::rank_for_key(op.key()) {
                     fills.push(gen.set_for_rank(rank));
                 }
             }
             // Pipelined latency: from batch send to this response parsed,
             // i.e. queueing behind earlier responses in the batch counts.
-            record(
-                &mut stats,
-                is_get,
-                sent.elapsed().as_nanos() as u64,
-                outcome,
-            );
+            record(&mut stats, kind, sent.elapsed().as_nanos() as u64, outcome);
         }
     }
 }
@@ -339,44 +362,52 @@ fn run_open_worker(
     let mut stats = WorkerStats::default();
     let mut buf = Vec::with_capacity(16 * 1024);
     let mut deadline = Instant::now();
+    // Demand fills waiting for their arrival slot. A fill is part of the
+    // application's offered load, so it occupies the *next scheduled slot*
+    // — sending it out-of-band (as pre-PR5 code did) both exceeded the
+    // configured arrival rate and hid the queueing the fill causes from
+    // the schedule-anchored latencies (coordinated omission, reinvented).
+    let mut fills: std::collections::VecDeque<GenOp> = std::collections::VecDeque::new();
     loop {
-        if claim(budget, 1) == 0 {
-            return Ok(stats);
-        }
+        let (op, kind) = match fills.pop_front() {
+            Some(op) => (op, OpKind::Fill),
+            None => {
+                if claim(budget, 1) == 0 {
+                    return Ok(stats);
+                }
+                let op = gen.next_op();
+                let kind = match op {
+                    GenOp::Get { .. } => OpKind::Get,
+                    GenOp::Set { .. } => OpKind::Set,
+                };
+                (op, kind)
+            }
+        };
         deadline += interval;
         let now = Instant::now();
         if deadline > now {
             std::thread::sleep(deadline - now);
         }
-        let op = gen.next_op();
         buf.clear();
         encode_op(&op, &mut buf, payload_pool);
         conn.writer.write_all(&buf)?;
-        let (is_get, outcome) = match &op {
-            GenOp::Get { .. } => (true, conn.read_get_response()?),
-            GenOp::Set { .. } => (false, conn.read_set_response()?),
+        let outcome = match &op {
+            GenOp::Get { .. } => conn.read_get_response()?,
+            GenOp::Set { .. } => conn.read_set_response()?,
         };
         // Latency from the *scheduled* start: if the server falls behind
         // the arrival rate, the backlog shows up in the tail (no
-        // coordinated omission).
+        // coordinated omission) — for fills exactly like for generated
+        // requests.
         record(
             &mut stats,
-            is_get,
+            kind,
             deadline.elapsed().as_nanos() as u64,
             outcome,
         );
-        if fill_on_miss && is_get && outcome == Some(false) {
-            // The demand fill rides outside the schedule (a real client's
-            // repopulation write is not an arrival either); its latency is
-            // measured from its own send.
+        if fill_on_miss && kind == OpKind::Get && outcome == Some(false) {
             if let Some(rank) = RequestGen::rank_for_key(op.key()) {
-                let fill = gen.set_for_rank(rank);
-                buf.clear();
-                encode_op(&fill, &mut buf, payload_pool);
-                let sent = Instant::now();
-                conn.writer.write_all(&buf)?;
-                let outcome = conn.read_set_response()?;
-                record(&mut stats, false, sent.elapsed().as_nanos() as u64, outcome);
+                fills.push_back(gen.set_for_rank(rank));
             }
         }
     }
@@ -646,10 +677,12 @@ pub fn run_load(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
                     0.0
                 },
                 sets: stats.sets,
+                fills: stats.fills,
                 errors: stats.errors,
                 latency: stats.all.summarize_us(),
                 get_latency: stats.get.summarize_us(),
                 set_latency: stats.set.summarize_us(),
+                fill_latency: stats.fill.summarize_us(),
                 workload: workload_echo(&load.spec),
                 budget_bytes: 0,
                 shadow_hits: 0,
@@ -690,10 +723,12 @@ pub fn run_load(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
             0.0
         },
         sets: total.sets,
+        fills: total.fills,
         errors: total.errors,
         latency: total.all.summarize_us(),
         get_latency: total.get.summarize_us(),
         set_latency: total.set.summarize_us(),
+        fill_latency: total.fill.summarize_us(),
         workload: workload_echo(&config.workload),
         server: None,
         tenants: tenant_sections,
@@ -708,12 +743,14 @@ mod tests {
     fn test_server(shards: usize) -> CacheServer {
         CacheServer::start(ServerConfig {
             addr: "127.0.0.1:0".to_string(),
-            workers: 4,
+            // Fewer event loops than loadgen connections, on purpose.
+            workers: 2,
             backend: BackendConfig {
                 total_bytes: 32 << 20,
                 shards,
                 ..BackendConfig::default()
             },
+            ..ServerConfig::default()
         })
         .expect("server must start")
     }
@@ -797,6 +834,45 @@ mod tests {
             report.hit_rate
         );
         assert_eq!(report.errors, 0);
+        // A pure-GET stream: every SET is a fill, and the fill section is a
+        // real histogram over exactly those SETs.
+        assert_eq!(report.fills, report.sets);
+        assert_eq!(report.fill_latency.count, report.fills);
+        assert!(report.fill_latency.p50_us > 0.0);
+    }
+
+    #[test]
+    fn open_loop_fills_are_scheduled_arrivals() {
+        // Open-loop with fills: each fill consumes an arrival slot, so the
+        // run's wall clock stretches to cover (requests + fills) at the
+        // configured rate, and fill latencies are schedule-anchored.
+        let server = test_server(1);
+        let mut config = small_config(server.local_addr().to_string());
+        config.requests = 600;
+        config.warmup_keys = 0;
+        config.fill_on_miss = true;
+        config.workload.get_fraction = 1.0;
+        config.mode = LoadMode::Open {
+            target_rps: 6_000.0,
+        };
+        let report = run_load(&config).unwrap();
+        assert_eq!(report.gets, 600, "the budget counts the generated GETs");
+        assert!(report.fills > 0, "an unwarmed pure-GET stream must fill");
+        assert_eq!(report.fills, report.sets);
+        assert_eq!(report.requests, report.gets + report.fills);
+        assert_eq!(report.fill_latency.count, report.fills);
+        assert_eq!(report.errors, 0);
+        // The schedule covered every completed request (fills included): at
+        // an aggregate 6k rps, (gets + fills) arrivals need at least
+        // requests/6000 seconds of schedule — out-of-band fills (the old
+        // behaviour) would finish in roughly gets/6000 alone and fail this.
+        let min_schedule = report.requests as f64 / 6_000.0;
+        assert!(
+            report.elapsed_secs >= min_schedule * 0.9,
+            "fills must stretch the schedule: {} < {}",
+            report.elapsed_secs,
+            min_schedule
+        );
     }
 
     #[test]
@@ -819,7 +895,7 @@ mod tests {
     fn tenant_server() -> CacheServer {
         CacheServer::start(ServerConfig {
             addr: "127.0.0.1:0".to_string(),
-            workers: 4,
+            workers: 2,
             backend: BackendConfig {
                 total_bytes: 32 << 20,
                 shards: 2,
@@ -829,6 +905,7 @@ mod tests {
                 ],
                 ..BackendConfig::default()
             },
+            ..ServerConfig::default()
         })
         .expect("server must start")
     }

@@ -22,7 +22,10 @@ pub struct SelfHostConfig {
     pub total_bytes: u64,
     /// Allocator mode.
     pub mode: BackendMode,
-    /// Server worker threads; 0 sizes the pool to the connection count.
+    /// Server event-loop threads; 0 auto-detects (one per CPU, capped —
+    /// see [`cache_server::default_event_loops`]). Loops multiplex many
+    /// connections each, so this no longer needs to track the connection
+    /// count.
     pub workers: usize,
     /// Whether the backend's cross-shard rebalancer runs (the backend
     /// default; turn off to measure static per-shard splits).
@@ -68,7 +71,7 @@ pub fn run_self_hosted(
     let workers = if host.workers > 0 {
         host.workers
     } else {
-        load.connections.max(1)
+        cache_server::default_event_loops()
     };
     // Host every tenant the load will select; explicit host tenants win.
     let tenants: Vec<TenantSpec> = if host.tenants.is_empty() {
@@ -83,6 +86,10 @@ pub fn run_self_hosted(
     let mut server = CacheServer::start(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers,
+        // Self-hosted runs size the accept gate generously above the
+        // configured connection count; gate behaviour is the server tests'
+        // concern, not the load generator's.
+        max_connections: (load.connections * 2).max(4096),
         backend: BackendConfig {
             total_bytes: host.total_bytes,
             mode: host.mode,
@@ -202,7 +209,13 @@ mod tests {
 
     #[test]
     fn self_hosted_run_attaches_server_facts() {
-        let report = run_self_hosted(&tiny_load(), &SelfHostConfig::default(), 2).unwrap();
+        // Explicit worker count: loops no longer track connections, and the
+        // auto-detected default depends on the host's CPUs.
+        let host = SelfHostConfig {
+            workers: 2,
+            ..SelfHostConfig::default()
+        };
+        let report = run_self_hosted(&tiny_load(), &host, 2).unwrap();
         let server = report.server.expect("self-hosted run must echo server");
         assert_eq!(server.shards, 2);
         assert_eq!(server.workers, 2);

@@ -54,6 +54,7 @@
 //! `tenant:<app>:budget` / `shard:<i>:budget` and the round counters as
 //! `rebalance:*` / `arbiter:*` lines.
 
+use crate::reactor::ConnTelemetry;
 use bytes::Bytes;
 use cache_core::key::mix64;
 use cache_core::store::AllocationMode;
@@ -65,8 +66,9 @@ use cliffhanger::{
     Cliffhanger, CliffhangerConfig, ShardBalanceConfig, ShardRebalancer, ShardSample,
     TenantArbiter, TenantBalanceConfig, TenantSample,
 };
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Which allocation scheme the server runs (Tables 6–7 compare these).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -376,12 +378,31 @@ impl WireCounts {
     }
 }
 
+/// One tenant's engine on one shard, plus that pair's wire counters. The
+/// request path clones the `Arc` out of the shard's cell table and drops
+/// the table lock before touching the engine, so `app_create` growing the
+/// table never contends with in-flight requests.
+struct EngineCell {
+    engine: Mutex<Inner>,
+    wire: WireAtomics,
+}
+
+impl EngineCell {
+    fn new(inner: Inner) -> Arc<EngineCell> {
+        Arc::new(EngineCell {
+            engine: Mutex::new(inner),
+            wire: WireAtomics::default(),
+        })
+    }
+}
+
 /// One partition of the cache: an independent engine per tenant plus the
 /// per-tenant counters. Engines of different tenants on the same shard have
 /// separate mutexes, so tenants do not contend even on colliding shards.
+/// The cell table is behind an `RwLock` only so `app_create` can append a
+/// tenant live; existing indices are never moved or removed.
 struct Shard {
-    engines: Vec<Mutex<Inner>>,
-    wire: Vec<WireAtomics>,
+    cells: RwLock<Vec<Arc<EngineCell>>>,
     /// Wire requests routed to this shard; drives the rebalancing and
     /// arbitration intervals without a globally shared counter (a single hot
     /// cache line would reintroduce exactly the cross-core contention
@@ -392,36 +413,75 @@ struct Shard {
 impl Shard {
     fn new(config: &BackendConfig, engine_bytes: &[u64]) -> Shard {
         Shard {
-            engines: engine_bytes
-                .iter()
-                .map(|&b| Mutex::new(Inner::build(config, b)))
-                .collect(),
-            wire: engine_bytes
-                .iter()
-                .map(|_| WireAtomics::default())
-                .collect(),
+            cells: RwLock::new(
+                engine_bytes
+                    .iter()
+                    .map(|&b| EngineCell::new(Inner::build(config, b)))
+                    .collect(),
+            ),
             ops: AtomicU64::new(0),
         }
     }
 }
 
-/// A thread-safe, sharded, multi-tenant cache shared by every connection.
-pub struct SharedCache {
-    config: BackendConfig,
+/// The mutable tenant table: directory, weights, per-tenant budgets and
+/// cross-shard rebalancer state. One `RwLock` guards it so `app_create`
+/// can grow every piece atomically; the request hot path never takes it
+/// (shards index their cell tables directly, and tenant indices are
+/// append-only).
+struct TenantRoster {
     directory: TenantDirectory,
-    shards: Vec<Shard>,
-    /// The per-(tenant, shard) budgets at construction (weight-proportional
-    /// tenant shares, split evenly across shards); restored by a full flush.
+    /// Reservation weights aligned with the directory indices.
+    weights: Vec<u64>,
+    /// The per-(tenant, shard) budgets at construction or creation time
+    /// (weight-proportional tenant shares, split evenly across shards;
+    /// carve-out shares for tenants onboarded live); restored by a full
+    /// flush.
     initial_budgets: Vec<Vec<u64>>,
     /// Live per-(tenant, shard) byte budgets. Relaxed atomics so `stats`
     /// reads them lock-free.
     budgets: Vec<Vec<AtomicU64>>,
     /// Per-tenant cross-shard rebalancer state; `try_lock`ed so at most one
     /// thread runs a tenant's round while the rest keep serving.
-    shard_balancers: Vec<Mutex<ShardRebalancer>>,
-    /// Cross-tenant arbiter state; same `try_lock` discipline. `flush` takes
-    /// this lock (not `try_lock`) before rebuilding engines, so a mid-round
-    /// flush cannot interleave with a transfer and leak budget.
+    balancers: Vec<Arc<Mutex<ShardRebalancer>>>,
+}
+
+impl TenantRoster {
+    /// Live per-tenant byte budgets (summed over shards). The single
+    /// definition behind both the public accessor and `stats`, which
+    /// already holds the roster lock.
+    fn tenant_budgets(&self) -> Vec<u64> {
+        self.budgets
+            .iter()
+            .map(|per_shard| per_shard.iter().map(|b| b.load(Ordering::Relaxed)).sum())
+            .collect()
+    }
+
+    /// Live per-shard byte budgets (summed over tenants).
+    fn shard_budgets(&self, shards: usize) -> Vec<u64> {
+        (0..shards)
+            .map(|s| {
+                self.budgets
+                    .iter()
+                    .map(|per_shard| per_shard[s].load(Ordering::Relaxed))
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// A thread-safe, sharded, multi-tenant cache shared by every connection.
+pub struct SharedCache {
+    config: BackendConfig,
+    roster: RwLock<TenantRoster>,
+    /// `roster.directory.len()`, mirrored so the per-request `tick` path
+    /// can check arbitration eligibility without a roster read lock.
+    tenant_count: AtomicUsize,
+    shards: Vec<Shard>,
+    /// Cross-tenant arbiter state; `try_lock`ed in rounds. `flush` and
+    /// `create_tenant` take this lock (not `try_lock`) before touching
+    /// budgets, so a mid-round flush or carve-out cannot interleave with a
+    /// transfer and leak budget.
     arbiter: Mutex<TenantArbiter>,
     /// Per-shard request count that triggers a rebalancing round
     /// (`interval_requests / shard_count`, at least 1).
@@ -434,6 +494,10 @@ pub struct SharedCache {
     arbiter_runs: AtomicU64,
     arbiter_transfers: AtomicU64,
     arbiter_bytes: AtomicU64,
+    /// Connection-layer counters, installed by the serving front end so
+    /// `stats` can report `curr_connections` and friends; `None` for a
+    /// backend used without a server (tests, simulators).
+    conn_telemetry: Mutex<Option<Arc<ConnTelemetry>>>,
 }
 
 /// Splits `total` into weight-proportional integer shares that sum exactly
@@ -496,8 +560,13 @@ impl SharedCache {
             .iter()
             .map(|per_shard| per_shard.iter().map(|&b| AtomicU64::new(b)).collect())
             .collect();
-        let shard_balancers = (0..directory.len())
-            .map(|_| Mutex::new(ShardRebalancer::new(n, config.rebalance.clone())))
+        let balancers = (0..directory.len())
+            .map(|_| {
+                Arc::new(Mutex::new(ShardRebalancer::new(
+                    n,
+                    config.rebalance.clone(),
+                )))
+            })
             .collect();
         let arbiter = Mutex::new(TenantArbiter::new(
             directory.len(),
@@ -505,13 +574,18 @@ impl SharedCache {
         ));
         let tick_interval = (config.rebalance.interval_requests / n as u64).max(1);
         let arbiter_tick_interval = (config.tenant_balance.interval_requests / n as u64).max(1);
+        let tenant_count = AtomicUsize::new(directory.len());
         SharedCache {
             config,
-            directory,
+            roster: RwLock::new(TenantRoster {
+                directory,
+                weights,
+                initial_budgets,
+                budgets,
+                balancers,
+            }),
+            tenant_count,
             shards,
-            initial_budgets,
-            budgets,
-            shard_balancers,
             arbiter,
             tick_interval,
             arbiter_tick_interval,
@@ -521,23 +595,149 @@ impl SharedCache {
             arbiter_runs: AtomicU64::new(0),
             arbiter_transfers: AtomicU64::new(0),
             arbiter_bytes: AtomicU64::new(0),
+            conn_telemetry: Mutex::new(None),
         }
     }
 
-    /// The tenant directory (names, default first).
-    pub fn tenants(&self) -> &TenantDirectory {
-        &self.directory
+    /// Installs the serving front end's connection counters, exposed by
+    /// `stats` as `curr_connections` / `total_connections` /
+    /// `rejected_connections` / `conns:loop:<i>`.
+    pub fn attach_conn_telemetry(&self, telemetry: Arc<ConnTelemetry>) {
+        *self.conn_telemetry.lock() = Some(telemetry);
+    }
+
+    /// The hosted tenant names (default first).
+    pub fn tenant_names(&self) -> Vec<String> {
+        self.roster.read().directory.names().to_vec()
     }
 
     /// Number of tenants hosted (at least 1).
     pub fn tenant_count(&self) -> usize {
-        self.directory.len()
+        self.tenant_count.load(Ordering::Relaxed)
     }
 
     /// The dense index of a tenant name, if hosted (the `app` command's
     /// lookup).
     pub fn tenant_index(&self, name: &str) -> Option<usize> {
-        self.directory.index_of(name)
+        self.roster.read().directory.index_of(name)
+    }
+
+    /// The engine cell of one (shard, tenant) pair. Clones the `Arc` out of
+    /// the table and releases the table lock before the caller touches the
+    /// engine mutex.
+    ///
+    /// Cost note: this is the price of live tenant onboarding — one shared
+    /// read-lock acquisition plus an `Arc` refcount round-trip per request
+    /// on the shard's cell table, which colliding tenants now share. On the
+    /// wire path this is noise next to the socket syscalls (the CI perf
+    /// gate guards the claim); a lock-free snapshot (epoch/arc-swap-style)
+    /// would restore the zero-shared-write hot path and is tracked in the
+    /// ROADMAP.
+    fn cell(&self, shard: usize, tenant: usize) -> Arc<EngineCell> {
+        Arc::clone(&self.shards[shard].cells.read()[tenant])
+    }
+
+    /// Hosts a new application live: validates the name, carves a
+    /// weight-proportional byte budget out of every existing tenant's
+    /// engines (shrinking them with immediate eviction, the same machinery
+    /// arbitration transfers use), and brings the tenant's engines up on
+    /// every shard. Returns the new tenant's index.
+    ///
+    /// The carve-out conserves the configured total exactly: only bytes
+    /// actually released by a donor engine are granted to the new tenant,
+    /// and donors pinned at their class floors simply contribute less (the
+    /// arbiter keeps moving budget afterwards, so the split converges on
+    /// demand either way). The cross-tenant arbiter is rebuilt for the new
+    /// tenant count, which costs one observation round of baseline.
+    pub fn create_tenant(&self, name: &str, weight: u64) -> Result<usize, String> {
+        if !TenantDirectory::valid_name(name) {
+            return Err(format!(
+                "invalid app name {name:?}: need 1-64 ASCII graphic bytes, no ':'"
+            ));
+        }
+        if weight == 0 {
+            return Err("app weight must be at least 1".to_string());
+        }
+        // Lock order everywhere: arbiter, then roster, then engines.
+        let mut arbiter = self.arbiter.lock();
+        let mut roster = self.roster.write();
+        if roster.directory.index_of(name).is_some() {
+            return Err(format!("app {name:?} already exists"));
+        }
+        let n = self.shards.len();
+        let sum_weights: u64 = roster.weights.iter().sum();
+        let target_total = (self.config.total_bytes as u128 * weight as u128
+            / (sum_weights + weight) as u128) as u64;
+        let target_slices = even_split(target_total.max(1), n);
+        let mut carved = vec![0u64; n];
+        for (s, &target_slice) in target_slices.iter().enumerate() {
+            let shard_total: u64 = roster
+                .budgets
+                .iter()
+                .map(|per_shard| per_shard[s].load(Ordering::Relaxed))
+                .sum();
+            for t in 0..roster.directory.len() {
+                let budget = roster.budgets[t][s].load(Ordering::Relaxed);
+                let ask =
+                    (target_slice as u128 * budget as u128 / shard_total.max(1) as u128) as u64;
+                if ask == 0 {
+                    continue;
+                }
+                let cell = self.cell(s, t);
+                if cell.engine.lock().shrink_total(ask) {
+                    roster.budgets[t][s].fetch_sub(ask, Ordering::Relaxed);
+                    carved[s] += ask;
+                }
+            }
+        }
+        // Rebase every tenant's flush-restore point to the post-carve live
+        // split: restoring the donors' pre-carve budgets on `flush` while
+        // the new tenant keeps its carve would over-commit the total.
+        for t in 0..roster.directory.len() {
+            for s in 0..n {
+                roster.initial_budgets[t][s] = roster.budgets[t][s].load(Ordering::Relaxed);
+            }
+        }
+        for (s, shard) in self.shards.iter().enumerate() {
+            shard.cells.write().push(EngineCell::new(Inner::build(
+                &self.config,
+                carved[s].max(1),
+            )));
+        }
+        let index = roster.directory.add(name);
+        roster.weights.push(weight);
+        roster
+            .budgets
+            .push(carved.iter().map(|&b| AtomicU64::new(b)).collect());
+        roster.initial_budgets.push(carved);
+        roster
+            .balancers
+            .push(Arc::new(Mutex::new(ShardRebalancer::new(
+                n,
+                self.config.rebalance.clone(),
+            ))));
+        *arbiter = TenantArbiter::new(roster.directory.len(), self.config.tenant_balance.clone());
+        self.tenant_count
+            .store(roster.directory.len(), Ordering::Relaxed);
+        Ok(index)
+    }
+
+    /// The hosted applications as `(name, weight, live budget bytes)`, in
+    /// directory order (the `app_list` command's view).
+    pub fn app_list(&self) -> Vec<(String, u64, u64)> {
+        let roster = self.roster.read();
+        (0..roster.directory.len())
+            .map(|t| {
+                (
+                    roster.directory.name(t).to_string(),
+                    roster.weights[t],
+                    roster.budgets[t]
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .sum(),
+                )
+            })
+            .collect()
     }
 
     /// Whether per-tenant cross-shard rebalancing rounds can do anything.
@@ -547,10 +747,11 @@ impl SharedCache {
             && self.config.mode != BackendMode::Default
     }
 
-    /// Whether cross-tenant arbitration rounds can do anything.
+    /// Whether cross-tenant arbitration rounds can do anything. Reads the
+    /// mirrored tenant count, not the roster — this runs on every request.
     fn arbiter_active(&self) -> bool {
         self.config.tenant_balance.enabled
-            && self.directory.len() > 1
+            && self.tenant_count() > 1
             && self.config.mode != BackendMode::Default
     }
 
@@ -582,34 +783,39 @@ impl SharedCache {
         if !self.rebalance_active() {
             return;
         }
+        let roster = self.roster.read();
         let mut ran_any = false;
-        for (t, balancer) in self.shard_balancers.iter().enumerate() {
+        for (t, balancer) in roster.balancers.iter().enumerate() {
             let Some(mut balancer) = balancer.try_lock() else {
                 continue;
             };
             ran_any = true;
-            let samples: Vec<ShardSample> = self
+            // Snapshot the tenant's engine cells once per round; engine
+            // locks are still taken one at a time below.
+            let cells: Vec<Arc<EngineCell>> = self
                 .shards
                 .iter()
-                .zip(&self.budgets[t])
-                .map(|(shard, budget)| ShardSample {
-                    shadow_hits: shard.engines[t].lock().stats().shadow_hits,
-                    budget_bytes: budget.load(Ordering::Relaxed),
+                .map(|shard| Arc::clone(&shard.cells.read()[t]))
+                .collect();
+            let samples: Vec<ShardSample> = cells
+                .iter()
+                .enumerate()
+                .map(|(s, cell)| ShardSample {
+                    shadow_hits: cell.engine.lock().stats().shadow_hits,
+                    budget_bytes: roster.budgets[t][s].load(Ordering::Relaxed),
                 })
                 .collect();
             for tr in balancer.rebalance(&samples) {
                 // Shrink first and only then grow — one engine lock at a
                 // time, and the total can momentarily dip but never exceed
                 // the budget.
-                let released = self.shards[tr.from].engines[t]
-                    .lock()
-                    .shrink_total(tr.bytes);
+                let released = cells[tr.from].engine.lock().shrink_total(tr.bytes);
                 if !released {
                     continue;
                 }
-                self.budgets[t][tr.from].fetch_sub(tr.bytes, Ordering::Relaxed);
-                self.shards[tr.to].engines[t].lock().grow_total(tr.bytes);
-                self.budgets[t][tr.to].fetch_add(tr.bytes, Ordering::Relaxed);
+                roster.budgets[t][tr.from].fetch_sub(tr.bytes, Ordering::Relaxed);
+                cells[tr.to].engine.lock().grow_total(tr.bytes);
+                roster.budgets[t][tr.to].fetch_add(tr.bytes, Ordering::Relaxed);
                 self.rebalance_transfers.fetch_add(1, Ordering::Relaxed);
                 self.rebalance_bytes.fetch_add(tr.bytes, Ordering::Relaxed);
             }
@@ -637,15 +843,22 @@ impl SharedCache {
         let Some(mut arbiter) = self.arbiter.try_lock() else {
             return;
         };
+        let roster = self.roster.read();
         let n = self.shards.len() as u64;
-        let samples: Vec<TenantSample> = (0..self.directory.len())
+        // Snapshot every shard's cell table once per round (one table lock
+        // per shard, not one per sample/transfer); indexed [shard][tenant].
+        let cells: Vec<Vec<Arc<EngineCell>>> = self
+            .shards
+            .iter()
+            .map(|shard| shard.cells.read().clone())
+            .collect();
+        let samples: Vec<TenantSample> = (0..roster.directory.len())
             .map(|t| TenantSample {
-                shadow_hits: self
-                    .shards
+                shadow_hits: cells
                     .iter()
-                    .map(|shard| shard.engines[t].lock().stats().shadow_hits)
+                    .map(|shard| shard[t].engine.lock().stats().shadow_hits)
                     .sum(),
-                budget_bytes: self.budgets[t]
+                budget_bytes: roster.budgets[t]
                     .iter()
                     .map(|b| b.load(Ordering::Relaxed))
                     .sum(),
@@ -653,21 +866,21 @@ impl SharedCache {
             .collect();
         for tr in arbiter.arbitrate(&samples) {
             let mut moved = 0u64;
-            for (s, _) in self.shards.iter().enumerate() {
+            for (s, shard_cells) in cells.iter().enumerate() {
                 let slice = tr.bytes / n + u64::from((s as u64) < tr.bytes % n);
                 if slice == 0 {
                     continue;
                 }
-                let released = self.shards[s].engines[tr.from].lock().shrink_total(slice);
+                let released = shard_cells[tr.from].engine.lock().shrink_total(slice);
                 if !released {
                     // This shard's donor slice is pinned by its class
                     // floors; skip it (the arbiter re-samples real budgets
                     // next round, so nothing drifts).
                     continue;
                 }
-                self.budgets[tr.from][s].fetch_sub(slice, Ordering::Relaxed);
-                self.shards[s].engines[tr.to].lock().grow_total(slice);
-                self.budgets[tr.to][s].fetch_add(slice, Ordering::Relaxed);
+                roster.budgets[tr.from][s].fetch_sub(slice, Ordering::Relaxed);
+                shard_cells[tr.to].engine.lock().grow_total(slice);
+                roster.budgets[tr.to][s].fetch_add(slice, Ordering::Relaxed);
                 moved += slice;
             }
             if moved > 0 {
@@ -681,23 +894,13 @@ impl SharedCache {
     /// The live per-shard byte budgets, summed over tenants (even split at
     /// start; the rebalancers move them).
     pub fn shard_budgets(&self) -> Vec<u64> {
-        (0..self.shards.len())
-            .map(|s| {
-                self.budgets
-                    .iter()
-                    .map(|per_shard| per_shard[s].load(Ordering::Relaxed))
-                    .sum()
-            })
-            .collect()
+        self.roster.read().shard_budgets(self.shards.len())
     }
 
     /// The live per-tenant byte budgets (weight-proportional at start; the
     /// arbiter moves them).
     pub fn tenant_budgets(&self) -> Vec<u64> {
-        self.budgets
-            .iter()
-            .map(|per_shard| per_shard.iter().map(|b| b.load(Ordering::Relaxed)).sum())
-            .collect()
+        self.roster.read().tenant_budgets()
     }
 
     fn charge_size(key: &[u8], data: &[u8]) -> u64 {
@@ -728,10 +931,10 @@ impl SharedCache {
     /// exact match.
     pub fn get_for(&self, tenant: usize, key: &[u8]) -> Option<(u32, Bytes)> {
         let (si, id) = self.route(tenant, key);
-        let shard = &self.shards[si];
-        self.tick(shard);
-        shard.wire[tenant].gets.fetch_add(1, Ordering::Relaxed);
-        let mut inner = shard.engines[tenant].lock();
+        self.tick(&self.shards[si]);
+        let cell = self.cell(si, tenant);
+        cell.wire.gets.fetch_add(1, Ordering::Relaxed);
+        let mut inner = cell.engine.lock();
         let found = match &mut *inner {
             Inner::Plain(cache) => {
                 let hit = cache.get_untyped(id).result.hit;
@@ -753,7 +956,7 @@ impl SharedCache {
         drop(inner);
         match found {
             Some(stored) if stored.key == key => {
-                shard.wire[tenant].hits.fetch_add(1, Ordering::Relaxed);
+                cell.wire.hits.fetch_add(1, Ordering::Relaxed);
                 Some((stored.flags, stored.data))
             }
             _ => None,
@@ -764,9 +967,7 @@ impl SharedCache {
     /// recording a GET.
     pub fn contains_for(&self, tenant: usize, key: &[u8]) -> bool {
         let (si, id) = self.route(tenant, key);
-        self.shards[si].engines[tenant]
-            .lock()
-            .contains_exact(id, key)
+        self.cell(si, tenant).engine.lock().contains_exact(id, key)
     }
 
     /// Stores a key for one tenant unconditionally. Returns `false` only if
@@ -774,27 +975,28 @@ impl SharedCache {
     /// class).
     pub fn set_for(&self, tenant: usize, key: &[u8], flags: u32, data: Bytes) -> bool {
         let (si, id) = self.route(tenant, key);
-        let shard = &self.shards[si];
-        self.tick(shard);
-        shard.wire[tenant].sets.fetch_add(1, Ordering::Relaxed);
+        self.tick(&self.shards[si]);
+        let cell = self.cell(si, tenant);
+        cell.wire.sets.fetch_add(1, Ordering::Relaxed);
         let size = Self::charge_size(key, &data);
         let stored = StoredValue::new(key, flags, data);
-        shard.engines[tenant].lock().set(id, size, stored)
+        let mut inner = cell.engine.lock();
+        inner.set(id, size, stored)
     }
 
     /// Stores a key for one tenant only if it is absent (`add`). Atomic with
     /// respect to concurrent writers on the same tenant and shard.
     pub fn add_for(&self, tenant: usize, key: &[u8], flags: u32, data: Bytes) -> bool {
         let (si, id) = self.route(tenant, key);
-        let shard = &self.shards[si];
-        self.tick(shard);
+        self.tick(&self.shards[si]);
+        let cell = self.cell(si, tenant);
         let size = Self::charge_size(key, &data);
         let stored = StoredValue::new(key, flags, data);
-        let mut inner = shard.engines[tenant].lock();
+        let mut inner = cell.engine.lock();
         if inner.contains_exact(id, key) {
             return false;
         }
-        shard.wire[tenant].sets.fetch_add(1, Ordering::Relaxed);
+        cell.wire.sets.fetch_add(1, Ordering::Relaxed);
         inner.set(id, size, stored)
     }
 
@@ -802,25 +1004,25 @@ impl SharedCache {
     /// with respect to concurrent writers on the same tenant and shard.
     pub fn replace_for(&self, tenant: usize, key: &[u8], flags: u32, data: Bytes) -> bool {
         let (si, id) = self.route(tenant, key);
-        let shard = &self.shards[si];
-        self.tick(shard);
+        self.tick(&self.shards[si]);
+        let cell = self.cell(si, tenant);
         let size = Self::charge_size(key, &data);
         let stored = StoredValue::new(key, flags, data);
-        let mut inner = shard.engines[tenant].lock();
+        let mut inner = cell.engine.lock();
         if !inner.contains_exact(id, key) {
             return false;
         }
-        shard.wire[tenant].sets.fetch_add(1, Ordering::Relaxed);
+        cell.wire.sets.fetch_add(1, Ordering::Relaxed);
         inner.set(id, size, stored)
     }
 
     /// Deletes a key for one tenant; returns whether it was present.
     pub fn delete_for(&self, tenant: usize, key: &[u8]) -> bool {
         let (si, id) = self.route(tenant, key);
-        let shard = &self.shards[si];
-        self.tick(shard);
-        shard.wire[tenant].deletes.fetch_add(1, Ordering::Relaxed);
-        let mut inner = shard.engines[tenant].lock();
+        self.tick(&self.shards[si]);
+        let cell = self.cell(si, tenant);
+        cell.wire.deletes.fetch_add(1, Ordering::Relaxed);
+        let mut inner = cell.engine.lock();
         if !inner.contains_exact(id, key) {
             return false;
         }
@@ -871,13 +1073,15 @@ impl SharedCache {
     /// would let any single tenant suppress arbitration *globally* and
     /// indefinitely by flushing more often than the arbitration interval.)
     pub fn flush_tenant(&self, tenant: usize) {
-        // Lock order: arbiter, then the tenant's balancer, then engines —
-        // the same partial order every round uses, so an in-flight round
-        // finishes before the rebuild and no half-applied transfer can leak
-        // budget. The arbiter lock is held for serialisation only.
+        // Lock order: arbiter, then the roster, then the tenant's balancer,
+        // then engines — the same partial order every round uses, so an
+        // in-flight round finishes before the rebuild and no half-applied
+        // transfer can leak budget. The arbiter lock is held for
+        // serialisation only.
         let _arbiter = self.arbiter.lock();
-        let mut balancer = self.shard_balancers[tenant].lock();
-        let total: u64 = self.budgets[tenant]
+        let roster = self.roster.read();
+        let mut balancer = roster.balancers[tenant].lock();
+        let total: u64 = roster.budgets[tenant]
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .sum();
@@ -890,15 +1094,15 @@ impl SharedCache {
         let mut order: Vec<usize> = (0..self.shards.len()).collect();
         order.sort_by_key(|&s| {
             std::cmp::Reverse(
-                self.budgets[tenant][s]
+                roster.budgets[tenant][s]
                     .load(Ordering::Relaxed)
                     .saturating_sub(shares[s]),
             )
         });
         for s in order {
-            let mut inner = self.shards[s].engines[tenant].lock();
-            *inner = Inner::build(&self.config, shares[s]);
-            self.budgets[tenant][s].store(shares[s], Ordering::Relaxed);
+            let cell = self.cell(s, tenant);
+            *cell.engine.lock() = Inner::build(&self.config, shares[s]);
+            roster.budgets[tenant][s].store(shares[s], Ordering::Relaxed);
         }
         balancer.reset();
     }
@@ -908,14 +1112,17 @@ impl SharedCache {
     /// every rebalancer and arbiter baseline.
     pub fn flush(&self) {
         // Hold every decision lock across the rebuild (arbiter first, then
-        // balancers in index order — the global lock order).
+        // the roster, then balancers in index order — the global lock
+        // order). Tenants onboarded live return to their carve-out split.
         let mut arbiter = self.arbiter.lock();
-        let mut balancers: Vec<_> = self.shard_balancers.iter().map(|b| b.lock()).collect();
-        for (t, per_shard) in self.initial_budgets.iter().enumerate() {
-            for (s, shard) in self.shards.iter().enumerate() {
-                let mut inner = shard.engines[t].lock();
-                *inner = Inner::build(&self.config, per_shard[s]);
-                self.budgets[t][s].store(per_shard[s], Ordering::Relaxed);
+        let roster = self.roster.read();
+        let mut balancers: Vec<_> = roster.balancers.iter().map(|b| b.lock()).collect();
+        for (s, shard) in self.shards.iter().enumerate() {
+            // One cell-table snapshot per shard, not one lock per engine.
+            let cells: Vec<Arc<EngineCell>> = shard.cells.read().clone();
+            for (t, per_shard) in roster.initial_budgets.iter().enumerate() {
+                *cells[t].engine.lock() = Inner::build(&self.config, per_shard[s]);
+                roster.budgets[t][s].store(per_shard[s], Ordering::Relaxed);
             }
         }
         for balancer in balancers.iter_mut() {
@@ -933,7 +1140,8 @@ impl SharedCache {
     /// read with relaxed atomics; only the cache-core statistics (bytes,
     /// items, evictions) briefly take each engine's lock in turn.
     pub fn stats(&self) -> Vec<(String, String)> {
-        let nt = self.directory.len();
+        let roster = self.roster.read();
+        let nt = roster.directory.len();
         let ns = self.shards.len();
         let mut totals = WireCounts::default();
         let mut core_total = CacheStats::default();
@@ -949,10 +1157,12 @@ impl SharedCache {
         let mut shard_used = vec![0u64; ns];
         let mut shard_items = vec![0usize; ns];
         for (s, shard) in self.shards.iter().enumerate() {
-            for t in 0..nt {
-                let wire = shard.wire[t].counts();
+            // Snapshot the cell table so engine locks are taken without it.
+            let cells: Vec<Arc<EngineCell>> = shard.cells.read().clone();
+            for (t, cell) in cells.iter().enumerate().take(nt) {
+                let wire = cell.wire.counts();
                 let (core, engine_used, engine_items) = {
-                    let inner = shard.engines[t].lock();
+                    let inner = cell.engine.lock();
                     (inner.stats(), inner.used_bytes(), inner.len())
                 };
                 totals.accumulate(wire);
@@ -1027,9 +1237,23 @@ impl SharedCache {
                 self.arbiter_bytes.load(Ordering::Relaxed).to_string(),
             ),
         ];
-        let tenant_budgets = self.tenant_budgets();
+        if let Some(conns) = self.conn_telemetry.lock().as_ref() {
+            out.push(("curr_connections".into(), conns.curr().to_string()));
+            out.push(("total_connections".into(), conns.total().to_string()));
+            out.push(("rejected_connections".into(), conns.rejected().to_string()));
+            out.push((
+                "max_connections".into(),
+                conns.max_connections().to_string(),
+            ));
+            for i in 0..conns.loops() {
+                out.push((format!("conns:loop:{i}"), conns.loop_curr(i).to_string()));
+            }
+        }
+        // Budgets computed on the roster we already hold — re-entering the
+        // public `tenant_budgets()` would re-take the roster lock.
+        let tenant_budgets = roster.tenant_budgets();
         for t in 0..nt {
-            let name = self.directory.name(t);
+            let name = roster.directory.name(t);
             let wire = tenant_wire[t];
             out.push((format!("tenant:{name}:cmd_get"), wire.gets.to_string()));
             out.push((format!("tenant:{name}:cmd_set"), wire.sets.to_string()));
@@ -1057,7 +1281,7 @@ impl SharedCache {
                 tenant_core[t].shadow_hits.to_string(),
             ));
         }
-        let shard_budgets = self.shard_budgets();
+        let shard_budgets = roster.shard_budgets(ns);
         for s in 0..ns {
             let wire = shard_wire[s];
             out.push((format!("shard:{s}:cmd_get"), wire.gets.to_string()));
@@ -1621,6 +1845,103 @@ mod tests {
         );
         let stats: std::collections::HashMap<String, String> = c.stats().into_iter().collect();
         assert!(stats["arbiter:transfers"].parse::<u64>().unwrap() > 0);
+    }
+
+    #[test]
+    fn create_tenant_carves_budget_and_isolates() {
+        let total = 8u64 << 20;
+        let c = SharedCache::new(two_tenants(total, 2));
+        assert_eq!(c.tenant_count(), 3);
+        // Populate the default namespace first; the carve-out will shrink
+        // its engines with real evictions.
+        for i in 0..2_000u32 {
+            c.set(format!("d{i}").as_bytes(), 0, Bytes::from(vec![0u8; 200]));
+        }
+        let gamma = c.create_tenant("gamma", 1).expect("create must succeed");
+        assert_eq!(c.tenant_count(), 4);
+        assert_eq!(c.tenant_index("gamma"), Some(gamma));
+        // Budget conserved: the new tenant's share came out of the others.
+        let budgets = c.tenant_budgets();
+        assert_eq!(budgets.iter().sum::<u64>(), total, "{budgets:?}");
+        assert!(budgets[gamma] > 0, "carve-out must be nonzero: {budgets:?}");
+        // The new namespace works and is isolated.
+        assert!(c.set_for(gamma, b"k", 1, Bytes::from("gamma-v")));
+        assert_eq!(c.get_for(gamma, b"k").unwrap().1, Bytes::from("gamma-v"));
+        assert!(c.get(b"k").is_none(), "default must not see gamma's key");
+        // Rejections: duplicates (including built-ins), bad names, weight 0.
+        assert!(c.create_tenant("gamma", 1).is_err());
+        assert!(c.create_tenant("default", 1).is_err());
+        assert!(c.create_tenant("bad:name", 1).is_err());
+        assert!(c.create_tenant("", 1).is_err());
+        assert!(c.create_tenant("fine", 0).is_err());
+        assert_eq!(c.tenant_count(), 4);
+        // The listing reflects the live state.
+        let apps = c.app_list();
+        assert_eq!(apps.len(), 4);
+        assert_eq!(apps[gamma].0, "gamma");
+        assert_eq!(apps[gamma].2, budgets[gamma]);
+        // Stats carry the new tenant's section; a full flush returns it to
+        // its carve-out split without losing the tenant.
+        let stats: std::collections::HashMap<String, String> = c.stats().into_iter().collect();
+        assert_eq!(stats["tenant_count"], "4");
+        assert_eq!(stats["tenant:gamma:budget"], budgets[gamma].to_string());
+        c.flush();
+        assert!(c.get_for(gamma, b"k").is_none());
+        assert_eq!(c.tenant_budgets().iter().sum::<u64>(), total);
+        assert_eq!(c.tenant_count(), 4);
+    }
+
+    #[test]
+    fn created_tenant_joins_arbitration() {
+        // A tenant onboarded live must be a first-class arbitration citizen:
+        // starve it and the arbiter should move budget toward it. Same
+        // dimensions as `arbiter_moves_budget_toward_the_starved_tenant`
+        // (whose comment derives the working-set / shadow-window geometry),
+        // except the starved tenant arrives via `app_create` instead of
+        // deployment configuration.
+        let total = 16u64 << 20;
+        let c = SharedCache::new(BackendConfig {
+            total_bytes: total,
+            mode: BackendMode::Cliffhanger,
+            shards: 2,
+            tenants: vec![TenantSpec::new("idle", 1)],
+            tenant_balance: TenantBalanceConfig {
+                credit_bytes: 256 << 10,
+                min_tenant_bytes: 1 << 20,
+                min_gradient_gap: 4,
+                ..TenantBalanceConfig::default()
+            },
+            ..BackendConfig::default()
+        });
+        let idle = c.tenant_index("idle").unwrap();
+        let late = c.create_tenant("latecomer", 1).unwrap();
+        assert_eq!(
+            c.tenant_budgets().iter().sum::<u64>(),
+            total,
+            "carve-out conserves the total"
+        );
+        let payload = Bytes::from(vec![0u8; 200]);
+        for _ in 0..12 {
+            for i in 0..20_000u32 {
+                let key = format!("s{i}");
+                if c.get_for(late, key.as_bytes()).is_none() {
+                    c.set_for(late, key.as_bytes(), 0, payload.clone());
+                }
+            }
+            for i in 0..50u32 {
+                let key = format!("i{i}");
+                if c.get_for(idle, key.as_bytes()).is_none() {
+                    c.set_for(idle, key.as_bytes(), 0, payload.clone());
+                }
+            }
+            c.arbitrate_now();
+        }
+        let budgets = c.tenant_budgets();
+        assert_eq!(budgets.iter().sum::<u64>(), total);
+        assert!(
+            budgets[late] > budgets[idle],
+            "the starved latecomer should have gained budget: {budgets:?}"
+        );
     }
 
     #[test]

@@ -52,6 +52,38 @@ impl CacheClient {
         Ok(line == "OK")
     }
 
+    /// Creates an application namespace live (`app_create <name> <weight>`);
+    /// returns whether the server accepted it (duplicates and invalid names
+    /// come back as `CLIENT_ERROR`, i.e. `false`).
+    pub fn app_create(&mut self, name: &str, weight: u64) -> std::io::Result<bool> {
+        self.writer
+            .write_all(format!("app_create {name} {weight}\r\n").as_bytes())?;
+        let line = self.read_line()?;
+        Ok(line == "OK")
+    }
+
+    /// Lists the hosted applications as `(name, weight, budget bytes)`
+    /// (`app_list`).
+    pub fn app_list(&mut self) -> std::io::Result<Vec<(String, u64, u64)>> {
+        self.writer.write_all(b"app_list\r\n")?;
+        let mut apps = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line == "END" {
+                return Ok(apps);
+            }
+            if let Some(rest) = line.strip_prefix("APP ") {
+                let mut parts = rest.split_ascii_whitespace();
+                let name = parts.next().unwrap_or("").to_string();
+                let weight: u64 = parts.next().unwrap_or("0").parse().unwrap_or(0);
+                let budget: u64 = parts.next().unwrap_or("0").parse().unwrap_or(0);
+                apps.push((name, weight, budget));
+            } else if line.starts_with("CLIENT_ERROR") || line == "ERROR" {
+                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, line));
+            }
+        }
+    }
+
     /// Stores a value; returns whether the server acknowledged it.
     pub fn set(&mut self, key: &[u8], flags: u32, value: &[u8]) -> std::io::Result<bool> {
         self.store("set", key, flags, value)

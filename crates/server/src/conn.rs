@@ -1,0 +1,360 @@
+//! The per-connection state machine the reactor drives.
+//!
+//! Each connection owns a non-blocking socket, a read buffer, a resumable
+//! [`Parser`] and a pending-output buffer. The reactor calls
+//! [`Connection::on_ready`] with the epoll readiness it observed; the
+//! connection reads whatever the socket has, executes every complete
+//! command, and writes as much of the accumulated response bytes as the
+//! socket accepts. Nothing here ever blocks:
+//!
+//! * a *read* that would block simply ends the fill pass — the loop's
+//!   level-triggered `EPOLLIN` re-arms it;
+//! * a *write* that would block parks the unsent bytes and switches the
+//!   connection onto `EPOLLOUT` (write backpressure) — and once more than
+//!   [`OUT_HIGH_WATERMARK`] bytes are parked, the connection also stops
+//!   reading and parsing, so a client that requests faster than it reads
+//!   responses is throttled by TCP instead of ballooning server memory.
+//!
+//! The command semantics (and every byte on the wire) are identical to the
+//! old blocking handler; only the scheduling changed.
+//!
+//! Known trade-off: commands execute inline on the event-loop thread, so a
+//! heavyweight one (`flush_all` rebuilding a tenant's engines, `app_create`
+//! carving budget out of every engine, a large `stats` sweep) briefly
+//! head-of-line blocks the other connections owned by the *same* loop —
+//! Memcached's worker threads have the same property. Other loops are
+//! unaffected. Offloading admin commands to a helper thread is a tracked
+//! ROADMAP item; the data-path commands (get/set/delete) are all O(1)-ish
+//! and unaffected.
+
+use crate::backend::SharedCache;
+use crate::protocol::{encode_response, Command, ParseOutcome, Parser, Response, StoreVerb, Value};
+use bytes::BytesMut;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::fd::{AsRawFd, RawFd};
+
+use crate::reactor::{EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+/// Pending-output bytes above which the connection stops reading and
+/// parsing until the socket drains (and above which a pipelined batch is
+/// cut, matching the old handler's flush threshold).
+pub(crate) const OUT_HIGH_WATERMARK: usize = 256 * 1024;
+/// Bytes read from the socket per `read` call.
+const READ_CHUNK: usize = 16 * 1024;
+/// Bytes buffered per fill pass before yielding back to the loop, so one
+/// fire-hosing connection cannot starve its siblings (level-triggered
+/// epoll re-schedules it immediately).
+const IN_FILL_BUDGET: usize = 256 * 1024;
+
+/// What the reactor should do with the connection after a readiness pass.
+pub(crate) enum Drive {
+    /// Keep it registered with this interest set.
+    Keep {
+        /// Desired epoll interest bits.
+        interest: u32,
+        /// Whether they differ from the currently registered set.
+        changed: bool,
+    },
+    /// Deregister and drop it.
+    Close,
+}
+
+/// How an I/O pass left the socket.
+#[derive(PartialEq)]
+enum Flow {
+    /// Still usable.
+    Open,
+    /// The peer closed its writing half (serve what is buffered, then
+    /// close).
+    Eof,
+    /// Hard I/O error: close now.
+    Broken,
+}
+
+/// One client connection: socket, buffers, parser and session state.
+pub(crate) struct Connection {
+    stream: TcpStream,
+    parser: Parser,
+    inbuf: BytesMut,
+    out: Vec<u8>,
+    /// Bytes of `out` already written to the socket.
+    out_pos: usize,
+    /// The session's tenant namespace (`app <name>` switches it; index 0 —
+    /// the default tenant — until then).
+    tenant: usize,
+    /// The interest set currently registered with epoll.
+    interest: u32,
+    /// Quit or EOF observed: flush the remaining output, then close.
+    draining: bool,
+}
+
+/// What one parse-and-execute pass produced.
+enum Step {
+    /// Number of commands executed (0 = waiting for bytes or backpressured).
+    Parsed(usize),
+    /// The client sent `quit`.
+    Quit,
+}
+
+impl Connection {
+    /// Takes ownership of a freshly accepted socket, making it non-blocking.
+    pub(crate) fn adopt(stream: TcpStream) -> std::io::Result<Connection> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Connection {
+            stream,
+            parser: Parser::new(),
+            inbuf: BytesMut::with_capacity(READ_CHUNK),
+            out: Vec::with_capacity(READ_CHUNK),
+            out_pos: 0,
+            tenant: 0,
+            interest: EPOLLIN | EPOLLRDHUP,
+            draining: false,
+        })
+    }
+
+    /// The socket's fd, for epoll registration.
+    pub(crate) fn fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+
+    /// The currently desired epoll interest set.
+    pub(crate) fn interest(&self) -> u32 {
+        self.interest
+    }
+
+    fn pending_out(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    /// One readiness pass: flush, fill, then parse/execute/flush until
+    /// quiescent.
+    pub(crate) fn on_ready(
+        &mut self,
+        readable: bool,
+        writable: bool,
+        cache: &SharedCache,
+    ) -> Drive {
+        if writable && self.flush() == Flow::Broken {
+            return Drive::Close;
+        }
+        if readable && !self.draining {
+            match self.fill() {
+                Flow::Broken => return Drive::Close,
+                Flow::Eof => self.draining = true,
+                Flow::Open => {}
+            }
+        }
+        // Parsing can be resumed by a flush that drains the output below
+        // the watermark, so alternate the two until neither makes progress.
+        loop {
+            let parsed = match self.process(cache) {
+                Step::Parsed(n) => n,
+                Step::Quit => {
+                    // Commands pipelined after `quit` are never parsed,
+                    // exactly like the blocking handler's early return.
+                    self.draining = true;
+                    self.inbuf.clear();
+                    0
+                }
+            };
+            if self.flush() == Flow::Broken {
+                return Drive::Close;
+            }
+            if parsed == 0 || self.pending_out() > 0 {
+                break;
+            }
+        }
+        if self.draining && self.pending_out() == 0 {
+            return Drive::Close;
+        }
+        let mut want = 0;
+        if self.pending_out() > 0 {
+            want |= EPOLLOUT;
+        }
+        if !self.draining && self.pending_out() < OUT_HIGH_WATERMARK {
+            want |= EPOLLIN | EPOLLRDHUP;
+        }
+        let changed = want != self.interest;
+        self.interest = want;
+        Drive::Keep {
+            interest: want,
+            changed,
+        }
+    }
+
+    /// Reads whatever the socket has (bounded per pass).
+    fn fill(&mut self) -> Flow {
+        let mut chunk = [0u8; READ_CHUNK];
+        let mut taken = 0usize;
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Flow::Eof,
+                Ok(n) => {
+                    self.inbuf.extend_from_slice(&chunk[..n]);
+                    taken += n;
+                    if taken >= IN_FILL_BUDGET {
+                        return Flow::Open;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Flow::Open,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return Flow::Broken,
+            }
+        }
+    }
+
+    /// Parses and executes buffered commands until the input runs dry, the
+    /// output backs up past the watermark, or the client quits.
+    fn process(&mut self, cache: &SharedCache) -> Step {
+        let mut parsed = 0;
+        while self.pending_out() < OUT_HIGH_WATERMARK {
+            match self.parser.parse(&mut self.inbuf) {
+                ParseOutcome::Complete(Command::Quit) => return Step::Quit,
+                ParseOutcome::Complete(command) => {
+                    parsed += 1;
+                    let (response, suppress) = execute(&command, cache, &mut self.tenant);
+                    if !suppress {
+                        encode_response(&response, &mut self.out);
+                    }
+                }
+                ParseOutcome::Invalid(message) => {
+                    parsed += 1;
+                    encode_response(&Response::ClientError(message), &mut self.out);
+                }
+                ParseOutcome::Incomplete => break,
+            }
+        }
+        Step::Parsed(parsed)
+    }
+
+    /// Writes as much parked output as the socket accepts.
+    fn flush(&mut self) -> Flow {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Flow::Broken,
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return Flow::Broken,
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+            self.out.shrink_to(OUT_HIGH_WATERMARK);
+        } else if self.out_pos >= OUT_HIGH_WATERMARK {
+            // Reclaim the written prefix so a long-parked connection does
+            // not hold both the sent and unsent halves forever.
+            self.out.drain(..self.out_pos);
+            self.out_pos = 0;
+        }
+        Flow::Open
+    }
+}
+
+/// Executes a command against the cache in the session's tenant namespace;
+/// returns the response and whether the reply should be suppressed
+/// (`noreply`). `app <name>` mutates the session's tenant.
+pub(crate) fn execute(
+    command: &Command,
+    cache: &SharedCache,
+    tenant: &mut usize,
+) -> (Response, bool) {
+    match command {
+        Command::Get { keys } => {
+            let values = keys
+                .iter()
+                .filter_map(|key| {
+                    cache.get_for(*tenant, key).map(|(flags, data)| Value {
+                        key: key.clone(),
+                        flags,
+                        data,
+                    })
+                })
+                .collect();
+            (Response::Values(values), false)
+        }
+        Command::Store {
+            verb,
+            key,
+            flags,
+            data,
+            noreply,
+            ..
+        } => {
+            let stored = match verb {
+                StoreVerb::Set => cache.set_for(*tenant, key, *flags, data.clone()),
+                StoreVerb::Add => cache.add_for(*tenant, key, *flags, data.clone()),
+                StoreVerb::Replace => cache.replace_for(*tenant, key, *flags, data.clone()),
+            };
+            let response = if stored {
+                Response::Stored
+            } else {
+                Response::NotStored
+            };
+            (response, *noreply)
+        }
+        Command::Delete { key, noreply } => {
+            let response = if cache.delete_for(*tenant, key) {
+                Response::Deleted
+            } else {
+                Response::NotFound
+            };
+            (response, *noreply)
+        }
+        Command::App { id } => {
+            let response = match std::str::from_utf8(id)
+                .ok()
+                .and_then(|name| cache.tenant_index(name))
+            {
+                Some(index) => {
+                    *tenant = index;
+                    Response::Ok
+                }
+                None => Response::ClientError(format!(
+                    "unknown app {:?} (hosted: {})",
+                    String::from_utf8_lossy(id),
+                    cache.tenant_names().join(", ")
+                )),
+            };
+            (response, false)
+        }
+        Command::AppCreate { name, weight } => {
+            let response = match std::str::from_utf8(name) {
+                Ok(name) => match cache.create_tenant(name, *weight) {
+                    Ok(_) => Response::Ok,
+                    Err(reason) => Response::ClientError(reason),
+                },
+                Err(_) => Response::ClientError("app names must be UTF-8".to_string()),
+            };
+            (response, false)
+        }
+        Command::AppList => {
+            let apps = cache
+                .app_list()
+                .into_iter()
+                .map(|(name, weight, budget_bytes)| crate::protocol::AppEntry {
+                    name,
+                    weight,
+                    budget_bytes,
+                })
+                .collect();
+            (Response::Apps(apps), false)
+        }
+        Command::Stats => (Response::Stats(cache.stats()), false),
+        Command::Version => (
+            Response::Version("cliffhanger-cache 0.1.0".to_string()),
+            false,
+        ),
+        Command::FlushAll => {
+            // Tenant-scoped: one application flushing its namespace must
+            // never wipe another application's working set. On a
+            // single-tenant server this clears everything, as before.
+            cache.flush_tenant(*tenant);
+            (Response::Ok, false)
+        }
+        Command::Quit => (Response::Ok, false),
+    }
+}

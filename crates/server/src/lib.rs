@@ -6,21 +6,33 @@
 //! handling are the fixed cost, and the question is how much latency and
 //! throughput overhead the shadow queues and the two algorithms add on top.
 //!
-//! The server uses blocking I/O and a small thread pool rather than an async
-//! runtime: the workload is memory-bound (the paper makes the same point
-//! about Memcachier and Facebook in §5.6), and the provided networking
-//! guides recommend plain threads for CPU/memory-bound services.
+//! The server's I/O path is event-driven: a handful of epoll event-loop
+//! threads (the shape pelikan and Memcached use in production) each
+//! multiplex many non-blocking connections, so connection count is bounded
+//! by the `max_connections` accept gate and by fds — not by the thread
+//! count — and idle sessions cost buffers, not parked OS threads. The
+//! workload itself stays memory-bound (the paper makes the same point
+//! about Memcachier and Facebook in §5.6), which is exactly why a few
+//! loops are enough to saturate the cache.
 //!
 //! * [`protocol`] — parsing and serialising the Memcached ASCII protocol,
-//!   including the multi-tenant `app <name>` session selector.
+//!   including the multi-tenant `app <name>` session selector and the
+//!   `app_create` / `app_list` live-onboarding admin commands. The
+//!   resumable [`protocol::Parser`] lets a connection pick a `set` back up
+//!   mid-value when the data block trickles in.
 //! * [`backend`] — the shared, N-way sharded, multi-tenant cache behind the
 //!   connections (exact byte-string keys on top of the 64-bit key space;
 //!   every shard hosts one engine *per tenant* with its own lock and
-//!   counters, per-tenant budgets rebalance across shards, and a
-//!   cross-tenant arbiter replaces static reservations).
-//! * [`threadpool`] — a fixed-size worker pool over crossbeam channels.
-//! * [`server`] — the TCP listener / connection loop.
+//!   counters, per-tenant budgets rebalance across shards, a cross-tenant
+//!   arbiter replaces static reservations, and tenants can be onboarded
+//!   live with a budget carve-out).
+//! * [`reactor`] — the epoll event loops and the wakeup-pipe hand-off from
+//!   the acceptor (thin unsafe FFI against the system libc; no crates).
+//! * [`server`] — the TCP listener, accept gate and lifecycle.
 //! * [`client`] — a blocking client for tests, benches and examples.
+//!
+//! (The old `threadpool` module is gone with the blocking I/O path — the
+//! reactor's event loops are the only serving threads.)
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,12 +40,13 @@
 
 pub mod backend;
 pub mod client;
+mod conn;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
-pub mod threadpool;
 
 pub use backend::{detect_shards, BackendConfig, BackendMode, SharedCache, TenantSpec};
 pub use client::CacheClient;
 pub use protocol::{Command, Response};
-pub use server::{CacheServer, ServerConfig};
-pub use threadpool::ThreadPool;
+pub use reactor::ConnTelemetry;
+pub use server::{default_event_loops, CacheServer, ServerConfig};

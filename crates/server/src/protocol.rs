@@ -2,8 +2,21 @@
 //!
 //! Supported commands: `get` / `gets` (multi-key), `set`, `add`, `replace`,
 //! `delete`, `stats`, `version`, `flush_all`, `quit`, and the multi-tenant
-//! extension `app <name>`. Parsing is incremental over a byte buffer so a
-//! connection handler can feed it whatever the socket delivers.
+//! extensions `app <name>`, `app_create <name> <weight>` and `app_list`.
+//! Parsing is incremental over a byte buffer so a connection handler can
+//! feed it whatever the socket delivers.
+//!
+//! Two parsing entry points share the same grammar:
+//!
+//! * [`parse_command`] — stateless: a store command whose data block has not
+//!   fully arrived consumes nothing and returns
+//!   [`ParseOutcome::Incomplete`], so the caller re-parses the header line
+//!   on every new read.
+//! * [`Parser`] — stateful and resumable: the store header line is consumed
+//!   the moment it is complete and the parser remembers it, so a value that
+//!   trickles in over many reads costs one header parse total and the
+//!   parser only ever waits for the exact number of data bytes outstanding.
+//!   This is what the event-driven connection state machine uses.
 //!
 //! # The `app` extension
 //!
@@ -55,6 +68,16 @@ pub enum Command {
         /// directory by the executor, not the parser).
         id: Bytes,
     },
+    /// `app_create <name> <weight>` — host a new application namespace
+    /// live, carving its budget out of the existing tenants.
+    AppCreate {
+        /// The application name (validated by the executor).
+        name: Bytes,
+        /// Reservation weight; the parser guarantees it is at least 1.
+        weight: u64,
+    },
+    /// `app_list` — list the hosted applications.
+    AppList,
     /// `stats`.
     Stats,
     /// `version`.
@@ -95,10 +118,27 @@ pub enum Response {
     Version(String),
     /// `STAT <name> <value>` lines followed by `END`.
     Stats(Vec<(String, String)>),
+    /// `APP <name> <weight> <budget>` lines followed by `END` (the reply to
+    /// `app_list`).
+    Apps(Vec<AppEntry>),
     /// `CLIENT_ERROR <message>`.
     ClientError(String),
+    /// `SERVER_ERROR <message>` — the server, not the client, is the reason
+    /// (e.g. the accept gate shedding load past `max_connections`).
+    ServerError(String),
     /// `ERROR`.
     Error,
+}
+
+/// One hosted application in an `app_list` reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppEntry {
+    /// The application name.
+    pub name: String,
+    /// Its reservation weight.
+    pub weight: u64,
+    /// Its live byte budget.
+    pub budget_bytes: u64,
 }
 
 /// One value in a GET response.
@@ -124,29 +164,58 @@ pub enum ParseOutcome {
     Invalid(String),
 }
 
-/// Attempts to parse one command from the front of `buffer`, consuming the
-/// bytes it used.
-pub fn parse_command(buffer: &mut BytesMut) -> ParseOutcome {
-    let Some(line_end) = find_crlf(buffer, 0) else {
-        return ParseOutcome::Incomplete;
-    };
-    let line = buffer[..line_end].to_vec();
-    let line_str = String::from_utf8_lossy(&line).to_string();
+/// A store command whose header line has been parsed but whose data block
+/// has not fully arrived.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct PendingStore {
+    verb: StoreVerb,
+    key: Bytes,
+    flags: u32,
+    exptime: u32,
+    bytes: usize,
+    noreply: bool,
+}
+
+impl PendingStore {
+    /// Completes the store with its data block.
+    fn complete(self, data: Bytes) -> Command {
+        Command::Store {
+            verb: self.verb,
+            key: self.key,
+            flags: self.flags,
+            exptime: self.exptime,
+            data,
+            noreply: self.noreply,
+        }
+    }
+}
+
+/// The outcome of parsing one complete command line (without its data
+/// block, for store verbs).
+enum LineOutcome {
+    Complete(Command),
+    Store(PendingStore),
+    Invalid(String),
+}
+
+/// Parses one command line (CRLF excluded). Shared by the stateless
+/// [`parse_command`] and the resumable [`Parser`], so the two entry points
+/// cannot drift apart.
+fn parse_line(line: &[u8]) -> LineOutcome {
+    let line_str = String::from_utf8_lossy(line).to_string();
     let mut parts = line_str.split_ascii_whitespace();
     let Some(verb) = parts.next() else {
-        buffer.advance_checked(line_end + 2);
-        return ParseOutcome::Invalid("empty command".to_string());
+        return LineOutcome::Invalid("empty command".to_string());
     };
     match verb {
         "get" | "gets" => {
             let keys: Vec<Bytes> = parts
                 .map(|k| Bytes::copy_from_slice(k.as_bytes()))
                 .collect();
-            buffer.advance_checked(line_end + 2);
             if keys.is_empty() {
-                ParseOutcome::Invalid("get requires at least one key".to_string())
+                LineOutcome::Invalid("get requires at least one key".to_string())
             } else {
-                ParseOutcome::Complete(Command::Get { keys })
+                LineOutcome::Complete(Command::Get { keys })
             }
         }
         "set" | "add" | "replace" => {
@@ -162,73 +231,226 @@ pub fn parse_command(buffer: &mut BytesMut) -> ParseOutcome {
             let noreply = parts.next() == Some("noreply");
             let (Some(key), Some(flags), Some(exptime), Some(bytes)) = (key, flags, exptime, bytes)
             else {
-                buffer.advance_checked(line_end + 2);
-                return ParseOutcome::Invalid("bad store command".to_string());
+                return LineOutcome::Invalid("bad store command".to_string());
             };
-            // The data block is <bytes> bytes followed by CRLF.
-            let needed = line_end + 2 + bytes + 2;
-            if buffer.len() < needed {
-                return ParseOutcome::Incomplete;
-            }
-            let data = Bytes::copy_from_slice(&buffer[line_end + 2..line_end + 2 + bytes]);
-            let terminator = &buffer[line_end + 2 + bytes..needed];
-            let ok = terminator == b"\r\n";
-            buffer.advance_checked(needed);
-            if !ok {
-                return ParseOutcome::Invalid("bad data chunk terminator".to_string());
-            }
-            ParseOutcome::Complete(Command::Store {
+            LineOutcome::Store(PendingStore {
                 verb,
                 key: Bytes::copy_from_slice(key.as_bytes()),
                 flags,
                 exptime,
-                data,
+                bytes,
                 noreply,
             })
         }
         "delete" => {
             let key = parts.next().map(str::to_string);
             let noreply = parts.next() == Some("noreply");
-            buffer.advance_checked(line_end + 2);
             match key {
-                Some(key) => ParseOutcome::Complete(Command::Delete {
+                Some(key) => LineOutcome::Complete(Command::Delete {
                     key: Bytes::copy_from_slice(key.as_bytes()),
                     noreply,
                 }),
-                None => ParseOutcome::Invalid("delete requires a key".to_string()),
+                None => LineOutcome::Invalid("delete requires a key".to_string()),
             }
         }
         "app" => {
             let id = parts.next().map(str::to_string);
             let extra = parts.next().is_some();
-            buffer.advance_checked(line_end + 2);
             match id {
-                Some(id) if !extra => ParseOutcome::Complete(Command::App {
+                Some(id) if !extra => LineOutcome::Complete(Command::App {
                     id: Bytes::copy_from_slice(id.as_bytes()),
                 }),
-                Some(_) => ParseOutcome::Invalid("app takes exactly one name".to_string()),
-                None => ParseOutcome::Invalid("app requires a name".to_string()),
+                Some(_) => LineOutcome::Invalid("app takes exactly one name".to_string()),
+                None => LineOutcome::Invalid("app requires a name".to_string()),
             }
         }
-        "stats" => {
-            buffer.advance_checked(line_end + 2);
-            ParseOutcome::Complete(Command::Stats)
+        "app_create" => {
+            let name = parts.next().map(str::to_string);
+            let weight = parts.next().and_then(|w| w.parse::<u64>().ok());
+            let extra = parts.next().is_some();
+            match (name, weight) {
+                (Some(name), Some(weight)) if weight >= 1 && !extra => {
+                    LineOutcome::Complete(Command::AppCreate {
+                        name: Bytes::copy_from_slice(name.as_bytes()),
+                        weight,
+                    })
+                }
+                _ => LineOutcome::Invalid(
+                    "app_create takes a name and an integer weight >= 1".to_string(),
+                ),
+            }
         }
-        "version" => {
+        "app_list" => LineOutcome::Complete(Command::AppList),
+        "stats" => LineOutcome::Complete(Command::Stats),
+        "version" => LineOutcome::Complete(Command::Version),
+        "flush_all" => LineOutcome::Complete(Command::FlushAll),
+        "quit" => LineOutcome::Complete(Command::Quit),
+        other => LineOutcome::Invalid(format!("unknown command {other}")),
+    }
+}
+
+/// Attempts to parse one command from the front of `buffer`, consuming the
+/// bytes it used. A store command whose data block is not fully buffered
+/// consumes nothing (see [`Parser`] for the resumable alternative).
+pub fn parse_command(buffer: &mut BytesMut) -> ParseOutcome {
+    let Some(line_end) = find_crlf(buffer, 0) else {
+        return ParseOutcome::Incomplete;
+    };
+    match parse_line(&buffer[..line_end]) {
+        LineOutcome::Complete(command) => {
             buffer.advance_checked(line_end + 2);
-            ParseOutcome::Complete(Command::Version)
+            ParseOutcome::Complete(command)
         }
-        "flush_all" => {
+        LineOutcome::Invalid(message) => {
             buffer.advance_checked(line_end + 2);
-            ParseOutcome::Complete(Command::FlushAll)
+            ParseOutcome::Invalid(message)
         }
-        "quit" => {
-            buffer.advance_checked(line_end + 2);
-            ParseOutcome::Complete(Command::Quit)
+        LineOutcome::Store(pending) => {
+            // The data block is <bytes> bytes followed by CRLF.
+            let needed = line_end + 2 + pending.bytes + 2;
+            if buffer.len() < needed {
+                return ParseOutcome::Incomplete;
+            }
+            let data = Bytes::copy_from_slice(&buffer[line_end + 2..line_end + 2 + pending.bytes]);
+            let ok = &buffer[line_end + 2 + pending.bytes..needed] == b"\r\n";
+            buffer.advance_checked(needed);
+            if !ok {
+                return ParseOutcome::Invalid("bad data chunk terminator".to_string());
+            }
+            ParseOutcome::Complete(pending.complete(data))
         }
-        other => {
-            buffer.advance_checked(line_end + 2);
-            ParseOutcome::Invalid(format!("unknown command {other}"))
+    }
+}
+
+/// The largest data block the resumable parser will buffer. Values past
+/// the largest slab class can never be admitted anyway, so buffering more
+/// than this only serves memory-exhaustion attacks; the parser swallows
+/// the declared bytes without storing them and reports
+/// `object too large` (Memcached's `-I` behaviour). Comfortably above any
+/// slab geometry the backend configures.
+pub const MAX_DATA_BYTES: usize = 16 << 20;
+/// The longest command line the resumable parser will buffer before
+/// declaring it malformed and discarding through to its CRLF.
+pub const MAX_LINE_BYTES: usize = 8 << 10;
+
+/// What the resumable parser is in the middle of.
+#[derive(Debug, Default)]
+enum ParseState {
+    /// At a command-line boundary.
+    #[default]
+    Idle,
+    /// A store header was consumed; waiting for its data block.
+    Data(PendingStore),
+    /// Swallowing an oversized data block (plus CRLF) without buffering it;
+    /// reports the error once fully discarded, keeping the stream in sync.
+    DiscardData {
+        remaining: usize,
+        message: &'static str,
+    },
+    /// Swallowing an over-long command line through to its CRLF.
+    DiscardLine,
+}
+
+/// A resumable incremental parser.
+///
+/// Produces exactly the same command stream as repeated [`parse_command`]
+/// calls over the same bytes, but consumes a store command's header line as
+/// soon as it is complete and remembers it across calls: a `set` whose value
+/// arrives over many reads costs one header parse total, and the buffer
+/// never has to hold header and value contiguously from scratch on every
+/// poll. One `Parser` per connection; it carries the mid-command state.
+///
+/// Unlike the stateless [`parse_command`], the parser also bounds what it
+/// will buffer: a data block past [`MAX_DATA_BYTES`] or a command line past
+/// [`MAX_LINE_BYTES`] is *discarded in stride* (consumed without being
+/// stored) and answered with a single `CLIENT_ERROR`, so a hostile or
+/// broken client cannot balloon server memory with one declared-enormous
+/// `set` or an endless CRLF-less line.
+#[derive(Debug, Default)]
+pub struct Parser {
+    state: ParseState,
+}
+
+impl Parser {
+    /// A parser with no mid-command state.
+    pub fn new() -> Parser {
+        Parser::default()
+    }
+
+    /// Whether the parser is mid-command (the front of the buffer is value
+    /// bytes or discard-in-progress, not a command line).
+    pub fn mid_command(&self) -> bool {
+        !matches!(self.state, ParseState::Idle)
+    }
+
+    /// Attempts to parse one command from the front of `buffer`, consuming
+    /// the bytes it used and stashing mid-command state on `self`.
+    pub fn parse(&mut self, buffer: &mut BytesMut) -> ParseOutcome {
+        loop {
+            match std::mem::take(&mut self.state) {
+                ParseState::Data(pending) => {
+                    let needed = pending.bytes + 2;
+                    if buffer.len() < needed {
+                        self.state = ParseState::Data(pending);
+                        return ParseOutcome::Incomplete;
+                    }
+                    let data = Bytes::copy_from_slice(&buffer[..pending.bytes]);
+                    let ok = &buffer[pending.bytes..needed] == b"\r\n";
+                    buffer.advance_checked(needed);
+                    return if ok {
+                        ParseOutcome::Complete(pending.complete(data))
+                    } else {
+                        ParseOutcome::Invalid("bad data chunk terminator".to_string())
+                    };
+                }
+                ParseState::DiscardData { remaining, message } => {
+                    let drop = remaining.min(buffer.len());
+                    buffer.advance_checked(drop);
+                    if drop < remaining {
+                        self.state = ParseState::DiscardData {
+                            remaining: remaining - drop,
+                            message,
+                        };
+                        return ParseOutcome::Incomplete;
+                    }
+                    return ParseOutcome::Invalid(message.to_string());
+                }
+                ParseState::DiscardLine => match find_crlf(buffer, 0) {
+                    Some(line_end) => {
+                        buffer.advance_checked(line_end + 2);
+                        return ParseOutcome::Invalid("command line too long".to_string());
+                    }
+                    None => {
+                        discard_keeping_split_cr(buffer);
+                        self.state = ParseState::DiscardLine;
+                        return ParseOutcome::Incomplete;
+                    }
+                },
+                ParseState::Idle => {
+                    let Some(line_end) = find_crlf(buffer, 0) else {
+                        if buffer.len() > MAX_LINE_BYTES {
+                            discard_keeping_split_cr(buffer);
+                            self.state = ParseState::DiscardLine;
+                        }
+                        return ParseOutcome::Incomplete;
+                    };
+                    let outcome = parse_line(&buffer[..line_end]);
+                    buffer.advance_checked(line_end + 2);
+                    match outcome {
+                        LineOutcome::Complete(command) => return ParseOutcome::Complete(command),
+                        LineOutcome::Invalid(message) => return ParseOutcome::Invalid(message),
+                        LineOutcome::Store(pending) if pending.bytes > MAX_DATA_BYTES => {
+                            // Swallow the declared block + CRLF unbuffered.
+                            self.state = ParseState::DiscardData {
+                                remaining: pending.bytes + 2,
+                                message: "object too large for cache",
+                            };
+                        }
+                        // Header consumed and remembered; loop to the data.
+                        LineOutcome::Store(pending) => self.state = ParseState::Data(pending),
+                    }
+                }
+            }
         }
     }
 }
@@ -258,11 +480,32 @@ pub fn encode_response(response: &Response, out: &mut Vec<u8>) {
             }
             out.extend_from_slice(b"END\r\n");
         }
+        Response::Apps(apps) => {
+            for app in apps {
+                out.extend_from_slice(
+                    format!("APP {} {} {}\r\n", app.name, app.weight, app.budget_bytes).as_bytes(),
+                );
+            }
+            out.extend_from_slice(b"END\r\n");
+        }
         Response::ClientError(msg) => {
             out.extend_from_slice(format!("CLIENT_ERROR {msg}\r\n").as_bytes())
         }
+        Response::ServerError(msg) => {
+            out.extend_from_slice(format!("SERVER_ERROR {msg}\r\n").as_bytes())
+        }
         Response::Error => out.extend_from_slice(b"ERROR\r\n"),
     }
+}
+
+/// Discards a CRLF-less buffer, retaining a trailing `\r`: the line's
+/// terminator may straddle a read boundary (`…\r` now, `\n` next read),
+/// and dropping the `\r` would make the discard overrun into the *next*
+/// command's line — desynchronizing every later pipelined response.
+fn discard_keeping_split_cr(buffer: &mut BytesMut) {
+    let keep = usize::from(buffer.last() == Some(&b'\r'));
+    let drop = buffer.len() - keep;
+    let _ = buffer.split_to(drop);
 }
 
 fn find_crlf(buffer: &[u8], from: usize) -> Option<usize> {
@@ -423,6 +666,182 @@ mod tests {
     }
 
     #[test]
+    fn parses_app_create_and_app_list() {
+        let mut b = buf(b"app_create tenant-x 3\r\napp_list\r\n");
+        match parse_command(&mut b) {
+            ParseOutcome::Complete(Command::AppCreate { name, weight }) => {
+                assert_eq!(name, Bytes::from("tenant-x"));
+                assert_eq!(weight, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse_command(&mut b),
+            ParseOutcome::Complete(Command::AppList)
+        ));
+        for bad in [
+            &b"app_create\r\n"[..],
+            b"app_create lonely\r\n",
+            b"app_create name 0\r\n",
+            b"app_create name nope\r\n",
+            b"app_create name 1 extra\r\n",
+        ] {
+            let mut b = buf(bad);
+            assert!(
+                matches!(parse_command(&mut b), ParseOutcome::Invalid(_)),
+                "{:?} must be invalid",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn resumable_parser_consumes_the_header_once() {
+        let mut parser = Parser::new();
+        let mut b = buf(b"set foo 7 0 5\r\nhe");
+        assert_eq!(parser.parse(&mut b), ParseOutcome::Incomplete);
+        // The header line is consumed and remembered; only value bytes wait.
+        assert!(parser.mid_command());
+        assert_eq!(&b[..], b"he");
+        b.extend_from_slice(b"llo");
+        assert_eq!(parser.parse(&mut b), ParseOutcome::Incomplete);
+        b.extend_from_slice(b"\r\nget foo\r\n");
+        match parser.parse(&mut b) {
+            ParseOutcome::Complete(Command::Store {
+                verb, key, data, ..
+            }) => {
+                assert_eq!(verb, StoreVerb::Set);
+                assert_eq!(key, Bytes::from("foo"));
+                assert_eq!(data, Bytes::from("hello"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!parser.mid_command());
+        assert!(matches!(
+            parser.parse(&mut b),
+            ParseOutcome::Complete(Command::Get { .. })
+        ));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn resumable_parser_rejects_a_bad_terminator_and_recovers() {
+        let mut parser = Parser::new();
+        let mut b = buf(b"set foo 0 0 2\r\nxxYYversion\r\n");
+        assert!(matches!(parser.parse(&mut b), ParseOutcome::Invalid(_)));
+        assert!(!parser.mid_command());
+        assert!(matches!(
+            parser.parse(&mut b),
+            ParseOutcome::Complete(Command::Version)
+        ));
+    }
+
+    #[test]
+    fn resumable_parser_discards_oversized_data_blocks_in_stride() {
+        let mut parser = Parser::new();
+        let huge = MAX_DATA_BYTES + 10;
+        let mut b = buf(format!("set big 0 0 {huge}\r\n").as_bytes());
+        // The header alone produces no outcome and buffers nothing.
+        assert_eq!(parser.parse(&mut b), ParseOutcome::Incomplete);
+        assert!(parser.mid_command());
+        assert!(b.is_empty());
+        // Feed the declared block in chunks; the parser consumes each chunk
+        // whole without accumulating it.
+        let mut sent = 0usize;
+        let chunk = vec![b'x'; 1 << 20];
+        while sent + chunk.len() <= huge {
+            b.extend_from_slice(&chunk);
+            sent += chunk.len();
+            assert_eq!(parser.parse(&mut b), ParseOutcome::Incomplete);
+            assert!(b.is_empty(), "discard must not buffer the block");
+        }
+        b.extend_from_slice(&vec![b'x'; huge - sent]);
+        b.extend_from_slice(b"\r\nversion\r\n");
+        match parser.parse(&mut b) {
+            ParseOutcome::Invalid(message) => assert!(message.contains("too large"), "{message}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The stream is still in sync afterwards.
+        assert!(matches!(
+            parser.parse(&mut b),
+            ParseOutcome::Complete(Command::Version)
+        ));
+    }
+
+    #[test]
+    fn resumable_parser_discards_endless_lines() {
+        let mut parser = Parser::new();
+        let mut b = BytesMut::new();
+        // A CRLF-less firehose: consumed, never accumulated.
+        for _ in 0..4 {
+            b.extend_from_slice(&vec![b'a'; MAX_LINE_BYTES]);
+            assert_eq!(parser.parse(&mut b), ParseOutcome::Incomplete);
+        }
+        assert!(b.len() <= MAX_LINE_BYTES, "long line must not accumulate");
+        assert!(parser.mid_command());
+        b.extend_from_slice(b"zzz\r\nstats\r\n");
+        match parser.parse(&mut b) {
+            ParseOutcome::Invalid(message) => assert!(message.contains("too long"), "{message}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parser.parse(&mut b),
+            ParseOutcome::Complete(Command::Stats)
+        ));
+    }
+
+    #[test]
+    fn oversized_line_discard_handles_a_split_crlf() {
+        // The over-long line's terminating CRLF straddles a read boundary:
+        // the discard must not eat the '\r' and overrun into the next
+        // command (which would desynchronize the pipelined session).
+        let mut parser = Parser::new();
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&vec![b'a'; MAX_LINE_BYTES + 10]);
+        b.extend_from_slice(b"\r");
+        assert_eq!(parser.parse(&mut b), ParseOutcome::Incomplete);
+        assert!(parser.mid_command());
+        b.extend_from_slice(b"\nget foo\r\n");
+        match parser.parse(&mut b) {
+            ParseOutcome::Invalid(message) => assert!(message.contains("too long"), "{message}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parser.parse(&mut b) {
+            ParseOutcome::Complete(Command::Get { keys }) => {
+                assert_eq!(keys, vec![Bytes::from("foo")], "next command intact");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resumable_parser_matches_parse_command_on_a_pipelined_stream() {
+        let stream: &[u8] =
+            b"set a 1 0 3\r\nabc\r\nget a b\r\ndelete a noreply\r\nbogus\r\napp t1\r\nquit\r\n";
+        let mut all_at_once = buf(stream);
+        let mut one_byte_at_a_time = BytesMut::new();
+        let mut parser = Parser::new();
+        let mut resumed = Vec::new();
+        for &byte in stream {
+            one_byte_at_a_time.extend_from_slice(&[byte]);
+            loop {
+                match parser.parse(&mut one_byte_at_a_time) {
+                    ParseOutcome::Incomplete => break,
+                    outcome => resumed.push(outcome),
+                }
+            }
+        }
+        let mut reference = Vec::new();
+        loop {
+            match parse_command(&mut all_at_once) {
+                ParseOutcome::Incomplete => break,
+                outcome => reference.push(outcome),
+            }
+        }
+        assert_eq!(resumed, reference);
+    }
+
+    #[test]
     fn encodes_responses() {
         let mut out = Vec::new();
         encode_response(
@@ -446,5 +865,21 @@ mod tests {
         let mut out = Vec::new();
         encode_response(&Response::ClientError("nope".into()), &mut out);
         assert!(out.starts_with(b"CLIENT_ERROR"));
+        let mut out = Vec::new();
+        encode_response(
+            &Response::ServerError("out of connections".into()),
+            &mut out,
+        );
+        assert_eq!(out, b"SERVER_ERROR out of connections\r\n");
+        let mut out = Vec::new();
+        encode_response(
+            &Response::Apps(vec![AppEntry {
+                name: "alpha".into(),
+                weight: 2,
+                budget_bytes: 1024,
+            }]),
+            &mut out,
+        );
+        assert_eq!(out, b"APP alpha 2 1024\r\nEND\r\n");
     }
 }

@@ -1,0 +1,439 @@
+//! The epoll reactor: a small, fixed set of event-loop threads serving
+//! many non-blocking connections each.
+//!
+//! This replaces the thread-per-connection model (one parked OS thread per
+//! idle session, connection count hard-capped by the worker count) with the
+//! shape production caches use — pelikan's worker event loops, Memcached's
+//! libevent threads: `ServerConfig::workers` event loops, each owning an
+//! epoll instance and a set of connections, with the acceptor handing fresh
+//! sockets round-robin over a wakeup pipe. A loop blocks only in
+//! `epoll_wait`; every socket it owns is non-blocking and driven by the
+//! [`crate::conn::Connection`] state machine, so thousands of mostly-idle
+//! connections cost a few kilobytes of buffer each instead of a thread.
+//!
+//! The epoll binding is a thin unsafe FFI against the system libc — the
+//! workspace is offline/vendored-only, so no `mio`/`libc` crates. The
+//! unsafe surface is confined to the [`ffi`] module: four syscalls and the
+//! kernel's `struct epoll_event` layout. The wakeup pipe is a
+//! `UnixStream::pair`, which the standard library manages safely.
+
+use crate::backend::SharedCache;
+use crate::conn::{Connection, Drive};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Thin FFI over the kernel epoll interface. All `unsafe` in the crate
+/// lives here.
+#[allow(unsafe_code)]
+mod ffi {
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::c_int;
+
+    /// The fd is readable.
+    pub const EPOLLIN: u32 = 0x001;
+    /// The fd is writable.
+    pub const EPOLLOUT: u32 = 0x004;
+    /// Error condition on the fd.
+    pub const EPOLLERR: u32 = 0x008;
+    /// Hang-up on the fd.
+    pub const EPOLLHUP: u32 = 0x010;
+    /// The peer closed its writing half.
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    /// The kernel's `struct epoll_event`. Packed on x86-64 (the kernel ABI
+    /// packs it there so the 32- and 64-bit layouts match); naturally
+    /// aligned on every other architecture.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        /// Ready-event bit set (`EPOLL*`).
+        pub events: u32,
+        /// The caller's token, echoed back verbatim.
+        pub data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// An owned epoll instance.
+    pub struct Epoll {
+        fd: RawFd,
+    }
+
+    impl Epoll {
+        /// Creates a close-on-exec epoll instance.
+        pub fn new() -> io::Result<Epoll> {
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Epoll { fd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            let mut event = EpollEvent {
+                events,
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut event) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Registers `fd` with the given interest set and token.
+        pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, events, token)
+        }
+
+        /// Changes the interest set of a registered fd.
+        pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, events, token)
+        }
+
+        /// Deregisters `fd`. Best-effort: the kernel drops the registration
+        /// on fd close anyway.
+        pub fn delete(&self, fd: RawFd) {
+            let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+        }
+
+        /// Waits for ready events, retrying on `EINTR`. Returns how many
+        /// entries of `events` were filled.
+        pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+            loop {
+                let rc = unsafe {
+                    epoll_wait(
+                        self.fd,
+                        events.as_mut_ptr(),
+                        events.len() as c_int,
+                        timeout_ms,
+                    )
+                };
+                if rc >= 0 {
+                    return Ok(rc as usize);
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.fd);
+            }
+        }
+    }
+}
+
+pub(crate) use ffi::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+/// Connection counters shared by the acceptor, the event loops and `stats`:
+/// a live-connection gauge per loop plus server-wide accept totals. All
+/// relaxed atomics — `stats` reads them lock-free.
+pub struct ConnTelemetry {
+    per_loop: Vec<AtomicU64>,
+    total: AtomicU64,
+    rejected: AtomicU64,
+    max_connections: u64,
+}
+
+impl ConnTelemetry {
+    /// Counters for `loops` event loops under a `max_connections` gate.
+    pub(crate) fn new(loops: usize, max_connections: u64) -> ConnTelemetry {
+        ConnTelemetry {
+            per_loop: (0..loops).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            max_connections,
+        }
+    }
+
+    /// Live connections across every loop.
+    pub fn curr(&self) -> u64 {
+        self.per_loop
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Connections accepted over the server's lifetime.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed at the accept gate.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// The accept gate's connection limit.
+    pub fn max_connections(&self) -> u64 {
+        self.max_connections
+    }
+
+    /// Number of event loops.
+    pub fn loops(&self) -> usize {
+        self.per_loop.len()
+    }
+
+    /// Live connections owned by loop `index`.
+    pub fn loop_curr(&self, index: usize) -> u64 {
+        self.per_loop[index].load(Ordering::Relaxed)
+    }
+
+    /// The acceptor admitted a connection destined for loop `index`.
+    pub(crate) fn on_accept(&self, index: usize) {
+        self.per_loop[index].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection owned by loop `index` closed (or never registered).
+    pub(crate) fn on_close(&self, index: usize) {
+        self.per_loop[index].fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Rolls an `on_accept` back entirely (the dispatch was refused): the
+    /// connection was never served, so it should not count as accepted.
+    pub(crate) fn on_dispatch_refused(&self, index: usize) {
+        self.per_loop[index].fetch_sub(1, Ordering::Relaxed);
+        self.total.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The acceptor shed a connection at the gate.
+    pub(crate) fn on_reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Token reserved for the loop's wakeup pipe.
+const WAKE_TOKEN: u64 = 0;
+/// Ready events drained per `epoll_wait`.
+const EVENT_BATCH: usize = 256;
+/// Backstop timeout so a lost wakeup can never wedge shutdown.
+const WAIT_BACKSTOP_MS: i32 = 500;
+
+/// The mailbox between the acceptor and one event loop.
+struct Inbox {
+    streams: Mutex<Vec<TcpStream>>,
+    shutdown: AtomicBool,
+}
+
+/// The acceptor-side handle to one running event loop.
+pub(crate) struct LoopHandle {
+    inbox: Arc<Inbox>,
+    /// Write side of the wakeup pipe; one byte = "check your inbox".
+    waker: UnixStream,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl LoopHandle {
+    /// Spawns event loop `index`, serving `cache` and reporting into
+    /// `telemetry`.
+    pub(crate) fn spawn(
+        index: usize,
+        cache: Arc<SharedCache>,
+        telemetry: Arc<ConnTelemetry>,
+    ) -> std::io::Result<LoopHandle> {
+        let (waker, wake_rx) = UnixStream::pair()?;
+        waker.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        // Created here (not on the loop thread) so a resource failure
+        // surfaces as a start error instead of a dead loop.
+        let epoll = Epoll::new()?;
+        epoll.add(wake_rx.as_raw_fd(), EPOLLIN, WAKE_TOKEN)?;
+        let inbox = Arc::new(Inbox {
+            streams: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+        });
+        let thread = std::thread::Builder::new()
+            .name(format!("cache-loop-{index}"))
+            .spawn({
+                let inbox = Arc::clone(&inbox);
+                move || {
+                    EventLoop {
+                        index,
+                        epoll,
+                        wake_rx,
+                        inbox,
+                        cache,
+                        telemetry,
+                        conns: HashMap::new(),
+                        next_token: WAKE_TOKEN + 1,
+                    }
+                    .run()
+                }
+            })?;
+        Ok(LoopHandle {
+            inbox,
+            waker,
+            thread: Mutex::new(Some(thread)),
+        })
+    }
+
+    /// Hands a fresh connection to the loop. If the loop has stopped
+    /// serving — normal shutdown, or a loop that died on a hard epoll
+    /// error — the stream is handed back so the acceptor can fail over to
+    /// a live loop instead of stranding an accepted client. The check
+    /// happens under the inbox lock, the same lock the loop's teardown
+    /// drains under, so a stream can never land after the final drain.
+    pub(crate) fn dispatch(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        {
+            let mut streams = self.inbox.streams.lock();
+            if self.inbox.shutdown.load(Ordering::SeqCst) {
+                return Err(stream);
+            }
+            streams.push(stream);
+        }
+        self.wake();
+        Ok(())
+    }
+
+    /// Tells the loop to close every connection and exit; [`LoopHandle::join`]
+    /// completes it.
+    pub(crate) fn begin_shutdown(&self) {
+        self.inbox.shutdown.store(true, Ordering::SeqCst);
+        self.wake();
+    }
+
+    /// Waits for the loop thread to exit.
+    pub(crate) fn join(&self) {
+        if let Some(thread) = self.thread.lock().take() {
+            let _ = thread.join();
+        }
+    }
+
+    fn wake(&self) {
+        // A full pipe means a wakeup is already pending — losing this
+        // write is fine.
+        let _ = (&self.waker).write(&[1u8]);
+    }
+}
+
+/// One event loop: an epoll instance plus the connections it owns.
+struct EventLoop {
+    index: usize,
+    epoll: Epoll,
+    wake_rx: UnixStream,
+    inbox: Arc<Inbox>,
+    cache: Arc<SharedCache>,
+    telemetry: Arc<ConnTelemetry>,
+    conns: HashMap<u64, Connection>,
+    next_token: u64,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events = vec![EpollEvent { events: 0, data: 0 }; EVENT_BATCH];
+        // On a hard epoll error the loop cannot serve anymore; it falls
+        // through to teardown so its connections get closed, not stranded.
+        while let Ok(n) = self.epoll.wait(&mut events, WAIT_BACKSTOP_MS) {
+            if self.inbox.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            for event in &events[..n] {
+                // Copy out of the (possibly packed) event before use.
+                let token = event.data;
+                let ready = event.events;
+                if token == WAKE_TOKEN {
+                    self.drain_waker();
+                    self.adopt_incoming();
+                } else {
+                    self.drive(token, ready);
+                }
+            }
+        }
+        // Teardown: closing the sockets (by dropping them) unblocks every
+        // peer with EOF, exactly like the old registry sweep did.
+        for (_, conn) in self.conns.drain() {
+            self.epoll.delete(conn.fd());
+            self.telemetry.on_close(self.index);
+            drop(conn);
+        }
+        // Mark the inbox closed *under its lock* before the final drain:
+        // `dispatch` checks the flag under the same lock, so after this
+        // block no stream can ever be stranded in the inbox — this also
+        // covers a loop that died on a hard epoll error rather than a
+        // requested shutdown.
+        let mut streams = self.inbox.streams.lock();
+        self.inbox.shutdown.store(true, Ordering::SeqCst);
+        for stream in streams.drain(..) {
+            self.telemetry.on_close(self.index);
+            drop(stream);
+        }
+    }
+
+    fn drain_waker(&mut self) {
+        let mut sink = [0u8; 64];
+        while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+    }
+
+    fn adopt_incoming(&mut self) {
+        let streams: Vec<TcpStream> = std::mem::take(&mut *self.inbox.streams.lock());
+        for stream in streams {
+            let token = self.next_token;
+            self.next_token += 1;
+            match Connection::adopt(stream) {
+                Ok(conn) => {
+                    if self.epoll.add(conn.fd(), conn.interest(), token).is_ok() {
+                        self.conns.insert(token, conn);
+                    } else {
+                        self.telemetry.on_close(self.index);
+                    }
+                }
+                Err(_) => self.telemetry.on_close(self.index),
+            }
+        }
+    }
+
+    fn drive(&mut self, token: u64, ready: u32) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let readable = ready & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0;
+        let writable = ready & EPOLLOUT != 0;
+        match conn.on_ready(readable, writable, &self.cache) {
+            Drive::Keep { interest, changed } => {
+                if changed && self.epoll.modify(conn.fd(), interest, token).is_err() {
+                    // Cannot adjust the registration: fail the connection
+                    // rather than spin on a stale interest set.
+                    self.close(token);
+                }
+            }
+            Drive::Close => self.close(token),
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.epoll.delete(conn.fd());
+            self.telemetry.on_close(self.index);
+        }
+    }
+}

@@ -1,27 +1,39 @@
-//! The TCP listener and per-connection protocol loop.
+//! The TCP listener and the event-driven serving front end.
+//!
+//! The acceptor thread owns the listener; every accepted socket is checked
+//! against the `max_connections` gate (shed with `SERVER_ERROR out of
+//! connections` past it, instead of queueing unboundedly) and handed
+//! round-robin to one of `workers` reactor event loops (see
+//! [`crate::reactor`]). Connection count is bounded by the gate and by fds
+//! — not by the worker count: a 2-loop server happily serves hundreds of
+//! concurrent connections, the configuration the old thread-per-connection
+//! front end deadlocked on.
 
 use crate::backend::{BackendConfig, SharedCache};
-use crate::protocol::{
-    encode_response, parse_command, Command, ParseOutcome, Response, StoreVerb, Value,
-};
-use crate::threadpool::ThreadPool;
-use bytes::BytesMut;
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::io::{Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::reactor::{ConnTelemetry, LoopHandle};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Server configuration.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Address to bind; use port 0 for an ephemeral port.
     pub addr: String,
-    /// Number of connection-handling worker threads. Must be at least 1;
-    /// [`CacheServer::start`] rejects 0 with [`std::io::ErrorKind::InvalidInput`].
+    /// Number of event-loop worker threads. Each loop multiplexes many
+    /// connections, so size this to the CPUs you want serving traffic (see
+    /// [`default_event_loops`]), not to the connection count. Must be at
+    /// least 1; [`CacheServer::start`] rejects 0 with
+    /// [`std::io::ErrorKind::InvalidInput`].
     pub workers: usize,
+    /// Maximum concurrently served connections. The acceptor sheds
+    /// connections past it with `SERVER_ERROR out of connections`; shed
+    /// attempts are counted in the `rejected_connections` stat. Must be at
+    /// least 1.
+    pub max_connections: usize,
     /// Backend (cache) configuration.
     pub backend: BackendConfig,
 }
@@ -31,102 +43,119 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
+            max_connections: 4096,
             backend: BackendConfig::default(),
         }
     }
 }
 
-/// Live-connection registry: socket handles for every in-flight connection,
-/// so `shutdown` can unblock handlers parked in `read`.
-#[derive(Default)]
-struct ConnectionRegistry {
-    next_id: AtomicU64,
-    streams: Mutex<HashMap<u64, TcpStream>>,
-}
-
-impl ConnectionRegistry {
-    /// Registers a connection; returns the token to deregister it with.
-    fn register(&self, stream: &TcpStream) -> Option<u64> {
-        let clone = stream.try_clone().ok()?;
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.streams.lock().insert(id, clone);
-        Some(id)
-    }
-
-    fn deregister(&self, id: u64) {
-        self.streams.lock().remove(&id);
-    }
-
-    /// Shuts down every registered socket, unblocking its handler.
-    fn shutdown_all(&self) {
-        for stream in self.streams.lock().values() {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-    }
+/// Event-loop count auto-detection: one loop per available CPU, capped at
+/// 8 — loops are CPU-bound multiplexers, and past the core count extra
+/// loops only add context switching.
+pub fn default_event_loops() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8)
 }
 
 /// A running cache server.
 pub struct CacheServer {
     local_addr: SocketAddr,
     cache: Arc<SharedCache>,
+    telemetry: Arc<ConnTelemetry>,
     shutdown: Arc<AtomicBool>,
-    connections: Arc<ConnectionRegistry>,
     accept_thread: Option<JoinHandle<()>>,
-    /// Held here (not on the acceptor thread) so `shutdown` can close live
-    /// sockets *before* waiting for the handlers to drain.
-    pool: Option<Arc<ThreadPool>>,
+    loops: Arc<Vec<LoopHandle>>,
 }
 
 impl CacheServer {
     /// Binds and starts serving in background threads.
     ///
-    /// Returns `InvalidInput` if `config.workers == 0` — a silent clamp
-    /// would hide a misconfigured deployment behind a one-thread server.
+    /// Returns `InvalidInput` if `config.workers == 0` or
+    /// `config.max_connections == 0` — a silent clamp would hide a
+    /// misconfigured deployment.
     pub fn start(config: ServerConfig) -> std::io::Result<CacheServer> {
         if config.workers == 0 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
                 "ServerConfig::workers must be at least 1 (got 0); \
-                 size it to the expected number of concurrent connections",
+                 each event loop serves many connections, so one per CPU is plenty",
+            ));
+        }
+        if config.max_connections == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "ServerConfig::max_connections must be at least 1 (got 0)",
             ));
         }
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let cache = Arc::new(SharedCache::new(config.backend.clone()));
+        let telemetry = Arc::new(ConnTelemetry::new(
+            config.workers,
+            config.max_connections as u64,
+        ));
+        cache.attach_conn_telemetry(Arc::clone(&telemetry));
+        let loops: Arc<Vec<LoopHandle>> = Arc::new(
+            (0..config.workers)
+                .map(|i| LoopHandle::spawn(i, Arc::clone(&cache), Arc::clone(&telemetry)))
+                .collect::<std::io::Result<_>>()?,
+        );
         let shutdown = Arc::new(AtomicBool::new(false));
-        let connections = Arc::new(ConnectionRegistry::default());
-        let pool = Arc::new(ThreadPool::new(config.workers));
 
-        let accept_cache = Arc::clone(&cache);
         let accept_shutdown = Arc::clone(&shutdown);
-        let accept_connections = Arc::clone(&connections);
-        let accept_pool = Arc::clone(&pool);
+        let accept_loops = Arc::clone(&loops);
+        let accept_telemetry = Arc::clone(&telemetry);
+        let max_connections = config.max_connections as u64;
         let accept_thread = std::thread::Builder::new()
             .name("cache-acceptor".to_string())
             .spawn(move || {
+                let mut next_loop = 0usize;
                 for stream in listener.incoming() {
                     if accept_shutdown.load(Ordering::SeqCst) {
                         break;
                     }
                     match stream {
                         Ok(stream) => {
-                            let cache = Arc::clone(&accept_cache);
-                            let registry = Arc::clone(&accept_connections);
-                            // An unregistered connection could never be
-                            // unblocked by shutdown, so refuse it rather
-                            // than risk a handler that outlives the server
-                            // (register only fails under fd exhaustion,
-                            // where shedding load is the right call anyway).
-                            let Some(id) = registry.register(&stream) else {
-                                drop(stream);
+                            if accept_telemetry.curr() >= max_connections {
+                                accept_telemetry.on_reject();
+                                shed(stream);
                                 continue;
-                            };
-                            accept_pool.execute(move || {
-                                handle_connection(stream, cache);
-                                registry.deregister(id);
-                            });
+                            }
+                            // Round-robin, failing over past any loop that
+                            // has stopped serving (a loop that died on a
+                            // hard epoll error must not black-hole 1/N of
+                            // all new connections). The per-loop count goes
+                            // up before the hand-off so the gate above can
+                            // never over-admit, and comes back on refusal.
+                            let mut stream = Some(stream);
+                            for _ in 0..accept_loops.len() {
+                                let index = next_loop % accept_loops.len();
+                                next_loop = next_loop.wrapping_add(1);
+                                accept_telemetry.on_accept(index);
+                                match accept_loops[index].dispatch(stream.take().unwrap()) {
+                                    Ok(()) => break,
+                                    Err(refused) => {
+                                        accept_telemetry.on_dispatch_refused(index);
+                                        stream = Some(refused);
+                                    }
+                                }
+                            }
+                            // Every loop refused: the server is tearing
+                            // down (or fully wedged); drop the connection.
+                            drop(stream);
                         }
-                        Err(_) => break,
+                        Err(_) => {
+                            // accept() errors are almost always transient
+                            // (EMFILE under an fd spike, ECONNABORTED from
+                            // a client that gave up in the backlog) —
+                            // treating them as fatal would silently kill
+                            // the acceptor while the server looks healthy.
+                            // Back off briefly and keep accepting; shutdown
+                            // still exits via the flag check above.
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
                     }
                 }
             })?;
@@ -134,10 +163,10 @@ impl CacheServer {
         Ok(CacheServer {
             local_addr,
             cache,
+            telemetry,
             shutdown,
-            connections,
             accept_thread: Some(accept_thread),
-            pool: Some(pool),
+            loops,
         })
     }
 
@@ -151,8 +180,15 @@ impl CacheServer {
         &self.cache
     }
 
-    /// Stops accepting connections, closes live connections after their
-    /// in-flight command, and joins every server thread. Idempotent.
+    /// Live connection counters (also exposed as `curr_connections` /
+    /// `total_connections` / `conns:loop:<i>` stats lines).
+    pub fn connections(&self) -> &Arc<ConnTelemetry> {
+        &self.telemetry
+    }
+
+    /// Stops accepting connections, closes live connections after the
+    /// readiness pass they are currently in, and joins every server thread.
+    /// Idempotent.
     pub fn shutdown(&mut self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
@@ -162,13 +198,14 @@ impl CacheServer {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
-        // The acceptor is gone, so no new registrations can race with the
-        // sweep: every live handler's socket gets shut down, which makes its
-        // blocking read return and the handler exit after the command it is
-        // currently executing.
-        self.connections.shutdown_all();
-        // Dropping the last pool handle joins the worker threads.
-        self.pool.take();
+        // The acceptor is gone, so no new dispatches can race the loops'
+        // teardown: each loop closes every connection it owns and exits.
+        for event_loop in self.loops.iter() {
+            event_loop.begin_shutdown();
+        }
+        for event_loop in self.loops.iter() {
+            event_loop.join();
+        }
     }
 }
 
@@ -178,154 +215,31 @@ impl Drop for CacheServer {
     }
 }
 
-/// Flush the accumulated response bytes above this size even mid-batch, so
-/// a deeply pipelined connection cannot balloon the reply buffer.
-const OUT_FLUSH_BYTES: usize = 256 * 1024;
-
-/// Serves one connection until EOF, an I/O error, socket shutdown or `quit`.
-fn handle_connection(mut stream: TcpStream, cache: Arc<SharedCache>) {
-    let _ = stream.set_nodelay(true);
-    let mut buffer = BytesMut::with_capacity(16 * 1024);
-    let mut chunk = [0u8; 16 * 1024];
-    let mut out = Vec::with_capacity(16 * 1024);
-    // The application namespace this session runs in; `app <name>` switches
-    // it, and a connection that never sends `app` stays on the default
-    // tenant (index 0) — the exact pre-extension behaviour.
-    let mut tenant: usize = 0;
-    loop {
-        // Drain every complete command currently buffered, accumulating the
-        // responses so a pipelined batch goes out in few writes.
-        out.clear();
-        out.shrink_to(OUT_FLUSH_BYTES);
-        loop {
-            match parse_command(&mut buffer) {
-                ParseOutcome::Complete(Command::Quit) => {
-                    let _ = stream.write_all(&out);
-                    return;
-                }
-                ParseOutcome::Complete(command) => {
-                    let (response, suppress) = execute(&command, &cache, &mut tenant);
-                    if !suppress {
-                        encode_response(&response, &mut out);
-                    }
-                }
-                ParseOutcome::Invalid(message) => {
-                    encode_response(&Response::ClientError(message), &mut out);
-                }
-                ParseOutcome::Incomplete => break,
-            }
-            if out.len() >= OUT_FLUSH_BYTES {
-                if stream.write_all(&out).is_err() {
-                    return;
-                }
-                out.clear();
-            }
-        }
-        if !out.is_empty() && stream.write_all(&out).is_err() {
-            return;
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return,
-            Ok(n) => buffer.extend_from_slice(&chunk[..n]),
-            Err(_) => return,
-        }
-    }
-}
-
-/// Executes a command against the cache in the session's tenant namespace;
-/// returns the response and whether the reply should be suppressed
-/// (`noreply`). `app <name>` mutates the session's tenant.
-fn execute(command: &Command, cache: &SharedCache, tenant: &mut usize) -> (Response, bool) {
-    match command {
-        Command::Get { keys } => {
-            let values = keys
-                .iter()
-                .filter_map(|key| {
-                    cache.get_for(*tenant, key).map(|(flags, data)| Value {
-                        key: key.clone(),
-                        flags,
-                        data,
-                    })
-                })
-                .collect();
-            (Response::Values(values), false)
-        }
-        Command::Store {
-            verb,
-            key,
-            flags,
-            data,
-            noreply,
-            ..
-        } => {
-            let stored = match verb {
-                StoreVerb::Set => cache.set_for(*tenant, key, *flags, data.clone()),
-                StoreVerb::Add => cache.add_for(*tenant, key, *flags, data.clone()),
-                StoreVerb::Replace => cache.replace_for(*tenant, key, *flags, data.clone()),
-            };
-            let response = if stored {
-                Response::Stored
-            } else {
-                Response::NotStored
-            };
-            (response, *noreply)
-        }
-        Command::Delete { key, noreply } => {
-            let response = if cache.delete_for(*tenant, key) {
-                Response::Deleted
-            } else {
-                Response::NotFound
-            };
-            (response, *noreply)
-        }
-        Command::App { id } => {
-            let response = match std::str::from_utf8(id)
-                .ok()
-                .and_then(|name| cache.tenant_index(name))
-            {
-                Some(index) => {
-                    *tenant = index;
-                    Response::Ok
-                }
-                None => Response::ClientError(format!(
-                    "unknown app {:?} (hosted: {})",
-                    String::from_utf8_lossy(id),
-                    cache.tenants().names().join(", ")
-                )),
-            };
-            (response, false)
-        }
-        Command::Stats => (Response::Stats(cache.stats()), false),
-        Command::Version => (
-            Response::Version("cliffhanger-cache 0.1.0".to_string()),
-            false,
-        ),
-        Command::FlushAll => {
-            // Tenant-scoped: one application flushing its namespace must
-            // never wipe another application's working set. On a
-            // single-tenant server this clears everything, as before.
-            cache.flush_tenant(*tenant);
-            (Response::Ok, false)
-        }
-        Command::Quit => (Response::Ok, false),
-    }
+/// Refuses a connection at the accept gate: tell the client why, then
+/// close. Best-effort with a short timeout — a blocked write here would
+/// stall the acceptor for everyone.
+fn shed(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.write_all(b"SERVER_ERROR out of connections\r\n");
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::BackendMode;
+    use crate::backend::{BackendMode, TenantSpec};
     use crate::client::CacheClient;
+    use std::io::{BufRead, BufReader};
 
     fn start_test_server(mode: BackendMode) -> CacheServer {
         CacheServer::start(ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
-            backend: BackendConfig {
+            backend: crate::backend::BackendConfig {
                 total_bytes: 8 << 20,
                 mode,
-                ..BackendConfig::default()
+                ..crate::backend::BackendConfig::default()
             },
+            ..ServerConfig::default()
         })
         .expect("server must start")
     }
@@ -358,6 +272,73 @@ mod tests {
         assert!(map.contains_key("shard_count"));
         client.flush_all().unwrap();
         assert!(client.get(b"a").unwrap().is_none());
+    }
+
+    #[test]
+    fn stats_report_connection_counters() {
+        let server = start_test_server(BackendMode::Default);
+        let mut a = CacheClient::connect(server.local_addr()).unwrap();
+        let mut b = CacheClient::connect(server.local_addr()).unwrap();
+        a.set(b"k", 0, b"v").unwrap();
+        // Round-trip on `b` too, so both registrations have fully landed
+        // before the counters are sampled (an in-flight on_accept could
+        // otherwise race the stats reads).
+        b.set(b"k2", 0, b"v").unwrap();
+        let stats: std::collections::HashMap<_, _> = a.stats().unwrap().into_iter().collect();
+        let curr: u64 = stats["curr_connections"].parse().unwrap();
+        let total: u64 = stats["total_connections"].parse().unwrap();
+        assert!(curr >= 2);
+        assert!(total >= curr);
+        assert_eq!(stats["rejected_connections"], "0");
+        assert_eq!(stats["max_connections"], "4096");
+        let per_loop: u64 = (0..2)
+            .map(|i| stats[&format!("conns:loop:{i}")].parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(per_loop, curr);
+    }
+
+    #[test]
+    fn acceptor_sheds_past_max_connections() {
+        let server = CacheServer::start(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            max_connections: 2,
+            backend: crate::backend::BackendConfig {
+                total_bytes: 8 << 20,
+                ..crate::backend::BackendConfig::default()
+            },
+        })
+        .expect("server must start");
+        // Round-trips guarantee both connections are registered before the
+        // third arrives, so the gate's view of `curr` is deterministic.
+        let mut a = CacheClient::connect(server.local_addr()).unwrap();
+        let mut b = CacheClient::connect(server.local_addr()).unwrap();
+        assert!(a.set(b"a", 0, b"1").unwrap());
+        assert!(b.set(b"b", 0, b"1").unwrap());
+        let shed = TcpStream::connect(server.local_addr()).unwrap();
+        let mut line = String::new();
+        BufReader::new(shed).read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "SERVER_ERROR out of connections");
+        // The admitted connections keep working, and the shed one counted.
+        assert!(a.get(b"a").unwrap().is_some());
+        let stats: std::collections::HashMap<_, _> = b.stats().unwrap().into_iter().collect();
+        assert_eq!(stats["rejected_connections"], "1");
+        assert_eq!(stats["max_connections"], "2");
+        // Once a slot frees up, new connections are admitted again.
+        drop(a);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            if let Ok(mut c) = CacheClient::connect(server.local_addr()) {
+                if c.get(b"b").is_ok() {
+                    break;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "a freed slot must re-open the gate"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
     }
 
     #[test]
@@ -415,20 +396,18 @@ mod tests {
     fn start_tenant_server() -> CacheServer {
         CacheServer::start(ServerConfig {
             addr: "127.0.0.1:0".to_string(),
-            // One worker per concurrent test client: connections hold their
-            // worker for their whole lifetime, so fewer workers than clients
-            // deadlocks the test, not just slows it.
-            workers: 4,
-            backend: BackendConfig {
+            // Fewer event loops than concurrent test clients on purpose:
+            // connections no longer pin a worker for life, so this is the
+            // configuration the reactor exists to serve.
+            workers: 2,
+            backend: crate::backend::BackendConfig {
                 total_bytes: 12 << 20,
                 mode: BackendMode::Cliffhanger,
                 shards: 2,
-                tenants: vec![
-                    crate::backend::TenantSpec::new("alpha", 1),
-                    crate::backend::TenantSpec::new("beta", 1),
-                ],
-                ..BackendConfig::default()
+                tenants: vec![TenantSpec::new("alpha", 1), TenantSpec::new("beta", 1)],
+                ..crate::backend::BackendConfig::default()
             },
+            ..ServerConfig::default()
         })
         .expect("server must start")
     }
@@ -468,6 +447,40 @@ mod tests {
     }
 
     #[test]
+    fn app_create_onboards_a_tenant_live() {
+        let server = start_tenant_server();
+        let mut admin = CacheClient::connect(server.local_addr()).unwrap();
+        let mut other = CacheClient::connect(server.local_addr()).unwrap();
+        assert!(
+            !admin.app("gamma").unwrap(),
+            "gamma must not exist before app_create"
+        );
+        assert!(admin.app_create("gamma", 2).unwrap());
+        // Visible to every session, immediately, without a restart.
+        assert!(other.app("gamma").unwrap());
+        assert!(other.set(b"k", 9, b"gamma-v").unwrap());
+        assert_eq!(other.get(b"k").unwrap().unwrap().1, b"gamma-v");
+        // The new namespace is isolated from the default one.
+        assert!(admin.get(b"k").unwrap().is_none());
+        // The carve-out gave it a real budget and the listing shows it.
+        let apps = admin.app_list().unwrap();
+        let gamma = apps
+            .iter()
+            .find(|(name, _, _)| name == "gamma")
+            .expect("gamma listed");
+        assert_eq!(gamma.1, 2, "weight echoed");
+        assert!(gamma.2 > 0, "carved budget must be nonzero: {apps:?}");
+        let total: u64 = apps.iter().map(|(_, _, b)| b).sum();
+        assert_eq!(total, 12 << 20, "carve-out conserves the total budget");
+        // Duplicates and invalid names are CLIENT_ERRORs.
+        assert!(!admin.app_create("gamma", 1).unwrap());
+        assert!(!admin.app_create("bad:name", 1).unwrap());
+        let stats: std::collections::HashMap<_, _> = admin.stats().unwrap().into_iter().collect();
+        assert_eq!(stats["tenant_count"], "4");
+        assert!(stats.contains_key("tenant:gamma:budget"));
+    }
+
+    #[test]
     fn flush_all_is_tenant_scoped() {
         let server = start_tenant_server();
         let mut alpha = CacheClient::connect(server.local_addr()).unwrap();
@@ -502,6 +515,15 @@ mod tests {
         };
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
         assert!(err.to_string().contains("workers"));
+        let err = match CacheServer::start(ServerConfig {
+            max_connections: 0,
+            ..ServerConfig::default()
+        }) {
+            Ok(_) => panic!("max_connections = 0 must be rejected"),
+            Err(err) => err,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("max_connections"));
     }
 
     #[test]
@@ -509,8 +531,8 @@ mod tests {
         let mut server = start_test_server(BackendMode::Default);
         let mut client = CacheClient::connect(server.local_addr()).unwrap();
         assert!(client.set(b"live", 0, b"1").unwrap());
-        // The client is idle (server blocked in read); shutdown must not
-        // hang waiting for it to disconnect.
+        // The client is idle (its connection parked in the event loop);
+        // shutdown must not hang waiting for it to disconnect.
         server.shutdown();
         // The connection is now closed from the server side.
         assert!(client.get(b"live").is_err());

@@ -9,7 +9,7 @@
 //! arbitrary chunks, and demands identical outcomes.
 
 use bytes::BytesMut;
-use cache_server::protocol::{parse_command, ParseOutcome};
+use cache_server::protocol::{parse_command, ParseOutcome, Parser};
 use proptest::prelude::*;
 
 /// One scripted protocol item, rendered to wire bytes.
@@ -118,6 +118,36 @@ fn parse_split(stream: &[u8], cuts: &[usize]) -> (Vec<ParseOutcome>, Vec<u8>) {
     (outcomes, buffer.to_vec())
 }
 
+/// Parses the stream chunk by chunk through the *stateful, resumable*
+/// [`Parser`] the reactor's connections use — the parser that consumes a
+/// store header before its data block has arrived. Returns the outcomes,
+/// the unconsumed bytes, and whether the parser ended mid-command.
+fn parse_split_resumable(stream: &[u8], cuts: &[usize]) -> (Vec<ParseOutcome>, Vec<u8>, bool) {
+    let mut parser = Parser::new();
+    let mut buffer = BytesMut::new();
+    let mut outcomes = Vec::new();
+    let mut offset = 0;
+    let mut cut_index = 0;
+    while offset < stream.len() {
+        let chunk = if cuts.is_empty() {
+            1
+        } else {
+            cuts[cut_index % cuts.len()].max(1)
+        };
+        cut_index += 1;
+        let end = (offset + chunk).min(stream.len());
+        buffer.extend_from_slice(&stream[offset..end]);
+        offset = end;
+        loop {
+            match parser.parse(&mut buffer) {
+                ParseOutcome::Incomplete => break,
+                outcome => outcomes.push(outcome),
+            }
+        }
+    }
+    (outcomes, buffer.to_vec(), parser.mid_command())
+}
+
 fn key_strategy() -> impl Strategy<Value = String> {
     prop::collection::vec(0usize..36, 1..9).prop_map(|digits| {
         digits
@@ -184,6 +214,39 @@ proptest! {
         let (split, rest) = parse_split(&stream, &[1]);
         prop_assert_eq!(&whole, &split);
         prop_assert_eq!(rest.len(), 0);
+    }
+
+    /// The stateful resumable parser (the reactor's) must produce exactly
+    /// the command stream the stateless parser produces, for any script cut
+    /// at any byte boundaries — including cuts inside a `set`'s data block,
+    /// where the resumable parser has already consumed the header line.
+    #[test]
+    fn resumable_parser_agrees_for_any_split(
+        items in prop::collection::vec(item_strategy(), 0..20),
+        cuts in prop::collection::vec(1usize..24, 0..16),
+    ) {
+        let stream = render(&items);
+        let (whole, _) = parse_unsplit(&stream);
+        let (resumed, rest, mid_command) = parse_split_resumable(&stream, &cuts);
+        prop_assert_eq!(&whole, &resumed);
+        // The rendered stream ends on a command boundary: everything must
+        // be consumed and no store may be left dangling.
+        prop_assert_eq!(rest.len(), 0);
+        prop_assert!(!mid_command);
+    }
+
+    /// Byte-at-a-time through the resumable parser — the exact shape a
+    /// trickling socket produces — must also agree.
+    #[test]
+    fn resumable_parser_agrees_byte_at_a_time(
+        items in prop::collection::vec(item_strategy(), 0..12),
+    ) {
+        let stream = render(&items);
+        let (whole, _) = parse_unsplit(&stream);
+        let (resumed, rest, mid_command) = parse_split_resumable(&stream, &[1]);
+        prop_assert_eq!(&whole, &resumed);
+        prop_assert_eq!(rest.len(), 0);
+        prop_assert!(!mid_command);
     }
 
     /// A truncated stream never loses the commands before the truncation

@@ -1,0 +1,203 @@
+//! The reactor at scale: connections ≫ event loops.
+//!
+//! These are the configurations the thread-per-connection front end could
+//! not serve at all (PR 4 hit a real deadlock from `workers < clients`):
+//!
+//! * a soak with 256+ mostly-idle connections multiplexed on 2 event
+//!   loops, active traffic interleaved, and a clean shutdown with every
+//!   connection still open mid-flight;
+//! * write backpressure — a client that requests far more response bytes
+//!   than it reads must be throttled by TCP while its event loop keeps
+//!   serving its siblings, and must eventually receive every byte intact.
+
+use cache_server::{BackendConfig, BackendMode, CacheClient, CacheServer, ServerConfig};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn start_server(workers: usize, max_connections: usize) -> CacheServer {
+    CacheServer::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        max_connections,
+        backend: BackendConfig {
+            total_bytes: 32 << 20,
+            mode: BackendMode::Cliffhanger,
+            shards: 2,
+            ..BackendConfig::default()
+        },
+    })
+    .expect("server must start")
+}
+
+fn stats_map(client: &mut CacheClient) -> HashMap<String, String> {
+    client.stats().unwrap().into_iter().collect()
+}
+
+/// ≥ 256 concurrent live connections on 2 event loops: idle sessions cost
+/// buffers, not threads; traffic keeps flowing around them; shutdown closes
+/// every one of them mid-flight without hanging.
+#[test]
+fn soak_256_idle_connections_on_two_loops() {
+    const IDLE: usize = 260;
+    let mut server = start_server(2, 1024);
+    let addr = server.local_addr();
+
+    // Open the idle fleet. Each connection does one round-trip, so it is
+    // fully registered with its event loop (not just sitting in a backlog)
+    // before we count it.
+    let mut idle: Vec<CacheClient> = Vec::with_capacity(IDLE);
+    for i in 0..IDLE {
+        let mut client = CacheClient::connect(addr).expect("connect idle");
+        assert!(client
+            .set(format!("idle-{i}").as_bytes(), 0, b"parked")
+            .unwrap());
+        idle.push(client);
+    }
+
+    // Active traffic interleaves with the parked fleet on the same 2 loops.
+    let workers: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = CacheClient::connect(addr).expect("connect active");
+                for i in 0..300 {
+                    let key = format!("active-{t}-{}", i % 16);
+                    let value = format!("v-{t}-{i}");
+                    assert!(client.set(key.as_bytes(), 0, value.as_bytes()).unwrap());
+                    let got = client.get(key.as_bytes()).unwrap().expect("own write");
+                    assert_eq!(got.1, value.as_bytes());
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("active worker must not panic");
+    }
+
+    // The idle fleet is still fully connected and still works.
+    let mut probe = CacheClient::connect(addr).unwrap();
+    let stats = stats_map(&mut probe);
+    let curr: u64 = stats["curr_connections"].parse().unwrap();
+    assert!(
+        curr > IDLE as u64,
+        "all {IDLE} idle connections plus the probe must be live, got {curr}"
+    );
+    let total: u64 = stats["total_connections"].parse().unwrap();
+    assert!(total >= IDLE as u64 + 5, "accept total counts everyone");
+    assert_eq!(stats["rejected_connections"], "0");
+    // Round-robin spread the fleet across both loops.
+    let loop0: u64 = stats["conns:loop:0"].parse().unwrap();
+    let loop1: u64 = stats["conns:loop:1"].parse().unwrap();
+    assert_eq!(loop0 + loop1, curr);
+    assert!(
+        loop0 >= 100 && loop1 >= 100,
+        "round-robin must spread connections: {loop0} / {loop1}"
+    );
+    for (i, client) in idle.iter_mut().enumerate().step_by(37) {
+        let got = client
+            .get(format!("idle-{i}").as_bytes())
+            .unwrap()
+            .expect("parked connection still serves");
+        assert_eq!(got.1, b"parked");
+    }
+
+    // Clean shutdown with all 260+ connections open and traffic mid-flight.
+    let disconnected = Arc::new(AtomicU64::new(0));
+    let in_flight: Vec<_> = (0..3)
+        .map(|t| {
+            let disconnected = Arc::clone(&disconnected);
+            std::thread::spawn(move || {
+                let mut client = match CacheClient::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        disconnected.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                for i in 0u64.. {
+                    let key = format!("flight-{t}-{}", i % 8);
+                    if client
+                        .set(key.as_bytes(), 0, b"x")
+                        .and_then(|_| client.get(key.as_bytes()).map(|_| ()))
+                        .is_err()
+                    {
+                        disconnected.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    server.shutdown();
+    for h in in_flight {
+        h.join().expect("mid-flight worker must not panic");
+    }
+    assert_eq!(disconnected.load(Ordering::Relaxed), 3);
+    // Every parked connection was closed by the teardown.
+    for (i, client) in idle.iter_mut().enumerate() {
+        assert!(
+            client.get(format!("idle-{i}").as_bytes()).is_err(),
+            "idle connection {i} must observe the shutdown"
+        );
+    }
+}
+
+/// A reader that stalls mid-response parks its connection on write
+/// backpressure; the event loop (there is only one) keeps serving a
+/// sibling connection the whole time, and the stalled reader eventually
+/// receives every response byte-exact.
+#[test]
+fn write_backpressure_does_not_block_the_loop() {
+    const VALUE_BYTES: usize = 200 * 1024;
+    const GETS: usize = 120; // ~24 MB of responses, far past every buffer
+    let server = start_server(1, 64);
+    let addr = server.local_addr();
+
+    let mut setup = CacheClient::connect(addr).unwrap();
+    let payload: Vec<u8> = (0..VALUE_BYTES).map(|i| (i % 251) as u8).collect();
+    assert!(setup.set(b"big", 0, &payload).unwrap());
+
+    // The stalling reader: pipeline GETS requests, read nothing yet.
+    let stalled = TcpStream::connect(addr).unwrap();
+    stalled.set_nodelay(true).unwrap();
+    let mut stalled_writer = stalled.try_clone().unwrap();
+    let request: Vec<u8> = b"get big\r\n".repeat(GETS);
+    stalled_writer.write_all(&request).unwrap();
+    // Let the server fill the socket buffers and hit the watermark.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    // The sibling on the same (only) event loop must be fully responsive
+    // while the stalled connection is parked on EPOLLOUT.
+    let mut sibling = CacheClient::connect(addr).unwrap();
+    for i in 0..100 {
+        let key = format!("sib-{i}");
+        assert!(sibling.set(key.as_bytes(), 0, b"quick").unwrap());
+        assert_eq!(sibling.get(key.as_bytes()).unwrap().unwrap().1, b"quick");
+    }
+
+    // Now drain the stalled connection: every one of the GETS responses
+    // must arrive, framed exactly, with the payload intact.
+    let mut reader = BufReader::with_capacity(64 * 1024, stalled);
+    for response in 0..GETS {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).unwrap() > 0,
+            "EOF before response {response}"
+        );
+        assert_eq!(
+            line.trim_end(),
+            format!("VALUE big 0 {VALUE_BYTES}"),
+            "response {response} header"
+        );
+        let mut data = vec![0u8; VALUE_BYTES + 2];
+        reader.read_exact(&mut data).unwrap();
+        assert_eq!(&data[VALUE_BYTES..], b"\r\n");
+        assert_eq!(&data[..VALUE_BYTES], &payload[..], "payload {response}");
+        let mut end = String::new();
+        reader.read_line(&mut end).unwrap();
+        assert_eq!(end.trim_end(), "END", "response {response} END");
+    }
+}

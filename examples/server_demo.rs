@@ -9,12 +9,14 @@ use cliffhanger_repro::prelude::*;
 fn main() -> std::io::Result<()> {
     let mut server = CacheServer::start(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
-        workers: 4,
+        // Two event loops serve every connection in this demo.
+        workers: 2,
         backend: BackendConfig {
             total_bytes: 32 << 20,
             mode: BackendMode::Cliffhanger,
             ..BackendConfig::default()
         },
+        ..ServerConfig::default()
     })?;
     println!("cache server listening on {}", server.local_addr());
 

@@ -1,5 +1,6 @@
-//! End-to-end concurrency: eight client threads hammer a running
-//! `CacheServer` with mixed GET/SET/DELETE traffic and the test asserts
+//! End-to-end concurrency: eight client threads (on two server event
+//! loops) hammer a running `CacheServer` with mixed GET/SET/DELETE
+//! traffic and the test asserts
 //! (1) no lost updates — every thread's final write is the value the server
 //! returns, and the wire counters account for every operation exactly;
 //! (2) correct `END` framing under pipelined multi-key GETs; and
@@ -21,6 +22,7 @@ fn start_server(workers: usize) -> CacheServer {
             mode: BackendMode::Cliffhanger,
             ..BackendConfig::default()
         },
+        ..ServerConfig::default()
     })
     .expect("server must start")
 }
@@ -31,7 +33,9 @@ const OWN_KEYS: usize = 8;
 
 #[test]
 fn eight_threads_mixed_ops_no_lost_updates() {
-    let server = start_server(THREADS);
+    // Eight client connections on two event loops: connections no longer
+    // pin a worker thread each, so conns ≫ workers is the normal shape.
+    let server = start_server(2);
     let addr = server.local_addr();
     let total_sets = Arc::new(AtomicU64::new(0));
     let total_deletes = Arc::new(AtomicU64::new(0));
@@ -128,7 +132,7 @@ fn eight_threads_mixed_ops_no_lost_updates() {
 /// well-formed `VALUE…`* `END` block whose payload lengths are exact.
 #[test]
 fn multiget_end_framing_under_concurrent_writes() {
-    let server = start_server(4);
+    let server = start_server(1);
     let addr = server.local_addr();
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -180,7 +184,7 @@ fn multiget_end_framing_under_concurrent_writes() {
 
 #[test]
 fn clean_shutdown_with_connections_mid_flight() {
-    let mut server = start_server(4);
+    let mut server = start_server(2);
     let addr = server.local_addr();
     let disconnected = Arc::new(AtomicU64::new(0));
 

@@ -16,6 +16,7 @@ fn start(mode: BackendMode, total_bytes: u64) -> CacheServer {
             mode,
             ..BackendConfig::default()
         },
+        ..ServerConfig::default()
     })
     .expect("server must start")
 }
