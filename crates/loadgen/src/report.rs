@@ -156,6 +156,21 @@ pub struct ServerEcho {
     pub arbiter_transfers: u64,
     /// Bytes of budget moved between tenants.
     pub arbiter_bytes_moved: u64,
+    /// Event loops serving the run — the shared-nothing plane's shard
+    /// owners. (Pre-PR6 reports lack the `event_loops`/`plane_*`/
+    /// `shard_owner_loops` fields; same untyped-reader caveat as above.)
+    pub event_loops: u64,
+    /// Data ops executed directly on the loop owning both the connection
+    /// and the key's shard (the zero-lock fast path).
+    pub plane_local_ops: u64,
+    /// Data ops forwarded to the owning loop as cross-loop messages.
+    pub plane_remote_ops: u64,
+    /// Admin commands (`stats`, `flush_all`, `app_create`, `app_list`)
+    /// served by the control thread during the run.
+    pub plane_admin_msgs: u64,
+    /// The owning event loop of each shard, indexed by shard
+    /// (`owner(shard) = shard % event_loops`).
+    pub shard_owner_loops: Vec<u64>,
 }
 
 /// One point of a shard sweep.

@@ -38,6 +38,10 @@ pub struct SelfHostConfig {
     /// Whether the cross-tenant arbiter runs (off = Memcachier-style static
     /// reservations).
     pub tenant_balance: bool,
+    /// Idle connection reaping timeout in milliseconds; 0 disables reaping
+    /// (the server default). Loadgen connections are busy, so this is only
+    /// interesting for experiments that deliberately leak sessions.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for SelfHostConfig {
@@ -49,6 +53,7 @@ impl Default for SelfHostConfig {
             rebalance: true,
             tenants: Vec::new(),
             tenant_balance: true,
+            idle_timeout_ms: 0,
         }
     }
 }
@@ -90,6 +95,8 @@ pub fn run_self_hosted(
         // configured connection count; gate behaviour is the server tests'
         // concern, not the load generator's.
         max_connections: (load.connections * 2).max(4096),
+        idle_timeout: (host.idle_timeout_ms > 0)
+            .then(|| std::time::Duration::from_millis(host.idle_timeout_ms)),
         backend: BackendConfig {
             total_bytes: host.total_bytes,
             mode: host.mode,
@@ -129,6 +136,13 @@ pub fn run_self_hosted(
         arbiter_runs: stat_u64(&stats, "arbiter:runs"),
         arbiter_transfers: stat_u64(&stats, "arbiter:transfers"),
         arbiter_bytes_moved: stat_u64(&stats, "arbiter:bytes_moved"),
+        event_loops: stat_u64(&stats, "plane:event_loops"),
+        plane_local_ops: stat_u64(&stats, "plane:local_ops"),
+        plane_remote_ops: stat_u64(&stats, "plane:remote_ops"),
+        plane_admin_msgs: stat_u64(&stats, "plane:admin_msgs"),
+        shard_owner_loops: (0..server.cache().shard_count())
+            .map(|s| stat_u64(&stats, &format!("shard:{s}:owner_loop")))
+            .collect(),
     });
     // Attach each tenant section's server-side facts (budget, gradient
     // signal, evictions) from the per-tenant stats lines.

@@ -40,7 +40,7 @@
 //!    [`ShardRebalancer`] round per tenant compares the per-shard shadow-hit
 //!    deltas and moves a credit of budget from the flattest shard to the
 //!    steepest (see `cliffhanger::shard_balance`), via
-//!    [`Cliffhanger::shrink_total`] / [`Cliffhanger::grow_total`].
+//!    `Cliffhanger::shrink_total` / `Cliffhanger::grow_total`.
 //! 3. *Across tenants, globally*: every
 //!    [`TenantBalanceConfig::interval_requests`] requests the
 //!    [`TenantArbiter`] compares whole-tenant shadow-hit deltas and moves
@@ -54,17 +54,13 @@
 //! `tenant:<app>:budget` / `shard:<i>:budget` and the round counters as
 //! `rebalance:*` / `arbiter:*` lines.
 
-use crate::reactor::ConnTelemetry;
+use crate::engine::{even_split, route_key, weighted_split, Engine};
+use crate::stats::{render_stats, BalanceCounters, EngineStat, StatsSnapshot, WireCounts};
 use bytes::Bytes;
-use cache_core::key::mix64;
-use cache_core::store::AllocationMode;
-use cache_core::{
-    hash_bytes, CacheStats, Key, PolicyKind, SlabCache, SlabCacheConfig, SlabConfig,
-    TenantDirectory,
-};
+use cache_core::{Key, SlabConfig, TenantDirectory};
 use cliffhanger::{
-    Cliffhanger, CliffhangerConfig, ShardBalanceConfig, ShardRebalancer, ShardSample,
-    TenantArbiter, TenantBalanceConfig, TenantSample,
+    ShardBalanceConfig, ShardRebalancer, ShardSample, TenantArbiter, TenantBalanceConfig,
+    TenantSample,
 };
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -115,7 +111,7 @@ const MIN_SHARD_BYTES: u64 = 1 << 20;
 const MAX_AUTO_SHARDS: usize = 64;
 
 /// Returns the number of shards auto-detection would pick for this host:
-/// one per available CPU (`num_cpus`-style), capped at [`MAX_AUTO_SHARDS`].
+/// one per available CPU (`num_cpus`-style), capped at `MAX_AUTO_SHARDS`.
 pub fn detect_shards() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -179,7 +175,7 @@ impl BackendConfig {
     /// Per-tenant reservation weights aligned with
     /// [`BackendConfig::tenant_directory`] indices. The default tenant's
     /// weight is 1 unless it is listed explicitly.
-    fn tenant_weights(&self, directory: &TenantDirectory) -> Vec<u64> {
+    pub(crate) fn tenant_weights(&self, directory: &TenantDirectory) -> Vec<u64> {
         directory
             .names()
             .iter()
@@ -208,125 +204,11 @@ impl BackendConfig {
 
     /// The shard count this configuration resolves to: the explicit value,
     /// or CPU-count detection when `shards == 0`, in both cases capped so no
-    /// tenant engine drops below [`MIN_SHARD_BYTES`] at even weights.
+    /// tenant engine drops below `MIN_SHARD_BYTES` at even weights.
     pub fn resolved_shards(&self) -> usize {
         let tenants = self.tenant_directory().len() as u64;
         let budget_cap = (self.total_bytes / (MIN_SHARD_BYTES * tenants)).max(1) as usize;
         self.requested_shards().clamp(1, budget_cap.max(1))
-    }
-}
-
-/// A value as stored by the server.
-#[derive(Clone, Debug)]
-struct StoredValue {
-    /// The full byte-string key (for exact-match verification).
-    key: Bytes,
-    /// Client flags.
-    flags: u32,
-    /// The payload.
-    data: Bytes,
-}
-
-impl StoredValue {
-    fn new(key: &[u8], flags: u32, data: Bytes) -> StoredValue {
-        StoredValue {
-            key: Bytes::copy_from_slice(key),
-            flags,
-            data,
-        }
-    }
-}
-
-enum Inner {
-    Plain(Box<SlabCache<StoredValue>>),
-    Managed(Box<Cliffhanger<StoredValue>>),
-}
-
-impl Inner {
-    fn build(config: &BackendConfig, engine_bytes: u64) -> Inner {
-        match config.mode {
-            BackendMode::Default => Inner::Plain(Box::new(SlabCache::new(SlabCacheConfig {
-                slab: config.slab.clone(),
-                total_bytes: engine_bytes,
-                policy: PolicyKind::Lru,
-                mode: AllocationMode::FirstComeFirstServe { page_size: 1 << 20 },
-                shadow_bytes: 0,
-                tail_region_items: 0,
-            }))),
-            BackendMode::HillClimbing | BackendMode::Cliffhanger => {
-                let cfg = CliffhangerConfig {
-                    slab: config.slab.clone(),
-                    total_bytes: engine_bytes,
-                    enable_hill_climbing: true,
-                    enable_cliff_scaling: config.mode == BackendMode::Cliffhanger,
-                    ..CliffhangerConfig::default()
-                };
-                Inner::Managed(Box::new(Cliffhanger::new(cfg)))
-            }
-        }
-    }
-
-    fn value(&self, id: Key) -> Option<&StoredValue> {
-        match self {
-            Inner::Plain(cache) => cache.value(id),
-            Inner::Managed(cache) => cache.value(id),
-        }
-    }
-
-    /// Whether `key` is resident with an exact byte-string match.
-    fn contains_exact(&self, id: Key, key: &[u8]) -> bool {
-        self.value(id).map(|s| s.key == key).unwrap_or(false)
-    }
-
-    fn set(&mut self, id: Key, size: u64, stored: StoredValue) -> bool {
-        match self {
-            Inner::Plain(cache) => cache
-                .set(id, size, stored)
-                .map(|(_, r)| r.admitted)
-                .unwrap_or(false),
-            Inner::Managed(cache) => cache
-                .set(id, size, stored)
-                .map(|(_, admitted)| admitted)
-                .unwrap_or(false),
-        }
-    }
-
-    fn stats(&self) -> CacheStats {
-        match self {
-            Inner::Plain(cache) => cache.stats(),
-            Inner::Managed(cache) => cache.stats(),
-        }
-    }
-
-    /// Grows the engine's total budget (managed engines only; a plain slab
-    /// cache has no dynamic-budget path and is never rebalanced).
-    fn grow_total(&mut self, bytes: u64) {
-        if let Inner::Managed(cache) = self {
-            cache.grow_total(bytes);
-        }
-    }
-
-    /// Releases `bytes` of the engine's budget, evicting as needed. Returns
-    /// whether the release happened.
-    fn shrink_total(&mut self, bytes: u64) -> bool {
-        match self {
-            Inner::Plain(_) => false,
-            Inner::Managed(cache) => cache.shrink_total(bytes),
-        }
-    }
-
-    fn used_bytes(&self) -> u64 {
-        match self {
-            Inner::Plain(cache) => cache.used_bytes(),
-            Inner::Managed(cache) => cache.used_bytes(),
-        }
-    }
-
-    fn len(&self) -> usize {
-        match self {
-            Inner::Plain(cache) => cache.len(),
-            Inner::Managed(cache) => cache.len(),
-        }
     }
 }
 
@@ -358,37 +240,17 @@ impl WireAtomics {
     }
 }
 
-/// A snapshot of wire-level counters.
-#[derive(Clone, Copy, Debug, Default)]
-struct WireCounts {
-    gets: u64,
-    hits: u64,
-    misses: u64,
-    sets: u64,
-    deletes: u64,
-}
-
-impl WireCounts {
-    fn accumulate(&mut self, other: WireCounts) {
-        self.gets += other.gets;
-        self.hits += other.hits;
-        self.misses += other.misses;
-        self.sets += other.sets;
-        self.deletes += other.deletes;
-    }
-}
-
 /// One tenant's engine on one shard, plus that pair's wire counters. The
 /// request path clones the `Arc` out of the shard's cell table and drops
 /// the table lock before touching the engine, so `app_create` growing the
 /// table never contends with in-flight requests.
 struct EngineCell {
-    engine: Mutex<Inner>,
+    engine: Mutex<Engine>,
     wire: WireAtomics,
 }
 
 impl EngineCell {
-    fn new(inner: Inner) -> Arc<EngineCell> {
+    fn new(inner: Engine) -> Arc<EngineCell> {
         Arc::new(EngineCell {
             engine: Mutex::new(inner),
             wire: WireAtomics::default(),
@@ -416,7 +278,7 @@ impl Shard {
             cells: RwLock::new(
                 engine_bytes
                     .iter()
-                    .map(|&b| EngineCell::new(Inner::build(config, b)))
+                    .map(|&b| EngineCell::new(Engine::build(config, b)))
                     .collect(),
             ),
             ops: AtomicU64::new(0),
@@ -494,32 +356,6 @@ pub struct SharedCache {
     arbiter_runs: AtomicU64,
     arbiter_transfers: AtomicU64,
     arbiter_bytes: AtomicU64,
-    /// Connection-layer counters, installed by the serving front end so
-    /// `stats` can report `curr_connections` and friends; `None` for a
-    /// backend used without a server (tests, simulators).
-    conn_telemetry: Mutex<Option<Arc<ConnTelemetry>>>,
-}
-
-/// Splits `total` into weight-proportional integer shares that sum exactly
-/// to `total` (the remainder lands on the first share).
-fn weighted_split(total: u64, weights: &[u64]) -> Vec<u64> {
-    let sum: u128 = weights.iter().map(|&w| w as u128).sum();
-    let mut shares: Vec<u64> = weights
-        .iter()
-        .map(|&w| ((total as u128 * w as u128) / sum.max(1)) as u64)
-        .collect();
-    let assigned: u64 = shares.iter().sum();
-    shares[0] += total - assigned;
-    shares
-}
-
-/// Splits `total` into `parts` even integer shares summing exactly to
-/// `total` (remainder on the first share).
-fn even_split(total: u64, parts: usize) -> Vec<u64> {
-    let share = total / parts as u64;
-    let mut out = vec![share; parts];
-    out[0] += total - share * parts as u64;
-    out
 }
 
 impl SharedCache {
@@ -595,15 +431,7 @@ impl SharedCache {
             arbiter_runs: AtomicU64::new(0),
             arbiter_transfers: AtomicU64::new(0),
             arbiter_bytes: AtomicU64::new(0),
-            conn_telemetry: Mutex::new(None),
         }
-    }
-
-    /// Installs the serving front end's connection counters, exposed by
-    /// `stats` as `curr_connections` / `total_connections` /
-    /// `rejected_connections` / `conns:loop:<i>`.
-    pub fn attach_conn_telemetry(&self, telemetry: Arc<ConnTelemetry>) {
-        *self.conn_telemetry.lock() = Some(telemetry);
     }
 
     /// The hosted tenant names (default first).
@@ -628,11 +456,11 @@ impl SharedCache {
     ///
     /// Cost note: this is the price of live tenant onboarding — one shared
     /// read-lock acquisition plus an `Arc` refcount round-trip per request
-    /// on the shard's cell table, which colliding tenants now share. On the
-    /// wire path this is noise next to the socket syscalls (the CI perf
-    /// gate guards the claim); a lock-free snapshot (epoch/arc-swap-style)
-    /// would restore the zero-shared-write hot path and is tracked in the
-    /// ROADMAP.
+    /// on the shard's cell table, which colliding tenants now share. For
+    /// embedded use this is noise next to the caller's own work; the served
+    /// path does not pay it at all — the server's shared-nothing data plane
+    /// (`crate::plane`) gives each event loop outright ownership of its
+    /// engines and refreshes its tenant table by generation snapshot.
     fn cell(&self, shard: usize, tenant: usize) -> Arc<EngineCell> {
         Arc::clone(&self.shards[shard].cells.read()[tenant])
     }
@@ -699,7 +527,7 @@ impl SharedCache {
             }
         }
         for (s, shard) in self.shards.iter().enumerate() {
-            shard.cells.write().push(EngineCell::new(Inner::build(
+            shard.cells.write().push(EngineCell::new(Engine::build(
                 &self.config,
                 carved[s].max(1),
             )));
@@ -903,23 +731,11 @@ impl SharedCache {
         self.roster.read().tenant_budgets()
     }
 
-    fn charge_size(key: &[u8], data: &[u8]) -> u64 {
-        (key.len() + data.len()) as u64
-    }
-
     /// Routes a byte-string key of one tenant to its shard index and 64-bit
-    /// cache key.
-    ///
-    /// The shard selector re-mixes the FNV hash so that shard membership is
-    /// decorrelated from the bits the per-shard engines use; non-default
-    /// tenants fold a per-tenant salt in (the backend-side form of key
-    /// prefixing) so their key populations spread independently, while the
-    /// default tenant routes exactly as the single-tenant server did.
+    /// cache key (see [`crate::engine::route_key`], which the data plane
+    /// shares so both backends route identically).
     fn route(&self, tenant: usize, key: &[u8]) -> (usize, Key) {
-        let hash = hash_bytes(key);
-        let salt = if tenant == 0 { 0 } else { mix64(tenant as u64) };
-        let index = (mix64(hash ^ salt) % self.shards.len() as u64) as usize;
-        (index, Key::new(hash))
+        route_key(tenant, key, self.shards.len())
     }
 
     /// Number of shards the cache is running.
@@ -934,33 +750,11 @@ impl SharedCache {
         self.tick(&self.shards[si]);
         let cell = self.cell(si, tenant);
         cell.wire.gets.fetch_add(1, Ordering::Relaxed);
-        let mut inner = cell.engine.lock();
-        let found = match &mut *inner {
-            Inner::Plain(cache) => {
-                let hit = cache.get_untyped(id).result.hit;
-                if hit {
-                    cache.value(id).cloned()
-                } else {
-                    None
-                }
-            }
-            Inner::Managed(cache) => {
-                let (_, event) = cache.get_untyped(id);
-                if event.hit {
-                    cache.value(id).cloned()
-                } else {
-                    None
-                }
-            }
-        };
-        drop(inner);
-        match found {
-            Some(stored) if stored.key == key => {
-                cell.wire.hits.fetch_add(1, Ordering::Relaxed);
-                Some((stored.flags, stored.data))
-            }
-            _ => None,
+        let found = cell.engine.lock().wire_get(id, key);
+        if found.is_some() {
+            cell.wire.hits.fetch_add(1, Ordering::Relaxed);
         }
+        found
     }
 
     /// Whether a key is resident for one tenant (exact match), without
@@ -978,10 +772,8 @@ impl SharedCache {
         self.tick(&self.shards[si]);
         let cell = self.cell(si, tenant);
         cell.wire.sets.fetch_add(1, Ordering::Relaxed);
-        let size = Self::charge_size(key, &data);
-        let stored = StoredValue::new(key, flags, data);
         let mut inner = cell.engine.lock();
-        inner.set(id, size, stored)
+        inner.wire_set(id, key, flags, data)
     }
 
     /// Stores a key for one tenant only if it is absent (`add`). Atomic with
@@ -990,14 +782,12 @@ impl SharedCache {
         let (si, id) = self.route(tenant, key);
         self.tick(&self.shards[si]);
         let cell = self.cell(si, tenant);
-        let size = Self::charge_size(key, &data);
-        let stored = StoredValue::new(key, flags, data);
         let mut inner = cell.engine.lock();
         if inner.contains_exact(id, key) {
             return false;
         }
         cell.wire.sets.fetch_add(1, Ordering::Relaxed);
-        inner.set(id, size, stored)
+        inner.wire_set(id, key, flags, data)
     }
 
     /// Stores a key for one tenant only if it is present (`replace`). Atomic
@@ -1006,14 +796,12 @@ impl SharedCache {
         let (si, id) = self.route(tenant, key);
         self.tick(&self.shards[si]);
         let cell = self.cell(si, tenant);
-        let size = Self::charge_size(key, &data);
-        let stored = StoredValue::new(key, flags, data);
         let mut inner = cell.engine.lock();
         if !inner.contains_exact(id, key) {
             return false;
         }
         cell.wire.sets.fetch_add(1, Ordering::Relaxed);
-        inner.set(id, size, stored)
+        inner.wire_set(id, key, flags, data)
     }
 
     /// Deletes a key for one tenant; returns whether it was present.
@@ -1026,10 +814,7 @@ impl SharedCache {
         if !inner.contains_exact(id, key) {
             return false;
         }
-        match &mut *inner {
-            Inner::Plain(cache) => cache.delete(id),
-            Inner::Managed(cache) => cache.delete(id),
-        }
+        inner.delete(id)
     }
 
     /// Looks up a key for the default tenant.
@@ -1101,7 +886,7 @@ impl SharedCache {
         });
         for s in order {
             let cell = self.cell(s, tenant);
-            *cell.engine.lock() = Inner::build(&self.config, shares[s]);
+            *cell.engine.lock() = Engine::build(&self.config, shares[s]);
             roster.budgets[tenant][s].store(shares[s], Ordering::Relaxed);
         }
         balancer.reset();
@@ -1121,7 +906,7 @@ impl SharedCache {
             // One cell-table snapshot per shard, not one lock per engine.
             let cells: Vec<Arc<EngineCell>> = shard.cells.read().clone();
             for (t, per_shard) in roster.initial_budgets.iter().enumerate() {
-                *cells[t].engine.lock() = Inner::build(&self.config, per_shard[s]);
+                *cells[t].engine.lock() = Engine::build(&self.config, per_shard[s]);
                 roster.budgets[t][s].store(per_shard[s], Ordering::Relaxed);
             }
         }
@@ -1136,172 +921,59 @@ impl SharedCache {
     /// Aggregated counters come first (summed over every tenant and shard),
     /// then the allocation-hierarchy counters (`rebalance:*`, `arbiter:*`),
     /// then per-tenant breakdowns as `tenant:<app>:<name>` lines and
-    /// per-shard breakdowns as `shard:<i>:<name>` lines. Wire counters are
-    /// read with relaxed atomics; only the cache-core statistics (bytes,
-    /// items, evictions) briefly take each engine's lock in turn.
+    /// per-shard breakdowns as `shard:<i>:<name>` lines — the exact key set
+    /// and ordering of `crate::stats::render_stats`, which the server's
+    /// data plane shares. Wire counters are read with relaxed atomics; only
+    /// the cache-core statistics (bytes, items, evictions) briefly take each
+    /// engine's lock in turn.
     pub fn stats(&self) -> Vec<(String, String)> {
         let roster = self.roster.read();
         let nt = roster.directory.len();
         let ns = self.shards.len();
-        let mut totals = WireCounts::default();
-        let mut core_total = CacheStats::default();
-        let mut used = 0u64;
-        let mut items = 0usize;
-        // Indexed [tenant], then [shard].
-        let mut tenant_wire = vec![WireCounts::default(); nt];
-        let mut tenant_core = vec![CacheStats::default(); nt];
-        let mut tenant_used = vec![0u64; nt];
-        let mut tenant_items = vec![0usize; nt];
-        let mut shard_wire = vec![WireCounts::default(); ns];
-        let mut shard_core = vec![CacheStats::default(); ns];
-        let mut shard_used = vec![0u64; ns];
-        let mut shard_items = vec![0usize; ns];
-        for (s, shard) in self.shards.iter().enumerate() {
-            // Snapshot the cell table so engine locks are taken without it.
-            let cells: Vec<Arc<EngineCell>> = shard.cells.read().clone();
-            for (t, cell) in cells.iter().enumerate().take(nt) {
-                let wire = cell.wire.counts();
-                let (core, engine_used, engine_items) = {
-                    let inner = cell.engine.lock();
-                    (inner.stats(), inner.used_bytes(), inner.len())
-                };
-                totals.accumulate(wire);
-                core_total += core;
-                used += engine_used;
-                items += engine_items;
-                tenant_wire[t].accumulate(wire);
-                tenant_core[t] += core;
-                tenant_used[t] += engine_used;
-                tenant_items[t] += engine_items;
-                shard_wire[s].accumulate(wire);
-                shard_core[s] += core;
-                shard_used[s] += engine_used;
-                shard_items[s] += engine_items;
-            }
-        }
-
-        let mut out = vec![
-            ("cmd_get".into(), totals.gets.to_string()),
-            ("cmd_set".into(), totals.sets.to_string()),
-            ("get_hits".into(), totals.hits.to_string()),
-            ("get_misses".into(), totals.misses.to_string()),
-            ("cmd_delete".into(), totals.deletes.to_string()),
-            ("bytes".into(), used.to_string()),
-            ("curr_items".into(), items.to_string()),
-            ("evictions".into(), core_total.evictions.to_string()),
-            ("limit_maxbytes".into(), self.config.total_bytes.to_string()),
-            (
-                "allocator".into(),
-                format!("{:?}", self.config.mode).to_lowercase(),
-            ),
-            ("shard_count".into(), ns.to_string()),
-            (
-                "shards_requested".into(),
-                self.config.requested_shards().to_string(),
-            ),
-            (
-                "shard_bytes".into(),
-                (self.config.total_bytes / ns as u64).to_string(),
-            ),
-            ("tenant_count".into(), nt.to_string()),
-            (
-                "rebalance:enabled".into(),
-                (self.rebalance_active() as u8).to_string(),
-            ),
-            (
-                "rebalance:runs".into(),
-                self.rebalance_runs.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "rebalance:transfers".into(),
-                self.rebalance_transfers.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "rebalance:bytes_moved".into(),
-                self.rebalance_bytes.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "arbiter:enabled".into(),
-                (self.arbiter_active() as u8).to_string(),
-            ),
-            (
-                "arbiter:runs".into(),
-                self.arbiter_runs.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "arbiter:transfers".into(),
-                self.arbiter_transfers.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "arbiter:bytes_moved".into(),
-                self.arbiter_bytes.load(Ordering::Relaxed).to_string(),
-            ),
-        ];
-        if let Some(conns) = self.conn_telemetry.lock().as_ref() {
-            out.push(("curr_connections".into(), conns.curr().to_string()));
-            out.push(("total_connections".into(), conns.total().to_string()));
-            out.push(("rejected_connections".into(), conns.rejected().to_string()));
-            out.push((
-                "max_connections".into(),
-                conns.max_connections().to_string(),
-            ));
-            for i in 0..conns.loops() {
-                out.push((format!("conns:loop:{i}"), conns.loop_curr(i).to_string()));
-            }
-        }
-        // Budgets computed on the roster we already hold — re-entering the
-        // public `tenant_budgets()` would re-take the roster lock.
-        let tenant_budgets = roster.tenant_budgets();
-        for t in 0..nt {
-            let name = roster.directory.name(t);
-            let wire = tenant_wire[t];
-            out.push((format!("tenant:{name}:cmd_get"), wire.gets.to_string()));
-            out.push((format!("tenant:{name}:cmd_set"), wire.sets.to_string()));
-            out.push((format!("tenant:{name}:get_hits"), wire.hits.to_string()));
-            out.push((format!("tenant:{name}:get_misses"), wire.misses.to_string()));
-            out.push((
-                format!("tenant:{name}:cmd_delete"),
-                wire.deletes.to_string(),
-            ));
-            out.push((format!("tenant:{name}:bytes"), tenant_used[t].to_string()));
-            out.push((
-                format!("tenant:{name}:curr_items"),
-                tenant_items[t].to_string(),
-            ));
-            out.push((
-                format!("tenant:{name}:evictions"),
-                tenant_core[t].evictions.to_string(),
-            ));
-            out.push((
-                format!("tenant:{name}:budget"),
-                tenant_budgets[t].to_string(),
-            ));
-            out.push((
-                format!("tenant:{name}:shadow_hits"),
-                tenant_core[t].shadow_hits.to_string(),
-            ));
-        }
-        let shard_budgets = roster.shard_budgets(ns);
-        for s in 0..ns {
-            let wire = shard_wire[s];
-            out.push((format!("shard:{s}:cmd_get"), wire.gets.to_string()));
-            out.push((format!("shard:{s}:cmd_set"), wire.sets.to_string()));
-            out.push((format!("shard:{s}:get_hits"), wire.hits.to_string()));
-            out.push((format!("shard:{s}:get_misses"), wire.misses.to_string()));
-            out.push((format!("shard:{s}:cmd_delete"), wire.deletes.to_string()));
-            out.push((format!("shard:{s}:bytes"), shard_used[s].to_string()));
-            out.push((format!("shard:{s}:curr_items"), shard_items[s].to_string()));
-            out.push((
-                format!("shard:{s}:evictions"),
-                shard_core[s].evictions.to_string(),
-            ));
-            out.push((format!("shard:{s}:budget"), shard_budgets[s].to_string()));
-            out.push((
-                format!("shard:{s}:shadow_hits"),
-                shard_core[s].shadow_hits.to_string(),
-            ));
-        }
-        out
+        let cells: Vec<Vec<EngineStat>> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                // Snapshot the cell table so engine locks are taken without it.
+                let table: Vec<Arc<EngineCell>> = shard.cells.read().clone();
+                table
+                    .iter()
+                    .take(nt)
+                    .map(|cell| {
+                        let wire = cell.wire.counts();
+                        let inner = cell.engine.lock();
+                        EngineStat {
+                            wire,
+                            core: inner.stats(),
+                            used: inner.used_bytes(),
+                            items: inner.len(),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let snap = StatsSnapshot {
+            total_bytes: self.config.total_bytes,
+            mode: self.config.mode,
+            requested_shards: self.config.requested_shards(),
+            cells,
+            tenant_names: roster.directory.names().to_vec(),
+            // Budgets computed on the roster we already hold — re-entering
+            // the public accessors would re-take the roster lock.
+            tenant_budgets: roster.tenant_budgets(),
+            shard_budgets: roster.shard_budgets(ns),
+            balance: BalanceCounters {
+                rebalance_enabled: self.rebalance_active(),
+                rebalance_runs: self.rebalance_runs.load(Ordering::Relaxed),
+                rebalance_transfers: self.rebalance_transfers.load(Ordering::Relaxed),
+                rebalance_bytes: self.rebalance_bytes.load(Ordering::Relaxed),
+                arbiter_enabled: self.arbiter_active(),
+                arbiter_runs: self.arbiter_runs.load(Ordering::Relaxed),
+                arbiter_transfers: self.arbiter_transfers.load(Ordering::Relaxed),
+                arbiter_bytes: self.arbiter_bytes.load(Ordering::Relaxed),
+            },
+        };
+        render_stats(&snap, None, None)
     }
 
     /// The backend mode this cache runs.
@@ -1317,6 +989,7 @@ pub use cache_core::tenant::DEFAULT_TENANT as DEFAULT_TENANT_NAME;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cache_core::{hash_bytes, key::mix64};
 
     fn cache(mode: BackendMode) -> SharedCache {
         SharedCache::new(BackendConfig {

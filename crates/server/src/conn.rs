@@ -15,24 +15,32 @@
 //!   reading and parsing, so a client that requests faster than it reads
 //!   responses is throttled by TCP instead of ballooning server memory.
 //!
+//! # Routing and parking
+//!
+//! This is where the shared-nothing data plane routes: every key is hashed
+//! to its shard *before* any engine is touched. A key whose shard the
+//! connection's own loop owns executes inline — plain field accesses on
+//! loop-owned state, zero shared locks. A key owned by another loop is
+//! forwarded as a [`DataOp`] message and the connection *parks*: it stops
+//! parsing (keeping per-connection program order, exactly as if the
+//! commands executed inline) and drops `EPOLLIN` interest until the
+//! [`crate::plane::LoopMsg::DataReply`] arrives. Admin commands (`stats`,
+//! `flush_all`, `app_create`, `app_list`) park the same way while the
+//! control thread runs them — the event loop keeps serving every sibling
+//! connection meanwhile, which is what ended admin head-of-line blocking.
+//!
 //! The command semantics (and every byte on the wire) are identical to the
 //! old blocking handler; only the scheduling changed.
-//!
-//! Known trade-off: commands execute inline on the event-loop thread, so a
-//! heavyweight one (`flush_all` rebuilding a tenant's engines, `app_create`
-//! carving budget out of every engine, a large `stats` sweep) briefly
-//! head-of-line blocks the other connections owned by the *same* loop —
-//! Memcached's worker threads have the same property. Other loops are
-//! unaffected. Offloading admin commands to a helper thread is a tracked
-//! ROADMAP item; the data-path commands (get/set/delete) are all O(1)-ish
-//! and unaffected.
 
-use crate::backend::SharedCache;
+use crate::plane::{
+    AdminOp, AdminResult, DataOp, DataOutcome, DataReplyTo, DataVerb, LoopMsg, LoopState,
+};
 use crate::protocol::{encode_response, Command, ParseOutcome, Parser, Response, StoreVerb, Value};
-use bytes::BytesMut;
+use bytes::{Bytes, BytesMut};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::os::fd::{AsRawFd, RawFd};
+use std::time::{Duration, Instant};
 
 use crate::reactor::{EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 
@@ -46,6 +54,14 @@ const READ_CHUNK: usize = 16 * 1024;
 /// fire-hosing connection cannot starve its siblings (level-triggered
 /// epoll re-schedules it immediately).
 const IN_FILL_BUDGET: usize = 256 * 1024;
+
+/// What a connection needs from its event loop to execute commands: the
+/// loop-owned state (engines, tenant table, outbound queues) and its own
+/// token, so forwarded operations can find their way back.
+pub(crate) struct Ctx<'a> {
+    pub(crate) state: &'a mut LoopState,
+    pub(crate) token: u64,
+}
 
 /// What the reactor should do with the connection after a readiness pass.
 pub(crate) enum Drive {
@@ -72,6 +88,26 @@ enum Flow {
     Broken,
 }
 
+/// An operation in flight on another thread; the connection does not parse
+/// until it resolves.
+enum Pending {
+    /// A (multi-)get with at least one remotely owned key. Local keys fill
+    /// their slots immediately; remote slots fill as replies arrive.
+    Get {
+        seq: u64,
+        keys: Vec<Bytes>,
+        /// Outer `None` = reply outstanding; inner option = hit/miss.
+        results: Vec<Option<Option<(u32, Bytes)>>>,
+        remaining: usize,
+    },
+    /// A store verb forwarded to the owning loop.
+    Store { seq: u64, noreply: bool },
+    /// A delete forwarded to the owning loop.
+    Delete { seq: u64, noreply: bool },
+    /// An admin command running on the control thread.
+    Admin { seq: u64 },
+}
+
 /// One client connection: socket, buffers, parser and session state.
 pub(crate) struct Connection {
     stream: TcpStream,
@@ -87,11 +123,20 @@ pub(crate) struct Connection {
     interest: u32,
     /// Quit or EOF observed: flush the remaining output, then close.
     draining: bool,
+    /// The operation the connection is parked on, if any.
+    pending: Option<Pending>,
+    /// Monotone sequence stamped on every parked operation, so a reply
+    /// can never resolve the wrong one.
+    op_seq: u64,
+    /// Last time the peer gave us bytes or an operation resolved — the
+    /// idle reaper's clock.
+    last_activity: Instant,
 }
 
 /// What one parse-and-execute pass produced.
 enum Step {
-    /// Number of commands executed (0 = waiting for bytes or backpressured).
+    /// Number of commands executed (0 = waiting for bytes, parked, or
+    /// backpressured).
     Parsed(usize),
     /// The client sent `quit`.
     Quit,
@@ -111,6 +156,9 @@ impl Connection {
             tenant: 0,
             interest: EPOLLIN | EPOLLRDHUP,
             draining: false,
+            pending: None,
+            op_seq: 0,
+            last_activity: Instant::now(),
         })
     }
 
@@ -124,18 +172,26 @@ impl Connection {
         self.interest
     }
 
+    /// Whether an operation is in flight on another thread.
+    pub(crate) fn is_parked(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// How long the connection has been silent, for the idle reaper.
+    pub(crate) fn idle_for(&self, now: Instant) -> Duration {
+        now.saturating_duration_since(self.last_activity)
+    }
+
     fn pending_out(&self) -> usize {
         self.out.len() - self.out_pos
     }
 
     /// One readiness pass: flush, fill, then parse/execute/flush until
-    /// quiescent.
-    pub(crate) fn on_ready(
-        &mut self,
-        readable: bool,
-        writable: bool,
-        cache: &SharedCache,
-    ) -> Drive {
+    /// quiescent or parked.
+    pub(crate) fn on_ready(&mut self, readable: bool, writable: bool, ctx: &mut Ctx<'_>) -> Drive {
+        if readable || writable {
+            self.last_activity = Instant::now();
+        }
         if writable && self.flush() == Flow::Broken {
             return Drive::Close;
         }
@@ -149,7 +205,7 @@ impl Connection {
         // Parsing can be resumed by a flush that drains the output below
         // the watermark, so alternate the two until neither makes progress.
         loop {
-            let parsed = match self.process(cache) {
+            let parsed = match self.process(ctx) {
                 Step::Parsed(n) => n,
                 Step::Quit => {
                     // Commands pipelined after `quit` are never parsed,
@@ -166,14 +222,17 @@ impl Connection {
                 break;
             }
         }
-        if self.draining && self.pending_out() == 0 {
+        if self.draining && self.pending_out() == 0 && self.pending.is_none() {
             return Drive::Close;
         }
         let mut want = 0;
         if self.pending_out() > 0 {
             want |= EPOLLOUT;
         }
-        if !self.draining && self.pending_out() < OUT_HIGH_WATERMARK {
+        // A parked connection reads nothing: per-connection order requires
+        // the in-flight operation to resolve before the next command runs,
+        // so there is no point waking on input we would not parse.
+        if !self.draining && self.pending.is_none() && self.pending_out() < OUT_HIGH_WATERMARK {
             want |= EPOLLIN | EPOLLRDHUP;
         }
         let changed = want != self.interest;
@@ -182,6 +241,97 @@ impl Connection {
             interest: want,
             changed,
         }
+    }
+
+    /// A [`DataOutcome`] arrived for a forwarded operation. Returns whether
+    /// the parked operation completed (the loop should re-drive us).
+    pub(crate) fn on_data_reply(&mut self, seq: u64, slot: usize, outcome: DataOutcome) -> bool {
+        self.last_activity = Instant::now();
+        let done = match &mut self.pending {
+            Some(Pending::Get {
+                seq: pending_seq,
+                results,
+                remaining,
+                ..
+            }) if *pending_seq == seq => {
+                if slot < results.len() && results[slot].is_none() {
+                    results[slot] = Some(match outcome {
+                        DataOutcome::Value(found) => found,
+                        DataOutcome::Flag(_) => None,
+                    });
+                    *remaining -= 1;
+                }
+                *remaining == 0
+            }
+            Some(Pending::Store {
+                seq: pending_seq,
+                noreply,
+            }) if *pending_seq == seq => {
+                if !*noreply {
+                    let stored = matches!(outcome, DataOutcome::Flag(true));
+                    let response = if stored {
+                        Response::Stored
+                    } else {
+                        Response::NotStored
+                    };
+                    encode_response(&response, &mut self.out);
+                }
+                true
+            }
+            Some(Pending::Delete {
+                seq: pending_seq,
+                noreply,
+            }) if *pending_seq == seq => {
+                if !*noreply {
+                    let deleted = matches!(outcome, DataOutcome::Flag(true));
+                    let response = if deleted {
+                        Response::Deleted
+                    } else {
+                        Response::NotFound
+                    };
+                    encode_response(&response, &mut self.out);
+                }
+                true
+            }
+            // A reply for an operation that is no longer pending (the seq
+            // guard): drop it.
+            _ => return false,
+        };
+        if !done {
+            return false;
+        }
+        if let Some(Pending::Get { keys, results, .. }) = self.pending.take() {
+            self.emit_get(keys, results);
+        }
+        true
+    }
+
+    /// The control thread finished an admin command this connection
+    /// forwarded. Returns whether we were parked on it.
+    pub(crate) fn on_admin_done(&mut self, seq: u64, result: AdminResult) -> bool {
+        self.last_activity = Instant::now();
+        match &self.pending {
+            Some(Pending::Admin { seq: pending_seq }) if *pending_seq == seq => {}
+            _ => return false,
+        }
+        self.pending = None;
+        let response = match result {
+            AdminResult::Stats(lines) => Response::Stats(lines),
+            AdminResult::Flushed => Response::Ok,
+            AdminResult::Created(Ok(_)) => Response::Ok,
+            AdminResult::Created(Err(reason)) => Response::ClientError(reason),
+            AdminResult::Apps(apps) => Response::Apps(
+                apps.into_iter()
+                    .map(|(name, weight, budget_bytes)| crate::protocol::AppEntry {
+                        name,
+                        weight,
+                        budget_bytes,
+                    })
+                    .collect(),
+            ),
+        };
+        encode_response(&response, &mut self.out);
+        true
     }
 
     /// Reads whatever the socket has (bounded per pass).
@@ -205,19 +355,17 @@ impl Connection {
         }
     }
 
-    /// Parses and executes buffered commands until the input runs dry, the
-    /// output backs up past the watermark, or the client quits.
-    fn process(&mut self, cache: &SharedCache) -> Step {
+    /// Parses and executes buffered commands until the input runs dry, an
+    /// operation parks the connection, the output backs up past the
+    /// watermark, or the client quits.
+    fn process(&mut self, ctx: &mut Ctx<'_>) -> Step {
         let mut parsed = 0;
-        while self.pending_out() < OUT_HIGH_WATERMARK {
+        while self.pending.is_none() && self.pending_out() < OUT_HIGH_WATERMARK {
             match self.parser.parse(&mut self.inbuf) {
                 ParseOutcome::Complete(Command::Quit) => return Step::Quit,
                 ParseOutcome::Complete(command) => {
                     parsed += 1;
-                    let (response, suppress) = execute(&command, cache, &mut self.tenant);
-                    if !suppress {
-                        encode_response(&response, &mut self.out);
-                    }
+                    self.dispatch(command, ctx);
                 }
                 ParseOutcome::Invalid(message) => {
                     parsed += 1;
@@ -227,6 +375,232 @@ impl Connection {
             }
         }
         Step::Parsed(parsed)
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.op_seq += 1;
+        self.op_seq
+    }
+
+    /// Executes one command: route by key hash, run locally when this loop
+    /// owns the shard, forward and park otherwise.
+    fn dispatch(&mut self, command: Command, ctx: &mut Ctx<'_>) {
+        match command {
+            Command::Get { keys } => {
+                let seq = self.next_seq();
+                let mut results: Vec<Option<Option<(u32, Bytes)>>> = vec![None; keys.len()];
+                let mut remaining = 0usize;
+                for (slot, key) in keys.iter().enumerate() {
+                    let (shard, id, route) = ctx.state.route(self.tenant, key);
+                    match route {
+                        Ok(local) => {
+                            ctx.state.local_ops += 1;
+                            let outcome =
+                                ctx.state.apply(local, self.tenant, id, key, &DataVerb::Get);
+                            results[slot] = Some(match outcome {
+                                DataOutcome::Value(found) => found,
+                                DataOutcome::Flag(_) => None,
+                            });
+                        }
+                        Err(owner) => {
+                            remaining += 1;
+                            let op = DataOp {
+                                shard,
+                                tenant: self.tenant,
+                                id,
+                                key: key.clone(),
+                                verb: DataVerb::Get,
+                                reply: DataReplyTo::Conn {
+                                    origin: ctx.state.index,
+                                    token: ctx.token,
+                                    seq,
+                                    slot,
+                                },
+                            };
+                            ctx.state.forward(owner, LoopMsg::Data(op));
+                        }
+                    }
+                }
+                if remaining == 0 {
+                    self.emit_get(keys, results);
+                } else {
+                    self.pending = Some(Pending::Get {
+                        seq,
+                        keys,
+                        results,
+                        remaining,
+                    });
+                }
+            }
+            Command::Store {
+                verb,
+                key,
+                flags,
+                data,
+                noreply,
+                ..
+            } => {
+                let verb = match verb {
+                    StoreVerb::Set => DataVerb::Set { flags, data },
+                    StoreVerb::Add => DataVerb::Add { flags, data },
+                    StoreVerb::Replace => DataVerb::Replace { flags, data },
+                };
+                let (shard, id, route) = ctx.state.route(self.tenant, &key);
+                match route {
+                    Ok(local) => {
+                        ctx.state.local_ops += 1;
+                        let outcome = ctx.state.apply(local, self.tenant, id, &key, &verb);
+                        if !noreply {
+                            let stored = matches!(outcome, DataOutcome::Flag(true));
+                            let response = if stored {
+                                Response::Stored
+                            } else {
+                                Response::NotStored
+                            };
+                            encode_response(&response, &mut self.out);
+                        }
+                    }
+                    Err(owner) => {
+                        let seq = self.next_seq();
+                        let op = DataOp {
+                            shard,
+                            tenant: self.tenant,
+                            id,
+                            key,
+                            verb,
+                            reply: DataReplyTo::Conn {
+                                origin: ctx.state.index,
+                                token: ctx.token,
+                                seq,
+                                slot: 0,
+                            },
+                        };
+                        ctx.state.forward(owner, LoopMsg::Data(op));
+                        // Parked even on noreply: the next command must
+                        // observe this store, so program order requires the
+                        // reply before parsing resumes.
+                        self.pending = Some(Pending::Store { seq, noreply });
+                    }
+                }
+            }
+            Command::Delete { key, noreply } => {
+                let (shard, id, route) = ctx.state.route(self.tenant, &key);
+                match route {
+                    Ok(local) => {
+                        ctx.state.local_ops += 1;
+                        let outcome =
+                            ctx.state
+                                .apply(local, self.tenant, id, &key, &DataVerb::Delete);
+                        if !noreply {
+                            let deleted = matches!(outcome, DataOutcome::Flag(true));
+                            let response = if deleted {
+                                Response::Deleted
+                            } else {
+                                Response::NotFound
+                            };
+                            encode_response(&response, &mut self.out);
+                        }
+                    }
+                    Err(owner) => {
+                        let seq = self.next_seq();
+                        let op = DataOp {
+                            shard,
+                            tenant: self.tenant,
+                            id,
+                            key,
+                            verb: DataVerb::Delete,
+                            reply: DataReplyTo::Conn {
+                                origin: ctx.state.index,
+                                token: ctx.token,
+                                seq,
+                                slot: 0,
+                            },
+                        };
+                        ctx.state.forward(owner, LoopMsg::Data(op));
+                        self.pending = Some(Pending::Delete { seq, noreply });
+                    }
+                }
+            }
+            Command::App { id } => {
+                let response = match std::str::from_utf8(&id)
+                    .ok()
+                    .and_then(|name| ctx.state.tenant_lookup(name))
+                {
+                    Some(index) => {
+                        self.tenant = index;
+                        Response::Ok
+                    }
+                    None => Response::ClientError(format!(
+                        "unknown app {:?} (hosted: {})",
+                        String::from_utf8_lossy(&id),
+                        ctx.state.tenant_names().join(", ")
+                    )),
+                };
+                encode_response(&response, &mut self.out);
+            }
+            Command::AppCreate { name, weight } => match std::str::from_utf8(&name) {
+                Ok(name) => self.forward_admin(
+                    AdminOp::CreateTenant {
+                        name: name.to_string(),
+                        weight,
+                    },
+                    ctx,
+                ),
+                Err(_) => encode_response(
+                    &Response::ClientError("app names must be UTF-8".to_string()),
+                    &mut self.out,
+                ),
+            },
+            Command::AppList => self.forward_admin(AdminOp::AppList, ctx),
+            Command::Stats => self.forward_admin(AdminOp::Stats, ctx),
+            Command::Version => encode_response(
+                &Response::Version("cliffhanger-cache 0.1.0".to_string()),
+                &mut self.out,
+            ),
+            Command::FlushAll => {
+                // Tenant-scoped: one application flushing its namespace
+                // must never wipe another application's working set. On a
+                // single-tenant server this clears everything, as before.
+                self.forward_admin(
+                    AdminOp::FlushTenant {
+                        tenant: self.tenant,
+                    },
+                    ctx,
+                )
+            }
+            Command::Quit => encode_response(&Response::Ok, &mut self.out),
+        }
+    }
+
+    /// Hands an admin command to the control thread and parks until the
+    /// [`crate::plane::LoopMsg::AdminDone`] comes back.
+    fn forward_admin(&mut self, op: AdminOp, ctx: &mut Ctx<'_>) {
+        let seq = self.next_seq();
+        if ctx.state.forward_admin(op, ctx.token, seq) {
+            self.pending = Some(Pending::Admin { seq });
+        } else {
+            // The control thread is gone: the server is shutting down and
+            // this connection is about to be torn down with its loop.
+            encode_response(
+                &Response::ClientError("server is shutting down".to_string()),
+                &mut self.out,
+            );
+        }
+    }
+
+    /// Encodes a completed (multi-)get: hits in request order, misses
+    /// omitted, exactly like the inline path.
+    fn emit_get(&mut self, keys: Vec<Bytes>, results: Vec<Option<Option<(u32, Bytes)>>>) {
+        let values: Vec<Value> = keys
+            .into_iter()
+            .zip(results)
+            .filter_map(|(key, result)| {
+                result
+                    .flatten()
+                    .map(|(flags, data)| Value { key, flags, data })
+            })
+            .collect();
+        encode_response(&Response::Values(values), &mut self.out);
     }
 
     /// Writes as much parked output as the socket accepts.
@@ -251,110 +625,5 @@ impl Connection {
             self.out_pos = 0;
         }
         Flow::Open
-    }
-}
-
-/// Executes a command against the cache in the session's tenant namespace;
-/// returns the response and whether the reply should be suppressed
-/// (`noreply`). `app <name>` mutates the session's tenant.
-pub(crate) fn execute(
-    command: &Command,
-    cache: &SharedCache,
-    tenant: &mut usize,
-) -> (Response, bool) {
-    match command {
-        Command::Get { keys } => {
-            let values = keys
-                .iter()
-                .filter_map(|key| {
-                    cache.get_for(*tenant, key).map(|(flags, data)| Value {
-                        key: key.clone(),
-                        flags,
-                        data,
-                    })
-                })
-                .collect();
-            (Response::Values(values), false)
-        }
-        Command::Store {
-            verb,
-            key,
-            flags,
-            data,
-            noreply,
-            ..
-        } => {
-            let stored = match verb {
-                StoreVerb::Set => cache.set_for(*tenant, key, *flags, data.clone()),
-                StoreVerb::Add => cache.add_for(*tenant, key, *flags, data.clone()),
-                StoreVerb::Replace => cache.replace_for(*tenant, key, *flags, data.clone()),
-            };
-            let response = if stored {
-                Response::Stored
-            } else {
-                Response::NotStored
-            };
-            (response, *noreply)
-        }
-        Command::Delete { key, noreply } => {
-            let response = if cache.delete_for(*tenant, key) {
-                Response::Deleted
-            } else {
-                Response::NotFound
-            };
-            (response, *noreply)
-        }
-        Command::App { id } => {
-            let response = match std::str::from_utf8(id)
-                .ok()
-                .and_then(|name| cache.tenant_index(name))
-            {
-                Some(index) => {
-                    *tenant = index;
-                    Response::Ok
-                }
-                None => Response::ClientError(format!(
-                    "unknown app {:?} (hosted: {})",
-                    String::from_utf8_lossy(id),
-                    cache.tenant_names().join(", ")
-                )),
-            };
-            (response, false)
-        }
-        Command::AppCreate { name, weight } => {
-            let response = match std::str::from_utf8(name) {
-                Ok(name) => match cache.create_tenant(name, *weight) {
-                    Ok(_) => Response::Ok,
-                    Err(reason) => Response::ClientError(reason),
-                },
-                Err(_) => Response::ClientError("app names must be UTF-8".to_string()),
-            };
-            (response, false)
-        }
-        Command::AppList => {
-            let apps = cache
-                .app_list()
-                .into_iter()
-                .map(|(name, weight, budget_bytes)| crate::protocol::AppEntry {
-                    name,
-                    weight,
-                    budget_bytes,
-                })
-                .collect();
-            (Response::Apps(apps), false)
-        }
-        Command::Stats => (Response::Stats(cache.stats()), false),
-        Command::Version => (
-            Response::Version("cliffhanger-cache 0.1.0".to_string()),
-            false,
-        ),
-        Command::FlushAll => {
-            // Tenant-scoped: one application flushing its namespace must
-            // never wipe another application's working set. On a
-            // single-tenant server this clears everything, as before.
-            cache.flush_tenant(*tenant);
-            (Response::Ok, false)
-        }
-        Command::Quit => (Response::Ok, false),
     }
 }

@@ -15,24 +15,30 @@
 //! about Memcachier and Facebook in §5.6), which is exactly why a few
 //! loops are enough to saturate the cache.
 //!
+//! The served request path is *shared-nothing*: each epoll event loop owns
+//! the shards assigned to it (`shard % loops`) outright, requests are routed
+//! by key hash at the connection layer before touching any engine, and an
+//! op for a shard another loop owns is forwarded over that loop's wakeup
+//! pipe instead of taking a lock. Admin commands (`stats`, `flush_all`,
+//! `app_create`, `app_list`) and the budget-moving rounds run on a single
+//! control thread that converses with the loops by message, so they never
+//! head-of-line-block a serving loop. See `ARCHITECTURE.md` at the
+//! repository root for the full request lifecycle and message protocol.
+//!
 //! * [`protocol`] — parsing and serialising the Memcached ASCII protocol,
 //!   including the multi-tenant `app <name>` session selector and the
 //!   `app_create` / `app_list` live-onboarding admin commands. The
 //!   resumable [`protocol::Parser`] lets a connection pick a `set` back up
 //!   mid-value when the data block trickles in.
-//! * [`backend`] — the shared, N-way sharded, multi-tenant cache behind the
-//!   connections (exact byte-string keys on top of the 64-bit key space;
-//!   every shard hosts one engine *per tenant* with its own lock and
-//!   counters, per-tenant budgets rebalance across shards, a cross-tenant
-//!   arbiter replaces static reservations, and tenants can be onboarded
-//!   live with a budget carve-out).
-//! * [`reactor`] — the epoll event loops and the wakeup-pipe hand-off from
-//!   the acceptor (thin unsafe FFI against the system libc; no crates).
-//! * [`server`] — the TCP listener, accept gate and lifecycle.
+//! * [`backend`] — the embedded backend: the same sharded, multi-tenant
+//!   engine hierarchy behind one lock per engine, for tests, benches and
+//!   library consumers that call the cache in-process from many threads.
+//! * [`reactor`] — the epoll event loops, their mailboxes and the
+//!   wakeup-pipe hand-off (thin unsafe FFI against the system libc; no
+//!   crates).
+//! * [`server`] — the TCP listener, accept gate and lifecycle; its serving
+//!   side is the data plane in `plane` (exposed as [`PlaneHandle`]).
 //! * [`client`] — a blocking client for tests, benches and examples.
-//!
-//! (The old `threadpool` module is gone with the blocking I/O path — the
-//! reactor's event loops are the only serving threads.)
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -41,12 +47,16 @@
 pub mod backend;
 pub mod client;
 mod conn;
+mod engine;
+mod plane;
 pub mod protocol;
 pub mod reactor;
 pub mod server;
+mod stats;
 
 pub use backend::{detect_shards, BackendConfig, BackendMode, SharedCache, TenantSpec};
 pub use client::CacheClient;
+pub use plane::PlaneHandle;
 pub use protocol::{Command, Response};
 pub use reactor::ConnTelemetry;
 pub use server::{default_event_loops, CacheServer, ServerConfig};

@@ -1,0 +1,1410 @@
+//! The shared-nothing data plane: shards fused to event loops.
+//!
+//! Every cache shard is *owned* by exactly one reactor event loop
+//! (`owner(shard) = shard % loops`); the owning loop holds the shard's
+//! per-tenant [`Engine`]s by value — no mutex, no `RwLock`, no `Arc`
+//! refcount on the request path. A connection routes each key by hash in
+//! [`crate::conn`] before touching any engine:
+//!
+//! * keys owned by the connection's own loop execute immediately on the
+//!   loop thread (the fast path — zero shared locks);
+//! * keys owned by another loop are forwarded as a [`DataOp`] message over
+//!   that loop's wakeup mailbox; the connection parks (stops parsing) until
+//!   the [`LoopMsg::DataReply`] comes back, preserving per-connection
+//!   program order while its event loop keeps serving every sibling.
+//!
+//! Cross-cutting operations never touch the loops' owned state directly.
+//! A single *control thread* — the only blocking coordinator in the server
+//! — serialises them: `stats` fan-out, tenant `flush_all`, `app_create`
+//! carve-outs, and every [`ShardRebalancer`]/[`TenantArbiter`] budget
+//! transfer become [`ControlMsg`]s answered by the owning loops, so admin
+//! commands no longer head-of-line-block the loop that received them.
+//!
+//! # Invariants
+//!
+//! * **Budget conservation** — the control thread is the *sole* budget
+//!   mutator. Every transfer is shrink-then-grow: the winner is granted
+//!   only bytes the donor engine actually released (a donor pinned at its
+//!   slab-class floors contributes nothing), so the summed live budgets
+//!   never exceed `total_bytes`.
+//! * **No blocking loops** — event loops never wait on a lock or a reply;
+//!   only connections park. The control thread blocks on loop replies, and
+//!   loops answer control messages from their mailboxes, so the wait graph
+//!   is acyclic (control → loops, never loops → control).
+//! * **Tenant-table generation** — the name table used by the `app`
+//!   command is a per-loop copy refreshed when the shared generation
+//!   counter moves. The control thread bumps the generation only *after*
+//!   every owning loop has built the new tenant's engines, so a session
+//!   can never resolve a tenant whose cells do not exist yet.
+
+use crate::backend::{BackendConfig, BackendMode};
+use crate::engine::{even_split, route_key, weighted_split, Engine};
+use crate::reactor::{ConnTelemetry, Mailbox};
+use crate::stats::{
+    render_stats, BalanceCounters, EngineStat, PlaneStats, StatsSnapshot, WireCounts,
+};
+use bytes::Bytes;
+use cache_core::{Key, TenantDirectory};
+use cliffhanger::{ShardRebalancer, ShardSample, TenantArbiter, TenantSample};
+use parking_lot::Mutex;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything an event loop can find in its mailbox.
+pub(crate) enum LoopMsg {
+    /// A freshly accepted connection from the acceptor.
+    Conn(TcpStream),
+    /// A data operation forwarded by another loop (or a synchronous
+    /// [`PlaneHandle`] caller) for a shard this loop owns.
+    Data(DataOp),
+    /// The answer to a [`DataOp`] this loop forwarded for one of its
+    /// connections.
+    DataReply {
+        /// The origin connection's token on this loop.
+        token: u64,
+        /// The connection's op sequence number the reply answers.
+        seq: u64,
+        /// Multi-get slot index (0 for single-key ops).
+        slot: usize,
+        /// The operation's result.
+        outcome: DataOutcome,
+    },
+    /// The control thread finished an admin command a connection forwarded.
+    AdminDone {
+        /// The origin connection's token on this loop.
+        token: u64,
+        /// The connection's op sequence number the reply answers.
+        seq: u64,
+        /// The rendered result.
+        result: AdminResult,
+    },
+    /// A request from the control thread against this loop's owned state.
+    Control(ControlMsg),
+}
+
+/// One key's worth of work for the loop that owns `shard`.
+pub(crate) struct DataOp {
+    pub(crate) shard: usize,
+    pub(crate) tenant: usize,
+    pub(crate) id: Key,
+    pub(crate) key: Bytes,
+    pub(crate) verb: DataVerb,
+    pub(crate) reply: DataReplyTo,
+}
+
+/// The operation itself.
+pub(crate) enum DataVerb {
+    Get,
+    Set { flags: u32, data: Bytes },
+    Add { flags: u32, data: Bytes },
+    Replace { flags: u32, data: Bytes },
+    Delete,
+}
+
+/// Where a [`DataOp`]'s result goes.
+pub(crate) enum DataReplyTo {
+    /// Back to the loop whose connection issued it.
+    Conn {
+        origin: usize,
+        token: u64,
+        seq: u64,
+        slot: usize,
+    },
+    /// Straight to a blocked [`PlaneHandle`] caller.
+    Sync(Sender<DataOutcome>),
+}
+
+/// A [`DataOp`]'s result.
+#[derive(Clone, Debug)]
+pub(crate) enum DataOutcome {
+    /// GET: `(flags, data)` on an exact hit.
+    Value(Option<(u32, Bytes)>),
+    /// Store/delete verbs: success flag.
+    Flag(bool),
+}
+
+/// Control-thread requests against one loop's owned engines. Replies go
+/// over plain `mpsc` senders — the control thread is the only receiver and
+/// the only thread that ever blocks on them.
+pub(crate) enum ControlMsg {
+    /// Snapshot every owned engine's stats and the loop's counters.
+    Snapshot { reply: Sender<LoopSnapshot> },
+    /// Release budget from one engine (evicting as needed); reply whether
+    /// the bytes were actually released.
+    Shrink {
+        shard: usize,
+        tenant: usize,
+        bytes: u64,
+        reply: Sender<bool>,
+    },
+    /// Grant budget to one engine (always succeeds on managed engines).
+    Grow {
+        shard: usize,
+        tenant: usize,
+        bytes: u64,
+    },
+    /// Replace one engine with a fresh build at the given budget (tenant
+    /// `flush_all`). Wire counters survive, exactly as they did when the
+    /// engine lived behind a mutex in a persistent cell.
+    Rebuild {
+        shard: usize,
+        tenant: usize,
+        budget: u64,
+        reply: Sender<()>,
+    },
+    /// `app_create` carve-out: shrink the asked (shard, tenant) engines,
+    /// then bring up the new tenant's engine on every owned shard with the
+    /// bytes actually carved there. Replies the granted asks.
+    CarveAdd {
+        asks: Vec<(usize, usize, u64)>,
+        reply: Sender<Vec<(usize, usize, u64)>>,
+    },
+}
+
+/// What one loop reports to the control thread.
+pub(crate) struct LoopSnapshot {
+    pub(crate) loop_index: usize,
+    /// `(global shard index, per-tenant engine stats)` for owned shards.
+    pub(crate) engines: Vec<(usize, Vec<EngineStat>)>,
+    pub(crate) local_ops: u64,
+    pub(crate) remote_in: u64,
+    pub(crate) remote_out: u64,
+    pub(crate) admin_forwards: u64,
+}
+
+/// Requests to the control thread.
+pub(crate) enum CtrlReq {
+    /// A loop's op counter crossed a balancing interval.
+    Round { arbitrate: bool },
+    /// Run a round synchronously ([`PlaneHandle::rebalance_now`] etc.).
+    RoundSync { arbitrate: bool, done: Sender<()> },
+    /// An admin command forwarded off a connection (or a sync caller).
+    Admin { op: AdminOp, reply: AdminReply },
+    /// Exit the control thread.
+    Shutdown,
+}
+
+/// The admin commands the control thread serialises.
+pub(crate) enum AdminOp {
+    Stats,
+    FlushTenant { tenant: usize },
+    CreateTenant { name: String, weight: u64 },
+    AppList,
+}
+
+/// Where an admin result goes.
+pub(crate) enum AdminReply {
+    /// Back to the loop whose connection issued it (as
+    /// [`LoopMsg::AdminDone`]).
+    Conn { origin: usize, token: u64, seq: u64 },
+    /// Straight to a blocked [`PlaneHandle`] caller.
+    Sync(Sender<AdminResult>),
+}
+
+/// An admin command's result.
+pub(crate) enum AdminResult {
+    Stats(Vec<(String, String)>),
+    Flushed,
+    Created(Result<usize, String>),
+    Apps(Vec<(String, u64, u64)>),
+}
+
+/// The master tenant table. The control thread is the only writer; loops
+/// copy the name table out when the generation counter moves, and slow
+/// readers ([`PlaneHandle`] accessors, `stats` assembly) take the lock.
+/// The request fast path never touches it.
+pub(crate) struct RosterMaster {
+    pub(crate) directory: TenantDirectory,
+    pub(crate) weights: Vec<u64>,
+    /// Per-(tenant, shard) budgets at construction/creation time; the
+    /// flush-restore point.
+    pub(crate) initial_budgets: Vec<Vec<u64>>,
+    /// Live per-(tenant, shard) byte budgets.
+    pub(crate) budgets: Vec<Vec<u64>>,
+}
+
+impl RosterMaster {
+    pub(crate) fn tenant_budgets(&self) -> Vec<u64> {
+        self.budgets
+            .iter()
+            .map(|per_shard| per_shard.iter().sum())
+            .collect()
+    }
+
+    pub(crate) fn shard_budgets(&self, shards: usize) -> Vec<u64> {
+        (0..shards)
+            .map(|s| self.budgets.iter().map(|per_shard| per_shard[s]).sum())
+            .collect()
+    }
+}
+
+/// State shared by the loops, the control thread and the [`PlaneHandle`].
+pub(crate) struct PlaneShared {
+    pub(crate) config: BackendConfig,
+    pub(crate) shards: usize,
+    pub(crate) loops: usize,
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) ctrl: Sender<CtrlReq>,
+    /// Bumped by the control thread after every tenant-table change.
+    pub(crate) generation: AtomicU64,
+    pub(crate) roster: Mutex<RosterMaster>,
+    rebalance_pending: AtomicBool,
+    arbitrate_pending: AtomicBool,
+}
+
+impl PlaneShared {
+    /// The event loop that owns a shard.
+    pub(crate) fn owner_of(&self, shard: usize) -> usize {
+        shard % self.loops
+    }
+}
+
+/// One owned engine and its wire counters — plain fields, touched only by
+/// the owning loop thread.
+struct OwnedEngine {
+    engine: Engine,
+    gets: u64,
+    hits: u64,
+    sets: u64,
+    deletes: u64,
+}
+
+impl OwnedEngine {
+    fn new(engine: Engine) -> OwnedEngine {
+        OwnedEngine {
+            engine,
+            gets: 0,
+            hits: 0,
+            sets: 0,
+            deletes: 0,
+        }
+    }
+
+    fn wire_counts(&self) -> WireCounts {
+        WireCounts {
+            gets: self.gets,
+            hits: self.hits,
+            misses: self.gets.saturating_sub(self.hits),
+            sets: self.sets,
+            deletes: self.deletes,
+        }
+    }
+}
+
+/// One owned shard: an engine per tenant.
+struct OwnedShard {
+    global: usize,
+    cells: Vec<OwnedEngine>,
+}
+
+/// The loop-thread-owned half of the data plane: the engines of the shards
+/// this loop owns, the loop's copy of the tenant name table, its telemetry
+/// counters and its outbound message queues.
+pub(crate) struct LoopState {
+    pub(crate) index: usize,
+    pub(crate) shared: Arc<PlaneShared>,
+    /// Global shard index → position in `owned` (None = another loop's).
+    slots: Vec<Option<usize>>,
+    owned: Vec<OwnedShard>,
+    /// Loop-local tenant name table (the `app` command's view), refreshed
+    /// from the roster when the generation counter moves.
+    tenants: Vec<String>,
+    generation_seen: u64,
+    /// Data ops executed for this loop's own connections.
+    pub(crate) local_ops: u64,
+    /// Data ops executed on behalf of another loop.
+    pub(crate) remote_in: u64,
+    /// Data ops forwarded to other loops.
+    pub(crate) remote_out: u64,
+    /// Admin commands forwarded to the control thread.
+    pub(crate) admin_forwards: u64,
+    ops: u64,
+    rebalance_interval: u64,
+    arbitrate_interval: u64,
+    /// Per-target-loop outbound batches, flushed once per readiness pass.
+    outbound: Vec<Vec<LoopMsg>>,
+}
+
+impl LoopState {
+    fn new(index: usize, shared: Arc<PlaneShared>, initial_budgets: &[Vec<u64>]) -> LoopState {
+        let owned: Vec<OwnedShard> = (index..shared.shards)
+            .step_by(shared.loops)
+            .map(|s| OwnedShard {
+                global: s,
+                cells: initial_budgets
+                    .iter()
+                    .map(|per_shard| OwnedEngine::new(Engine::build(&shared.config, per_shard[s])))
+                    .collect(),
+            })
+            .collect();
+        let mut slots = vec![None; shared.shards];
+        for (i, shard) in owned.iter().enumerate() {
+            slots[shard.global] = Some(i);
+        }
+        let tenants = shared.roster.lock().directory.names().to_vec();
+        let loops = shared.loops as u64;
+        LoopState {
+            index,
+            slots,
+            owned,
+            tenants,
+            generation_seen: shared.generation.load(Ordering::Acquire),
+            local_ops: 0,
+            remote_in: 0,
+            remote_out: 0,
+            admin_forwards: 0,
+            ops: 0,
+            rebalance_interval: (shared.config.rebalance.interval_requests / loops).max(1),
+            arbitrate_interval: (shared.config.tenant_balance.interval_requests / loops).max(1),
+            outbound: (0..shared.loops).map(|_| Vec::new()).collect(),
+            shared,
+        }
+    }
+
+    /// Re-copies the tenant name table if the control thread changed it.
+    /// One relaxed atomic load on the no-change path.
+    pub(crate) fn refresh_tenants(&mut self) {
+        let generation = self.shared.generation.load(Ordering::Acquire);
+        if generation != self.generation_seen {
+            self.tenants = self.shared.roster.lock().directory.names().to_vec();
+            self.generation_seen = generation;
+        }
+    }
+
+    /// The loop-local tenant name table.
+    pub(crate) fn tenant_names(&self) -> &[String] {
+        &self.tenants
+    }
+
+    /// Resolves an `app` name against the loop-local table.
+    pub(crate) fn tenant_lookup(&self, name: &str) -> Option<usize> {
+        self.tenants.iter().position(|n| n == name)
+    }
+
+    /// Routes a key: `Ok(local slot)` when this loop owns the shard,
+    /// `Err(owner loop)` otherwise.
+    pub(crate) fn route(&self, tenant: usize, key: &[u8]) -> (usize, Key, Result<usize, usize>) {
+        let (shard, id) = route_key(tenant, key, self.shared.shards);
+        match self.slots[shard] {
+            Some(slot) => (shard, id, Ok(slot)),
+            None => (shard, id, Err(self.shared.owner_of(shard))),
+        }
+    }
+
+    /// Executes one data op against an owned engine. The zero-lock fast
+    /// path: a slot lookup, plain-field counter bumps and the engine call.
+    pub(crate) fn apply(
+        &mut self,
+        slot: usize,
+        tenant: usize,
+        id: Key,
+        key: &[u8],
+        verb: &DataVerb,
+    ) -> DataOutcome {
+        let shard = &mut self.owned[slot];
+        let Some(cell) = shard.cells.get_mut(tenant) else {
+            // A tenant index this loop has not materialised (impossible by
+            // the generation protocol; never panic the loop over it).
+            return match verb {
+                DataVerb::Get => DataOutcome::Value(None),
+                _ => DataOutcome::Flag(false),
+            };
+        };
+        let outcome = match verb {
+            DataVerb::Get => {
+                cell.gets += 1;
+                match cell.engine.wire_get(id, key) {
+                    Some(found) => {
+                        cell.hits += 1;
+                        DataOutcome::Value(Some(found))
+                    }
+                    None => DataOutcome::Value(None),
+                }
+            }
+            DataVerb::Set { flags, data } => {
+                cell.sets += 1;
+                DataOutcome::Flag(cell.engine.wire_set(id, key, *flags, data.clone()))
+            }
+            DataVerb::Add { flags, data } => {
+                if cell.engine.contains_exact(id, key) {
+                    DataOutcome::Flag(false)
+                } else {
+                    cell.sets += 1;
+                    DataOutcome::Flag(cell.engine.wire_set(id, key, *flags, data.clone()))
+                }
+            }
+            DataVerb::Replace { flags, data } => {
+                if !cell.engine.contains_exact(id, key) {
+                    DataOutcome::Flag(false)
+                } else {
+                    cell.sets += 1;
+                    DataOutcome::Flag(cell.engine.wire_set(id, key, *flags, data.clone()))
+                }
+            }
+            DataVerb::Delete => {
+                cell.deletes += 1;
+                if !cell.engine.contains_exact(id, key) {
+                    DataOutcome::Flag(false)
+                } else {
+                    DataOutcome::Flag(cell.engine.delete(id))
+                }
+            }
+        };
+        self.tick();
+        outcome
+    }
+
+    /// Counts one executed data op and nudges the control thread when a
+    /// balancing interval elapses. The pending flags collapse concurrent
+    /// triggers from many loops into one queued round.
+    fn tick(&mut self) {
+        let config = &self.shared.config;
+        let rebalance = config.rebalance.enabled
+            && self.shared.shards > 1
+            && config.mode != BackendMode::Default;
+        let arbitrate = config.tenant_balance.enabled
+            && self.tenants.len() > 1
+            && config.mode != BackendMode::Default;
+        if !rebalance && !arbitrate {
+            return;
+        }
+        self.ops += 1;
+        if rebalance
+            && self.ops % self.rebalance_interval == 0
+            && !self.shared.rebalance_pending.swap(true, Ordering::AcqRel)
+        {
+            let _ = self.shared.ctrl.send(CtrlReq::Round { arbitrate: false });
+        }
+        if arbitrate
+            && self.ops % self.arbitrate_interval == 0
+            && !self.shared.arbitrate_pending.swap(true, Ordering::AcqRel)
+        {
+            let _ = self.shared.ctrl.send(CtrlReq::Round { arbitrate: true });
+        }
+    }
+
+    /// Queues a message for another loop; batches are flushed (one mailbox
+    /// lock + one wakeup per target) at the end of the readiness pass.
+    pub(crate) fn forward(&mut self, target: usize, msg: LoopMsg) {
+        if matches!(msg, LoopMsg::Data(_)) {
+            self.remote_out += 1;
+        }
+        self.outbound[target].push(msg);
+    }
+
+    /// Forwards an admin command to the control thread. Returns whether the
+    /// control thread is still there to answer.
+    pub(crate) fn forward_admin(&mut self, op: AdminOp, token: u64, seq: u64) -> bool {
+        self.admin_forwards += 1;
+        self.shared
+            .ctrl
+            .send(CtrlReq::Admin {
+                op,
+                reply: AdminReply::Conn {
+                    origin: self.index,
+                    token,
+                    seq,
+                },
+            })
+            .is_ok()
+    }
+
+    /// Sends every queued outbound batch.
+    pub(crate) fn flush_outbound(&mut self) {
+        for target in 0..self.outbound.len() {
+            if self.outbound[target].is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(&mut self.outbound[target]);
+            // A refused batch means the target loop is tearing down; its
+            // connections are gone with it, so the replies are moot.
+            let _ = self.shared.mailboxes[target].send_many(batch);
+        }
+    }
+
+    /// Executes a [`DataOp`] another loop (or a sync caller) forwarded here
+    /// and routes the outcome back.
+    pub(crate) fn serve_remote(&mut self, op: DataOp) {
+        self.remote_in += 1;
+        let outcome = match self.slots[op.shard] {
+            Some(slot) => self.apply(slot, op.tenant, op.id, &op.key, &op.verb),
+            // Only reachable if ownership and routing disagree — fail the
+            // op rather than wedge the issuing connection.
+            None => match op.verb {
+                DataVerb::Get => DataOutcome::Value(None),
+                _ => DataOutcome::Flag(false),
+            },
+        };
+        match op.reply {
+            DataReplyTo::Conn {
+                origin,
+                token,
+                seq,
+                slot,
+            } => self.forward(
+                origin,
+                LoopMsg::DataReply {
+                    token,
+                    seq,
+                    slot,
+                    outcome,
+                },
+            ),
+            DataReplyTo::Sync(tx) => {
+                let _ = tx.send(outcome);
+            }
+        }
+    }
+
+    /// Serves a control-thread request against the owned engines.
+    pub(crate) fn serve_control(&mut self, msg: ControlMsg) {
+        match msg {
+            ControlMsg::Snapshot { reply } => {
+                let _ = reply.send(self.snapshot());
+            }
+            ControlMsg::Shrink {
+                shard,
+                tenant,
+                bytes,
+                reply,
+            } => {
+                let released = self.slots[shard]
+                    .and_then(|slot| self.owned[slot].cells.get_mut(tenant))
+                    .map(|cell| cell.engine.shrink_total(bytes))
+                    .unwrap_or(false);
+                let _ = reply.send(released);
+            }
+            ControlMsg::Grow {
+                shard,
+                tenant,
+                bytes,
+            } => {
+                if let Some(cell) =
+                    self.slots[shard].and_then(|slot| self.owned[slot].cells.get_mut(tenant))
+                {
+                    cell.engine.grow_total(bytes);
+                }
+            }
+            ControlMsg::Rebuild {
+                shard,
+                tenant,
+                budget,
+                reply,
+            } => {
+                let config = Arc::clone(&self.shared);
+                if let Some(cell) =
+                    self.slots[shard].and_then(|slot| self.owned[slot].cells.get_mut(tenant))
+                {
+                    cell.engine = Engine::build(&config.config, budget);
+                }
+                let _ = reply.send(());
+            }
+            ControlMsg::CarveAdd { asks, reply } => {
+                let shared = Arc::clone(&self.shared);
+                let mut granted: Vec<(usize, usize, u64)> = Vec::new();
+                let mut carved = vec![0u64; shared.shards];
+                for (shard, tenant, bytes) in asks {
+                    let released = self.slots[shard]
+                        .and_then(|slot| self.owned[slot].cells.get_mut(tenant))
+                        .map(|cell| cell.engine.shrink_total(bytes))
+                        .unwrap_or(false);
+                    if released {
+                        granted.push((shard, tenant, bytes));
+                        carved[shard] += bytes;
+                    }
+                }
+                for shard in self.owned.iter_mut() {
+                    shard.cells.push(OwnedEngine::new(Engine::build(
+                        &shared.config,
+                        carved[shard.global].max(1),
+                    )));
+                }
+                let _ = reply.send(granted);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> LoopSnapshot {
+        LoopSnapshot {
+            loop_index: self.index,
+            engines: self
+                .owned
+                .iter()
+                .map(|shard| {
+                    (
+                        shard.global,
+                        shard
+                            .cells
+                            .iter()
+                            .map(|cell| EngineStat {
+                                wire: cell.wire_counts(),
+                                core: cell.engine.stats(),
+                                used: cell.engine.used_bytes(),
+                                items: cell.engine.len(),
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+            local_ops: self.local_ops,
+            remote_in: self.remote_in,
+            remote_out: self.remote_out,
+            admin_forwards: self.admin_forwards,
+        }
+    }
+}
+
+/// The control thread: the single blocking coordinator behind rounds,
+/// flushes, tenant onboarding and `stats` assembly. It owns both
+/// balancers' decision state outright — being single-threaded replaces
+/// every `try_lock` dance the mutex-based backend needed.
+struct Control {
+    shared: Arc<PlaneShared>,
+    rx: Receiver<CtrlReq>,
+    telemetry: Arc<ConnTelemetry>,
+    balancers: Vec<ShardRebalancer>,
+    arbiter: TenantArbiter,
+    rebalance_runs: u64,
+    rebalance_transfers: u64,
+    rebalance_bytes: u64,
+    arbiter_runs: u64,
+    arbiter_transfers: u64,
+    arbiter_bytes: u64,
+    admin_msgs: u64,
+    idle_timeout_ms: u64,
+}
+
+impl Control {
+    fn run(mut self) {
+        while let Ok(req) = self.rx.recv() {
+            match req {
+                CtrlReq::Round { arbitrate } => {
+                    // Clear the pending flag before running so a trigger
+                    // that fires mid-round queues exactly one more round.
+                    if arbitrate {
+                        self.shared
+                            .arbitrate_pending
+                            .store(false, Ordering::Release);
+                        self.arbitrate();
+                    } else {
+                        self.shared
+                            .rebalance_pending
+                            .store(false, Ordering::Release);
+                        self.rebalance();
+                    }
+                }
+                CtrlReq::RoundSync { arbitrate, done } => {
+                    if arbitrate {
+                        self.arbitrate();
+                    } else {
+                        self.rebalance();
+                    }
+                    let _ = done.send(());
+                }
+                CtrlReq::Admin { op, reply } => {
+                    self.admin_msgs += 1;
+                    let result = match op {
+                        AdminOp::Stats => AdminResult::Stats(self.stats()),
+                        AdminOp::FlushTenant { tenant } => {
+                            self.flush_tenant(tenant);
+                            AdminResult::Flushed
+                        }
+                        AdminOp::CreateTenant { name, weight } => {
+                            AdminResult::Created(self.create_tenant(&name, weight))
+                        }
+                        AdminOp::AppList => AdminResult::Apps(self.app_list()),
+                    };
+                    match reply {
+                        AdminReply::Conn { origin, token, seq } => {
+                            let _ = self.shared.mailboxes[origin].send(LoopMsg::AdminDone {
+                                token,
+                                seq,
+                                result,
+                            });
+                        }
+                        AdminReply::Sync(tx) => {
+                            let _ = tx.send(result);
+                        }
+                    }
+                }
+                CtrlReq::Shutdown => break,
+            }
+        }
+    }
+
+    fn rebalance_active(&self) -> bool {
+        self.shared.config.rebalance.enabled
+            && self.shared.shards > 1
+            && self.shared.config.mode != BackendMode::Default
+    }
+
+    fn arbiter_active(&self) -> bool {
+        self.shared.config.tenant_balance.enabled
+            && self.shared.roster.lock().directory.len() > 1
+            && self.shared.config.mode != BackendMode::Default
+    }
+
+    /// Asks every live loop for a snapshot and collects the answers. A
+    /// loop that died mid-request simply drops its reply sender, so the
+    /// collection never hangs.
+    fn gather(&self) -> Vec<Option<LoopSnapshot>> {
+        let (tx, rx) = channel();
+        for mailbox in &self.shared.mailboxes {
+            let _ = mailbox.send(LoopMsg::Control(ControlMsg::Snapshot { reply: tx.clone() }));
+        }
+        drop(tx);
+        let mut out: Vec<Option<LoopSnapshot>> = (0..self.shared.loops).map(|_| None).collect();
+        while let Ok(snap) = rx.recv() {
+            let index = snap.loop_index;
+            out[index] = Some(snap);
+        }
+        out
+    }
+
+    /// Shadow-hit counters indexed `[shard][tenant]`, zero for any shard
+    /// whose loop did not answer.
+    fn shadow_grid(&self, snaps: &[Option<LoopSnapshot>], tenants: usize) -> Vec<Vec<u64>> {
+        let mut grid = vec![vec![0u64; tenants]; self.shared.shards];
+        for snap in snaps.iter().flatten() {
+            for (shard, cells) in &snap.engines {
+                for (t, cell) in cells.iter().enumerate().take(tenants) {
+                    grid[*shard][t] = cell.core.shadow_hits;
+                }
+            }
+        }
+        grid
+    }
+
+    /// One shrink round-trip against the owning loop. `false` when the
+    /// donor engine is pinned at its floors (or the loop is gone) — the
+    /// transfer is simply skipped and re-decided from real budgets next
+    /// round.
+    fn shrink_on_owner(&self, shard: usize, tenant: usize, bytes: u64) -> bool {
+        let (tx, rx) = channel();
+        let owner = self.shared.owner_of(shard);
+        if self.shared.mailboxes[owner]
+            .send(LoopMsg::Control(ControlMsg::Shrink {
+                shard,
+                tenant,
+                bytes,
+                reply: tx,
+            }))
+            .is_err()
+        {
+            return false;
+        }
+        rx.recv().unwrap_or(false)
+    }
+
+    fn grow_on_owner(&self, shard: usize, tenant: usize, bytes: u64) {
+        let owner = self.shared.owner_of(shard);
+        let _ = self.shared.mailboxes[owner].send(LoopMsg::Control(ControlMsg::Grow {
+            shard,
+            tenant,
+            bytes,
+        }));
+    }
+
+    /// One cross-shard rebalancing round per tenant: snapshot the gradient
+    /// signal, decide, then move budget shrink-first so the total can
+    /// momentarily dip but never exceed the configured bytes.
+    fn rebalance(&mut self) {
+        if !self.rebalance_active() {
+            return;
+        }
+        let shared = Arc::clone(&self.shared);
+        let snaps = self.gather();
+        let mut roster = shared.roster.lock();
+        let tenants = roster.directory.len();
+        let grid = self.shadow_grid(&snaps, tenants);
+        for t in 0..tenants {
+            let samples: Vec<ShardSample> = (0..shared.shards)
+                .map(|s| ShardSample {
+                    shadow_hits: grid[s][t],
+                    budget_bytes: roster.budgets[t][s],
+                })
+                .collect();
+            for tr in self.balancers[t].rebalance(&samples) {
+                if self.shrink_on_owner(tr.from, t, tr.bytes) {
+                    roster.budgets[t][tr.from] -= tr.bytes;
+                    self.grow_on_owner(tr.to, t, tr.bytes);
+                    roster.budgets[t][tr.to] += tr.bytes;
+                    self.rebalance_transfers += 1;
+                    self.rebalance_bytes += tr.bytes;
+                }
+            }
+        }
+        self.rebalance_runs += 1;
+    }
+
+    /// One cross-tenant arbitration round. A tenant transfer is spread
+    /// across every shard: each shard's donor slice is shrunk (evicting
+    /// immediately, so the released bytes are real) and the winner grows
+    /// by exactly the released slice — shard-local symmetry keeps the
+    /// summed budget conserved even if some slices fail on their floors.
+    fn arbitrate(&mut self) {
+        if !self.arbiter_active() {
+            return;
+        }
+        let shared = Arc::clone(&self.shared);
+        let snaps = self.gather();
+        let mut roster = shared.roster.lock();
+        let tenants = roster.directory.len();
+        let grid = self.shadow_grid(&snaps, tenants);
+        let n = shared.shards as u64;
+        let samples: Vec<TenantSample> = (0..tenants)
+            .map(|t| TenantSample {
+                shadow_hits: (0..shared.shards).map(|s| grid[s][t]).sum(),
+                budget_bytes: roster.budgets[t].iter().sum(),
+            })
+            .collect();
+        for tr in self.arbiter.arbitrate(&samples) {
+            let mut moved = 0u64;
+            for s in 0..shared.shards {
+                let slice = tr.bytes / n + u64::from((s as u64) < tr.bytes % n);
+                if slice == 0 {
+                    continue;
+                }
+                if !self.shrink_on_owner(s, tr.from, slice) {
+                    continue;
+                }
+                roster.budgets[tr.from][s] -= slice;
+                self.grow_on_owner(s, tr.to, slice);
+                roster.budgets[tr.to][s] += slice;
+                moved += slice;
+            }
+            if moved > 0 {
+                self.arbiter_transfers += 1;
+                self.arbiter_bytes += moved;
+            }
+        }
+        self.arbiter_runs += 1;
+    }
+
+    /// Tenant `flush_all`: rebuild the tenant's engine on every shard at an
+    /// even split of its *current* (arbitrated) budget. Rebuilds run
+    /// donors-first (largest budget surplus first), one blocking round-trip
+    /// at a time, so the tenant's summed live targets never overshoot its
+    /// total while traffic keeps filling the other shards.
+    fn flush_tenant(&mut self, tenant: usize) {
+        let shared = Arc::clone(&self.shared);
+        let mut roster = shared.roster.lock();
+        if tenant >= roster.directory.len() {
+            return;
+        }
+        let total: u64 = roster.budgets[tenant].iter().sum();
+        let shares = even_split(total.max(1), shared.shards);
+        let mut order: Vec<usize> = (0..shared.shards).collect();
+        order.sort_by_key(|&s| {
+            std::cmp::Reverse(roster.budgets[tenant][s].saturating_sub(shares[s]))
+        });
+        for s in order {
+            let (tx, rx) = channel();
+            let owner = shared.owner_of(s);
+            if shared.mailboxes[owner]
+                .send(LoopMsg::Control(ControlMsg::Rebuild {
+                    shard: s,
+                    tenant,
+                    budget: shares[s],
+                    reply: tx,
+                }))
+                .is_ok()
+            {
+                let _ = rx.recv();
+            }
+            roster.budgets[tenant][s] = shares[s];
+        }
+        self.balancers[tenant].reset();
+    }
+
+    /// Hosts a new application live (`app_create`): validate, carve a
+    /// weight-proportional budget out of every existing tenant's engines
+    /// via the owning loops, then publish the new tenant table. Only bytes
+    /// actually released are granted, so the configured total is conserved
+    /// exactly. The generation counter moves *after* every loop has built
+    /// the new engines.
+    fn create_tenant(&mut self, name: &str, weight: u64) -> Result<usize, String> {
+        if !TenantDirectory::valid_name(name) {
+            return Err(format!(
+                "invalid app name {name:?}: need 1-64 ASCII graphic bytes, no ':'"
+            ));
+        }
+        if weight == 0 {
+            return Err("app weight must be at least 1".to_string());
+        }
+        let shared = Arc::clone(&self.shared);
+        let mut roster = shared.roster.lock();
+        if roster.directory.index_of(name).is_some() {
+            return Err(format!("app {name:?} already exists"));
+        }
+        let n = shared.shards;
+        let tenants = roster.directory.len();
+        let sum_weights: u64 = roster.weights.iter().sum();
+        let target_total = (shared.config.total_bytes as u128 * weight as u128
+            / (sum_weights + weight) as u128) as u64;
+        let target_slices = even_split(target_total.max(1), n);
+        let mut per_loop: Vec<Vec<(usize, usize, u64)>> =
+            (0..shared.loops).map(|_| Vec::new()).collect();
+        for (s, &target_slice) in target_slices.iter().enumerate() {
+            let shard_total: u64 = (0..tenants).map(|t| roster.budgets[t][s]).sum();
+            for t in 0..tenants {
+                let ask = (target_slice as u128 * roster.budgets[t][s] as u128
+                    / shard_total.max(1) as u128) as u64;
+                if ask > 0 {
+                    per_loop[shared.owner_of(s)].push((s, t, ask));
+                }
+            }
+        }
+        let (tx, rx) = channel();
+        for (i, asks) in per_loop.into_iter().enumerate() {
+            // Loop i owns shard i (and every loops-th after it) iff
+            // i < shards; owner loops with no asks still must build the
+            // new tenant's cells.
+            if i < n {
+                let _ = shared.mailboxes[i].send(LoopMsg::Control(ControlMsg::CarveAdd {
+                    asks,
+                    reply: tx.clone(),
+                }));
+            }
+        }
+        drop(tx);
+        let mut carved_per_shard = vec![0u64; n];
+        while let Ok(granted) = rx.recv() {
+            for (s, t, bytes) in granted {
+                roster.budgets[t][s] -= bytes;
+                carved_per_shard[s] += bytes;
+            }
+        }
+        // Rebase every tenant's flush-restore point to the post-carve live
+        // split: restoring the donors' pre-carve budgets on `flush` while
+        // the new tenant keeps its carve would over-commit the total.
+        for t in 0..tenants {
+            for s in 0..n {
+                roster.initial_budgets[t][s] = roster.budgets[t][s];
+            }
+        }
+        let index = roster.directory.add(name);
+        roster.weights.push(weight);
+        roster.budgets.push(carved_per_shard.clone());
+        roster.initial_budgets.push(carved_per_shard);
+        self.balancers
+            .push(ShardRebalancer::new(n, shared.config.rebalance.clone()));
+        self.arbiter =
+            TenantArbiter::new(roster.directory.len(), shared.config.tenant_balance.clone());
+        // Publish only now, with every owning loop's cells in place.
+        shared.generation.fetch_add(1, Ordering::AcqRel);
+        Ok(index)
+    }
+
+    fn app_list(&self) -> Vec<(String, u64, u64)> {
+        let roster = self.shared.roster.lock();
+        (0..roster.directory.len())
+            .map(|t| {
+                (
+                    roster.directory.name(t).to_string(),
+                    roster.weights[t],
+                    roster.budgets[t].iter().sum(),
+                )
+            })
+            .collect()
+    }
+
+    /// Assembles the full `stats` report from loop snapshots, the roster
+    /// and the control thread's own round counters.
+    fn stats(&self) -> Vec<(String, String)> {
+        let shared = Arc::clone(&self.shared);
+        let snaps = self.gather();
+        let roster = shared.roster.lock();
+        let tenants = roster.directory.len();
+        let mut cells = vec![vec![EngineStat::default(); tenants]; shared.shards];
+        let mut per_loop = vec![(0u64, 0u64, 0u64); shared.loops];
+        // Loops count what they forwarded, control counts what it served;
+        // the two only differ transiently (a forward still in flight) or
+        // for admin calls arriving through the synchronous handle instead
+        // of a connection — report whichever saw more.
+        let forwarded: u64 = snaps.iter().flatten().map(|s| s.admin_forwards).sum();
+        let admin_msgs = self.admin_msgs.max(forwarded);
+        for snap in snaps.iter().flatten() {
+            per_loop[snap.loop_index] = (snap.local_ops, snap.remote_in, snap.remote_out);
+            for (shard, engines) in &snap.engines {
+                for (t, cell) in engines.iter().enumerate().take(tenants) {
+                    cells[*shard][t] = cell.clone();
+                }
+            }
+        }
+        let snapshot = StatsSnapshot {
+            total_bytes: shared.config.total_bytes,
+            mode: shared.config.mode,
+            requested_shards: shared.config.requested_shards(),
+            cells,
+            tenant_names: roster.directory.names().to_vec(),
+            tenant_budgets: roster.tenant_budgets(),
+            shard_budgets: roster.shard_budgets(shared.shards),
+            balance: BalanceCounters {
+                rebalance_enabled: self.rebalance_active(),
+                rebalance_runs: self.rebalance_runs,
+                rebalance_transfers: self.rebalance_transfers,
+                rebalance_bytes: self.rebalance_bytes,
+                arbiter_enabled: shared.config.tenant_balance.enabled
+                    && tenants > 1
+                    && shared.config.mode != BackendMode::Default,
+                arbiter_runs: self.arbiter_runs,
+                arbiter_transfers: self.arbiter_transfers,
+                arbiter_bytes: self.arbiter_bytes,
+            },
+        };
+        let plane = PlaneStats {
+            owner_of: (0..shared.shards).map(|s| shared.owner_of(s)).collect(),
+            per_loop,
+            admin_msgs,
+            idle_timeout_ms: self.idle_timeout_ms,
+        };
+        render_stats(&snapshot, Some(&self.telemetry), Some(&plane))
+    }
+}
+
+/// The public handle to a running data plane: the synchronous view
+/// benchmarks, sweeps and tests use ([`crate::server::CacheServer::cache`]
+/// returns it). Every method is a message round-trip to the owning loop or
+/// the control thread; after shutdown they degrade to misses/defaults
+/// instead of panicking.
+pub struct PlaneHandle {
+    shared: Arc<PlaneShared>,
+}
+
+impl PlaneHandle {
+    fn data_op(&self, tenant: usize, key: &[u8], verb: DataVerb) -> Option<DataOutcome> {
+        let (shard, id) = route_key(tenant, key, self.shared.shards);
+        let owner = self.shared.owner_of(shard);
+        let (tx, rx) = channel();
+        self.shared.mailboxes[owner]
+            .send(LoopMsg::Data(DataOp {
+                shard,
+                tenant,
+                id,
+                key: Bytes::copy_from_slice(key),
+                verb,
+                reply: DataReplyTo::Sync(tx),
+            }))
+            .ok()?;
+        rx.recv().ok()
+    }
+
+    fn admin(&self, op: AdminOp) -> Option<AdminResult> {
+        let (tx, rx) = channel();
+        self.shared
+            .ctrl
+            .send(CtrlReq::Admin {
+                op,
+                reply: AdminReply::Sync(tx),
+            })
+            .ok()?;
+        rx.recv().ok()
+    }
+
+    /// Looks up a key for one tenant, returning its flags and value on an
+    /// exact match.
+    pub fn get_for(&self, tenant: usize, key: &[u8]) -> Option<(u32, Bytes)> {
+        match self.data_op(tenant, key, DataVerb::Get)? {
+            DataOutcome::Value(found) => found,
+            DataOutcome::Flag(_) => None,
+        }
+    }
+
+    /// Stores a key for one tenant unconditionally. Returns `false` only
+    /// if the item could not be admitted.
+    pub fn set_for(&self, tenant: usize, key: &[u8], flags: u32, data: Bytes) -> bool {
+        matches!(
+            self.data_op(tenant, key, DataVerb::Set { flags, data }),
+            Some(DataOutcome::Flag(true))
+        )
+    }
+
+    /// Stores a key for one tenant only if it is absent (`add`).
+    pub fn add_for(&self, tenant: usize, key: &[u8], flags: u32, data: Bytes) -> bool {
+        matches!(
+            self.data_op(tenant, key, DataVerb::Add { flags, data }),
+            Some(DataOutcome::Flag(true))
+        )
+    }
+
+    /// Stores a key for one tenant only if it is present (`replace`).
+    pub fn replace_for(&self, tenant: usize, key: &[u8], flags: u32, data: Bytes) -> bool {
+        matches!(
+            self.data_op(tenant, key, DataVerb::Replace { flags, data }),
+            Some(DataOutcome::Flag(true))
+        )
+    }
+
+    /// Deletes a key for one tenant; returns whether it was present.
+    pub fn delete_for(&self, tenant: usize, key: &[u8]) -> bool {
+        matches!(
+            self.data_op(tenant, key, DataVerb::Delete),
+            Some(DataOutcome::Flag(true))
+        )
+    }
+
+    /// Looks up a key for the default tenant.
+    pub fn get(&self, key: &[u8]) -> Option<(u32, Bytes)> {
+        self.get_for(0, key)
+    }
+
+    /// Stores a key for the default tenant.
+    pub fn set(&self, key: &[u8], flags: u32, data: Bytes) -> bool {
+        self.set_for(0, key, flags, data)
+    }
+
+    /// `add` for the default tenant.
+    pub fn add(&self, key: &[u8], flags: u32, data: Bytes) -> bool {
+        self.add_for(0, key, flags, data)
+    }
+
+    /// `replace` for the default tenant.
+    pub fn replace(&self, key: &[u8], flags: u32, data: Bytes) -> bool {
+        self.replace_for(0, key, flags, data)
+    }
+
+    /// Deletes a key for the default tenant.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        self.delete_for(0, key)
+    }
+
+    /// The full `stats` report (empty after shutdown).
+    pub fn stats(&self) -> Vec<(String, String)> {
+        match self.admin(AdminOp::Stats) {
+            Some(AdminResult::Stats(lines)) => lines,
+            _ => Vec::new(),
+        }
+    }
+
+    /// Drops every item of one tenant, keeping (but re-splitting) its
+    /// arbitrated budget.
+    pub fn flush_tenant(&self, tenant: usize) {
+        let _ = self.admin(AdminOp::FlushTenant { tenant });
+    }
+
+    /// Hosts a new application live; returns its tenant index.
+    pub fn create_tenant(&self, name: &str, weight: u64) -> Result<usize, String> {
+        match self.admin(AdminOp::CreateTenant {
+            name: name.to_string(),
+            weight,
+        }) {
+            Some(AdminResult::Created(result)) => result,
+            _ => Err("server is shutting down".to_string()),
+        }
+    }
+
+    /// The hosted applications as `(name, weight, live budget bytes)`.
+    pub fn app_list(&self) -> Vec<(String, u64, u64)> {
+        let roster = self.shared.roster.lock();
+        (0..roster.directory.len())
+            .map(|t| {
+                (
+                    roster.directory.name(t).to_string(),
+                    roster.weights[t],
+                    roster.budgets[t].iter().sum(),
+                )
+            })
+            .collect()
+    }
+
+    /// Runs one cross-shard rebalancing round per tenant, synchronously.
+    pub fn rebalance_now(&self) {
+        let (tx, rx) = channel();
+        if self
+            .shared
+            .ctrl
+            .send(CtrlReq::RoundSync {
+                arbitrate: false,
+                done: tx,
+            })
+            .is_ok()
+        {
+            let _ = rx.recv();
+        }
+    }
+
+    /// Runs one cross-tenant arbitration round, synchronously.
+    pub fn arbitrate_now(&self) {
+        let (tx, rx) = channel();
+        if self
+            .shared
+            .ctrl
+            .send(CtrlReq::RoundSync {
+                arbitrate: true,
+                done: tx,
+            })
+            .is_ok()
+        {
+            let _ = rx.recv();
+        }
+    }
+
+    /// Number of shards the plane is running.
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards
+    }
+
+    /// Number of event loops the shards are fused to.
+    pub fn event_loops(&self) -> usize {
+        self.shared.loops
+    }
+
+    /// The event loop owning a shard.
+    pub fn shard_owner(&self, shard: usize) -> usize {
+        self.shared.owner_of(shard)
+    }
+
+    /// The hosted tenant names (default first).
+    pub fn tenant_names(&self) -> Vec<String> {
+        self.shared.roster.lock().directory.names().to_vec()
+    }
+
+    /// The dense index of a tenant name, if hosted.
+    pub fn tenant_index(&self, name: &str) -> Option<usize> {
+        self.shared.roster.lock().directory.index_of(name)
+    }
+
+    /// Number of tenants hosted (at least 1).
+    pub fn tenant_count(&self) -> usize {
+        self.shared.roster.lock().directory.len()
+    }
+
+    /// The live per-tenant byte budgets.
+    pub fn tenant_budgets(&self) -> Vec<u64> {
+        self.shared.roster.lock().tenant_budgets()
+    }
+
+    /// The live per-shard byte budgets.
+    pub fn shard_budgets(&self) -> Vec<u64> {
+        let shards = self.shared.shards;
+        self.shared.roster.lock().shard_budgets(shards)
+    }
+
+    /// The backend mode the plane runs.
+    pub fn mode(&self) -> BackendMode {
+        self.shared.config.mode
+    }
+}
+
+/// A running data plane: the loops, the control thread and the handle.
+pub(crate) struct Plane {
+    pub(crate) handle: Arc<PlaneHandle>,
+    pub(crate) loops: Arc<Vec<crate::reactor::LoopHandle>>,
+    pub(crate) ctrl: Sender<CtrlReq>,
+    control: Option<JoinHandle<()>>,
+}
+
+impl Plane {
+    /// Builds the roster, fuses shards to `workers` event loops, spawns
+    /// them and the control thread.
+    pub(crate) fn start(
+        config: BackendConfig,
+        workers: usize,
+        telemetry: Arc<ConnTelemetry>,
+        idle_timeout: Option<Duration>,
+    ) -> std::io::Result<Plane> {
+        let directory = config.tenant_directory();
+        let weights = config.tenant_weights(&directory);
+        let requested = config.requested_shards();
+        let shards = config.resolved_shards();
+        if shards < requested {
+            eprintln!(
+                "plane: shard count clamped from {requested} to {shards} \
+                 ({} MB total across {} tenant(s)); \
+                 stats reports shards_requested/shard_count",
+                config.total_bytes >> 20,
+                directory.len(),
+            );
+        }
+        let tenant_shares = weighted_split(config.total_bytes, &weights);
+        let initial_budgets: Vec<Vec<u64>> = tenant_shares
+            .iter()
+            .map(|&share| even_split(share.max(1), shards))
+            .collect();
+        let (ctrl_tx, ctrl_rx) = channel();
+        let mut mailboxes = Vec::with_capacity(workers);
+        let mut seeds = Vec::with_capacity(workers);
+        for index in 0..workers {
+            let (mailbox, seed) = crate::reactor::loop_channel(index)?;
+            mailboxes.push(mailbox);
+            seeds.push(seed);
+        }
+        let shared = Arc::new(PlaneShared {
+            shards,
+            loops: workers,
+            mailboxes,
+            ctrl: ctrl_tx.clone(),
+            generation: AtomicU64::new(1),
+            roster: Mutex::new(RosterMaster {
+                directory: directory.clone(),
+                weights,
+                initial_budgets: initial_budgets.clone(),
+                budgets: initial_budgets.clone(),
+            }),
+            rebalance_pending: AtomicBool::new(false),
+            arbitrate_pending: AtomicBool::new(false),
+            config,
+        });
+        let control = Control {
+            shared: Arc::clone(&shared),
+            rx: ctrl_rx,
+            telemetry: Arc::clone(&telemetry),
+            balancers: (0..directory.len())
+                .map(|_| ShardRebalancer::new(shards, shared.config.rebalance.clone()))
+                .collect(),
+            arbiter: TenantArbiter::new(directory.len(), shared.config.tenant_balance.clone()),
+            rebalance_runs: 0,
+            rebalance_transfers: 0,
+            rebalance_bytes: 0,
+            arbiter_runs: 0,
+            arbiter_transfers: 0,
+            arbiter_bytes: 0,
+            admin_msgs: 0,
+            idle_timeout_ms: idle_timeout.map(|t| t.as_millis() as u64).unwrap_or(0),
+        };
+        let control_thread = std::thread::Builder::new()
+            .name("cache-control".to_string())
+            .spawn(move || control.run())?;
+        let loops: Vec<crate::reactor::LoopHandle> = seeds
+            .into_iter()
+            .map(|seed| {
+                let state = LoopState::new(seed.index, Arc::clone(&shared), &initial_budgets);
+                crate::reactor::LoopHandle::spawn(
+                    seed,
+                    state,
+                    Arc::clone(&shared),
+                    Arc::clone(&telemetry),
+                    idle_timeout,
+                )
+            })
+            .collect::<std::io::Result<_>>()?;
+        Ok(Plane {
+            handle: Arc::new(PlaneHandle {
+                shared: Arc::clone(&shared),
+            }),
+            loops: Arc::new(loops),
+            ctrl: ctrl_tx,
+            control: Some(control_thread),
+        })
+    }
+
+    /// Stops the control thread first (admin requests in flight drain with
+    /// the loops still alive to answer), then the loops.
+    pub(crate) fn shutdown(&mut self) {
+        let _ = self.ctrl.send(CtrlReq::Shutdown);
+        if let Some(thread) = self.control.take() {
+            let _ = thread.join();
+        }
+        for event_loop in self.loops.iter() {
+            event_loop.begin_shutdown();
+        }
+        for event_loop in self.loops.iter() {
+            event_loop.join();
+        }
+    }
+}

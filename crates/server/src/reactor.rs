@@ -1,24 +1,31 @@
 //! The epoll reactor: a small, fixed set of event-loop threads serving
-//! many non-blocking connections each.
+//! many non-blocking connections each — and, since the shared-nothing
+//! refactor, *owning* the cache shards they serve.
 //!
 //! This replaces the thread-per-connection model (one parked OS thread per
 //! idle session, connection count hard-capped by the worker count) with the
 //! shape production caches use — pelikan's worker event loops, Memcached's
 //! libevent threads: `ServerConfig::workers` event loops, each owning an
-//! epoll instance and a set of connections, with the acceptor handing fresh
-//! sockets round-robin over a wakeup pipe. A loop blocks only in
-//! `epoll_wait`; every socket it owns is non-blocking and driven by the
-//! [`crate::conn::Connection`] state machine, so thousands of mostly-idle
+//! epoll instance, a set of connections and (per `crate::plane`) the
+//! engines of its shard group. A loop blocks only in `epoll_wait`; every
+//! socket it owns is non-blocking and driven by the
+//! `conn::Connection` state machine, so thousands of mostly-idle
 //! connections cost a few kilobytes of buffer each instead of a thread.
+//!
+//! The wakeup pipe doubles as the cross-loop message channel: the acceptor,
+//! sibling loops and the control thread push `LoopMsg`s into the loop's
+//! `Mailbox` and write one byte to the pipe; the loop drains the mailbox
+//! at the top of its readiness pass. Connections whose keys hash to a shard
+//! another loop owns get their operations forwarded the same way.
 //!
 //! The epoll binding is a thin unsafe FFI against the system libc — the
 //! workspace is offline/vendored-only, so no `mio`/`libc` crates. The
-//! unsafe surface is confined to the [`ffi`] module: four syscalls and the
+//! unsafe surface is confined to the `ffi` module: four syscalls and the
 //! kernel's `struct epoll_event` layout. The wakeup pipe is a
 //! `UnixStream::pair`, which the standard library manages safely.
 
-use crate::backend::SharedCache;
-use crate::conn::{Connection, Drive};
+use crate::conn::{Connection, Ctx, Drive};
+use crate::plane::{AdminResult, DataOutcome, LoopMsg, LoopState, PlaneShared};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -28,6 +35,7 @@ use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Thin FFI over the kernel epoll interface. All `unsafe` in the crate
 /// lives here.
@@ -161,6 +169,7 @@ pub struct ConnTelemetry {
     per_loop: Vec<AtomicU64>,
     total: AtomicU64,
     rejected: AtomicU64,
+    idle_closed: AtomicU64,
     max_connections: u64,
 }
 
@@ -171,6 +180,7 @@ impl ConnTelemetry {
             per_loop: (0..loops).map(|_| AtomicU64::new(0)).collect(),
             total: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            idle_closed: AtomicU64::new(0),
             max_connections,
         }
     }
@@ -191,6 +201,11 @@ impl ConnTelemetry {
     /// Connections shed at the accept gate.
     pub fn rejected(&self) -> u64 {
         self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Connections closed by the idle-timeout reaper.
+    pub fn idle_closed(&self) -> u64 {
+        self.idle_closed.load(Ordering::Relaxed)
     }
 
     /// The accept gate's connection limit.
@@ -219,6 +234,12 @@ impl ConnTelemetry {
         self.per_loop[index].fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// The idle reaper closed a connection on loop `index`.
+    pub(crate) fn on_idle_close(&self, index: usize) {
+        self.idle_closed.fetch_add(1, Ordering::Relaxed);
+        self.on_close(index);
+    }
+
     /// Rolls an `on_accept` back entirely (the dispatch was refused): the
     /// connection was never served, so it should not count as accepted.
     pub(crate) fn on_dispatch_refused(&self, index: usize) {
@@ -239,94 +260,49 @@ const EVENT_BATCH: usize = 256;
 /// Backstop timeout so a lost wakeup can never wedge shutdown.
 const WAIT_BACKSTOP_MS: i32 = 500;
 
-/// The mailbox between the acceptor and one event loop.
+/// The message queue between the rest of the server and one event loop.
 struct Inbox {
-    streams: Mutex<Vec<TcpStream>>,
+    msgs: Mutex<Vec<LoopMsg>>,
     shutdown: AtomicBool,
 }
 
-/// The acceptor-side handle to one running event loop.
-pub(crate) struct LoopHandle {
+/// The sending half of a loop's mailbox: push messages, write one byte to
+/// the wakeup pipe. Shared by the acceptor, sibling loops and the control
+/// thread via [`PlaneShared::mailboxes`].
+pub(crate) struct Mailbox {
     inbox: Arc<Inbox>,
-    /// Write side of the wakeup pipe; one byte = "check your inbox".
+    /// Write side of the wakeup pipe; one byte = "check your mailbox".
     waker: UnixStream,
-    thread: Mutex<Option<JoinHandle<()>>>,
 }
 
-impl LoopHandle {
-    /// Spawns event loop `index`, serving `cache` and reporting into
-    /// `telemetry`.
-    pub(crate) fn spawn(
-        index: usize,
-        cache: Arc<SharedCache>,
-        telemetry: Arc<ConnTelemetry>,
-    ) -> std::io::Result<LoopHandle> {
-        let (waker, wake_rx) = UnixStream::pair()?;
-        waker.set_nonblocking(true)?;
-        wake_rx.set_nonblocking(true)?;
-        // Created here (not on the loop thread) so a resource failure
-        // surfaces as a start error instead of a dead loop.
-        let epoll = Epoll::new()?;
-        epoll.add(wake_rx.as_raw_fd(), EPOLLIN, WAKE_TOKEN)?;
-        let inbox = Arc::new(Inbox {
-            streams: Mutex::new(Vec::new()),
-            shutdown: AtomicBool::new(false),
-        });
-        let thread = std::thread::Builder::new()
-            .name(format!("cache-loop-{index}"))
-            .spawn({
-                let inbox = Arc::clone(&inbox);
-                move || {
-                    EventLoop {
-                        index,
-                        epoll,
-                        wake_rx,
-                        inbox,
-                        cache,
-                        telemetry,
-                        conns: HashMap::new(),
-                        next_token: WAKE_TOKEN + 1,
-                    }
-                    .run()
-                }
-            })?;
-        Ok(LoopHandle {
-            inbox,
-            waker,
-            thread: Mutex::new(Some(thread)),
-        })
-    }
-
-    /// Hands a fresh connection to the loop. If the loop has stopped
-    /// serving — normal shutdown, or a loop that died on a hard epoll
-    /// error — the stream is handed back so the acceptor can fail over to
-    /// a live loop instead of stranding an accepted client. The check
-    /// happens under the inbox lock, the same lock the loop's teardown
-    /// drains under, so a stream can never land after the final drain.
-    pub(crate) fn dispatch(&self, stream: TcpStream) -> Result<(), TcpStream> {
+impl Mailbox {
+    /// Delivers one message. Fails (handing the message back) once the
+    /// loop has stopped serving — the check happens under the inbox lock,
+    /// the same lock teardown drains under, so a message can never be
+    /// stranded after the final drain.
+    pub(crate) fn send(&self, msg: LoopMsg) -> Result<(), LoopMsg> {
         {
-            let mut streams = self.inbox.streams.lock();
+            let mut msgs = self.inbox.msgs.lock();
             if self.inbox.shutdown.load(Ordering::SeqCst) {
-                return Err(stream);
+                return Err(msg);
             }
-            streams.push(stream);
+            msgs.push(msg);
         }
         self.wake();
         Ok(())
     }
 
-    /// Tells the loop to close every connection and exit; [`LoopHandle::join`]
-    /// completes it.
-    pub(crate) fn begin_shutdown(&self) {
-        self.inbox.shutdown.store(true, Ordering::SeqCst);
-        self.wake();
-    }
-
-    /// Waits for the loop thread to exit.
-    pub(crate) fn join(&self) {
-        if let Some(thread) = self.thread.lock().take() {
-            let _ = thread.join();
+    /// Delivers a batch under one lock acquisition and one wakeup.
+    pub(crate) fn send_many(&self, batch: Vec<LoopMsg>) -> Result<(), Vec<LoopMsg>> {
+        {
+            let mut msgs = self.inbox.msgs.lock();
+            if self.inbox.shutdown.load(Ordering::SeqCst) {
+                return Err(batch);
+            }
+            msgs.extend(batch);
         }
+        self.wake();
+        Ok(())
     }
 
     fn wake(&self) {
@@ -336,16 +312,134 @@ impl LoopHandle {
     }
 }
 
-/// One event loop: an epoll instance plus the connections it owns.
+/// The loop-side resources [`LoopHandle::spawn`] consumes: created eagerly
+/// by [`loop_channel`] so a resource failure surfaces as a start error
+/// instead of a dead loop.
+pub(crate) struct LoopSeed {
+    pub(crate) index: usize,
+    epoll: Epoll,
+    wake_rx: UnixStream,
+    inbox: Arc<Inbox>,
+}
+
+/// Creates the mailbox/loop-seed pair for event loop `index`. The mailboxes
+/// go into [`PlaneShared`] before any loop thread starts, so every loop can
+/// message every other from its very first readiness pass.
+pub(crate) fn loop_channel(index: usize) -> std::io::Result<(Mailbox, LoopSeed)> {
+    let (waker, wake_rx) = UnixStream::pair()?;
+    waker.set_nonblocking(true)?;
+    wake_rx.set_nonblocking(true)?;
+    let epoll = Epoll::new()?;
+    epoll.add(wake_rx.as_raw_fd(), EPOLLIN, WAKE_TOKEN)?;
+    let inbox = Arc::new(Inbox {
+        msgs: Mutex::new(Vec::new()),
+        shutdown: AtomicBool::new(false),
+    });
+    Ok((
+        Mailbox {
+            inbox: Arc::clone(&inbox),
+            waker,
+        },
+        LoopSeed {
+            index,
+            epoll,
+            wake_rx,
+            inbox,
+        },
+    ))
+}
+
+/// The acceptor-side handle to one running event loop.
+pub(crate) struct LoopHandle {
+    index: usize,
+    shared: Arc<PlaneShared>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl LoopHandle {
+    /// Spawns event loop `index` from its seed, owning `state`'s shard
+    /// engines and reporting into `telemetry`.
+    pub(crate) fn spawn(
+        seed: LoopSeed,
+        state: LoopState,
+        shared: Arc<PlaneShared>,
+        telemetry: Arc<ConnTelemetry>,
+        idle_timeout: Option<Duration>,
+    ) -> std::io::Result<LoopHandle> {
+        let index = seed.index;
+        let thread = std::thread::Builder::new()
+            .name(format!("cache-loop-{index}"))
+            .spawn(move || {
+                // The reap sweep runs at a quarter of the timeout (clamped
+                // to something epoll_wait can express) so a connection
+                // overstays by at most ~25%.
+                let sweep = idle_timeout
+                    .map(|t| (t / 4).clamp(Duration::from_millis(10), Duration::from_millis(500)));
+                EventLoop {
+                    index,
+                    epoll: seed.epoll,
+                    wake_rx: seed.wake_rx,
+                    inbox: seed.inbox,
+                    state,
+                    telemetry,
+                    conns: HashMap::new(),
+                    next_token: WAKE_TOKEN + 1,
+                    idle_timeout,
+                    sweep,
+                    next_sweep: sweep.map(|s| Instant::now() + s),
+                }
+                .run()
+            })?;
+        Ok(LoopHandle {
+            index,
+            shared,
+            thread: Mutex::new(Some(thread)),
+        })
+    }
+
+    /// Hands a fresh connection to the loop. If the loop has stopped
+    /// serving — normal shutdown, or a loop that died on a hard epoll
+    /// error — the stream is handed back so the acceptor can fail over to
+    /// a live loop instead of stranding an accepted client.
+    pub(crate) fn dispatch(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        self.shared.mailboxes[self.index]
+            .send(LoopMsg::Conn(stream))
+            .map_err(|msg| match msg {
+                LoopMsg::Conn(stream) => stream,
+                _ => unreachable!("mailbox returned a different message"),
+            })
+    }
+
+    /// Tells the loop to close every connection and exit; [`LoopHandle::join`]
+    /// completes it.
+    pub(crate) fn begin_shutdown(&self) {
+        let mailbox = &self.shared.mailboxes[self.index];
+        mailbox.inbox.shutdown.store(true, Ordering::SeqCst);
+        mailbox.wake();
+    }
+
+    /// Waits for the loop thread to exit.
+    pub(crate) fn join(&self) {
+        if let Some(thread) = self.thread.lock().take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// One event loop: an epoll instance, the connections it serves and the
+/// shard engines it owns (inside [`LoopState`]).
 struct EventLoop {
     index: usize,
     epoll: Epoll,
     wake_rx: UnixStream,
     inbox: Arc<Inbox>,
-    cache: Arc<SharedCache>,
+    state: LoopState,
     telemetry: Arc<ConnTelemetry>,
     conns: HashMap<u64, Connection>,
     next_token: u64,
+    idle_timeout: Option<Duration>,
+    sweep: Option<Duration>,
+    next_sweep: Option<Instant>,
 }
 
 impl EventLoop {
@@ -353,21 +447,35 @@ impl EventLoop {
         let mut events = vec![EpollEvent { events: 0, data: 0 }; EVENT_BATCH];
         // On a hard epoll error the loop cannot serve anymore; it falls
         // through to teardown so its connections get closed, not stranded.
-        while let Ok(n) = self.epoll.wait(&mut events, WAIT_BACKSTOP_MS) {
+        loop {
+            let timeout = match self.sweep {
+                Some(sweep) => (sweep.as_millis() as i32).min(WAIT_BACKSTOP_MS),
+                None => WAIT_BACKSTOP_MS,
+            };
+            let Ok(n) = self.epoll.wait(&mut events, timeout) else {
+                break;
+            };
             if self.inbox.shutdown.load(Ordering::SeqCst) {
                 break;
             }
+            // One atomic load; a changed tenant table is copied out here,
+            // never on the request path.
+            self.state.refresh_tenants();
             for event in &events[..n] {
                 // Copy out of the (possibly packed) event before use.
                 let token = event.data;
                 let ready = event.events;
                 if token == WAKE_TOKEN {
                     self.drain_waker();
-                    self.adopt_incoming();
+                    self.process_mailbox();
                 } else {
                     self.drive(token, ready);
                 }
             }
+            // One mailbox lock + one wakeup per sibling loop per pass, no
+            // matter how many operations were forwarded.
+            self.state.flush_outbound();
+            self.sweep_idle();
         }
         // Teardown: closing the sockets (by dropping them) unblocks every
         // peer with EOF, exactly like the old registry sweep did.
@@ -377,15 +485,19 @@ impl EventLoop {
             drop(conn);
         }
         // Mark the inbox closed *under its lock* before the final drain:
-        // `dispatch` checks the flag under the same lock, so after this
-        // block no stream can ever be stranded in the inbox — this also
-        // covers a loop that died on a hard epoll error rather than a
-        // requested shutdown.
-        let mut streams = self.inbox.streams.lock();
+        // `Mailbox::send` checks the flag under the same lock, so after
+        // this block no message can ever be stranded in the inbox — this
+        // also covers a loop that died on a hard epoll error rather than a
+        // requested shutdown. Dropping a drained message drops any reply
+        // sender inside it, unblocking a waiting control thread or sync
+        // caller.
+        let mut msgs = self.inbox.msgs.lock();
         self.inbox.shutdown.store(true, Ordering::SeqCst);
-        for stream in streams.drain(..) {
-            self.telemetry.on_close(self.index);
-            drop(stream);
+        for msg in msgs.drain(..) {
+            if let LoopMsg::Conn(_) = &msg {
+                self.telemetry.on_close(self.index);
+            }
+            drop(msg);
         }
     }
 
@@ -394,21 +506,36 @@ impl EventLoop {
         while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
     }
 
-    fn adopt_incoming(&mut self) {
-        let streams: Vec<TcpStream> = std::mem::take(&mut *self.inbox.streams.lock());
-        for stream in streams {
-            let token = self.next_token;
-            self.next_token += 1;
-            match Connection::adopt(stream) {
-                Ok(conn) => {
-                    if self.epoll.add(conn.fd(), conn.interest(), token).is_ok() {
-                        self.conns.insert(token, conn);
-                    } else {
-                        self.telemetry.on_close(self.index);
-                    }
-                }
-                Err(_) => self.telemetry.on_close(self.index),
+    fn process_mailbox(&mut self) {
+        let msgs: Vec<LoopMsg> = std::mem::take(&mut *self.inbox.msgs.lock());
+        for msg in msgs {
+            match msg {
+                LoopMsg::Conn(stream) => self.adopt(stream),
+                LoopMsg::Data(op) => self.state.serve_remote(op),
+                LoopMsg::DataReply {
+                    token,
+                    seq,
+                    slot,
+                    outcome,
+                } => self.resume_data(token, seq, slot, outcome),
+                LoopMsg::AdminDone { token, seq, result } => self.resume_admin(token, seq, result),
+                LoopMsg::Control(msg) => self.state.serve_control(msg),
             }
+        }
+    }
+
+    fn adopt(&mut self, stream: TcpStream) {
+        let token = self.next_token;
+        self.next_token += 1;
+        match Connection::adopt(stream) {
+            Ok(conn) => {
+                if self.epoll.add(conn.fd(), conn.interest(), token).is_ok() {
+                    self.conns.insert(token, conn);
+                } else {
+                    self.telemetry.on_close(self.index);
+                }
+            }
+            Err(_) => self.telemetry.on_close(self.index),
         }
     }
 
@@ -418,7 +545,11 @@ impl EventLoop {
         };
         let readable = ready & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0;
         let writable = ready & EPOLLOUT != 0;
-        match conn.on_ready(readable, writable, &self.cache) {
+        let mut ctx = Ctx {
+            state: &mut self.state,
+            token,
+        };
+        match conn.on_ready(readable, writable, &mut ctx) {
             Drive::Keep { interest, changed } => {
                 if changed && self.epoll.modify(conn.fd(), interest, token).is_err() {
                     // Cannot adjust the registration: fail the connection
@@ -427,6 +558,57 @@ impl EventLoop {
                 }
             }
             Drive::Close => self.close(token),
+        }
+    }
+
+    /// A reply for a remote data operation a parked connection issued.
+    fn resume_data(&mut self, token: u64, seq: u64, slot: usize, outcome: DataOutcome) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            // The connection closed while its operation was in flight.
+            return;
+        };
+        if conn.on_data_reply(seq, slot, outcome) {
+            // The operation completed: resume parsing where it parked.
+            self.drive(token, 0);
+        }
+    }
+
+    /// The control thread finished an admin command a parked connection
+    /// forwarded.
+    fn resume_admin(&mut self, token: u64, seq: u64, result: AdminResult) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.on_admin_done(seq, result) {
+            self.drive(token, 0);
+        }
+    }
+
+    /// Closes connections silent past the idle timeout. Connections with an
+    /// operation in flight are never reaped — they are waiting on us, not
+    /// the other way round.
+    fn sweep_idle(&mut self) {
+        let (Some(timeout), Some(sweep), Some(next)) =
+            (self.idle_timeout, self.sweep, self.next_sweep)
+        else {
+            return;
+        };
+        let now = Instant::now();
+        if now < next {
+            return;
+        }
+        self.next_sweep = Some(now + sweep);
+        let stale: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| !conn.is_parked() && conn.idle_for(now) >= timeout)
+            .map(|(&token, _)| token)
+            .collect();
+        for token in stale {
+            if let Some(conn) = self.conns.remove(&token) {
+                self.epoll.delete(conn.fd());
+                self.telemetry.on_idle_close(self.index);
+            }
         }
     }
 

@@ -8,9 +8,15 @@
 //! — not by the worker count: a 2-loop server happily serves hundreds of
 //! concurrent connections, the configuration the old thread-per-connection
 //! front end deadlocked on.
+//!
+//! The cache behind the loops is the shared-nothing data plane
+//! (`crate::plane`): each loop owns the engines of its shard group
+//! outright, and [`CacheServer::cache`] hands out a [`PlaneHandle`] whose
+//! operations are message round-trips to the owning loop.
 
-use crate::backend::{BackendConfig, SharedCache};
-use crate::reactor::{ConnTelemetry, LoopHandle};
+use crate::backend::BackendConfig;
+use crate::plane::{Plane, PlaneHandle};
+use crate::reactor::ConnTelemetry;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -34,6 +40,12 @@ pub struct ServerConfig {
     /// attempts are counted in the `rejected_connections` stat. Must be at
     /// least 1.
     pub max_connections: usize,
+    /// Close connections that have been silent this long (`None` — the
+    /// default — never reaps). With the `max_connections` gate, a leaked
+    /// client fleet would otherwise pin the gate shut forever; reaped
+    /// connections are counted in the `idle_closed_connections` stat.
+    /// Connections with an operation in flight are never reaped.
+    pub idle_timeout: Option<Duration>,
     /// Backend (cache) configuration.
     pub backend: BackendConfig,
 }
@@ -44,6 +56,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             max_connections: 4096,
+            idle_timeout: None,
             backend: BackendConfig::default(),
         }
     }
@@ -62,11 +75,10 @@ pub fn default_event_loops() -> usize {
 /// A running cache server.
 pub struct CacheServer {
     local_addr: SocketAddr,
-    cache: Arc<SharedCache>,
+    plane: Plane,
     telemetry: Arc<ConnTelemetry>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    loops: Arc<Vec<LoopHandle>>,
 }
 
 impl CacheServer {
@@ -91,21 +103,20 @@ impl CacheServer {
         }
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let cache = Arc::new(SharedCache::new(config.backend.clone()));
         let telemetry = Arc::new(ConnTelemetry::new(
             config.workers,
             config.max_connections as u64,
         ));
-        cache.attach_conn_telemetry(Arc::clone(&telemetry));
-        let loops: Arc<Vec<LoopHandle>> = Arc::new(
-            (0..config.workers)
-                .map(|i| LoopHandle::spawn(i, Arc::clone(&cache), Arc::clone(&telemetry)))
-                .collect::<std::io::Result<_>>()?,
-        );
+        let plane = Plane::start(
+            config.backend.clone(),
+            config.workers,
+            Arc::clone(&telemetry),
+            config.idle_timeout,
+        )?;
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let accept_shutdown = Arc::clone(&shutdown);
-        let accept_loops = Arc::clone(&loops);
+        let accept_loops = Arc::clone(&plane.loops);
         let accept_telemetry = Arc::clone(&telemetry);
         let max_connections = config.max_connections as u64;
         let accept_thread = std::thread::Builder::new()
@@ -162,11 +173,10 @@ impl CacheServer {
 
         Ok(CacheServer {
             local_addr,
-            cache,
+            plane,
             telemetry,
             shutdown,
             accept_thread: Some(accept_thread),
-            loops,
         })
     }
 
@@ -175,9 +185,11 @@ impl CacheServer {
         self.local_addr
     }
 
-    /// The shared cache (e.g. for out-of-band statistics in benchmarks).
-    pub fn cache(&self) -> &Arc<SharedCache> {
-        &self.cache
+    /// The data-plane handle (e.g. for out-of-band statistics in
+    /// benchmarks). Operations are synchronous message round-trips to the
+    /// event loop owning the key's shard.
+    pub fn cache(&self) -> &Arc<PlaneHandle> {
+        &self.plane.handle
     }
 
     /// Live connection counters (also exposed as `curr_connections` /
@@ -198,14 +210,11 @@ impl CacheServer {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
-        // The acceptor is gone, so no new dispatches can race the loops'
-        // teardown: each loop closes every connection it owns and exits.
-        for event_loop in self.loops.iter() {
-            event_loop.begin_shutdown();
-        }
-        for event_loop in self.loops.iter() {
-            event_loop.join();
-        }
+        // The acceptor is gone, so no new dispatches can race the plane's
+        // teardown: the control thread exits first (with the loops still
+        // alive to answer any in-flight admin fan-out), then each loop
+        // closes every connection it owns and exits.
+        self.plane.shutdown();
     }
 }
 
@@ -270,6 +279,7 @@ mod tests {
         assert_eq!(map["cmd_set"], "1");
         assert_eq!(map["get_hits"], "1");
         assert!(map.contains_key("shard_count"));
+        assert!(map.contains_key("plane:event_loops"));
         client.flush_all().unwrap();
         assert!(client.get(b"a").unwrap().is_none());
     }
@@ -307,6 +317,7 @@ mod tests {
                 total_bytes: 8 << 20,
                 ..crate::backend::BackendConfig::default()
             },
+            ..ServerConfig::default()
         })
         .expect("server must start");
         // Round-trips guarantee both connections are registered before the
@@ -391,6 +402,43 @@ mod tests {
         assert!(client.set(b"binary", 0, &payload).unwrap());
         let got = client.get(b"binary").unwrap().expect("hit");
         assert_eq!(got.1, payload);
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_but_active_ones_survive() {
+        let server = CacheServer::start(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            idle_timeout: Some(Duration::from_millis(200)),
+            backend: crate::backend::BackendConfig {
+                total_bytes: 8 << 20,
+                ..crate::backend::BackendConfig::default()
+            },
+            ..ServerConfig::default()
+        })
+        .expect("server must start");
+        let mut active = CacheClient::connect(server.local_addr()).unwrap();
+        let mut leaked = CacheClient::connect(server.local_addr()).unwrap();
+        assert!(leaked.set(b"leak", 0, b"1").unwrap());
+        // Keep `active` busy past the timeout while `leaked` goes silent.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            assert!(active.set(b"ping", 0, b"1").unwrap());
+            let stats: std::collections::HashMap<_, _> =
+                active.stats().unwrap().into_iter().collect();
+            if stats["idle_closed_connections"].parse::<u64>().unwrap() >= 1 {
+                assert_eq!(stats["plane:idle_timeout_ms"], "200");
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "the idle reaper must close the silent connection"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        // The active connection was never reaped; the leaked one is dead.
+        assert!(active.get(b"ping").unwrap().is_some());
+        assert!(leaked.get(b"leak").is_err());
     }
 
     fn start_tenant_server() -> CacheServer {

@@ -1,0 +1,262 @@
+//! The single `stats` renderer behind both backends.
+//!
+//! The embedded [`crate::backend::SharedCache`] and the server's
+//! shared-nothing data plane assemble a [`StatsSnapshot`] from their own
+//! worlds (engine locks there, loop-snapshot messages here) and render it
+//! through [`render_stats`], so the stat key set and ordering cannot drift
+//! between the two — the committed benchmark baselines and the CI smoke
+//! validators parse these keys by name.
+
+use crate::backend::BackendMode;
+use crate::reactor::ConnTelemetry;
+use cache_core::CacheStats;
+
+/// A snapshot of wire-level counters for one engine (or an aggregate).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct WireCounts {
+    pub(crate) gets: u64,
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+    pub(crate) sets: u64,
+    pub(crate) deletes: u64,
+}
+
+impl WireCounts {
+    pub(crate) fn accumulate(&mut self, other: WireCounts) {
+        self.gets += other.gets;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.sets += other.sets;
+        self.deletes += other.deletes;
+    }
+}
+
+/// Everything `stats` reports about one (shard, tenant) engine.
+#[derive(Clone, Default)]
+pub(crate) struct EngineStat {
+    pub(crate) wire: WireCounts,
+    pub(crate) core: CacheStats,
+    pub(crate) used: u64,
+    pub(crate) items: usize,
+}
+
+/// Round counters of the two balancing levels.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct BalanceCounters {
+    pub(crate) rebalance_enabled: bool,
+    pub(crate) rebalance_runs: u64,
+    pub(crate) rebalance_transfers: u64,
+    pub(crate) rebalance_bytes: u64,
+    pub(crate) arbiter_enabled: bool,
+    pub(crate) arbiter_runs: u64,
+    pub(crate) arbiter_transfers: u64,
+    pub(crate) arbiter_bytes: u64,
+}
+
+/// The backend-independent inputs of one `stats` report.
+pub(crate) struct StatsSnapshot {
+    pub(crate) total_bytes: u64,
+    pub(crate) mode: BackendMode,
+    pub(crate) requested_shards: usize,
+    /// Engine stats indexed `[shard][tenant]`.
+    pub(crate) cells: Vec<Vec<EngineStat>>,
+    pub(crate) tenant_names: Vec<String>,
+    pub(crate) tenant_budgets: Vec<u64>,
+    pub(crate) shard_budgets: Vec<u64>,
+    pub(crate) balance: BalanceCounters,
+}
+
+/// Per-event-loop counters of the shared-nothing data plane, reported only
+/// by the server (`None` for the embedded backend).
+pub(crate) struct PlaneStats {
+    /// Owning event loop per shard index.
+    pub(crate) owner_of: Vec<usize>,
+    /// Per loop: (data ops executed for its own connections, data ops
+    /// executed on behalf of another loop, data ops it forwarded away).
+    pub(crate) per_loop: Vec<(u64, u64, u64)>,
+    /// Admin commands forwarded to the control thread.
+    pub(crate) admin_msgs: u64,
+    /// The configured idle reaping timeout in milliseconds (0 = disabled).
+    pub(crate) idle_timeout_ms: u64,
+}
+
+/// Renders a snapshot as the `STAT` key/value list: aggregated counters,
+/// allocation-hierarchy counters, the optional connection section, then
+/// per-tenant and per-shard breakdowns, then the optional data-plane
+/// section.
+pub(crate) fn render_stats(
+    snap: &StatsSnapshot,
+    conns: Option<&ConnTelemetry>,
+    plane: Option<&PlaneStats>,
+) -> Vec<(String, String)> {
+    let ns = snap.cells.len();
+    let nt = snap.tenant_names.len();
+    let mut totals = WireCounts::default();
+    let mut core_total = CacheStats::default();
+    let mut used = 0u64;
+    let mut items = 0usize;
+    let mut tenant_wire = vec![WireCounts::default(); nt];
+    let mut tenant_core = vec![CacheStats::default(); nt];
+    let mut tenant_used = vec![0u64; nt];
+    let mut tenant_items = vec![0usize; nt];
+    let mut shard_wire = vec![WireCounts::default(); ns];
+    let mut shard_core = vec![CacheStats::default(); ns];
+    let mut shard_used = vec![0u64; ns];
+    let mut shard_items = vec![0usize; ns];
+    for (s, cells) in snap.cells.iter().enumerate() {
+        for (t, cell) in cells.iter().enumerate().take(nt) {
+            totals.accumulate(cell.wire);
+            core_total += cell.core;
+            used += cell.used;
+            items += cell.items;
+            tenant_wire[t].accumulate(cell.wire);
+            tenant_core[t] += cell.core;
+            tenant_used[t] += cell.used;
+            tenant_items[t] += cell.items;
+            shard_wire[s].accumulate(cell.wire);
+            shard_core[s] += cell.core;
+            shard_used[s] += cell.used;
+            shard_items[s] += cell.items;
+        }
+    }
+
+    let mut out = vec![
+        ("cmd_get".into(), totals.gets.to_string()),
+        ("cmd_set".into(), totals.sets.to_string()),
+        ("get_hits".into(), totals.hits.to_string()),
+        ("get_misses".into(), totals.misses.to_string()),
+        ("cmd_delete".into(), totals.deletes.to_string()),
+        ("bytes".into(), used.to_string()),
+        ("curr_items".into(), items.to_string()),
+        ("evictions".into(), core_total.evictions.to_string()),
+        ("limit_maxbytes".into(), snap.total_bytes.to_string()),
+        (
+            "allocator".into(),
+            format!("{:?}", snap.mode).to_lowercase(),
+        ),
+        ("shard_count".into(), ns.to_string()),
+        ("shards_requested".into(), snap.requested_shards.to_string()),
+        (
+            "shard_bytes".into(),
+            (snap.total_bytes / ns.max(1) as u64).to_string(),
+        ),
+        ("tenant_count".into(), nt.to_string()),
+        (
+            "rebalance:enabled".into(),
+            (snap.balance.rebalance_enabled as u8).to_string(),
+        ),
+        (
+            "rebalance:runs".into(),
+            snap.balance.rebalance_runs.to_string(),
+        ),
+        (
+            "rebalance:transfers".into(),
+            snap.balance.rebalance_transfers.to_string(),
+        ),
+        (
+            "rebalance:bytes_moved".into(),
+            snap.balance.rebalance_bytes.to_string(),
+        ),
+        (
+            "arbiter:enabled".into(),
+            (snap.balance.arbiter_enabled as u8).to_string(),
+        ),
+        ("arbiter:runs".into(), snap.balance.arbiter_runs.to_string()),
+        (
+            "arbiter:transfers".into(),
+            snap.balance.arbiter_transfers.to_string(),
+        ),
+        (
+            "arbiter:bytes_moved".into(),
+            snap.balance.arbiter_bytes.to_string(),
+        ),
+    ];
+    if let Some(conns) = conns {
+        out.push(("curr_connections".into(), conns.curr().to_string()));
+        out.push(("total_connections".into(), conns.total().to_string()));
+        out.push(("rejected_connections".into(), conns.rejected().to_string()));
+        out.push((
+            "max_connections".into(),
+            conns.max_connections().to_string(),
+        ));
+        for i in 0..conns.loops() {
+            out.push((format!("conns:loop:{i}"), conns.loop_curr(i).to_string()));
+        }
+        out.push((
+            "idle_closed_connections".into(),
+            conns.idle_closed().to_string(),
+        ));
+    }
+    for t in 0..nt {
+        let name = &snap.tenant_names[t];
+        let wire = tenant_wire[t];
+        out.push((format!("tenant:{name}:cmd_get"), wire.gets.to_string()));
+        out.push((format!("tenant:{name}:cmd_set"), wire.sets.to_string()));
+        out.push((format!("tenant:{name}:get_hits"), wire.hits.to_string()));
+        out.push((format!("tenant:{name}:get_misses"), wire.misses.to_string()));
+        out.push((
+            format!("tenant:{name}:cmd_delete"),
+            wire.deletes.to_string(),
+        ));
+        out.push((format!("tenant:{name}:bytes"), tenant_used[t].to_string()));
+        out.push((
+            format!("tenant:{name}:curr_items"),
+            tenant_items[t].to_string(),
+        ));
+        out.push((
+            format!("tenant:{name}:evictions"),
+            tenant_core[t].evictions.to_string(),
+        ));
+        out.push((
+            format!("tenant:{name}:budget"),
+            snap.tenant_budgets[t].to_string(),
+        ));
+        out.push((
+            format!("tenant:{name}:shadow_hits"),
+            tenant_core[t].shadow_hits.to_string(),
+        ));
+    }
+    for s in 0..ns {
+        let wire = shard_wire[s];
+        out.push((format!("shard:{s}:cmd_get"), wire.gets.to_string()));
+        out.push((format!("shard:{s}:cmd_set"), wire.sets.to_string()));
+        out.push((format!("shard:{s}:get_hits"), wire.hits.to_string()));
+        out.push((format!("shard:{s}:get_misses"), wire.misses.to_string()));
+        out.push((format!("shard:{s}:cmd_delete"), wire.deletes.to_string()));
+        out.push((format!("shard:{s}:bytes"), shard_used[s].to_string()));
+        out.push((format!("shard:{s}:curr_items"), shard_items[s].to_string()));
+        out.push((
+            format!("shard:{s}:evictions"),
+            shard_core[s].evictions.to_string(),
+        ));
+        out.push((
+            format!("shard:{s}:budget"),
+            snap.shard_budgets[s].to_string(),
+        ));
+        out.push((
+            format!("shard:{s}:shadow_hits"),
+            shard_core[s].shadow_hits.to_string(),
+        ));
+    }
+    if let Some(plane) = plane {
+        let local: u64 = plane.per_loop.iter().map(|l| l.0).sum();
+        let remote: u64 = plane.per_loop.iter().map(|l| l.1).sum();
+        out.push(("plane:event_loops".into(), plane.per_loop.len().to_string()));
+        out.push(("plane:local_ops".into(), local.to_string()));
+        out.push(("plane:remote_ops".into(), remote.to_string()));
+        out.push(("plane:admin_msgs".into(), plane.admin_msgs.to_string()));
+        out.push((
+            "plane:idle_timeout_ms".into(),
+            plane.idle_timeout_ms.to_string(),
+        ));
+        for (i, (local_ops, remote_in, remote_out)) in plane.per_loop.iter().enumerate() {
+            out.push((format!("loop:{i}:local_ops"), local_ops.to_string()));
+            out.push((format!("loop:{i}:remote_in"), remote_in.to_string()));
+            out.push((format!("loop:{i}:remote_out"), remote_out.to_string()));
+        }
+        for (s, owner) in plane.owner_of.iter().enumerate() {
+            out.push((format!("shard:{s}:owner_loop"), owner.to_string()));
+        }
+    }
+    out
+}

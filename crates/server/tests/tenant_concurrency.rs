@@ -249,21 +249,33 @@ fn budgets_conserve_the_total_under_live_arbitration() {
         std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
                 cache.arbitrate_now();
-                std::thread::yield_now();
+                // Leave each round a real sampling window: back-to-back
+                // rounds see near-zero shadow-hit deltas (always under the
+                // gradient gap), and on a single CPU they also starve the
+                // traffic threads that generate the signal.
+                std::thread::sleep(std::time::Duration::from_millis(20));
             }
         })
     };
 
-    // Greedy cycles far past its half; modest holds a small steady set.
+    // Greedy cycles past its reservation; modest holds a small steady set.
+    // Each worker owns a disjoint key range so the combined population
+    // (~19.8k keys, ~9.9k per engine at 2 shards) overshoots the per-engine
+    // physical capacity (~9k items at greedy's initial third of the total)
+    // but keeps every worker's reuse distance inside physical + shadow —
+    // the same geometry as the backend unit tests, except raced by three
+    // writers. Sharing one sequence instead would make followers hit
+    // physically and leave the leader's reuse distance past the shadow
+    // window: zero gradient signal, nothing for the arbiter to act on.
     let workers: Vec<_> = (0..3u64)
         .map(|w| {
             let cache = Arc::clone(&cache);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
-                let payload = Bytes::from(vec![b'g'; 400]);
-                let mut i = w * 1_000_000;
+                let payload = Bytes::from(vec![b'g'; 200]);
+                let mut i = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    let key = format!("g{}", i % 40_000);
+                    let key = format!("g{w}-{}", i % 6_600);
                     if cache.get_for(greedy, key.as_bytes()).is_none() {
                         cache.set_for(greedy, key.as_bytes(), 0, payload.clone());
                     }
@@ -291,7 +303,17 @@ fn budgets_conserve_the_total_under_live_arbitration() {
         })
     };
 
-    std::thread::sleep(std::time::Duration::from_millis(800));
+    // Run until the arbiter has visibly moved budget, bounded by a
+    // wall-clock deadline — a fixed 800 ms starves the gradient of rounds
+    // on single-core runners where all six threads share one CPU.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let transfers: u64 = stats_map(&cache)["arbiter:transfers"].parse().unwrap();
+        if transfers > 0 || std::time::Instant::now() >= deadline {
+            break;
+        }
+    }
     stop.store(true, Ordering::Relaxed);
     for w in workers {
         w.join().expect("greedy worker must not panic");
