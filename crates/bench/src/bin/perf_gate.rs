@@ -6,7 +6,10 @@
 //! Both inputs may be raw `cliffhanger-loadgen-sweep/v1` documents or
 //! committed `BENCH_PR<N>.json` wrappers holding one under `"shard_sweep"`.
 //! Exits non-zero when throughput drops, or p99 latency rises, by more than
-//! the threshold at any shard count present in both reports.
+//! the threshold at any shard count present in both reports. Reports that
+//! embed the server's scraped telemetry document (`report.server_stats`,
+//! PR 7+) are also gated on the server-side service-time p99s when both
+//! sides carry them.
 
 use std::process::ExitCode;
 

@@ -6,9 +6,13 @@
 //! `cliffhanger-loadgen-sweep/v1` document with one point per shard count.
 //! The gate matches points by *resolved* shard count and flags a point when
 //! its throughput drops, or its p99 latency rises, by more than the allowed
-//! fraction. Only regressions fail: faster hardware sails through, and a
-//! shard count present in just one of the two reports is reported as
-//! skipped rather than guessed at.
+//! fraction. Points whose embedded reports carry the server's scraped
+//! `cliffhanger-stats/v1` telemetry document are additionally gated on the
+//! server-side local/remote service-time p99s — but only when both
+//! envelopes carry them, so pre-telemetry baselines stay comparable. Only
+//! regressions fail: faster hardware sails through, and a shard count
+//! present in just one of the two reports is reported as skipped rather
+//! than guessed at.
 
 use loadgen::SWEEP_SCHEMA;
 use serde_json::Value;
@@ -75,6 +79,28 @@ struct GatePoint {
     shards: u64,
     throughput_rps: f64,
     p99_us: f64,
+    /// Server-side service-time p99s by command class, from the
+    /// `cliffhanger-stats/v1` document the loadgen scrapes into
+    /// `report.server_stats`. `None` when the report predates PR 7 (or the
+    /// class recorded no samples), in which case the class is not gated —
+    /// the committed baselines stay usable.
+    server_local_p99_us: Option<f64>,
+    server_remote_p99_us: Option<f64>,
+}
+
+/// Pulls one command class's service-time p99 out of a sweep point's
+/// embedded server telemetry document; `None` unless the class actually
+/// recorded samples (an empty histogram's p99 is 0, not evidence).
+fn server_p99(point: &Value, class: &str) -> Option<f64> {
+    let summary = point
+        .get("report")?
+        .get("server_stats")?
+        .get("service_latency")?
+        .get(class)?;
+    if summary.get("count").and_then(Value::as_u64)? == 0 {
+        return None;
+    }
+    summary.get("p99_us").and_then(Value::as_f64)
 }
 
 /// Extracts the sweep points from a JSON document: either a raw
@@ -114,6 +140,8 @@ fn sweep_points(json: &str) -> Result<Vec<GatePoint>, String> {
                     .get("p99_us")
                     .and_then(Value::as_f64)
                     .ok_or_else(|| "point without p99_us".to_string())?,
+                server_local_p99_us: server_p99(p, "local"),
+                server_remote_p99_us: server_p99(p, "remote"),
             })
         })
         .collect()
@@ -157,6 +185,38 @@ pub fn compare_sweeps(baseline: &str, current: &str, threshold: f64) -> Result<G
             regression: p99_regression,
             pass: p99_regression <= threshold,
         });
+        // Server-side service-time p99s are gated only when *both*
+        // envelopes carry them — baselines recorded before the telemetry
+        // plane existed simply contribute no server checks.
+        for (metric, base_p99, cur_p99) in [
+            (
+                "server_local_p99",
+                b.server_local_p99_us,
+                c.server_local_p99_us,
+            ),
+            (
+                "server_remote_p99",
+                b.server_remote_p99_us,
+                c.server_remote_p99_us,
+            ),
+        ] {
+            let (Some(base_p99), Some(cur_p99)) = (base_p99, cur_p99) else {
+                continue;
+            };
+            let regression = if base_p99 > 0.0 {
+                (cur_p99 - base_p99) / base_p99
+            } else {
+                0.0
+            };
+            report.checks.push(GateCheck {
+                shards: b.shards,
+                metric,
+                baseline: base_p99,
+                current: cur_p99,
+                regression,
+                pass: regression <= threshold,
+            });
+        }
     }
     for c in &cur {
         if !base.iter().any(|b| b.shards == c.shards) {
@@ -177,6 +237,27 @@ mod tests {
                 format!(
                     "{{\"shards\":{shards},\"throughput_rps\":{rps},\"p99_us\":{p99},\
                      \"speedup_vs_baseline\":1.0,\"hit_rate\":0.9,\"report\":{{}}}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"{SWEEP_SCHEMA}\",\"points\":[{}]}}",
+            points.join(",")
+        )
+    }
+
+    /// Points whose embedded reports carry the scraped server telemetry
+    /// document: `(shards, rps, p99, server_local_p99, server_remote_p99)`.
+    fn sweep_json_with_server(points: &[(u64, f64, f64, f64, f64)]) -> String {
+        let points: Vec<String> = points
+            .iter()
+            .map(|(shards, rps, p99, local, remote)| {
+                format!(
+                    "{{\"shards\":{shards},\"throughput_rps\":{rps},\"p99_us\":{p99},\
+                     \"speedup_vs_baseline\":1.0,\"hit_rate\":0.9,\"report\":{{\
+                     \"server_stats\":{{\"service_latency\":{{\
+                     \"local\":{{\"count\":1000,\"p99_us\":{local}}},\
+                     \"remote\":{{\"count\":1000,\"p99_us\":{remote}}}}}}}}}}}"
                 )
             })
             .collect();
@@ -249,6 +330,37 @@ mod tests {
         assert!(report.passed());
         assert_eq!(report.checks.len(), 2, "only the 1-shard point is gated");
         assert_eq!(report.unmatched, vec![8, 2]);
+    }
+
+    #[test]
+    fn server_p99_gates_when_both_envelopes_carry_it() {
+        let base = sweep_json_with_server(&[(2, 100_000.0, 900.0, 50.0, 200.0)]);
+        let same = compare_sweeps(&base, &base, 0.2).unwrap();
+        assert!(same.passed());
+        assert_eq!(
+            same.checks.len(),
+            4,
+            "throughput, p99, and both server classes"
+        );
+        // A 3x server-side remote p99 regression fails even though the
+        // client-visible numbers held.
+        let cur = sweep_json_with_server(&[(2, 100_000.0, 900.0, 50.0, 600.0)]);
+        let report = compare_sweeps(&base, &cur, 0.2).unwrap();
+        assert!(!report.passed());
+        let fail = report.checks.iter().find(|c| !c.pass).unwrap();
+        assert_eq!(fail.metric, "server_remote_p99");
+        assert!((fail.regression - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn server_p99_is_skipped_when_either_side_lacks_it() {
+        // A pre-telemetry baseline against a current run that carries the
+        // document: only the classic client-side checks are gated.
+        let base = sweep_json(&[(2, 100_000.0, 900.0)]);
+        let cur = sweep_json_with_server(&[(2, 100_000.0, 900.0, 50.0, 5_000.0)]);
+        let report = compare_sweeps(&base, &cur, 0.2).unwrap();
+        assert!(report.passed(), "no server baseline means no server gate");
+        assert_eq!(report.checks.len(), 2);
     }
 
     #[test]

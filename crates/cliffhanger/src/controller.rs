@@ -9,10 +9,12 @@
 
 use crate::cliff_scale::CliffScaler;
 use crate::config::CliffhangerConfig;
+use crate::events::{EventSink, SinkSlot};
 use crate::hill_climb::HillClimber;
 use crate::partitioned_queue::{PartitionedQueue, PartitionedQueueConfig, QueueEvent};
 use cache_core::{CacheStats, ClassId, Key};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A point-in-time view of one managed slab class (used by experiments that
 /// plot allocations over time, e.g. Figure 8).
@@ -51,6 +53,12 @@ pub struct Cliffhanger<V> {
     /// global hash table, so lookups without a size hint stay O(1).
     resident: std::collections::HashMap<Key, ClassId>,
     stats: CacheStats,
+    /// Optional host sink narrating allocation decisions (free-pool grants,
+    /// cliff-scaler ratio steps). `None` keeps every hook zero-cost.
+    sink: SinkSlot,
+    /// Last 5%-step bucket of each class's Talus ratio reported to the
+    /// sink, so per-twitch pointer moves do not flood the host's recorder.
+    ratio_buckets: Vec<i16>,
 }
 
 impl<V> Cliffhanger<V> {
@@ -112,6 +120,29 @@ impl<V> Cliffhanger<V> {
             free_bytes,
             resident: std::collections::HashMap::new(),
             stats: CacheStats::new(),
+            sink: SinkSlot::default(),
+            // Fresh partitioned queues start with an even 0.5 split.
+            ratio_buckets: vec![10; num_classes],
+        }
+    }
+
+    /// Installs a host sink for allocation decisions (free-pool grants and
+    /// cliff-scaler ratio steps). The sink is called inline from the data
+    /// path, so implementations must be cheap and non-blocking — the
+    /// intended host sink appends to a bounded ring journal.
+    pub fn set_event_sink(&mut self, sink: Arc<dyn EventSink + Send + Sync>) {
+        self.sink = SinkSlot(Some(sink));
+    }
+
+    /// Reports the class's Talus ratio to the sink when it crossed into a
+    /// new 5% step since the last report.
+    fn note_ratio(&mut self, idx: usize) {
+        let Some(sink) = &self.sink.0 else { return };
+        let ratio = self.queues[idx].ratio();
+        let bucket = (ratio * 20.0).round() as i16;
+        if bucket != self.ratio_buckets[idx] {
+            self.ratio_buckets[idx] = bucket;
+            sink.scaler_ratio(idx as u32, ratio);
         }
     }
 
@@ -178,6 +209,11 @@ impl<V> Cliffhanger<V> {
         if event.cliff_shadow_hit {
             self.stats.cliff_shadow_hits += 1;
         }
+        if event.cliff_shadow_hit || event.tail_hit {
+            // Only pointer events (tail / cliff-shadow hits) can move the
+            // Talus ratio, so this is the one place a step can appear.
+            self.note_ratio(idx);
+        }
         event
     }
 
@@ -210,6 +246,9 @@ impl<V> Cliffhanger<V> {
         self.climber.set_target(idx, new_target);
         self.queues[idx].set_target_bytes(new_target);
         self.free_bytes -= grant;
+        if let Some(sink) = &self.sink.0 {
+            sink.free_pool_grant(idx as u32, grant);
+        }
     }
 
     /// The demand-driven half of free-pool granting: a class that just
@@ -233,6 +272,9 @@ impl<V> Cliffhanger<V> {
         self.climber.set_target(idx, new_target);
         self.queues[idx].set_target_bytes(new_target);
         self.free_bytes -= grant;
+        if let Some(sink) = &self.sink.0 {
+            sink.free_pool_grant(idx as u32, grant);
+        }
     }
 
     fn hill_climb(&mut self, winner: usize) {
@@ -275,6 +317,7 @@ impl<V> Cliffhanger<V> {
         }
         if outcome.cliff_shadow_hit {
             self.stats.cliff_shadow_hits += 1;
+            self.note_ratio(class.index());
         }
         for evicted in &outcome.evicted {
             self.resident.remove(evicted);
@@ -870,6 +913,41 @@ mod tests {
         while c.shrink_some_class(32 << 10) {}
         assert!(c.class_target(giant) >= c.class_floor(giant));
         let _ = before;
+    }
+
+    #[test]
+    fn installed_sink_hears_grants_and_ratio_steps() {
+        use crate::events::test_support::RecordingSink;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut c: Cliffhanger<()> = Cliffhanger::new(config(1 << 20));
+        let sink = Arc::new(RecordingSink::default());
+        c.set_event_sink(sink.clone());
+        let free_before = c.free_bytes();
+        // Churn one class far past the budget: the warmup drains the free
+        // pool through grants, and the sustained evictions walk the cliff
+        // scaler's pointers until the ratio leaves its initial 0.5 step.
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..150_000u64 {
+            let k = key(rng.gen_range(0..12_000));
+            if !c.get(k, 60).unwrap().1.hit {
+                c.set(k, 60, ());
+            }
+        }
+        let grants = sink.grants.lock().unwrap();
+        let granted: u64 = grants.iter().map(|&(_, bytes)| bytes).sum();
+        assert!(!grants.is_empty(), "warmup must grant from the free pool");
+        assert_eq!(
+            granted,
+            free_before - c.free_bytes(),
+            "narrated grants account for every byte that left the pool"
+        );
+        let ratios = sink.ratios.lock().unwrap();
+        assert!(
+            !ratios.is_empty(),
+            "sustained cliff-shadow traffic must step the ratio"
+        );
+        assert!(ratios.iter().all(|&(_, r)| (0.0..=1.0).contains(&r)));
     }
 
     #[test]

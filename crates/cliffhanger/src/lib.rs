@@ -33,6 +33,10 @@
 //!   applications (tenants) sharing the live server are the queues, and the
 //!   arbiter moves budget between tenants globally, replacing Memcachier's
 //!   static reservations (§3) with dynamic cross-application arbitration.
+//! * [`events`] — the host-facing [`EventSink`] hook: balancers and the
+//!   controller narrate their decisions (transfers with the gradients that
+//!   justified them, cliff-scaler ratio steps, free-pool grants) to a sink
+//!   the host installs, typically a flight-recorder journal.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -41,6 +45,7 @@
 pub mod cliff_scale;
 pub mod config;
 pub mod controller;
+pub mod events;
 pub mod hill_climb;
 pub mod multi_app;
 pub mod partitioned_queue;
@@ -50,6 +55,7 @@ pub mod tenant_arbiter;
 pub use cliff_scale::{CliffScaler, PointerEvent};
 pub use config::{CliffhangerConfig, ShardBalanceConfig, TenantBalanceConfig};
 pub use controller::{ClassSnapshot, Cliffhanger};
+pub use events::{EventSink, NoopSink, TransferEvent};
 pub use hill_climb::HillClimber;
 pub use multi_app::CliffhangerServer;
 pub use partitioned_queue::{Partition, PartitionedQueue, QueueEvent, SetOutcome};

@@ -26,6 +26,7 @@
 //! which keeps it trivially testable and lock-free.
 
 use crate::config::ShardBalanceConfig;
+use crate::events::{EventSink, NoopSink, TransferEvent};
 use serde::{Deserialize, Serialize};
 
 /// One shard's cumulative counters and current budget, as observed by the
@@ -133,6 +134,20 @@ impl ShardRebalancer {
     /// The first round (or the first after [`ShardRebalancer::reset`], or a
     /// shard-count change) only records the baseline and proposes nothing.
     pub fn rebalance(&mut self, samples: &[ShardSample]) -> Vec<ShardTransfer> {
+        self.rebalance_with(samples, &NoopSink)
+    }
+
+    /// Like [`ShardRebalancer::rebalance`], but narrates each proposal to
+    /// `sink` as a [`TransferEvent`] carrying the bias-corrected smoothed
+    /// gradients of the donor and receiver — evidence that exists only
+    /// here, at proposal time, and that a flight recorder wants alongside
+    /// the transfer itself. Events are emitted in proposal order, one per
+    /// returned transfer.
+    pub fn rebalance_with(
+        &mut self,
+        samples: &[ShardSample],
+        sink: &dyn EventSink,
+    ) -> Vec<ShardTransfer> {
         self.rounds += 1;
         let current: Vec<u64> = samples.iter().map(|s| s.shadow_hits).collect();
         let Some(last) = self.last.replace(current) else {
@@ -211,6 +226,13 @@ impl ShardRebalancer {
             }
             budgets[loser] -= bytes;
             budgets[winner] += bytes;
+            sink.transfer(&TransferEvent {
+                from: loser,
+                to: winner,
+                bytes,
+                from_gradient: gradients[loser],
+                to_gradient: gradients[winner],
+            });
             transfers.push(ShardTransfer {
                 from: loser,
                 to: winner,
@@ -364,5 +386,25 @@ mod tests {
     fn single_shard_is_inert() {
         let mut r = warmed(config(), 1);
         assert!(r.rebalance(&samples(&[10_000], 16 << 20)).is_empty());
+    }
+
+    #[test]
+    fn rebalance_with_narrates_each_transfer_with_its_gradients() {
+        use crate::events::test_support::RecordingSink;
+        let mut r = warmed(config(), 4);
+        let sink = RecordingSink::default();
+        let transfers = r.rebalance_with(&samples(&[2_000, 1_500, 20, 10], 32 << 20), &sink);
+        let events = sink.transfers.lock().unwrap();
+        assert_eq!(events.len(), transfers.len());
+        for (event, transfer) in events.iter().zip(&transfers) {
+            assert_eq!(
+                (event.from, event.to, event.bytes),
+                (transfer.from, transfer.to, transfer.bytes)
+            );
+            assert!(
+                event.to_gradient > event.from_gradient,
+                "budget must move up-gradient: {event:?}"
+            );
+        }
     }
 }

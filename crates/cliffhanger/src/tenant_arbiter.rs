@@ -20,6 +20,7 @@
 //! spreads each transfer across its shards' per-tenant engines).
 
 use crate::config::TenantBalanceConfig;
+use crate::events::{EventSink, NoopSink};
 use crate::shard_balance::{ShardRebalancer, ShardSample};
 use serde::{Deserialize, Serialize};
 
@@ -98,6 +99,18 @@ impl TenantArbiter {
     /// nothing, and the first round after a cold start / reset / tenant-count
     /// change only records the baseline.
     pub fn arbitrate(&mut self, samples: &[TenantSample]) -> Vec<TenantTransfer> {
+        self.arbitrate_with(samples, &NoopSink)
+    }
+
+    /// Like [`TenantArbiter::arbitrate`], but narrates each proposal to
+    /// `sink` as a [`crate::TransferEvent`] whose indices are *tenant*
+    /// indices (the host sink maps them to tenant names), carrying the
+    /// smoothed gradient evidence that justified the move.
+    pub fn arbitrate_with(
+        &mut self,
+        samples: &[TenantSample],
+        sink: &dyn EventSink,
+    ) -> Vec<TenantTransfer> {
         let inner_samples: Vec<ShardSample> = samples
             .iter()
             .map(|s| ShardSample {
@@ -106,7 +119,7 @@ impl TenantArbiter {
             })
             .collect();
         self.inner
-            .rebalance(&inner_samples)
+            .rebalance_with(&inner_samples, sink)
             .into_iter()
             .map(|t| TenantTransfer {
                 from: t.from,

@@ -31,6 +31,9 @@ TARGET (default: self-host an in-process server):
     --server-workers <n>    server event loops, each multiplexing
                             many connections (0 = one per CPU)      [0]
     --rebalance <on|off>    cross-shard budget rebalancing          [on]
+    --slow-op-micros <n>    slow-op log threshold in microseconds
+                            (ops at/over it are counted and sampled
+                            into the server journal; 0 = off)       [0]
 
 LOAD:
     --requests <n>          measured requests                       [100000]
@@ -75,6 +78,7 @@ struct Args {
     server_workers: usize,
     rebalance: bool,
     tenant_balance: bool,
+    slow_op_micros: u64,
     sweep: Option<Vec<usize>>,
     json_path: Option<String>,
     load: LoadgenConfig,
@@ -168,6 +172,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         server_workers: 0,
         rebalance: true,
         tenant_balance: true,
+        slow_op_micros: 0,
         sweep: None,
         json_path: None,
         load: LoadgenConfig::default(),
@@ -192,6 +197,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--server-workers",
             "--rebalance",
             "--tenant-balance",
+            "--slow-op-micros",
         ] {
             if flag == known {
                 self_host_flag.get_or_insert(known);
@@ -238,6 +244,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     "off" => false,
                     other => return Err(format!("bad --tenant-balance {other:?} (want on|off)")),
                 }
+            }
+            "--slow-op-micros" => {
+                args.slow_op_micros = value("--slow-op-micros")?
+                    .parse()
+                    .map_err(|_| "bad --slow-op-micros".to_string())?
             }
             "--tenants" => tenants_spec = Some(value("--tenants")?),
             "--fill-on-miss" => {
@@ -412,6 +423,27 @@ fn summarize(report: &LoadReport) {
                 server.arbiter_bytes_moved as f64 / (1 << 20) as f64
             );
         }
+        if server.slow_ops > 0 || server.idle_closed_connections > 0 {
+            eprintln!(
+                "  slow ops: {}, idle-closed connections: {}",
+                server.slow_ops, server.idle_closed_connections
+            );
+        }
+    }
+    if let Some(stats) = &report.server_stats {
+        let p99 = |class: &str| {
+            stats
+                .get("service_latency")
+                .and_then(|s| s.get(class))
+                .and_then(|s| s.get("p99_us"))
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0)
+        };
+        eprintln!(
+            "  server-side service time p99 us: local {:.0}  remote {:.0}",
+            p99("local"),
+            p99("remote")
+        );
     }
     for tenant in &report.tenants {
         eprintln!(
@@ -475,6 +507,7 @@ fn run() -> Result<(), String> {
         workers: args.server_workers,
         rebalance: args.rebalance,
         tenant_balance: args.tenant_balance,
+        slow_op_micros: args.slow_op_micros,
         ..SelfHostConfig::default()
     };
 

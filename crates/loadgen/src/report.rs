@@ -8,6 +8,7 @@
 
 use crate::telemetry::LatencySummary;
 use serde::{Deserialize, Serialize};
+use serde_json::Value;
 
 /// Report of a single load-generation run.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -60,6 +61,13 @@ pub struct LoadReport {
     pub workload: WorkloadEcho,
     /// Server-side counters (present when the run self-hosted the server).
     pub server: Option<ServerEcho>,
+    /// The server's own telemetry document, scraped over the wire with
+    /// `stats json` after the measured window closes: the verbatim
+    /// `cliffhanger-stats/v1` tree, carrying per-loop service-time
+    /// histograms, the slow-op count and the control-plane journal. Present
+    /// when the run self-hosted the server. (Pre-PR7 reports lack the
+    /// field; same untyped-reader caveat as `tenants`.)
+    pub server_stats: Option<Value>,
     /// Per-tenant breakdowns of a multi-tenant run (empty for single-tenant
     /// runs; pre-PR4 reports lack the field, and every consumer of committed
     /// baselines reads them untyped, so those stay readable).
@@ -171,6 +179,13 @@ pub struct ServerEcho {
     /// The owning event loop of each shard, indexed by shard
     /// (`owner(shard) = shard % event_loops`).
     pub shard_owner_loops: Vec<u64>,
+    /// Connections the idle reaper closed during the run. (Pre-PR7 reports
+    /// lack the `idle_closed_connections`/`slow_ops` fields; same
+    /// untyped-reader caveat as above.)
+    pub idle_closed_connections: u64,
+    /// Ops that exceeded the server's slow-op threshold (0 when the
+    /// threshold is disabled).
+    pub slow_ops: u64,
 }
 
 /// One point of a shard sweep.

@@ -731,6 +731,7 @@ pub fn run_load(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         fill_latency: total.fill.summarize_us(),
         workload: workload_echo(&config.workload),
         server: None,
+        server_stats: None,
         tenants: tenant_sections,
     })
 }

@@ -42,6 +42,11 @@ pub struct SelfHostConfig {
     /// (the server default). Loadgen connections are busy, so this is only
     /// interesting for experiments that deliberately leak sessions.
     pub idle_timeout_ms: u64,
+    /// Slow-op log threshold in microseconds; 0 disables the log (the
+    /// server default). Ops at or over the threshold are counted in the
+    /// server's `slow_ops` stat and sampled into its flight-recorder
+    /// journal; the per-loop latency histograms record regardless.
+    pub slow_op_micros: u64,
 }
 
 impl Default for SelfHostConfig {
@@ -54,6 +59,7 @@ impl Default for SelfHostConfig {
             tenants: Vec::new(),
             tenant_balance: true,
             idle_timeout_ms: 0,
+            slow_op_micros: 0,
         }
     }
 }
@@ -97,6 +103,7 @@ pub fn run_self_hosted(
         max_connections: (load.connections * 2).max(4096),
         idle_timeout: (host.idle_timeout_ms > 0)
             .then(|| std::time::Duration::from_millis(host.idle_timeout_ms)),
+        slow_op_micros: host.slow_op_micros,
         backend: BackendConfig {
             total_bytes: host.total_bytes,
             mode: host.mode,
@@ -119,8 +126,17 @@ pub fn run_self_hosted(
     config.addr = server.local_addr().to_string();
     let result = run_load(&config);
     let stats = server.cache().stats();
+    // Scrape the machine-readable telemetry document over the wire — the
+    // same `stats json` surface an operator's collector would hit — so the
+    // report embeds the server's own view of the run (per-loop service-time
+    // histograms, slow ops, the control-plane journal).
+    let server_stats = cache_server::CacheClient::connect(server.local_addr())
+        .and_then(|mut c| c.stats_json())
+        .ok()
+        .and_then(|json| serde_json::from_str(&json).ok());
     server.shutdown();
     let mut report = result?;
+    report.server_stats = server_stats;
     report.server = Some(ServerEcho {
         shards: server.cache().shard_count() as u64,
         total_bytes: host.total_bytes,
@@ -143,6 +159,8 @@ pub fn run_self_hosted(
         shard_owner_loops: (0..server.cache().shard_count())
             .map(|s| stat_u64(&stats, &format!("shard:{s}:owner_loop")))
             .collect(),
+        idle_closed_connections: stat_u64(&stats, "idle_closed_connections"),
+        slow_ops: stat_u64(&stats, "plane:slow_ops"),
     });
     // Attach each tenant section's server-side facts (budget, gradient
     // signal, evictions) from the per-tenant stats lines.
@@ -235,6 +253,31 @@ mod tests {
         assert_eq!(server.workers, 2);
         assert_eq!(report.requests, 1_500);
         assert!(report.throughput_rps > 0.0);
+        // The wire-scraped telemetry document rides along, with real
+        // per-class service-time samples behind it.
+        let stats = report
+            .server_stats
+            .expect("self-hosted run must scrape stats json");
+        assert_eq!(
+            stats.get("schema").and_then(|v| v.as_str()),
+            Some("cliffhanger-stats/v1")
+        );
+        let local_count = stats
+            .get("service_latency")
+            .and_then(|s| s.get("local"))
+            .and_then(|s| s.get("count"))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        let remote_count = stats
+            .get("service_latency")
+            .and_then(|s| s.get("remote"))
+            .and_then(|s| s.get("count"))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        assert!(
+            local_count + remote_count > 0,
+            "the run's ops must land in the server-side histograms"
+        );
     }
 
     #[test]

@@ -163,6 +163,35 @@ impl CacheClient {
         }
     }
 
+    /// Fetches the machine-readable statistics document (`stats json`): a
+    /// one-line versioned `cliffhanger-stats/v1` JSON payload.
+    pub fn stats_json(&mut self) -> std::io::Result<String> {
+        self.stats_blob(b"stats json\r\n")
+    }
+
+    /// Fetches the Prometheus text exposition (`stats prom`).
+    pub fn stats_prom(&mut self) -> std::io::Result<String> {
+        self.stats_blob(b"stats prom\r\n")
+    }
+
+    /// Reads an END-terminated blob reply line by line, preserving the
+    /// payload's own line structure.
+    fn stats_blob(&mut self, command: &[u8]) -> std::io::Result<String> {
+        self.writer.write_all(command)?;
+        let mut payload = String::new();
+        loop {
+            let line = self.read_line()?;
+            if line == "END" {
+                return Ok(payload);
+            }
+            if line.starts_with("CLIENT_ERROR") || line == "ERROR" {
+                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, line));
+            }
+            payload.push_str(&line);
+            payload.push('\n');
+        }
+    }
+
     /// Fetches the server version string.
     pub fn version(&mut self) -> std::io::Result<String> {
         self.writer.write_all(b"version\r\n")?;

@@ -317,6 +317,7 @@ impl Connection {
         self.pending = None;
         let response = match result {
             AdminResult::Stats(lines) => Response::Stats(lines),
+            AdminResult::Blob(payload) => Response::Blob(payload),
             AdminResult::Flushed => Response::Ok,
             AdminResult::Created(Ok(_)) => Response::Ok,
             AdminResult::Created(Err(reason)) => Response::ClientError(reason),
@@ -394,9 +395,9 @@ impl Connection {
                     let (shard, id, route) = ctx.state.route(self.tenant, key);
                     match route {
                         Ok(local) => {
-                            ctx.state.local_ops += 1;
                             let outcome =
-                                ctx.state.apply(local, self.tenant, id, key, &DataVerb::Get);
+                                ctx.state
+                                    .apply_local(local, self.tenant, id, key, &DataVerb::Get);
                             results[slot] = Some(match outcome {
                                 DataOutcome::Value(found) => found,
                                 DataOutcome::Flag(_) => None,
@@ -410,6 +411,7 @@ impl Connection {
                                 id,
                                 key: key.clone(),
                                 verb: DataVerb::Get,
+                                enqueued: Instant::now(),
                                 reply: DataReplyTo::Conn {
                                     origin: ctx.state.index,
                                     token: ctx.token,
@@ -448,8 +450,7 @@ impl Connection {
                 let (shard, id, route) = ctx.state.route(self.tenant, &key);
                 match route {
                     Ok(local) => {
-                        ctx.state.local_ops += 1;
-                        let outcome = ctx.state.apply(local, self.tenant, id, &key, &verb);
+                        let outcome = ctx.state.apply_local(local, self.tenant, id, &key, &verb);
                         if !noreply {
                             let stored = matches!(outcome, DataOutcome::Flag(true));
                             let response = if stored {
@@ -468,6 +469,7 @@ impl Connection {
                             id,
                             key,
                             verb,
+                            enqueued: Instant::now(),
                             reply: DataReplyTo::Conn {
                                 origin: ctx.state.index,
                                 token: ctx.token,
@@ -487,10 +489,9 @@ impl Connection {
                 let (shard, id, route) = ctx.state.route(self.tenant, &key);
                 match route {
                     Ok(local) => {
-                        ctx.state.local_ops += 1;
                         let outcome =
                             ctx.state
-                                .apply(local, self.tenant, id, &key, &DataVerb::Delete);
+                                .apply_local(local, self.tenant, id, &key, &DataVerb::Delete);
                         if !noreply {
                             let deleted = matches!(outcome, DataOutcome::Flag(true));
                             let response = if deleted {
@@ -509,6 +510,7 @@ impl Connection {
                             id,
                             key,
                             verb: DataVerb::Delete,
+                            enqueued: Instant::now(),
                             reply: DataReplyTo::Conn {
                                 origin: ctx.state.index,
                                 token: ctx.token,
@@ -552,7 +554,7 @@ impl Connection {
                 ),
             },
             Command::AppList => self.forward_admin(AdminOp::AppList, ctx),
-            Command::Stats => self.forward_admin(AdminOp::Stats, ctx),
+            Command::Stats { format } => self.forward_admin(AdminOp::Stats { format }, ctx),
             Command::Version => encode_response(
                 &Response::Version("cliffhanger-cache 0.1.0".to_string()),
                 &mut self.out,

@@ -17,7 +17,8 @@ use bytes::Bytes;
 use cache_core::key::mix64;
 use cache_core::store::AllocationMode;
 use cache_core::{hash_bytes, CacheStats, Key, PolicyKind, SlabCache, SlabCacheConfig};
-use cliffhanger::{Cliffhanger, CliffhangerConfig};
+use cliffhanger::{Cliffhanger, CliffhangerConfig, EventSink};
+use std::sync::Arc;
 
 /// A value as stored by the server.
 #[derive(Clone, Debug)]
@@ -113,6 +114,14 @@ impl Engine {
                 };
                 Engine::Managed(Box::new(Cliffhanger::new(cfg)))
             }
+        }
+    }
+
+    /// Installs a decision-event sink on a managed engine (the flight
+    /// recorder hook); a plain slab cache makes no decisions to narrate.
+    pub(crate) fn set_event_sink(&mut self, sink: Arc<dyn EventSink + Send + Sync>) {
+        if let Engine::Managed(cache) = self {
+            cache.set_event_sink(sink);
         }
     }
 

@@ -57,6 +57,6 @@ mod stats;
 pub use backend::{detect_shards, BackendConfig, BackendMode, SharedCache, TenantSpec};
 pub use client::CacheClient;
 pub use plane::PlaneHandle;
-pub use protocol::{Command, Response};
+pub use protocol::{Command, Response, StatsFormat};
 pub use reactor::ConnTelemetry;
 pub use server::{default_event_loops, CacheServer, ServerConfig};

@@ -39,20 +39,33 @@
 
 use crate::backend::{BackendConfig, BackendMode};
 use crate::engine::{even_split, route_key, weighted_split, Engine};
+use crate::protocol::StatsFormat;
 use crate::reactor::{ConnTelemetry, Mailbox};
 use crate::stats::{
-    render_stats, BalanceCounters, EngineStat, PlaneStats, StatsSnapshot, WireCounts,
+    build_document, render_json, render_prom, render_stats, BalanceCounters, EngineStat,
+    LoopTelemetry, PlaneStats, StatsSnapshot, WireCounts,
 };
 use bytes::Bytes;
 use cache_core::{Key, TenantDirectory};
-use cliffhanger::{ShardRebalancer, ShardSample, TenantArbiter, TenantSample};
+use cliffhanger::{
+    EventSink, ShardRebalancer, ShardSample, TenantArbiter, TenantSample, TransferEvent,
+};
 use parking_lot::Mutex;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use telemetry::{EventKind, Histogram, Journal};
+
+/// Ring capacity of the control-plane flight recorder: enough to hold a
+/// long tail of balancing history at a few hundred bytes per event.
+const JOURNAL_CAPACITY: usize = 1024;
+
+/// Slow-op journal sampling: record the first slow op and every 64th after
+/// it (per loop), so a pathological threshold cannot flood the ring.
+const SLOW_OP_SAMPLE: u64 = 64;
 
 /// Everything an event loop can find in its mailbox.
 pub(crate) enum LoopMsg {
@@ -94,6 +107,10 @@ pub(crate) struct DataOp {
     pub(crate) key: Bytes,
     pub(crate) verb: DataVerb,
     pub(crate) reply: DataReplyTo,
+    /// When the issuing side created the op. The owning loop's
+    /// remote-latency histogram measures from here, so forwarded ops are
+    /// charged their mailbox queueing delay, not just engine time.
+    pub(crate) enqueued: Instant,
 }
 
 /// The operation itself.
@@ -160,6 +177,9 @@ pub(crate) enum ControlMsg {
     /// then bring up the new tenant's engine on every owned shard with the
     /// bytes actually carved there. Replies the granted asks.
     CarveAdd {
+        /// The new tenant's name (not yet in the loops' tables — the
+        /// generation bump that publishes it happens after every carve).
+        name: String,
         asks: Vec<(usize, usize, u64)>,
         reply: Sender<Vec<(usize, usize, u64)>>,
     },
@@ -174,6 +194,12 @@ pub(crate) struct LoopSnapshot {
     pub(crate) remote_in: u64,
     pub(crate) remote_out: u64,
     pub(crate) admin_forwards: u64,
+    /// Service times of ops this loop ran for its own connections.
+    pub(crate) local_latency: Histogram,
+    /// Queue + service times of ops forwarded here by sibling loops.
+    pub(crate) remote_latency: Histogram,
+    /// Ops that exceeded the configured slow-op threshold on this loop.
+    pub(crate) slow_ops: u64,
 }
 
 /// Requests to the control thread.
@@ -190,7 +216,7 @@ pub(crate) enum CtrlReq {
 
 /// The admin commands the control thread serialises.
 pub(crate) enum AdminOp {
-    Stats,
+    Stats { format: StatsFormat },
     FlushTenant { tenant: usize },
     CreateTenant { name: String, weight: u64 },
     AppList,
@@ -208,6 +234,9 @@ pub(crate) enum AdminReply {
 /// An admin command's result.
 pub(crate) enum AdminResult {
     Stats(Vec<(String, String)>),
+    /// A machine-readable stats payload (`stats json` / `stats prom`),
+    /// already rendered to its wire text.
+    Blob(String),
     Flushed,
     Created(Result<usize, String>),
     Apps(Vec<(String, u64, u64)>),
@@ -252,6 +281,11 @@ pub(crate) struct PlaneShared {
     /// Bumped by the control thread after every tenant-table change.
     pub(crate) generation: AtomicU64,
     pub(crate) roster: Mutex<RosterMaster>,
+    /// The control-plane flight recorder. Lock-free claims; writers are
+    /// control-plane actors only (never the per-request fast path).
+    pub(crate) journal: Arc<Journal>,
+    /// Slow-op threshold in nanoseconds; 0 disables the slow-op log.
+    pub(crate) slow_op_nanos: u64,
     rebalance_pending: AtomicBool,
     arbitrate_pending: AtomicBool,
 }
@@ -261,6 +295,49 @@ impl PlaneShared {
     pub(crate) fn owner_of(&self, shard: usize) -> usize {
         shard % self.loops
     }
+}
+
+/// The [`EventSink`] installed on every managed engine: tags the library's
+/// anonymous decision events with the engine's (shard, tenant) identity and
+/// appends them to the flight recorder. Transfers are not journalled here —
+/// the balancers run in the control thread, which records only the
+/// transfers it actually applied.
+struct EngineSink {
+    journal: Arc<Journal>,
+    shard: usize,
+    tenant: String,
+}
+
+impl EventSink for EngineSink {
+    fn scaler_ratio(&self, class: u32, ratio: f64) {
+        self.journal.record(EventKind::ScalerRatio {
+            shard: self.shard,
+            tenant: self.tenant.clone(),
+            class,
+            ratio,
+        });
+    }
+
+    fn free_pool_grant(&self, class: u32, bytes: u64) {
+        self.journal.record(EventKind::FreePoolGrant {
+            shard: self.shard,
+            tenant: self.tenant.clone(),
+            class,
+            bytes,
+        });
+    }
+}
+
+/// Builds an engine for `(shard, tenant)` with the flight-recorder sink
+/// installed (a no-op on plain engines).
+fn build_engine(shared: &PlaneShared, shard: usize, tenant: &str, budget: u64) -> Engine {
+    let mut engine = Engine::build(&shared.config, budget);
+    engine.set_event_sink(Arc::new(EngineSink {
+        journal: Arc::clone(&shared.journal),
+        shard,
+        tenant: tenant.to_string(),
+    }));
+    engine
 }
 
 /// One owned engine and its wire counters — plain fields, touched only by
@@ -322,6 +399,12 @@ pub(crate) struct LoopState {
     pub(crate) remote_out: u64,
     /// Admin commands forwarded to the control thread.
     pub(crate) admin_forwards: u64,
+    /// Service times of ops run for this loop's own connections (ns).
+    local_latency: Histogram,
+    /// Queue + service times of ops forwarded here by siblings (ns).
+    remote_latency: Histogram,
+    /// Ops over the slow-op threshold (0 threshold = never counted).
+    slow_ops: u64,
     ops: u64,
     rebalance_interval: u64,
     arbitrate_interval: u64,
@@ -331,13 +414,17 @@ pub(crate) struct LoopState {
 
 impl LoopState {
     fn new(index: usize, shared: Arc<PlaneShared>, initial_budgets: &[Vec<u64>]) -> LoopState {
+        let tenants = shared.roster.lock().directory.names().to_vec();
         let owned: Vec<OwnedShard> = (index..shared.shards)
             .step_by(shared.loops)
             .map(|s| OwnedShard {
                 global: s,
                 cells: initial_budgets
                     .iter()
-                    .map(|per_shard| OwnedEngine::new(Engine::build(&shared.config, per_shard[s])))
+                    .zip(&tenants)
+                    .map(|(per_shard, name)| {
+                        OwnedEngine::new(build_engine(&shared, s, name, per_shard[s]))
+                    })
                     .collect(),
             })
             .collect();
@@ -345,7 +432,6 @@ impl LoopState {
         for (i, shard) in owned.iter().enumerate() {
             slots[shard.global] = Some(i);
         }
-        let tenants = shared.roster.lock().directory.names().to_vec();
         let loops = shared.loops as u64;
         LoopState {
             index,
@@ -357,6 +443,9 @@ impl LoopState {
             remote_in: 0,
             remote_out: 0,
             admin_forwards: 0,
+            local_latency: Histogram::new(),
+            remote_latency: Histogram::new(),
+            slow_ops: 0,
             ops: 0,
             rebalance_interval: (shared.config.rebalance.interval_requests / loops).max(1),
             arbitrate_interval: (shared.config.tenant_balance.interval_requests / loops).max(1),
@@ -458,6 +547,49 @@ impl LoopState {
         outcome
     }
 
+    /// [`LoopState::apply`] for the loop's own connections: counts the op
+    /// as local and records its service time in the local histogram.
+    pub(crate) fn apply_local(
+        &mut self,
+        slot: usize,
+        tenant: usize,
+        id: Key,
+        key: &[u8],
+        verb: &DataVerb,
+    ) -> DataOutcome {
+        let started = Instant::now();
+        let outcome = self.apply(slot, tenant, id, key, verb);
+        self.local_ops += 1;
+        let nanos = started.elapsed().as_nanos() as u64;
+        self.local_latency.record(nanos);
+        self.note_slow(nanos, "local");
+        outcome
+    }
+
+    /// Counts (and samples into the journal) an op over the slow-op
+    /// threshold. Off the fast path when the threshold is 0 (one compare).
+    fn note_slow(&mut self, nanos: u64, class: &str) {
+        let threshold = self.shared.slow_op_nanos;
+        if threshold == 0 || nanos < threshold {
+            return;
+        }
+        self.slow_ops += 1;
+        if self.slow_ops % SLOW_OP_SAMPLE == 1 {
+            self.shared.journal.record(EventKind::SlowOp {
+                loop_index: self.index,
+                class: class.to_string(),
+                micros: nanos / 1_000,
+            });
+        }
+    }
+
+    /// The idle reaper closed a connection: leave a journal trace.
+    pub(crate) fn note_idle_reap(&self) {
+        self.shared.journal.record(EventKind::IdleReap {
+            loop_index: self.index,
+        });
+    }
+
     /// Counts one executed data op and nudges the control thread when a
     /// balancing interval elapses. The pending flags collapse concurrent
     /// triggers from many loops into one queued round.
@@ -539,6 +671,12 @@ impl LoopState {
                 _ => DataOutcome::Flag(false),
             },
         };
+        // Forwarded ops are measured from the moment the issuing side
+        // created them: mailbox queueing is part of the latency a remote
+        // key pays, and hiding it would make the two histograms lie.
+        let nanos = op.enqueued.elapsed().as_nanos() as u64;
+        self.remote_latency.record(nanos);
+        self.note_slow(nanos, "remote");
         match op.reply {
             DataReplyTo::Conn {
                 origin,
@@ -595,15 +733,16 @@ impl LoopState {
                 budget,
                 reply,
             } => {
-                let config = Arc::clone(&self.shared);
+                let shared = Arc::clone(&self.shared);
+                let name = self.tenants.get(tenant).cloned().unwrap_or_default();
                 if let Some(cell) =
                     self.slots[shard].and_then(|slot| self.owned[slot].cells.get_mut(tenant))
                 {
-                    cell.engine = Engine::build(&config.config, budget);
+                    cell.engine = build_engine(&shared, shard, &name, budget);
                 }
                 let _ = reply.send(());
             }
-            ControlMsg::CarveAdd { asks, reply } => {
+            ControlMsg::CarveAdd { name, asks, reply } => {
                 let shared = Arc::clone(&self.shared);
                 let mut granted: Vec<(usize, usize, u64)> = Vec::new();
                 let mut carved = vec![0u64; shared.shards];
@@ -618,8 +757,10 @@ impl LoopState {
                     }
                 }
                 for shard in self.owned.iter_mut() {
-                    shard.cells.push(OwnedEngine::new(Engine::build(
-                        &shared.config,
+                    shard.cells.push(OwnedEngine::new(build_engine(
+                        &shared,
+                        shard.global,
+                        &name,
                         carved[shard.global].max(1),
                     )));
                 }
@@ -654,6 +795,9 @@ impl LoopState {
             remote_in: self.remote_in,
             remote_out: self.remote_out,
             admin_forwards: self.admin_forwards,
+            local_latency: self.local_latency.clone(),
+            remote_latency: self.remote_latency.clone(),
+            slow_ops: self.slow_ops,
         }
     }
 }
@@ -676,6 +820,21 @@ struct Control {
     arbiter_bytes: u64,
     admin_msgs: u64,
     idle_timeout_ms: u64,
+    /// Service times of the admin commands this thread ran (ns).
+    admin_latency: Histogram,
+}
+
+/// A one-round [`EventSink`] that captures the balancer's proposals (with
+/// their gradient evidence) so the control thread can journal exactly the
+/// transfers it goes on to apply. Interior mutability because sink methods
+/// take `&self`.
+#[derive(Default)]
+struct CapturedTransfers(std::cell::RefCell<Vec<TransferEvent>>);
+
+impl EventSink for CapturedTransfers {
+    fn transfer(&self, event: &TransferEvent) {
+        self.0.borrow_mut().push(event.clone());
+    }
 }
 
 impl Control {
@@ -707,8 +866,13 @@ impl Control {
                 }
                 CtrlReq::Admin { op, reply } => {
                     self.admin_msgs += 1;
+                    let started = Instant::now();
                     let result = match op {
-                        AdminOp::Stats => AdminResult::Stats(self.stats()),
+                        AdminOp::Stats { format } => match format {
+                            StatsFormat::Text => AdminResult::Stats(self.stats()),
+                            StatsFormat::Json => AdminResult::Blob(self.stats_blob(format)),
+                            StatsFormat::Prom => AdminResult::Blob(self.stats_blob(format)),
+                        },
                         AdminOp::FlushTenant { tenant } => {
                             self.flush_tenant(tenant);
                             AdminResult::Flushed
@@ -718,6 +882,8 @@ impl Control {
                         }
                         AdminOp::AppList => AdminResult::Apps(self.app_list()),
                     };
+                    self.admin_latency
+                        .record(started.elapsed().as_nanos() as u64);
                     match reply {
                         AdminReply::Conn { origin, token, seq } => {
                             let _ = self.shared.mailboxes[origin].send(LoopMsg::AdminDone {
@@ -828,13 +994,26 @@ impl Control {
                     budget_bytes: roster.budgets[t][s],
                 })
                 .collect();
-            for tr in self.balancers[t].rebalance(&samples) {
+            // Capture the proposals' gradient evidence so the journal can
+            // record *applied* transfers with the reasoning behind them.
+            let sink = CapturedTransfers::default();
+            let proposals = self.balancers[t].rebalance_with(&samples, &sink);
+            let evidence = sink.0.into_inner();
+            for (tr, ev) in proposals.iter().zip(&evidence) {
                 if self.shrink_on_owner(tr.from, t, tr.bytes) {
                     roster.budgets[t][tr.from] -= tr.bytes;
                     self.grow_on_owner(tr.to, t, tr.bytes);
                     roster.budgets[t][tr.to] += tr.bytes;
                     self.rebalance_transfers += 1;
                     self.rebalance_bytes += tr.bytes;
+                    self.shared.journal.record(EventKind::ShardTransfer {
+                        tenant: roster.directory.name(t).to_string(),
+                        from_shard: tr.from,
+                        to_shard: tr.to,
+                        bytes: tr.bytes,
+                        from_gradient: ev.from_gradient,
+                        to_gradient: ev.to_gradient,
+                    });
                 }
             }
         }
@@ -862,7 +1041,10 @@ impl Control {
                 budget_bytes: roster.budgets[t].iter().sum(),
             })
             .collect();
-        for tr in self.arbiter.arbitrate(&samples) {
+        let sink = CapturedTransfers::default();
+        let proposals = self.arbiter.arbitrate_with(&samples, &sink);
+        let evidence = sink.0.into_inner();
+        for (tr, ev) in proposals.iter().zip(&evidence) {
             let mut moved = 0u64;
             for s in 0..shared.shards {
                 let slice = tr.bytes / n + u64::from((s as u64) < tr.bytes % n);
@@ -880,6 +1062,13 @@ impl Control {
             if moved > 0 {
                 self.arbiter_transfers += 1;
                 self.arbiter_bytes += moved;
+                self.shared.journal.record(EventKind::TenantTransfer {
+                    from_tenant: roster.directory.name(tr.from).to_string(),
+                    to_tenant: roster.directory.name(tr.to).to_string(),
+                    bytes: moved,
+                    from_gradient: ev.from_gradient,
+                    to_gradient: ev.to_gradient,
+                });
             }
         }
         self.arbiter_runs += 1;
@@ -919,6 +1108,9 @@ impl Control {
             roster.budgets[tenant][s] = shares[s];
         }
         self.balancers[tenant].reset();
+        shared.journal.record(EventKind::TenantFlushed {
+            tenant: roster.directory.name(tenant).to_string(),
+        });
     }
 
     /// Hosts a new application live (`app_create`): validate, carve a
@@ -966,6 +1158,7 @@ impl Control {
             // new tenant's cells.
             if i < n {
                 let _ = shared.mailboxes[i].send(LoopMsg::Control(ControlMsg::CarveAdd {
+                    name: name.to_string(),
                     asks,
                     reply: tx.clone(),
                 }));
@@ -979,6 +1172,19 @@ impl Control {
                 carved_per_shard[s] += bytes;
             }
         }
+        for (s, &bytes) in carved_per_shard.iter().enumerate() {
+            if bytes > 0 {
+                shared.journal.record(EventKind::CarveOut {
+                    tenant: name.to_string(),
+                    shard: s,
+                    bytes,
+                });
+            }
+        }
+        shared.journal.record(EventKind::TenantCreated {
+            tenant: name.to_string(),
+            weight,
+        });
         // Rebase every tenant's flush-restore point to the post-carve live
         // split: restoring the donors' pre-carve budgets on `flush` while
         // the new tenant keeps its carve would over-commit the total.
@@ -1013,15 +1219,17 @@ impl Control {
             .collect()
     }
 
-    /// Assembles the full `stats` report from loop snapshots, the roster
-    /// and the control thread's own round counters.
-    fn stats(&self) -> Vec<(String, String)> {
+    /// Assembles the stats state every exposition format renders from:
+    /// the engine-level snapshot, the plane counters and the per-loop
+    /// service-time telemetry.
+    fn collect(&self) -> (StatsSnapshot, PlaneStats, Vec<LoopTelemetry>) {
         let shared = Arc::clone(&self.shared);
         let snaps = self.gather();
         let roster = shared.roster.lock();
         let tenants = roster.directory.len();
         let mut cells = vec![vec![EngineStat::default(); tenants]; shared.shards];
         let mut per_loop = vec![(0u64, 0u64, 0u64); shared.loops];
+        let mut loops = vec![LoopTelemetry::default(); shared.loops];
         // Loops count what they forwarded, control counts what it served;
         // the two only differ transiently (a forward still in flight) or
         // for admin calls arriving through the synchronous handle instead
@@ -1030,6 +1238,11 @@ impl Control {
         let admin_msgs = self.admin_msgs.max(forwarded);
         for snap in snaps.iter().flatten() {
             per_loop[snap.loop_index] = (snap.local_ops, snap.remote_in, snap.remote_out);
+            loops[snap.loop_index] = LoopTelemetry {
+                local: snap.local_latency.clone(),
+                remote: snap.remote_latency.clone(),
+                slow_ops: snap.slow_ops,
+            };
             for (shard, engines) in &snap.engines {
                 for (t, cell) in engines.iter().enumerate().take(tenants) {
                     cells[*shard][t] = cell.clone();
@@ -1062,8 +1275,33 @@ impl Control {
             per_loop,
             admin_msgs,
             idle_timeout_ms: self.idle_timeout_ms,
+            slow_ops: loops.iter().map(|l| l.slow_ops).sum(),
         };
+        (snapshot, plane, loops)
+    }
+
+    /// The legacy human-oriented `stats` report.
+    fn stats(&self) -> Vec<(String, String)> {
+        let (snapshot, plane, _) = self.collect();
         render_stats(&snapshot, Some(&self.telemetry), Some(&plane))
+    }
+
+    /// The machine-readable expositions: one `cliffhanger-stats/v1`
+    /// document, rendered as JSON or Prometheus text.
+    fn stats_blob(&self, format: StatsFormat) -> String {
+        let (snapshot, plane, loops) = self.collect();
+        let doc = build_document(
+            &snapshot,
+            Some(&self.telemetry),
+            &plane,
+            &loops,
+            &self.admin_latency,
+            &self.shared.journal,
+        );
+        match format {
+            StatsFormat::Prom => render_prom(&doc),
+            _ => render_json(&doc),
+        }
     }
 }
 
@@ -1089,6 +1327,7 @@ impl PlaneHandle {
                 key: Bytes::copy_from_slice(key),
                 verb,
                 reply: DataReplyTo::Sync(tx),
+                enqueued: Instant::now(),
             }))
             .ok()?;
         rx.recv().ok()
@@ -1175,10 +1414,45 @@ impl PlaneHandle {
 
     /// The full `stats` report (empty after shutdown).
     pub fn stats(&self) -> Vec<(String, String)> {
-        match self.admin(AdminOp::Stats) {
+        match self.admin(AdminOp::Stats {
+            format: StatsFormat::Text,
+        }) {
             Some(AdminResult::Stats(lines)) => lines,
             _ => Vec::new(),
         }
+    }
+
+    /// The versioned `cliffhanger-stats/v1` JSON document (empty after
+    /// shutdown).
+    pub fn stats_json(&self) -> String {
+        match self.admin(AdminOp::Stats {
+            format: StatsFormat::Json,
+        }) {
+            Some(AdminResult::Blob(text)) => text,
+            _ => String::new(),
+        }
+    }
+
+    /// The Prometheus text exposition of the same stats document (empty
+    /// after shutdown).
+    pub fn stats_prom(&self) -> String {
+        match self.admin(AdminOp::Stats {
+            format: StatsFormat::Prom,
+        }) {
+            Some(AdminResult::Blob(text)) => text,
+            _ => String::new(),
+        }
+    }
+
+    /// The retained flight-recorder events, oldest first.
+    pub fn journal_events(&self) -> Vec<telemetry::JournalEvent> {
+        self.shared.journal.snapshot()
+    }
+
+    /// Journals a connection shed at the accept gate (called by the
+    /// acceptor, which has no loop state of its own).
+    pub(crate) fn note_connection_shed(&self) {
+        self.shared.journal.record(EventKind::ConnectionShed);
     }
 
     /// Drops every item of one tenant, keeping (but re-splitting) its
@@ -1307,6 +1581,7 @@ impl Plane {
         workers: usize,
         telemetry: Arc<ConnTelemetry>,
         idle_timeout: Option<Duration>,
+        slow_op_micros: u64,
     ) -> std::io::Result<Plane> {
         let directory = config.tenant_directory();
         let weights = config.tenant_weights(&directory);
@@ -1346,6 +1621,8 @@ impl Plane {
                 initial_budgets: initial_budgets.clone(),
                 budgets: initial_budgets.clone(),
             }),
+            journal: Arc::new(Journal::new(JOURNAL_CAPACITY)),
+            slow_op_nanos: slow_op_micros.saturating_mul(1_000),
             rebalance_pending: AtomicBool::new(false),
             arbitrate_pending: AtomicBool::new(false),
             config,
@@ -1366,6 +1643,7 @@ impl Plane {
             arbiter_bytes: 0,
             admin_msgs: 0,
             idle_timeout_ms: idle_timeout.map(|t| t.as_millis() as u64).unwrap_or(0),
+            admin_latency: Histogram::new(),
         };
         let control_thread = std::thread::Builder::new()
             .name("cache-control".to_string())

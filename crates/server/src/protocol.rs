@@ -78,14 +78,30 @@ pub enum Command {
     },
     /// `app_list` — list the hosted applications.
     AppList,
-    /// `stats`.
-    Stats,
+    /// `stats`, `stats json` or `stats prom`.
+    Stats {
+        /// Which rendering the client asked for (`stats` alone is the
+        /// legacy `STAT` line format).
+        format: StatsFormat,
+    },
     /// `version`.
     Version,
     /// `flush_all` — drop every item.
     FlushAll,
     /// `quit` — close the connection.
     Quit,
+}
+
+/// The rendering a `stats` command asked for.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// Legacy `STAT <name> <value>` lines (plain `stats`).
+    #[default]
+    Text,
+    /// One-line versioned JSON document (`stats json`).
+    Json,
+    /// Prometheus text exposition (`stats prom`).
+    Prom,
 }
 
 /// The store verbs of the protocol.
@@ -118,6 +134,10 @@ pub enum Response {
     Version(String),
     /// `STAT <name> <value>` lines followed by `END`.
     Stats(Vec<(String, String)>),
+    /// A machine-readable stats payload (JSON or Prometheus text)
+    /// followed by `END` on its own line (the reply to `stats json` /
+    /// `stats prom`).
+    Blob(String),
     /// `APP <name> <weight> <budget>` lines followed by `END` (the reply to
     /// `app_list`).
     Apps(Vec<AppEntry>),
@@ -281,7 +301,18 @@ fn parse_line(line: &[u8]) -> LineOutcome {
             }
         }
         "app_list" => LineOutcome::Complete(Command::AppList),
-        "stats" => LineOutcome::Complete(Command::Stats),
+        "stats" => {
+            let format = match (parts.next(), parts.next()) {
+                (None, _) => Some(StatsFormat::Text),
+                (Some("json"), None) => Some(StatsFormat::Json),
+                (Some("prom"), None) => Some(StatsFormat::Prom),
+                _ => None,
+            };
+            match format {
+                Some(format) => LineOutcome::Complete(Command::Stats { format }),
+                None => LineOutcome::Invalid("stats takes at most one of: json, prom".to_string()),
+            }
+        }
         "version" => LineOutcome::Complete(Command::Version),
         "flush_all" => LineOutcome::Complete(Command::FlushAll),
         "quit" => LineOutcome::Complete(Command::Quit),
@@ -480,6 +511,13 @@ pub fn encode_response(response: &Response, out: &mut Vec<u8>) {
             }
             out.extend_from_slice(b"END\r\n");
         }
+        Response::Blob(payload) => {
+            out.extend_from_slice(payload.as_bytes());
+            if !payload.ends_with('\n') {
+                out.extend_from_slice(b"\r\n");
+            }
+            out.extend_from_slice(b"END\r\n");
+        }
         Response::Apps(apps) => {
             for app in apps {
                 out.extend_from_slice(
@@ -634,7 +672,9 @@ mod tests {
         ));
         assert!(matches!(
             parse_command(&mut b),
-            ParseOutcome::Complete(Command::Stats)
+            ParseOutcome::Complete(Command::Stats {
+                format: StatsFormat::Text
+            })
         ));
         assert!(matches!(
             parse_command(&mut b),
@@ -786,8 +826,39 @@ mod tests {
         }
         assert!(matches!(
             parser.parse(&mut b),
-            ParseOutcome::Complete(Command::Stats)
+            ParseOutcome::Complete(Command::Stats { .. })
         ));
+    }
+
+    #[test]
+    fn parses_stats_formats() {
+        for (line, format) in [
+            (&b"stats\r\n"[..], StatsFormat::Text),
+            (b"stats json\r\n", StatsFormat::Json),
+            (b"stats prom\r\n", StatsFormat::Prom),
+        ] {
+            let mut b = buf(line);
+            match parse_command(&mut b) {
+                ParseOutcome::Complete(Command::Stats { format: got }) => assert_eq!(got, format),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        for bad in [&b"stats yaml\r\n"[..], b"stats json extra\r\n"] {
+            let mut b = buf(bad);
+            assert!(matches!(parse_command(&mut b), ParseOutcome::Invalid(_)));
+        }
+    }
+
+    #[test]
+    fn encodes_blob_responses() {
+        // A single-line JSON document gains its own CRLF before END.
+        let mut out = Vec::new();
+        encode_response(&Response::Blob("{\"schema\":\"x\"}".into()), &mut out);
+        assert_eq!(out, b"{\"schema\":\"x\"}\r\nEND\r\n");
+        // Newline-terminated Prometheus text is not double-terminated.
+        let mut out = Vec::new();
+        encode_response(&Response::Blob("a 1\nb 2\n".into()), &mut out);
+        assert_eq!(out, b"a 1\nb 2\nEND\r\n");
     }
 
     #[test]

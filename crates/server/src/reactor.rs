@@ -608,6 +608,7 @@ impl EventLoop {
             if let Some(conn) = self.conns.remove(&token) {
                 self.epoll.delete(conn.fd());
                 self.telemetry.on_idle_close(self.index);
+                self.state.note_idle_reap();
             }
         }
     }

@@ -46,6 +46,12 @@ pub struct ServerConfig {
     /// connections are counted in the `idle_closed_connections` stat.
     /// Connections with an operation in flight are never reaped.
     pub idle_timeout: Option<Duration>,
+    /// Service-time threshold, in microseconds, above which an operation
+    /// counts as *slow*: it increments the `plane:slow_ops` stat and (one
+    /// in every few) lands in the flight-recorder journal with its event
+    /// loop, command class and duration. `0` (the default) disables the
+    /// slow-op log entirely — the histograms still record every operation.
+    pub slow_op_micros: u64,
     /// Backend (cache) configuration.
     pub backend: BackendConfig,
 }
@@ -57,6 +63,7 @@ impl Default for ServerConfig {
             workers: 4,
             max_connections: 4096,
             idle_timeout: None,
+            slow_op_micros: 0,
             backend: BackendConfig::default(),
         }
     }
@@ -112,12 +119,14 @@ impl CacheServer {
             config.workers,
             Arc::clone(&telemetry),
             config.idle_timeout,
+            config.slow_op_micros,
         )?;
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_loops = Arc::clone(&plane.loops);
         let accept_telemetry = Arc::clone(&telemetry);
+        let accept_plane = Arc::clone(&plane.handle);
         let max_connections = config.max_connections as u64;
         let accept_thread = std::thread::Builder::new()
             .name("cache-acceptor".to_string())
@@ -131,6 +140,7 @@ impl CacheServer {
                         Ok(stream) => {
                             if accept_telemetry.curr() >= max_connections {
                                 accept_telemetry.on_reject();
+                                accept_plane.note_connection_shed();
                                 shed(stream);
                                 continue;
                             }

@@ -1,4 +1,4 @@
-//! The single `stats` renderer behind both backends.
+//! The single `stats` renderer behind both backends, in three expositions.
 //!
 //! The embedded [`crate::backend::SharedCache`] and the server's
 //! shared-nothing data plane assemble a [`StatsSnapshot`] from their own
@@ -6,10 +6,22 @@
 //! through [`render_stats`], so the stat key set and ordering cannot drift
 //! between the two — the committed benchmark baselines and the CI smoke
 //! validators parse these keys by name.
+//!
+//! The data plane additionally renders the same state machine-readably:
+//! [`build_document`] assembles one versioned [`StatsDocument`]
+//! (`cliffhanger-stats/v1`) carrying per-loop service-time quantiles and
+//! the flight-recorder journal, and [`render_json`] / [`render_prom`]
+//! serialise it as JSON or Prometheus text exposition. Both formats come
+//! from the *same* document, so they cannot disagree.
 
 use crate::backend::BackendMode;
 use crate::reactor::ConnTelemetry;
 use cache_core::CacheStats;
+use serde::Serialize;
+use telemetry::{Histogram, Journal, JournalEvent, LatencySummary};
+
+/// The version tag of the machine-readable stats document.
+pub(crate) const STATS_SCHEMA: &str = "cliffhanger-stats/v1";
 
 /// A snapshot of wire-level counters for one engine (or an aggregate).
 #[derive(Clone, Copy, Debug, Default)]
@@ -78,6 +90,74 @@ pub(crate) struct PlaneStats {
     pub(crate) admin_msgs: u64,
     /// The configured idle reaping timeout in milliseconds (0 = disabled).
     pub(crate) idle_timeout_ms: u64,
+    /// Ops over the slow-op threshold, summed across loops.
+    pub(crate) slow_ops: u64,
+}
+
+/// One event loop's service-time telemetry, as merged by the control
+/// thread from the loop's snapshot.
+#[derive(Clone, Default)]
+pub(crate) struct LoopTelemetry {
+    /// Service times of ops the loop ran for its own connections (ns).
+    pub(crate) local: Histogram,
+    /// Queue + service times of ops forwarded to the loop (ns).
+    pub(crate) remote: Histogram,
+    /// Ops over the slow-op threshold on this loop.
+    pub(crate) slow_ops: u64,
+}
+
+/// Sums a snapshot's `[shard][tenant]` engine cells into server-wide,
+/// per-tenant and per-shard aggregates — the one accumulation every
+/// exposition format renders from.
+struct Rollup {
+    totals: WireCounts,
+    core_total: CacheStats,
+    used: u64,
+    items: usize,
+    tenant_wire: Vec<WireCounts>,
+    tenant_core: Vec<CacheStats>,
+    tenant_used: Vec<u64>,
+    tenant_items: Vec<usize>,
+    shard_wire: Vec<WireCounts>,
+    shard_core: Vec<CacheStats>,
+    shard_used: Vec<u64>,
+    shard_items: Vec<usize>,
+}
+
+fn rollup(snap: &StatsSnapshot) -> Rollup {
+    let ns = snap.cells.len();
+    let nt = snap.tenant_names.len();
+    let mut r = Rollup {
+        totals: WireCounts::default(),
+        core_total: CacheStats::default(),
+        used: 0,
+        items: 0,
+        tenant_wire: vec![WireCounts::default(); nt],
+        tenant_core: vec![CacheStats::default(); nt],
+        tenant_used: vec![0u64; nt],
+        tenant_items: vec![0usize; nt],
+        shard_wire: vec![WireCounts::default(); ns],
+        shard_core: vec![CacheStats::default(); ns],
+        shard_used: vec![0u64; ns],
+        shard_items: vec![0usize; ns],
+    };
+    for (s, cells) in snap.cells.iter().enumerate() {
+        for (t, cell) in cells.iter().enumerate().take(nt) {
+            r.totals.accumulate(cell.wire);
+            r.core_total += cell.core;
+            r.used += cell.used;
+            r.items += cell.items;
+            r.tenant_wire[t].accumulate(cell.wire);
+            r.tenant_core[t] += cell.core;
+            r.tenant_used[t] += cell.used;
+            r.tenant_items[t] += cell.items;
+            r.shard_wire[s].accumulate(cell.wire);
+            r.shard_core[s] += cell.core;
+            r.shard_used[s] += cell.used;
+            r.shard_items[s] += cell.items;
+        }
+    }
+    r
 }
 
 /// Renders a snapshot as the `STAT` key/value list: aggregated counters,
@@ -91,34 +171,20 @@ pub(crate) fn render_stats(
 ) -> Vec<(String, String)> {
     let ns = snap.cells.len();
     let nt = snap.tenant_names.len();
-    let mut totals = WireCounts::default();
-    let mut core_total = CacheStats::default();
-    let mut used = 0u64;
-    let mut items = 0usize;
-    let mut tenant_wire = vec![WireCounts::default(); nt];
-    let mut tenant_core = vec![CacheStats::default(); nt];
-    let mut tenant_used = vec![0u64; nt];
-    let mut tenant_items = vec![0usize; nt];
-    let mut shard_wire = vec![WireCounts::default(); ns];
-    let mut shard_core = vec![CacheStats::default(); ns];
-    let mut shard_used = vec![0u64; ns];
-    let mut shard_items = vec![0usize; ns];
-    for (s, cells) in snap.cells.iter().enumerate() {
-        for (t, cell) in cells.iter().enumerate().take(nt) {
-            totals.accumulate(cell.wire);
-            core_total += cell.core;
-            used += cell.used;
-            items += cell.items;
-            tenant_wire[t].accumulate(cell.wire);
-            tenant_core[t] += cell.core;
-            tenant_used[t] += cell.used;
-            tenant_items[t] += cell.items;
-            shard_wire[s].accumulate(cell.wire);
-            shard_core[s] += cell.core;
-            shard_used[s] += cell.used;
-            shard_items[s] += cell.items;
-        }
-    }
+    let Rollup {
+        totals,
+        core_total,
+        used,
+        items,
+        tenant_wire,
+        tenant_core,
+        tenant_used,
+        tenant_items,
+        shard_wire,
+        shard_core,
+        shard_used,
+        shard_items,
+    } = rollup(snap);
 
     let mut out = vec![
         ("cmd_get".into(), totals.gets.to_string()),
@@ -249,6 +315,7 @@ pub(crate) fn render_stats(
             "plane:idle_timeout_ms".into(),
             plane.idle_timeout_ms.to_string(),
         ));
+        out.push(("plane:slow_ops".into(), plane.slow_ops.to_string()));
         for (i, (local_ops, remote_in, remote_out)) in plane.per_loop.iter().enumerate() {
             out.push((format!("loop:{i}:local_ops"), local_ops.to_string()));
             out.push((format!("loop:{i}:remote_in"), remote_in.to_string()));
@@ -258,5 +325,445 @@ pub(crate) fn render_stats(
             out.push((format!("shard:{s}:owner_loop"), owner.to_string()));
         }
     }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The machine-readable exposition: one versioned document, two renderings.
+// ---------------------------------------------------------------------------
+
+/// Server-wide wire counters.
+#[derive(Serialize)]
+pub(crate) struct CountersDoc {
+    pub(crate) cmd_get: u64,
+    pub(crate) cmd_set: u64,
+    pub(crate) get_hits: u64,
+    pub(crate) get_misses: u64,
+    pub(crate) cmd_delete: u64,
+    pub(crate) bytes: u64,
+    pub(crate) curr_items: u64,
+    pub(crate) evictions: u64,
+    pub(crate) slow_ops: u64,
+}
+
+/// Static capacity and topology facts.
+#[derive(Serialize)]
+pub(crate) struct CapacityDoc {
+    pub(crate) limit_maxbytes: u64,
+    pub(crate) allocator: String,
+    pub(crate) shard_count: usize,
+    pub(crate) shards_requested: usize,
+    pub(crate) tenant_count: usize,
+    pub(crate) event_loops: usize,
+}
+
+/// Round counters of the two balancing levels.
+#[derive(Serialize)]
+pub(crate) struct BalanceDoc {
+    pub(crate) rebalance_enabled: bool,
+    pub(crate) rebalance_runs: u64,
+    pub(crate) rebalance_transfers: u64,
+    pub(crate) rebalance_bytes_moved: u64,
+    pub(crate) arbiter_enabled: bool,
+    pub(crate) arbiter_runs: u64,
+    pub(crate) arbiter_transfers: u64,
+    pub(crate) arbiter_bytes_moved: u64,
+}
+
+/// The accept gate's connection counters.
+#[derive(Serialize)]
+pub(crate) struct ConnectionsDoc {
+    pub(crate) curr: u64,
+    pub(crate) total: u64,
+    pub(crate) rejected: u64,
+    pub(crate) idle_closed: u64,
+    pub(crate) max: u64,
+    pub(crate) per_loop: Vec<u64>,
+}
+
+/// One event loop's ops and service-time quantiles.
+#[derive(Serialize)]
+pub(crate) struct LoopDoc {
+    pub(crate) index: usize,
+    pub(crate) local_ops: u64,
+    pub(crate) remote_in: u64,
+    pub(crate) remote_out: u64,
+    pub(crate) slow_ops: u64,
+    pub(crate) local_latency: LatencySummary,
+    pub(crate) remote_latency: LatencySummary,
+}
+
+/// One tenant's aggregated counters.
+#[derive(Serialize)]
+pub(crate) struct TenantDoc {
+    pub(crate) name: String,
+    pub(crate) cmd_get: u64,
+    pub(crate) cmd_set: u64,
+    pub(crate) get_hits: u64,
+    pub(crate) get_misses: u64,
+    pub(crate) cmd_delete: u64,
+    pub(crate) bytes: u64,
+    pub(crate) curr_items: u64,
+    pub(crate) evictions: u64,
+    pub(crate) budget: u64,
+    pub(crate) shadow_hits: u64,
+}
+
+/// One shard's aggregated counters and ownership.
+#[derive(Serialize)]
+pub(crate) struct ShardDoc {
+    pub(crate) index: usize,
+    pub(crate) owner_loop: usize,
+    pub(crate) cmd_get: u64,
+    pub(crate) get_hits: u64,
+    pub(crate) bytes: u64,
+    pub(crate) curr_items: u64,
+    pub(crate) evictions: u64,
+    pub(crate) budget: u64,
+    pub(crate) shadow_hits: u64,
+}
+
+/// Data-plane totals and the control thread's own service times.
+#[derive(Serialize)]
+pub(crate) struct PlaneDoc {
+    pub(crate) local_ops: u64,
+    pub(crate) remote_ops: u64,
+    pub(crate) admin_msgs: u64,
+    pub(crate) idle_timeout_ms: u64,
+    pub(crate) admin_latency: LatencySummary,
+}
+
+/// Server-wide service-time quantiles merged across every loop.
+#[derive(Serialize)]
+pub(crate) struct ServiceLatencyDoc {
+    pub(crate) local: LatencySummary,
+    pub(crate) remote: LatencySummary,
+}
+
+/// The flight recorder: ring facts plus the retained events, oldest first.
+#[derive(Serialize)]
+pub(crate) struct JournalDoc {
+    pub(crate) capacity: usize,
+    pub(crate) next_seq: u64,
+    pub(crate) dropped: u64,
+    pub(crate) events: Vec<JournalEvent>,
+}
+
+/// The versioned `cliffhanger-stats/v1` document behind `stats json` and
+/// `stats prom`. Additive evolution only: consumers pin `schema` and
+/// ignore fields they do not know.
+#[derive(Serialize)]
+pub(crate) struct StatsDocument {
+    pub(crate) schema: String,
+    pub(crate) counters: CountersDoc,
+    pub(crate) capacity: CapacityDoc,
+    pub(crate) balance: BalanceDoc,
+    pub(crate) connections: Option<ConnectionsDoc>,
+    pub(crate) service_latency: ServiceLatencyDoc,
+    pub(crate) loops: Vec<LoopDoc>,
+    pub(crate) tenants: Vec<TenantDoc>,
+    pub(crate) shards: Vec<ShardDoc>,
+    pub(crate) plane: PlaneDoc,
+    pub(crate) journal: JournalDoc,
+}
+
+/// Assembles the machine-readable stats document from the same inputs the
+/// text renderer uses, plus the per-loop latency telemetry and the journal.
+pub(crate) fn build_document(
+    snap: &StatsSnapshot,
+    conns: Option<&ConnTelemetry>,
+    plane: &PlaneStats,
+    loops: &[LoopTelemetry],
+    admin_latency: &Histogram,
+    journal: &Journal,
+) -> StatsDocument {
+    let r = rollup(snap);
+    let nt = snap.tenant_names.len();
+    let ns = snap.cells.len();
+    let mut local_merged = Histogram::new();
+    let mut remote_merged = Histogram::new();
+    for tel in loops {
+        local_merged.merge(&tel.local);
+        remote_merged.merge(&tel.remote);
+    }
+    StatsDocument {
+        schema: STATS_SCHEMA.to_string(),
+        counters: CountersDoc {
+            cmd_get: r.totals.gets,
+            cmd_set: r.totals.sets,
+            get_hits: r.totals.hits,
+            get_misses: r.totals.misses,
+            cmd_delete: r.totals.deletes,
+            bytes: r.used,
+            curr_items: r.items as u64,
+            evictions: r.core_total.evictions,
+            slow_ops: plane.slow_ops,
+        },
+        capacity: CapacityDoc {
+            limit_maxbytes: snap.total_bytes,
+            allocator: format!("{:?}", snap.mode).to_lowercase(),
+            shard_count: ns,
+            shards_requested: snap.requested_shards,
+            tenant_count: nt,
+            event_loops: plane.per_loop.len(),
+        },
+        balance: BalanceDoc {
+            rebalance_enabled: snap.balance.rebalance_enabled,
+            rebalance_runs: snap.balance.rebalance_runs,
+            rebalance_transfers: snap.balance.rebalance_transfers,
+            rebalance_bytes_moved: snap.balance.rebalance_bytes,
+            arbiter_enabled: snap.balance.arbiter_enabled,
+            arbiter_runs: snap.balance.arbiter_runs,
+            arbiter_transfers: snap.balance.arbiter_transfers,
+            arbiter_bytes_moved: snap.balance.arbiter_bytes,
+        },
+        connections: conns.map(|c| ConnectionsDoc {
+            curr: c.curr(),
+            total: c.total(),
+            rejected: c.rejected(),
+            idle_closed: c.idle_closed(),
+            max: c.max_connections(),
+            per_loop: (0..c.loops()).map(|i| c.loop_curr(i)).collect(),
+        }),
+        service_latency: ServiceLatencyDoc {
+            local: local_merged.summarize_us(),
+            remote: remote_merged.summarize_us(),
+        },
+        loops: loops
+            .iter()
+            .enumerate()
+            .map(|(i, tel)| {
+                let (local_ops, remote_in, remote_out) =
+                    plane.per_loop.get(i).copied().unwrap_or((0, 0, 0));
+                LoopDoc {
+                    index: i,
+                    local_ops,
+                    remote_in,
+                    remote_out,
+                    slow_ops: tel.slow_ops,
+                    local_latency: tel.local.summarize_us(),
+                    remote_latency: tel.remote.summarize_us(),
+                }
+            })
+            .collect(),
+        tenants: (0..nt)
+            .map(|t| TenantDoc {
+                name: snap.tenant_names[t].clone(),
+                cmd_get: r.tenant_wire[t].gets,
+                cmd_set: r.tenant_wire[t].sets,
+                get_hits: r.tenant_wire[t].hits,
+                get_misses: r.tenant_wire[t].misses,
+                cmd_delete: r.tenant_wire[t].deletes,
+                bytes: r.tenant_used[t],
+                curr_items: r.tenant_items[t] as u64,
+                evictions: r.tenant_core[t].evictions,
+                budget: snap.tenant_budgets[t],
+                shadow_hits: r.tenant_core[t].shadow_hits,
+            })
+            .collect(),
+        shards: (0..ns)
+            .map(|s| ShardDoc {
+                index: s,
+                owner_loop: plane.owner_of.get(s).copied().unwrap_or(0),
+                cmd_get: r.shard_wire[s].gets,
+                get_hits: r.shard_wire[s].hits,
+                bytes: r.shard_used[s],
+                curr_items: r.shard_items[s] as u64,
+                evictions: r.shard_core[s].evictions,
+                budget: snap.shard_budgets[s],
+                shadow_hits: r.shard_core[s].shadow_hits,
+            })
+            .collect(),
+        plane: PlaneDoc {
+            local_ops: plane.per_loop.iter().map(|l| l.0).sum(),
+            remote_ops: plane.per_loop.iter().map(|l| l.1).sum(),
+            admin_msgs: plane.admin_msgs,
+            idle_timeout_ms: plane.idle_timeout_ms,
+            admin_latency: admin_latency.summarize_us(),
+        },
+        journal: JournalDoc {
+            capacity: journal.capacity(),
+            next_seq: journal.next_seq(),
+            dropped: journal.dropped(),
+            events: journal.snapshot(),
+        },
+    }
+}
+
+/// Renders the document as one line of JSON (the `stats json` payload).
+pub(crate) fn render_json(doc: &StatsDocument) -> String {
+    serde_json::to_string(doc).expect("stats document serialisation cannot fail")
+}
+
+/// Appends one Prometheus metric with `# TYPE` metadata.
+fn prom_metric(out: &mut String, name: &str, kind: &str, lines: &[(String, String)]) {
+    out.push_str(&format!("# TYPE {name} {kind}\n"));
+    for (labels, value) in lines {
+        if labels.is_empty() {
+            out.push_str(&format!("{name} {value}\n"));
+        } else {
+            out.push_str(&format!("{name}{{{labels}}} {value}\n"));
+        }
+    }
+}
+
+/// Quantile label/value pairs for one latency summary, in microseconds.
+fn prom_quantiles(class: &str, latency: &LatencySummary) -> Vec<(String, String)> {
+    [
+        ("0.5", latency.p50_us),
+        ("0.9", latency.p90_us),
+        ("0.99", latency.p99_us),
+        ("0.999", latency.p999_us),
+    ]
+    .iter()
+    .map(|(q, v)| (format!("class=\"{class}\",quantile=\"{q}\""), v.to_string()))
+    .collect()
+}
+
+/// Renders the document in Prometheus text exposition format (the
+/// `stats prom` payload). Same source document as the JSON rendering.
+pub(crate) fn render_prom(doc: &StatsDocument) -> String {
+    let mut out = String::new();
+    let c = &doc.counters;
+    for (name, value) in [
+        ("cliffhanger_cmd_get_total", c.cmd_get),
+        ("cliffhanger_cmd_set_total", c.cmd_set),
+        ("cliffhanger_get_hits_total", c.get_hits),
+        ("cliffhanger_get_misses_total", c.get_misses),
+        ("cliffhanger_cmd_delete_total", c.cmd_delete),
+        ("cliffhanger_evictions_total", c.evictions),
+        ("cliffhanger_slow_ops_total", c.slow_ops),
+    ] {
+        prom_metric(
+            &mut out,
+            name,
+            "counter",
+            &[(String::new(), value.to_string())],
+        );
+    }
+    for (name, value) in [
+        ("cliffhanger_bytes_used", c.bytes),
+        ("cliffhanger_curr_items", c.curr_items),
+        ("cliffhanger_limit_maxbytes", doc.capacity.limit_maxbytes),
+        ("cliffhanger_shard_count", doc.capacity.shard_count as u64),
+        ("cliffhanger_tenant_count", doc.capacity.tenant_count as u64),
+        ("cliffhanger_event_loops", doc.capacity.event_loops as u64),
+    ] {
+        prom_metric(
+            &mut out,
+            name,
+            "gauge",
+            &[(String::new(), value.to_string())],
+        );
+    }
+    for (name, value) in [
+        (
+            "cliffhanger_rebalance_transfers_total",
+            doc.balance.rebalance_transfers,
+        ),
+        (
+            "cliffhanger_rebalance_bytes_moved_total",
+            doc.balance.rebalance_bytes_moved,
+        ),
+        (
+            "cliffhanger_arbiter_transfers_total",
+            doc.balance.arbiter_transfers,
+        ),
+        (
+            "cliffhanger_arbiter_bytes_moved_total",
+            doc.balance.arbiter_bytes_moved,
+        ),
+    ] {
+        prom_metric(
+            &mut out,
+            name,
+            "counter",
+            &[(String::new(), value.to_string())],
+        );
+    }
+    if let Some(conns) = &doc.connections {
+        prom_metric(
+            &mut out,
+            "cliffhanger_connections",
+            "gauge",
+            &[(String::new(), conns.curr.to_string())],
+        );
+        prom_metric(
+            &mut out,
+            "cliffhanger_connections_total",
+            "counter",
+            &[(String::new(), conns.total.to_string())],
+        );
+        prom_metric(
+            &mut out,
+            "cliffhanger_connections_rejected_total",
+            "counter",
+            &[(String::new(), conns.rejected.to_string())],
+        );
+        prom_metric(
+            &mut out,
+            "cliffhanger_connections_idle_closed_total",
+            "counter",
+            &[(String::new(), conns.idle_closed.to_string())],
+        );
+    }
+    let mut latency_lines = prom_quantiles("local", &doc.service_latency.local);
+    latency_lines.extend(prom_quantiles("remote", &doc.service_latency.remote));
+    latency_lines.extend(prom_quantiles("admin", &doc.plane.admin_latency));
+    prom_metric(
+        &mut out,
+        "cliffhanger_service_time_microseconds",
+        "summary",
+        &latency_lines,
+    );
+    let loop_ops: Vec<(String, String)> = doc
+        .loops
+        .iter()
+        .flat_map(|l| {
+            [
+                (
+                    format!("loop=\"{}\",kind=\"local\"", l.index),
+                    l.local_ops.to_string(),
+                ),
+                (
+                    format!("loop=\"{}\",kind=\"remote_in\"", l.index),
+                    l.remote_in.to_string(),
+                ),
+                (
+                    format!("loop=\"{}\",kind=\"remote_out\"", l.index),
+                    l.remote_out.to_string(),
+                ),
+            ]
+        })
+        .collect();
+    prom_metric(&mut out, "cliffhanger_loop_ops_total", "counter", &loop_ops);
+    let tenant_bytes: Vec<(String, String)> = doc
+        .tenants
+        .iter()
+        .map(|t| (format!("tenant=\"{}\"", t.name), t.bytes.to_string()))
+        .collect();
+    prom_metric(
+        &mut out,
+        "cliffhanger_tenant_bytes_used",
+        "gauge",
+        &tenant_bytes,
+    );
+    let tenant_budget: Vec<(String, String)> = doc
+        .tenants
+        .iter()
+        .map(|t| (format!("tenant=\"{}\"", t.name), t.budget.to_string()))
+        .collect();
+    prom_metric(
+        &mut out,
+        "cliffhanger_tenant_budget_bytes",
+        "gauge",
+        &tenant_budget,
+    );
+    prom_metric(
+        &mut out,
+        "cliffhanger_journal_events_total",
+        "counter",
+        &[(String::new(), doc.journal.next_seq.to_string())],
+    );
     out
 }

@@ -1,0 +1,28 @@
+//! # telemetry
+//!
+//! Shared observability primitives for the workspace, used on both sides of
+//! the wire:
+//!
+//! * [`histogram`] — the HDR-style log-linear latency [`Histogram`] and its
+//!   JSON-ready [`LatencySummary`]. The load generator records client-side
+//!   request latencies into it; the server's event loops record per-loop,
+//!   per-command-class *service* times into it. One recorder, one
+//!   quantisation model, directly comparable numbers.
+//! * [`journal`] — the control-plane flight recorder: a fixed-size ring
+//!   [`Journal`] of structured [`JournalEvent`]s (budget transfers with the
+//!   gradients that justified them, carve-outs, flushes, idle reaps, shed
+//!   connections, sampled slow ops), each stamped with a monotonic sequence
+//!   number and timestamp.
+//!
+//! Both are deliberately dependency-light (serde only) so every crate in
+//! the workspace can use them without pulling server or loadgen machinery.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod histogram;
+pub mod journal;
+
+pub use histogram::{Histogram, LatencySummary};
+pub use journal::{EventKind, Journal, JournalEvent};
