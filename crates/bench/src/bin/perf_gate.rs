@@ -10,6 +10,11 @@
 //! embed the server's scraped telemetry document (`report.server_stats`,
 //! PR 7+) are also gated on the server-side service-time p99s when both
 //! sides carry them.
+//!
+//! The gate also understands scenario reports (PR 8+): when both inputs
+//! are `cliffhanger-scenario/v1` or `cliffhanger-scenario-matrix/v1`
+//! documents, phases are matched by `scenario/phase` label and gated on
+//! per-phase throughput and p99 with the same one-sided threshold.
 
 use std::process::ExitCode;
 
@@ -42,21 +47,30 @@ fn main() -> ExitCode {
     let read = |path: &str| -> Result<String, String> {
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
     };
+    // Dispatch on the documents themselves: two scenario documents run
+    // the scenario gate, anything else the classic sweep gate.
     let result = read(&paths[0])
         .and_then(|base| Ok((base, read(&paths[1])?)))
-        .and_then(|(base, cur)| bench::compare_sweeps(&base, &cur, threshold));
+        .and_then(|(base, cur)| {
+            if bench::is_scenario_document(&base) && bench::is_scenario_document(&cur) {
+                bench::compare_scenario_matrices(&base, &cur, threshold)
+                    .map(|r| (r.lines(), r.passed()))
+            } else {
+                bench::compare_sweeps(&base, &cur, threshold).map(|r| (r.lines(), r.passed()))
+            }
+        });
     match result {
-        Ok(report) => {
+        Ok((lines, passed)) => {
             eprintln!(
                 "perf gate: {} vs {} (threshold {:.0}%)",
                 paths[0],
                 paths[1],
                 threshold * 100.0
             );
-            for line in report.lines() {
+            for line in lines {
                 eprintln!("  {line}");
             }
-            if report.passed() {
+            if passed {
                 eprintln!("perf gate: ok");
                 ExitCode::SUCCESS
             } else {

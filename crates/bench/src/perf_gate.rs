@@ -14,7 +14,7 @@
 //! present in just one of the two reports is reported as skipped rather
 //! than guessed at.
 
-use loadgen::SWEEP_SCHEMA;
+use loadgen::{SCENARIO_MATRIX_SCHEMA, SCENARIO_SCHEMA, SWEEP_SCHEMA};
 use serde_json::Value;
 
 /// One metric comparison at one shard count.
@@ -226,6 +226,191 @@ pub fn compare_sweeps(baseline: &str, current: &str, threshold: f64) -> Result<G
     Ok(report)
 }
 
+// ---------------------------------------------------------------------------
+// Scenario-matrix awareness: the same one-sided gate, keyed by
+// scenario/phase instead of shard count.
+// ---------------------------------------------------------------------------
+
+/// One metric comparison at one scenario phase.
+#[derive(Clone, Debug)]
+pub struct ScenarioGateCheck {
+    /// `scenario/phase` the points were matched on.
+    pub label: String,
+    /// `"throughput"` or `"p99"`.
+    pub metric: &'static str,
+    /// Baseline value (req/s or µs).
+    pub baseline: f64,
+    /// Current value (req/s or µs).
+    pub current: f64,
+    /// Relative change, positive = worse.
+    pub regression: f64,
+    /// Whether the check stayed within the threshold.
+    pub pass: bool,
+}
+
+/// The verdict over every matched scenario phase.
+#[derive(Clone, Debug, Default)]
+pub struct ScenarioGateReport {
+    /// All individual comparisons, in matrix order.
+    pub checks: Vec<ScenarioGateCheck>,
+    /// `scenario/phase` labels present in only one report (not gated).
+    pub unmatched: Vec<String>,
+}
+
+impl ScenarioGateReport {
+    /// Whether every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// Human-readable summary lines.
+    pub fn lines(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .checks
+            .iter()
+            .map(|c| {
+                format!(
+                    "{} {:>10} {:<24} baseline {:>12.0}  current {:>12.0}  (regression {:+.1}%)",
+                    if c.pass { "ok  " } else { "FAIL" },
+                    c.metric,
+                    c.label,
+                    c.baseline,
+                    c.current,
+                    c.regression * 100.0,
+                )
+            })
+            .collect();
+        for label in &self.unmatched {
+            out.push(format!("skip {label}: present in only one report"));
+        }
+        out
+    }
+}
+
+/// One scenario phase reduced to what the gate compares.
+struct ScenarioPoint {
+    label: String,
+    throughput_rps: f64,
+    p99_us: f64,
+}
+
+/// Extracts per-phase points from a scenario document: either a
+/// `cliffhanger-scenario-matrix/v1` wrapper or a single
+/// `cliffhanger-scenario/v1` report.
+fn scenario_points(json: &str) -> Result<Vec<ScenarioPoint>, String> {
+    let value: Value = serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    let scenarios: Vec<&Value> = match value.get("schema").and_then(Value::as_str) {
+        Some(s) if s == SCENARIO_MATRIX_SCHEMA => value
+            .get("scenarios")
+            .and_then(Value::as_array)
+            .ok_or_else(|| "matrix has no scenarios array".to_string())?
+            .iter()
+            .collect(),
+        Some(s) if s == SCENARIO_SCHEMA => vec![&value],
+        _ => {
+            return Err(format!(
+                "no {SCENARIO_MATRIX_SCHEMA} or {SCENARIO_SCHEMA} document found"
+            ))
+        }
+    };
+    let mut points = Vec::new();
+    for scenario in scenarios {
+        let name = scenario
+            .get("scenario")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "scenario without a name".to_string())?;
+        let phases = scenario
+            .get("phases")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("scenario {name} has no phases array"))?;
+        for phase in phases {
+            let phase_name = phase
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("scenario {name} has a phase without a name"))?;
+            points.push(ScenarioPoint {
+                label: format!("{name}/{phase_name}"),
+                throughput_rps: phase
+                    .get("throughput_rps")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("{name}/{phase_name} lacks throughput_rps"))?,
+                p99_us: phase
+                    .get("latency")
+                    .and_then(|l| l.get("p99_us"))
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("{name}/{phase_name} lacks latency.p99_us"))?,
+            });
+        }
+    }
+    Ok(points)
+}
+
+/// Compares a current scenario matrix against a baseline one, allowing
+/// `threshold` relative regression on per-phase throughput and p99 at
+/// every `scenario/phase` present in both reports. One-sided, like
+/// [`compare_sweeps`]: improvements always pass, and phases present in
+/// only one report are skipped, not guessed at.
+pub fn compare_scenario_matrices(
+    baseline: &str,
+    current: &str,
+    threshold: f64,
+) -> Result<ScenarioGateReport, String> {
+    let base = scenario_points(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur = scenario_points(current).map_err(|e| format!("current: {e}"))?;
+    let mut report = ScenarioGateReport::default();
+    for b in &base {
+        let Some(c) = cur.iter().find(|c| c.label == b.label) else {
+            report.unmatched.push(b.label.clone());
+            continue;
+        };
+        let throughput_regression = if b.throughput_rps > 0.0 {
+            (b.throughput_rps - c.throughput_rps) / b.throughput_rps
+        } else {
+            0.0
+        };
+        report.checks.push(ScenarioGateCheck {
+            label: b.label.clone(),
+            metric: "throughput",
+            baseline: b.throughput_rps,
+            current: c.throughput_rps,
+            regression: throughput_regression,
+            pass: throughput_regression <= threshold,
+        });
+        let p99_regression = if b.p99_us > 0.0 {
+            (c.p99_us - b.p99_us) / b.p99_us
+        } else {
+            0.0
+        };
+        report.checks.push(ScenarioGateCheck {
+            label: b.label.clone(),
+            metric: "p99",
+            baseline: b.p99_us,
+            current: c.p99_us,
+            regression: p99_regression,
+            pass: p99_regression <= threshold,
+        });
+    }
+    for c in &cur {
+        if !base.iter().any(|b| b.label == c.label) {
+            report.unmatched.push(c.label.clone());
+        }
+    }
+    Ok(report)
+}
+
+/// Whether a JSON document is a scenario report or matrix (as opposed to a
+/// sweep / `BENCH_PR<N>.json` wrapper) — the bin uses this to dispatch.
+pub fn is_scenario_document(json: &str) -> bool {
+    serde_json::from_str::<Value>(json)
+        .ok()
+        .and_then(|v| {
+            v.get("schema")
+                .and_then(Value::as_str)
+                .map(|s| s == SCENARIO_SCHEMA || s == SCENARIO_MATRIX_SCHEMA)
+        })
+        .unwrap_or(false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,5 +554,103 @@ mod tests {
         let ok = sweep_json(&[(1, 1.0, 1.0)]);
         assert!(compare_sweeps("{\"pr\": 3}", &ok, 0.2).is_err());
         assert!(compare_sweeps(&ok, "{\"schema\": \"something-else\"}", 0.2).is_err());
+    }
+
+    /// A scenario matrix with `(scenario, phase, rps, p99)` points.
+    fn matrix_json(points: &[(&str, &str, f64, f64)]) -> String {
+        let mut scenarios: Vec<(String, Vec<String>)> = Vec::new();
+        for (scenario, phase, rps, p99) in points {
+            let body = format!(
+                "{{\"name\":\"{phase}\",\"throughput_rps\":{rps},\
+                 \"latency\":{{\"count\":100,\"p99_us\":{p99}}}}}"
+            );
+            match scenarios.iter_mut().find(|(name, _)| name == scenario) {
+                Some((_, phases)) => phases.push(body),
+                None => scenarios.push((scenario.to_string(), vec![body])),
+            }
+        }
+        let scenarios: Vec<String> = scenarios
+            .iter()
+            .map(|(name, phases)| {
+                format!(
+                    "{{\"schema\":\"{SCENARIO_SCHEMA}\",\"scenario\":\"{name}\",\
+                     \"phases\":[{}]}}",
+                    phases.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"{SCENARIO_MATRIX_SCHEMA}\",\"scale\":1.0,\"scenarios\":[{}]}}",
+            scenarios.join(",")
+        )
+    }
+
+    #[test]
+    fn identical_scenario_matrices_pass() {
+        let json = matrix_json(&[
+            ("scan_storm", "steady", 50_000.0, 900.0),
+            ("scan_storm", "scan", 30_000.0, 4_000.0),
+            ("conn_churn", "churn", 45_000.0, 1_100.0),
+        ]);
+        let report = compare_scenario_matrices(&json, &json, 0.2).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 6);
+        assert!(report.unmatched.is_empty());
+    }
+
+    #[test]
+    fn scenario_phase_regression_fails_with_its_label() {
+        let base = matrix_json(&[("scan_storm", "recover", 50_000.0, 900.0)]);
+        let cur = matrix_json(&[("scan_storm", "recover", 50_000.0, 2_000.0)]);
+        let report = compare_scenario_matrices(&base, &cur, 0.2).unwrap();
+        assert!(!report.passed());
+        let fail = report.checks.iter().find(|c| !c.pass).unwrap();
+        assert_eq!(fail.label, "scan_storm/recover");
+        assert_eq!(fail.metric, "p99");
+        assert!(report
+            .lines()
+            .iter()
+            .any(|l| l.starts_with("FAIL") && l.contains("scan_storm/recover")));
+    }
+
+    #[test]
+    fn scenario_phases_in_only_one_report_are_skipped() {
+        let base = matrix_json(&[
+            ("diurnal", "night", 2_000.0, 400.0),
+            ("diurnal", "peak", 8_000.0, 700.0),
+        ]);
+        let cur = matrix_json(&[
+            ("diurnal", "night", 2_000.0, 400.0),
+            ("drift", "sliding", 40_000.0, 1_500.0),
+        ]);
+        let report = compare_scenario_matrices(&base, &cur, 0.2).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 2, "only diurnal/night is gated");
+        assert_eq!(
+            report.unmatched,
+            vec!["diurnal/peak".to_string(), "drift/sliding".to_string()]
+        );
+    }
+
+    #[test]
+    fn single_scenario_reports_are_accepted_as_matrices() {
+        let matrix = matrix_json(&[("slow_loris", "loris", 40_000.0, 1_000.0)]);
+        // Pull the lone scenario document out of the wrapper and compare it
+        // directly against the matrix form.
+        let value: Value = serde_json::from_str(&matrix).unwrap();
+        let single =
+            serde_json::to_string(&value.get("scenarios").unwrap().as_array().unwrap()[0]).unwrap();
+        let report = compare_scenario_matrices(&single, &matrix, 0.2).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 2);
+    }
+
+    #[test]
+    fn scenario_document_sniffing_dispatches_correctly() {
+        let matrix = matrix_json(&[("tenant_storm", "storm", 40_000.0, 1_000.0)]);
+        assert!(is_scenario_document(&matrix));
+        assert!(!is_scenario_document(&sweep_json(&[(1, 1.0, 1.0)])));
+        assert!(!is_scenario_document("not json"));
+        assert!(compare_scenario_matrices(&matrix, "{\"pr\": 3}", 0.2).is_err());
     }
 }

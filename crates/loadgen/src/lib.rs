@@ -15,6 +15,10 @@
 //! * [`report`] — machine-readable JSON reports (`cliffhanger-loadgen/v1`).
 //! * [`sweep`] — self-hosted runs and the 1/2/4/8 shard sweep that
 //!   demonstrates the sharded backend's throughput scaling.
+//! * [`scenario`] — named, phased chaos/replay scenarios (scan storms,
+//!   diurnal rate swings, working-set drift, connection churn, slow-loris,
+//!   tenant storms) with pass/fail invariants checked at run end
+//!   (`cliffhanger-scenario/v1`).
 //!
 //! Run it: `cargo run --release -p loadgen -- --help`.
 
@@ -24,6 +28,7 @@
 
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod sweep;
 pub mod telemetry;
 pub mod workload;
@@ -31,7 +36,12 @@ pub mod workload;
 pub use report::{
     LoadReport, ServerEcho, SweepPoint, SweepReport, TenantSection, LOAD_SCHEMA, SWEEP_SCHEMA,
 };
-pub use runner::{run_load, LoadMode, LoadgenConfig};
+pub use runner::{run_load, LoadMode, LoadgenConfig, Pacer};
+pub use scenario::{
+    evaluate_invariants, named_scenario, run_scenario, scenario_names, Chaos, Invariant,
+    InvariantVerdict, Phase, Scenario, ScenarioMatrixReport, ScenarioReport,
+    SCENARIO_MATRIX_SCHEMA, SCENARIO_SCHEMA,
+};
 pub use sweep::{run_self_hosted, run_shard_sweep, SelfHostConfig};
 pub use telemetry::{Histogram, LatencySummary};
 pub use workload::{GenOp, RequestGen, TenantLoad, WorkloadSpec};

@@ -9,6 +9,7 @@
 //! summary goes to stderr, so `loadgen … | jq .` just works.
 
 use cache_server::BackendMode;
+use loadgen::scenario::{named_scenario, run_scenario, scenario_names, ScenarioReport};
 use loadgen::{
     run_load, run_self_hosted, run_shard_sweep, LoadMode, LoadReport, LoadgenConfig,
     SelfHostConfig, SweepReport, TenantLoad, WorkloadSpec,
@@ -64,6 +65,14 @@ MULTI-TENANT (the `app <name>` protocol extension):
                             server hosts the named apps automatically)
     --tenant-balance <on|off>  cross-tenant budget arbitration      [on]
 
+RESILIENCE SCENARIOS (self-host only; other load/workload flags ignored):
+    --scenario <name>       run a named chaos/replay scenario end to end and
+                            report `cliffhanger-scenario/v1` with invariant
+                            verdicts: scan_storm | diurnal | drift |
+                            conn_churn | slow_loris | tenant_storm
+    --scenario-scale <f>    scale the scenario's request volume (1.0 =
+                            standard nightly size, 0.05 = CI smoke)  [1.0]
+
 OUTPUT:
     --sweep <a,b,c>         shard sweep over these counts (self-host only)
     --json <path>           write the JSON report to a file instead of stdout
@@ -80,6 +89,8 @@ struct Args {
     tenant_balance: bool,
     slow_op_micros: u64,
     sweep: Option<Vec<usize>>,
+    scenario: Option<String>,
+    scenario_scale: f64,
     json_path: Option<String>,
     load: LoadgenConfig,
 }
@@ -174,6 +185,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         tenant_balance: true,
         slow_op_micros: 0,
         sweep: None,
+        scenario: None,
+        scenario_scale: 1.0,
         json_path: None,
         load: LoadgenConfig::default(),
     };
@@ -319,6 +332,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
                 args.sweep = Some(counts);
             }
+            "--scenario" => args.scenario = Some(value("--scenario")?),
+            "--scenario-scale" => {
+                args.scenario_scale = value("--scenario-scale")?
+                    .parse()
+                    .ok()
+                    .filter(|&f: &f64| f > 0.0)
+                    .ok_or_else(|| "bad --scenario-scale (need a positive number)".to_string())?
+            }
             "--json" => args.json_path = Some(value("--json")?),
             other => return Err(format!("unknown flag {other:?} (try --help)")),
         }
@@ -355,6 +376,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.sweep.is_some() && args.addr.is_some() {
         return Err("--sweep self-hosts the server; it cannot be combined with --addr".to_string());
+    }
+    if args.scenario.is_some() && (args.addr.is_some() || args.sweep.is_some()) {
+        return Err(
+            "--scenario self-hosts its own server; it cannot be combined with --addr or --sweep"
+                .to_string(),
+        );
     }
     if let (Some(_), Some(flag)) = (&args.addr, self_host_flag) {
         return Err(format!(
@@ -461,6 +488,32 @@ fn summarize(report: &LoadReport) {
     }
 }
 
+fn summarize_scenario(report: &ScenarioReport) {
+    eprintln!(
+        "scenario {} (scale {:.3}): {} requests in {:.2} s, {} errors",
+        report.scenario, report.scale, report.requests, report.elapsed_secs, report.errors
+    );
+    for phase in &report.phases {
+        eprintln!(
+            "  phase {:<12} {:>6} mode: {:>8} reqs, {:>9.0} req/s, hit {:>5.1}%, p99 {:.0} us",
+            phase.name,
+            phase.mode,
+            phase.requests,
+            phase.throughput_rps,
+            phase.hit_rate * 100.0,
+            phase.latency.p99_us
+        );
+    }
+    for verdict in &report.invariants {
+        eprintln!(
+            "  {} {:<28} {}",
+            if verdict.pass { "ok  " } else { "FAIL" },
+            verdict.name,
+            verdict.detail
+        );
+    }
+}
+
 fn summarize_sweep(sweep: &SweepReport) {
     eprintln!("shard sweep:");
     for point in &sweep.points {
@@ -510,6 +563,33 @@ fn run() -> Result<(), String> {
         slow_op_micros: args.slow_op_micros,
         ..SelfHostConfig::default()
     };
+
+    if let Some(name) = &args.scenario {
+        let scenario = named_scenario(name)
+            .ok_or_else(|| {
+                format!(
+                    "unknown scenario {name:?} (known: {})",
+                    scenario_names().join(", ")
+                )
+            })?
+            .scaled(args.scenario_scale);
+        let report = run_scenario(&scenario).map_err(|e| e.to_string())?;
+        summarize_scenario(&report);
+        emit(&report.to_json(), &args.json_path).map_err(|e| e.to_string())?;
+        if !report.passed {
+            let failed: Vec<&str> = report
+                .invariants
+                .iter()
+                .filter(|v| !v.pass)
+                .map(|v| v.name.as_str())
+                .collect();
+            return Err(format!(
+                "scenario {name} violated invariant(s): {}",
+                failed.join(", ")
+            ));
+        }
+        return Ok(());
+    }
 
     if let Some(shard_counts) = &args.sweep {
         let sweep = run_shard_sweep(&args.load, &host, shard_counts).map_err(|e| e.to_string())?;

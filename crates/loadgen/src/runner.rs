@@ -90,24 +90,83 @@ impl Default for LoadgenConfig {
 }
 
 /// Payloads are slices of one shared pattern buffer; sizes beyond it clamp.
-const PAYLOAD_POOL_BYTES: usize = 1 << 20;
+pub(crate) const PAYLOAD_POOL_BYTES: usize = 1 << 20;
+
+/// The open-loop arrival schedule: a deadline chain at a fixed spacing,
+/// the anchor of the coordinated-omission correction (latencies are
+/// measured from the *scheduled* arrival, so server backlog shows up in
+/// the tail instead of silently stretching the send times).
+///
+/// Rate changes mid-run (a diurnal scenario crossing a phase boundary)
+/// must continue the chain: the first arrival at the new rate is the old
+/// schedule's boundary plus the *new* interval. The two tempting
+/// alternatives are both wrong — recomputing the schedule from the run
+/// start at the new rate teleports the chain, and re-anchoring to the
+/// wall clock forgives whatever backlog the server had built, which is
+/// coordinated omission reintroduced at every phase boundary.
+#[derive(Clone, Copy, Debug)]
+pub struct Pacer {
+    next: Instant,
+    interval: Duration,
+}
+
+impl Pacer {
+    /// A schedule starting at `start`, spacing arrivals at `per_conn_rps`
+    /// per second (clamped below at one). The first arrival is one interval
+    /// after `start`.
+    pub fn new(start: Instant, per_conn_rps: f64) -> Pacer {
+        let interval = Duration::from_secs_f64(1.0 / per_conn_rps.max(1.0));
+        Pacer {
+            next: start + interval,
+            interval,
+        }
+    }
+
+    /// Changes the arrival rate without breaking the chain: the schedule
+    /// continues from the last claimed slot (the phase boundary), spaced
+    /// at the new interval. `next` was pre-committed one *old* interval
+    /// past that boundary, so it is rebased rather than kept — keeping it
+    /// would leak one old-rate gap into the new phase.
+    pub fn set_rate(&mut self, per_conn_rps: f64) {
+        let boundary = self.next - self.interval;
+        self.interval = Duration::from_secs_f64(1.0 / per_conn_rps.max(1.0));
+        self.next = boundary + self.interval;
+    }
+
+    /// Claims the next scheduled arrival slot and advances the chain.
+    pub fn next_arrival(&mut self) -> Instant {
+        let slot = self.next;
+        self.next += self.interval;
+        slot
+    }
+
+    /// The slot `next_arrival` would return, without claiming it.
+    pub fn peek(&self) -> Instant {
+        self.next
+    }
+
+    /// The current spacing between arrivals.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+}
 
 /// Per-worker telemetry, merged after the run.
 #[derive(Default)]
-struct WorkerStats {
-    all: Histogram,
-    get: Histogram,
-    set: Histogram,
-    fill: Histogram,
-    gets: u64,
-    hits: u64,
-    sets: u64,
-    fills: u64,
-    errors: u64,
+pub(crate) struct WorkerStats {
+    pub(crate) all: Histogram,
+    pub(crate) get: Histogram,
+    pub(crate) set: Histogram,
+    pub(crate) fill: Histogram,
+    pub(crate) gets: u64,
+    pub(crate) hits: u64,
+    pub(crate) sets: u64,
+    pub(crate) fills: u64,
+    pub(crate) errors: u64,
 }
 
 impl WorkerStats {
-    fn merge(&mut self, other: &WorkerStats) {
+    pub(crate) fn merge(&mut self, other: &WorkerStats) {
         self.all.merge(&other.all);
         self.get.merge(&other.get);
         self.set.merge(&other.set);
@@ -121,14 +180,14 @@ impl WorkerStats {
 }
 
 /// One pipelined connection: buffered reads, raw writes.
-struct Conn {
+pub(crate) struct Conn {
     reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    pub(crate) writer: TcpStream,
     line: String,
 }
 
 impl Conn {
-    fn connect(addr: &str) -> std::io::Result<Conn> {
+    pub(crate) fn connect(addr: &str) -> std::io::Result<Conn> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Conn {
@@ -138,7 +197,7 @@ impl Conn {
         })
     }
 
-    fn read_line(&mut self) -> std::io::Result<&str> {
+    pub(crate) fn read_line(&mut self) -> std::io::Result<&str> {
         self.line.clear();
         if self.reader.read_line(&mut self.line)? == 0 {
             return Err(std::io::Error::new(
@@ -151,7 +210,7 @@ impl Conn {
 
     /// Reads one GET response (`VALUE …\r\n<data>\r\nEND\r\n` or `END\r\n`).
     /// Returns whether it was a hit.
-    fn read_get_response(&mut self) -> std::io::Result<Option<bool>> {
+    pub(crate) fn read_get_response(&mut self) -> std::io::Result<Option<bool>> {
         let line = self.read_line()?;
         if line == "END" {
             return Ok(Some(false));
@@ -179,7 +238,7 @@ impl Conn {
     }
 
     /// Reads one SET response. Returns whether the server stored it.
-    fn read_set_response(&mut self) -> std::io::Result<Option<bool>> {
+    pub(crate) fn read_set_response(&mut self) -> std::io::Result<Option<bool>> {
         match self.read_line()? {
             "STORED" => Ok(Some(true)),
             "NOT_STORED" => Ok(Some(false)),
@@ -189,7 +248,7 @@ impl Conn {
 }
 
 /// Appends the wire encoding of `op` to `buf`.
-fn encode_op(op: &GenOp, buf: &mut Vec<u8>, payload_pool: &[u8]) {
+pub(crate) fn encode_op(op: &GenOp, buf: &mut Vec<u8>, payload_pool: &[u8]) {
     match op {
         GenOp::Get { key } => {
             buf.extend_from_slice(b"get ");
@@ -208,7 +267,7 @@ fn encode_op(op: &GenOp, buf: &mut Vec<u8>, payload_pool: &[u8]) {
 }
 
 /// Claims up to `want` requests from the shared budget; 0 means done.
-fn claim(budget: &AtomicU64, want: u64) -> u64 {
+pub(crate) fn claim(budget: &AtomicU64, want: u64) -> u64 {
     let mut current = budget.load(Ordering::Relaxed);
     loop {
         if current == 0 {
@@ -229,7 +288,7 @@ fn claim(budget: &AtomicU64, want: u64) -> u64 {
 
 /// What a completed request was, for telemetry purposes.
 #[derive(Clone, Copy, PartialEq)]
-enum OpKind {
+pub(crate) enum OpKind {
     Get,
     Set,
     /// A demand-fill SET: counted as a SET *and* in its own section, so
@@ -238,7 +297,12 @@ enum OpKind {
 }
 
 /// Records one completed request into the worker's histograms.
-fn record(stats: &mut WorkerStats, kind: OpKind, latency_ns: u64, outcome: Option<bool>) {
+pub(crate) fn record(
+    stats: &mut WorkerStats,
+    kind: OpKind,
+    latency_ns: u64,
+    outcome: Option<bool>,
+) {
     stats.all.record(latency_ns);
     match kind {
         OpKind::Get => {
@@ -355,13 +419,13 @@ fn run_open_worker(
     conn: &mut Conn,
     gen: &mut RequestGen,
     budget: &AtomicU64,
-    interval: Duration,
+    per_conn_rps: f64,
     payload_pool: &[u8],
     fill_on_miss: bool,
 ) -> std::io::Result<WorkerStats> {
     let mut stats = WorkerStats::default();
     let mut buf = Vec::with_capacity(16 * 1024);
-    let mut deadline = Instant::now();
+    let mut pacer = Pacer::new(Instant::now(), per_conn_rps);
     // Demand fills waiting for their arrival slot. A fill is part of the
     // application's offered load, so it occupies the *next scheduled slot*
     // — sending it out-of-band (as pre-PR5 code did) both exceeded the
@@ -383,28 +447,15 @@ fn run_open_worker(
                 (op, kind)
             }
         };
-        deadline += interval;
-        let now = Instant::now();
-        if deadline > now {
-            std::thread::sleep(deadline - now);
-        }
-        buf.clear();
-        encode_op(&op, &mut buf, payload_pool);
-        conn.writer.write_all(&buf)?;
-        let outcome = match &op {
-            GenOp::Get { .. } => conn.read_get_response()?,
-            GenOp::Set { .. } => conn.read_set_response()?,
-        };
-        // Latency from the *scheduled* start: if the server falls behind
-        // the arrival rate, the backlog shows up in the tail (no
-        // coordinated omission) — for fills exactly like for generated
-        // requests.
-        record(
-            &mut stats,
+        let outcome = open_loop_step(
+            conn,
+            &op,
             kind,
-            deadline.elapsed().as_nanos() as u64,
-            outcome,
-        );
+            &mut pacer,
+            payload_pool,
+            &mut buf,
+            &mut stats,
+        )?;
         if fill_on_miss && kind == OpKind::Get && outcome == Some(false) {
             if let Some(rank) = RequestGen::rank_for_key(op.key()) {
                 fills.push_back(gen.set_for_rank(rank));
@@ -413,10 +464,41 @@ fn run_open_worker(
     }
 }
 
+/// Sends one operation in its scheduled arrival slot and records its
+/// schedule-anchored latency: sleep until the pacer's next slot, send, read
+/// the response, and measure from the *scheduled* time — if the server
+/// falls behind the arrival rate, the backlog shows up in the tail (no
+/// coordinated omission). Returns the op's outcome for fill decisions.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn open_loop_step(
+    conn: &mut Conn,
+    op: &GenOp,
+    kind: OpKind,
+    pacer: &mut Pacer,
+    payload_pool: &[u8],
+    buf: &mut Vec<u8>,
+    stats: &mut WorkerStats,
+) -> std::io::Result<Option<bool>> {
+    let scheduled = pacer.next_arrival();
+    let now = Instant::now();
+    if scheduled > now {
+        std::thread::sleep(scheduled - now);
+    }
+    buf.clear();
+    encode_op(op, buf, payload_pool);
+    conn.writer.write_all(buf)?;
+    let outcome = match op {
+        GenOp::Get { .. } => conn.read_get_response()?,
+        GenOp::Set { .. } => conn.read_set_response()?,
+    };
+    record(stats, kind, scheduled.elapsed().as_nanos() as u64, outcome);
+    Ok(outcome)
+}
+
 /// Selects the connection's application namespace (`app <name>`). The
 /// `default` tenant sends nothing — it exercises the exact path of a
 /// pre-extension client.
-fn select_app(conn: &mut Conn, name: &str) -> std::io::Result<()> {
+pub(crate) fn select_app(conn: &mut Conn, name: &str) -> std::io::Result<()> {
     if name == "default" {
         return Ok(());
     }
@@ -616,12 +698,11 @@ pub fn run_load(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
                         ),
                         LoadMode::Open { target_rps } => {
                             let per_conn = (target_rps / config.connections as f64).max(1.0);
-                            let interval = Duration::from_secs_f64(1.0 / per_conn);
                             run_open_worker(
                                 &mut conn,
                                 &mut gen,
                                 &budget,
-                                interval,
+                                per_conn,
                                 &payload_pool,
                                 config.fill_on_miss,
                             )
@@ -874,6 +955,68 @@ mod tests {
             report.elapsed_secs,
             min_schedule
         );
+    }
+
+    /// |a - b| as a Duration, for schedule assertions with a tolerance.
+    fn delta(a: Instant, b: Instant) -> Duration {
+        if a > b {
+            a.duration_since(b)
+        } else {
+            b.duration_since(a)
+        }
+    }
+
+    #[test]
+    fn pacer_spaces_arrivals_at_the_configured_interval() {
+        let t0 = Instant::now();
+        let mut pacer = Pacer::new(t0, 1_000.0); // 1 ms spacing
+        for k in 1..=5u32 {
+            let slot = pacer.next_arrival();
+            let want = t0 + Duration::from_millis(k as u64);
+            assert!(delta(slot, want) < Duration::from_micros(2), "slot {k}");
+        }
+    }
+
+    #[test]
+    fn pacer_rate_change_continues_the_chain_from_the_boundary() {
+        // Regression test for the diurnal phase-boundary bug: after a rate
+        // change, the schedule must continue from where the old schedule
+        // ended — 5 arrivals at 1 ms then arrivals every 100 µs — not be
+        // recomputed from the run start at the new rate (which would
+        // teleport the chain to t0 + 600 µs, in the past) and not re-anchor
+        // to the wall clock (which would forgive server backlog:
+        // coordinated omission at every phase boundary).
+        let t0 = Instant::now();
+        let mut pacer = Pacer::new(t0, 1_000.0);
+        let mut boundary = t0;
+        for _ in 0..5 {
+            boundary = pacer.next_arrival();
+        }
+        assert!(delta(boundary, t0 + Duration::from_millis(5)) < Duration::from_micros(2));
+        pacer.set_rate(10_000.0);
+        let first = pacer.next_arrival();
+        let second = pacer.next_arrival();
+        let want_first = t0 + Duration::from_millis(5) + Duration::from_micros(100);
+        assert!(
+            delta(first, want_first) < Duration::from_micros(2),
+            "first new-rate arrival must extend the old boundary by the new interval"
+        );
+        assert!(delta(second, want_first + Duration::from_micros(100)) < Duration::from_micros(2));
+        // The new slots are nowhere near a from-scratch schedule at the new
+        // rate (t0 + 600 µs / 700 µs): the chain kept its history.
+        assert!(first > t0 + Duration::from_millis(4));
+    }
+
+    #[test]
+    fn pacer_peek_does_not_claim_the_slot() {
+        let t0 = Instant::now();
+        let mut pacer = Pacer::new(t0, 1_000.0);
+        let peeked = pacer.peek();
+        assert_eq!(peeked, pacer.next_arrival());
+        assert!(pacer.peek() > peeked);
+        let one_ms = Duration::from_millis(1);
+        assert!(pacer.interval() >= one_ms - Duration::from_nanos(10));
+        assert!(pacer.interval() <= one_ms + Duration::from_nanos(10));
     }
 
     #[test]

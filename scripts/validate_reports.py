@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Schema validator for the repo's versioned JSON reports.
+
+Validates any mix of report files against the shapes documented in
+docs/report-schemas.md, dispatching on each document's `schema` tag:
+
+  cliffhanger-loadgen/v1          single loadgen run
+  cliffhanger-loadgen-sweep/v1    shard sweep
+  cliffhanger-stats/v1            scraped server telemetry document
+  cliffhanger-tenant-sweep/v1     tenant arbiter on/off sweep
+  cliffhanger-rebalance-sweep/v1  shard rebalancer on/off sweep
+  cliffhanger-scenario/v1         one resilience scenario run
+  cliffhanger-scenario-matrix/v1  a matrix of scenario runs
+  (no tag, "pr" + "shard_sweep")  committed BENCH_PR<N>.json wrapper
+
+Usage:
+  python3 scripts/validate_reports.py FILE [FILE ...]
+  python3 scripts/validate_reports.py            # all committed BENCH_PR*.json
+
+Fails fast: the first file that does not match its schema stops the run
+with a non-zero exit, printing the offending file and the first mismatch —
+both as a plain `SCHEMA VALIDATION FAILED` line and as a GitHub `::error`
+annotation so the message surfaces in the workflow UI, not just the log.
+"""
+
+import glob
+import json
+import sys
+
+
+class Mismatch(Exception):
+    """First schema mismatch found, with a path into the document."""
+
+    def __init__(self, where, message):
+        super().__init__(f"{where}: {message}")
+
+
+def require(cond, where, message):
+    if not cond:
+        raise Mismatch(where, message)
+
+
+def check_summary(s, where):
+    """A telemetry::LatencySummary: quantiles present and ordered."""
+    for field in ("count", "p50_us", "p99_us", "p999_us", "max_us"):
+        require(field in s, where, f"latency summary lacks {field}")
+    require(
+        s["count"] == 0 or s["p50_us"] <= s["p999_us"] <= s["max_us"] * 1.01,
+        where,
+        f"latency quantiles out of order: {s}",
+    )
+
+
+def check_stats(stats, where):
+    require(
+        stats.get("schema") == "cliffhanger-stats/v1",
+        where,
+        f"bad stats schema tag {stats.get('schema')!r}",
+    )
+    for section in ("counters", "capacity", "service_latency", "tenants", "shards"):
+        require(section in stats, where, f"missing section {section}")
+    c = stats["counters"]
+    require(
+        c["get_hits"] + c["get_misses"] == c["cmd_get"],
+        where,
+        f"hit/miss accounting broken: {c}",
+    )
+    limit = stats["capacity"]["limit_maxbytes"]
+    tenant_sum = sum(t["budget"] for t in stats["tenants"])
+    require(
+        tenant_sum == limit,
+        where,
+        f"tenant budgets sum to {tenant_sum}, limit_maxbytes is {limit}",
+    )
+
+
+def check_load(r, where):
+    require(
+        r.get("schema") == "cliffhanger-loadgen/v1",
+        where,
+        f"bad schema tag {r.get('schema')!r}",
+    )
+    require(r["requests"] > 0 and r["elapsed_secs"] > 0, where, "empty run")
+    require(r["throughput_rps"] > 0, where, "zero throughput")
+    require(0.0 <= r["hit_rate"] <= 1.0, where, f"hit_rate {r['hit_rate']}")
+    require(r["get_hits"] <= r["gets"], where, "more hits than gets")
+    # Schema evolution is additive: only assert accreted fields where the
+    # recording carries them.
+    if "fills" in r:
+        require(r["fills"] <= r["sets"], where, "fills must ride inside sets")
+    for summary in ("latency", "get_latency", "set_latency", "fill_latency"):
+        if summary in r:
+            check_summary(r[summary], f"{where}/{summary}")
+    for t in r.get("tenants", []):
+        if "fills" in t:
+            require(t["fills"] <= t["sets"], where, f"tenant {t['tenant']} fills > sets")
+    if r.get("server_stats") is not None:
+        check_stats(r["server_stats"], f"{where}/server_stats")
+
+
+def check_sweep(s, where):
+    require(
+        s.get("schema") == "cliffhanger-loadgen-sweep/v1",
+        where,
+        f"bad schema tag {s.get('schema')!r}",
+    )
+    require(s.get("points"), where, "sweep has no points")
+    for p in s["points"]:
+        require(
+            p["shards"] > 0 and p["throughput_rps"] > 0,
+            where,
+            f"degenerate point at {p.get('shards')} shards",
+        )
+        # Some baselines were committed with the embedded per-point
+        # reports trimmed; later ones keep them.
+        if "report" in p:
+            check_load(p["report"], f"{where}/shards={p['shards']}")
+
+
+def check_tenant_sweep(ts, where):
+    require(
+        ts.get("schema") == "cliffhanger-tenant-sweep/v1",
+        where,
+        f"bad schema tag {ts.get('schema')!r}",
+    )
+    for point in ts["points"]:
+        for side in ("off", "on"):
+            check_load(point[side], f"{where}/{point['point']}/{side}")
+
+
+def check_rebalance_sweep(rs, where):
+    require(
+        rs.get("schema") == "cliffhanger-rebalance-sweep/v1",
+        where,
+        f"bad schema tag {rs.get('schema')!r}",
+    )
+    for side in ("off", "on"):
+        check_sweep(rs[side], f"{where}/{side}")
+
+
+def check_scenario(r, where):
+    require(
+        r.get("schema") == "cliffhanger-scenario/v1",
+        where,
+        f"bad schema tag {r.get('schema')!r}",
+    )
+    for field in ("scenario", "scale", "phases", "invariants", "passed", "chaos"):
+        require(field in r, where, f"missing field {field}")
+    require(r["phases"], where, "scenario has no phases")
+    for p in r["phases"]:
+        pw = f"{where}/phase={p.get('name')}"
+        require(p.get("name"), pw, "phase without a name")
+        require(p["mode"] in ("open", "closed"), pw, f"bad mode {p.get('mode')!r}")
+        require(p["requests"] > 0, pw, "phase completed no requests")
+        require(p["throughput_rps"] > 0, pw, "zero throughput")
+        check_summary(p["latency"], pw)
+    require(r["invariants"], where, "scenario has no invariant verdicts")
+    for v in r["invariants"]:
+        vw = f"{where}/invariant={v.get('name')}"
+        require(v.get("name"), vw, "verdict without a name")
+        require("pass" in v and "detail" in v, vw, "verdict lacks pass/detail")
+    require(
+        r["passed"] == all(v["pass"] for v in r["invariants"]),
+        where,
+        "passed flag disagrees with the verdicts",
+    )
+    if r.get("server_stats") is not None:
+        check_stats(r["server_stats"], f"{where}/server_stats")
+
+
+def check_scenario_matrix(m, where):
+    require(
+        m.get("schema") == "cliffhanger-scenario-matrix/v1",
+        where,
+        f"bad schema tag {m.get('schema')!r}",
+    )
+    require(m.get("scenarios"), where, "matrix has no scenarios")
+    for s in m["scenarios"]:
+        check_scenario(s, f"{where}/{s.get('scenario')}")
+
+
+def check_bench_wrapper(bench, where):
+    require(bench.get("pr", 0) > 0 and bench.get("date"), where, "bad BENCH wrapper")
+    check_sweep(bench["shard_sweep"], f"{where}/shard_sweep")
+    if "loadgen_tenant_smoke" in bench:
+        check_load(bench["loadgen_tenant_smoke"]["report"], f"{where}/tenant_smoke")
+    if "tenant_sweep" in bench:
+        check_tenant_sweep(bench["tenant_sweep"], f"{where}/tenant_sweep")
+    if "rebalance_sweep" in bench:
+        check_rebalance_sweep(bench["rebalance_sweep"], f"{where}/rebalance_sweep")
+    if "scenario_matrix" in bench:
+        check_scenario_matrix(bench["scenario_matrix"], f"{where}/scenario_matrix")
+
+
+DISPATCH = {
+    "cliffhanger-loadgen/v1": check_load,
+    "cliffhanger-loadgen-sweep/v1": check_sweep,
+    "cliffhanger-stats/v1": check_stats,
+    "cliffhanger-tenant-sweep/v1": check_tenant_sweep,
+    "cliffhanger-rebalance-sweep/v1": check_rebalance_sweep,
+    "cliffhanger-scenario/v1": check_scenario,
+    "cliffhanger-scenario-matrix/v1": check_scenario_matrix,
+}
+
+
+def validate_file(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise Mismatch(path, f"not readable JSON: {e}")
+    schema = doc.get("schema") if isinstance(doc, dict) else None
+    if schema in DISPATCH:
+        DISPATCH[schema](doc, path)
+    elif isinstance(doc, dict) and "shard_sweep" in doc:
+        check_bench_wrapper(doc, path)
+    else:
+        raise Mismatch(path, f"unrecognized document (schema tag {schema!r})")
+
+
+def main(argv):
+    paths = argv or sorted(glob.glob("BENCH_PR*.json"))
+    if not paths:
+        print("validate_reports: no files given and no BENCH_PR*.json found")
+        return 1
+    for path in paths:
+        try:
+            validate_file(path)
+        except Mismatch as e:
+            print(f"::error file={path}::schema validation failed: {e}")
+            print(f"SCHEMA VALIDATION FAILED: {e}")
+            return 1
+        print(f"ok: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

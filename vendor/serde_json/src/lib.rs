@@ -35,6 +35,13 @@ pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serializes a value to an indented (2-space) JSON string.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value_pretty(&value.serialize(), &mut out, 0);
+    Ok(out)
+}
+
 /// Deserializes a value from a JSON string.
 pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
     let mut parser = Parser {
@@ -92,6 +99,48 @@ fn write_value(value: &Value, out: &mut String) {
             }
             out.push('}');
         }
+    }
+}
+
+fn write_value_pretty(value: &Value, out: &mut String, indent: usize) {
+    match value {
+        Value::Seq(items) if !items.is_empty() => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_value_pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Map(entries) if !entries.is_empty() => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_string(k, out);
+                out.push_str(": ");
+                write_value_pretty(v, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_value(other, out),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
     }
 }
 
@@ -321,6 +370,15 @@ mod tests {
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
         let back: String = from_str(&s).unwrap();
         assert_eq!(back, "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn pretty_output_round_trips() {
+        let v: Vec<(u64, String)> = vec![(1, "a".into()), (2, "b".into())];
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains('\n'), "pretty output should be indented: {s}");
+        let back: Vec<(u64, String)> = from_str(&s).unwrap();
+        assert_eq!(back, v);
     }
 
     #[test]
