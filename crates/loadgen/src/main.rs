@@ -35,6 +35,10 @@ TARGET (default: self-host an in-process server):
     --slow-op-micros <n>    slow-op log threshold in microseconds
                             (ops at/over it are counted and sampled
                             into the server journal; 0 = off)       [0]
+    --mrc-sample <n>        online miss-ratio-curve profiling: sample
+                            one in <n> GETs (rounded up to a power
+                            of two; 0 = off), surfaced as the `mrc`
+                            section of `stats json`                 [64]
 
 LOAD:
     --requests <n>          measured requests                       [100000]
@@ -88,6 +92,7 @@ struct Args {
     rebalance: bool,
     tenant_balance: bool,
     slow_op_micros: u64,
+    mrc_sample: u64,
     sweep: Option<Vec<usize>>,
     scenario: Option<String>,
     scenario_scale: f64,
@@ -184,6 +189,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         rebalance: true,
         tenant_balance: true,
         slow_op_micros: 0,
+        mrc_sample: 64,
         sweep: None,
         scenario: None,
         scenario_scale: 1.0,
@@ -211,6 +217,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--rebalance",
             "--tenant-balance",
             "--slow-op-micros",
+            "--mrc-sample",
         ] {
             if flag == known {
                 self_host_flag.get_or_insert(known);
@@ -262,6 +269,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.slow_op_micros = value("--slow-op-micros")?
                     .parse()
                     .map_err(|_| "bad --slow-op-micros".to_string())?
+            }
+            "--mrc-sample" => {
+                args.mrc_sample = value("--mrc-sample")?
+                    .parse()
+                    .map_err(|_| "bad --mrc-sample".to_string())?
             }
             "--tenants" => tenants_spec = Some(value("--tenants")?),
             "--fill-on-miss" => {
@@ -561,6 +573,7 @@ fn run() -> Result<(), String> {
         rebalance: args.rebalance,
         tenant_balance: args.tenant_balance,
         slow_op_micros: args.slow_op_micros,
+        mrc_sample: args.mrc_sample,
         ..SelfHostConfig::default()
     };
 

@@ -47,6 +47,10 @@ pub struct SelfHostConfig {
     /// server's `slow_ops` stat and sampled into its flight-recorder
     /// journal; the per-loop latency histograms record regardless.
     pub slow_op_micros: u64,
+    /// Online MRC sampling rate denominator (the server default profiles
+    /// one in 64 GETs; rounded up to a power of two; 0 disables live
+    /// miss-ratio-curve profiling).
+    pub mrc_sample: u64,
 }
 
 impl Default for SelfHostConfig {
@@ -60,6 +64,7 @@ impl Default for SelfHostConfig {
             tenant_balance: true,
             idle_timeout_ms: 0,
             slow_op_micros: 0,
+            mrc_sample: BackendConfig::default().mrc_sample,
         }
     }
 }
@@ -119,6 +124,7 @@ pub fn run_self_hosted(
             } else {
                 TenantBalanceConfig::disabled()
             },
+            mrc_sample: host.mrc_sample,
             ..BackendConfig::default()
         },
     })?;

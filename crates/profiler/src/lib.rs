@@ -19,6 +19,8 @@
 //!   allocation across queues via marginal-utility water-filling.
 //! * [`talus`] — Talus partitioning of a single queue given its curve.
 //! * [`lookahead`] — the Qureshi–Patt LookAhead allocator.
+//! * [`online`] — SHARDS-sampled live MRC estimation for the server's
+//!   observability plane (bounded memory, near-zero unsampled cost).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -29,6 +31,7 @@ pub mod dynacache;
 pub mod hull;
 pub mod lookahead;
 pub mod mimir;
+pub mod online;
 pub mod stack_distance;
 pub mod talus;
 
@@ -37,5 +40,6 @@ pub use dynacache::{DynacacheSolver, QueueProfile};
 pub use hull::ConcaveHull;
 pub use lookahead::LookAheadAllocator;
 pub use mimir::MimirEstimator;
+pub use online::{MrcSnapshot, OnlineMrc};
 pub use stack_distance::{StackDistanceHistogram, StackDistanceTracker};
 pub use talus::TalusPartition;

@@ -88,6 +88,40 @@ impl StackDistanceHistogram {
         HitRateCurve::from_histogram(self)
     }
 
+    /// Shifts `delta` requests into (positive) or out of (negative) the
+    /// smallest populated distance bucket, keeping `total` consistent.
+    ///
+    /// This is the SHARDS_adj correction (Waldspurger et al., FAST 2015,
+    /// §3.2): under spatial key sampling at rate `R`, the sampled reference
+    /// count has expectation `offered × R`, and any shortfall is known to
+    /// come from *unsampled hot keys* — whose references would have had the
+    /// smallest stack distances. Adding the shortfall to the first bucket
+    /// (or draining an excess from it) removes the resulting bias in the
+    /// hit-rate curve. Negative deltas drain successive buckets when the
+    /// first is smaller than the excess.
+    pub fn adjust_first_bucket(&mut self, delta: i64) {
+        if delta > 0 {
+            let first = self.counts.iter().position(|&c| c > 0).map(|i| i + 1);
+            let distance = first.unwrap_or(1);
+            if self.counts.len() < distance {
+                self.counts.resize(distance, 0);
+            }
+            self.counts[distance - 1] += delta as u64;
+            self.total += delta as u64;
+        } else {
+            let mut excess = delta.unsigned_abs();
+            for c in self.counts.iter_mut() {
+                if excess == 0 {
+                    break;
+                }
+                let take = (*c).min(excess);
+                *c -= take;
+                self.total -= take;
+                excess -= take;
+            }
+        }
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &StackDistanceHistogram) {
         if self.counts.len() < other.counts.len() {
@@ -410,5 +444,25 @@ mod tests {
     #[should_panic(expected = "1-based")]
     fn zero_distance_rejected() {
         StackDistanceHistogram::new().record(0);
+    }
+
+    #[test]
+    fn adjust_first_bucket_adds_and_drains() {
+        let mut h = StackDistanceHistogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(7);
+        h.adjust_first_bucket(4);
+        assert_eq!(h.count_at(3), 6, "shortfall lands in the first bucket");
+        assert_eq!(h.total(), 7);
+        h.adjust_first_bucket(-7);
+        assert_eq!(h.count_at(3), 0);
+        assert_eq!(h.count_at(7), 0, "excess drains successive buckets");
+        assert_eq!(h.total(), 0);
+        // An empty histogram places the adjustment at distance 1.
+        let mut empty = StackDistanceHistogram::new();
+        empty.adjust_first_bucket(2);
+        assert_eq!(empty.count_at(1), 2);
+        assert_eq!(empty.total(), 2);
     }
 }

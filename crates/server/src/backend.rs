@@ -65,6 +65,7 @@ use cliffhanger::{
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Which allocation scheme the server runs (Tables 6–7 compare these).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -148,6 +149,11 @@ pub struct BackendConfig {
     /// with more than one tenant and a managed allocator. Off reproduces
     /// Memcachier's static reservations.
     pub tenant_balance: TenantBalanceConfig,
+    /// Online miss-ratio-curve sampling rate denominator: on average one in
+    /// `mrc_sample` GETs is profiled (rounded up to a power of two; `0`
+    /// disables profiling). Only the threaded plane profiles; the mutex
+    /// backend ignores it.
+    pub mrc_sample: u64,
 }
 
 impl Default for BackendConfig {
@@ -160,6 +166,7 @@ impl Default for BackendConfig {
             rebalance: ShardBalanceConfig::default(),
             tenants: Vec::new(),
             tenant_balance: TenantBalanceConfig::default(),
+            mrc_sample: 64,
         }
     }
 }
@@ -199,6 +206,16 @@ impl BackendConfig {
             self.shards
         } else {
             detect_shards()
+        }
+    }
+
+    /// The spatial-sampling shift the configured MRC rate resolves to:
+    /// `Some(s)` profiles one in `2^s` keys (`mrc_sample` rounded up to a
+    /// power of two), `None` disables profiling entirely.
+    pub fn mrc_shift(&self) -> Option<u32> {
+        match self.mrc_sample {
+            0 => None,
+            n => Some(n.next_power_of_two().trailing_zeros()),
         }
     }
 
@@ -356,6 +373,8 @@ pub struct SharedCache {
     arbiter_runs: AtomicU64,
     arbiter_transfers: AtomicU64,
     arbiter_bytes: AtomicU64,
+    /// Construction instant, for the `uptime` stats line.
+    started: Instant,
 }
 
 impl SharedCache {
@@ -431,6 +450,7 @@ impl SharedCache {
             arbiter_runs: AtomicU64::new(0),
             arbiter_transfers: AtomicU64::new(0),
             arbiter_bytes: AtomicU64::new(0),
+            started: Instant::now(),
         }
     }
 
@@ -956,6 +976,7 @@ impl SharedCache {
             total_bytes: self.config.total_bytes,
             mode: self.config.mode,
             requested_shards: self.config.requested_shards(),
+            uptime_s: self.started.elapsed().as_secs(),
             cells,
             tenant_names: roster.directory.names().to_vec(),
             // Budgets computed on the roster we already hold — re-entering

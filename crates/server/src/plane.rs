@@ -43,7 +43,7 @@ use crate::protocol::StatsFormat;
 use crate::reactor::{ConnTelemetry, Mailbox};
 use crate::stats::{
     build_document, render_json, render_prom, render_stats, BalanceCounters, EngineStat,
-    LoopTelemetry, PlaneStats, StatsSnapshot, WireCounts,
+    LoopTelemetry, ObservedPlane, PlaneStats, StatsSnapshot, WireCounts,
 };
 use bytes::Bytes;
 use cache_core::{Key, TenantDirectory};
@@ -51,17 +51,26 @@ use cliffhanger::{
     EventSink, ShardRebalancer, ShardSample, TenantArbiter, TenantSample, TransferEvent,
 };
 use parking_lot::Mutex;
+use profiler::{MrcSnapshot, OnlineMrc};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
-use telemetry::{EventKind, Histogram, Journal};
+use std::time::{Duration, Instant, SystemTime};
+use telemetry::{EventKind, Histogram, Journal, SeriesSample, TimeSeries};
 
 /// Ring capacity of the control-plane flight recorder: enough to hold a
 /// long tail of balancing history at a few hundred bytes per event.
 const JOURNAL_CAPACITY: usize = 1024;
+
+/// Width of one stats-history bucket: per-loop cumulative counters are
+/// sampled into 1-second intervals and differenced into rates at snapshot.
+const HISTORY_INTERVAL_US: u64 = 1_000_000;
+
+/// Retained history buckets per loop (and in the merged exposition): about
+/// a minute of trajectory per scrape.
+const HISTORY_WINDOWS: usize = 64;
 
 /// Slow-op journal sampling: record the first slow op and every 64th after
 /// it (per loop), so a pathological threshold cannot flood the ring.
@@ -200,6 +209,11 @@ pub(crate) struct LoopSnapshot {
     pub(crate) remote_latency: Histogram,
     /// Ops that exceeded the configured slow-op threshold on this loop.
     pub(crate) slow_ops: u64,
+    /// Per-tenant online MRC samples over this loop's shard partition
+    /// (empty when profiling is off).
+    pub(crate) mrc: Vec<MrcSnapshot>,
+    /// Per-tenant counter history buckets recorded by this loop.
+    pub(crate) history: TimeSeries,
 }
 
 /// Requests to the control thread.
@@ -286,6 +300,13 @@ pub(crate) struct PlaneShared {
     pub(crate) journal: Arc<Journal>,
     /// Slow-op threshold in nanoseconds; 0 disables the slow-op log.
     pub(crate) slow_op_nanos: u64,
+    /// Plane boot instant: the monotonic zero for journal timestamps,
+    /// history bucket indices and `uptime_s`.
+    pub(crate) started: Instant,
+    /// Wall-clock at boot, for anchoring monotonic offsets to real time.
+    pub(crate) start_unix_us: u64,
+    /// Spatial-sampling shift for online MRC profiling (`None` = off).
+    pub(crate) mrc_shift: Option<u32>,
     rebalance_pending: AtomicBool,
     arbitrate_pending: AtomicBool,
 }
@@ -408,6 +429,11 @@ pub(crate) struct LoopState {
     ops: u64,
     rebalance_interval: u64,
     arbitrate_interval: u64,
+    /// Per-tenant online MRC estimators over this loop's shard partition
+    /// (empty when profiling is off or the loop owns no shards).
+    mrc: Vec<OnlineMrc>,
+    /// Per-tenant counter history, bucketed into wall-clock intervals.
+    history: TimeSeries,
     /// Per-target-loop outbound batches, flushed once per readiness pass.
     outbound: Vec<Vec<LoopMsg>>,
 }
@@ -433,6 +459,16 @@ impl LoopState {
             slots[shard.global] = Some(i);
         }
         let loops = shared.loops as u64;
+        let mrc = match shared.mrc_shift {
+            Some(shift) if !owned.is_empty() => {
+                let share = owned.len() as f64 / shared.shards as f64;
+                tenants
+                    .iter()
+                    .map(|_| OnlineMrc::with_population_share(shift, share))
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
         LoopState {
             index,
             slots,
@@ -449,6 +485,8 @@ impl LoopState {
             ops: 0,
             rebalance_interval: (shared.config.rebalance.interval_requests / loops).max(1),
             arbitrate_interval: (shared.config.tenant_balance.interval_requests / loops).max(1),
+            mrc,
+            history: TimeSeries::new(HISTORY_INTERVAL_US, HISTORY_WINDOWS),
             outbound: (0..shared.loops).map(|_| Vec::new()).collect(),
             shared,
         }
@@ -461,7 +499,36 @@ impl LoopState {
         if generation != self.generation_seen {
             self.tenants = self.shared.roster.lock().directory.names().to_vec();
             self.generation_seen = generation;
+            if let Some(shift) = self.shared.mrc_shift {
+                if !self.owned.is_empty() {
+                    let share = self.owned.len() as f64 / self.shared.shards as f64;
+                    while self.mrc.len() < self.tenants.len() {
+                        self.mrc
+                            .push(OnlineMrc::with_population_share(shift, share));
+                    }
+                }
+            }
         }
+    }
+
+    /// Samples the loop's cumulative per-tenant counters into the history
+    /// ring. Called once per readiness pass; recording into the current
+    /// interval bucket overwrites in place, so the cost is an `Instant`
+    /// read plus a per-owned-cell sum.
+    pub(crate) fn observe(&mut self) {
+        let now_us = self.shared.started.elapsed().as_micros() as u64;
+        let mut columns = vec![SeriesSample::default(); self.tenants.len()];
+        for shard in &self.owned {
+            for (tenant, cell) in shard.cells.iter().enumerate() {
+                let Some(column) = columns.get_mut(tenant) else {
+                    continue;
+                };
+                column.gets += cell.gets;
+                column.hits += cell.hits;
+                column.evictions += cell.engine.stats().evictions;
+            }
+        }
+        self.history.record(now_us, columns);
     }
 
     /// The loop-local tenant name table.
@@ -494,6 +561,14 @@ impl LoopState {
         key: &[u8],
         verb: &DataVerb,
     ) -> DataOutcome {
+        // Online MRC sampling: when profiling is off the vec is empty and
+        // this is a single bounds-checked lookup; when on, a hash + compare
+        // for unsampled keys.
+        if matches!(verb, DataVerb::Get) {
+            if let Some(estimator) = self.mrc.get_mut(tenant) {
+                estimator.record(id);
+            }
+        }
         let shard = &mut self.owned[slot];
         let Some(cell) = shard.cells.get_mut(tenant) else {
             // A tenant index this loop has not materialised (impossible by
@@ -798,6 +873,8 @@ impl LoopState {
             local_latency: self.local_latency.clone(),
             remote_latency: self.remote_latency.clone(),
             slow_ops: self.slow_ops,
+            mrc: self.mrc.iter().map(OnlineMrc::snapshot).collect(),
+            history: self.history.clone(),
         }
     }
 }
@@ -1222,7 +1299,7 @@ impl Control {
     /// Assembles the stats state every exposition format renders from:
     /// the engine-level snapshot, the plane counters and the per-loop
     /// service-time telemetry.
-    fn collect(&self) -> (StatsSnapshot, PlaneStats, Vec<LoopTelemetry>) {
+    fn collect(&self) -> (StatsSnapshot, PlaneStats, Vec<LoopTelemetry>, ObservedPlane) {
         let shared = Arc::clone(&self.shared);
         let snaps = self.gather();
         let roster = shared.roster.lock();
@@ -1230,6 +1307,7 @@ impl Control {
         let mut cells = vec![vec![EngineStat::default(); tenants]; shared.shards];
         let mut per_loop = vec![(0u64, 0u64, 0u64); shared.loops];
         let mut loops = vec![LoopTelemetry::default(); shared.loops];
+        let mut mrc = vec![MrcSnapshot::default(); tenants];
         // Loops count what they forwarded, control counts what it served;
         // the two only differ transiently (a forward still in flight) or
         // for admin calls arriving through the synchronous handle instead
@@ -1248,11 +1326,24 @@ impl Control {
                     cells[*shard][t] = cell.clone();
                 }
             }
+            for (t, view) in snap.mrc.iter().enumerate().take(tenants) {
+                mrc[t].merge(view);
+            }
         }
+        let histories: Vec<&TimeSeries> = snaps.iter().flatten().map(|s| &s.history).collect();
+        let elapsed = shared.started.elapsed();
+        let observed = ObservedPlane {
+            server_start_unix_us: shared.start_unix_us,
+            snapshot_unix_us: shared.start_unix_us + elapsed.as_micros() as u64,
+            mrc_shift: shared.mrc_shift,
+            mrc,
+            history: TimeSeries::merged(&histories),
+        };
         let snapshot = StatsSnapshot {
             total_bytes: shared.config.total_bytes,
             mode: shared.config.mode,
             requested_shards: shared.config.requested_shards(),
+            uptime_s: elapsed.as_secs(),
             cells,
             tenant_names: roster.directory.names().to_vec(),
             tenant_budgets: roster.tenant_budgets(),
@@ -1277,19 +1368,19 @@ impl Control {
             idle_timeout_ms: self.idle_timeout_ms,
             slow_ops: loops.iter().map(|l| l.slow_ops).sum(),
         };
-        (snapshot, plane, loops)
+        (snapshot, plane, loops, observed)
     }
 
     /// The legacy human-oriented `stats` report.
     fn stats(&self) -> Vec<(String, String)> {
-        let (snapshot, plane, _) = self.collect();
+        let (snapshot, plane, _, _) = self.collect();
         render_stats(&snapshot, Some(&self.telemetry), Some(&plane))
     }
 
     /// The machine-readable expositions: one `cliffhanger-stats/v1`
     /// document, rendered as JSON or Prometheus text.
     fn stats_blob(&self, format: StatsFormat) -> String {
-        let (snapshot, plane, loops) = self.collect();
+        let (snapshot, plane, loops, observed) = self.collect();
         let doc = build_document(
             &snapshot,
             Some(&self.telemetry),
@@ -1297,6 +1388,7 @@ impl Control {
             &loops,
             &self.admin_latency,
             &self.shared.journal,
+            &observed,
         );
         match format {
             StatsFormat::Prom => render_prom(&doc),
@@ -1623,6 +1715,12 @@ impl Plane {
             }),
             journal: Arc::new(Journal::new(JOURNAL_CAPACITY)),
             slow_op_nanos: slow_op_micros.saturating_mul(1_000),
+            started: Instant::now(),
+            start_unix_us: SystemTime::now()
+                .duration_since(SystemTime::UNIX_EPOCH)
+                .map(|d| d.as_micros() as u64)
+                .unwrap_or(0),
+            mrc_shift: config.mrc_shift(),
             rebalance_pending: AtomicBool::new(false),
             arbitrate_pending: AtomicBool::new(false),
             config,

@@ -461,6 +461,9 @@ impl EventLoop {
             // One atomic load; a changed tenant table is copied out here,
             // never on the request path.
             self.state.refresh_tenants();
+            // Sample cumulative counters into the history ring (in-place
+            // overwrite within the current interval bucket).
+            self.state.observe();
             for event in &events[..n] {
                 // Copy out of the (possibly packed) event before use.
                 let token = event.data;

@@ -17,8 +17,11 @@
 use crate::backend::BackendMode;
 use crate::reactor::ConnTelemetry;
 use cache_core::CacheStats;
+use profiler::MrcSnapshot;
 use serde::Serialize;
-use telemetry::{Histogram, Journal, JournalEvent, LatencySummary};
+use telemetry::{
+    EventKind, Histogram, Journal, JournalEvent, LatencySummary, SeriesRates, TimeSeries,
+};
 
 /// The version tag of the machine-readable stats document.
 pub(crate) const STATS_SCHEMA: &str = "cliffhanger-stats/v1";
@@ -70,6 +73,8 @@ pub(crate) struct StatsSnapshot {
     pub(crate) total_bytes: u64,
     pub(crate) mode: BackendMode,
     pub(crate) requested_shards: usize,
+    /// Seconds since the backend was constructed.
+    pub(crate) uptime_s: u64,
     /// Engine stats indexed `[shard][tenant]`.
     pub(crate) cells: Vec<Vec<EngineStat>>,
     pub(crate) tenant_names: Vec<String>,
@@ -195,6 +200,7 @@ pub(crate) fn render_stats(
         ("bytes".into(), used.to_string()),
         ("curr_items".into(), items.to_string()),
         ("evictions".into(), core_total.evictions.to_string()),
+        ("uptime".into(), snap.uptime_s.to_string()),
         ("limit_maxbytes".into(), snap.total_bytes.to_string()),
         (
             "allocator".into(),
@@ -449,12 +455,137 @@ pub(crate) struct JournalDoc {
     pub(crate) events: Vec<JournalEvent>,
 }
 
+/// One probed point of a tenant's live miss-ratio curve.
+#[derive(Serialize)]
+pub(crate) struct MrcPointDoc {
+    /// The probe as a multiple of the tenant's current budget.
+    pub(crate) scale: f64,
+    /// The probe in items (`scale × budget_items`).
+    pub(crate) items: u64,
+    /// The estimated hit rate an LRU allocation of `items` would achieve.
+    pub(crate) hit_rate: f64,
+}
+
+/// One tenant's live sampled miss-ratio curve.
+#[derive(Serialize)]
+pub(crate) struct MrcTenantDoc {
+    pub(crate) name: String,
+    /// GETs offered to the estimator since boot (sampled or not).
+    pub(crate) offered: u64,
+    /// GETs that passed the spatial sampling gate.
+    pub(crate) sampled: u64,
+    /// Distinct sampled keys currently tracked, summed across loops.
+    pub(crate) tracked_keys: u64,
+    /// The tenant's current budget expressed in items (budget bytes over
+    /// the tenant's mean live item footprint); 0 while the tenant is empty.
+    pub(crate) budget_items: u64,
+    /// Curve points at 0.25×/0.5×/1×/2×/4× the current budget (empty while
+    /// `budget_items` is 0).
+    pub(crate) points: Vec<MrcPointDoc>,
+}
+
+/// The live MRC observability section: per-tenant sampled hit-rate curves.
+#[derive(Serialize)]
+pub(crate) struct MrcDoc {
+    /// Spatial sampling shift: each estimator profiles keys at rate
+    /// `R = 2^-sample_shift`.
+    pub(crate) sample_shift: u32,
+    /// `R` as a fraction.
+    pub(crate) sample_rate: f64,
+    pub(crate) tenants: Vec<MrcTenantDoc>,
+}
+
+/// One tenant's windowed rates inside one history window.
+#[derive(Serialize)]
+pub(crate) struct HistoryTenantDoc {
+    pub(crate) name: String,
+    pub(crate) ops_per_sec: f64,
+    /// `null` when the window saw no GETs for the tenant.
+    pub(crate) hit_rate: Option<f64>,
+    pub(crate) evictions_per_sec: f64,
+}
+
+/// One differenced interval of the stats time series.
+#[derive(Serialize)]
+pub(crate) struct HistoryWindowDoc {
+    /// Wall-clock end of the window in unix microseconds.
+    pub(crate) unix_us: u64,
+    /// Window length in seconds (> interval when intervals were skipped).
+    pub(crate) seconds: f64,
+    pub(crate) tenants: Vec<HistoryTenantDoc>,
+}
+
+/// The stats time series: the last N intervals as per-tenant rates.
+#[derive(Serialize)]
+pub(crate) struct HistoryDoc {
+    pub(crate) interval_us: u64,
+    /// Oldest window first.
+    pub(crate) windows: Vec<HistoryWindowDoc>,
+}
+
+/// One budget transfer joined against the realized hit-rate trajectory.
+#[derive(Serialize)]
+pub(crate) struct AllocatorTransferDoc {
+    pub(crate) seq: u64,
+    pub(crate) at_unix_us: u64,
+    /// `"shard"` (cross-shard rebalance) or `"tenant"` (arbiter).
+    pub(crate) kind: String,
+    /// The tenant whose hit rate the transfer was meant to raise.
+    pub(crate) tenant: String,
+    /// The donor tenant (tenant transfers only).
+    pub(crate) donor: Option<String>,
+    pub(crate) bytes: u64,
+    /// The smoothed shadow-hit gradients that justified the transfer.
+    pub(crate) from_gradient: f64,
+    pub(crate) to_gradient: f64,
+    /// The beneficiary's hit rate over the history window containing the
+    /// transfer (`null` when the window is gone or saw no GETs).
+    pub(crate) hit_rate_before: Option<f64>,
+    /// The beneficiary's hit rate over the following window.
+    pub(crate) hit_rate_after: Option<f64>,
+    /// `hit_rate_after - hit_rate_before` when both exist: the *realized*
+    /// effect to hold against the gradients' prediction.
+    pub(crate) realized_delta: Option<f64>,
+}
+
+/// Allocator introspection: predicted-vs-realized for every journalled
+/// budget transfer still inside the history horizon.
+#[derive(Serialize)]
+pub(crate) struct AllocatorDoc {
+    /// The hit-rate comparison window (one history interval).
+    pub(crate) window_us: u64,
+    pub(crate) transfers: Vec<AllocatorTransferDoc>,
+}
+
+/// What the control thread observed beyond the point-in-time snapshot:
+/// wall-clock anchoring, the merged per-tenant MRC estimators and the
+/// merged stats time series. Server-only (the embedded backend renders
+/// text stats, never the document).
+pub(crate) struct ObservedPlane {
+    /// Unix microseconds at plane boot (anchors journal event times).
+    pub(crate) server_start_unix_us: u64,
+    /// Unix microseconds when this snapshot was taken.
+    pub(crate) snapshot_unix_us: u64,
+    /// The configured sampling shift; `None` when live MRC is disabled.
+    pub(crate) mrc_shift: Option<u32>,
+    /// Merged per-tenant MRC snapshots, aligned with the tenant table.
+    pub(crate) mrc: Vec<MrcSnapshot>,
+    /// The merged per-loop stats time series.
+    pub(crate) history: TimeSeries,
+}
+
 /// The versioned `cliffhanger-stats/v1` document behind `stats json` and
 /// `stats prom`. Additive evolution only: consumers pin `schema` and
 /// ignore fields they do not know.
 #[derive(Serialize)]
 pub(crate) struct StatsDocument {
     pub(crate) schema: String,
+    /// Unix microseconds at server boot.
+    pub(crate) server_start: u64,
+    /// Unix microseconds when this snapshot was taken.
+    pub(crate) snapshot_unix_us: u64,
+    /// Seconds since boot.
+    pub(crate) uptime_s: u64,
     pub(crate) counters: CountersDoc,
     pub(crate) capacity: CapacityDoc,
     pub(crate) balance: BalanceDoc,
@@ -465,10 +596,201 @@ pub(crate) struct StatsDocument {
     pub(crate) shards: Vec<ShardDoc>,
     pub(crate) plane: PlaneDoc,
     pub(crate) journal: JournalDoc,
+    /// Live sampled miss-ratio curves (absent when profiling is disabled).
+    pub(crate) mrc: Option<MrcDoc>,
+    /// Windowed per-tenant rate history.
+    pub(crate) history: HistoryDoc,
+    /// Predicted-vs-realized join of journalled budget transfers.
+    pub(crate) allocator: AllocatorDoc,
+}
+
+/// The budget-multiple scales every tenant's live MRC is probed at.
+const MRC_SCALES: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// Builds the `mrc` section from the merged per-tenant estimator snapshots.
+fn build_mrc(snap: &StatsSnapshot, r: &Rollup, observed: &ObservedPlane) -> Option<MrcDoc> {
+    let shift = observed.mrc_shift?;
+    let tenants = snap
+        .tenant_names
+        .iter()
+        .enumerate()
+        .map(|(t, name)| {
+            let merged = observed.mrc.get(t).cloned().unwrap_or_default();
+            // The tenant's budget in items: budget bytes over the mean live
+            // item footprint. No items yet means no meaningful probe sizes.
+            let budget_items = if r.tenant_items[t] > 0 {
+                let item_bytes = (r.tenant_used[t] / r.tenant_items[t] as u64).max(1);
+                snap.tenant_budgets[t] / item_bytes
+            } else {
+                0
+            };
+            let curve = merged.to_curve();
+            let points = if budget_items > 0 {
+                MRC_SCALES
+                    .iter()
+                    .map(|&scale| {
+                        let items = ((budget_items as f64 * scale).round() as u64).max(1);
+                        MrcPointDoc {
+                            scale,
+                            items,
+                            hit_rate: curve.hit_rate_at(items),
+                        }
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            MrcTenantDoc {
+                name: name.clone(),
+                offered: merged.offered,
+                sampled: merged.sampled,
+                tracked_keys: merged.tracked_keys,
+                budget_items,
+                points,
+            }
+        })
+        .collect();
+    Some(MrcDoc {
+        sample_shift: shift,
+        sample_rate: 1.0 / (1u64 << shift) as f64,
+        tenants,
+    })
+}
+
+/// Builds the `history` section by differencing the merged time series.
+fn build_history(snap: &StatsSnapshot, observed: &ObservedPlane) -> HistoryDoc {
+    let interval_us = observed.history.interval_us();
+    let windows = observed
+        .history
+        .rates()
+        .iter()
+        .map(|window| HistoryWindowDoc {
+            unix_us: observed.server_start_unix_us + (window.index + 1) * interval_us,
+            seconds: window.seconds,
+            tenants: window
+                .columns
+                .iter()
+                .enumerate()
+                .filter_map(|(t, col)| {
+                    snap.tenant_names.get(t).map(|name| HistoryTenantDoc {
+                        name: name.clone(),
+                        ops_per_sec: col.ops_per_sec,
+                        hit_rate: col.hit_rate,
+                        evictions_per_sec: col.evictions_per_sec,
+                    })
+                })
+                .collect(),
+        })
+        .collect();
+    HistoryDoc {
+        interval_us,
+        windows,
+    }
+}
+
+/// A tenant's hit rate over the newest history window whose index satisfies
+/// `pick` (used to read "the window containing t" and "the window after t").
+fn tenant_hit_rate_where(
+    rates: &[SeriesRates],
+    tenant: usize,
+    pick: impl Fn(u64) -> bool,
+) -> Option<f64> {
+    rates
+        .iter()
+        .rev()
+        .find(|w| pick(w.index))
+        .and_then(|w| w.columns.get(tenant))
+        .and_then(|col| col.hit_rate)
+}
+
+/// Builds the `allocator` section: every journalled budget transfer joined
+/// against the beneficiary tenant's realized hit rate before and after.
+fn build_allocator(
+    snap: &StatsSnapshot,
+    observed: &ObservedPlane,
+    journal: &Journal,
+) -> AllocatorDoc {
+    let interval_us = observed.history.interval_us();
+    let rates = observed.history.rates();
+    let tenant_index = |name: &str| snap.tenant_names.iter().position(|n| n == name);
+    let transfers = journal
+        .snapshot()
+        .into_iter()
+        .filter_map(|event| {
+            let (kind, tenant, donor, bytes, from_gradient, to_gradient) = match &event.kind {
+                EventKind::ShardTransfer {
+                    tenant,
+                    bytes,
+                    from_gradient,
+                    to_gradient,
+                    ..
+                } => (
+                    "shard",
+                    tenant.clone(),
+                    None,
+                    *bytes,
+                    *from_gradient,
+                    *to_gradient,
+                ),
+                EventKind::TenantTransfer {
+                    from_tenant,
+                    to_tenant,
+                    bytes,
+                    from_gradient,
+                    to_gradient,
+                } => (
+                    "tenant",
+                    to_tenant.clone(),
+                    Some(from_tenant.clone()),
+                    *bytes,
+                    *from_gradient,
+                    *to_gradient,
+                ),
+                _ => return None,
+            };
+            // Journal timestamps are monotonic micros since boot — the same
+            // time base as the history bucket indices.
+            let bucket = event.at_micros / interval_us;
+            let (before, after) = match tenant_index(&tenant) {
+                Some(t) => (
+                    tenant_hit_rate_where(&rates, t, |i| i <= bucket),
+                    // Oldest window strictly after the transfer: rates are
+                    // sorted, so re-scan forward for the minimum match.
+                    rates
+                        .iter()
+                        .find(|w| w.index > bucket)
+                        .and_then(|w| w.columns.get(t))
+                        .and_then(|col| col.hit_rate),
+                ),
+                None => (None, None),
+            };
+            Some(AllocatorTransferDoc {
+                seq: event.seq,
+                at_unix_us: observed.server_start_unix_us + event.at_micros,
+                kind: kind.to_string(),
+                tenant,
+                donor,
+                bytes,
+                from_gradient,
+                to_gradient,
+                hit_rate_before: before,
+                hit_rate_after: after,
+                realized_delta: match (before, after) {
+                    (Some(b), Some(a)) => Some(a - b),
+                    _ => None,
+                },
+            })
+        })
+        .collect();
+    AllocatorDoc {
+        window_us: interval_us,
+        transfers,
+    }
 }
 
 /// Assembles the machine-readable stats document from the same inputs the
-/// text renderer uses, plus the per-loop latency telemetry and the journal.
+/// text renderer uses, plus the per-loop latency telemetry, the journal and
+/// the observability plane (wall clock, MRC estimators, time series).
 pub(crate) fn build_document(
     snap: &StatsSnapshot,
     conns: Option<&ConnTelemetry>,
@@ -476,6 +798,7 @@ pub(crate) fn build_document(
     loops: &[LoopTelemetry],
     admin_latency: &Histogram,
     journal: &Journal,
+    observed: &ObservedPlane,
 ) -> StatsDocument {
     let r = rollup(snap);
     let nt = snap.tenant_names.len();
@@ -486,8 +809,14 @@ pub(crate) fn build_document(
         local_merged.merge(&tel.local);
         remote_merged.merge(&tel.remote);
     }
+    let mrc = build_mrc(snap, &r, observed);
+    let history = build_history(snap, observed);
+    let allocator = build_allocator(snap, observed, journal);
     StatsDocument {
         schema: STATS_SCHEMA.to_string(),
+        server_start: observed.server_start_unix_us,
+        snapshot_unix_us: observed.snapshot_unix_us,
+        uptime_s: snap.uptime_s,
         counters: CountersDoc {
             cmd_get: r.totals.gets,
             cmd_set: r.totals.sets,
@@ -587,12 +916,32 @@ pub(crate) fn build_document(
             dropped: journal.dropped(),
             events: journal.snapshot(),
         },
+        mrc,
+        history,
+        allocator,
     }
 }
 
 /// Renders the document as one line of JSON (the `stats json` payload).
 pub(crate) fn render_json(doc: &StatsDocument) -> String {
     serde_json::to_string(doc).expect("stats document serialisation cannot fail")
+}
+
+/// Escapes a Prometheus label value: backslash, double quote and newline
+/// must be backslash-escaped per the text exposition format. Tenant names
+/// are operator-chosen ASCII-graphic strings, so `"` and `\` are legal in
+/// them and *must* round-trip.
+fn prom_escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 /// Appends one Prometheus metric with `# TYPE` metadata.
@@ -648,6 +997,7 @@ pub(crate) fn render_prom(doc: &StatsDocument) -> String {
         ("cliffhanger_shard_count", doc.capacity.shard_count as u64),
         ("cliffhanger_tenant_count", doc.capacity.tenant_count as u64),
         ("cliffhanger_event_loops", doc.capacity.event_loops as u64),
+        ("cliffhanger_uptime_seconds", doc.uptime_s),
     ] {
         prom_metric(
             &mut out,
@@ -740,7 +1090,12 @@ pub(crate) fn render_prom(doc: &StatsDocument) -> String {
     let tenant_bytes: Vec<(String, String)> = doc
         .tenants
         .iter()
-        .map(|t| (format!("tenant=\"{}\"", t.name), t.bytes.to_string()))
+        .map(|t| {
+            (
+                format!("tenant=\"{}\"", prom_escape_label(&t.name)),
+                t.bytes.to_string(),
+            )
+        })
         .collect();
     prom_metric(
         &mut out,
@@ -751,7 +1106,12 @@ pub(crate) fn render_prom(doc: &StatsDocument) -> String {
     let tenant_budget: Vec<(String, String)> = doc
         .tenants
         .iter()
-        .map(|t| (format!("tenant=\"{}\"", t.name), t.budget.to_string()))
+        .map(|t| {
+            (
+                format!("tenant=\"{}\"", prom_escape_label(&t.name)),
+                t.budget.to_string(),
+            )
+        })
         .collect();
     prom_metric(
         &mut out,
@@ -759,6 +1119,64 @@ pub(crate) fn render_prom(doc: &StatsDocument) -> String {
         "gauge",
         &tenant_budget,
     );
+    // Per-tenant wire series under an `app` label (the `app <name>` command
+    // namespace), so one Grafana variable covers every hosted application.
+    let app_lines = |value: fn(&TenantDoc) -> u64| -> Vec<(String, String)> {
+        doc.tenants
+            .iter()
+            .map(|t| {
+                (
+                    format!("app=\"{}\"", prom_escape_label(&t.name)),
+                    value(t).to_string(),
+                )
+            })
+            .collect()
+    };
+    prom_metric(
+        &mut out,
+        "cliffhanger_tenant_cmd_get",
+        "counter",
+        &app_lines(|t| t.cmd_get),
+    );
+    prom_metric(
+        &mut out,
+        "cliffhanger_tenant_get_hits",
+        "counter",
+        &app_lines(|t| t.get_hits),
+    );
+    prom_metric(
+        &mut out,
+        "cliffhanger_tenant_bytes",
+        "gauge",
+        &app_lines(|t| t.bytes),
+    );
+    prom_metric(
+        &mut out,
+        "cliffhanger_tenant_budget",
+        "gauge",
+        &app_lines(|t| t.budget),
+    );
+    if let Some(mrc) = &doc.mrc {
+        let lines: Vec<(String, String)> = mrc
+            .tenants
+            .iter()
+            .flat_map(|t| {
+                let app = prom_escape_label(&t.name);
+                t.points
+                    .iter()
+                    .map(|p| {
+                        (
+                            format!("app=\"{app}\",scale=\"{}\"", p.scale),
+                            format!("{:.6}", p.hit_rate),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        if !lines.is_empty() {
+            prom_metric(&mut out, "cliffhanger_tenant_mrc_hit_rate", "gauge", &lines);
+        }
+    }
     prom_metric(
         &mut out,
         "cliffhanger_journal_events_total",

@@ -27,6 +27,7 @@ fn head_keys() -> Vec<String> {
         "bytes",
         "curr_items",
         "evictions",
+        "uptime",
         "limit_maxbytes",
         "allocator",
         "shard_count",

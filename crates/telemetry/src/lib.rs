@@ -13,8 +13,12 @@
 //!   gradients that justified them, carve-outs, flushes, idle reaps, shed
 //!   connections, sampled slow ops), each stamped with a monotonic sequence
 //!   number and timestamp.
+//! * [`timeseries`] — a bounded ring of interval buckets over cumulative
+//!   per-tenant counters ([`TimeSeries`]), recorded per event loop and
+//!   merged at snapshot time, from which the stats document derives
+//!   windowed ops/s, hit-rate and eviction rates (trajectory, not totals).
 //!
-//! Both are deliberately dependency-light (serde only) so every crate in
+//! All are deliberately dependency-light (serde only) so every crate in
 //! the workspace can use them without pulling server or loadgen machinery.
 
 #![warn(missing_docs)]
@@ -23,6 +27,8 @@
 
 pub mod histogram;
 pub mod journal;
+pub mod timeseries;
 
 pub use histogram::{Histogram, LatencySummary};
 pub use journal::{EventKind, Journal, JournalEvent};
+pub use timeseries::{ColumnRates, SeriesBucket, SeriesRates, SeriesSample, TimeSeries};

@@ -51,6 +51,71 @@ def check_summary(s, where):
     )
 
 
+def check_mrc(mrc, where):
+    """The live-profiled miss-ratio-curve section (stats documents that
+    carry one; absent/null means profiling was off or predates PR 9)."""
+    require("sample_shift" in mrc, where, "mrc lacks sample_shift")
+    require("sample_rate" in mrc, where, "mrc lacks sample_rate")
+    require(
+        0.0 < mrc["sample_rate"] <= 1.0,
+        where,
+        f"mrc sample_rate out of range: {mrc['sample_rate']}",
+    )
+    for t in mrc.get("tenants", []):
+        tw = f"{where}/tenant={t.get('name')}"
+        require(t.get("name"), tw, "mrc tenant without a name")
+        require(t["sampled"] <= t["offered"], tw, "sampled exceeds offered GETs")
+        for p in t.get("points", []):
+            require(
+                p["scale"] > 0 and p["items"] >= 1,
+                tw,
+                f"degenerate mrc point {p}",
+            )
+            require(
+                0.0 <= p["hit_rate"] <= 1.0,
+                tw,
+                f"mrc hit_rate out of range: {p}",
+            )
+
+
+def check_history(history, where):
+    """The windowed counter-rate time series (always present post-PR 9)."""
+    require(history.get("interval_us", 0) > 0, where, "history lacks interval_us")
+    for w in history.get("windows", []):
+        ww = f"{where}/window={w.get('unix_us')}"
+        require(w.get("seconds", 0) > 0, ww, "window spans no time")
+        for t in w.get("tenants", []):
+            require(t.get("name"), ww, "history tenant without a name")
+            require(t["ops_per_sec"] >= 0, ww, "negative ops rate")
+            hr = t.get("hit_rate")
+            require(
+                hr is None or 0.0 <= hr <= 1.0,
+                ww,
+                f"history hit_rate out of range: {hr}",
+            )
+
+
+def check_allocator(allocator, where):
+    """The predicted-vs-realized allocator introspection join."""
+    require(
+        allocator.get("window_us", 0) > 0, where, "allocator lacks window_us"
+    )
+    for tr in allocator.get("transfers", []):
+        tw = f"{where}/transfer={tr.get('seq')}"
+        require(tr.get("kind") in ("shard", "tenant"), tw, f"bad kind {tr.get('kind')!r}")
+        require(tr.get("tenant"), tw, "transfer without a tenant")
+        require(tr.get("bytes", 0) > 0, tw, "transfer moved no bytes")
+        if tr.get("kind") == "tenant":
+            require(tr.get("donor"), tw, "tenant transfer without a donor")
+        for side in ("hit_rate_before", "hit_rate_after"):
+            hr = tr.get(side)
+            require(
+                hr is None or 0.0 <= hr <= 1.0,
+                tw,
+                f"{side} out of range: {hr}",
+            )
+
+
 def check_stats(stats, where):
     require(
         stats.get("schema") == "cliffhanger-stats/v1",
@@ -72,6 +137,20 @@ def check_stats(stats, where):
         where,
         f"tenant budgets sum to {tenant_sum}, limit_maxbytes is {limit}",
     )
+    # Additive sections: committed pre-PR-9 baselines lack them, so only
+    # assert their shape where the document carries them.
+    if "server_start" in stats:
+        require(
+            stats["server_start"] <= stats["snapshot_unix_us"],
+            where,
+            "snapshot taken before the server started",
+        )
+    if stats.get("mrc") is not None:
+        check_mrc(stats["mrc"], f"{where}/mrc")
+    if "history" in stats:
+        check_history(stats["history"], f"{where}/history")
+    if "allocator" in stats:
+        check_allocator(stats["allocator"], f"{where}/allocator")
 
 
 def check_load(r, where):
