@@ -39,6 +39,10 @@ TARGET (default: self-host an in-process server):
                             one in <n> GETs (rounded up to a power
                             of two; 0 = off), surfaced as the `mrc`
                             section of `stats json`                 [64]
+    --hot-key-promote <on|off>  hot-key detection + per-loop replica
+                            promotion (the aggressive profile: every
+                            GET sampled, fast control rounds), echoed
+                            as the report's hot_key_* counters       [off]
 
 LOAD:
     --requests <n>          measured requests                       [100000]
@@ -73,7 +77,8 @@ RESILIENCE SCENARIOS (self-host only; other load/workload flags ignored):
     --scenario <name>       run a named chaos/replay scenario end to end and
                             report `cliffhanger-scenario/v1` with invariant
                             verdicts: scan_storm | diurnal | drift |
-                            conn_churn | slow_loris | tenant_storm
+                            conn_churn | slow_loris | tenant_storm |
+                            flash_crowd
     --scenario-scale <f>    scale the scenario's request volume (1.0 =
                             standard nightly size, 0.05 = CI smoke)  [1.0]
 
@@ -93,6 +98,7 @@ struct Args {
     tenant_balance: bool,
     slow_op_micros: u64,
     mrc_sample: u64,
+    hot_key_promote: bool,
     sweep: Option<Vec<usize>>,
     scenario: Option<String>,
     scenario_scale: f64,
@@ -190,6 +196,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         tenant_balance: true,
         slow_op_micros: 0,
         mrc_sample: 64,
+        hot_key_promote: false,
         sweep: None,
         scenario: None,
         scenario_scale: 1.0,
@@ -218,6 +225,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--tenant-balance",
             "--slow-op-micros",
             "--mrc-sample",
+            "--hot-key-promote",
         ] {
             if flag == known {
                 self_host_flag.get_or_insert(known);
@@ -274,6 +282,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.mrc_sample = value("--mrc-sample")?
                     .parse()
                     .map_err(|_| "bad --mrc-sample".to_string())?
+            }
+            "--hot-key-promote" => {
+                args.hot_key_promote = match value("--hot-key-promote")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("bad --hot-key-promote {other:?} (want on|off)")),
+                }
             }
             "--tenants" => tenants_spec = Some(value("--tenants")?),
             "--fill-on-miss" => {
@@ -468,6 +483,12 @@ fn summarize(report: &LoadReport) {
                 server.slow_ops, server.idle_closed_connections
             );
         }
+        if server.hot_key_enabled {
+            eprintln!(
+                "  hot keys: {} promotions, {} demotions, {} replica hits",
+                server.hot_key_promotions, server.hot_key_demotions, server.hot_key_replica_hits
+            );
+        }
     }
     if let Some(stats) = &report.server_stats {
         let p99 = |class: &str| {
@@ -574,6 +595,7 @@ fn run() -> Result<(), String> {
         tenant_balance: args.tenant_balance,
         slow_op_micros: args.slow_op_micros,
         mrc_sample: args.mrc_sample,
+        hot_key_promote: args.hot_key_promote,
         ..SelfHostConfig::default()
     };
 

@@ -27,7 +27,9 @@ use crate::runner::{
 };
 use crate::telemetry::LatencySummary;
 use crate::workload::{GenOp, RequestGen};
-use cache_server::{BackendConfig, CacheClient, CacheServer, ServerConfig, TenantSpec};
+use cache_server::{
+    BackendConfig, CacheClient, CacheServer, HotKeyConfig, ServerConfig, TenantSpec,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -66,6 +68,22 @@ pub struct ScanSpec {
     pub fraction: f64,
 }
 
+/// An optional single-key flash crowd mixed into a phase: a fraction of
+/// the phase's requests are GETs of one fixed key. Under the
+/// shared-nothing plane that key's owner loop becomes the bottleneck —
+/// the traffic shape the hot-key replication path exists to absorb.
+///
+/// The spike key should sit *outside* the phase's popularity universe
+/// (and drift range), so the versioned probe stays the key's only writer
+/// and the `no_stale_reads` invariant has teeth.
+#[derive(Clone, Debug)]
+pub struct SpikeSpec {
+    /// Rank of the spiked key (see `RequestGen::key_for_rank`).
+    pub key_rank: u64,
+    /// Fraction of the phase's requests that are spike GETs.
+    pub fraction: f64,
+}
+
 /// One phase of a scenario: a request budget driven in one arrival mode
 /// with one (possibly time-varying) traffic mix.
 #[derive(Clone, Debug)]
@@ -94,6 +112,8 @@ pub struct Phase {
     pub offset_end: u64,
     /// Optional sequential scan mixed into the phase.
     pub scan: Option<ScanSpec>,
+    /// Optional single-key flash crowd mixed into the phase.
+    pub spike: Option<SpikeSpec>,
     /// Fixed value payload size in bytes.
     pub value_bytes: usize,
 }
@@ -113,6 +133,7 @@ impl Phase {
             offset_start: 0,
             offset_end: 0,
             scan: None,
+            spike: None,
             value_bytes: 256,
         }
     }
@@ -191,6 +212,13 @@ pub enum Invariant {
     /// `connections.curr` drains back to the single stats probe —
     /// churned and half-dead connections must not leak.
     ConnectionsReturnToBaseline,
+    /// The versioned probe (active whenever a phase carries a
+    /// [`SpikeSpec`]) observed no stale read: every GET of the spike key
+    /// returned a version at or past the last write that was acknowledged
+    /// before the GET began, while hot-key promotion churned the key in
+    /// and out of the replica caches. Vacuous probes fail — the probe must
+    /// have read real versions for the verdict to mean anything.
+    NoStaleReads,
 }
 
 impl Invariant {
@@ -201,6 +229,7 @@ impl Invariant {
             Invariant::BudgetConservation => "budget_conservation".to_string(),
             Invariant::PhaseP99Below { phase, .. } => format!("p99_bounded[{phase}]"),
             Invariant::ConnectionsReturnToBaseline => "connections_baseline".to_string(),
+            Invariant::NoStaleReads => "no_stale_reads".to_string(),
         }
     }
 }
@@ -228,6 +257,10 @@ pub struct Scenario {
     pub warmup_keys: u64,
     /// Demand-fill every GET miss, cache-aside style.
     pub fill_on_miss: bool,
+    /// Enable hot-key detection and per-loop replication on the
+    /// self-hosted server (the aggressive test profile: sample every GET,
+    /// promote fast, round often).
+    pub hot_key_promote: bool,
     /// Tenants to host besides `default`; drivers round-robin across them
     /// (all drivers use `default` when empty).
     pub tenants: Vec<(String, u64)>,
@@ -322,6 +355,25 @@ pub struct PhaseReport {
     pub latency: LatencySummary,
 }
 
+/// What the versioned spike-key probe observed, for the `no_stale_reads`
+/// invariant: a writer SETs monotonically versioned payloads and
+/// publishes each version only after the server acknowledged it; readers
+/// on separate connections snapshot that frontier before every GET and
+/// count a stale read whenever the observed version falls behind it.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ProbeReport {
+    /// Acknowledged probe writes (the final published version).
+    pub writes: u64,
+    /// Probe GETs that returned a parseable versioned value.
+    pub reads: u64,
+    /// Probe GETs that missed (the key was evicted; not a staleness
+    /// signal — the next acknowledged write repopulates it).
+    pub misses: u64,
+    /// Reads whose observed version fell behind the acknowledged
+    /// frontier snapshotted before the GET — must be zero.
+    pub stale_reads: u64,
+}
+
 /// What the chaos actors actually did, for report forensics.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct ChaosReport {
@@ -385,6 +437,9 @@ pub struct ScenarioReport {
     pub passed: bool,
     /// The server's scraped `cliffhanger-stats/v1` document.
     pub server_stats: Option<Value>,
+    /// What the versioned spike-key probe observed; absent when no phase
+    /// carried a [`SpikeSpec`].
+    pub probe: Option<ProbeReport>,
 }
 
 impl ScenarioReport {
@@ -455,6 +510,16 @@ pub fn evaluate_invariants(
                         report.conn_final, report.conn_baseline
                     ),
                 ),
+                Invariant::NoStaleReads => match &report.probe {
+                    None => (false, "no versioned probe ran".to_string()),
+                    Some(p) => (
+                        p.stale_reads == 0 && p.reads > 0,
+                        format!(
+                            "{} stale of {} versioned probe reads ({} misses, {} writes)",
+                            p.stale_reads, p.reads, p.misses, p.writes
+                        ),
+                    ),
+                },
             };
             InvariantVerdict {
                 name: inv.name(),
@@ -555,6 +620,15 @@ impl PhaseGen {
     }
 
     fn next_op(&mut self) -> GenOp {
+        if let Some(spike) = &self.phase.spike {
+            if self.rng.gen_bool(spike.fraction.clamp(0.0, 1.0)) {
+                // The flash crowd: everyone GETs the same key. Never a SET
+                // — the versioned probe is the spike key's only writer.
+                return GenOp::Get {
+                    key: RequestGen::key_for_rank(spike.key_rank),
+                };
+            }
+        }
         if let Some(scan) = &self.phase.scan {
             if self.rng.gen_bool(scan.fraction.clamp(0.0, 1.0)) {
                 let rank = scan.start_rank + (self.scan_cursor % scan.length.max(1));
@@ -1000,6 +1074,106 @@ fn spawn_chaos(
 }
 
 // ---------------------------------------------------------------------------
+// The versioned spike-key probe.
+// ---------------------------------------------------------------------------
+
+/// Shared probe tallies plus the acknowledged-version frontier.
+#[derive(Default)]
+struct ProbeCounters {
+    writes: AtomicU64,
+    reads: AtomicU64,
+    misses: AtomicU64,
+    stale: AtomicU64,
+    /// The highest version the server has acknowledged storing. Published
+    /// with `Release` *after* the STORED reply, so a reader that loads it
+    /// with `Acquire` before a GET holds a true lower bound on what that
+    /// GET must observe.
+    last_acked: AtomicU64,
+}
+
+fn probe_payload(version: u64) -> Vec<u8> {
+    // Padding keeps the value comparable to the scenario's ordinary
+    // payloads so the replica byte budget is exercised realistically.
+    format!("v:{version}:{}", "x".repeat(128)).into_bytes()
+}
+
+fn parse_probe_version(data: &[u8]) -> Option<u64> {
+    let text = std::str::from_utf8(data).ok()?;
+    let mut parts = text.splitn(3, ':');
+    if parts.next() != Some("v") {
+        return None;
+    }
+    parts.next()?.parse().ok()
+}
+
+/// The probe writer: the spike key's *only* writer in the whole scenario.
+/// Acknowledge-then-publish, throttled so it stresses invalidation without
+/// drowning the measured traffic.
+fn probe_writer(addr: String, key: String, stop: Arc<AtomicBool>, counters: Arc<ProbeCounters>) {
+    let mut client: Option<CacheClient> = None;
+    let mut version = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        if client.is_none() {
+            client = CacheClient::connect(&addr).ok();
+        }
+        let Some(c) = client.as_mut() else {
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        let next = version + 1;
+        match c.set(key.as_bytes(), 0, &probe_payload(next)) {
+            Ok(true) => {
+                version = next;
+                counters.last_acked.store(version, Ordering::Release);
+                counters.writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(false) => {} // refused store; retry the same version
+            Err(_) => client = None,
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// A probe reader: snapshot the acknowledged frontier, GET, and require
+/// the observed version to be at or past the snapshot. Several readers on
+/// distinct connections land on distinct event loops, so promoted-replica
+/// serving is actually on the path under test.
+fn probe_reader(addr: String, key: String, stop: Arc<AtomicBool>, counters: Arc<ProbeCounters>) {
+    let mut client: Option<CacheClient> = None;
+    while !stop.load(Ordering::Relaxed) {
+        if client.is_none() {
+            client = CacheClient::connect(&addr).ok();
+        }
+        let Some(c) = client.as_mut() else {
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        let floor = counters.last_acked.load(Ordering::Acquire);
+        match c.get(key.as_bytes()) {
+            Ok(Some((_, data))) => match parse_probe_version(&data) {
+                Some(seen) => {
+                    counters.reads.fetch_add(1, Ordering::Relaxed);
+                    if seen < floor {
+                        counters.stale.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                // A foreign payload on the probe key means some other
+                // writer clobbered it — as damning as a stale version.
+                None => {
+                    counters.reads.fetch_add(1, Ordering::Relaxed);
+                    counters.stale.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            Ok(None) => {
+                counters.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => client = None,
+        }
+        std::thread::sleep(Duration::from_micros(250));
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The engine.
 // ---------------------------------------------------------------------------
 
@@ -1045,6 +1219,11 @@ pub fn run_scenario(scenario: &Scenario) -> std::io::Result<ScenarioReport> {
                 .iter()
                 .map(|(name, weight)| TenantSpec::new(name.clone(), (*weight).max(1)))
                 .collect(),
+            hot_key: if scenario.hot_key_promote {
+                HotKeyConfig::aggressive()
+            } else {
+                HotKeyConfig::default()
+            },
             ..BackendConfig::default()
         },
         ..ServerConfig::default()
@@ -1111,6 +1290,39 @@ pub fn run_scenario(scenario: &Scenario) -> std::io::Result<ScenarioReport> {
         .map(|c| spawn_chaos(c, &addr, &stop, &counters))
         .collect();
 
+    // The versioned probe runs whenever any phase spikes a key: one
+    // writer (the spike key's sole writer) plus two readers on their own
+    // connections, active for the whole measured window so promotion and
+    // demotion both happen under its watch.
+    let spike_rank = phases
+        .iter()
+        .find_map(|p| p.spike.as_ref().map(|s| s.key_rank));
+    let probe_counters = Arc::new(ProbeCounters::default());
+    let probe_handles: Vec<_> = spike_rank
+        .map(|rank| {
+            let key = RequestGen::key_for_rank(rank);
+            let mut handles = vec![{
+                let (addr, key) = (addr.clone(), key.clone());
+                let (stop, counters) = (Arc::clone(&stop), Arc::clone(&probe_counters));
+                std::thread::Builder::new()
+                    .name("scenario-probe-writer".to_string())
+                    .spawn(move || probe_writer(addr, key, stop, counters))
+                    .expect("failed to spawn probe writer")
+            }];
+            for i in 0..2 {
+                let (addr, key) = (addr.clone(), key.clone());
+                let (stop, counters) = (Arc::clone(&stop), Arc::clone(&probe_counters));
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("scenario-probe-reader-{i}"))
+                        .spawn(move || probe_reader(addr, key, stop, counters))
+                        .expect("failed to spawn probe reader"),
+                );
+            }
+            handles
+        })
+        .unwrap_or_default();
+
     let window_start = Instant::now();
     let mut phase_elapsed: Vec<f64> = Vec::with_capacity(phases.len());
     for _ in phases.iter() {
@@ -1123,6 +1335,9 @@ pub fn run_scenario(scenario: &Scenario) -> std::io::Result<ScenarioReport> {
 
     stop.store(true, Ordering::Relaxed);
     for handle in chaos_handles {
+        let _ = handle.join();
+    }
+    for handle in probe_handles {
         let _ = handle.join();
     }
     let mut per_phase: Vec<WorkerStats> =
@@ -1215,6 +1430,12 @@ pub fn run_scenario(scenario: &Scenario) -> std::io::Result<ScenarioReport> {
         invariants: Vec::new(),
         passed: false,
         server_stats,
+        probe: spike_rank.map(|_| ProbeReport {
+            writes: probe_counters.writes.load(Ordering::Relaxed),
+            reads: probe_counters.reads.load(Ordering::Relaxed),
+            misses: probe_counters.misses.load(Ordering::Relaxed),
+            stale_reads: probe_counters.stale.load(Ordering::Relaxed),
+        }),
     };
     report.invariants = evaluate_invariants(&scenario.invariants, &report);
     report.passed = report.invariants.iter().all(|v| v.pass);
@@ -1234,6 +1455,7 @@ pub fn scenario_names() -> &'static [&'static str] {
         "conn_churn",
         "slow_loris",
         "tenant_storm",
+        "flash_crowd",
     ]
 }
 
@@ -1248,6 +1470,7 @@ fn base_scenario(name: &str, description: &str) -> Scenario {
         pipeline: 8,
         warmup_keys: 20_000,
         fill_on_miss: false,
+        hot_key_promote: false,
         tenants: Vec::new(),
         phases: Vec::new(),
         chaos: Vec::new(),
@@ -1422,9 +1645,48 @@ fn tenant_storm() -> Scenario {
     s
 }
 
+/// Rank of the flash-crowd spike key: far outside every phase's key
+/// universe and drift range, so the versioned probe is its only writer.
+const SPIKE_KEY_RANK: u64 = 5_000_000;
+
+fn flash_crowd() -> Scenario {
+    // The single-core flash crowd: one viral key spikes to half of all
+    // traffic while the background mix sharpens (a crowd arriving is also
+    // a skew change). With `hot_key_promote` the control thread promotes
+    // the key into per-loop replicas mid-spike; the versioned probe writes
+    // through the whole window, so promotion, invalidation and demotion
+    // all happen under the `no_stale_reads` microscope.
+    let mut s = base_scenario(
+        "flash_crowd",
+        "a single viral key spikes to half of all traffic; replication must absorb it with no stale reads",
+    );
+    s.hot_key_promote = true;
+    // The bottleneck under test is *one loop* pinned by one key: force a
+    // multi-loop plane even where CPU auto-detection would pick a single
+    // loop, or there are no non-owning loops to replicate onto.
+    s.workers = 4;
+    s.shards = 8;
+    let keys = 30_000;
+    s.phases = vec![
+        Phase::steady("steady", 100_000, keys, 0.9),
+        Phase {
+            spike: Some(SpikeSpec {
+                key_rank: SPIKE_KEY_RANK,
+                fraction: 0.5,
+            }),
+            zipf_end: 1.2,
+            ..Phase::steady("spike", 120_000, keys, 0.9)
+        },
+        Phase::steady("recover", 80_000, keys, 0.9),
+    ];
+    s.invariants.push(p99("spike", CLOSED_P99_US));
+    s.invariants.push(Invariant::NoStaleReads);
+    s
+}
+
 /// Resolves a named scenario at standard (nightly) scale; `None` for an
-/// unknown name. The standard matrix totals just over a million generated
-/// requests across the six scenarios.
+/// unknown name. The standard matrix totals well over a million generated
+/// requests across the seven scenarios.
 pub fn named_scenario(name: &str) -> Option<Scenario> {
     match name {
         "scan_storm" => Some(scan_storm()),
@@ -1433,6 +1695,7 @@ pub fn named_scenario(name: &str) -> Option<Scenario> {
         "conn_churn" => Some(conn_churn()),
         "slow_loris" => Some(slow_loris()),
         "tenant_storm" => Some(tenant_storm()),
+        "flash_crowd" => Some(flash_crowd()),
         _ => None,
     }
 }
@@ -1601,6 +1864,65 @@ mod tests {
     }
 
     #[test]
+    fn no_stale_reads_judges_the_probe_in_both_polarities() {
+        // A clean, busy probe passes.
+        let mut report = canned_report();
+        report.probe = Some(ProbeReport {
+            writes: 500,
+            reads: 2_000,
+            misses: 3,
+            stale_reads: 0,
+        });
+        let v = evaluate_invariants(&[Invariant::NoStaleReads], &report);
+        assert!(v[0].pass, "{}", v[0].detail);
+        assert_eq!(v[0].name, "no_stale_reads");
+
+        // A single stale read fails.
+        report.probe.as_mut().unwrap().stale_reads = 1;
+        let v = evaluate_invariants(&[Invariant::NoStaleReads], &report);
+        assert!(!v[0].pass);
+        assert!(v[0].detail.contains("1 stale"), "{}", v[0].detail);
+
+        // A vacuous probe (no versioned reads) fails — zero staleness
+        // must be evidence, not absence.
+        report.probe = Some(ProbeReport::default());
+        let v = evaluate_invariants(&[Invariant::NoStaleReads], &report);
+        assert!(!v[0].pass);
+
+        // A run that never spawned the probe fails too.
+        report.probe = None;
+        let v = evaluate_invariants(&[Invariant::NoStaleReads], &report);
+        assert!(!v[0].pass);
+        assert!(v[0].detail.contains("no versioned probe"));
+    }
+
+    #[test]
+    fn flash_crowd_spikes_one_key_outside_its_universe() {
+        let s = named_scenario("flash_crowd").expect("registered scenario");
+        assert!(s.hot_key_promote, "the mitigation must be on by default");
+        let spike = s
+            .phases
+            .iter()
+            .find_map(|p| p.spike.as_ref())
+            .expect("a spike phase");
+        assert!((0.0..=1.0).contains(&spike.fraction) && spike.fraction > 0.0);
+        for phase in &s.phases {
+            assert!(
+                spike.key_rank > phase.num_keys + phase.offset_start.max(phase.offset_end),
+                "the spike key must sit outside every phase's reachable ranks"
+            );
+        }
+        assert!(s
+            .invariants
+            .iter()
+            .any(|i| matches!(i, Invariant::NoStaleReads)));
+        assert!(s
+            .invariants
+            .iter()
+            .any(|i| matches!(i, Invariant::PhaseP99Below { phase, .. } if phase == "spike")));
+    }
+
+    #[test]
     fn scaling_floors_phases_and_storm_sizes() {
         let scaled = tenant_storm().scaled(0.001);
         for phase in &scaled.phases {
@@ -1664,6 +1986,7 @@ mod tests {
             pipeline: 8,
             warmup_keys: 500,
             fill_on_miss: false,
+            hot_key_promote: false,
             tenants: Vec::new(),
             phases: vec![
                 Phase::steady("a", 700, 1_000, 1.0),
@@ -1700,6 +2023,7 @@ mod tests {
             pipeline: 1,
             warmup_keys: 500,
             fill_on_miss: false,
+            hot_key_promote: false,
             tenants: Vec::new(),
             phases: vec![
                 Phase {

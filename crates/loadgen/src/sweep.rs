@@ -12,8 +12,11 @@
 use crate::report::{ServerEcho, SweepPoint, SweepReport, SWEEP_SCHEMA};
 use crate::runner::{run_load, LoadgenConfig};
 use crate::LoadReport;
-use cache_server::{BackendConfig, BackendMode, CacheServer, ServerConfig, TenantSpec};
+use cache_server::{
+    BackendConfig, BackendMode, CacheServer, HotKeyConfig, ServerConfig, TenantSpec,
+};
 use cliffhanger::{ShardBalanceConfig, TenantBalanceConfig};
+use serde_json::Value;
 
 /// Configuration for self-hosted runs (the server the loadgen spawns).
 #[derive(Clone, Debug)]
@@ -51,6 +54,11 @@ pub struct SelfHostConfig {
     /// one in 64 GETs; rounded up to a power of two; 0 disables live
     /// miss-ratio-curve profiling).
     pub mrc_sample: u64,
+    /// Enable hot-key detection and per-loop replication
+    /// (`--hot-key-promote`): the aggressive profile — sample every GET,
+    /// promote fast, round often — so short runs exercise the whole
+    /// promote/replicate/invalidate cycle.
+    pub hot_key_promote: bool,
 }
 
 impl Default for SelfHostConfig {
@@ -65,6 +73,7 @@ impl Default for SelfHostConfig {
             idle_timeout_ms: 0,
             slow_op_micros: 0,
             mrc_sample: BackendConfig::default().mrc_sample,
+            hot_key_promote: false,
         }
     }
 }
@@ -125,6 +134,11 @@ pub fn run_self_hosted(
                 TenantBalanceConfig::disabled()
             },
             mrc_sample: host.mrc_sample,
+            hot_key: if host.hot_key_promote {
+                HotKeyConfig::aggressive()
+            } else {
+                HotKeyConfig::default()
+            },
             ..BackendConfig::default()
         },
     })?;
@@ -143,6 +157,19 @@ pub fn run_self_hosted(
     server.shutdown();
     let mut report = result?;
     report.server_stats = server_stats;
+    // Hot-key facts come from the scraped document, not the text stats —
+    // the legacy text key set is pinned (see the server's stats_keys test)
+    // and additive telemetry lands in `stats json` only.
+    let hot_doc = report
+        .server_stats
+        .as_ref()
+        .and_then(|doc| doc.get("hot_keys"));
+    let hot_u64 = |name: &str| -> u64 {
+        hot_doc
+            .and_then(|h| h.get(name))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
     report.server = Some(ServerEcho {
         shards: server.cache().shard_count() as u64,
         total_bytes: host.total_bytes,
@@ -167,6 +194,10 @@ pub fn run_self_hosted(
             .collect(),
         idle_closed_connections: stat_u64(&stats, "idle_closed_connections"),
         slow_ops: stat_u64(&stats, "plane:slow_ops"),
+        hot_key_enabled: hot_doc.is_some(),
+        hot_key_promotions: hot_u64("promotions"),
+        hot_key_demotions: hot_u64("demotions"),
+        hot_key_replica_hits: hot_u64("replica_hits"),
     });
     // Attach each tenant section's server-side facts (budget, gradient
     // signal, evictions) from the per-tenant stats lines.

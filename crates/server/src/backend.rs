@@ -55,6 +55,7 @@
 //! `rebalance:*` / `arbiter:*` lines.
 
 use crate::engine::{even_split, route_key, weighted_split, Engine};
+use crate::hotkey::HotKeyConfig;
 use crate::stats::{render_stats, BalanceCounters, EngineStat, StatsSnapshot, WireCounts};
 use bytes::Bytes;
 use cache_core::{Key, SlabConfig, TenantDirectory};
@@ -154,6 +155,10 @@ pub struct BackendConfig {
     /// disables profiling). Only the threaded plane profiles; the mutex
     /// backend ignores it.
     pub mrc_sample: u64,
+    /// Hot-key detection and per-loop replication. Disabled by default.
+    /// Only the threaded plane mitigates; the mutex backend has no loops
+    /// to replicate across and ignores it.
+    pub hot_key: HotKeyConfig,
 }
 
 impl Default for BackendConfig {
@@ -167,6 +172,7 @@ impl Default for BackendConfig {
             tenants: Vec::new(),
             tenant_balance: TenantBalanceConfig::default(),
             mrc_sample: 64,
+            hot_key: HotKeyConfig::default(),
         }
     }
 }

@@ -404,6 +404,15 @@ impl Connection {
                             });
                         }
                         Err(owner) => {
+                            // Promoted hot keys serve from the loop-local
+                            // replica cache: no forward, no park.
+                            if let Some(found) = ctx.state.replica_get(self.tenant, id, key) {
+                                results[slot] = Some(Some(found));
+                                continue;
+                            }
+                            // A replica miss on a promoted key rides the
+                            // normal forward but asks the owner to fill us.
+                            let hot_fill = ctx.state.wants_hot_fill(self.tenant, id);
                             remaining += 1;
                             let op = DataOp {
                                 shard,
@@ -418,6 +427,7 @@ impl Connection {
                                     seq,
                                     slot,
                                 },
+                                hot_fill,
                             };
                             ctx.state.forward(owner, LoopMsg::Data(op));
                         }
@@ -476,6 +486,7 @@ impl Connection {
                                 seq,
                                 slot: 0,
                             },
+                            hot_fill: false,
                         };
                         ctx.state.forward(owner, LoopMsg::Data(op));
                         // Parked even on noreply: the next command must
@@ -517,6 +528,7 @@ impl Connection {
                                 seq,
                                 slot: 0,
                             },
+                            hot_fill: false,
                         };
                         ctx.state.forward(owner, LoopMsg::Data(op));
                         self.pending = Some(Pending::Delete { seq, noreply });

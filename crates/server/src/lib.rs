@@ -48,6 +48,7 @@ pub mod backend;
 pub mod client;
 mod conn;
 mod engine;
+mod hotkey;
 mod plane;
 pub mod protocol;
 pub mod reactor;
@@ -56,6 +57,7 @@ mod stats;
 
 pub use backend::{detect_shards, BackendConfig, BackendMode, SharedCache, TenantSpec};
 pub use client::CacheClient;
+pub use hotkey::HotKeyConfig;
 pub use plane::PlaneHandle;
 pub use protocol::{Command, Response, StatsFormat};
 pub use reactor::ConnTelemetry;

@@ -39,11 +39,13 @@
 
 use crate::backend::{BackendConfig, BackendMode};
 use crate::engine::{even_split, route_key, weighted_split, Engine};
+use crate::hotkey::{plan_round, HotKeyCount, HotLoopState, HotShared, PromotedEntry};
 use crate::protocol::StatsFormat;
 use crate::reactor::{ConnTelemetry, Mailbox};
 use crate::stats::{
     build_document, render_json, render_prom, render_stats, BalanceCounters, EngineStat,
-    LoopTelemetry, ObservedPlane, PlaneStats, StatsSnapshot, WireCounts,
+    HotKeyEntryDoc, HotKeysDoc, LoopTelemetry, ObservedPlane, PlaneStats, StatsSnapshot,
+    WireCounts,
 };
 use bytes::Bytes;
 use cache_core::{Key, TenantDirectory};
@@ -52,6 +54,7 @@ use cliffhanger::{
 };
 use parking_lot::Mutex;
 use profiler::{MrcSnapshot, OnlineMrc};
+use std::collections::HashMap;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -75,6 +78,10 @@ const HISTORY_WINDOWS: usize = 64;
 /// Slow-op journal sampling: record the first slow op and every 64th after
 /// it (per loop), so a pathological threshold cannot flood the ring.
 const SLOW_OP_SAMPLE: u64 = 64;
+
+/// Hottest tracked keys exposed in the stats document; the tail of a wide
+/// tracker window is sampling noise.
+const HOT_KEYS_EXPOSED: usize = 32;
 
 /// Everything an event loop can find in its mailbox.
 pub(crate) enum LoopMsg {
@@ -106,6 +113,22 @@ pub(crate) enum LoopMsg {
     },
     /// A request from the control thread against this loop's owned state.
     Control(ControlMsg),
+    /// A hot-key replica fill from the owning loop: the value a forwarded
+    /// GET just read, plus the version it carried at read time. Queued
+    /// *before* the matching [`LoopMsg::DataReply`] on the same FIFO
+    /// mailbox, so a fill can never be overtaken by a later invalidation.
+    HotFill {
+        tenant: usize,
+        id: Key,
+        key: Bytes,
+        flags: u32,
+        data: Bytes,
+        version: u64,
+    },
+    /// Eager replica invalidation broadcast by the owning loop after a
+    /// write to a promoted key. Reclaims memory promptly; correctness is
+    /// carried by the version table, not by this message.
+    HotInvalidate { tenant: usize, id: Key },
 }
 
 /// One key's worth of work for the loop that owns `shard`.
@@ -120,6 +143,9 @@ pub(crate) struct DataOp {
     /// remote-latency histogram measures from here, so forwarded ops are
     /// charged their mailbox queueing delay, not just engine time.
     pub(crate) enqueued: Instant,
+    /// The issuing loop wants a [`LoopMsg::HotFill`] alongside the reply
+    /// (a read-through miss on a promoted key's replica).
+    pub(crate) hot_fill: bool,
 }
 
 /// The operation itself.
@@ -214,6 +240,15 @@ pub(crate) struct LoopSnapshot {
     pub(crate) mrc: Vec<MrcSnapshot>,
     /// Per-tenant counter history buckets recorded by this loop.
     pub(crate) history: TimeSeries,
+    /// This loop's sampled hot-key window tallies (empty when the feature
+    /// is off).
+    pub(crate) hot_keys: Vec<HotKeyCount>,
+    /// GETs this loop served from its promoted-key replica cache.
+    pub(crate) replica_hits: u64,
+    /// Replica fills this loop accepted from owning loops.
+    pub(crate) replica_fills: u64,
+    /// Invalidation broadcasts this loop received.
+    pub(crate) hot_invalidations: u64,
 }
 
 /// Requests to the control thread.
@@ -222,6 +257,11 @@ pub(crate) enum CtrlReq {
     Round { arbitrate: bool },
     /// Run a round synchronously ([`PlaneHandle::rebalance_now`] etc.).
     RoundSync { arbitrate: bool, done: Sender<()> },
+    /// A loop's op counter crossed the hot-key round interval.
+    HotRound,
+    /// Run a hot-key promotion round synchronously
+    /// ([`PlaneHandle::hot_round_now`]).
+    HotRoundSync { done: Sender<()> },
     /// An admin command forwarded off a connection (or a sync caller).
     Admin { op: AdminOp, reply: AdminReply },
     /// Exit the control thread.
@@ -307,6 +347,9 @@ pub(crate) struct PlaneShared {
     pub(crate) start_unix_us: u64,
     /// Spatial-sampling shift for online MRC profiling (`None` = off).
     pub(crate) mrc_shift: Option<u32>,
+    /// Hot-key subsystem shared state; `None` when the feature is off, so
+    /// the request fast path pays exactly one `Option` discriminant check.
+    pub(crate) hot: Option<HotShared>,
     rebalance_pending: AtomicBool,
     arbitrate_pending: AtomicBool,
 }
@@ -436,6 +479,10 @@ pub(crate) struct LoopState {
     history: TimeSeries,
     /// Per-target-loop outbound batches, flushed once per readiness pass.
     outbound: Vec<Vec<LoopMsg>>,
+    /// Loop-local hot-key state (tracker, promoted-set view, replica
+    /// cache); `None` when the feature is off.
+    hot: Option<HotLoopState>,
+    hot_interval: u64,
 }
 
 impl LoopState {
@@ -488,13 +535,26 @@ impl LoopState {
             mrc,
             history: TimeSeries::new(HISTORY_INTERVAL_US, HISTORY_WINDOWS),
             outbound: (0..shared.loops).map(|_| Vec::new()).collect(),
+            hot: shared
+                .hot
+                .as_ref()
+                .map(|hot| HotLoopState::new(&hot.config)),
+            hot_interval: (shared.config.hot_key.interval_requests / loops).max(1),
             shared,
         }
     }
 
     /// Re-copies the tenant name table if the control thread changed it.
-    /// One relaxed atomic load on the no-change path.
+    /// One relaxed atomic load on the no-change path. Also refreshes the
+    /// loop's view of the promoted hot-key set (its own generation
+    /// counter, same protocol).
     pub(crate) fn refresh_tenants(&mut self) {
+        if let (Some(hot_shared), Some(hot)) = (self.shared.hot.as_ref(), self.hot.as_mut()) {
+            hot.refresh(
+                hot_shared.generation.load(Ordering::Acquire),
+                &hot_shared.promoted,
+            );
+        }
         let generation = self.shared.generation.load(Ordering::Acquire);
         if generation != self.generation_seen {
             self.tenants = self.shared.roster.lock().directory.names().to_vec();
@@ -568,6 +628,10 @@ impl LoopState {
             if let Some(estimator) = self.mrc.get_mut(tenant) {
                 estimator.record(id);
             }
+            // Hot-key detection rides the same sampled GET stream.
+            if let Some(hot) = self.hot.as_mut() {
+                hot.tracker.record(tenant, id, key);
+            }
         }
         let shard = &mut self.owned[slot];
         let Some(cell) = shard.cells.get_mut(tenant) else {
@@ -618,8 +682,88 @@ impl LoopState {
                 }
             }
         };
+        if self.shared.hot.is_some() && !matches!(verb, DataVerb::Get) {
+            self.note_mutation(tenant, id);
+        }
         self.tick();
         outcome
+    }
+
+    /// Hot-key bookkeeping for a mutation this (owning) loop just applied:
+    /// bump the key's version slot *before* the ack can be observed, and —
+    /// if the key is promoted — broadcast eager invalidations to every
+    /// sibling loop. The version bump alone carries correctness; a stale
+    /// promoted-set view here only delays memory reclaim.
+    fn note_mutation(&mut self, tenant: usize, id: Key) {
+        let Some(hot_shared) = self.shared.hot.as_ref() else {
+            return;
+        };
+        hot_shared.versions.bump(tenant, id);
+        let promoted = self
+            .hot
+            .as_ref()
+            .map(|hot| hot.is_promoted(tenant, id))
+            .unwrap_or(false);
+        if promoted {
+            for target in 0..self.shared.loops {
+                if target != self.index {
+                    self.forward(target, LoopMsg::HotInvalidate { tenant, id });
+                }
+            }
+        }
+    }
+
+    /// Serves a GET for a *remote-owned* key from the promoted-key replica
+    /// cache, if possible. A hit is a local answer (no mailbox round-trip);
+    /// the tracker still records it so a promoted key's traffic keeps it
+    /// hot instead of decaying out of the window the moment it stops
+    /// crossing loops.
+    pub(crate) fn replica_get(
+        &mut self,
+        tenant: usize,
+        id: Key,
+        key: &[u8],
+    ) -> Option<(u32, Bytes)> {
+        let hot_shared = self.shared.hot.as_ref()?;
+        let hot = self.hot.as_mut()?;
+        let found = hot.replica_get(tenant, id, key, &hot_shared.versions);
+        if found.is_some() {
+            hot.tracker.record(tenant, id, key);
+            self.local_ops += 1;
+            self.tick();
+        }
+        found
+    }
+
+    /// Whether a forwarded GET for `(tenant, id)` should ask the owner for
+    /// a replica fill (the key is promoted in this loop's view).
+    pub(crate) fn wants_hot_fill(&self, tenant: usize, id: Key) -> bool {
+        self.hot
+            .as_ref()
+            .map(|hot| hot.is_promoted(tenant, id))
+            .unwrap_or(false)
+    }
+
+    /// Installs a replica fill an owning loop sent us.
+    pub(crate) fn hot_fill(
+        &mut self,
+        tenant: usize,
+        id: Key,
+        key: Bytes,
+        flags: u32,
+        data: Bytes,
+        version: u64,
+    ) {
+        if let Some(hot) = self.hot.as_mut() {
+            hot.fill(tenant, id, key, flags, data, version);
+        }
+    }
+
+    /// Drops a replica entry an owning loop invalidated.
+    pub(crate) fn hot_invalidate(&mut self, tenant: usize, id: Key) {
+        if let Some(hot) = self.hot.as_mut() {
+            hot.invalidate(tenant, id);
+        }
     }
 
     /// [`LoopState::apply`] for the loop's own connections: counts the op
@@ -676,10 +820,18 @@ impl LoopState {
         let arbitrate = config.tenant_balance.enabled
             && self.tenants.len() > 1
             && config.mode != BackendMode::Default;
-        if !rebalance && !arbitrate {
+        let hot = self.shared.hot.is_some();
+        if !rebalance && !arbitrate && !hot {
             return;
         }
         self.ops += 1;
+        if hot && self.ops % self.hot_interval == 0 {
+            if let Some(hot_shared) = self.shared.hot.as_ref() {
+                if !hot_shared.round_pending.swap(true, Ordering::AcqRel) {
+                    let _ = self.shared.ctrl.send(CtrlReq::HotRound);
+                }
+            }
+        }
         if rebalance
             && self.ops % self.rebalance_interval == 0
             && !self.shared.rebalance_pending.swap(true, Ordering::AcqRel)
@@ -752,6 +904,34 @@ impl LoopState {
         let nanos = op.enqueued.elapsed().as_nanos() as u64;
         self.remote_latency.record(nanos);
         self.note_slow(nanos, "remote");
+        // Read-through fill: the origin loop missed its replica of a
+        // promoted key, so hand it the value *with the version it carried
+        // at read time*. Queued before the DataReply on the same FIFO
+        // mailbox, and this loop is the key's only writer, so the
+        // (value, version) pair is a consistent snapshot.
+        if op.hot_fill {
+            if let DataOutcome::Value(Some((flags, data))) = &outcome {
+                if let DataReplyTo::Conn { origin, .. } = &op.reply {
+                    let origin = *origin;
+                    if let Some(version) = self
+                        .shared
+                        .hot
+                        .as_ref()
+                        .map(|hot| hot.versions.load(op.tenant, op.id))
+                    {
+                        let fill = LoopMsg::HotFill {
+                            tenant: op.tenant,
+                            id: op.id,
+                            key: op.key.clone(),
+                            flags: *flags,
+                            data: data.clone(),
+                            version,
+                        };
+                        self.forward(origin, fill);
+                    }
+                }
+            }
+        }
         match op.reply {
             DataReplyTo::Conn {
                 origin,
@@ -875,6 +1055,14 @@ impl LoopState {
             slow_ops: self.slow_ops,
             mrc: self.mrc.iter().map(OnlineMrc::snapshot).collect(),
             history: self.history.clone(),
+            hot_keys: self
+                .hot
+                .as_ref()
+                .map(|hot| hot.tracker.snapshot())
+                .unwrap_or_default(),
+            replica_hits: self.hot.as_ref().map(|hot| hot.replica_hits).unwrap_or(0),
+            replica_fills: self.hot.as_ref().map(|hot| hot.replica_fills).unwrap_or(0),
+            hot_invalidations: self.hot.as_ref().map(|hot| hot.invalidations).unwrap_or(0),
         }
     }
 }
@@ -899,6 +1087,9 @@ struct Control {
     idle_timeout_ms: u64,
     /// Service times of the admin commands this thread ran (ns).
     admin_latency: Histogram,
+    hot_rounds: u64,
+    promotions: u64,
+    demotions: u64,
 }
 
 /// A one-round [`EventSink`] that captures the balancer's proposals (with
@@ -939,6 +1130,16 @@ impl Control {
                     } else {
                         self.rebalance();
                     }
+                    let _ = done.send(());
+                }
+                CtrlReq::HotRound => {
+                    if let Some(hot) = &self.shared.hot {
+                        hot.round_pending.store(false, Ordering::Release);
+                    }
+                    self.hot_round();
+                }
+                CtrlReq::HotRoundSync { done } => {
+                    self.hot_round();
                     let _ = done.send(());
                 }
                 CtrlReq::Admin { op, reply } => {
@@ -1151,6 +1352,70 @@ impl Control {
         self.arbiter_runs += 1;
     }
 
+    /// One hot-key promotion round: merge the per-loop tracker windows,
+    /// apply the hysteretic promote/demote plan to the master promoted
+    /// set, journal the decisions and publish the new generation. Loops
+    /// copy the set out at their next readiness pass.
+    fn hot_round(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        let Some(hot) = shared.hot.as_ref() else {
+            return;
+        };
+        let snaps = self.gather();
+        let mut merged: HashMap<(usize, Key), (u64, Bytes)> = HashMap::new();
+        for snap in snaps.iter().flatten() {
+            for entry in &snap.hot_keys {
+                merged
+                    .entry((entry.tenant, entry.id))
+                    .and_modify(|slot| slot.0 += entry.count)
+                    .or_insert_with(|| (entry.count, entry.key.clone()));
+            }
+        }
+        // Tenant names for the journal, resolved before taking the
+        // promoted lock (control-thread lock order: roster, then promoted).
+        let names = shared.roster.lock().directory.names().to_vec();
+        let name_of = |tenant: usize| -> String { names.get(tenant).cloned().unwrap_or_default() };
+        let mut promoted = hot.promoted.lock();
+        let plan = plan_round(&merged, &promoted, &hot.config);
+        for (slot, count) in &plan.refreshed {
+            if let Some(entry) = promoted.get_mut(slot) {
+                entry.count = *count;
+            }
+        }
+        let changed = !plan.promote.is_empty() || !plan.demote.is_empty();
+        for slot in &plan.demote {
+            if let Some(entry) = promoted.remove(slot) {
+                self.demotions += 1;
+                shared.journal.record(EventKind::HotKeyDemoted {
+                    tenant: name_of(slot.0),
+                    key: String::from_utf8_lossy(&entry.key).into_owned(),
+                });
+            }
+        }
+        for (slot, key, count) in &plan.promote {
+            promoted.insert(
+                *slot,
+                PromotedEntry {
+                    key: key.clone(),
+                    count: *count,
+                },
+            );
+            self.promotions += 1;
+            shared.journal.record(EventKind::HotKeyPromoted {
+                tenant: name_of(slot.0),
+                key: String::from_utf8_lossy(key).into_owned(),
+                count: *count,
+            });
+        }
+        drop(promoted);
+        if changed {
+            // Publish only after the master set is fully updated, exactly
+            // like the tenant-table generation.
+            hot.generation.fetch_add(1, Ordering::AcqRel);
+        }
+        self.hot_rounds += 1;
+    }
+
     /// Tenant `flush_all`: rebuild the tenant's engine on every shard at an
     /// even split of its *current* (arbitrated) budget. Rebuilds run
     /// donors-first (largest budget surplus first), one blocking round-trip
@@ -1332,12 +1597,63 @@ impl Control {
         }
         let histories: Vec<&TimeSeries> = snaps.iter().flatten().map(|s| &s.history).collect();
         let elapsed = shared.started.elapsed();
+        let hot_keys = shared.hot.as_ref().map(|hot| {
+            let name_of = |tenant: usize| -> String {
+                if tenant < roster.directory.len() {
+                    roster.directory.name(tenant).to_string()
+                } else {
+                    String::new()
+                }
+            };
+            let mut merged: HashMap<(usize, Key), (u64, Bytes)> = HashMap::new();
+            for snap in snaps.iter().flatten() {
+                for entry in &snap.hot_keys {
+                    merged
+                        .entry((entry.tenant, entry.id))
+                        .and_modify(|slot| slot.0 += entry.count)
+                        .or_insert_with(|| (entry.count, entry.key.clone()));
+                }
+            }
+            let mut tracked: Vec<HotKeyEntryDoc> = merged
+                .iter()
+                .map(|(&(tenant, _), (count, key))| HotKeyEntryDoc {
+                    app: name_of(tenant),
+                    key: String::from_utf8_lossy(key).into_owned(),
+                    ops: *count,
+                })
+                .collect();
+            tracked.sort_by(|a, b| b.ops.cmp(&a.ops).then_with(|| a.key.cmp(&b.key)));
+            // Bound the exposed list: the tail of a wide window is noise.
+            tracked.truncate(HOT_KEYS_EXPOSED);
+            let mut promoted: Vec<HotKeyEntryDoc> = hot
+                .promoted
+                .lock()
+                .iter()
+                .map(|(&(tenant, _), entry)| HotKeyEntryDoc {
+                    app: name_of(tenant),
+                    key: String::from_utf8_lossy(&entry.key).into_owned(),
+                    ops: entry.count,
+                })
+                .collect();
+            promoted.sort_by(|a, b| b.ops.cmp(&a.ops).then_with(|| a.key.cmp(&b.key)));
+            HotKeysDoc {
+                tracked,
+                promoted,
+                promotions: self.promotions,
+                demotions: self.demotions,
+                rounds: self.hot_rounds,
+                replica_hits: snaps.iter().flatten().map(|s| s.replica_hits).sum(),
+                replica_fills: snaps.iter().flatten().map(|s| s.replica_fills).sum(),
+                invalidations: snaps.iter().flatten().map(|s| s.hot_invalidations).sum(),
+            }
+        });
         let observed = ObservedPlane {
             server_start_unix_us: shared.start_unix_us,
             snapshot_unix_us: shared.start_unix_us + elapsed.as_micros() as u64,
             mrc_shift: shared.mrc_shift,
             mrc,
             history: TimeSeries::merged(&histories),
+            hot_keys,
         };
         let snapshot = StatsSnapshot {
             total_bytes: shared.config.total_bytes,
@@ -1420,6 +1736,7 @@ impl PlaneHandle {
                 verb,
                 reply: DataReplyTo::Sync(tx),
                 enqueued: Instant::now(),
+                hot_fill: false,
             }))
             .ok()?;
         rx.recv().ok()
@@ -1594,6 +1911,47 @@ impl PlaneHandle {
         }
     }
 
+    /// Runs one hot-key promotion round synchronously: merges the per-loop
+    /// tracker windows and applies the hysteretic promote/demote plan.
+    /// A no-op when hot-key detection is disabled. Test/bench hook.
+    pub fn hot_round_now(&self) {
+        let (tx, rx) = channel();
+        if self
+            .shared
+            .ctrl
+            .send(CtrlReq::HotRoundSync { done: tx })
+            .is_ok()
+        {
+            let _ = rx.recv();
+        }
+    }
+
+    /// The currently promoted hot keys as `(app, key)` pairs, hottest
+    /// first. Empty when hot-key detection is disabled.
+    pub fn promoted_keys(&self) -> Vec<(String, String)> {
+        let Some(hot) = self.shared.hot.as_ref() else {
+            return Vec::new();
+        };
+        let names = self.shared.roster.lock().directory.names().to_vec();
+        let mut entries: Vec<(u64, String, String)> = hot
+            .promoted
+            .lock()
+            .iter()
+            .map(|(&(tenant, _), entry)| {
+                (
+                    entry.count,
+                    names.get(tenant).cloned().unwrap_or_default(),
+                    String::from_utf8_lossy(&entry.key).into_owned(),
+                )
+            })
+            .collect();
+        entries.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.2.cmp(&b.2)));
+        entries
+            .into_iter()
+            .map(|(_, app, key)| (app, key))
+            .collect()
+    }
+
     /// Runs one cross-tenant arbitration round, synchronously.
     pub fn arbitrate_now(&self) {
         let (tx, rx) = channel();
@@ -1721,6 +2079,10 @@ impl Plane {
                 .map(|d| d.as_micros() as u64)
                 .unwrap_or(0),
             mrc_shift: config.mrc_shift(),
+            hot: config
+                .hot_key
+                .enabled
+                .then(|| HotShared::new(config.hot_key.clone())),
             rebalance_pending: AtomicBool::new(false),
             arbitrate_pending: AtomicBool::new(false),
             config,
@@ -1742,6 +2104,9 @@ impl Plane {
             admin_msgs: 0,
             idle_timeout_ms: idle_timeout.map(|t| t.as_millis() as u64).unwrap_or(0),
             admin_latency: Histogram::new(),
+            hot_rounds: 0,
+            promotions: 0,
+            demotions: 0,
         };
         let control_thread = std::thread::Builder::new()
             .name("cache-control".to_string())

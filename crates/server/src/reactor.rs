@@ -280,6 +280,10 @@ impl Mailbox {
     /// loop has stopped serving — the check happens under the inbox lock,
     /// the same lock teardown drains under, so a message can never be
     /// stranded after the final drain.
+    // The Err variant carries the whole message back by design: callers
+    // that care (the acceptor) re-own the connection, and the common path
+    // moves the value without an allocation.
+    #[allow(clippy::result_large_err)]
     pub(crate) fn send(&self, msg: LoopMsg) -> Result<(), LoopMsg> {
         {
             let mut msgs = self.inbox.msgs.lock();
@@ -523,6 +527,15 @@ impl EventLoop {
                 } => self.resume_data(token, seq, slot, outcome),
                 LoopMsg::AdminDone { token, seq, result } => self.resume_admin(token, seq, result),
                 LoopMsg::Control(msg) => self.state.serve_control(msg),
+                LoopMsg::HotFill {
+                    tenant,
+                    id,
+                    key,
+                    flags,
+                    data,
+                    version,
+                } => self.state.hot_fill(tenant, id, key, flags, data, version),
+                LoopMsg::HotInvalidate { tenant, id } => self.state.hot_invalidate(tenant, id),
             }
         }
     }

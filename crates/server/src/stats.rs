@@ -495,6 +495,36 @@ pub(crate) struct MrcDoc {
     pub(crate) tenants: Vec<MrcTenantDoc>,
 }
 
+/// One hot-key tally: a key and its sampled windowed op count.
+#[derive(Serialize, Clone)]
+pub(crate) struct HotKeyEntryDoc {
+    pub(crate) app: String,
+    pub(crate) key: String,
+    pub(crate) ops: u64,
+}
+
+/// The hot-key subsystem section: the merged sampled tracker window, the
+/// currently promoted set and the mitigation counters. Present only when
+/// hot-key detection is enabled, like `mrc`.
+#[derive(Serialize, Clone)]
+pub(crate) struct HotKeysDoc {
+    /// The hottest sampled keys, merged across loops, hottest first.
+    pub(crate) tracked: Vec<HotKeyEntryDoc>,
+    /// Keys currently promoted into per-loop replica caches (`ops` is the
+    /// merged count at the last promotion round).
+    pub(crate) promoted: Vec<HotKeyEntryDoc>,
+    pub(crate) promotions: u64,
+    pub(crate) demotions: u64,
+    /// Promotion rounds the control thread has run.
+    pub(crate) rounds: u64,
+    /// GETs served from a replica cache (never crossed a loop).
+    pub(crate) replica_hits: u64,
+    /// Replica fills accepted by non-owning loops.
+    pub(crate) replica_fills: u64,
+    /// Invalidation broadcasts received by non-owning loops.
+    pub(crate) invalidations: u64,
+}
+
 /// One tenant's windowed rates inside one history window.
 #[derive(Serialize)]
 pub(crate) struct HistoryTenantDoc {
@@ -572,6 +602,8 @@ pub(crate) struct ObservedPlane {
     pub(crate) mrc: Vec<MrcSnapshot>,
     /// The merged per-loop stats time series.
     pub(crate) history: TimeSeries,
+    /// The assembled hot-key section (`None` when the feature is off).
+    pub(crate) hot_keys: Option<HotKeysDoc>,
 }
 
 /// The versioned `cliffhanger-stats/v1` document behind `stats json` and
@@ -598,6 +630,8 @@ pub(crate) struct StatsDocument {
     pub(crate) journal: JournalDoc,
     /// Live sampled miss-ratio curves (absent when profiling is disabled).
     pub(crate) mrc: Option<MrcDoc>,
+    /// Hot-key detection and mitigation (absent when the feature is off).
+    pub(crate) hot_keys: Option<HotKeysDoc>,
     /// Windowed per-tenant rate history.
     pub(crate) history: HistoryDoc,
     /// Predicted-vs-realized join of journalled budget transfers.
@@ -917,6 +951,7 @@ pub(crate) fn build_document(
             events: journal.snapshot(),
         },
         mrc,
+        hot_keys: observed.hot_keys.clone(),
         history,
         allocator,
     }
@@ -1175,6 +1210,45 @@ pub(crate) fn render_prom(doc: &StatsDocument) -> String {
             .collect();
         if !lines.is_empty() {
             prom_metric(&mut out, "cliffhanger_tenant_mrc_hit_rate", "gauge", &lines);
+        }
+    }
+    if let Some(hot) = &doc.hot_keys {
+        let lines: Vec<(String, String)> = hot
+            .tracked
+            .iter()
+            .map(|e| {
+                (
+                    format!(
+                        "app=\"{}\",key=\"{}\"",
+                        prom_escape_label(&e.app),
+                        prom_escape_label(&e.key)
+                    ),
+                    e.ops.to_string(),
+                )
+            })
+            .collect();
+        if !lines.is_empty() {
+            prom_metric(&mut out, "cliffhanger_hot_key_ops", "gauge", &lines);
+        }
+        prom_metric(
+            &mut out,
+            "cliffhanger_hot_keys_promoted",
+            "gauge",
+            &[(String::new(), hot.promoted.len().to_string())],
+        );
+        for (name, value) in [
+            ("cliffhanger_hot_key_promotions_total", hot.promotions),
+            ("cliffhanger_hot_key_demotions_total", hot.demotions),
+            ("cliffhanger_hot_key_replica_hits_total", hot.replica_hits),
+            ("cliffhanger_hot_key_replica_fills_total", hot.replica_fills),
+            ("cliffhanger_hot_key_invalidations_total", hot.invalidations),
+        ] {
+            prom_metric(
+                &mut out,
+                name,
+                "counter",
+                &[(String::new(), value.to_string())],
+            );
         }
     }
     prom_metric(
