@@ -406,7 +406,8 @@ impl Connection {
                         Err(owner) => {
                             // Promoted hot keys serve from the loop-local
                             // replica cache: no forward, no park.
-                            if let Some(found) = ctx.state.replica_get(self.tenant, id, key) {
+                            if let Some(found) = ctx.state.replica_get(shard, self.tenant, id, key)
+                            {
                                 results[slot] = Some(Some(found));
                                 continue;
                             }

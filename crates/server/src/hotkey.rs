@@ -61,7 +61,9 @@ pub struct HotKeyConfig {
     /// Maximum number of concurrently promoted keys (global top-k).
     pub max_promoted: usize,
     /// Per-loop replica cache budget in bytes (keys + values). Values that
-    /// do not fit are simply not replicated.
+    /// do not fit are simply not replicated; under cap pressure the
+    /// coldest replica (oldest last hit) is evicted first, so a marginal
+    /// promoted key can never displace the hottest key's replica.
     pub replica_bytes: usize,
     /// Data ops between control-thread promotion rounds (divided across
     /// the loops like the balancer intervals).
@@ -131,6 +133,16 @@ impl VersionTable {
     /// mutation of the key *before* the ack is enqueued.
     pub(crate) fn bump(&self, tenant: usize, id: Key) {
         self.slots[Self::index(tenant, id)].fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Bumps every slot. Called by the control thread when a bulk
+    /// mutation (tenant `flush_all`) drops keys it cannot enumerate —
+    /// replica entries for other tenants only pay one spurious
+    /// revalidation, never a wrong answer.
+    pub(crate) fn bump_all(&self) {
+        for slot in &self.slots {
+            slot.fetch_add(1, Ordering::AcqRel);
+        }
     }
 }
 
@@ -276,6 +288,10 @@ struct ReplicaEntry {
     flags: u32,
     data: Bytes,
     version: u64,
+    /// Loop-local logical clock value at the last hit (or the fill), so
+    /// cap-pressure eviction can pick the coldest entry instead of an
+    /// arbitrary one.
+    last_hit: u64,
 }
 
 impl ReplicaEntry {
@@ -294,6 +310,9 @@ pub(crate) struct HotLoopState {
     replica: HashMap<(usize, Key), ReplicaEntry>,
     replica_used: usize,
     replica_cap: usize,
+    /// Logical clock for `ReplicaEntry::last_hit`, advanced on every hit
+    /// and fill.
+    tick: u64,
     /// GETs served from the replica cache (never crossed a loop).
     pub(crate) replica_hits: u64,
     /// Fills accepted from owning loops.
@@ -311,6 +330,7 @@ impl HotLoopState {
             replica: HashMap::new(),
             replica_used: 0,
             replica_cap: config.replica_bytes,
+            tick: 0,
             replica_hits: 0,
             replica_fills: 0,
             invalidations: 0,
@@ -336,17 +356,23 @@ impl HotLoopState {
         if !self.view.contains(&(tenant, id)) {
             return None;
         }
-        let entry = self.replica.get(&(tenant, id))?;
-        if entry.key != key {
-            return None;
+        let live = versions.load(tenant, id);
+        match self.replica.get_mut(&(tenant, id)) {
+            None => return None,
+            Some(entry) => {
+                if entry.key != key {
+                    return None;
+                }
+                if entry.version == live {
+                    self.tick += 1;
+                    entry.last_hit = self.tick;
+                    self.replica_hits += 1;
+                    return Some((entry.flags, entry.data.clone()));
+                }
+            }
         }
-        if entry.version != versions.load(tenant, id) {
-            self.evict(tenant, id);
-            return None;
-        }
-        self.replica_hits += 1;
-        let entry = &self.replica[&(tenant, id)];
-        Some((entry.flags, entry.data.clone()))
+        self.evict(tenant, id);
+        None
     }
 
     /// Accepts a fill from the owning loop. Ignored if the key has since
@@ -363,21 +389,25 @@ impl HotLoopState {
         if !self.view.contains(&(tenant, id)) {
             return;
         }
+        self.tick += 1;
         let entry = ReplicaEntry {
             key,
             flags,
             data,
             version,
+            last_hit: self.tick,
         };
         let cost = entry.cost();
         if cost > self.replica_cap {
             return;
         }
         self.evict(tenant, id);
-        // The cap only ever holds a handful of promoted keys; evicting
-        // arbitrary entries until the new one fits is plenty.
+        // Cap pressure evicts the coldest entry (oldest last hit), so a
+        // fill for a marginal promoted key can never displace the hottest
+        // key's replica. The map only ever holds a handful of promoted
+        // keys, so a linear scan per eviction is plenty.
         while self.replica_used + cost > self.replica_cap {
-            let Some(&victim) = self.replica.keys().next() else {
+            let Some((&victim, _)) = self.replica.iter().min_by_key(|(_, e)| e.last_hit) else {
                 break;
             };
             self.evict(victim.0, victim.1);
@@ -391,6 +421,22 @@ impl HotLoopState {
     pub(crate) fn invalidate(&mut self, tenant: usize, id: Key) {
         self.invalidations += 1;
         self.evict(tenant, id);
+    }
+
+    /// Drops every replica entry of one tenant (tenant `flush_all`).
+    /// Eager memory reclaim: correctness is carried by the control
+    /// thread's `bump_all` on the version table, which lands before the
+    /// flush is acknowledged.
+    pub(crate) fn purge_tenant(&mut self, tenant: usize) {
+        let gone: Vec<(usize, Key)> = self
+            .replica
+            .keys()
+            .filter(|slot| slot.0 == tenant)
+            .copied()
+            .collect();
+        for (tenant, id) in gone {
+            self.invalidate(tenant, id);
+        }
     }
 
     fn evict(&mut self, tenant: usize, id: Key) {
@@ -634,6 +680,111 @@ mod tests {
         state.refresh(3, &shared_promoted);
         assert_eq!(state.replica_get(0, Key::new(9), b"k9", &versions), None);
         assert_eq!(state.replica_used, 0);
+    }
+
+    #[test]
+    fn bump_all_stops_every_replica_from_serving() {
+        // `flush_all` cannot enumerate the flushed tenant's keys, so it
+        // bumps every slot; a replica captured pre-flush must stop serving.
+        let config = test_config();
+        let versions = VersionTable::new();
+        let shared_promoted = parking_lot::Mutex::new(promoted_with(&[((0, 9), 50)]));
+        let mut state = HotLoopState::new(&config);
+        state.refresh(2, &shared_promoted);
+        state.fill(
+            0,
+            Key::new(9),
+            Bytes::from_static(b"k9"),
+            0,
+            Bytes::from_static(b"pre-flush"),
+            versions.load(0, Key::new(9)),
+        );
+        assert!(state
+            .replica_get(0, Key::new(9), b"k9", &versions)
+            .is_some());
+        versions.bump_all();
+        assert_eq!(state.replica_get(0, Key::new(9), b"k9", &versions), None);
+        assert_eq!(state.replica_used, 0, "the stale entry must be evicted");
+    }
+
+    #[test]
+    fn purge_tenant_drops_only_that_tenants_replicas() {
+        let config = test_config();
+        let versions = VersionTable::new();
+        let shared_promoted = parking_lot::Mutex::new(promoted_with(&[((0, 1), 50), ((1, 2), 50)]));
+        let mut state = HotLoopState::new(&config);
+        state.refresh(2, &shared_promoted);
+        state.fill(
+            0,
+            Key::new(1),
+            Bytes::from_static(b"k1"),
+            0,
+            Bytes::from_static(b"a"),
+            0,
+        );
+        state.fill(
+            1,
+            Key::new(2),
+            Bytes::from_static(b"k2"),
+            0,
+            Bytes::from_static(b"b"),
+            0,
+        );
+        state.purge_tenant(0);
+        assert_eq!(state.replica_get(0, Key::new(1), b"k1", &versions), None);
+        assert_eq!(
+            state.replica_get(1, Key::new(2), b"k2", &versions),
+            Some((0, Bytes::from_static(b"b")))
+        );
+    }
+
+    #[test]
+    fn cap_pressure_evicts_the_coldest_replica_first() {
+        // Three promoted keys, a cap that fits two: the fill that forces
+        // an eviction must displace the entry that has not been hit, not
+        // the one still serving traffic.
+        let config = HotKeyConfig {
+            replica_bytes: 2 * (2 + 8 + std::mem::size_of::<ReplicaEntry>()),
+            max_promoted: 3,
+            ..test_config()
+        };
+        let versions = VersionTable::new();
+        let shared_promoted =
+            parking_lot::Mutex::new(promoted_with(&[((0, 1), 50), ((0, 2), 50), ((0, 3), 50)]));
+        let mut state = HotLoopState::new(&config);
+        state.refresh(2, &shared_promoted);
+        let value = Bytes::from(vec![0u8; 8]);
+        state.fill(
+            0,
+            Key::new(1),
+            Bytes::from_static(b"k1"),
+            0,
+            value.clone(),
+            0,
+        );
+        state.fill(
+            0,
+            Key::new(2),
+            Bytes::from_static(b"k2"),
+            0,
+            value.clone(),
+            0,
+        );
+        // k1 is the hot one; k2 goes cold.
+        assert!(state
+            .replica_get(0, Key::new(1), b"k1", &versions)
+            .is_some());
+        state.fill(0, Key::new(3), Bytes::from_static(b"k3"), 0, value, 0);
+        assert!(
+            state
+                .replica_get(0, Key::new(1), b"k1", &versions)
+                .is_some(),
+            "the recently hit replica must survive cap pressure"
+        );
+        assert_eq!(state.replica_get(0, Key::new(2), b"k2", &versions), None);
+        assert!(state
+            .replica_get(0, Key::new(3), b"k3", &versions)
+            .is_some());
     }
 
     #[test]

@@ -129,6 +129,11 @@ pub(crate) enum LoopMsg {
     /// write to a promoted key. Reclaims memory promptly; correctness is
     /// carried by the version table, not by this message.
     HotInvalidate { tenant: usize, id: Key },
+    /// Tenant-wide replica purge broadcast by the control thread during a
+    /// tenant `flush_all`. Like [`LoopMsg::HotInvalidate`], eager memory
+    /// reclaim only: the control thread's version-table `bump_all` before
+    /// the flush ack is what stops stale replicas from serving.
+    HotFlushTenant { tenant: usize },
 }
 
 /// One key's worth of work for the loop that owns `shard`.
@@ -249,6 +254,11 @@ pub(crate) struct LoopSnapshot {
     pub(crate) replica_fills: u64,
     /// Invalidation broadcasts this loop received.
     pub(crate) hot_invalidations: u64,
+    /// Replica-served GETs by `(shard, tenant, count)`, so snapshot
+    /// assembly can fold them into the owning cell's wire counters — a
+    /// promoted key's dominant traffic must not vanish from tenant and
+    /// shard hit-ratio stats the moment it stops crossing loops.
+    pub(crate) replica_hit_cells: Vec<(usize, usize, u64)>,
 }
 
 /// Requests to the control thread.
@@ -483,6 +493,10 @@ pub(crate) struct LoopState {
     /// cache); `None` when the feature is off.
     hot: Option<HotLoopState>,
     hot_interval: u64,
+    /// Replica-served GETs tallied by `(shard, tenant)`; merged into the
+    /// owning cell's wire counters at snapshot. Promoted keys only, so
+    /// the map stays a handful of entries.
+    replica_tenant_hits: HashMap<(usize, usize), u64>,
 }
 
 impl LoopState {
@@ -540,6 +554,7 @@ impl LoopState {
                 .as_ref()
                 .map(|hot| HotLoopState::new(&hot.config)),
             hot_interval: (shared.config.hot_key.interval_requests / loops).max(1),
+            replica_tenant_hits: HashMap::new(),
             shared,
         }
     }
@@ -586,6 +601,14 @@ impl LoopState {
                 column.gets += cell.gets;
                 column.hits += cell.hits;
                 column.evictions += cell.engine.stats().evictions;
+            }
+        }
+        // Replica-served GETs for keys other loops own: without these a
+        // promoted key's traffic would vanish from this loop's trajectory.
+        for (&(_, tenant), &count) in &self.replica_tenant_hits {
+            if let Some(column) = columns.get_mut(tenant) {
+                column.gets += count;
+                column.hits += count;
             }
         }
         self.history.record(now_us, columns);
@@ -642,6 +665,13 @@ impl LoopState {
                 _ => DataOutcome::Flag(false),
             };
         };
+        // Whether a mutating engine call actually ran: a failed `add` on a
+        // present key or a `delete` of a missing key never touches the
+        // store, so it must not bump the version slot (and, for promoted
+        // keys, broadcast invalidations that evict perfectly valid
+        // replicas). A `set` that ran but was not admitted still counts —
+        // admission failure may have displaced the old value.
+        let mut touched = false;
         let outcome = match verb {
             DataVerb::Get => {
                 cell.gets += 1;
@@ -655,6 +685,7 @@ impl LoopState {
             }
             DataVerb::Set { flags, data } => {
                 cell.sets += 1;
+                touched = true;
                 DataOutcome::Flag(cell.engine.wire_set(id, key, *flags, data.clone()))
             }
             DataVerb::Add { flags, data } => {
@@ -662,6 +693,7 @@ impl LoopState {
                     DataOutcome::Flag(false)
                 } else {
                     cell.sets += 1;
+                    touched = true;
                     DataOutcome::Flag(cell.engine.wire_set(id, key, *flags, data.clone()))
                 }
             }
@@ -670,6 +702,7 @@ impl LoopState {
                     DataOutcome::Flag(false)
                 } else {
                     cell.sets += 1;
+                    touched = true;
                     DataOutcome::Flag(cell.engine.wire_set(id, key, *flags, data.clone()))
                 }
             }
@@ -678,11 +711,12 @@ impl LoopState {
                 if !cell.engine.contains_exact(id, key) {
                     DataOutcome::Flag(false)
                 } else {
+                    touched = true;
                     DataOutcome::Flag(cell.engine.delete(id))
                 }
             }
         };
-        if self.shared.hot.is_some() && !matches!(verb, DataVerb::Get) {
+        if touched && self.shared.hot.is_some() {
             self.note_mutation(tenant, id);
         }
         self.tick();
@@ -717,9 +751,13 @@ impl LoopState {
     /// cache, if possible. A hit is a local answer (no mailbox round-trip);
     /// the tracker still records it so a promoted key's traffic keeps it
     /// hot instead of decaying out of the window the moment it stops
-    /// crossing loops.
+    /// crossing loops, and the hit is tallied against the owning
+    /// `(shard, tenant)` cell (merged at snapshot) plus this loop's MRC
+    /// estimator, so promotion does not make the key's traffic vanish
+    /// from hit-ratio stats or the balancer signals derived from them.
     pub(crate) fn replica_get(
         &mut self,
+        shard: usize,
         tenant: usize,
         id: Key,
         key: &[u8],
@@ -729,6 +767,10 @@ impl LoopState {
         let found = hot.replica_get(tenant, id, key, &hot_shared.versions);
         if found.is_some() {
             hot.tracker.record(tenant, id, key);
+            if let Some(estimator) = self.mrc.get_mut(tenant) {
+                estimator.record(id);
+            }
+            *self.replica_tenant_hits.entry((shard, tenant)).or_insert(0) += 1;
             self.local_ops += 1;
             self.tick();
         }
@@ -763,6 +805,13 @@ impl LoopState {
     pub(crate) fn hot_invalidate(&mut self, tenant: usize, id: Key) {
         if let Some(hot) = self.hot.as_mut() {
             hot.invalidate(tenant, id);
+        }
+    }
+
+    /// Drops every replica entry of a tenant the control thread flushed.
+    pub(crate) fn hot_flush_tenant(&mut self, tenant: usize) {
+        if let Some(hot) = self.hot.as_mut() {
+            hot.purge_tenant(tenant);
         }
     }
 
@@ -1063,6 +1112,11 @@ impl LoopState {
             replica_hits: self.hot.as_ref().map(|hot| hot.replica_hits).unwrap_or(0),
             replica_fills: self.hot.as_ref().map(|hot| hot.replica_fills).unwrap_or(0),
             hot_invalidations: self.hot.as_ref().map(|hot| hot.invalidations).unwrap_or(0),
+            replica_hit_cells: self
+                .replica_tenant_hits
+                .iter()
+                .map(|(&(shard, tenant), &count)| (shard, tenant, count))
+                .collect(),
         }
     }
 }
@@ -1449,6 +1503,18 @@ impl Control {
             }
             roster.budgets[tenant][s] = shares[s];
         }
+        // The rebuilds just dropped keys no loop can enumerate, so stale
+        // hot-key replicas of this tenant must stop serving before the
+        // flush is acknowledged. Bumping every version slot (after the
+        // last rebuild, before the ack) guarantees any replica captured
+        // pre-flush fails revalidation; the tenant-wide purge broadcast is
+        // eager memory reclaim on top, exactly like per-key invalidation.
+        if let Some(hot) = shared.hot.as_ref() {
+            hot.versions.bump_all();
+            for mailbox in &shared.mailboxes {
+                let _ = mailbox.send(LoopMsg::HotFlushTenant { tenant });
+            }
+        }
         self.balancers[tenant].reset();
         shared.journal.record(EventKind::TenantFlushed {
             tenant: roster.directory.name(tenant).to_string(),
@@ -1593,6 +1659,18 @@ impl Control {
             }
             for (t, view) in snap.mrc.iter().enumerate().take(tenants) {
                 mrc[t].merge(view);
+            }
+        }
+        // Replica-served GETs are executed on non-owning loops; fold them
+        // into the owning cell's wire counters so tenant/shard hit ratios
+        // keep seeing a promoted key's (dominant) traffic. Gets and hits
+        // move together, so the derived miss count is untouched.
+        for snap in snaps.iter().flatten() {
+            for &(shard, tenant, count) in &snap.replica_hit_cells {
+                if shard < cells.len() && tenant < tenants {
+                    cells[shard][tenant].wire.gets += count;
+                    cells[shard][tenant].wire.hits += count;
+                }
             }
         }
         let histories: Vec<&TimeSeries> = snaps.iter().flatten().map(|s| &s.history).collect();

@@ -536,6 +536,7 @@ impl EventLoop {
                     version,
                 } => self.state.hot_fill(tenant, id, key, flags, data, version),
                 LoopMsg::HotInvalidate { tenant, id } => self.state.hot_invalidate(tenant, id),
+                LoopMsg::HotFlushTenant { tenant } => self.state.hot_flush_tenant(tenant),
             }
         }
     }

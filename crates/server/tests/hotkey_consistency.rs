@@ -99,6 +99,24 @@ fn promotion_serves_replica_hits_and_shows_in_stats() {
     // The document shows the full observability block.
     let mut client = CacheClient::connect(server.local_addr()).unwrap();
     let doc: serde_json::Value = serde_json::from_str(&client.stats_json().unwrap()).unwrap();
+
+    // Replica-served GETs must not vanish from the tenant's wire counters:
+    // every GET issued so far was a hit, locally served or not.
+    let issued = 200 + 2 * clients.len() as u64;
+    let tenant = doc
+        .get("tenants")
+        .and_then(serde_json::Value::as_array)
+        .and_then(|t| t.first())
+        .expect("default tenant doc");
+    let tenant_hits = tenant
+        .get("get_hits")
+        .and_then(serde_json::Value::as_u64)
+        .unwrap();
+    assert!(
+        tenant_hits >= issued,
+        "tenant get_hits ({tenant_hits}) must include the {hits} \
+         replica-served GETs of the {issued} issued"
+    );
     let hot = doc.get("hot_keys").expect("hot_keys block");
     let counter = |name: &str| hot.get(name).and_then(serde_json::Value::as_u64).unwrap();
     assert!(counter("promotions") >= 1);
@@ -262,6 +280,110 @@ fn no_stale_reads_while_promotion_churns_under_a_set_storm() {
         let (_, data) = client.get(b"probe").unwrap().expect("probe survives");
         assert_eq!(probe_version(&data), 1_500);
     }
+}
+
+#[test]
+fn flush_all_is_never_shadowed_by_stale_replicas() {
+    // `flush_all` rebuilds the tenant's engines without being able to
+    // enumerate its keys, so it bumps every version slot (and broadcasts
+    // a tenant-wide purge) before acknowledging. A GET on any loop after
+    // the ack must miss — a replica serving the pre-flush value here is
+    // exactly the acknowledged-mutation-shadowed bug.
+    let server = start_server(HotKeyConfig::aggressive());
+    let addr = server.local_addr();
+    let mut heater = CacheClient::connect(addr).unwrap();
+    assert!(heater.set(b"viral", 7, b"pre-flush").unwrap());
+    for _ in 0..200 {
+        assert!(heater.get(b"viral").unwrap().is_some());
+    }
+    server.cache().hot_round_now();
+    assert!(server
+        .cache()
+        .promoted_keys()
+        .contains(&("default".to_string(), "viral".to_string())));
+
+    // Warm a replica on every loop: two clients per loop, two GETs each
+    // (the first forwards and fills, the second hits locally).
+    let mut clients: Vec<CacheClient> = (0..2 * WORKERS)
+        .map(|_| CacheClient::connect(addr).unwrap())
+        .collect();
+    for client in &mut clients {
+        for _ in 0..2 {
+            assert_eq!(client.get(b"viral").unwrap().unwrap().1, b"pre-flush");
+        }
+    }
+    assert!(replica_hits(&server) > 0, "replicas must be warm pre-flush");
+
+    heater.flush_all().unwrap();
+    for client in &mut clients {
+        assert_eq!(
+            client.get(b"viral").unwrap(),
+            None,
+            "an acknowledged flush_all must not be shadowed by a replica"
+        );
+    }
+
+    // The subsystem still works after the slot-wide bump: a fresh value
+    // promotes and replicates again.
+    assert!(heater.set(b"viral", 7, b"post-flush").unwrap());
+    for _ in 0..200 {
+        assert!(heater.get(b"viral").unwrap().is_some());
+    }
+    server.cache().hot_round_now();
+    for client in &mut clients {
+        for _ in 0..2 {
+            assert_eq!(client.get(b"viral").unwrap().unwrap().1, b"post-flush");
+        }
+    }
+}
+
+#[test]
+fn failed_mutations_do_not_invalidate_replicas() {
+    // `add` on a present key and `delete` of a missing key change nothing,
+    // so they must not bump the version slot: every warmed replica keeps
+    // serving without a refill round-trip.
+    let server = start_server(HotKeyConfig::aggressive());
+    let addr = server.local_addr();
+    let mut heater = CacheClient::connect(addr).unwrap();
+    assert!(heater.set(b"viral", 0, b"payload").unwrap());
+    for _ in 0..200 {
+        assert!(heater.get(b"viral").unwrap().is_some());
+    }
+    server.cache().hot_round_now();
+    assert!(server
+        .cache()
+        .promoted_keys()
+        .contains(&("default".to_string(), "viral".to_string())));
+
+    // Warm every loop's replica, then settle the baseline hit counter.
+    let mut clients: Vec<CacheClient> = (0..2 * WORKERS)
+        .map(|_| CacheClient::connect(addr).unwrap())
+        .collect();
+    for client in &mut clients {
+        for _ in 0..2 {
+            assert!(client.get(b"viral").unwrap().is_some());
+        }
+    }
+    let before = replica_hits(&server);
+
+    // Both failed mutations: NOT_STORED and NOT_FOUND.
+    assert!(!heater.add(b"viral", 0, b"usurper").unwrap());
+    assert!(!heater.delete(b"never-stored").unwrap());
+
+    // One GET per client: every one on a non-owning loop must still be a
+    // replica hit (at least 2 * WORKERS - 2 of the 2 * WORKERS clients).
+    // Had the failed mutations bumped the version, each loop's first GET
+    // would have evicted the replica and forwarded instead.
+    for client in &mut clients {
+        assert_eq!(client.get(b"viral").unwrap().unwrap().1, b"payload");
+    }
+    let delta = replica_hits(&server) - before;
+    assert!(
+        delta >= (2 * WORKERS - 2) as u64,
+        "failed mutations must not evict valid replicas: only {delta} of \
+         {} GETs hit locally",
+        2 * WORKERS
+    );
 }
 
 #[test]
